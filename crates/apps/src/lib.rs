@@ -1,0 +1,33 @@
+//! SDVM example applications.
+//!
+//! Each workload exists in two forms:
+//!
+//! 1. a **real SDVM program** — microthreads on the `sdvm-core` runtime,
+//!    launched on a [`Site`](sdvm_core::Site) (in-process or TCP
+//!    cluster); and
+//! 2. a **CDAG generator** — the same task structure as a
+//!    [`Cdag`](sdvm_cdag::Cdag) with a calibrated cost model, executed by
+//!    `sdvm-sim` for the scaling experiments (Table 1 etc.).
+//!
+//! Workloads:
+//!
+//! - [`primes`] — the paper's evaluation program (§5): "parallel
+//!   computation of the first p prime numbers, working on `width`
+//!   numbers in parallel each";
+//! - [`mandelbrot`] — row-parallel escape-time rendering (uneven task
+//!   costs → load balancing);
+//! - [`matmul`] — block matrix multiply through the attraction memory
+//!   (global-memory-heavy);
+//! - [`nqueens`] — irregular divide-and-conquer with dynamically
+//!   unfolding task trees and tree reduction;
+//! - [`montecarlo`] — embarrassingly parallel π estimation (the
+//!   public-resource-computing shape from the paper's introduction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mandelbrot;
+pub mod matmul;
+pub mod montecarlo;
+pub mod nqueens;
+pub mod primes;

@@ -1,0 +1,136 @@
+//! Row-parallel Mandelbrot rendering: a fork-join workload with *uneven*
+//! task costs (rows near the set take far longer), exercising the SDVM's
+//! automatic load balancing.
+
+use sdvm_cdag::Cdag;
+use sdvm_core::{AppBuilder, ProgramHandle, Site};
+use sdvm_types::{SdvmResult, Value};
+
+/// Escape-time iteration count for one point.
+pub fn escape_time(cx: f64, cy: f64, max_iter: u32) -> u32 {
+    let (mut x, mut y) = (0.0f64, 0.0f64);
+    let mut i = 0;
+    while i < max_iter && x * x + y * y <= 4.0 {
+        let nx = x * x - y * y + cx;
+        y = 2.0 * x * y + cy;
+        x = nx;
+        i += 1;
+    }
+    i
+}
+
+/// Total iterations spent on one row of the classic viewport.
+pub fn row_iterations(row: usize, rows: usize, cols: usize, max_iter: u32) -> u64 {
+    let cy = -1.2 + 2.4 * row as f64 / rows as f64;
+    let mut total = 0u64;
+    for c in 0..cols {
+        let cx = -2.2 + 3.0 * c as f64 / cols as f64;
+        total += escape_time(cx, cy, max_iter) as u64;
+    }
+    total
+}
+
+const ROW: u32 = 0;
+const COLLECT: u32 = 1;
+
+/// The Mandelbrot program: `rows` row tasks, one collector.
+#[derive(Clone, Copy, Debug)]
+pub struct MandelbrotProgram {
+    /// Image rows (= parallel tasks).
+    pub rows: usize,
+    /// Image columns.
+    pub cols: usize,
+    /// Iteration cap.
+    pub max_iter: u32,
+}
+
+impl MandelbrotProgram {
+    /// Build the microthread code table.
+    pub fn app(&self) -> AppBuilder {
+        let mut app = AppBuilder::new("mandelbrot");
+        let (rows, cols, max_iter) = (self.rows, self.cols, self.max_iter);
+        let row = app.thread("row", move |ctx| {
+            let r = ctx.param(0)?.as_u64()? as usize;
+            let total = row_iterations(r, rows, cols, max_iter);
+            let t = ctx.target(0)?;
+            ctx.send(t, r as u32, Value::from_u64(total))
+        });
+        assert_eq!(row, ROW);
+        let collect = app.thread("collect", move |ctx| {
+            let mut sum = 0u64;
+            for i in 0..ctx.param_count() as u32 {
+                sum += ctx.param(i)?.as_u64()?;
+            }
+            let t = ctx.target(0)?;
+            ctx.send(t, 0, Value::from_u64(sum))
+        });
+        assert_eq!(collect, COLLECT);
+        app
+    }
+
+    /// Launch; the result is the total iteration count of the image (a
+    /// checksum that any sequential implementation reproduces).
+    pub fn launch(&self, site: &Site) -> SdvmResult<ProgramHandle> {
+        let app = self.app();
+        let rows = self.rows;
+        site.launch(&app, move |ctx, result| {
+            let coord = ctx.create_frame(COLLECT, rows, vec![result], Default::default());
+            for r in 0..rows {
+                let f = ctx.create_frame(ROW, 1, vec![coord], Default::default());
+                ctx.send(f, 0, Value::from_u64(r as u64))?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Reference (sequential) checksum.
+    pub fn reference(&self) -> u64 {
+        (0..self.rows).map(|r| row_iterations(r, self.rows, self.cols, self.max_iter)).sum()
+    }
+
+    /// The task graph with *real* per-row costs (iterations), so the
+    /// simulator sees the same imbalance the runtime does.
+    pub fn graph(&self) -> Cdag {
+        let mut g = Cdag::new();
+        let collect = g.add_node("collect", COLLECT, self.rows as u64);
+        for r in 0..self.rows {
+            let cost = row_iterations(r, self.rows, self.cols, self.max_iter).max(1);
+            let t = g.add_node(format!("row{r}"), ROW, cost);
+            g.add_edge(t, collect, r as u32, 16).expect("edge");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_time_basics() {
+        // Origin is in the set: runs to the cap.
+        assert_eq!(escape_time(0.0, 0.0, 100), 100);
+        // Far outside: escapes immediately-ish.
+        assert!(escape_time(2.0, 2.0, 100) < 3);
+    }
+
+    #[test]
+    fn costs_are_uneven() {
+        let m = MandelbrotProgram { rows: 32, cols: 32, max_iter: 200 };
+        let costs: Vec<u64> =
+            (0..32).map(|r| row_iterations(r, 32, 32, 200)).collect();
+        let (min, max) = (costs.iter().min().unwrap(), costs.iter().max().unwrap());
+        assert!(max > &(min * 2), "rows should differ in cost: {min} vs {max}");
+        assert_eq!(m.reference(), costs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn graph_mirrors_costs() {
+        let m = MandelbrotProgram { rows: 8, cols: 16, max_iter: 64 };
+        let g = m.graph();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.sinks().len(), 1);
+        let total: u64 = (1..9).map(|n| g.node(n).cost).sum();
+        assert_eq!(total, m.reference().max(8)); // each row ≥ 1
+    }
+}

@@ -1,0 +1,191 @@
+//! Block matrix multiplication through the attraction memory.
+//!
+//! A and B are stored block-wise as global memory objects; every task
+//! computing a C block *reads* its row of A blocks and column of B
+//! blocks — mostly from remote sites, so data is attracted to where it
+//! is used. This is the global-memory-heavy counterpart to the
+//! compute-only workloads.
+
+use sdvm_cdag::Cdag;
+use sdvm_core::{AppBuilder, ProgramHandle, Site};
+use sdvm_types::{SdvmResult, Value};
+
+const BLOCK_TASK: u32 = 0;
+const COLLECT: u32 = 1;
+
+/// Block matmul of an (nb·bs)² matrix, nb² parallel block tasks.
+#[derive(Clone, Copy, Debug)]
+pub struct MatmulProgram {
+    /// Blocks per dimension.
+    pub nb: usize,
+    /// Block size (elements per dimension).
+    pub bs: usize,
+}
+
+impl MatmulProgram {
+    /// Deterministic input matrices: `A[i][j] = i + 2j`, `B[i][j] = i·j + 1`
+    /// over the full (nb·bs)² index space, stored block-wise.
+    fn a_elem(&self, i: usize, j: usize) -> i64 {
+        (i + 2 * j) as i64 % 97
+    }
+
+    fn b_elem(&self, i: usize, j: usize) -> i64 {
+        (i * j + 1) as i64 % 89
+    }
+
+    fn block_values(&self, which: char, bi: usize, bj: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.bs * self.bs);
+        for r in 0..self.bs {
+            for c in 0..self.bs {
+                let (i, j) = (bi * self.bs + r, bj * self.bs + c);
+                let v = if which == 'a' { self.a_elem(i, j) } else { self.b_elem(i, j) };
+                out.push(v as u64);
+            }
+        }
+        out
+    }
+
+    /// Sequential reference: checksum of C = A·B.
+    pub fn reference(&self) -> u64 {
+        let n = self.nb * self.bs;
+        let mut sum = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                let mut c = 0i64;
+                for k in 0..n {
+                    c += self.a_elem(i, k) * self.b_elem(k, j);
+                }
+                sum = sum.wrapping_add(c as u64);
+            }
+        }
+        sum
+    }
+
+    /// Build the microthread code table.
+    pub fn app(&self) -> AppBuilder {
+        let mut app = AppBuilder::new("matmul");
+        let (nb, bs) = (self.nb, self.bs);
+        // Block task: params [bi, bj, a_addrs..., b_addrs...] packed as a
+        // u64 slice in param 0 plus address params; simpler: param 0 is
+        // [bi, bj], params 1..=nb are A-row block addresses, params
+        // nb+1..=2nb are B-column block addresses.
+        let task = app.thread("block", move |ctx| {
+            let meta = ctx.param(0)?.as_u64_slice()?;
+            let (bi, bj) = (meta[0] as usize, meta[1] as usize);
+            let mut c = vec![0i64; bs * bs];
+            for k in 0..nb {
+                let a_addr = ctx.param(1 + k as u32)?.as_address()?;
+                let b_addr = ctx.param(1 + (nb + k) as u32)?.as_address()?;
+                let a = ctx.read(a_addr)?.as_u64_slice()?;
+                let b = ctx.read(b_addr)?.as_u64_slice()?;
+                for r in 0..bs {
+                    for cc in 0..bs {
+                        let mut acc = 0i64;
+                        for x in 0..bs {
+                            acc += a[r * bs + x] as i64 * b[x * bs + cc] as i64;
+                        }
+                        c[r * bs + cc] += acc;
+                    }
+                }
+            }
+            let checksum: u64 = c.iter().map(|&v| v as u64).fold(0, u64::wrapping_add);
+            let t = ctx.target(0)?;
+            ctx.send(t, (bi * nb + bj) as u32, Value::from_u64(checksum))
+        });
+        assert_eq!(task, BLOCK_TASK);
+        let collect = app.thread("collect", |ctx| {
+            let mut sum = 0u64;
+            for i in 0..ctx.param_count() as u32 {
+                sum = sum.wrapping_add(ctx.param(i)?.as_u64()?);
+            }
+            let t = ctx.target(0)?;
+            ctx.send(t, 0, Value::from_u64(sum))
+        });
+        assert_eq!(collect, COLLECT);
+        app
+    }
+
+    /// Launch; the result is the checksum of C (compare to
+    /// [`MatmulProgram::reference`]).
+    #[allow(clippy::needless_range_loop)] // bi/bj index two parallel grids
+    pub fn launch(&self, site: &Site) -> SdvmResult<ProgramHandle> {
+        let app = self.app();
+        let me = *self;
+        let nb = self.nb;
+        site.launch(&app, move |ctx, result| {
+            // Allocate all blocks of A and B in global memory.
+            let mut a_addrs = vec![vec![]; nb];
+            let mut b_addrs = vec![vec![]; nb];
+            for (bi, (a_row, b_row)) in a_addrs.iter_mut().zip(b_addrs.iter_mut()).enumerate() {
+                for bj in 0..nb {
+                    a_row.push(ctx.alloc(Value::from_u64_slice(&me.block_values('a', bi, bj))));
+                    b_row.push(ctx.alloc(Value::from_u64_slice(&me.block_values('b', bi, bj))));
+                }
+            }
+            let coord = ctx.create_frame(COLLECT, nb * nb, vec![result], Default::default());
+            for bi in 0..nb {
+                for bj in 0..nb {
+                    let f = ctx.create_frame(
+                        BLOCK_TASK,
+                        1 + 2 * nb,
+                        vec![coord],
+                        Default::default(),
+                    );
+                    ctx.send(f, 0, Value::from_u64_slice(&[bi as u64, bj as u64]))?;
+                    for k in 0..nb {
+                        ctx.send(f, 1 + k as u32, Value::from_address(a_addrs[bi][k]))?;
+                        ctx.send(f, 1 + (nb + k) as u32, Value::from_address(b_addrs[k][bj]))?;
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Task graph: nb² block tasks (cost ≈ nb·bs³ multiply-adds, plus the
+    /// remote-read pressure is modelled by the sim's cost model), one
+    /// collector.
+    pub fn graph(&self) -> Cdag {
+        let mut g = Cdag::new();
+        let collect = g.add_node("collect", COLLECT, (self.nb * self.nb) as u64);
+        let cost = (self.nb * self.bs * self.bs * self.bs) as u64;
+        let block_bytes = (self.bs * self.bs * 8) as u64;
+        for bi in 0..self.nb {
+            for bj in 0..self.nb {
+                let t = g.add_node(format!("c{bi}.{bj}"), BLOCK_TASK, cost.max(1));
+                g.add_edge(t, collect, (bi * self.nb + bj) as u32, block_bytes)
+                    .expect("edge");
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_deterministic() {
+        let m = MatmulProgram { nb: 2, bs: 3 };
+        assert_eq!(m.reference(), m.reference());
+    }
+
+    #[test]
+    fn block_values_tile_the_matrix() {
+        let m = MatmulProgram { nb: 2, bs: 2 };
+        let b00 = m.block_values('a', 0, 0);
+        let b11 = m.block_values('a', 1, 1);
+        assert_eq!(b00[0], m.a_elem(0, 0) as u64);
+        assert_eq!(b11[3], m.a_elem(3, 3) as u64);
+    }
+
+    #[test]
+    fn graph_shape() {
+        let m = MatmulProgram { nb: 3, bs: 4 };
+        let g = m.graph();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.roots().len(), 9);
+        assert_eq!(g.sinks(), vec![0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Monte-Carlo π estimation: the embarrassingly parallel,
+//! no-data-dependency shape the paper's introduction attributes to
+//! public-resource computing (Seti@Home) — the easiest case for the
+//! SDVM and a useful upper-bound baseline for speedup experiments.
+
+use sdvm_cdag::Cdag;
+use sdvm_core::{AppBuilder, ProgramHandle, Site};
+use sdvm_types::{SdvmResult, Value};
+
+/// Deterministic per-task sample count inside the unit circle, using a
+/// seeded xorshift generator (so results are reproducible anywhere).
+pub fn hits_in_circle(seed: u64, samples: u64) -> u64 {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        let x = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        let y = (next() >> 11) as f64 / (1u64 << 53) as f64;
+        if x * x + y * y <= 1.0 {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+const TASK: u32 = 0;
+const COLLECT: u32 = 1;
+
+/// The π program: `tasks` independent sampling tasks.
+#[derive(Clone, Copy, Debug)]
+pub struct MonteCarloProgram {
+    /// Number of parallel sampling tasks.
+    pub tasks: usize,
+    /// Samples per task.
+    pub samples: u64,
+}
+
+impl MonteCarloProgram {
+    /// Build the code table.
+    pub fn app(&self) -> AppBuilder {
+        let mut app = AppBuilder::new("montecarlo-pi");
+        let samples = self.samples;
+        let task = app.thread("sample", move |ctx| {
+            let seed = ctx.param(0)?.as_u64()?;
+            let hits = hits_in_circle(seed, samples);
+            let t = ctx.target(0)?;
+            ctx.send(t, seed as u32, Value::from_u64(hits))
+        });
+        assert_eq!(task, TASK);
+        let collect = app.thread("collect", |ctx| {
+            let mut hits = 0u64;
+            for i in 0..ctx.param_count() as u32 {
+                hits += ctx.param(i)?.as_u64()?;
+            }
+            let t = ctx.target(0)?;
+            ctx.send(t, 0, Value::from_u64(hits))
+        });
+        assert_eq!(collect, COLLECT);
+        app
+    }
+
+    /// Launch; the result is the total hit count (π ≈ 4·hits/samples).
+    pub fn launch(&self, site: &Site) -> SdvmResult<ProgramHandle> {
+        let app = self.app();
+        let tasks = self.tasks;
+        site.launch(&app, move |ctx, result| {
+            let coord = ctx.create_frame(COLLECT, tasks, vec![result], Default::default());
+            for s in 0..tasks {
+                let f = ctx.create_frame(TASK, 1, vec![coord], Default::default());
+                ctx.send(f, 0, Value::from_u64(s as u64))?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Sequential reference hit count.
+    pub fn reference(&self) -> u64 {
+        (0..self.tasks as u64).map(|s| hits_in_circle(s, self.samples)).sum()
+    }
+
+    /// π estimate from a hit count.
+    pub fn estimate(&self, hits: u64) -> f64 {
+        4.0 * hits as f64 / (self.tasks as u64 * self.samples) as f64
+    }
+
+    /// The task graph: a pure fork-join with uniform costs.
+    pub fn graph(&self) -> Cdag {
+        let mut g = Cdag::new();
+        let collect = g.add_node("collect", COLLECT, self.tasks as u64);
+        for s in 0..self.tasks {
+            let t = g.add_node(format!("sample{s}"), TASK, self.samples.max(1));
+            g.add_edge(t, collect, s as u32, 16).expect("edge");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_converges_to_pi() {
+        let prog = MonteCarloProgram { tasks: 16, samples: 20_000 };
+        let est = prog.estimate(prog.reference());
+        assert!((est - std::f64::consts::PI).abs() < 0.05, "estimate {est}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(hits_in_circle(7, 1000), hits_in_circle(7, 1000));
+        assert_ne!(hits_in_circle(7, 1000), hits_in_circle(8, 1000));
+    }
+
+    #[test]
+    fn graph_is_flat_fork_join() {
+        let g = MonteCarloProgram { tasks: 10, samples: 100 }.graph();
+        assert_eq!(g.node_count(), 11);
+        assert_eq!(g.roots().len(), 10);
+    }
+}

@@ -1,0 +1,206 @@
+//! N-queens solution counting: an *irregular* divide-and-conquer
+//! workload. Unlike the fork-join apps, the task tree unfolds
+//! dynamically at runtime — every explored board position spawns an
+//! unpredictable number of children, and partial counts flow back
+//! through a tree of combine microframes. This exercises exactly the
+//! SDVM property the paper emphasizes in §3.2: microframes for loops
+//! and recursions "of unknown length" can be allocated dynamically,
+//! because an allocated frame's address is known from that moment on.
+
+use sdvm_cdag::Cdag;
+use sdvm_core::{AppBuilder, ProgramHandle, Site};
+use sdvm_types::{SdvmResult, Value};
+
+/// Sequential solution counter from a partial placement (bitmask state).
+fn count_from(n: u32, row: u32, cols: u32, diag1: u32, diag2: u32) -> u64 {
+    if row == n {
+        return 1;
+    }
+    let mut count = 0;
+    let mut free = !(cols | diag1 | diag2) & ((1u32 << n) - 1);
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        free ^= bit;
+        count += count_from(
+            n,
+            row + 1,
+            cols | bit,
+            (diag1 | bit) << 1,
+            (diag2 | bit) >> 1,
+        );
+    }
+    count
+}
+
+/// Reference: total solutions for an n×n board.
+pub fn solutions(n: u32) -> u64 {
+    count_from(n, 0, 0, 0, 0)
+}
+
+const EXPLORE: u32 = 0;
+const COMBINE: u32 = 1;
+
+/// The N-queens program.
+#[derive(Clone, Copy, Debug)]
+pub struct NQueensProgram {
+    /// Board size.
+    pub n: u32,
+    /// Rows explored as parallel microthreads before switching to the
+    /// sequential solver (task granularity knob).
+    pub parallel_depth: u32,
+}
+
+impl NQueensProgram {
+    /// Build the microthread code table.
+    pub fn app(&self) -> AppBuilder {
+        let mut app = AppBuilder::new("nqueens");
+        let n = self.n;
+        let parallel_depth = self.parallel_depth;
+        // explore: params [row, cols, diag1, diag2, slot-in-target];
+        // target(0) = where the subtree count goes.
+        let explore = app.thread("explore", move |ctx| {
+            let s = ctx.param(0)?.as_u64_slice()?;
+            let (row, cols, diag1, diag2, slot) =
+                (s[0] as u32, s[1] as u32, s[2] as u32, s[3] as u32, s[4] as u32);
+            let target = ctx.target(0)?;
+            if row >= parallel_depth || row == n {
+                // Granularity reached: finish sequentially.
+                let count = count_from(n, row, cols, diag1, diag2);
+                return ctx.send(target, slot, Value::from_u64(count));
+            }
+            // Expand one row in parallel.
+            let mut placements = Vec::new();
+            let mut free = !(cols | diag1 | diag2) & ((1u32 << n) - 1);
+            while free != 0 {
+                let bit = free & free.wrapping_neg();
+                free ^= bit;
+                placements.push(bit);
+            }
+            if placements.is_empty() {
+                return ctx.send(target, slot, Value::from_u64(0));
+            }
+            // A combine frame gathers the children's counts and forwards
+            // the sum: slot 0 carries the parent slot, 1..=k the counts.
+            let k = placements.len();
+            let combine =
+                ctx.create_frame(COMBINE, k + 1, vec![target], Default::default());
+            ctx.send(combine, 0, Value::from_u64(u64::from(slot)))?;
+            for (i, bit) in placements.into_iter().enumerate() {
+                let child = ctx.create_frame(EXPLORE, 1, vec![combine], Default::default());
+                ctx.send(
+                    child,
+                    0,
+                    Value::from_u64_slice(&[
+                        u64::from(row + 1),
+                        u64::from(cols | bit),
+                        u64::from((diag1 | bit) << 1),
+                        u64::from((diag2 | bit) >> 1),
+                        i as u64 + 1,
+                    ]),
+                )?;
+            }
+            Ok(())
+        });
+        assert_eq!(explore, EXPLORE);
+        let combine = app.thread("combine", |ctx| {
+            let slot = ctx.param(0)?.as_u64()? as u32;
+            let mut sum = 0u64;
+            for i in 1..ctx.param_count() as u32 {
+                sum += ctx.param(i)?.as_u64()?;
+            }
+            ctx.send(ctx.target(0)?, slot, Value::from_u64(sum))
+        });
+        assert_eq!(combine, COMBINE);
+        app
+    }
+
+    /// Launch; the result is the number of solutions.
+    pub fn launch(&self, site: &Site) -> SdvmResult<ProgramHandle> {
+        let app = self.app();
+        site.launch(&app, move |ctx, result| {
+            let root = ctx.create_frame(EXPLORE, 1, vec![result], Default::default());
+            ctx.send(root, 0, Value::from_u64_slice(&[0, 0, 0, 0, 0]))
+        })
+    }
+
+    /// Static task graph of the same exploration (for the simulator):
+    /// costs are the *actual* sequential-subtree sizes, so the sim sees
+    /// the true irregularity. Returns the graph and the expected total.
+    pub fn graph(&self) -> (Cdag, u64) {
+        let mut g = Cdag::new();
+        let sink = g.add_node("root-combine", COMBINE, 1);
+        let total =
+            self.expand(&mut g, sink, 0, 0, 0, 0, 0);
+        (g, total)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &self,
+        g: &mut Cdag,
+        parent: usize,
+        slot: u32,
+        row: u32,
+        cols: u32,
+        diag1: u32,
+        diag2: u32,
+    ) -> u64 {
+        if row >= self.parallel_depth || row == self.n {
+            let count = count_from(self.n, row, cols, diag1, diag2);
+            // Leaf cost ≈ nodes of the sequential subtree (≥1).
+            let node = g.add_node(format!("leaf r{row}"), EXPLORE, (count * 10).max(1));
+            g.add_edge(node, parent, slot, 16).expect("leaf edge");
+            return count;
+        }
+        let combine = g.add_node(format!("combine r{row}"), COMBINE, 1);
+        g.add_edge(combine, parent, slot, 16).expect("combine edge");
+        let mut total = 0;
+        let mut i = 0;
+        let mut free = !(cols | diag1 | diag2) & ((1u32 << self.n) - 1);
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            total += self.expand(
+                g,
+                combine,
+                i,
+                row + 1,
+                cols | bit,
+                (diag1 | bit) << 1,
+                (diag2 | bit) >> 1,
+            );
+            i += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_counts() {
+        assert_eq!(solutions(1), 1);
+        assert_eq!(solutions(4), 2);
+        assert_eq!(solutions(6), 4);
+        assert_eq!(solutions(8), 92);
+    }
+
+    #[test]
+    fn graph_total_matches_reference() {
+        for depth in [1u32, 2, 3] {
+            let (g, total) = NQueensProgram { n: 7, parallel_depth: depth }.graph();
+            assert_eq!(total, solutions(7));
+            g.topo_order().expect("acyclic");
+        }
+    }
+
+    #[test]
+    fn graph_is_irregular() {
+        let (g, _) = NQueensProgram { n: 8, parallel_depth: 3 }.graph();
+        let costs: Vec<u64> = g.node_ids().map(|n| g.node(n).cost).collect();
+        let (min, max) = (costs.iter().min().unwrap(), costs.iter().max().unwrap());
+        assert!(max > &(min * 10), "leaf costs should vary widely: {min}..{max}");
+    }
+}

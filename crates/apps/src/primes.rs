@@ -1,0 +1,306 @@
+//! The paper's evaluation program (§5, Table 1): find the first `p`
+//! primes, "working on `width` numbers in parallel each".
+//!
+//! The program keeps a *sliding window* of `width` candidates under test
+//! at any time (the paper's `simultaneousTestCount`; its code snippet
+//! carries a state array sized `simultaneousTestCount + 4`). Each
+//! candidate has a `test` microthread and a tiny `collect` microthread;
+//! the collects form a chain that consumes verdicts in candidate order,
+//! maintains the running prime count, and — for every verdict consumed —
+//! creates the test-and-collect pair for the candidate `width` positions
+//! ahead. The chain state carries the addresses of the next `width`
+//! pending collect frames (the window ring), which is how each collect
+//! knows where to send the updated state.
+//!
+//! The serial collect spine plus the bounded window is exactly what
+//! keeps Table 1's speedups below the site count.
+
+use sdvm_cdag::Cdag;
+use sdvm_core::{AppBuilder, ProgramHandle, Site};
+use sdvm_types::{GlobalAddress, SdvmResult, SiteId, Value};
+
+/// Trial-division primality test (the candidate tester's real work).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The n-th prime (1-based): `nth_prime(1) == 2`. Reference for tests
+/// and for sizing the CDAG.
+pub fn nth_prime(n: u64) -> u64 {
+    assert!(n >= 1);
+    let mut count = 0;
+    let mut cand = 1u64;
+    loop {
+        cand += 1;
+        if is_prime(cand) {
+            count += 1;
+            if count == n {
+                return cand;
+            }
+        }
+    }
+}
+
+/// Trial divisions performed when testing `n` (cost of [`is_prime`]).
+pub fn division_count(n: u64) -> u64 {
+    if n < 2 || n.is_multiple_of(2) {
+        return 1;
+    }
+    let mut d = 3u64;
+    let mut count = 1; // the %2 test
+    while d * d <= n {
+        count += 1;
+        if n.is_multiple_of(d) {
+            return count;
+        }
+        d += 2;
+    }
+    count
+}
+
+const TEST: u32 = 0;
+const COLLECT: u32 = 1;
+
+/// The prime-search program.
+#[derive(Clone, Copy, Debug)]
+pub struct PrimesProgram {
+    /// How many primes to find (the paper's `p`).
+    pub p: u64,
+    /// Candidates under test simultaneously (the paper's `width` /
+    /// `simultaneousTestCount`).
+    pub width: usize,
+    /// Extra busy work per candidate in iterations (models the paper's
+    /// heavyweight per-candidate computation; 0 = pure trial division).
+    pub spin: u64,
+    /// Extra *sleeping* work per candidate in microseconds. Unlike
+    /// `spin` this yields the CPU, which keeps all sites' daemon threads
+    /// schedulable when a whole cluster shares few cores (demos on small
+    /// machines).
+    pub sleep_us: u64,
+}
+
+// State layout (u64 slice): [count, then 2 words per ring entry
+// (home, local) for the next `width` pending collect addresses, oldest
+// first]. The verdict consumed by collect_i belongs to candidate
+// 2 + i; the pair it creates is for candidate 2 + i + width.
+fn encode_state(count: u64, ring: &[GlobalAddress]) -> Value {
+    let mut words = Vec::with_capacity(1 + ring.len() * 2);
+    words.push(count);
+    for a in ring {
+        words.push(a.home.0 as u64);
+        words.push(a.local);
+    }
+    Value::from_u64_slice(&words)
+}
+
+fn decode_state(v: &Value) -> SdvmResult<(u64, Vec<GlobalAddress>)> {
+    let words = v.as_u64_slice()?;
+    let count = words[0];
+    let ring = words[1..]
+        .chunks_exact(2)
+        .map(|c| GlobalAddress::new(SiteId(c[0] as u32), c[1]))
+        .collect();
+    Ok((count, ring))
+}
+
+impl PrimesProgram {
+    /// A program finding the first `p` primes, `width` at a time.
+    pub fn new(p: u64, width: usize) -> Self {
+        assert!(width >= 1);
+        PrimesProgram { p, width, spin: 0, sleep_us: 0 }
+    }
+
+    /// Build the microthread code table.
+    pub fn app(&self) -> AppBuilder {
+        let mut app = AppBuilder::new("primes");
+        let spin = self.spin;
+        let sleep_us = self.sleep_us;
+        let test = app.thread("test", move |ctx| {
+            let cand = ctx.param(0)?.as_u64()?;
+            let isp = is_prime(cand);
+            // Calibratable extra work (the paper's per-candidate load).
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            if sleep_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(sleep_us));
+            }
+            let t = ctx.target(0)?;
+            ctx.send(t, 1, Value::from_u64_slice(&[cand, isp as u64]))
+        });
+        assert_eq!(test, TEST);
+        let p = self.p;
+        let width = self.width;
+        let collect = app.thread("collect", move |ctx| {
+            let (mut count, mut ring) = decode_state(ctx.param(0)?)?;
+            let verdict = ctx.param(1)?.as_u64_slice()?;
+            let (cand, isp) = (verdict[0], verdict[1]);
+            let result_target = ctx.target(0)?;
+            if isp == 1 {
+                count += 1;
+                if count == p {
+                    // The p-th prime: deliver and stop the pipeline (the
+                    // outstanding window frames are purged with the
+                    // program).
+                    return ctx.send(result_target, 0, Value::from_u64(cand));
+                }
+            }
+            // Create the pair for the candidate `width` ahead and pass
+            // the state down the chain.
+            let next_cand = cand + width as u64;
+            let new_collect =
+                ctx.create_frame(COLLECT, 2, vec![result_target], Default::default());
+            let new_test = ctx.create_frame(TEST, 1, vec![new_collect], Default::default());
+            ctx.send(new_test, 0, Value::from_u64(next_cand))?;
+            ring.push(new_collect);
+            let next_in_chain = ring.remove(0);
+            ctx.send(next_in_chain, 0, encode_state(count, &ring))
+        });
+        assert_eq!(collect, COLLECT);
+        app
+    }
+
+    /// Launch on a site; the result is the p-th prime.
+    pub fn launch(&self, site: &Site) -> SdvmResult<ProgramHandle> {
+        let app = self.app();
+        let width = self.width;
+        site.launch(&app, move |ctx, result| {
+            // Seed the window: pairs for candidates 2..2+width.
+            let mut collects = Vec::with_capacity(width);
+            for i in 0..width {
+                let c = ctx.create_frame(COLLECT, 2, vec![result], Default::default());
+                let t = ctx.create_frame(TEST, 1, vec![c], Default::default());
+                ctx.send(t, 0, Value::from_u64(2 + i as u64))?;
+                collects.push(c);
+            }
+            // collect_0 receives the initial state; its ring is the rest
+            // of the window.
+            ctx.send(collects[0], 0, encode_state(0, &collects[1..]))
+        })
+    }
+
+    /// Number of candidates the pipeline processes (2 ..= p-th prime).
+    pub fn candidates(&self) -> usize {
+        (nth_prime(self.p) - 1) as usize
+    }
+
+    /// The task graph of this program, with per-node costs in abstract
+    /// work units: each candidate test costs `unit_cost` (the paper's
+    /// per-candidate computation is approximately constant in the
+    /// candidate) plus its real trial-division count; each collect costs
+    /// `collect_cost`.
+    pub fn graph(&self, unit_cost: u64, collect_cost: u64) -> Cdag {
+        let mut g = Cdag::new();
+        let m = self.candidates();
+        let w = self.width;
+        let mut tests = Vec::with_capacity(m);
+        let mut collects = Vec::with_capacity(m);
+        for i in 0..m {
+            let cand = 2 + i as u64;
+            let cost = unit_cost + division_count(cand);
+            tests.push(g.add_node(format!("test{cand}"), TEST, cost));
+            collects.push(g.add_node(format!("collect{cand}"), COLLECT, collect_cost.max(1)));
+        }
+        for i in 0..m {
+            // Verdict edge.
+            g.add_edge(tests[i], collects[i], 1, 24).expect("verdict edge");
+            // Chain (state) edge.
+            if i + 1 < m {
+                g.add_edge(collects[i], collects[i + 1], 0, 8 + 16 * w as u64)
+                    .expect("state edge");
+            }
+            // Window dispatch: collect_i creates test_{i+w}.
+            if i + w < m {
+                g.add_edge(collects[i], tests[i + w], 0, 16).expect("dispatch edge");
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_reference() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+                 73, 79, 83, 89, 97]
+        );
+    }
+
+    #[test]
+    fn nth_prime_reference() {
+        assert_eq!(nth_prime(1), 2);
+        assert_eq!(nth_prime(10), 29);
+        assert_eq!(nth_prime(100), 541);
+        assert_eq!(nth_prime(1000), 7919);
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let ring = vec![
+            GlobalAddress::new(SiteId(1), 7),
+            GlobalAddress::new(SiteId(3), 9),
+        ];
+        let v = encode_state(42, &ring);
+        let (count, back) = decode_state(&v).unwrap();
+        assert_eq!(count, 42);
+        assert_eq!(back, ring);
+        let (c0, r0) = decode_state(&encode_state(0, &[])).unwrap();
+        assert_eq!(c0, 0);
+        assert!(r0.is_empty());
+    }
+
+    #[test]
+    fn graph_shape() {
+        let prog = PrimesProgram::new(10, 5);
+        let g = prog.graph(100, 10);
+        let m = prog.candidates(); // candidates 2..=29 → 28
+        assert_eq!(m, 28);
+        assert_eq!(g.node_count(), 2 * m);
+        // Roots: the first `width` tests (their dispatching collect is
+        // outside the graph — the bootstrap) and collect_0's state also
+        // comes from the bootstrap.
+        assert_eq!(g.roots().len(), 5);
+        g.topo_order().expect("acyclic");
+    }
+
+    #[test]
+    fn graph_window_limits_parallelism() {
+        let prog = PrimesProgram::new(20, 4);
+        let g = prog.graph(1_000, 1);
+        let analysis = sdvm_cdag::CdagAnalysis::analyse(&g).unwrap();
+        // With a window of 4, average parallelism can't exceed ~4 tests
+        // in flight (plus epsilon from the cheap collect chain).
+        assert!(
+            analysis.avg_parallelism <= 4.3,
+            "window must bound parallelism, got {}",
+            analysis.avg_parallelism
+        );
+    }
+
+    #[test]
+    fn division_count_matches_is_prime_effort() {
+        assert_eq!(division_count(4), 1); // even: one test
+        assert!(division_count(541) > division_count(9));
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion: SDMessage wire codec throughput (the message manager's
+//! serialize/deserialize hot path, paper Fig. 6).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sdvm_types::{
+    GlobalAddress, ManagerId, MicrothreadId, ProgramId, SchedulingHint, SiteId, Value,
+};
+use sdvm_wire::{Payload, SdMessage, WireFrame};
+
+fn sample_frame(slots: usize) -> WireFrame {
+    WireFrame {
+        id: GlobalAddress::new(SiteId(3), 42),
+        thread: MicrothreadId::new(ProgramId(7), 1),
+        slots: (0..slots).map(|i| Some(Value::from_u64(i as u64))).collect(),
+        targets: vec![GlobalAddress::new(SiteId(1), 9)],
+        hint: SchedulingHint::default(),
+    }
+}
+
+fn help_reply(slots: usize) -> SdMessage {
+    SdMessage::new(
+        SiteId(3),
+        ManagerId::Scheduling,
+        SiteId(5),
+        ManagerId::Scheduling,
+        991,
+        Payload::HelpReply { frame: sample_frame(slots) },
+    )
+}
+
+fn apply_result() -> SdMessage {
+    SdMessage::new(
+        SiteId(3),
+        ManagerId::Memory,
+        SiteId(5),
+        ManagerId::Memory,
+        17,
+        Payload::ApplyResult {
+            target: GlobalAddress::new(SiteId(1), 77),
+            slot: 2,
+            value: Value::from_u64_slice(&[1, 2, 3]),
+        },
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sdmessage_codec");
+    for (name, msg) in [
+        ("apply_result", apply_result()),
+        ("help_reply_2slots", help_reply(2)),
+        ("help_reply_32slots", help_reply(32)),
+    ] {
+        let bytes = msg.to_bytes();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| std::hint::black_box(msg.to_bytes()))
+        });
+        g.bench_function(format!("decode/{name}"), |b| {
+            b.iter_batched(
+                || bytes.clone(),
+                |buf| SdMessage::from_bytes(std::hint::black_box(&buf)).expect("valid"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

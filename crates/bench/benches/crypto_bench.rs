@@ -1,0 +1,52 @@
+//! Criterion: security-manager primitives — the per-message cost the
+//! paper trades against trust (E5's microbenchmark side).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdvm_crypto::chacha::chacha20_xor;
+use sdvm_crypto::hmac::hmac_sha256;
+use sdvm_crypto::sha256::sha256;
+use sdvm_crypto::SecureChannel;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto_primitives");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| sha256(std::hint::black_box(&data)))
+        });
+        g.bench_function(format!("hmac_sha256/{size}"), |b| {
+            b.iter(|| hmac_sha256(b"key material here", std::hint::black_box(&data)))
+        });
+        g.bench_function(format!("chacha20/{size}"), |b| {
+            let key = [7u8; 32];
+            let nonce = [9u8; 12];
+            let mut buf = data.clone();
+            b.iter(|| {
+                chacha20_xor(&key, &nonce, 0, std::hint::black_box(&mut buf));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secure_channel");
+    for size in [64usize, 512, 4096] {
+        let payload = vec![0x5au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("seal_open/{size}"), |b| {
+            let key = [3u8; 32];
+            let mut tx = SecureChannel::new(&key);
+            let mut rx = SecureChannel::new(&key);
+            b.iter(|| {
+                let sealed = tx.seal(std::hint::black_box(&payload));
+                rx.open(&sealed).expect("authentic")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_channel);
+criterion_main!(benches);

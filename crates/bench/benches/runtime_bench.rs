@@ -1,0 +1,55 @@
+//! Criterion: real-runtime hot paths — single-site program execution
+//! (the E2 overhead measurement's inner loop) and the dataflow send path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdvm_apps::primes::PrimesProgram;
+use sdvm_core::{AppBuilder, InProcessCluster, SiteConfig};
+use sdvm_types::Value;
+use std::time::Duration;
+
+/// End-to-end micro-program: chain of `n` microthreads, each passing a
+/// counter on. Measures frame creation + dataflow send + scheduling +
+/// execution per hop.
+fn bench_chain(c: &mut Criterion) {
+    let cluster = InProcessCluster::new(1, SiteConfig::default()).expect("cluster");
+    let mut app = AppBuilder::new("chain");
+    let hop = app.thread("hop", |ctx| {
+        let n = ctx.param(0)?.as_u64()?;
+        let t = ctx.target(0)?;
+        ctx.send(t, 0, Value::from_u64(n + 1))
+    });
+    c.bench_function("runtime/chain_100_hops", |b| {
+        b.iter(|| {
+            let handle = cluster
+                .site(0)
+                .launch(&app, |ctx, result| {
+                    // Build the chain backwards: each hop targets the next.
+                    let mut next = result;
+                    for _ in 0..100 {
+                        next = ctx.create_frame(hop, 1, vec![next], Default::default());
+                    }
+                    ctx.send(next, 0, Value::from_u64(0))
+                })
+                .expect("launch");
+            let v = handle.wait(Duration::from_secs(30)).expect("result");
+            assert_eq!(v.as_u64().unwrap(), 100);
+        })
+    });
+}
+
+fn bench_primes_single_site(c: &mut Criterion) {
+    let cluster = InProcessCluster::new(1, SiteConfig::default()).expect("cluster");
+    let mut group = c.benchmark_group("runtime/primes_1site");
+    group.sample_size(20);
+    group.bench_function("p50_w10", |b| {
+        b.iter(|| {
+            let prog = PrimesProgram::new(50, 10);
+            let handle = prog.launch(cluster.site(0)).expect("launch");
+            handle.wait(Duration::from_secs(60)).expect("result")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_primes_single_site);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion: simulator engine throughput (events/second) — keeps the
+//! experiment harness itself honest about its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdvm_bench::{cluster_config, primes_graph};
+use sdvm_cdag::generators;
+use sdvm_sim::Simulation;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(20);
+    let primes = primes_graph(100, 10);
+    g.bench_function("primes_p100_w10_8sites", |b| {
+        b.iter(|| Simulation::new(cluster_config(8), primes.clone()).run())
+    });
+    let layered = generators::layered_random(20, 64, 7);
+    g.bench_function("layered_20x64_8sites", |b| {
+        b.iter(|| Simulation::new(cluster_config(8), layered.clone()).run())
+    });
+    let wide = generators::fork_join(10, 512, 50_000, 10);
+    g.bench_function("forkjoin_512_16sites", |b| {
+        b.iter(|| Simulation::new(cluster_config(16), wide.clone()).run())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

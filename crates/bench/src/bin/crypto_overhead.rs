@@ -1,0 +1,99 @@
+//! E5 — the security manager's cost (paper §4): "If a cluster can be
+//! judged secure [...] the security manager can be disabled in favor of
+//! a performance gain."
+//!
+//! Two measurements (wall clock, this machine):
+//! 1. raw channel throughput: sealing+opening SDMessage-sized payloads
+//!    vs a plaintext pass-through;
+//! 2. end-to-end: the prime search on a 2-site in-process cluster with
+//!    and without the start password.
+//!
+//! ```text
+//! cargo run --release -p sdvm-bench --bin crypto_overhead
+//! ```
+
+use sdvm_apps::primes::PrimesProgram;
+use sdvm_bench::rule;
+use sdvm_core::{InProcessCluster, SiteConfig};
+use sdvm_crypto::SecureChannel;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn main() {
+    println!("E5: security manager overhead (encryption on vs off)");
+    rule(72);
+
+    // 1. Raw seal/open throughput on typical SDMessage sizes.
+    for &size in &[64usize, 512, 4096, 65536] {
+        let key = [7u8; 32];
+        let mut tx = SecureChannel::new(&key);
+        let mut rx = SecureChannel::new(&key);
+        let payload = vec![0xabu8; size];
+        let iters = (64 * 1024 * 1024 / size).clamp(256, 100_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let sealed = tx.seal(&payload);
+            let opened = rx.open(&sealed).expect("authentic");
+            black_box(opened.len());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        let mbps = (iters * size) as f64 / dt / 1e6;
+        // Plaintext baseline: copy only.
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            let copy = payload.clone();
+            black_box(copy.len());
+        }
+        let dt_plain = t1.elapsed().as_secs_f64().max(1e-9);
+        println!(
+            "seal+open {size:>6} B: {mbps:>8.1} MB/s  ({:>5.1}x slower than memcpy)",
+            dt / dt_plain
+        );
+    }
+    rule(72);
+
+    // 2. Manager-to-manager message round trips, encrypted vs plaintext:
+    //    the cost sits between the message and network managers, so
+    //    request/response traffic shows it directly.
+    let round_trips = 5_000u32;
+    let run = |password: Option<&str>| -> f64 {
+        let mut cfg = SiteConfig::default();
+        if let Some(pw) = password {
+            cfg = cfg.with_password(pw);
+        }
+        let cluster = InProcessCluster::new(2, cfg.clone()).expect("cluster");
+        let a = cluster.site(0).inner();
+        let b_id = cluster.site(1).id();
+        let t0 = Instant::now();
+        for token in 0..round_trips {
+            let reply = a
+                .request(
+                    b_id,
+                    sdvm_types::ManagerId::Site,
+                    sdvm_types::ManagerId::Site,
+                    sdvm_wire::Payload::Ping { token: u64::from(token) },
+                    Duration::from_secs(10),
+                )
+                .expect("pong");
+            assert!(matches!(reply.payload, sdvm_wire::Payload::Pong { .. }));
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let plain = run(None);
+    let sealed = run(Some("cluster-secret"));
+    println!("{round_trips} site-manager ping/pong round trips (2 sites):");
+    println!("  plaintext : {plain:.3} s ({:.1} µs/round trip)", plain * 1e6 / f64::from(round_trips));
+    println!("  encrypted : {sealed:.3} s ({:.1} µs/round trip)", sealed * 1e6 / f64::from(round_trips));
+    println!(
+        "security manager cost: {:+.1}%  (paper: disabling is a \"performance gain\")",
+        (sealed / plain - 1.0) * 100.0
+    );
+    // 3. Sanity: the prime search still completes on an encrypted cluster.
+    let cluster = InProcessCluster::new(2, SiteConfig::default().with_password("s"))
+        .expect("cluster");
+    let prog = PrimesProgram { p: 60, width: 8, spin: 0, sleep_us: 0 };
+    let handle = prog.launch(cluster.site(0)).expect("launch");
+    handle.wait(Duration::from_secs(600)).expect("result");
+    println!("(primes completes correctly under encryption)");
+    rule(72);
+}

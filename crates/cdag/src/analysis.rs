@@ -1,0 +1,196 @@
+//! CDAG analyses: t-/b-levels, critical path, parallelism, hints.
+//!
+//! - the *t-level* of a node is the longest cost path from any root to
+//!   (excluding) the node — its earliest possible start;
+//! - the *b-level* is the longest cost path from the node (inclusive) to
+//!   any sink — how much work the schedule still has to drive through it;
+//! - the *critical path* is the root-to-sink path maximizing total cost:
+//!   its length bounds the makespan from below, and the paper executes
+//!   its microthreads with higher priority.
+
+use crate::graph::{Cdag, NodeId};
+use sdvm_types::{Priority, SchedulingHint, SdvmResult};
+
+/// The critical path of a CDAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Total cost along the path (a lower bound for the makespan on any
+    /// number of sites, ignoring communication).
+    pub length: u64,
+    /// Nodes on the path, root first.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Results of analysing one CDAG.
+#[derive(Clone, Debug)]
+pub struct CdagAnalysis {
+    /// Earliest possible start (longest path cost strictly before node).
+    pub t_level: Vec<u64>,
+    /// Longest path cost from node (inclusive) to a sink.
+    pub b_level: Vec<u64>,
+    /// The critical path.
+    pub critical: CriticalPath,
+    /// Sum of node costs / critical path length: the application's
+    /// average parallelism — what speedup can be hoped for at best.
+    pub avg_parallelism: f64,
+}
+
+impl CdagAnalysis {
+    /// Analyse a graph. Errors on cyclic graphs.
+    pub fn analyse(g: &Cdag) -> SdvmResult<Self> {
+        let order = g.topo_order()?;
+        let n = g.node_count();
+        let mut t_level = vec![0u64; n];
+        let mut b_level = vec![0u64; n];
+
+        for &u in &order {
+            for e in g.preds(u) {
+                let cand = t_level[e.from] + g.node(e.from).cost;
+                if cand > t_level[u] {
+                    t_level[u] = cand;
+                }
+            }
+        }
+        // b-levels in reverse topological order; remember the successor
+        // that realizes each maximum so the path can be reconstructed.
+        let mut best_succ: Vec<Option<NodeId>> = vec![None; n];
+        for &u in order.iter().rev() {
+            let mut best = 0u64;
+            for e in g.succs(u) {
+                if b_level[e.to] > best {
+                    best = b_level[e.to];
+                    best_succ[u] = Some(e.to);
+                }
+            }
+            b_level[u] = g.node(u).cost + best;
+        }
+
+        let critical = if n == 0 {
+            CriticalPath { length: 0, nodes: Vec::new() }
+        } else {
+            let start = g
+                .roots()
+                .into_iter()
+                .max_by_key(|&r| b_level[r])
+                .expect("non-empty graph has roots");
+            let mut nodes = vec![start];
+            let mut cur = start;
+            while let Some(next) = best_succ[cur] {
+                nodes.push(next);
+                cur = next;
+            }
+            CriticalPath { length: b_level[start], nodes }
+        };
+
+        let avg_parallelism = if critical.length == 0 {
+            0.0
+        } else {
+            g.total_work() as f64 / critical.length as f64
+        };
+
+        Ok(CdagAnalysis { t_level, b_level, critical, avg_parallelism })
+    }
+
+    /// Derive a scheduling hint per node: the b-level becomes the
+    /// priority (more remaining downstream work = schedule earlier), and
+    /// critical-path nodes get the paper's "higher priority" boost.
+    pub fn hints(&self, g: &Cdag) -> Vec<SchedulingHint> {
+        let on_path: std::collections::HashSet<_> = self.critical.nodes.iter().collect();
+        let max_b = self.b_level.iter().copied().max().unwrap_or(1).max(1);
+        g.node_ids()
+            .map(|u| {
+                // Scale b-levels into 0..=99 so CRITICAL (100) dominates.
+                let scaled = (self.b_level[u] * 99 / max_b) as i32;
+                let priority = if on_path.contains(&u) {
+                    Priority::CRITICAL
+                } else {
+                    Priority(scaled)
+                };
+                SchedulingHint { priority, sticky: false }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn diamond() -> Cdag {
+        let mut g = Cdag::new();
+        let a = g.add_node("a", 0, 1);
+        let b = g.add_node("b", 1, 2);
+        let c = g.add_node("c", 1, 5);
+        let d = g.add_node("d", 2, 1);
+        g.add_edge(a, b, 0, 0).unwrap();
+        g.add_edge(a, c, 0, 0).unwrap();
+        g.add_edge(b, d, 0, 0).unwrap();
+        g.add_edge(c, d, 1, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn levels_and_critical_path() {
+        let g = diamond();
+        let a = CdagAnalysis::analyse(&g).unwrap();
+        assert_eq!(a.t_level, vec![0, 1, 1, 6]); // d waits for c: 1 + 5
+        assert_eq!(a.b_level[0], 7); // a + c + d
+        assert_eq!(a.critical, CriticalPath { length: 7, nodes: vec![0, 2, 3] });
+        let expect = 9.0 / 7.0;
+        assert!((a.avg_parallelism - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_has_no_parallelism() {
+        let g = generators::chain(10, 5);
+        let a = CdagAnalysis::analyse(&g).unwrap();
+        assert_eq!(a.critical.length, 50);
+        assert_eq!(a.critical.nodes.len(), 10);
+        assert!((a.avg_parallelism - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_join_parallelism() {
+        let g = generators::fork_join(1, 16, 10, 1);
+        let a = CdagAnalysis::analyse(&g).unwrap();
+        // fork(1) -> worker(10) -> join(1): critical = 12.
+        assert_eq!(a.critical.length, 12);
+        let expect = (1 + 16 * 10 + 1) as f64 / 12.0;
+        assert!((a.avg_parallelism - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hints_prioritize_critical_path() {
+        let g = diamond();
+        let a = CdagAnalysis::analyse(&g).unwrap();
+        let hints = a.hints(&g);
+        assert_eq!(hints.len(), 4);
+        assert_eq!(hints[0].priority, Priority::CRITICAL);
+        assert_eq!(hints[2].priority, Priority::CRITICAL);
+        assert_eq!(hints[3].priority, Priority::CRITICAL);
+        assert!(hints[1].priority < Priority::CRITICAL, "b is off-path");
+        assert!(hints[1].priority >= Priority(0));
+    }
+
+    #[test]
+    fn empty_graph_analysis() {
+        let g = Cdag::new();
+        let a = CdagAnalysis::analyse(&g).unwrap();
+        assert_eq!(a.critical.length, 0);
+        assert!(a.critical.nodes.is_empty());
+        assert_eq!(a.avg_parallelism, 0.0);
+    }
+
+    #[test]
+    fn b_level_bounds_t_level_plus_cost() {
+        let g = generators::layered_random(6, 8, 42);
+        let a = CdagAnalysis::analyse(&g).unwrap();
+        for u in g.node_ids() {
+            assert!(
+                a.t_level[u] + a.b_level[u] <= a.critical.length,
+                "node {u}: t+b exceeds critical length"
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Standard CDAG shapes for tests, benchmarks and the simulator.
+//!
+//! The application-specific graphs (the paper's prime search, matrix
+//! multiplication, ...) live in `sdvm-apps`; these are the neutral
+//! skeletons: chains, fork-join, layered random DAGs, trees and
+//! wavefronts.
+
+use crate::graph::Cdag;
+
+/// A linear chain of `n` nodes, each of the given cost. Zero exploitable
+/// parallelism — the degenerate case for speedup experiments.
+pub fn chain(n: usize, cost: u64) -> Cdag {
+    let mut g = Cdag::new();
+    let mut prev = None;
+    for i in 0..n {
+        let node = g.add_node(format!("c{i}"), 0, cost);
+        if let Some(p) = prev {
+            g.add_edge(p, node, 0, 8).expect("valid chain edge");
+        }
+        prev = Some(node);
+    }
+    g
+}
+
+/// Fork-join: one fork node, `width` independent workers, one join node.
+pub fn fork_join(fork_cost: u64, width: usize, worker_cost: u64, join_cost: u64) -> Cdag {
+    let mut g = Cdag::new();
+    let fork = g.add_node("fork", 0, fork_cost);
+    let join = g.add_node("join", 2, join_cost);
+    for i in 0..width {
+        let w = g.add_node(format!("w{i}"), 1, worker_cost);
+        g.add_edge(fork, w, 0, 16).expect("fork edge");
+        g.add_edge(w, join, i as u32, 8).expect("join edge");
+    }
+    g
+}
+
+/// A sequence of `rounds` fork-join phases (like iterative algorithms:
+/// each round is `width`-parallel, rounds are sequential).
+pub fn iterative_fork_join(rounds: usize, width: usize, worker_cost: u64) -> Cdag {
+    let mut g = Cdag::new();
+    let mut prev_join: Option<usize> = None;
+    for r in 0..rounds {
+        let fork = g.add_node(format!("fork{r}"), 0, 1);
+        if let Some(pj) = prev_join {
+            g.add_edge(pj, fork, 0, 8).expect("round link");
+        }
+        let join = g.add_node(format!("join{r}"), 2, 1);
+        for i in 0..width {
+            let w = g.add_node(format!("w{r}.{i}"), 1, worker_cost);
+            g.add_edge(fork, w, 0, 16).expect("fork edge");
+            g.add_edge(w, join, i as u32, 8).expect("join edge");
+        }
+        prev_join = Some(join);
+    }
+    g
+}
+
+/// A random layered DAG: `layers` layers of `width` nodes; each node
+/// depends on 1–3 nodes of the previous layer. Deterministic in `seed`.
+pub fn layered_random(layers: usize, width: usize, seed: u64) -> Cdag {
+    let mut g = Cdag::new();
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut prev_layer: Vec<usize> = Vec::new();
+    for l in 0..layers {
+        let mut layer = Vec::with_capacity(width);
+        for i in 0..width {
+            let cost = 1 + next() % 20;
+            let node = g.add_node(format!("l{l}.{i}"), l as u32, cost);
+            if !prev_layer.is_empty() {
+                let deps = 1 + (next() % 3) as usize;
+                let mut used = Vec::new();
+                for d in 0..deps.min(prev_layer.len()) {
+                    let p = prev_layer[(next() as usize) % prev_layer.len()];
+                    if !used.contains(&p) {
+                        g.add_edge(p, node, d as u32, 8).expect("layer edge");
+                        used.push(p);
+                    }
+                }
+            }
+            layer.push(node);
+        }
+        prev_layer = layer;
+    }
+    g
+}
+
+/// A binary reduction tree over `leaves` inputs (cost per node given):
+/// models divide-and-conquer combines.
+pub fn reduction_tree(leaves: usize, cost: u64) -> Cdag {
+    let mut g = Cdag::new();
+    assert!(leaves > 0, "need at least one leaf");
+    let mut level: Vec<usize> =
+        (0..leaves).map(|i| g.add_node(format!("leaf{i}"), 0, cost)).collect();
+    let mut depth = 0;
+    while level.len() > 1 {
+        depth += 1;
+        let mut next_level = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let parent = g.add_node(format!("red{depth}.{}", next_level.len()), 1, cost);
+                g.add_edge(pair[0], parent, 0, 8).expect("tree edge");
+                g.add_edge(pair[1], parent, 1, 8).expect("tree edge");
+                next_level.push(parent);
+            } else {
+                next_level.push(pair[0]);
+            }
+        }
+        level = next_level;
+    }
+    g
+}
+
+/// A 2-D wavefront (`n` × `n` grid; each cell depends on its upper and
+/// left neighbours) — the dependence structure of dynamic-programming
+/// kernels and stencil sweeps.
+pub fn wavefront(n: usize, cost: u64) -> Cdag {
+    let mut g = Cdag::new();
+    let mut ids = vec![vec![0usize; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            ids[i][j] = g.add_node(format!("g{i}.{j}"), 0, cost);
+            let mut slot = 0;
+            if i > 0 {
+                g.add_edge(ids[i - 1][j], ids[i][j], slot, 8).expect("grid edge");
+                slot += 1;
+            }
+            if j > 0 {
+                g.add_edge(ids[i][j - 1], ids[i][j], slot, 8).expect("grid edge");
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::CdagAnalysis;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5, 3);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.roots().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn single_node_chain() {
+        let g = chain(1, 3);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(1, 8, 10, 1);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 16);
+        assert_eq!(g.roots(), vec![0]);
+        assert_eq!(g.sinks(), vec![1]);
+    }
+
+    #[test]
+    fn iterative_rounds_are_sequential() {
+        let g = iterative_fork_join(3, 4, 10);
+        let a = CdagAnalysis::analyse(&g).unwrap();
+        // Each round: fork(1) + worker(10) + join(1) = 12; 3 rounds = 36.
+        assert_eq!(a.critical.length, 36);
+    }
+
+    #[test]
+    fn layered_random_is_acyclic_and_deterministic() {
+        let g1 = layered_random(5, 6, 99);
+        let g2 = layered_random(5, 6, 99);
+        assert_eq!(g1.node_count(), 30);
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        g1.topo_order().expect("acyclic");
+    }
+
+    #[test]
+    fn reduction_tree_depth() {
+        let g = reduction_tree(8, 2);
+        // 8 leaves + 4 + 2 + 1 internal.
+        assert_eq!(g.node_count(), 15);
+        let a = CdagAnalysis::analyse(&g).unwrap();
+        assert_eq!(a.critical.length, 2 * 4); // leaf + 3 reduce levels
+        // Non-power-of-two leaf counts also work.
+        let g5 = reduction_tree(5, 1);
+        assert_eq!(g5.sinks().len(), 1);
+        g5.topo_order().expect("acyclic");
+    }
+
+    #[test]
+    fn wavefront_critical_is_diagonal() {
+        let g = wavefront(4, 3);
+        assert_eq!(g.node_count(), 16);
+        let a = CdagAnalysis::analyse(&g).unwrap();
+        // Longest path visits 2n-1 cells.
+        assert_eq!(a.critical.length, 3 * 7);
+    }
+}

@@ -1,0 +1,269 @@
+//! The task-graph structure.
+
+use sdvm_types::{SdvmError, SdvmResult};
+use std::fmt::Write as _;
+
+/// Index of a node (a microthread instance / task) in a [`Cdag`].
+pub type NodeId = usize;
+/// Index of an edge (a data dependency) in a [`Cdag`].
+pub type EdgeId = usize;
+
+/// A node: one microthread instance, to be fired by one microframe.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Estimated computation cost in abstract work units (the simulator
+    /// divides by site speed to get virtual time).
+    pub cost: u64,
+    /// Which microthread (code-table index) this instance runs.
+    pub thread_index: u32,
+    /// Human-readable label for DOT export and traces.
+    pub label: String,
+    pub(crate) preds: Vec<EdgeId>,
+    pub(crate) succs: Vec<EdgeId>,
+}
+
+/// An edge: the producer's result becomes one parameter of the consumer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    /// Producing node.
+    pub from: NodeId,
+    /// Consuming node.
+    pub to: NodeId,
+    /// Which parameter slot of the consumer's microframe is filled.
+    pub slot: u32,
+    /// Size of the transferred value in bytes (communication cost model).
+    pub data_bytes: u64,
+}
+
+/// A directed acyclic graph of microthread instances and their data
+/// dependencies.
+#[derive(Clone, Debug, Default)]
+pub struct Cdag {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl Cdag {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node and return its id.
+    pub fn add_node(&mut self, label: impl Into<String>, thread_index: u32, cost: u64) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            cost,
+            thread_index,
+            label: label.into(),
+            preds: Vec::new(),
+            succs: Vec::new(),
+        });
+        id
+    }
+
+    /// Add a data dependency; `slot` is the consumer's parameter index.
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        slot: u32,
+        data_bytes: u64,
+    ) -> SdvmResult<EdgeId> {
+        if from >= self.nodes.len() || to >= self.nodes.len() {
+            return Err(SdvmError::InvalidState(format!(
+                "edge {from}->{to} references unknown node (have {})",
+                self.nodes.len()
+            )));
+        }
+        if from == to {
+            return Err(SdvmError::InvalidState(format!("self-loop on node {from}")));
+        }
+        let id = self.edges.len();
+        self.edges.push(Edge { from, to, slot, data_bytes });
+        self.nodes[from].succs.push(id);
+        self.nodes[to].preds.push(id);
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Edge accessor.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id]
+    }
+
+    /// Ids of all nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.nodes.len()
+    }
+
+    /// Incoming edges of a node.
+    pub fn preds(&self, id: NodeId) -> impl Iterator<Item = &Edge> + '_ {
+        self.nodes[id].preds.iter().map(move |&e| &self.edges[e])
+    }
+
+    /// Outgoing edges of a node.
+    pub fn succs(&self, id: NodeId) -> impl Iterator<Item = &Edge> + '_ {
+        self.nodes[id].succs.iter().map(move |&e| &self.edges[e])
+    }
+
+    /// In-degree of a node (number of parameters its frame waits for).
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.nodes[id].preds.len()
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.nodes[id].succs.len()
+    }
+
+    /// Nodes without predecessors (executable immediately — the program's
+    /// entry frames).
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+    }
+
+    /// Nodes without successors (the program's results).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+    }
+
+    /// Total work over all nodes.
+    pub fn total_work(&self) -> u64 {
+        self.nodes.iter().map(|n| n.cost).sum()
+    }
+
+    /// Kahn topological order; errors if the graph has a cycle.
+    pub fn topo_order(&self) -> SdvmResult<Vec<NodeId>> {
+        let mut indeg: Vec<usize> = self.node_ids().map(|n| self.in_degree(n)).collect();
+        let mut queue: Vec<NodeId> =
+            self.node_ids().filter(|&n| indeg[n] == 0).collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop() {
+            order.push(n);
+            for e in &self.nodes[n].succs {
+                let t = self.edges[*e].to;
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(SdvmError::InvalidState(format!(
+                "cycle: only {} of {} nodes sorted",
+                order.len(),
+                self.nodes.len()
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Graphviz DOT representation (critical-path nodes can be highlighted
+    /// by passing the analysis' node set).
+    pub fn to_dot(&self, highlight: &[NodeId]) -> String {
+        let hl: std::collections::HashSet<_> = highlight.iter().collect();
+        let mut out = String::from("digraph cdag {\n  rankdir=TB;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let style = if hl.contains(&i) { ", color=red, penwidth=2" } else { "" };
+            let _ = writeln!(
+                out,
+                "  n{i} [label=\"{} ({})\"{}];",
+                n.label.replace('"', "'"),
+                n.cost,
+                style
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "  n{} -> n{} [label=\"s{}\"];", e.from, e.to, e.slot);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Cdag {
+        // a -> b, a -> c, b -> d, c -> d
+        let mut g = Cdag::new();
+        let a = g.add_node("a", 0, 1);
+        let b = g.add_node("b", 1, 2);
+        let c = g.add_node("c", 1, 3);
+        let d = g.add_node("d", 2, 1);
+        g.add_edge(a, b, 0, 8).unwrap();
+        g.add_edge(a, c, 0, 8).unwrap();
+        g.add_edge(b, d, 0, 8).unwrap();
+        g.add_edge(c, d, 1, 8).unwrap();
+        g
+    }
+
+    #[test]
+    fn construction_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.roots(), vec![0]);
+        assert_eq!(g.sinks(), vec![3]);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.total_work(), 7);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &n) in order.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        for e in (0..g.edge_count()).map(|i| *g.edge(i)) {
+            assert!(pos[e.from] < pos[e.to], "{e:?}");
+        }
+    }
+
+    #[test]
+    fn bad_edges_rejected() {
+        let mut g = Cdag::new();
+        let a = g.add_node("a", 0, 1);
+        assert!(g.add_edge(a, a, 0, 0).is_err(), "self loop");
+        assert!(g.add_edge(a, 7, 0, 0).is_err(), "unknown node");
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_highlight() {
+        let g = diamond();
+        let dot = g.to_dot(&[1]);
+        assert!(dot.contains("n0 ->"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Cdag::new();
+        assert!(g.topo_order().unwrap().is_empty());
+        assert!(g.roots().is_empty());
+        assert_eq!(g.total_work(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! The CDAG — Controlflow/Dataflow Allocation Graph.
+//!
+//! The SDVM's applications are partitioned into microthreads whose data
+//! dependencies form a DAG; the paper (§3.3, citing Klauer et al., PDP
+//! 2002) extracts application structure from the CDAG: blocks with many
+//! data dependencies, and the *critical path*, whose microthreads are
+//! executed with higher priority. Scheduling hints are attached to
+//! microframes from this analysis (or by the programmer).
+//!
+//! This crate provides the graph structure, the analyses (topological
+//! order, t-/b-levels, critical path, average parallelism), scheduling-
+//! hint derivation, standard generators for tests/benchmarks, and DOT
+//! export for inspection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod generators;
+pub mod graph;
+
+pub use analysis::{CdagAnalysis, CriticalPath};
+pub use graph::{Cdag, EdgeId, NodeId};

@@ -1,0 +1,129 @@
+//! Property-based tests of CDAG structure and analyses.
+
+#![allow(clippy::needless_range_loop)] // paired index loops over the triangular edge table
+
+use proptest::prelude::*;
+use sdvm_cdag::{generators, Cdag, CdagAnalysis};
+
+/// Random DAG: edges only from lower to higher node index, so acyclicity
+/// holds by construction while shapes vary freely.
+fn arb_dag() -> impl Strategy<Value = Cdag> {
+    (2usize..40, any::<u64>()).prop_flat_map(|(n, seed)| {
+        prop::collection::vec(any::<bool>(), (n * (n - 1)) / 2).prop_map(move |edges| {
+            let mut g = Cdag::new();
+            let mut costs = seed;
+            for i in 0..n {
+                costs = costs
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                g.add_node(format!("n{i}"), 0, 1 + costs % 50);
+            }
+            let mut k = 0;
+            let mut slot = vec![0u32; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if edges[k] {
+                        g.add_edge(i, j, slot[j], 8).expect("indexed edges are valid");
+                        slot[j] += 1;
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn topo_order_is_consistent(g in arb_dag()) {
+        let order = g.topo_order().expect("constructed acyclic");
+        prop_assert_eq!(order.len(), g.node_count());
+        let mut pos = vec![usize::MAX; g.node_count()];
+        for (i, &n) in order.iter().enumerate() {
+            pos[n] = i;
+        }
+        for u in g.node_ids() {
+            for e in g.succs(u) {
+                prop_assert!(pos[e.from] < pos[e.to]);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds(g in arb_dag()) {
+        let a = CdagAnalysis::analyse(&g).expect("acyclic");
+        let max_cost = g.node_ids().map(|n| g.node(n).cost).max().unwrap_or(0);
+        prop_assert!(a.critical.length >= max_cost, "critical ≥ heaviest node");
+        prop_assert!(a.critical.length <= g.total_work(), "critical ≤ total work");
+        // The critical path is a real path.
+        for w in a.critical.nodes.windows(2) {
+            prop_assert!(
+                g.succs(w[0]).any(|e| e.to == w[1]),
+                "critical path edge {}→{} missing",
+                w[0],
+                w[1]
+            );
+        }
+        // Its cost adds up to the reported length.
+        let sum: u64 = a.critical.nodes.iter().map(|&n| g.node(n).cost).sum();
+        prop_assert_eq!(sum, a.critical.length);
+    }
+
+    #[test]
+    fn levels_are_consistent(g in arb_dag()) {
+        let a = CdagAnalysis::analyse(&g).expect("acyclic");
+        for u in g.node_ids() {
+            // b-level of a node ≥ its own cost.
+            prop_assert!(a.b_level[u] >= g.node(u).cost);
+            // t-level + b-level never exceeds the critical length.
+            prop_assert!(a.t_level[u] + a.b_level[u] <= a.critical.length);
+            // Each predecessor finishes before the node can start.
+            for e in g.preds(u) {
+                prop_assert!(a.t_level[u] >= a.t_level[e.from] + g.node(e.from).cost);
+            }
+        }
+        // Average parallelism is at least 1 for non-empty graphs.
+        if g.node_count() > 0 {
+            prop_assert!(a.avg_parallelism >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn hints_priorities_in_range(g in arb_dag()) {
+        let a = CdagAnalysis::analyse(&g).expect("acyclic");
+        let hints = a.hints(&g);
+        prop_assert_eq!(hints.len(), g.node_count());
+        let critical: std::collections::HashSet<_> = a.critical.nodes.iter().collect();
+        for (u, h) in hints.iter().enumerate() {
+            if critical.contains(&u) {
+                prop_assert_eq!(h.priority, sdvm_types::Priority::CRITICAL);
+            } else {
+                prop_assert!(h.priority.0 >= 0 && h.priority.0 < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_produce_valid_graphs(
+        n in 1usize..30,
+        width in 1usize..16,
+        cost in 1u64..1000,
+        seed in any::<u64>(),
+    ) {
+        for g in [
+            generators::chain(n, cost),
+            generators::fork_join(1, width, cost, 1),
+            generators::iterative_fork_join(n.min(6), width, cost),
+            generators::layered_random(n.min(8), width, seed),
+            generators::reduction_tree(width, cost),
+            generators::wavefront(width.min(8), cost),
+        ] {
+            g.topo_order().expect("generator output must be acyclic");
+            let a = CdagAnalysis::analyse(&g).expect("analysable");
+            prop_assert!(a.critical.length <= g.total_work());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-site configuration.
+
+use sdvm_types::{IdAllocStrategy, PlatformId, QueuePolicy};
+use std::time::Duration;
+
+/// Configuration of one SDVM site (daemon).
+#[derive(Clone, Debug)]
+pub struct SiteConfig {
+    /// Platform id of this machine (architecture + OS); drives the code
+    /// manager's binary-vs-source decisions on heterogeneous clusters.
+    pub platform: PlatformId,
+    /// Relative CPU speed announced to the cluster (1.0 = reference).
+    pub speed: f64,
+    /// Number of microthreads executed in (virtual) parallel by the
+    /// processing manager to hide memory/communication latency. The paper
+    /// found "about 5" to work well (§4); experiment E3 sweeps this.
+    pub slots: usize,
+    /// Local scheduling discipline (paper: FIFO, against starvation).
+    pub local_policy: QueuePolicy,
+    /// Discipline used when answering help requests (paper: LIFO, for
+    /// latency hiding).
+    pub help_policy: QueuePolicy,
+    /// Start password enabling the security manager; `None` runs the
+    /// cluster unencrypted ("insular cluster", §4).
+    pub password: Option<String>,
+    /// Volunteer as a code distribution site (stores every microthread).
+    pub code_distribution: bool,
+    /// Simulated duration of compiling a microthread's source on the fly.
+    pub compile_latency: Duration,
+    /// Simulated per-artifact transfer cost added when receiving binary
+    /// code (zero by default; E10 uses it).
+    pub binary_fetch_latency: Duration,
+    /// How logical site ids are allocated (paper discusses three concepts).
+    pub id_alloc: IdAllocStrategy,
+    /// Mirror frames/objects to a backup site and recover them when a
+    /// site crashes (the paper's crash management, §2.2/\[4\]).
+    pub crash_tolerance: bool,
+    /// Heartbeat gossip period.
+    pub heartbeat_interval: Duration,
+    /// Silence after which a site is declared crashed (when crash
+    /// tolerance is on).
+    pub crash_timeout: Duration,
+    /// How long an idle worker waits for a help reply before trying the
+    /// next site.
+    pub help_timeout: Duration,
+    /// Timeout for blocking remote operations (memory reads, code fetch).
+    pub request_timeout: Duration,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        SiteConfig {
+            platform: PlatformId(0),
+            speed: 1.0,
+            slots: 5,
+            local_policy: QueuePolicy::Fifo,
+            help_policy: QueuePolicy::Lifo,
+            password: None,
+            code_distribution: false,
+            compile_latency: Duration::from_millis(20),
+            binary_fetch_latency: Duration::ZERO,
+            id_alloc: IdAllocStrategy::CentralServer,
+            crash_tolerance: false,
+            heartbeat_interval: Duration::from_millis(100),
+            crash_timeout: Duration::from_millis(600),
+            help_timeout: Duration::from_millis(100),
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl SiteConfig {
+    /// Shorthand: default config with crash tolerance enabled.
+    pub fn with_crash_tolerance(mut self) -> Self {
+        self.crash_tolerance = true;
+        self
+    }
+
+    /// Shorthand: default config with the given start password.
+    pub fn with_password(mut self, pw: &str) -> Self {
+        self.password = Some(pw.to_string());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SiteConfig::default();
+        assert_eq!(c.slots, 5, "paper: about 5 virtual-parallel microthreads");
+        assert_eq!(c.local_policy, QueuePolicy::Fifo);
+        assert_eq!(c.help_policy, QueuePolicy::Lifo);
+        assert!(c.password.is_none(), "security off by default on insular clusters");
+    }
+
+    #[test]
+    fn builders() {
+        let c = SiteConfig::default().with_crash_tolerance().with_password("pw");
+        assert!(c.crash_tolerance);
+        assert_eq!(c.password.as_deref(), Some("pw"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Microframes: dataflow argument containers (paper §3.1–3.2, Fig. 2).
+//!
+//! A microframe holds parameter slots, a pointer to its microthread, and
+//! the target addresses its results go to. It becomes *executable* once
+//! every slot is filled (dataflow firing) and is *consumed* by execution.
+
+use sdvm_types::{
+    GlobalAddress, MicrothreadId, ProgramId, SchedulingHint, SdvmError, SdvmResult, Value,
+};
+use sdvm_wire::WireFrame;
+
+/// A runtime microframe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Microframe {
+    /// Global id (the frame is a special attraction-memory object).
+    pub id: GlobalAddress,
+    /// The microthread this frame fires.
+    pub thread: MicrothreadId,
+    /// Parameter slots (`None` = still missing).
+    pub slots: Vec<Option<Value>>,
+    /// Statically known result target addresses, available to the
+    /// microthread at execution time.
+    pub targets: Vec<GlobalAddress>,
+    /// Scheduling hint (priority, stickiness).
+    pub hint: SchedulingHint,
+    missing: usize,
+}
+
+impl Microframe {
+    /// A fresh frame waiting for `nslots` parameters.
+    pub fn new(
+        id: GlobalAddress,
+        thread: MicrothreadId,
+        nslots: usize,
+        targets: Vec<GlobalAddress>,
+        hint: SchedulingHint,
+    ) -> Self {
+        Microframe { id, thread, slots: vec![None; nslots], targets, hint, missing: nslots }
+    }
+
+    /// The program this frame belongs to.
+    pub fn program(&self) -> ProgramId {
+        self.thread.program
+    }
+
+    /// Parameters still missing.
+    pub fn missing(&self) -> usize {
+        self.missing
+    }
+
+    /// True once every parameter has arrived.
+    pub fn is_executable(&self) -> bool {
+        self.missing == 0
+    }
+
+    /// Apply a result to a slot. Returns `true` if the frame just became
+    /// executable. Filling an out-of-range or already-filled slot is an
+    /// error (each slot receives exactly one result).
+    pub fn apply(&mut self, slot: u32, value: Value) -> SdvmResult<bool> {
+        let idx = slot as usize;
+        if idx >= self.slots.len() {
+            return Err(SdvmError::FrameSlot { frame: self.id, slot, reason: "out of range" });
+        }
+        if self.slots[idx].is_some() {
+            return Err(SdvmError::FrameSlot { frame: self.id, slot, reason: "already filled" });
+        }
+        self.slots[idx] = Some(value);
+        self.missing -= 1;
+        Ok(self.missing == 0)
+    }
+
+    /// Read a filled parameter.
+    pub fn param(&self, slot: u32) -> SdvmResult<&Value> {
+        self.slots
+            .get(slot as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or(SdvmError::FrameSlot { frame: self.id, slot, reason: "not filled" })
+    }
+
+    /// Serialize for the wire (help replies, relocation, backups).
+    pub fn to_wire(&self) -> WireFrame {
+        WireFrame {
+            id: self.id,
+            thread: self.thread,
+            slots: self.slots.clone(),
+            targets: self.targets.clone(),
+            hint: self.hint,
+        }
+    }
+
+    /// Reconstruct from the wire.
+    pub fn from_wire(w: WireFrame) -> Self {
+        let missing = w.slots.iter().filter(|s| s.is_none()).count();
+        Microframe {
+            id: w.id,
+            thread: w.thread,
+            slots: w.slots,
+            targets: w.targets,
+            hint: w.hint,
+            missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvm_types::SiteId;
+
+    fn mk(nslots: usize) -> Microframe {
+        Microframe::new(
+            GlobalAddress::new(SiteId(1), 1),
+            MicrothreadId::new(ProgramId(1), 0),
+            nslots,
+            vec![GlobalAddress::new(SiteId(1), 2)],
+            SchedulingHint::default(),
+        )
+    }
+
+    #[test]
+    fn dataflow_firing_rule() {
+        let mut f = mk(3);
+        assert!(!f.is_executable());
+        assert!(!f.apply(0, Value::from_u64(1)).unwrap());
+        assert!(!f.apply(2, Value::from_u64(3)).unwrap());
+        assert_eq!(f.missing(), 1);
+        assert!(f.apply(1, Value::from_u64(2)).unwrap(), "last param fires");
+        assert!(f.is_executable());
+    }
+
+    #[test]
+    fn zero_slot_frame_is_born_executable() {
+        let f = mk(0);
+        assert!(f.is_executable());
+    }
+
+    #[test]
+    fn double_apply_rejected() {
+        let mut f = mk(2);
+        f.apply(0, Value::from_u64(1)).unwrap();
+        let err = f.apply(0, Value::from_u64(9)).unwrap_err();
+        assert!(matches!(err, SdvmError::FrameSlot { reason: "already filled", .. }));
+        assert_eq!(f.missing(), 1, "failed apply must not consume a slot");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut f = mk(1);
+        assert!(matches!(
+            f.apply(5, Value::empty()),
+            Err(SdvmError::FrameSlot { reason: "out of range", .. })
+        ));
+    }
+
+    #[test]
+    fn param_access() {
+        let mut f = mk(2);
+        f.apply(1, Value::from_i64(-7)).unwrap();
+        assert_eq!(f.param(1).unwrap().as_i64().unwrap(), -7);
+        assert!(f.param(0).is_err(), "unfilled slot");
+        assert!(f.param(9).is_err(), "out of range");
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_missing_count() {
+        let mut f = mk(3);
+        f.apply(1, Value::from_u64(5)).unwrap();
+        let back = Microframe::from_wire(f.to_wire());
+        assert_eq!(back, f);
+        assert_eq!(back.missing(), 2);
+    }
+}

@@ -1,0 +1,821 @@
+//! The cluster manager (paper §4): cluster list, sign-on/sign-off,
+//! logical-id allocation, help-target selection, heartbeats and crash
+//! detection.
+//!
+//! The paper discusses three concepts for creating unique logical site
+//! ids — a central contact site, id contingents handed to several id
+//! servers, and a fixed number of servers emitting their residue class
+//! modulo the server count. All three are implemented and compared in
+//! experiment E8.
+
+use crate::site::{SiteInner, Task};
+use crate::trace::TraceEvent;
+use parking_lot::Mutex;
+use sdvm_types::{
+    IdAllocStrategy, LoadReport, ManagerId, PhysicalAddr, SdvmError, SdvmResult, SiteDescriptor,
+    SiteId,
+};
+use sdvm_wire::{Payload, SdMessage};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Id-allocation state of this site.
+enum AllocState {
+    /// Not an id server (forwards to one).
+    Client,
+    /// The central server's counter.
+    Central { next: u32 },
+    /// Contingents: ranges of free ids this site may hand out.
+    Ranges { ranges: Vec<(u32, u32)> },
+    /// Modulo server: slot `s` (0-based) among `servers` emits ids
+    /// congruent to `s+1` (mod servers).
+    Modulo { slot: u32, servers: u32, next: u32 },
+}
+
+struct ClusterState {
+    me: Option<SiteDescriptor>,
+    sites: HashMap<SiteId, SiteDescriptor>,
+    loads: HashMap<SiteId, LoadReport>,
+    last_heard: HashMap<SiteId, Instant>,
+    /// Departed site → inheritor of its homesite-directory role.
+    succession: HashMap<SiteId, SiteId>,
+    announced_to: HashSet<SiteId>,
+    /// Logical ids handed out by this site but not yet visible in
+    /// `sites` (the learn() happens after the ack): prevents two
+    /// concurrent sign-ons from receiving the same bootstrap id.
+    handed_out: HashSet<u32>,
+    alloc: AllocState,
+    rr: usize,
+    hb_rr: usize,
+}
+
+/// The cluster manager of one site.
+pub struct ClusterManager {
+    state: Mutex<ClusterState>,
+    strategy: IdAllocStrategy,
+    crash_tolerance: bool,
+    crash_timeout: Duration,
+}
+
+impl ClusterManager {
+    /// Build from the site config.
+    pub fn new(config: &crate::config::SiteConfig) -> Self {
+        ClusterManager {
+            state: Mutex::new(ClusterState {
+                me: None,
+                sites: HashMap::new(),
+                loads: HashMap::new(),
+                last_heard: HashMap::new(),
+                succession: HashMap::new(),
+                announced_to: HashSet::new(),
+                handed_out: HashSet::new(),
+                alloc: AllocState::Client,
+                rr: 0,
+                hb_rr: 0,
+            }),
+            strategy: config.id_alloc,
+            crash_tolerance: config.crash_tolerance,
+            crash_timeout: config.crash_timeout,
+        }
+    }
+
+    /// Initialize as the first site of a fresh cluster (id server role).
+    pub fn init_first(&self, site: &SiteInner) {
+        let mut st = self.state.lock();
+        let mut desc = self.build_descriptor(site);
+        // The first site implicitly acts as a code distribution site
+        // (paper: "the site where the SDVM application was started, is
+        // implicitly a code distribution site").
+        desc.code_distribution = true;
+        st.sites.insert(desc.site, desc.clone());
+        st.me = Some(desc);
+        st.alloc = match self.strategy {
+            IdAllocStrategy::CentralServer => AllocState::Central { next: 2 },
+            IdAllocStrategy::Contingents { .. } => {
+                AllocState::Ranges { ranges: vec![(2, u32::MAX / 2)] }
+            }
+            IdAllocStrategy::Modulo { servers } => {
+                AllocState::Modulo { slot: 0, servers, next: 1 + servers }
+            }
+        };
+    }
+
+    fn build_descriptor(&self, site: &SiteInner) -> SiteDescriptor {
+        SiteDescriptor {
+            site: site.my_id(),
+            addr: site.transport.local_addr(),
+            platform: site.config.platform,
+            speed: site.config.speed,
+            code_distribution: site.config.code_distribution,
+        }
+    }
+
+    /// This site's current descriptor.
+    pub fn my_descriptor(&self, site: &SiteInner) -> SiteDescriptor {
+        self.state
+            .lock()
+            .me
+            .clone()
+            .unwrap_or_else(|| self.build_descriptor(site))
+    }
+
+    /// Current load report of this site (for gossip and help requests).
+    pub fn my_load(&self, site: &SiteInner) -> LoadReport {
+        let (queued_frames, busy_slots) = site.scheduling.load_numbers();
+        let (objects, _frames, memory_bytes) = site.memory.stats();
+        let _ = objects;
+        LoadReport {
+            queued_frames,
+            busy_slots,
+            programs: site.program.active_count(),
+            memory_bytes,
+            epoch: site.scheduling.next_epoch(),
+        }
+    }
+
+    // ---- membership ----
+
+    /// Join a cluster through `contact` (blocking handshake, §3.4).
+    pub fn sign_on(&self, site: &SiteInner, contact: &PhysicalAddr) -> SdvmResult<()> {
+        let descriptor = self.build_descriptor(site); // id still NONE
+        let reply = site.request_addr(
+            contact,
+            ManagerId::Cluster,
+            ManagerId::Cluster,
+            Payload::SignOn { descriptor },
+            site.config.request_timeout,
+        )?;
+        match reply.payload {
+            Payload::SignOnAck { assigned, cluster } => {
+                site.set_id(assigned);
+                let mut st = self.state.lock();
+                let mut desc = self.build_descriptor(site);
+                desc.site = assigned;
+                st.sites.insert(assigned, desc.clone());
+                st.me = Some(desc);
+                // Assume the id-server role this strategy gives us:
+                // contingent sites hold ranges (granted by the acker in a
+                // follow-up IdBlockGrant, or begged on demand); the first
+                // `servers` sites under the modulo concept emit their
+                // residue class autonomously.
+                st.alloc = match self.strategy {
+                    IdAllocStrategy::CentralServer => AllocState::Client,
+                    // The acker's follow-up IdBlockGrant may have been
+                    // processed by the router before this waiter thread
+                    // ran — never wipe an already-granted range.
+                    IdAllocStrategy::Contingents { .. } => match std::mem::replace(
+                        &mut st.alloc,
+                        AllocState::Client,
+                    ) {
+                        existing @ AllocState::Ranges { .. } => existing,
+                        _ => AllocState::Ranges { ranges: vec![] },
+                    },
+                    IdAllocStrategy::Modulo { servers } if assigned.0 <= servers => {
+                        AllocState::Modulo {
+                            slot: assigned.0 - 1,
+                            servers,
+                            next: assigned.0 + servers,
+                        }
+                    }
+                    IdAllocStrategy::Modulo { .. } => AllocState::Client,
+                };
+                let now = Instant::now();
+                for d in cluster {
+                    if d.site != assigned {
+                        st.last_heard.insert(d.site, now);
+                        st.sites.insert(d.site, d);
+                    }
+                }
+                // The contact knows us (it acked); others learn
+                // epidemically with normal traffic.
+                st.announced_to.insert(reply.src_site);
+                Ok(())
+            }
+            Payload::SignOnRefused { reason } => {
+                Err(SdvmError::InvalidState(format!("sign-on refused: {reason}")))
+            }
+            other => Err(SdvmError::InvalidState(format!(
+                "unexpected sign-on reply {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Orderly departure: relocate everything owned here, hand the
+    /// directory role to a successor, announce, and leave.
+    pub fn sign_off(&self, site: &SiteInner) -> SdvmResult<()> {
+        let me = site.my_id();
+        let Some(successor) = self.successor_of(me) else {
+            return Ok(()); // last site: nothing to relocate to
+        };
+        // Quiesce: the draining flag (set by Site::sign_off) stops the
+        // workers from taking new frames; wait for the ones already
+        // executing to finish, then let any in-flight help replies and
+        // results settle before cutting. Iterate until a drain pass finds
+        // nothing new.
+        let deadline = Instant::now() + site.config.request_timeout;
+        loop {
+            let (_, busy) = site.scheduling.load_numbers();
+            if busy == 0 || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(site.config.help_timeout);
+        // Collect everything: queued frames + incomplete frames + objects
+        // + our homesite directory.
+        let mut frames: Vec<_> =
+            site.scheduling.drain_all().into_iter().map(|f| f.to_wire()).collect();
+        let (objects, mem_frames, directory) = site.memory.drain_for_relocation();
+        frames.extend(mem_frames.into_iter().map(|f| f.to_wire()));
+        let restore_on_failure = |err: SdvmError| -> SdvmError {
+            // The successor never took ownership: put everything back so
+            // the caller can retry or keep running — destroying drained
+            // state on a failed hand-over would lose the program's work.
+            for f in &frames {
+                site.memory.adopt_frame(site, crate::frame::Microframe::from_wire(f.clone()));
+            }
+            for o in &objects {
+                site.memory.adopt_object(site, o.clone());
+            }
+            err
+        };
+        let reply = match site.request(
+            successor,
+            ManagerId::Memory,
+            ManagerId::Memory,
+            Payload::Relocate {
+                objects: objects.clone(),
+                frames: frames.clone(),
+                directory,
+            },
+            site.config.request_timeout,
+        ) {
+            Ok(r) => r,
+            Err(e) => return Err(restore_on_failure(e)),
+        };
+        if !matches!(reply.payload, Payload::RelocateAck {}) {
+            return Err(restore_on_failure(SdvmError::InvalidState(
+                "relocation not acknowledged".into(),
+            )));
+        }
+        // Tell everyone (including the successor) that we are gone and
+        // who inherited our directory role.
+        let peers = self.known_sites();
+        for p in peers {
+            if p != me {
+                let _ = site.send_payload(
+                    p,
+                    ManagerId::Cluster,
+                    ManagerId::Cluster,
+                    site.next_seq(),
+                    Payload::SignOff { site: me, successor },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Learn about a site (sign-on ack, announce, gossip, first help
+    /// request).
+    pub fn learn(&self, site: &SiteInner, d: SiteDescriptor) {
+        if d.site == site.my_id() || !d.site.is_valid() {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.last_heard.insert(d.site, Instant::now());
+        let is_new = st.sites.insert(d.site, d.clone()).is_none();
+        drop(st);
+        if is_new {
+            site.emit(TraceEvent::SiteJoined { site: site.my_id(), joined: d.site });
+        }
+    }
+
+    /// Record a load report (heartbeat or help-request gossip).
+    pub fn note_load(&self, from: SiteId, load: LoadReport) {
+        if !from.is_valid() {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.last_heard.insert(from, Instant::now());
+        st.loads.entry(from).or_default().merge(&load);
+    }
+
+    /// Physical address of a logical site.
+    pub fn addr_of(&self, id: SiteId) -> Option<PhysicalAddr> {
+        self.state.lock().sites.get(&id).map(|d| d.addr.clone())
+    }
+
+    /// All currently known member ids (including self once assigned).
+    pub fn known_sites(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.state.lock().sites.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Known code distribution sites.
+    pub fn code_distribution_sites(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self
+            .state
+            .lock()
+            .sites
+            .values()
+            .filter(|d| d.code_distribution)
+            .map(|d| d.site)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether we already sent our descriptor to `target` (the first help
+    /// request to a site carries it, doubling as the join announcement).
+    pub fn announced(&self, target: SiteId) -> bool {
+        !self.state.lock().announced_to.insert(target)
+    }
+
+    /// The next alive site after `of` in id order (ring) — used as
+    /// relocation target, directory successor and backup buddy.
+    pub fn successor_of(&self, of: SiteId) -> Option<SiteId> {
+        let st = self.state.lock();
+        let mut ids: Vec<SiteId> = st.sites.keys().copied().collect();
+        ids.sort_unstable();
+        ids.retain(|&s| s != of);
+        if ids.is_empty() {
+            return None;
+        }
+        ids.iter().copied().find(|&s| s > of).or_else(|| ids.first().copied())
+    }
+
+    /// Follow the succession chain of departed sites to a live one.
+    pub fn resolve_succession(&self, mut home: SiteId) -> SiteId {
+        let st = self.state.lock();
+        for _ in 0..16 {
+            match st.succession.get(&home) {
+                Some(&next) => home = next,
+                None => break,
+            }
+        }
+        home
+    }
+
+    /// Choose a site to send a help request to: prefer the busiest known
+    /// site (it most probably has spare work), round-robin otherwise.
+    pub fn pick_help_target(&self, site: &SiteInner) -> Option<SiteId> {
+        let me = site.my_id();
+        let mut st = self.state.lock();
+        let mut candidates: Vec<SiteId> =
+            st.sites.keys().copied().filter(|&s| s != me).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.sort_unstable();
+        let busiest = candidates
+            .iter()
+            .copied()
+            .max_by_key(|s| st.loads.get(s).map(|l| l.busyness()).unwrap_or(0));
+        let best = busiest.filter(|s| {
+            st.loads.get(s).map(|l| l.busyness()).unwrap_or(0) > 0
+        });
+        Some(match best {
+            Some(s) => s,
+            None => {
+                let idx = st.rr % candidates.len();
+                st.rr = st.rr.wrapping_add(1);
+                candidates[idx]
+            }
+        })
+    }
+
+    // ---- id allocation (the three concepts of §4) ----
+
+    /// Try to allocate a logical id locally. `Ok(None)` means this site
+    /// cannot allocate and the request must be forwarded to `forward_to`.
+    fn allocate_id(&self) -> AllocOutcome {
+        let mut st = self.state.lock();
+        let mut existing: Vec<u32> = st.sites.keys().map(|s| s.0).collect();
+        existing.extend(st.handed_out.iter().copied());
+        match &mut st.alloc {
+            AllocState::Central { next } => {
+                let id = *next;
+                *next += 1;
+                AllocOutcome::Allocated(SiteId(id))
+            }
+            AllocState::Ranges { ranges } => {
+                while let Some((lo, hi)) = ranges.last_mut() {
+                    if lo <= hi {
+                        let id = *lo;
+                        *lo += 1;
+                        return AllocOutcome::Allocated(SiteId(id));
+                    }
+                    ranges.pop();
+                }
+                AllocOutcome::NeedBlock
+            }
+            AllocState::Modulo { slot, servers, next } => {
+                let k = *servers;
+                // Bootstrap: the first site fills the server slots 2..=k
+                // sequentially so each residue class gets an emitter.
+                if *slot == 0 {
+                    if let Some(boot) = (2..=k).find(|id| !existing.contains(id)) {
+                        st.handed_out.insert(boot);
+                        return AllocOutcome::Allocated(SiteId(boot));
+                    }
+                }
+                let id = *next;
+                *next += k;
+                AllocOutcome::Allocated(SiteId(id))
+            }
+            AllocState::Client => AllocOutcome::Forward,
+        }
+    }
+
+    fn id_server_target(&self) -> Option<SiteId> {
+        // Central strategy: the first site is the server. Modulo: any of
+        // the first `servers` ids. Contingents: any site may have ids.
+        let st = self.state.lock();
+        match self.strategy {
+            IdAllocStrategy::CentralServer => {
+                st.sites.contains_key(&SiteId::FIRST).then_some(SiteId::FIRST)
+            }
+            IdAllocStrategy::Modulo { servers } => (1..=servers)
+                .map(SiteId)
+                .find(|s| st.sites.contains_key(s)),
+            IdAllocStrategy::Contingents { .. } => {
+                st.sites.keys().copied().min() // ask the oldest site
+            }
+        }
+    }
+
+    // ---- heartbeats & crash detection ----
+
+    /// One maintenance tick: gossip load, detect crashes.
+    pub fn heartbeat_tick(&self, site: &SiteInner) {
+        let me = site.my_id();
+        if !me.is_valid() {
+            return;
+        }
+        let load = self.my_load(site);
+        let targets: Vec<SiteId> = {
+            let mut st = self.state.lock();
+            let mut ids: Vec<SiteId> =
+                st.sites.keys().copied().filter(|&s| s != me).collect();
+            ids.sort_unstable();
+            if ids.is_empty() {
+                Vec::new()
+            } else {
+                let start = st.hb_rr;
+                st.hb_rr = st.hb_rr.wrapping_add(1);
+                (0..ids.len().min(3)).map(|i| ids[(start + i) % ids.len()]).collect()
+            }
+        };
+        for t in targets {
+            let _ = site.send_payload(
+                t,
+                ManagerId::Cluster,
+                ManagerId::Cluster,
+                site.next_seq(),
+                Payload::Heartbeat { load },
+            );
+        }
+        if self.crash_tolerance {
+            self.detect_crashes(site);
+        }
+    }
+
+    fn detect_crashes(&self, site: &SiteInner) {
+        let me = site.my_id();
+        let now = Instant::now();
+        let dead: Vec<SiteId> = {
+            let st = self.state.lock();
+            st.sites
+                .keys()
+                .copied()
+                .filter(|&s| s != me)
+                .filter(|s| {
+                    st.last_heard
+                        .get(s)
+                        .map(|t| now.duration_since(*t) > self.crash_timeout)
+                        .unwrap_or(false)
+                })
+                .collect()
+        };
+        for d in dead {
+            self.declare_crashed(site, d, true);
+        }
+    }
+
+    /// Remove a site as crashed, computing the successor locally (the
+    /// detector's path); see [`ClusterManager::declare_crashed_with`].
+    pub fn declare_crashed(&self, site: &SiteInner, dead: SiteId, originator: bool) {
+        self.declare_crashed_with(site, dead, originator, None)
+    }
+
+    /// Remove a site as crashed; `originator` broadcasts the verdict.
+    /// `announced` carries the successor chosen by whoever detected the
+    /// crash first — all sites must install the *same* succession entry,
+    /// so a broadcast verdict always wins over a local recomputation
+    /// (membership views can diverge transiently).
+    pub fn declare_crashed_with(
+        &self,
+        site: &SiteInner,
+        dead: SiteId,
+        originator: bool,
+        announced: Option<SiteId>,
+    ) {
+        let successor = {
+            let mut st = self.state.lock();
+            if st.sites.remove(&dead).is_none() {
+                return; // already handled
+            }
+            st.loads.remove(&dead);
+            st.last_heard.remove(&dead);
+            st.announced_to.remove(&dead);
+            let successor = announced.unwrap_or_else(|| {
+                let mut ids: Vec<SiteId> = st.sites.keys().copied().collect();
+                ids.sort_unstable();
+                ids.iter()
+                    .copied()
+                    .find(|&s| s > dead)
+                    .or_else(|| ids.first().copied())
+                    .unwrap_or(site.my_id())
+            });
+            st.succession.insert(dead, successor);
+            successor
+        };
+        site.emit(TraceEvent::SiteGone { site: site.my_id(), gone: dead, crashed: true });
+        site.security.forget(dead);
+        // The dead site's homesite directory died with it: re-register
+        // our locally owned state homed there with the successor.
+        site.memory.reregister_after_crash(site, dead, successor);
+        if originator {
+            for p in self.known_sites() {
+                if p != site.my_id() {
+                    let _ = site.send_payload(
+                        p,
+                        ManagerId::Cluster,
+                        ManagerId::Cluster,
+                        site.next_seq(),
+                        Payload::SiteCrashed { site: dead, successor },
+                    );
+                }
+            }
+        }
+        // Revive whatever we hold in backup for the dead site.
+        site.spawn_task(Task::Recover { dead });
+    }
+
+    /// Handle an incoming cluster-manager message.
+    pub fn handle(&self, site: &SiteInner, msg: SdMessage) {
+        match msg.payload.clone() {
+            Payload::SignOn { descriptor } => {
+                // Id allocation may require remote calls — helper thread.
+                // A joiner has no id yet and is answered at its physical
+                // address; a *forwarded* sign-on (from a contact site that
+                // is no id server) is answered like any normal request.
+                let reply_addr = if msg.src_site.is_valid() {
+                    self.addr_of(msg.src_site).unwrap_or_else(|| descriptor.addr.clone())
+                } else {
+                    descriptor.addr.clone()
+                };
+                site.spawn_task(Task::SignOn { msg, reply_addr });
+            }
+            Payload::SiteAnnounce { descriptor } => self.learn(site, descriptor),
+            Payload::SignOff { site: gone, successor } => {
+                let mut st = self.state.lock();
+                st.sites.remove(&gone);
+                st.loads.remove(&gone);
+                st.last_heard.remove(&gone);
+                st.announced_to.remove(&gone);
+                st.succession.insert(gone, successor);
+                drop(st);
+                site.security.forget(gone);
+                site.emit(TraceEvent::SiteGone { site: site.my_id(), gone, crashed: false });
+            }
+            Payload::Heartbeat { load } => self.note_load(msg.src_site, load),
+            Payload::ClusterListRequest {} => {
+                let sites = self.state.lock().sites.values().cloned().collect();
+                site.reply_to(&msg, ManagerId::Cluster, Payload::ClusterList { sites });
+            }
+            Payload::ClusterList { sites } => {
+                for d in sites {
+                    self.learn(site, d);
+                }
+            }
+            Payload::IdBlockRequest {} => {
+                // Contingents: split our youngest range in half.
+                let grant = {
+                    let mut st = self.state.lock();
+                    if let AllocState::Ranges { ranges } = &mut st.alloc {
+                        ranges
+                            .iter_mut()
+                            .rev()
+                            .find(|(lo, hi)| hi.saturating_sub(*lo) >= 1)
+                            .map(|(lo, hi)| {
+                                let mid = *lo + (*hi - *lo) / 2;
+                                let grant = (mid + 1, *hi);
+                                *hi = mid;
+                                grant
+                            })
+                    } else {
+                        None
+                    }
+                };
+                let payload = match grant {
+                    Some((start, end)) => {
+                        Payload::IdBlockGrant { start, len: end - start + 1 }
+                    }
+                    None => Payload::IdBlockGrant { start: 0, len: 0 },
+                };
+                site.reply_to(&msg, ManagerId::Cluster, payload);
+            }
+            Payload::IdBlockGrant { start, len } => {
+                // Unsolicited grant: the contingent handed to us during
+                // our own sign-on (paper: id servers "are given a
+                // contingent of free ids during their own sign on").
+                if std::env::var_os("SDVM_DEBUG").is_some() {
+                    eprintln!("[dbg site{}] got IdBlockGrant start={start} len={len}", site.my_id().0);
+                }
+                if len > 0 && matches!(self.strategy, IdAllocStrategy::Contingents { .. }) {
+                    let mut st = self.state.lock();
+                    // The grant may race our own sign-on completion;
+                    // become a range holder either way.
+                    if !matches!(st.alloc, AllocState::Ranges { .. }) {
+                        st.alloc = AllocState::Ranges { ranges: vec![] };
+                    }
+                    if let AllocState::Ranges { ranges } = &mut st.alloc {
+                        ranges.push((start, start + len - 1));
+                    }
+                }
+            }
+            Payload::SiteCrashed { site: dead, successor } => {
+                {
+                    let mut st = self.state.lock();
+                    st.succession.insert(dead, successor);
+                }
+                // Adopt the originator's successor verbatim so the whole
+                // cluster agrees on the directory inheritor.
+                self.declare_crashed_with(site, dead, false, Some(successor));
+            }
+            other => {
+                site.reply_to(
+                    &msg,
+                    ManagerId::Cluster,
+                    Payload::Error { message: format!("cluster: unexpected {}", other.name()) },
+                );
+            }
+        }
+    }
+}
+
+enum AllocOutcome {
+    Allocated(SiteId),
+    /// Contingents exhausted: must fetch a block first.
+    NeedBlock,
+    /// Not an id server: forward to one.
+    Forward,
+}
+
+/// Helper-thread handling of a sign-on request (may block on remote id
+/// servers — the router must not).
+pub(crate) fn handle_signon_blocking(site: &SiteInner, msg: SdMessage, reply_addr: PhysicalAddr) {
+    let Payload::SignOn { descriptor } = msg.payload.clone() else {
+        return;
+    };
+    let outcome = site.cluster.allocate_id();
+    let assigned = match outcome {
+        AllocOutcome::Allocated(id) => Some(id),
+        AllocOutcome::NeedBlock => {
+            // Contingents: beg peers for a block, then retry once.
+            let mut got = false;
+            for peer in site.cluster.known_sites() {
+                if peer == site.my_id() {
+                    continue;
+                }
+                if let Ok(reply) = site.request(
+                    peer,
+                    ManagerId::Cluster,
+                    ManagerId::Cluster,
+                    Payload::IdBlockRequest {},
+                    site.config.request_timeout,
+                ) {
+                    if let Payload::IdBlockGrant { start, len } = reply.payload {
+                        if len > 0 {
+                            let mut st = site.cluster.state.lock();
+                            if let AllocState::Ranges { ranges } = &mut st.alloc {
+                                ranges.push((start, start + len - 1));
+                                got = true;
+                            }
+                        }
+                    }
+                }
+                if got {
+                    break;
+                }
+            }
+            match site.cluster.allocate_id() {
+                AllocOutcome::Allocated(id) => Some(id),
+                _ => None,
+            }
+        }
+        AllocOutcome::Forward => {
+            // Ask an id server to run the whole sign-on; relay its answer.
+            match site.cluster.id_server_target() {
+                Some(server) if server != site.my_id() => {
+                    match site.request(
+                        server,
+                        ManagerId::Cluster,
+                        ManagerId::Cluster,
+                        Payload::SignOn { descriptor: descriptor.clone() },
+                        site.config.request_timeout,
+                    ) {
+                        Ok(reply) => match reply.payload {
+                            Payload::SignOnAck { assigned, cluster } => {
+                                // Learn what the server told the joiner.
+                                for d in &cluster {
+                                    site.cluster.learn(site, d.clone());
+                                }
+                                let r = msg.reply(
+                                    site.next_seq(),
+                                    ManagerId::Cluster,
+                                    Payload::SignOnAck { assigned, cluster },
+                                );
+                                let _ = site.send_msg_to_addr(&reply_addr, r);
+                                return;
+                            }
+                            _ => None,
+                        },
+                        Err(_) => None,
+                    }
+                }
+                _ => None,
+            }
+        }
+    };
+    let Some(assigned) = assigned else {
+        let r = msg.reply(
+            site.next_seq(),
+            ManagerId::Cluster,
+            Payload::SignOnRefused { reason: "no id server reachable / id space exhausted".into() },
+        );
+        let _ = site.send_msg_to_addr(&reply_addr, r);
+        return;
+    };
+    // Record the newcomer and answer with the current cluster view.
+    let mut d = descriptor;
+    d.site = assigned;
+    site.cluster.learn(site, d.clone());
+    let cluster_list: Vec<SiteDescriptor> =
+        site.cluster.state.lock().sites.values().cloned().collect();
+    let r = msg.reply(
+        site.next_seq(),
+        ManagerId::Cluster,
+        Payload::SignOnAck { assigned, cluster: cluster_list },
+    );
+    let _ = site.send_msg_to_addr(&reply_addr, r);
+    // Under the contingents concept, hand the newcomer its own block of
+    // free ids (split off ours) so it can serve joins itself.
+    let grant = {
+        let mut st = site.cluster.state.lock();
+        if let AllocState::Ranges { ranges } = &mut st.alloc {
+            ranges
+                .iter_mut()
+                .rev()
+                .find(|(lo, hi)| hi.saturating_sub(*lo) >= 1)
+                .map(|(lo, hi)| {
+                    let mid = *lo + (*hi - *lo) / 2;
+                    let g = (mid + 1, *hi);
+                    *hi = mid;
+                    g
+                })
+        } else {
+            None
+        }
+    };
+    if let Some((start, end)) = grant {
+        if std::env::var_os("SDVM_DEBUG").is_some() {
+            eprintln!(
+                "[dbg site{}] granting block {start}..={end} to {assigned}",
+                site.my_id().0
+            );
+        }
+        let _ = site.send_payload(
+            assigned,
+            ManagerId::Cluster,
+            ManagerId::Cluster,
+            site.next_seq(),
+            Payload::IdBlockGrant { start, len: end - start + 1 },
+        );
+    }
+    // Propagate the newcomer to everyone else.
+    for p in site.cluster.known_sites() {
+        if p != site.my_id() && p != assigned {
+            let _ = site.send_payload(
+                p,
+                ManagerId::Cluster,
+                ManagerId::Cluster,
+                site.next_seq(),
+                Payload::SiteAnnounce { descriptor: d.clone() },
+            );
+        }
+    }
+}

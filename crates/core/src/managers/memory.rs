@@ -1,0 +1,812 @@
+//! The attraction memory (paper §4): the local part of the global
+//! memory, a COMA-style owner/directory protocol.
+//!
+//! Every global object (and every microframe, which is a special kind of
+//! global object) has a *homesite* encoded in its address. The homesite
+//! keeps the directory entry tracking the object's current owner; the
+//! object itself migrates ("is attracted") to the sites that use it.
+//! Results applied to waiting microframes go through
+//! [`MemoryManager::apply_or_forward`]; when the last missing parameter arrives the
+//! frame becomes executable and is handed to the scheduling manager —
+//! exactly Fig. 4's execution cycle.
+
+use crate::frame::Microframe;
+use crate::managers::backup;
+use crate::site::{SiteInner, Task};
+use crate::trace::TraceEvent;
+use parking_lot::Mutex;
+use sdvm_types::{
+    GlobalAddress, ManagerId, ProgramId, SdvmError, SdvmResult, SiteId, Value,
+};
+use sdvm_wire::{Payload, SdMessage, WireMemObject};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A plain global memory object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemObject {
+    /// Owning program (objects are purged with their program).
+    pub program: ProgramId,
+    /// Contents.
+    pub data: Value,
+}
+
+#[derive(Default)]
+struct MemState {
+    /// Objects currently owned by this site (homed here or migrated in).
+    objects: HashMap<GlobalAddress, MemObject>,
+    /// Incomplete microframes owned by this site.
+    frames: HashMap<GlobalAddress, Microframe>,
+    /// Homesite directory: current owner of every *live* object/frame
+    /// homed here (or whose directory this site inherited). An absent
+    /// entry for a locally-homed address means consumed/freed.
+    directory: HashMap<GlobalAddress, SiteId>,
+}
+
+/// The attraction memory of one site.
+pub struct MemoryManager {
+    state: Mutex<MemState>,
+    counter: AtomicU64,
+}
+
+impl Default for MemoryManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryManager {
+    /// Fresh, empty memory.
+    pub fn new() -> Self {
+        MemoryManager { state: Mutex::new(MemState::default()), counter: AtomicU64::new(1) }
+    }
+
+    /// Allocate a fresh global address homed on this site.
+    pub fn fresh_address(&self, site: &SiteInner) -> GlobalAddress {
+        GlobalAddress::new(site.my_id(), self.counter.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// An address homed on this site arrived from outside (checkpoint
+    /// restore, relocation): make sure we never hand its local id out
+    /// again.
+    fn note_foreign_address(&self, site: &SiteInner, addr: GlobalAddress) {
+        if addr.home == site.my_id() {
+            self.counter.fetch_max(addr.local + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Clone (do not drain) this site's share of a program's state: the
+    /// owned objects and incomplete frames. Queued executable frames are
+    /// contributed by the scheduling manager.
+    pub fn snapshot_program(
+        &self,
+        program: ProgramId,
+    ) -> (Vec<WireMemObject>, Vec<Microframe>) {
+        let st = self.state.lock();
+        let objects = st
+            .objects
+            .iter()
+            .filter(|(_, o)| o.program == program)
+            .map(|(addr, o)| WireMemObject { addr: *addr, program: o.program, data: o.data.clone() })
+            .collect();
+        let frames = st
+            .frames
+            .values()
+            .filter(|f| f.program() == program)
+            .cloned()
+            .collect();
+        (objects, frames)
+    }
+
+    /// Allocate a global object with initial contents.
+    pub fn alloc(&self, site: &SiteInner, program: ProgramId, data: Value) -> GlobalAddress {
+        let addr = self.fresh_address(site);
+        {
+            let mut st = self.state.lock();
+            st.objects.insert(addr, MemObject { program, data: data.clone() });
+            st.directory.insert(addr, site.my_id());
+        }
+        backup::mirror_object(site, addr, program, data);
+        addr
+    }
+
+    /// Register a freshly created microframe (allocation, paper §3.2:
+    /// "every microframe should be allocated as soon as possible, because
+    /// its global address is known not before its allocation").
+    pub fn create_frame(&self, site: &SiteInner, frame: Microframe) {
+        site.emit(TraceEvent::FrameCreated {
+            site: site.my_id(),
+            frame: frame.id,
+            thread: frame.thread,
+            slots: frame.slots.len(),
+        });
+        backup::mirror_frame(site, &frame);
+        let executable = frame.is_executable();
+        {
+            let mut st = self.state.lock();
+            st.directory.insert(frame.id, site.my_id());
+            if !executable {
+                st.frames.insert(frame.id, frame.clone());
+            }
+        }
+        if executable {
+            self.promote(site, frame);
+        }
+    }
+
+    /// Adopt a frame that migrated here (help reply, relocation,
+    /// recovery). Updates the homesite directory.
+    pub fn adopt_frame(&self, site: &SiteInner, frame: Microframe) {
+        self.note_foreign_address(site, frame.id);
+        backup::mirror_frame(site, &frame);
+        let me = site.my_id();
+        let home = self.resolve_home(site, frame.id.home);
+        let executable = frame.is_executable();
+        {
+            let mut st = self.state.lock();
+            if home == me {
+                st.directory.insert(frame.id, me);
+            }
+            if !executable {
+                st.frames.insert(frame.id, frame.clone());
+            }
+        }
+        if home != me {
+            let _ = site.send_payload(
+                home,
+                ManagerId::Memory,
+                ManagerId::Memory,
+                site.next_seq(),
+                Payload::OwnerUpdate { addr: frame.id, owner: me },
+            );
+        }
+        if executable {
+            self.promote(site, frame);
+        }
+    }
+
+    /// Remove an owned frame (it is about to migrate away via a help
+    /// reply). Caller is responsible for the directory update.
+    pub fn take_frame(&self, id: GlobalAddress) -> Option<Microframe> {
+        self.state.lock().frames.remove(&id)
+    }
+
+    /// Adopt a memory object that migrated here by relocation or crash
+    /// recovery; updates the (possibly inherited) directory.
+    pub fn adopt_object(&self, site: &SiteInner, obj: sdvm_wire::WireMemObject) {
+        self.note_foreign_address(site, obj.addr);
+        let me = site.my_id();
+        let home = self.resolve_home(site, obj.addr.home);
+        {
+            let mut st = self.state.lock();
+            st.objects
+                .insert(obj.addr, MemObject { program: obj.program, data: obj.data.clone() });
+            if home == me {
+                st.directory.insert(obj.addr, me);
+            }
+        }
+        if home != me {
+            let _ = site.send_payload(
+                home,
+                ManagerId::Memory,
+                ManagerId::Memory,
+                site.next_seq(),
+                Payload::OwnerUpdate { addr: obj.addr, owner: me },
+            );
+        }
+        backup::mirror_object(site, obj.addr, obj.program, obj.data);
+    }
+
+    /// Called after a frame was executed: free its directory entry and
+    /// its backup ("the microframe is consumed and thus vanishes").
+    pub fn consume_frame(&self, site: &SiteInner, id: GlobalAddress) {
+        let me = site.my_id();
+        let home = self.resolve_home(site, id.home);
+        if home == me {
+            self.state.lock().directory.remove(&id);
+        } else {
+            let _ = site.send_payload(
+                home,
+                ManagerId::Memory,
+                ManagerId::Memory,
+                site.next_seq(),
+                Payload::OwnerUpdate { addr: id, owner: SiteId::NONE },
+            );
+        }
+        backup::mirror_consumed(site, id);
+    }
+
+    fn promote(&self, site: &SiteInner, frame: Microframe) {
+        site.emit(TraceEvent::FrameExecutable { site: site.my_id(), frame: frame.id });
+        site.scheduling.enqueue_executable(site, frame);
+    }
+
+    /// Resolve the (possibly inherited) homesite of an address: follows
+    /// the succession chain past signed-off/crashed sites.
+    pub fn resolve_home(&self, site: &SiteInner, home: SiteId) -> SiteId {
+        site.cluster.resolve_succession(home)
+    }
+
+    /// A site crashed: its homesite directory died with it. Re-register
+    /// everything *we* own that was homed on the dead site with the
+    /// directory successor, so late results and reads keep resolving.
+    /// (State owned by the dead site itself is rebuilt by backup
+    /// revival; orderly sign-off hands the directory over explicitly.)
+    pub fn reregister_after_crash(&self, site: &SiteInner, dead: SiteId, successor: SiteId) {
+        let me = site.my_id();
+        let owned: Vec<GlobalAddress> = {
+            let st = self.state.lock();
+            st.frames
+                .keys()
+                .chain(st.objects.keys())
+                .copied()
+                .filter(|a| a.home == dead)
+                .collect()
+        };
+        for addr in owned {
+            if successor == me {
+                self.state.lock().directory.insert(addr, me);
+            } else {
+                let _ = site.send_payload(
+                    successor,
+                    ManagerId::Memory,
+                    ManagerId::Memory,
+                    site.next_seq(),
+                    Payload::OwnerUpdate { addr, owner: me },
+                );
+            }
+        }
+    }
+
+    /// Apply a result to a frame owned here. `Ok(true)` if applied,
+    /// `Ok(false)` if the frame is not local.
+    pub fn apply_local(
+        &self,
+        site: &SiteInner,
+        target: GlobalAddress,
+        slot: u32,
+        value: Value,
+    ) -> SdvmResult<bool> {
+        let mut st = self.state.lock();
+        let Some(frame) = st.frames.get_mut(&target) else {
+            return Ok(false);
+        };
+        let fired = frame.apply(slot, value)?;
+        let missing = frame.missing();
+        let fired_frame = if fired { st.frames.remove(&target) } else { None };
+        drop(st);
+        site.emit(TraceEvent::ParamApplied { site: site.my_id(), frame: target, slot, missing });
+        if let Some(f) = fired_frame {
+            self.promote(site, f);
+        }
+        Ok(true)
+    }
+
+    /// Apply a result wherever the frame currently lives: locally, or by
+    /// forwarding an `ApplyResult` to the current owner (with directory
+    /// resolution and migration chasing, bounded by `ttl`). May block on
+    /// remote lookups — call from worker/helper threads only.
+    ///
+    /// Retries around site failures: if the homesite times out (it may
+    /// have just crashed) or reports the frame unknown (its directory may
+    /// still be rebuilding after a crash), the resolution is retried; by
+    /// then crash detection has rerouted the succession and the
+    /// re-registered directory answers. A frame that is genuinely
+    /// consumed stays unknown through every retry and the (duplicate)
+    /// result is dropped idempotently.
+    pub fn apply_or_forward(
+        &self,
+        site: &SiteInner,
+        target: GlobalAddress,
+        slot: u32,
+        value: Value,
+        ttl: u8,
+    ) -> SdvmResult<()> {
+        let attempts = if site.config.crash_tolerance { 5 } else { 1 };
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                // Growing backoff: long enough for crash detection to
+                // reroute succession and for backup revival to finish.
+                std::thread::sleep(std::time::Duration::from_millis(100 << attempt.min(4)));
+            }
+            match self.try_apply_or_forward(site, target, slot, value.clone(), ttl) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {
+                    // Unknown at the directory: consumed, or mid-crash
+                    // rebuild. Retry before concluding "consumed".
+                    last_err = None;
+                    continue;
+                }
+                Err(
+                    e @ (SdvmError::Timeout(_)
+                    | SdvmError::UnknownSite(_)
+                    | SdvmError::Transport(_)),
+                ) => {
+                    // The peer may have just crashed: retry after the
+                    // cluster has had time to detect and recover.
+                    last_err = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if std::env::var_os("SDVM_DEBUG").is_some() {
+            eprintln!(
+                "[dbg site{}] apply_or_forward gave up: target={target} slot={slot} err={last_err:?}",
+                site.my_id().0
+            );
+        }
+        match last_err {
+            Some(e) => Err(e),
+            None => Ok(()), // consistently unknown: consumed duplicate
+        }
+    }
+
+    /// One resolution attempt. `Ok(true)` = applied/forwarded,
+    /// `Ok(false)` = frame unknown at its directory.
+    fn try_apply_or_forward(
+        &self,
+        site: &SiteInner,
+        target: GlobalAddress,
+        slot: u32,
+        value: Value,
+        ttl: u8,
+    ) -> SdvmResult<bool> {
+        if self.apply_local(site, target, slot, value.clone())? {
+            backup::mirror_apply(site, site.my_id(), target, slot, value);
+            return Ok(true);
+        }
+        if ttl == 0 {
+            return Err(SdvmError::ObjectMissing(target));
+        }
+        let me = site.my_id();
+        let home = self.resolve_home(site, target.home);
+        let owner = if home == me {
+            match self.state.lock().directory.get(&target) {
+                Some(&o) => o,
+                None => return Ok(false),
+            }
+        } else {
+            let reply = site.request(
+                home,
+                ManagerId::Memory,
+                ManagerId::Memory,
+                Payload::OwnerQuery { addr: target },
+                site.config.request_timeout,
+            )?;
+            match reply.payload {
+                Payload::OwnerReply { owner: Some(o), .. } => o,
+                Payload::OwnerReply { owner: None, .. } => return Ok(false),
+                other => {
+                    return Err(SdvmError::InvalidState(format!(
+                        "unexpected owner reply {}",
+                        other.name()
+                    )))
+                }
+            }
+        };
+        if owner == me {
+            // Directory says we own it but it is not in `frames`: it sits
+            // in the scheduling queue already executable, or was consumed
+            // concurrently. Either way this result is stale — drop.
+            if std::env::var_os("SDVM_DEBUG").is_some() {
+                eprintln!(
+                    "[dbg site{}] drop owner==me target={target} slot={slot}",
+                    site.my_id().0
+                );
+            }
+            return Ok(true);
+        }
+        if !owner.is_valid() {
+            if std::env::var_os("SDVM_DEBUG").is_some() {
+                eprintln!(
+                    "[dbg site{}] drop tombstone target={target} slot={slot}",
+                    site.my_id().0
+                );
+            }
+            return Ok(true); // consumed tombstone
+        }
+        backup::mirror_apply(site, owner, target, slot, value.clone());
+        site.send_payload(
+            owner,
+            ManagerId::Memory,
+            ManagerId::Memory,
+            site.next_seq(),
+            Payload::ApplyResult { target, slot, value },
+        )?;
+        Ok(true)
+    }
+
+    /// Read a global object. With `migrate`, ownership moves here
+    /// (attraction); otherwise a snapshot copy is returned. Blocks on
+    /// remote objects.
+    pub fn read(&self, site: &SiteInner, addr: GlobalAddress, migrate: bool) -> SdvmResult<Value> {
+        if let Some(obj) = self.state.lock().objects.get(&addr) {
+            return Ok(obj.data.clone());
+        }
+        let me = site.my_id();
+        for attempt in 0..6 {
+            if attempt > 0 {
+                // Directory updates of in-flight migrations race us;
+                // back off briefly before chasing again.
+                std::thread::sleep(std::time::Duration::from_millis(2 << attempt));
+            }
+            let owner = self.lookup_owner(site, addr)?;
+            if owner == me {
+                // Migrated here concurrently, or the directory update of
+                // an outbound migration is still in flight.
+                if let Some(obj) = self.state.lock().objects.get(&addr) {
+                    return Ok(obj.data.clone());
+                }
+                continue;
+            }
+            let reply = site.request(
+                owner,
+                ManagerId::Memory,
+                ManagerId::Memory,
+                Payload::MemRead { addr, migrate },
+                site.config.request_timeout,
+            )?;
+            match reply.payload {
+                Payload::MemValue { obj, migrated } => {
+                    if migrated {
+                        let program = obj.program;
+                        let data = obj.data.clone();
+                        self.state
+                            .lock()
+                            .objects
+                            .insert(addr, MemObject { program, data: data.clone() });
+                        let home = self.resolve_home(site, addr.home);
+                        if home == me {
+                            self.state.lock().directory.insert(addr, me);
+                        } else {
+                            let _ = site.send_payload(
+                                home,
+                                ManagerId::Memory,
+                                ManagerId::Memory,
+                                site.next_seq(),
+                                Payload::OwnerUpdate { addr, owner: me },
+                            );
+                        }
+                        backup::mirror_object(site, addr, program, data.clone());
+                        return Ok(data);
+                    }
+                    return Ok(obj.data);
+                }
+                Payload::MemMissing { .. } => continue, // chase migration
+                other => {
+                    return Err(SdvmError::InvalidState(format!(
+                        "unexpected read reply {}",
+                        other.name()
+                    )))
+                }
+            }
+        }
+        Err(SdvmError::ObjectMissing(addr))
+    }
+
+    /// Write a global object in place at its current owner. Blocks on
+    /// remote objects.
+    pub fn write(&self, site: &SiteInner, addr: GlobalAddress, value: Value) -> SdvmResult<()> {
+        {
+            let mut st = self.state.lock();
+            if let Some(obj) = st.objects.get_mut(&addr) {
+                obj.data = value.clone();
+                let program = obj.program;
+                drop(st);
+                backup::mirror_object(site, addr, program, value);
+                return Ok(());
+            }
+        }
+        for attempt in 0..6 {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2 << attempt));
+            }
+            let owner = self.lookup_owner(site, addr)?;
+            if owner == site.my_id() {
+                // The directory says it's ours but it wasn't in `objects`
+                // above: an inbound migration or its directory update is
+                // still settling — re-check locally.
+                let mut st = self.state.lock();
+                if let Some(obj) = st.objects.get_mut(&addr) {
+                    obj.data = value.clone();
+                    let program = obj.program;
+                    drop(st);
+                    backup::mirror_object(site, addr, program, value);
+                    return Ok(());
+                }
+                continue;
+            }
+            let reply = site.request(
+                owner,
+                ManagerId::Memory,
+                ManagerId::Memory,
+                Payload::MemWrite { addr, value: value.clone() },
+                site.config.request_timeout,
+            )?;
+            match reply.payload {
+                Payload::MemWriteAck { .. } => return Ok(()),
+                Payload::MemMissing { .. } => continue,
+                other => {
+                    return Err(SdvmError::InvalidState(format!(
+                        "unexpected write reply {}",
+                        other.name()
+                    )))
+                }
+            }
+        }
+        Err(SdvmError::ObjectMissing(addr))
+    }
+
+    fn lookup_owner(&self, site: &SiteInner, addr: GlobalAddress) -> SdvmResult<SiteId> {
+        let me = site.my_id();
+        let home = self.resolve_home(site, addr.home);
+        if home == me {
+            return self
+                .state
+                .lock()
+                .directory
+                .get(&addr)
+                .copied()
+                .ok_or(SdvmError::ObjectMissing(addr));
+        }
+        let reply = site.request(
+            home,
+            ManagerId::Memory,
+            ManagerId::Memory,
+            Payload::OwnerQuery { addr },
+            site.config.request_timeout,
+        )?;
+        match reply.payload {
+            Payload::OwnerReply { owner: Some(o), .. } => Ok(o),
+            Payload::OwnerReply { owner: None, .. } => Err(SdvmError::ObjectMissing(addr)),
+            other => Err(SdvmError::InvalidState(format!(
+                "unexpected owner reply {}",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Everything this site owns for relocation at sign-off: objects,
+    /// incomplete frames, and the homesite directory entries.
+    pub fn drain_for_relocation(
+        &self,
+    ) -> (Vec<WireMemObject>, Vec<Microframe>, Vec<(GlobalAddress, SiteId)>) {
+        let mut st = self.state.lock();
+        let objects = st
+            .objects
+            .drain()
+            .map(|(addr, o)| WireMemObject { addr, program: o.program, data: o.data })
+            .collect();
+        let frames = st.frames.drain().map(|(_, f)| f).collect();
+        let directory = st.directory.drain().collect();
+        (objects, frames, directory)
+    }
+
+    /// Snapshot of incomplete frames: (address, microthread, missing,
+    /// filled-slot indices). Diagnostic aid for stalled dataflow.
+    pub fn incomplete_frames(&self) -> Vec<(GlobalAddress, sdvm_types::MicrothreadId, usize, Vec<u32>)> {
+        self.state
+            .lock()
+            .frames
+            .values()
+            .map(|f| {
+                let filled = f
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_some())
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                (f.id, f.thread, f.missing(), filled)
+            })
+            .collect()
+    }
+
+    /// Counts for load reports / status.
+    pub fn stats(&self) -> (usize, usize, u64) {
+        let st = self.state.lock();
+        let bytes = st.objects.values().map(|o| o.data.len() as u64).sum();
+        (st.objects.len(), st.frames.len(), bytes)
+    }
+
+    /// Purge everything belonging to a terminated program.
+    pub fn purge_program(&self, program: ProgramId) {
+        let mut st = self.state.lock();
+        st.objects.retain(|_, o| o.program != program);
+        let dead: Vec<GlobalAddress> = st
+            .frames
+            .iter()
+            .filter(|(_, f)| f.program() == program)
+            .map(|(a, _)| *a)
+            .collect();
+        for a in dead {
+            st.frames.remove(&a);
+            st.directory.remove(&a);
+        }
+    }
+
+    /// Handle an incoming memory-manager message.
+    pub fn handle(&self, site: &SiteInner, msg: SdMessage) {
+        match msg.payload.clone() {
+            Payload::ApplyResult { target, slot, value } => {
+                match self.apply_local(site, target, slot, value.clone()) {
+                    Ok(true) => {
+                        backup::mirror_apply(site, site.my_id(), target, slot, value);
+                    }
+                    Ok(false) => {
+                        // Not here (frame migrated on, or consumed):
+                        // resolve and forward off the router thread.
+                        site.spawn_task(Task::ForwardApply { target, slot, value, ttl: 4 });
+                    }
+                    Err(_) => { /* duplicate/stale result: drop */ }
+                }
+            }
+            Payload::MemRead { addr, migrate } => {
+                let mut st = self.state.lock();
+                let (reply, removed) = if migrate {
+                    match st.objects.remove(&addr) {
+                        Some(o) => (
+                            Payload::MemValue {
+                                obj: WireMemObject {
+                                    addr,
+                                    program: o.program,
+                                    data: o.data.clone(),
+                                },
+                                migrated: true,
+                            },
+                            Some(o),
+                        ),
+                        None => (Payload::MemMissing { addr }, None),
+                    }
+                } else {
+                    match st.objects.get(&addr) {
+                        Some(o) => (
+                            Payload::MemValue {
+                                obj: WireMemObject {
+                                    addr,
+                                    program: o.program,
+                                    data: o.data.clone(),
+                                },
+                                migrated: false,
+                            },
+                            None,
+                        ),
+                        None => (Payload::MemMissing { addr }, None),
+                    }
+                };
+                drop(st);
+                let sent = {
+                    let r = msg.reply(site.next_seq(), ManagerId::Memory, reply);
+                    site.send_msg(r)
+                };
+                if sent.is_err() {
+                    if let Some(o) = removed {
+                        // The requester became unreachable between request
+                        // and reply: the migrating object must not vanish
+                        // from the cluster — take it back.
+                        self.state.lock().objects.insert(addr, o);
+                    }
+                }
+            }
+            Payload::MemWrite { addr, value } => {
+                let mut st = self.state.lock();
+                let reply = match st.objects.get_mut(&addr) {
+                    Some(o) => {
+                        o.data = value.clone();
+                        let program = o.program;
+                        drop(st);
+                        backup::mirror_object(site, addr, program, value);
+                        Payload::MemWriteAck { addr }
+                    }
+                    None => {
+                        drop(st);
+                        Payload::MemMissing { addr }
+                    }
+                };
+                site.reply_to(&msg, ManagerId::Memory, reply);
+            }
+            Payload::OwnerQuery { addr } => {
+                // Any traffic about an address homed here proves that
+                // local id is in use (e.g. after a checkpoint restore
+                // elsewhere): never allocate it again.
+                self.note_foreign_address(site, addr);
+                let owner = self.state.lock().directory.get(&addr).copied();
+                site.reply_to(&msg, ManagerId::Memory, Payload::OwnerReply { addr, owner });
+            }
+            Payload::OwnerUpdate { addr, owner } => {
+                self.note_foreign_address(site, addr);
+                let mut st = self.state.lock();
+                if owner.is_valid() {
+                    st.directory.insert(addr, owner);
+                } else {
+                    st.directory.remove(&addr);
+                }
+            }
+            Payload::Relocate { objects, frames, directory } => {
+                {
+                    let mut st = self.state.lock();
+                    for o in &objects {
+                        st.objects
+                            .insert(o.addr, MemObject { program: o.program, data: o.data.clone() });
+                        // Ownership moved here; record it if we will act
+                        // as the address's directory too.
+                        st.directory.insert(o.addr, site.my_id());
+                    }
+                    for (addr, owner) in directory {
+                        // Inherited directory entries keep their owner,
+                        // except entries pointing at the leaver itself —
+                        // those objects are in this very relocation.
+                        if owner == msg.src_site {
+                            st.directory.insert(addr, site.my_id());
+                        } else {
+                            st.directory.insert(addr, owner);
+                        }
+                    }
+                }
+                // Incomplete frames first: executable ones start running
+                // on adoption and their results must find every waiting
+                // frame already registered.
+                let (incomplete, executable): (Vec<_>, Vec<_>) =
+                    frames.into_iter().partition(|f| !f.is_executable());
+                for f in incomplete.into_iter().chain(executable) {
+                    self.adopt_frame(site, Microframe::from_wire(f));
+                }
+                site.reply_to(&msg, ManagerId::Memory, Payload::RelocateAck {});
+            }
+            // A migrated object whose requesting waiter timed out: the
+            // old owner already removed it — adopt it here or it is lost.
+            Payload::MemValue { obj, migrated: true } => {
+                self.adopt_object(site, obj);
+            }
+            Payload::MemValue { migrated: false, .. } => {}
+            Payload::BackupFrame { frame } => {
+                site.backup.on_frame(msg.src_site, frame);
+            }
+            Payload::BackupRelease { frame, owner } => {
+                site.backup.on_release(owner, frame);
+            }
+            Payload::BackupApply { target, slot, value } => {
+                // If the frame lives *here* (it was already revived from
+                // backup, or migrated to us while the sender still
+                // believed the old owner), deliver the result for real —
+                // recording it into the (drained) backup bucket would
+                // strand it. Duplicate deliveries are rejected by the
+                // slot-fill check, so this is idempotent.
+                match self.apply_local(site, target, slot, value.clone()) {
+                    Ok(true) => {}
+                    _ => site.backup.on_apply(msg.src_site, target, slot, value),
+                }
+            }
+            Payload::BackupConsumed { frame } => {
+                site.backup.on_consumed(frame);
+            }
+            Payload::BackupObject { obj } => {
+                site.backup.on_object(msg.src_site, obj);
+            }
+            Payload::RecoverSite { dead } => {
+                site.spawn_task(Task::Recover { dead });
+            }
+            other => {
+                site.reply_to(
+                    &msg,
+                    ManagerId::Memory,
+                    Payload::Error { message: format!("memory: unexpected {}", other.name()) },
+                );
+            }
+        }
+    }
+}
+
+/// Helper-thread entry for forwarding a result whose frame is not local
+/// (migration chasing; see [`MemoryManager::apply_or_forward`]).
+pub(crate) fn forward_apply(
+    site: &SiteInner,
+    target: GlobalAddress,
+    slot: u32,
+    value: Value,
+    ttl: u8,
+) {
+    let _ = site.memory.apply_or_forward(site, target, slot, value, ttl);
+}

@@ -1,0 +1,37 @@
+//! The SDVM's managers (paper §4, Fig. 3).
+//!
+//! Execution layer: [`processing`], [`scheduling`], [`code`], [`memory`]
+//! (attraction memory), [`io`]. Maintenance layer: [`cluster`],
+//! [`program`], [`site_mgr`], [`security`]. Communication layer: the
+//! message manager lives on [`crate::site::SiteInner`] (send/dispatch),
+//! the network manager is the `sdvm-net` transport. [`backup`] implements
+//! the crash-management store (\[4\] in the paper).
+
+pub mod backup;
+pub mod cluster;
+pub mod code;
+pub mod io;
+pub mod memory;
+pub mod processing;
+pub mod program;
+pub mod scheduling;
+pub mod security;
+pub mod site_mgr;
+
+use crate::site::{SiteInner, Task};
+
+/// Execute one helper-thread task (see [`Task`]).
+pub(crate) fn run_task(site: &SiteInner, task: Task) {
+    match task {
+        Task::ForwardApply { target, slot, value, ttl } => {
+            memory::forward_apply(site, target, slot, value, ttl);
+        }
+        Task::SignOn { msg, reply_addr } => {
+            cluster::handle_signon_blocking(site, msg, reply_addr);
+        }
+        Task::Recover { dead } => {
+            backup::recover(site, dead);
+        }
+        Task::Run(f) => f(site),
+    }
+}

@@ -1,0 +1,79 @@
+//! The processing manager (paper §4): executes microthreads.
+//!
+//! "If it is idle, it requests a pair of an executable microframe and its
+//! corresponding microthread from the scheduling manager. [...] Then the
+//! microthread is executed using these parameters." Latency hiding is
+//! achieved by running `SiteConfig::slots` of these loops in (virtual)
+//! parallel — the paper found about 5 to work well; while one microthread
+//! blocks on a remote memory access, the other slots keep executing.
+
+use crate::api::ExecCtx;
+use crate::site::SiteInner;
+use crate::trace::TraceEvent;
+use sdvm_types::SdvmError;
+use std::sync::Arc;
+
+/// Is this failure the cluster's fault (peer crashed, request timed out)
+/// rather than the application's? Infrastructure failures re-execute.
+fn is_infrastructure(e: &SdvmError) -> bool {
+    matches!(
+        e,
+        SdvmError::Transport(_)
+            | SdvmError::Timeout(_)
+            | SdvmError::UnknownSite(_)
+            | SdvmError::SiteLost(_)
+            | SdvmError::ObjectMissing(_)
+    )
+}
+
+/// Body of one processing slot; runs until site shutdown.
+pub fn worker_loop(site: &Arc<SiteInner>) {
+    while site.is_running() {
+        let Some((frame, func)) = site.scheduling.next_work(site) else {
+            break;
+        };
+        let id = frame.id;
+        let thread = frame.thread;
+        site.scheduling.set_busy(1);
+        site.scheduling.note_running(frame.program(), 1);
+        let started = std::time::Instant::now();
+        let result = {
+            let mut ctx = ExecCtx::for_frame(site, &frame);
+            func(&mut ctx)
+        };
+        site.scheduling.set_busy(-1);
+        site.scheduling.note_running(frame.program(), -1);
+        // Accounting (paper goal 14): charge the program for the slot
+        // time, successful or not — failed work still burnt resources.
+        site.site_mgr.account(frame.program(), started.elapsed());
+        if let Err(ref e) = result {
+            if std::env::var_os("SDVM_DEBUG").is_some() {
+                eprintln!(
+                    "[dbg site{}] microthread {thread} frame {id} failed: {e}",
+                    site.my_id().0
+                );
+            }
+            if is_infrastructure(e) && site.is_running() && !site.is_draining() {
+                // A peer died under us mid-execution. Re-enqueue the
+                // frame: re-execution re-sends every result, and
+                // duplicates of the sends that already succeeded are
+                // dropped idempotently (at-least-once semantics, as
+                // after a crash recovery).
+                site.scheduling.enqueue_executable(site, frame.clone());
+                continue;
+            }
+        }
+        // The microframe is consumed by execution and vanishes (§3.2).
+        site.memory.consume_frame(site, id);
+        site.emit(TraceEvent::FrameExecuted { site: site.my_id(), frame: id, thread });
+        if let Err(e) = result {
+            // An application error must not kill the daemon; surface it
+            // through the I/O manager to the program's frontend.
+            site.io.output(
+                site,
+                frame.program(),
+                format!("microthread {thread} failed: {e}"),
+            );
+        }
+    }
+}

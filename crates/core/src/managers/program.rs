@@ -1,0 +1,203 @@
+//! The program manager (paper §4): multi-program bookkeeping.
+//!
+//! "If the SDVM runs more than one program at the same time, the programs
+//! must be distinguished." Each site keeps a list of programs it works
+//! on: the *code home site* (to request microthread code from), and a
+//! terminated flag so a program's microthreads and objects can be purged.
+
+use crate::site::SiteInner;
+use parking_lot::Mutex;
+use sdvm_types::{ManagerId, ProgramId, SiteId, Value};
+use sdvm_wire::{Payload, SdMessage};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// What a site knows about one program.
+#[derive(Clone, Debug)]
+pub struct ProgramInfo {
+    /// Site to request microthread code from (usually the starting site).
+    pub code_home: SiteId,
+    /// Human-readable name.
+    pub name: String,
+    /// Number of microthreads in the code table.
+    pub threads: u32,
+    /// Set once the program delivered its result.
+    pub terminated: bool,
+}
+
+/// The program manager of one site.
+#[derive(Default)]
+pub struct ProgramManager {
+    programs: Mutex<HashMap<ProgramId, ProgramInfo>>,
+    waiters: Mutex<HashMap<ProgramId, crossbeam::channel::Sender<Value>>>,
+    /// Checkpoint snapshots stored on this site ("the sites where
+    /// checkpoints are stored", §4): program → (epoch, snapshot bytes).
+    checkpoints: Mutex<HashMap<ProgramId, (u64, bytes::Bytes)>>,
+    next_local: AtomicU32,
+}
+
+impl ProgramManager {
+    /// Fresh manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a cluster-unique program id: the starting site's id in
+    /// the upper bits, a local counter in the lower.
+    pub fn alloc_program_id(&self, site: &SiteInner) -> ProgramId {
+        let n = self.next_local.fetch_add(1, Ordering::Relaxed);
+        ProgramId((site.my_id().0 << 16) | (n & 0xffff))
+    }
+
+    /// Register a program (locally started or announced by another site).
+    pub fn register(&self, program: ProgramId, info: ProgramInfo) {
+        self.programs.lock().entry(program).or_insert(info);
+    }
+
+    /// Install the result waiter for a locally started program.
+    pub fn install_waiter(
+        &self,
+        program: ProgramId,
+    ) -> crossbeam::channel::Receiver<Value> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.waiters.lock().insert(program, tx);
+        rx
+    }
+
+    /// The program's code home site, if known here.
+    pub fn code_home(&self, program: ProgramId) -> Option<SiteId> {
+        self.programs.lock().get(&program).map(|i| i.code_home)
+    }
+
+    /// Name for traces/frontend.
+    pub fn name_of(&self, program: ProgramId) -> Option<String> {
+        self.programs.lock().get(&program).map(|i| i.name.clone())
+    }
+
+    /// Number of non-terminated programs this site knows/works on.
+    pub fn active_count(&self) -> u32 {
+        self.programs.lock().values().filter(|i| !i.terminated).count() as u32
+    }
+
+    /// Is the program known and still running?
+    pub fn is_active(&self, program: ProgramId) -> bool {
+        self.programs.lock().get(&program).map(|i| !i.terminated).unwrap_or(false)
+    }
+
+    /// Deliver a locally finished program's result: wake the waiting
+    /// handle and broadcast termination so all sites can purge.
+    pub fn finish_local(&self, site: &SiteInner, program: ProgramId, value: Value) {
+        let waiter = self.waiters.lock().remove(&program);
+        if let Some(tx) = waiter {
+            let _ = tx.send(value);
+        }
+        self.mark_terminated(site, program);
+        for p in site.cluster.known_sites() {
+            if p != site.my_id() {
+                let _ = site.send_payload(
+                    p,
+                    ManagerId::Program,
+                    ManagerId::Program,
+                    site.next_seq(),
+                    Payload::ProgramTerminated { program },
+                );
+            }
+        }
+    }
+
+    fn mark_terminated(&self, site: &SiteInner, program: ProgramId) {
+        if let Some(info) = self.programs.lock().get_mut(&program) {
+            info.terminated = true;
+        }
+        site.memory.purge_program(program);
+        site.code.purge_program(program);
+        site.scheduling.purge_program(program);
+        site.backup.purge_program(program);
+    }
+
+    /// Latest checkpoint stored here for `program`, if any.
+    pub fn stored_checkpoint(&self, program: ProgramId) -> Option<(u64, bytes::Bytes)> {
+        self.checkpoints.lock().get(&program).cloned()
+    }
+
+    /// Handle an incoming program-manager message.
+    pub fn handle(&self, site: &SiteInner, msg: SdMessage) {
+        match msg.payload.clone() {
+            Payload::ProgramRegister { program, code_home, name, threads } => {
+                self.register(program, ProgramInfo { code_home, name, threads, terminated: false });
+            }
+            Payload::ProgramTerminated { program } => {
+                self.mark_terminated(site, program);
+            }
+            Payload::ProgramPause { program, paused } => {
+                if paused {
+                    site.scheduling.pause_program(program);
+                } else {
+                    site.scheduling.resume_program(program);
+                }
+            }
+            Payload::SnapshotCollect { program } => {
+                // Quiesce locally (running frames of the program drain —
+                // the program is paused, so nothing new starts), then
+                // contribute this site's share. Blocking → helper thread.
+                site.spawn_task(crate::site::Task::Run(Box::new(move |site| {
+                    let quiesced = site
+                        .scheduling
+                        .wait_quiesced(program, site.config.request_timeout / 2);
+                    if !quiesced {
+                        // An empty part would masquerade as "this site
+                        // holds nothing" and the coordinator would store a
+                        // silently incomplete snapshot — fail loudly.
+                        site.reply_to(
+                            &msg,
+                            ManagerId::Program,
+                            Payload::Error {
+                                message: format!("{program} did not quiesce on this site"),
+                            },
+                        );
+                        return;
+                    }
+                    // Settle window: let in-flight results from the other
+                    // sites' draining executions land before we cut.
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    let (objects, mem_frames) = site.memory.snapshot_program(program);
+                    let queued = site.scheduling.snapshot_program(program);
+                    let mut frames: Vec<sdvm_wire::WireFrame> =
+                        mem_frames.into_iter().map(|f| f.to_wire()).collect();
+                    frames.extend(queued.into_iter().map(|f| f.to_wire()));
+                    frames.sort_by_key(|f| f.id);
+                    site.reply_to(
+                        &msg,
+                        ManagerId::Program,
+                        Payload::SnapshotPart { program, objects, frames },
+                    );
+                })));
+            }
+            Payload::CheckpointStore { program, epoch, snapshot } => {
+                let mut cps = self.checkpoints.lock();
+                let newer = cps.get(&program).map(|(e, _)| *e < epoch).unwrap_or(true);
+                if newer {
+                    cps.insert(program, (epoch, snapshot));
+                }
+                drop(cps);
+                site.reply_to(&msg, ManagerId::Program, Payload::CheckpointAck { program, epoch });
+            }
+            Payload::CheckpointFetch { program } => {
+                let reply = match self.stored_checkpoint(program) {
+                    Some((epoch, snapshot)) => {
+                        Payload::CheckpointData { program, epoch, snapshot }
+                    }
+                    None => Payload::CheckpointNone { program },
+                };
+                site.reply_to(&msg, ManagerId::Program, reply);
+            }
+            other => {
+                site.reply_to(
+                    &msg,
+                    ManagerId::Program,
+                    Payload::Error { message: format!("program: unexpected {}", other.name()) },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The security manager (paper §4): the encryption layer between the
+//! message manager and the network manager.
+//!
+//! Outgoing serialized SDMessages are sealed per peer; incoming traffic
+//! is verified and decrypted. Keys derive from the cluster's *start
+//! password*. On trusted ("insular") clusters the manager is disabled and
+//! traffic flows in plaintext — the performance difference is experiment
+//! E5.
+//!
+//! Wire envelope (outside the SDMessage encoding):
+//!
+//! ```text
+//! [0x00 | plaintext SDMessage]                      — security disabled
+//! [0x01 | src_site u32 LE | sealed SDMessage]       — peer channel
+//! [0x02 | salt 16 bytes   | sealed SDMessage]       — join channel
+//! ```
+//!
+//! The *join channel* covers sign-on traffic, exchanged before the peer
+//! relationship (and possibly the local site id) exists: a fresh key is
+//! derived per message from the master key and a random salt. Join
+//! messages are authenticated by password but (unlike peer channels)
+//! carry no replay protection; they are idempotent membership requests.
+
+use crate::config::SiteConfig;
+use crate::site::SiteInner;
+use parking_lot::Mutex;
+use rand::RngExt;
+use sdvm_crypto::channel::SecureChannel;
+use sdvm_crypto::kdf;
+use sdvm_crypto::KeyStore;
+use sdvm_types::{SdvmError, SdvmResult, SiteId};
+
+const TAG_PLAIN: u8 = 0;
+const TAG_PEER: u8 = 1;
+const TAG_JOIN: u8 = 2;
+const JOIN_SALT_LEN: usize = 16;
+
+/// The security manager of one site.
+pub struct SecurityManager {
+    inner: Option<Mutex<Keys>>,
+}
+
+struct Keys {
+    master: [u8; 32],
+    store: KeyStore,
+}
+
+impl SecurityManager {
+    /// Build from the site config; `None` password disables encryption.
+    pub fn new(config: &SiteConfig) -> Self {
+        let inner = config.password.as_ref().map(|pw| {
+            let master = kdf::master_key(pw);
+            Mutex::new(Keys { master, store: KeyStore::from_master(0, master) })
+        });
+        SecurityManager { inner }
+    }
+
+    /// Whether encryption is active.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Re-key after the site's logical id was assigned.
+    pub fn rekey(&self, id: SiteId) {
+        if let Some(m) = &self.inner {
+            let mut k = m.lock();
+            let master = k.master;
+            k.store = KeyStore::from_master(id.0, master);
+        }
+    }
+
+    /// Drop channel state for a departed peer.
+    pub fn forget(&self, peer: SiteId) {
+        if let Some(m) = &self.inner {
+            m.lock().store.forget(peer.0);
+        }
+    }
+
+    /// Seal an outgoing serialized SDMessage for `dst`.
+    pub fn seal(&self, site: &SiteInner, dst: SiteId, plain: Vec<u8>) -> Vec<u8> {
+        let Some(m) = &self.inner else {
+            let mut out = Vec::with_capacity(plain.len() + 1);
+            out.push(TAG_PLAIN);
+            out.extend_from_slice(&plain);
+            return out;
+        };
+        let mut k = m.lock();
+        if !dst.is_valid() || !site.my_id().is_valid() {
+            // Join channel: fresh salted key per message.
+            let mut salt = [0u8; JOIN_SALT_LEN];
+            rand::rng().fill(&mut salt[..]);
+            let key = join_key(&k.master, &salt);
+            let mut ch = SecureChannel::new(&key);
+            let sealed = ch.seal(&plain);
+            let mut out = Vec::with_capacity(1 + JOIN_SALT_LEN + sealed.len());
+            out.push(TAG_JOIN);
+            out.extend_from_slice(&salt);
+            out.extend_from_slice(&sealed);
+            return out;
+        }
+        let sealed = k.store.seal_for(dst.0, &plain);
+        let mut out = Vec::with_capacity(5 + sealed.len());
+        out.push(TAG_PEER);
+        out.extend_from_slice(&site.my_id().0.to_le_bytes());
+        out.extend_from_slice(&sealed);
+        out
+    }
+
+    /// Open an incoming envelope.
+    pub fn open(&self, _site: &SiteInner, raw: &[u8]) -> SdvmResult<Vec<u8>> {
+        let (&tag, body) = raw
+            .split_first()
+            .ok_or_else(|| SdvmError::Crypto("empty envelope".into()))?;
+        match (tag, &self.inner) {
+            (TAG_PLAIN, None) => Ok(body.to_vec()),
+            (TAG_PLAIN, Some(_)) => {
+                Err(SdvmError::Crypto("plaintext rejected: security manager active".into()))
+            }
+            (_, None) => Err(SdvmError::Crypto("sealed traffic but security disabled".into())),
+            (TAG_PEER, Some(m)) => {
+                if body.len() < 4 {
+                    return Err(SdvmError::Crypto("short peer envelope".into()));
+                }
+                let src = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+                m.lock()
+                    .store
+                    .open_from(src, &body[4..])
+                    .map_err(|e| SdvmError::Crypto(e.to_string()))
+            }
+            (TAG_JOIN, Some(m)) => {
+                if body.len() < JOIN_SALT_LEN {
+                    return Err(SdvmError::Crypto("short join envelope".into()));
+                }
+                let (salt, sealed) = body.split_at(JOIN_SALT_LEN);
+                let key = join_key(&m.lock().master, salt);
+                let mut ch = SecureChannel::new(&key);
+                ch.open(sealed).map_err(|e| SdvmError::Crypto(e.to_string()))
+            }
+            _ => Err(SdvmError::Crypto(format!("unknown envelope tag {tag}"))),
+        }
+    }
+}
+
+fn join_key(master: &[u8; 32], salt: &[u8]) -> [u8; 32] {
+    let mut info = Vec::with_capacity(5 + salt.len());
+    info.extend_from_slice(b"join:");
+    info.extend_from_slice(salt);
+    let mut key = [0u8; 32];
+    kdf::expand(master, &info, &mut key);
+    key
+}

@@ -1,0 +1,120 @@
+//! The site manager (paper §4): the local site's lifecycle and
+//! performance data.
+//!
+//! "In contrast to the cluster manager, the site manager focuses on the
+//! local site. [...] it provides the functionality to query the status of
+//! the local site, i.e. all local managers."
+
+use crate::site::SiteInner;
+use parking_lot::Mutex;
+use sdvm_types::{ManagerId, ProgramId, SiteId};
+use sdvm_wire::{Payload, SdMessage};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A point-in-time status snapshot of one site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteStatus {
+    /// Logical id.
+    pub id: SiteId,
+    /// Executable + ready microframes queued.
+    pub queued_frames: u32,
+    /// Processing slots currently executing.
+    pub busy_slots: u32,
+    /// Global memory objects owned here.
+    pub objects: usize,
+    /// Incomplete microframes owned here.
+    pub incomplete_frames: usize,
+    /// Bytes in the local part of the attraction memory.
+    pub memory_bytes: u64,
+    /// Programs this site knows and that still run.
+    pub programs: u32,
+    /// Outstanding remote requests.
+    pub outstanding_requests: usize,
+    /// Sites currently known (cluster view size).
+    pub known_sites: usize,
+    /// (compiles on the fly, remote code fetches).
+    pub code_stats: (u64, u64),
+}
+
+/// Resource usage of one program on this site — the accounting data the
+/// paper's service-provider scenario needs (goal 14, §2.2: "The
+/// accounting functionality needed for this can be integrated into the
+/// SDVM").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgramUsage {
+    /// Microthreads this site executed for the program.
+    pub frames_executed: u64,
+    /// Wall time this site's processing slots spent on them.
+    pub cpu: Duration,
+}
+
+/// The site manager of one site.
+#[derive(Default)]
+pub struct SiteManager {
+    usage: Mutex<HashMap<ProgramId, ProgramUsage>>,
+}
+
+impl SiteManager {
+    /// Fresh manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one executed microthread (called by the processing
+    /// manager after each execution).
+    pub fn account(&self, program: ProgramId, cpu: Duration) {
+        let mut usage = self.usage.lock();
+        let u = usage.entry(program).or_default();
+        u.frames_executed += 1;
+        u.cpu += cpu;
+    }
+
+    /// The accounting ledger: per-program resource usage on this site.
+    /// (Terminated programs stay in the ledger — bills outlive jobs.)
+    pub fn accounting(&self) -> Vec<(ProgramId, ProgramUsage)> {
+        let mut v: Vec<_> =
+            self.usage.lock().iter().map(|(p, u)| (*p, *u)).collect();
+        v.sort_by_key(|(p, _)| *p);
+        v
+    }
+
+    /// Usage of one program on this site.
+    pub fn usage_of(&self, program: ProgramId) -> ProgramUsage {
+        self.usage.lock().get(&program).copied().unwrap_or_default()
+    }
+
+    /// Collect the local status (queries all local managers).
+    pub fn status(&self, site: &SiteInner) -> SiteStatus {
+        let (queued_frames, busy_slots) = site.scheduling.load_numbers();
+        let (objects, incomplete_frames, memory_bytes) = site.memory.stats();
+        SiteStatus {
+            id: site.my_id(),
+            queued_frames,
+            busy_slots,
+            objects,
+            incomplete_frames,
+            memory_bytes,
+            programs: site.program.active_count(),
+            outstanding_requests: site.pending.outstanding(),
+            known_sites: site.cluster.known_sites().len(),
+            code_stats: site.code.stats(),
+        }
+    }
+
+    /// Handle an incoming site-manager message.
+    pub fn handle(&self, site: &SiteInner, msg: SdMessage) {
+        match msg.payload {
+            Payload::Ping { token } => {
+                site.reply_to(&msg, ManagerId::Site, Payload::Pong { token });
+            }
+            ref other => {
+                site.reply_to(
+                    &msg,
+                    ManagerId::Site,
+                    Payload::Error { message: format!("site: unexpected {}", other.name()) },
+                );
+            }
+        }
+    }
+}

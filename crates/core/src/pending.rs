@@ -1,0 +1,153 @@
+//! Request/response correlation for blocking remote operations.
+//!
+//! Worker threads block on remote memory reads, code fetches and help
+//! requests; the router thread completes them when the matching reply
+//! (`in_reply_to == seq`) arrives. A crashed peer simply never answers —
+//! the waiter times out and can retry elsewhere, which is exactly the
+//! paper's "damage is diminished" behaviour.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sdvm_types::{SdvmError, SdvmResult};
+use sdvm_wire::SdMessage;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Outstanding requests of one site.
+#[derive(Default)]
+pub struct PendingMap {
+    waiters: Mutex<HashMap<u64, Sender<SdMessage>>>,
+}
+
+impl PendingMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register interest in the reply to `seq`.
+    pub fn register(&self, seq: u64) -> Receiver<SdMessage> {
+        let (tx, rx) = bounded(1);
+        self.waiters.lock().insert(seq, tx);
+        rx
+    }
+
+    /// Deliver a reply; returns `true` if a waiter consumed it.
+    pub fn complete(&self, in_reply_to: u64, msg: SdMessage) -> bool {
+        // Send while holding the map lock: a waiter that is timing out
+        // concurrently must acquire the same lock in `cancel` before its
+        // post-cancel drain, so the message is already in the (bounded-1,
+        // never-blocking) channel when it looks — no reply can fall into
+        // the gap between removal and send.
+        let mut waiters = self.waiters.lock();
+        if let Some(tx) = waiters.remove(&in_reply_to) {
+            // A waiter that timed out and dropped its receiver is fine.
+            let _ = tx.send(msg);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Give up on a request (timeout path).
+    pub fn cancel(&self, seq: u64) {
+        self.waiters.lock().remove(&seq);
+    }
+
+    /// Block for the reply to `seq` for at most `timeout`.
+    pub fn await_reply(
+        &self,
+        seq: u64,
+        rx: &Receiver<SdMessage>,
+        timeout: Duration,
+    ) -> SdvmResult<SdMessage> {
+        match rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(_) => {
+                // Cancel first so a concurrent `complete` can no longer
+                // claim the reply, then drain anything that was sent in
+                // the race window — otherwise a reply carrying state
+                // (e.g. a HelpReply's microframe) would be lost: the
+                // completer believes it was delivered, the waiter
+                // believes it never came.
+                self.cancel(seq);
+                if let Ok(m) = rx.try_recv() {
+                    return Ok(m);
+                }
+                Err(SdvmError::Timeout(format!("no reply to request #{seq}")))
+            }
+        }
+    }
+
+    /// Number of requests still waiting (observability).
+    pub fn outstanding(&self) -> usize {
+        self.waiters.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvm_types::{ManagerId, SiteId};
+    use sdvm_wire::Payload;
+
+    fn msg(seq: u64, reply_to: u64) -> SdMessage {
+        let mut m = SdMessage::new(
+            SiteId(2),
+            ManagerId::Scheduling,
+            SiteId(1),
+            ManagerId::Scheduling,
+            seq,
+            Payload::Pong { token: 0 },
+        );
+        m.in_reply_to = Some(reply_to);
+        m
+    }
+
+    #[test]
+    fn complete_wakes_waiter() {
+        let p = PendingMap::new();
+        let rx = p.register(5);
+        assert!(p.complete(5, msg(9, 5)));
+        let got = p.await_reply(5, &rx, Duration::from_millis(100)).unwrap();
+        assert_eq!(got.in_reply_to, Some(5));
+        assert_eq!(p.outstanding(), 0);
+    }
+
+    #[test]
+    fn unknown_reply_is_reported() {
+        let p = PendingMap::new();
+        assert!(!p.complete(99, msg(1, 99)));
+    }
+
+    #[test]
+    fn timeout_cancels() {
+        let p = PendingMap::new();
+        let rx = p.register(7);
+        let err = p.await_reply(7, &rx, Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, SdvmError::Timeout(_)));
+        assert_eq!(p.outstanding(), 0);
+        // A late reply after timeout is dropped without panic.
+        assert!(!p.complete(7, msg(2, 7)));
+    }
+
+    #[test]
+    fn concurrent_waiters() {
+        let p = std::sync::Arc::new(PendingMap::new());
+        let mut handles = Vec::new();
+        for seq in 0..8u64 {
+            let rx = p.register(seq);
+            let p2 = p.clone();
+            handles.push(std::thread::spawn(move || {
+                p2.await_reply(seq, &rx, Duration::from_secs(2)).unwrap()
+            }));
+        }
+        for seq in (0..8u64).rev() {
+            assert!(p.complete(seq, msg(100 + seq, seq)));
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            let m = h.join().unwrap();
+            assert_eq!(m.in_reply_to, Some(i as u64));
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! One SDVM site: the daemon run on every participating machine.
+//!
+//! A [`Site`] owns the manager stack of Fig. 3 plus the background
+//! threads: a *router* (receives, decrypts and dispatches SDMessages), a
+//! set of *processing workers* (the processing manager's virtual-parallel
+//! microthread slots), one *helper* (blocking work the router must not do
+//! itself, e.g. forwarding results whose owner has to be looked up
+//! remotely), and a *maintenance* thread (heartbeats, crash detection).
+
+use crate::config::SiteConfig;
+use crate::managers::backup::BackupManager;
+use crate::managers::cluster::ClusterManager;
+use crate::managers::code::CodeManager;
+use crate::managers::io::IoManager;
+use crate::managers::memory::MemoryManager;
+use crate::managers::processing;
+use crate::managers::program::ProgramManager;
+use crate::managers::scheduling::SchedulingManager;
+use crate::managers::security::SecurityManager;
+use crate::managers::site_mgr::SiteManager;
+use crate::pending::PendingMap;
+use crate::thread::AppRegistry;
+use crate::trace::{TraceEvent, TraceLog};
+use parking_lot::RwLock;
+use sdvm_net::Transport;
+use sdvm_types::{
+    ManagerId, PhysicalAddr, SdvmError, SdvmResult, SiteDescriptor, SiteId,
+};
+use sdvm_wire::{Payload, SdMessage};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Work the router hands to the helper thread because it might block.
+pub(crate) enum Task {
+    /// Forward a result to a frame whose owner must be resolved remotely.
+    ForwardApply {
+        /// Destination frame.
+        target: sdvm_types::GlobalAddress,
+        /// Slot to fill.
+        slot: u32,
+        /// The result value.
+        value: sdvm_types::Value,
+        /// Remaining forwarding attempts (migration chases).
+        ttl: u8,
+    },
+    /// Handle a sign-on that needs a remote id allocation.
+    SignOn {
+        /// The original request (to reply to).
+        msg: SdMessage,
+        /// Where the joiner can be reached before it has an id.
+        reply_addr: PhysicalAddr,
+    },
+    /// Revive backed-up state of a crashed site.
+    Recover {
+        /// The dead site.
+        dead: SiteId,
+    },
+    /// Run a closure (used by managers for one-off background sends).
+    Run(Box<dyn FnOnce(&SiteInner) + Send>),
+}
+
+/// Shared state of one site; all managers and threads hang off this.
+pub struct SiteInner {
+    /// Static configuration.
+    pub config: SiteConfig,
+    id: RwLock<SiteId>,
+    /// The transport (network manager's lower half).
+    pub transport: Arc<dyn Transport>,
+    /// Program code registry (see [`crate::thread`]).
+    pub registry: Arc<AppRegistry>,
+    /// Optional event trace.
+    pub trace: Option<TraceLog>,
+    /// Outstanding request correlation.
+    pub pending: PendingMap,
+    seq: AtomicU64,
+    running: AtomicBool,
+    draining: AtomicBool,
+
+    /// Attraction memory (execution layer).
+    pub memory: MemoryManager,
+    /// Scheduling manager (execution layer).
+    pub scheduling: SchedulingManager,
+    /// Code manager (execution layer).
+    pub code: CodeManager,
+    /// I/O manager (execution layer).
+    pub io: IoManager,
+    /// Cluster manager (maintenance layer).
+    pub cluster: ClusterManager,
+    /// Program manager (maintenance layer).
+    pub program: ProgramManager,
+    /// Site manager (maintenance layer).
+    pub site_mgr: SiteManager,
+    /// Security manager (between message and network managers).
+    pub security: SecurityManager,
+    /// Crash-management backup store.
+    pub backup: BackupManager,
+
+    tasks_tx: crossbeam::channel::Sender<Task>,
+    tasks_rx: crossbeam::channel::Receiver<Task>,
+    recovery_tx: crossbeam::channel::Sender<Task>,
+    recovery_rx: crossbeam::channel::Receiver<Task>,
+}
+
+impl SiteInner {
+    /// This site's logical id (`SiteId::NONE` before sign-on).
+    pub fn my_id(&self) -> SiteId {
+        *self.id.read()
+    }
+
+    pub(crate) fn set_id(&self, id: SiteId) {
+        *self.id.write() = id;
+        self.security.rekey(id);
+    }
+
+    /// Fresh message sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// True until shutdown/sign-off.
+    pub fn is_running(&self) -> bool {
+        self.running.load(Ordering::SeqCst)
+    }
+
+    /// True while the site is giving away its work to leave the cluster.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Emit a trace event if tracing is on.
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(t) = &self.trace {
+            t.emit(ev);
+        }
+    }
+
+    /// Queue background work for the helper threads. Crash recovery gets
+    /// its own lane: it must not wait behind result forwards that may be
+    /// blocked on (dead-site) request timeouts.
+    pub(crate) fn spawn_task(&self, task: Task) {
+        match task {
+            Task::Recover { .. } => {
+                let _ = self.recovery_tx.send(task);
+            }
+            other => {
+                let _ = self.tasks_tx.send(other);
+            }
+        }
+    }
+
+    // ---- the message manager (paper §4, Fig. 6) ----
+
+    /// Send a payload to a manager on another (or this) site. Returns the
+    /// sequence number used, so callers may have registered a waiter.
+    pub fn send_payload(
+        &self,
+        dst_site: SiteId,
+        dst_manager: ManagerId,
+        src_manager: ManagerId,
+        seq: u64,
+        payload: Payload,
+    ) -> SdvmResult<()> {
+        let msg = SdMessage::new(self.my_id(), src_manager, dst_site, dst_manager, seq, payload);
+        self.send_msg(msg)
+    }
+
+    /// Send a fully built message: loopback locally or resolve the
+    /// logical id to a physical address (via the cluster manager), seal
+    /// (security manager) and hand to the network manager.
+    pub fn send_msg(&self, msg: SdMessage) -> SdvmResult<()> {
+        if msg.dst_site == self.my_id() {
+            self.dispatch(msg);
+            return Ok(());
+        }
+        let addr = self
+            .cluster
+            .addr_of(msg.dst_site)
+            .ok_or(SdvmError::UnknownSite(msg.dst_site))?;
+        self.send_msg_to_addr(&addr, msg)
+    }
+
+    /// Send to an explicit physical address (used during sign-on, before
+    /// the peer's logical id is known).
+    pub fn send_msg_to_addr(&self, addr: &PhysicalAddr, msg: SdMessage) -> SdvmResult<()> {
+        self.emit(TraceEvent::MessageHop {
+            site: self.my_id(),
+            manager: ManagerId::Message,
+            payload: msg.payload.name(),
+            outgoing: true,
+        });
+        let plain = msg.to_bytes();
+        let sealed = self.security.seal(self, msg.dst_site, plain);
+        self.emit(TraceEvent::MessageHop {
+            site: self.my_id(),
+            manager: ManagerId::Network,
+            payload: msg.payload.name(),
+            outgoing: true,
+        });
+        self.transport.send(addr, sealed)
+    }
+
+    /// Blocking request/response with timeout.
+    pub fn request(
+        &self,
+        dst_site: SiteId,
+        dst_manager: ManagerId,
+        src_manager: ManagerId,
+        payload: Payload,
+        timeout: Duration,
+    ) -> SdvmResult<SdMessage> {
+        let seq = self.next_seq();
+        let rx = self.pending.register(seq);
+        if let Err(e) = self.send_payload(dst_site, dst_manager, src_manager, seq, payload) {
+            self.pending.cancel(seq);
+            return Err(e);
+        }
+        self.pending.await_reply(seq, &rx, timeout)
+    }
+
+    /// Request sent to an explicit address (sign-on).
+    pub fn request_addr(
+        &self,
+        addr: &PhysicalAddr,
+        dst_manager: ManagerId,
+        src_manager: ManagerId,
+        payload: Payload,
+        timeout: Duration,
+    ) -> SdvmResult<SdMessage> {
+        let seq = self.next_seq();
+        let rx = self.pending.register(seq);
+        let msg = SdMessage::new(
+            self.my_id(),
+            src_manager,
+            SiteId::NONE,
+            dst_manager,
+            seq,
+            payload,
+        );
+        if let Err(e) = self.send_msg_to_addr(addr, msg) {
+            self.pending.cancel(seq);
+            return Err(e);
+        }
+        self.pending.await_reply(seq, &rx, timeout)
+    }
+
+    /// Reply to a received message.
+    pub fn reply_to(&self, orig: &SdMessage, src_manager: ManagerId, payload: Payload) {
+        let reply = orig.reply(self.next_seq(), src_manager, payload);
+        // Replying to a joining site (id NONE) needs its physical address,
+        // which the cluster manager records during sign-on.
+        let _ = self.send_msg(reply);
+    }
+
+    /// Route an incoming (already decrypted/decoded) message to its
+    /// target manager. Replies wake their waiters instead.
+    pub fn dispatch(&self, msg: SdMessage) {
+        self.emit(TraceEvent::MessageHop {
+            site: self.my_id(),
+            manager: msg.dst_manager,
+            payload: msg.payload.name(),
+            outgoing: false,
+        });
+        if let Some(r) = msg.in_reply_to {
+            if self.pending.complete(r, msg.clone()) {
+                return;
+            }
+            // Unclaimed replies can still carry state that must not be
+            // lost: a HelpReply's microframe, or a migrating MemValue's
+            // object (its owner already gave it up). Fall through to the
+            // manager so the state is adopted instead of dropped.
+            match &msg.payload {
+                Payload::HelpReply { .. } => {}
+                Payload::MemValue { migrated: true, .. } => {}
+                _ => return,
+            }
+        }
+        match msg.dst_manager {
+            ManagerId::Scheduling => self.scheduling.handle(self, msg),
+            ManagerId::Memory => self.memory.handle(self, msg),
+            ManagerId::Code => self.code.handle(self, msg),
+            ManagerId::Cluster => self.cluster.handle(self, msg),
+            ManagerId::Program => self.program.handle(self, msg),
+            ManagerId::Io => self.io.handle(self, msg),
+            ManagerId::Site => self.site_mgr.handle(self, msg),
+            other => {
+                self.emit(TraceEvent::MessageHop {
+                    site: self.my_id(),
+                    manager: other,
+                    payload: "undeliverable",
+                    outgoing: false,
+                });
+            }
+        }
+    }
+}
+
+/// A running SDVM site.
+pub struct Site {
+    inner: Arc<SiteInner>,
+    threads: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Site {
+    /// Build a site on the given transport. The site is inert until
+    /// [`Site::start_first`] or [`Site::sign_on`] is called.
+    pub fn new(
+        config: SiteConfig,
+        transport: Arc<dyn Transport>,
+        registry: Arc<AppRegistry>,
+        trace: Option<TraceLog>,
+    ) -> Self {
+        assert!(
+            config.slots >= 1,
+            "a site needs at least one processing slot (the paper suggests ~5)"
+        );
+        let (tasks_tx, tasks_rx) = crossbeam::channel::unbounded();
+        let (recovery_tx, recovery_rx) = crossbeam::channel::unbounded();
+        let security = SecurityManager::new(&config);
+        let inner = Arc::new(SiteInner {
+            scheduling: SchedulingManager::new(&config),
+            memory: MemoryManager::new(),
+            code: CodeManager::new(&config),
+            io: IoManager::new(),
+            cluster: ClusterManager::new(&config),
+            program: ProgramManager::new(),
+            site_mgr: SiteManager::new(),
+            security,
+            backup: BackupManager::new(),
+            config,
+            id: RwLock::new(SiteId::NONE),
+            transport,
+            registry,
+            trace,
+            pending: PendingMap::new(),
+            seq: AtomicU64::new(1),
+            running: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            tasks_tx,
+            tasks_rx,
+            recovery_tx,
+            recovery_rx,
+        });
+        Site { inner, threads: parking_lot::Mutex::new(Vec::new()) }
+    }
+
+    /// Access to the shared state (managers, message sending).
+    pub fn inner(&self) -> &Arc<SiteInner> {
+        &self.inner
+    }
+
+    /// This site's logical id.
+    pub fn id(&self) -> SiteId {
+        self.inner.my_id()
+    }
+
+    /// This site's physical address (give it to joining sites).
+    pub fn addr(&self) -> PhysicalAddr {
+        self.inner.transport.local_addr()
+    }
+
+    /// Start as the *first* site of a new cluster: takes `SiteId::FIRST`,
+    /// becomes the initial id server and a code distribution site.
+    pub fn start_first(&self) {
+        self.inner.set_id(SiteId::FIRST);
+        self.inner.cluster.init_first(&self.inner);
+        self.spawn_threads();
+    }
+
+    /// Join an existing cluster through a site at `contact`. Blocks until
+    /// the sign-on handshake completes.
+    pub fn sign_on(&self, contact: &PhysicalAddr) -> SdvmResult<()> {
+        // The router must run to receive the SignOnAck.
+        self.spawn_threads();
+        self.inner.cluster.sign_on(&self.inner, contact)
+    }
+
+    /// Orderly sign-off: relocate all owned frames, objects and the
+    /// homesite directory to another site, announce departure, stop.
+    pub fn sign_off(&self) -> SdvmResult<()> {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        let res = self.inner.cluster.sign_off(&self.inner);
+        self.stop();
+        res
+    }
+
+    /// Abrupt stop, *without* relocation — simulates a crash (tests and
+    /// the crash-recovery experiments).
+    pub fn crash(&self) {
+        self.stop();
+    }
+
+    fn stop(&self) {
+        self.inner.running.store(false, Ordering::SeqCst);
+        self.inner.scheduling.wake_all();
+        self.inner.transport.shutdown();
+        let handles: Vec<_> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn spawn_threads(&self) {
+        if self.inner.running.swap(true, Ordering::SeqCst) {
+            return; // already running
+        }
+        let mut threads = self.threads.lock();
+
+        // Router: network manager's upper half + message manager receive.
+        {
+            let inner = self.inner.clone();
+            let rx = inner.transport.incoming();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sdvm-router-{}", inner.my_id()))
+                    .spawn(move || {
+                        while inner.is_running() {
+                            match rx.recv_timeout(Duration::from_millis(50)) {
+                                Ok(raw) => {
+                                    let Ok(plain) = inner.security.open(&inner, &raw) else {
+                                        continue; // forged/corrupt: drop
+                                    };
+                                    let Ok(msg) = SdMessage::from_bytes(&plain) else {
+                                        continue; // undecodable: drop
+                                    };
+                                    inner.dispatch(msg);
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn router"),
+            );
+        }
+
+        // Helpers: blocking background tasks (two, so one dead-site
+        // timeout does not stall all forwarding), plus a dedicated
+        // recovery lane.
+        for (n, rx) in [
+            (0, self.inner.tasks_rx.clone()),
+            (1, self.inner.tasks_rx.clone()),
+            (2, self.inner.recovery_rx.clone()),
+        ] {
+            let inner = self.inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sdvm-helper-{}-{}", inner.my_id(), n))
+                    .spawn(move || {
+                        while inner.is_running() {
+                            match rx.recv_timeout(Duration::from_millis(50)) {
+                                Ok(task) => crate::managers::run_task(&inner, task),
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn helper"),
+            );
+        }
+
+        // Processing manager: `slots` microthreads in (virtual) parallel.
+        for slot in 0..self.inner.config.slots {
+            let inner = self.inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sdvm-worker-{}-{}", inner.my_id(), slot))
+                    .spawn(move || processing::worker_loop(&inner))
+                    .expect("spawn worker"),
+            );
+        }
+
+        // Maintenance: heartbeats, crash detection.
+        {
+            let inner = self.inner.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sdvm-maint-{}", inner.my_id()))
+                    .spawn(move || {
+                        while inner.is_running() {
+                            std::thread::sleep(inner.config.heartbeat_interval);
+                            if !inner.is_running() {
+                                break;
+                            }
+                            inner.cluster.heartbeat_tick(&inner);
+                        }
+                    })
+                    .expect("spawn maintenance"),
+            );
+        }
+    }
+
+    /// The descriptor this site announces about itself.
+    pub fn descriptor(&self) -> SiteDescriptor {
+        SiteDescriptor {
+            site: self.id(),
+            addr: self.addr(),
+            platform: self.inner.config.platform,
+            speed: self.inner.config.speed,
+            code_distribution: self.inner.config.code_distribution,
+        }
+    }
+}
+
+impl Drop for Site {
+    fn drop(&mut self) {
+        if self.inner.is_running() {
+            self.stop();
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Microthreads: the code fragments of SDVM programs.
+//!
+//! A microthread is a short, atomically executed code fragment; its start
+//! arguments come from a microframe (paper §3.1, Fig. 2). The prototype
+//! compiled C fragments with `g++` on the fly; here a microthread's
+//! *behaviour* is a registered Rust handler ([`ThreadFn`]), while its
+//! *distribution* (which sites hold a binary for which platform, shipping
+//! source as a fallback, compiling on the fly) is modelled explicitly by
+//! the code manager — see DESIGN.md §1 for the substitution argument.
+
+use crate::api::ExecCtx;
+use parking_lot::RwLock;
+use sdvm_types::{MicrothreadId, ProgramId, SdvmResult};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The behaviour of one microthread. Handlers are run to completion,
+/// uninterrupted (microthreads are the atomic execution unit); all
+/// interaction with the SDVM goes through the [`ExecCtx`] — the paper's
+/// "special instructions [...] which represent the only interface between
+/// the program running on the SDVM and the SDVM itself".
+pub type ThreadFn = Arc<dyn Fn(&mut ExecCtx<'_>) -> SdvmResult<()> + Send + Sync>;
+
+/// Declaration of one microthread in a program's code table.
+#[derive(Clone)]
+pub struct ThreadSpec {
+    /// Human-readable name (shows up in traces and DOT exports).
+    pub name: String,
+    /// The handler.
+    pub func: ThreadFn,
+}
+
+impl std::fmt::Debug for ThreadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ThreadSpec({})", self.name)
+    }
+}
+
+/// Index of the hidden result-delivery microthread appended to every
+/// program (its single frame routes the program's final value back to the
+/// waiting [`ProgramHandle`](crate::api::ProgramHandle)).
+pub const RESULT_THREAD_INDEX: u32 = u32::MAX;
+
+/// The in-process registry of program code.
+///
+/// Every site of a cluster resolves `MicrothreadId → ThreadFn` here —
+/// the analogue of all machines having the program installed or shipped.
+/// What the code *manager* tracks on top is availability: which
+/// `(thread, platform)` binaries a site holds, when source must be
+/// shipped instead, and the compile-on-the-fly latency.
+#[derive(Default)]
+pub struct AppRegistry {
+    programs: RwLock<HashMap<ProgramId, RegisteredProgram>>,
+}
+
+struct RegisteredProgram {
+    name: String,
+    threads: Vec<ThreadSpec>,
+}
+
+impl AppRegistry {
+    /// An empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Register a program's code table.
+    pub fn register(&self, program: ProgramId, name: &str, threads: Vec<ThreadSpec>) {
+        self.programs
+            .write()
+            .insert(program, RegisteredProgram { name: name.to_string(), threads });
+    }
+
+    /// Remove a terminated program's code.
+    pub fn unregister(&self, program: ProgramId) {
+        self.programs.write().remove(&program);
+    }
+
+    /// Resolve a microthread's handler.
+    pub fn resolve(&self, id: MicrothreadId) -> Option<ThreadFn> {
+        let programs = self.programs.read();
+        let prog = programs.get(&id.program)?;
+        prog.threads.get(id.index as usize).map(|s| s.func.clone())
+    }
+
+    /// A microthread's name (for traces).
+    pub fn thread_name(&self, id: MicrothreadId) -> String {
+        if id.index == RESULT_THREAD_INDEX {
+            return "__result".to_string();
+        }
+        let programs = self.programs.read();
+        programs
+            .get(&id.program)
+            .and_then(|p| p.threads.get(id.index as usize))
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| format!("{id}"))
+    }
+
+    /// The program's name, if registered.
+    pub fn program_name(&self, program: ProgramId) -> Option<String> {
+        self.programs.read().get(&program).map(|p| p.name.clone())
+    }
+
+    /// Number of microthreads in the program's code table.
+    pub fn thread_count(&self, program: ProgramId) -> usize {
+        self.programs.read().get(&program).map(|p| p.threads.len()).unwrap_or(0)
+    }
+
+    /// Whether the program is known here.
+    pub fn knows(&self, program: ProgramId) -> bool {
+        self.programs.read().contains_key(&program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> ThreadFn {
+        Arc::new(|_ctx| Ok(()))
+    }
+
+    #[test]
+    fn register_resolve_unregister() {
+        let reg = AppRegistry::new();
+        let p = ProgramId(1);
+        assert!(!reg.knows(p));
+        reg.register(
+            p,
+            "demo",
+            vec![
+                ThreadSpec { name: "a".into(), func: noop() },
+                ThreadSpec { name: "b".into(), func: noop() },
+            ],
+        );
+        assert!(reg.knows(p));
+        assert_eq!(reg.thread_count(p), 2);
+        assert_eq!(reg.program_name(p).as_deref(), Some("demo"));
+        assert!(reg.resolve(MicrothreadId::new(p, 0)).is_some());
+        assert!(reg.resolve(MicrothreadId::new(p, 1)).is_some());
+        assert!(reg.resolve(MicrothreadId::new(p, 2)).is_none());
+        assert_eq!(reg.thread_name(MicrothreadId::new(p, 1)), "b");
+        reg.unregister(p);
+        assert!(!reg.knows(p));
+        assert!(reg.resolve(MicrothreadId::new(p, 0)).is_none());
+    }
+
+    #[test]
+    fn result_thread_name() {
+        let reg = AppRegistry::new();
+        assert_eq!(
+            reg.thread_name(MicrothreadId::new(ProgramId(1), RESULT_THREAD_INDEX)),
+            "__result"
+        );
+    }
+
+    #[test]
+    fn unknown_thread_name_falls_back_to_id() {
+        let reg = AppRegistry::new();
+        let name = reg.thread_name(MicrothreadId::new(ProgramId(9), 3));
+        assert!(name.contains("prog9"), "{name}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Event tracing: machine-checkable reproductions of the paper's
+//! behavioural figures.
+//!
+//! Figure 4 (execution cycle) and Figure 5 (the career of microframes:
+//! *incomplete → executable → ready → work*) describe runtime behaviour;
+//! Figure 6 shows a message's hops through message → cluster → security →
+//! network managers. Sites emit [`TraceEvent`]s at those points, so tests
+//! can assert the exact lifecycle and the `trace_career` example prints
+//! it for inspection.
+
+use parking_lot::Mutex;
+use sdvm_types::{GlobalAddress, ManagerId, MicrothreadId, PlatformId, SiteId};
+use std::sync::Arc;
+
+/// Something observable happened inside a site.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A microframe was allocated (career state: *incomplete*).
+    FrameCreated {
+        /// Site where it happened.
+        site: SiteId,
+        /// The frame.
+        frame: GlobalAddress,
+        /// The microthread it will fire.
+        thread: MicrothreadId,
+        /// Number of parameters it waits for.
+        slots: usize,
+    },
+    /// A parameter was applied to a waiting frame.
+    ParamApplied {
+        /// Site where it happened.
+        site: SiteId,
+        /// The frame.
+        frame: GlobalAddress,
+        /// Which slot was filled.
+        slot: u32,
+        /// Parameters still missing afterwards.
+        missing: usize,
+    },
+    /// The frame received its last parameter (career: *executable*).
+    FrameExecutable {
+        /// Site where it happened.
+        site: SiteId,
+        /// The frame.
+        frame: GlobalAddress,
+    },
+    /// The corresponding microthread's code was obtained (career: *ready*).
+    FrameReady {
+        /// Site where it happened.
+        site: SiteId,
+        /// The frame.
+        frame: GlobalAddress,
+    },
+    /// The processing manager executed the frame (career: *work*; the
+    /// frame is consumed).
+    FrameExecuted {
+        /// Site where it happened.
+        site: SiteId,
+        /// The frame.
+        frame: GlobalAddress,
+        /// The microthread that ran.
+        thread: MicrothreadId,
+    },
+    /// The scheduling manager sent a help request.
+    HelpRequested {
+        /// Requesting (idle) site.
+        site: SiteId,
+        /// Asked site.
+        target: SiteId,
+    },
+    /// A help request was answered with a frame (work migrates).
+    HelpGranted {
+        /// Site that gave work away.
+        site: SiteId,
+        /// Site that asked.
+        requester: SiteId,
+        /// The migrated frame.
+        frame: GlobalAddress,
+    },
+    /// A help request was answered with can't-help.
+    HelpDenied {
+        /// Site that had no work either.
+        site: SiteId,
+        /// Site that asked.
+        requester: SiteId,
+    },
+    /// Code was requested from another site.
+    CodeRequested {
+        /// Requesting site.
+        site: SiteId,
+        /// The microthread.
+        thread: MicrothreadId,
+        /// Platform the binary is wanted for.
+        platform: PlatformId,
+    },
+    /// Source code was compiled on the fly.
+    CodeCompiled {
+        /// Compiling site.
+        site: SiteId,
+        /// The microthread.
+        thread: MicrothreadId,
+        /// Target platform.
+        platform: PlatformId,
+    },
+    /// One hop of an SDMessage through the manager stack (Fig. 6).
+    MessageHop {
+        /// Site the hop happened on.
+        site: SiteId,
+        /// Manager the message passed through.
+        manager: ManagerId,
+        /// Payload kind name.
+        payload: &'static str,
+        /// `true` while sending, `false` while receiving.
+        outgoing: bool,
+    },
+    /// A site joined the cluster.
+    SiteJoined {
+        /// Observer.
+        site: SiteId,
+        /// The new site.
+        joined: SiteId,
+    },
+    /// A site left (orderly) or was declared crashed.
+    SiteGone {
+        /// Observer.
+        site: SiteId,
+        /// The departed site.
+        gone: SiteId,
+        /// True if it crashed, false if it signed off.
+        crashed: bool,
+    },
+    /// Crash recovery revived backed-up state.
+    Recovered {
+        /// Site performing the recovery.
+        site: SiteId,
+        /// The dead site whose work was revived.
+        dead: SiteId,
+        /// Frames revived.
+        frames: usize,
+        /// Memory objects revived.
+        objects: usize,
+    },
+}
+
+/// A shared, thread-safe trace collector.
+#[derive(Clone, Default)]
+pub struct TraceLog {
+    inner: Arc<Mutex<Vec<TraceEvent>>>,
+    echo: bool,
+}
+
+impl TraceLog {
+    /// A collecting log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log that also prints each event to stdout (for the examples).
+    pub fn echoing() -> Self {
+        TraceLog { inner: Arc::default(), echo: true }
+    }
+
+    /// Record one event.
+    pub fn emit(&self, ev: TraceEvent) {
+        if self.echo {
+            println!("[trace] {ev:?}");
+        }
+        self.inner.lock().push(ev);
+    }
+
+    /// Snapshot of all events so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().clone()
+    }
+
+    /// Events matching a predicate.
+    pub fn filter(&self, f: impl Fn(&TraceEvent) -> bool) -> Vec<TraceEvent> {
+        self.inner.lock().iter().filter(|e| f(e)).cloned().collect()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// The career (ordered trace states) of one frame, as Figure 5 names
+    /// them: `created → applied* → executable → ready → executed`, with
+    /// possible migration in between.
+    pub fn career_of(&self, frame: GlobalAddress) -> Vec<String> {
+        self.inner
+            .lock()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::FrameCreated { frame: f, .. } if *f == frame => {
+                    Some("incomplete".to_string())
+                }
+                TraceEvent::ParamApplied { frame: f, .. } if *f == frame => {
+                    Some("param".to_string())
+                }
+                TraceEvent::FrameExecutable { frame: f, .. } if *f == frame => {
+                    Some("executable".to_string())
+                }
+                TraceEvent::FrameReady { frame: f, .. } if *f == frame => {
+                    Some("ready".to_string())
+                }
+                TraceEvent::FrameExecuted { frame: f, .. } if *f == frame => {
+                    Some("executed".to_string())
+                }
+                TraceEvent::HelpGranted { frame: f, .. } if *f == frame => {
+                    Some("migrated".to_string())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvm_types::ProgramId;
+
+    #[test]
+    fn collects_and_filters() {
+        let log = TraceLog::new();
+        assert!(log.is_empty());
+        log.emit(TraceEvent::SiteJoined { site: SiteId(1), joined: SiteId(2) });
+        log.emit(TraceEvent::SiteGone { site: SiteId(1), gone: SiteId(2), crashed: true });
+        assert_eq!(log.len(), 2);
+        let crashes = log.filter(|e| matches!(e, TraceEvent::SiteGone { crashed: true, .. }));
+        assert_eq!(crashes.len(), 1);
+    }
+
+    #[test]
+    fn career_extraction() {
+        let log = TraceLog::new();
+        let frame = GlobalAddress::new(SiteId(1), 1);
+        let other = GlobalAddress::new(SiteId(1), 2);
+        let thread = MicrothreadId::new(ProgramId(1), 0);
+        log.emit(TraceEvent::FrameCreated { site: SiteId(1), frame, thread, slots: 1 });
+        log.emit(TraceEvent::FrameCreated { site: SiteId(1), frame: other, thread, slots: 1 });
+        log.emit(TraceEvent::ParamApplied { site: SiteId(1), frame, slot: 0, missing: 0 });
+        log.emit(TraceEvent::FrameExecutable { site: SiteId(1), frame });
+        log.emit(TraceEvent::FrameReady { site: SiteId(1), frame });
+        log.emit(TraceEvent::FrameExecuted { site: SiteId(1), frame, thread });
+        assert_eq!(
+            log.career_of(frame),
+            vec!["incomplete", "param", "executable", "ready", "executed"]
+        );
+        assert_eq!(log.career_of(other), vec!["incomplete"]);
+    }
+}

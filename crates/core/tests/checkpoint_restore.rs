@@ -1,0 +1,179 @@
+//! End-to-end checkpointing: quiesce a running program, snapshot it
+//! cluster-wide, kill the whole cluster, rebuild it, restore — and get
+//! the correct result.
+
+use sdvm_core::{AppBuilder, InProcessCluster, ProgramSnapshot, SiteConfig, TraceEvent, TraceLog};
+use sdvm_types::Value;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(60);
+
+/// Slow multi-stage app: `width` workers (stage 1) feed a second stage,
+/// then a reducer — enough structure that a mid-run snapshot contains a
+/// mixture of consumed, queued and incomplete frames.
+fn staged_app(_width: usize) -> AppBuilder {
+    let mut app = AppBuilder::new("staged");
+    let stage1 = app.thread("stage1", |ctx| {
+        std::thread::sleep(Duration::from_millis(25));
+        let v = ctx.param(0)?.as_u64()?;
+        let slot = ctx.param(1)?.as_u64()? as u32;
+        ctx.send(ctx.target(0)?, slot, Value::from_u64(v * 2))
+    });
+    assert_eq!(stage1, 0);
+    let stage2 = app.thread("stage2", |ctx| {
+        std::thread::sleep(Duration::from_millis(10));
+        let v = ctx.param(0)?.as_u64()?;
+        let slot = ctx.param(1)?.as_u64()? as u32;
+        ctx.send(ctx.target(0)?, slot, Value::from_u64(v + 1))
+    });
+    assert_eq!(stage2, 1);
+    let reduce = app.thread("reduce", move |ctx| {
+        let mut acc = 0u64;
+        for i in 0..ctx.param_count() as u32 {
+            acc += ctx.param(i)?.as_u64()?;
+        }
+        ctx.send(ctx.target(0)?, 0, Value::from_u64(acc))
+    });
+    assert_eq!(reduce, 2);
+    app
+}
+
+fn launch_staged(
+    cluster: &InProcessCluster,
+    width: usize,
+) -> sdvm_core::ProgramHandle {
+    let app = staged_app(width);
+    cluster
+        .site(0)
+        .launch(&app, |ctx, result| {
+            let reducer = ctx.create_frame(2, width, vec![result], Default::default());
+            for i in 0..width {
+                // stage2 frame wired to the reducer…
+                let s2 = ctx.create_frame(1, 2, vec![reducer], Default::default());
+                ctx.send(s2, 1, Value::from_u64(i as u64))?;
+                // …fed by a stage1 frame.
+                let s1 = ctx.create_frame(0, 2, vec![s2], Default::default());
+                ctx.send(s1, 0, Value::from_u64(i as u64))?;
+                ctx.send(s1, 1, Value::from_u64(0))?;
+            }
+            Ok(())
+        })
+        .expect("launch")
+}
+
+fn expected(width: usize) -> u64 {
+    (0..width as u64).map(|v| v * 2 + 1).sum()
+}
+
+#[test]
+fn checkpoint_and_restore_after_cluster_restart() {
+    let width = 48usize;
+    let snapshot: ProgramSnapshot;
+    {
+        let cluster = InProcessCluster::new(3, SiteConfig::default()).unwrap();
+        let handle = launch_staged(&cluster, width);
+        // Let it get properly underway, then checkpoint.
+        std::thread::sleep(Duration::from_millis(100));
+        snapshot = cluster.site(0).checkpoint_program(handle.program).unwrap();
+        assert!(!snapshot.frames.is_empty(), "mid-run snapshot must hold frames");
+        assert!(snapshot.result_addr().is_some(), "result frame must be captured");
+        // The program keeps running to completion after the checkpoint.
+        assert_eq!(handle.wait(WAIT).unwrap().as_u64().unwrap(), expected(width));
+        // Entire cluster dies here (drop).
+    }
+    // A fresh cluster with the same logical ids (1..=3) restores the cut.
+    let cluster = InProcessCluster::new(3, SiteConfig::default()).unwrap();
+    let app = staged_app(width);
+    let handle = cluster.site(0).restore_program(&app, &snapshot).unwrap();
+    let result = handle.wait(WAIT).unwrap();
+    assert_eq!(result.as_u64().unwrap(), expected(width), "restored run must finish correctly");
+}
+
+#[test]
+fn checkpoint_pauses_execution() {
+    let trace = TraceLog::new();
+    let cluster =
+        InProcessCluster::with_configs(vec![SiteConfig::default(); 2], Some(trace.clone()))
+            .unwrap();
+    let handle = launch_staged(&cluster, 24);
+    std::thread::sleep(Duration::from_millis(80));
+    let s0 = cluster.site(0).inner();
+    // Pause cluster-wide by hand and verify execution stops.
+    for m in s0.cluster.known_sites() {
+        s0.send_payload(
+            m,
+            sdvm_types::ManagerId::Program,
+            sdvm_types::ManagerId::Program,
+            s0.next_seq(),
+            sdvm_wire::Payload::ProgramPause { program: handle.program, paused: true },
+        )
+        .unwrap();
+    }
+    // Drain running microthreads, then count executions over a quiet window.
+    std::thread::sleep(Duration::from_millis(150));
+    let before = trace.filter(|e| matches!(e, TraceEvent::FrameExecuted { .. })).len();
+    std::thread::sleep(Duration::from_millis(250));
+    let after = trace.filter(|e| matches!(e, TraceEvent::FrameExecuted { .. })).len();
+    assert_eq!(before, after, "paused program must not execute frames");
+    // Resume and finish.
+    for m in s0.cluster.known_sites() {
+        s0.send_payload(
+            m,
+            sdvm_types::ManagerId::Program,
+            sdvm_types::ManagerId::Program,
+            s0.next_seq(),
+            sdvm_wire::Payload::ProgramPause { program: handle.program, paused: false },
+        )
+        .unwrap();
+    }
+    assert_eq!(handle.wait(WAIT).unwrap().as_u64().unwrap(), expected(24));
+}
+
+#[test]
+fn checkpoint_is_fetchable_from_store() {
+    let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
+    let handle = launch_staged(&cluster, 12);
+    std::thread::sleep(Duration::from_millis(80));
+    let snap = cluster.site(0).checkpoint_program(handle.program).unwrap();
+    // Both the checkpoint site (site 1 = code distribution) and the
+    // taker can serve it back.
+    let fetched = cluster.site(1).fetch_checkpoint(handle.program).unwrap();
+    assert_eq!(fetched, snap);
+    let fetched0 = cluster.site(0).fetch_checkpoint(handle.program).unwrap();
+    assert_eq!(fetched0.program, snap.program);
+    handle.wait(WAIT).unwrap();
+}
+
+#[test]
+fn checkpoint_to_disk_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("sdvm-cpr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("program.ckpt");
+
+    let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
+    let handle = launch_staged(&cluster, 12);
+    std::thread::sleep(Duration::from_millis(60));
+    let snap = cluster.site(0).checkpoint_program(handle.program).unwrap();
+    snap.save_to_file(&path).unwrap();
+    handle.wait(WAIT).unwrap();
+    drop(cluster);
+
+    let loaded = ProgramSnapshot::load_from_file(&path).unwrap();
+    assert_eq!(loaded, snap);
+    let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
+    let handle = cluster.site(0).restore_program(&staged_app(12), &loaded).unwrap();
+    assert_eq!(handle.wait(WAIT).unwrap().as_u64().unwrap(), expected(12));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_rejects_mismatched_code_table() {
+    let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
+    let handle = launch_staged(&cluster, 8);
+    std::thread::sleep(Duration::from_millis(50));
+    let snap = cluster.site(0).checkpoint_program(handle.program).unwrap();
+    handle.wait(WAIT).unwrap();
+    let mut wrong = AppBuilder::new("wrong");
+    wrong.thread("only-one", |ctx| ctx.send(ctx.target(0)?, 0, Value::empty()));
+    assert!(cluster.site(0).restore_program(&wrong, &snap).is_err());
+}

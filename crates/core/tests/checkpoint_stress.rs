@@ -1,0 +1,95 @@
+//! Regression stress for checkpoint/restore: repeatedly snapshot a
+//! running pipelined program mid-flight and restore it on a fresh
+//! cluster. Historically caught two real bugs: executable frames
+//! running before their dependents were adopted, and address-counter
+//! collisions between restored and freshly allocated frames.
+
+use sdvm_core::{InProcessCluster, ProgramSnapshot, SiteConfig, AppBuilder};
+use sdvm_types::{GlobalAddress, SiteId, Value};
+use std::time::Duration;
+
+fn enc(count: u64, ring: &[GlobalAddress]) -> Value {
+    let mut w = vec![count];
+    for a in ring { w.push(a.home.0 as u64); w.push(a.local); }
+    Value::from_u64_slice(&w)
+}
+fn dec(v: &Value) -> sdvm_types::SdvmResult<(u64, Vec<GlobalAddress>)> {
+    let w = v.as_u64_slice()?;
+    Ok((w[0], w[1..].chunks_exact(2).map(|c| GlobalAddress::new(SiteId(c[0] as u32), c[1])).collect()))
+}
+fn is_prime(n: u64) -> bool {
+    if n < 2 { return false } if n % 2 == 0 { return n == 2 }
+    let mut d = 3; while d*d <= n { if n % d == 0 { return false } d += 2; } true
+}
+fn primes_app(p: u64, w: usize, sleep_us: u64) -> AppBuilder {
+    let mut app = AppBuilder::new("p");
+    app.thread("test", move |ctx| {
+        let cand = ctx.param(0)?.as_u64()?;
+        std::thread::sleep(Duration::from_micros(sleep_us));
+        let isp = is_prime(cand);
+        ctx.send(ctx.target(0)?, 1, Value::from_u64_slice(&[cand, isp as u64]))
+    });
+    app.thread("collect", move |ctx| {
+        let (mut count, mut ring) = dec(ctx.param(0)?)?;
+        let v = ctx.param(1)?.as_u64_slice()?;
+        let (cand, isp) = (v[0], v[1]);
+        let rt = ctx.target(0)?;
+        if isp == 1 { count += 1; if count == p { return ctx.send(rt, 0, Value::from_u64(cand)); } }
+        let nc = ctx.create_frame(1, 2, vec![rt], Default::default());
+        let nt = ctx.create_frame(0, 1, vec![nc], Default::default());
+        ctx.send(nt, 0, Value::from_u64(cand + w as u64))?;
+        ring.push(nc);
+        let nxt = ring.remove(0);
+        ctx.send(nxt, 0, enc(count, &ring))
+    });
+    app
+}
+fn launch(cluster: &InProcessCluster, p: u64, w: usize, sleep_us: u64) -> sdvm_core::ProgramHandle {
+    let app = primes_app(p, w, sleep_us);
+    cluster.site(0).launch(&app, move |ctx, result| {
+        let mut cs = vec![];
+        for i in 0..w {
+            let c = ctx.create_frame(1, 2, vec![result], Default::default());
+            let t = ctx.create_frame(0, 1, vec![c], Default::default());
+            ctx.send(t, 0, Value::from_u64(2 + i as u64))?;
+            cs.push(c);
+        }
+        ctx.send(cs[0], 0, enc(0, &cs[1..]))
+    }).unwrap()
+}
+
+#[test]
+fn restore_stress_loop() {
+    for round in 0..4 {
+        let snapshot: ProgramSnapshot;
+        {
+            let cluster = InProcessCluster::new(3, SiteConfig::default()).unwrap();
+            let h = launch(&cluster, 80, 12, 20_000);
+            std::thread::sleep(Duration::from_millis(300));
+            snapshot = cluster.site(0).checkpoint_program(h.program).unwrap();
+            h.wait(Duration::from_secs(60)).unwrap();
+        }
+        let cluster = InProcessCluster::new(3, SiteConfig::default()).unwrap();
+        let app = primes_app(80, 12, 20_000);
+        let h = cluster.site(0).restore_program(&app, &snapshot).unwrap();
+        match h.wait(Duration::from_secs(20)) {
+            Ok(v) => eprintln!("round {round}: OK {}", v.as_u64().unwrap()),
+            Err(e) => {
+                eprintln!("round {round}: STALL {e}");
+                eprintln!("snapshot had {} frames:", snapshot.frames.len());
+                for f in &snapshot.frames {
+                    eprintln!("  snap {} thread={} missing={} filled={:?}", f.id, f.thread,
+                        f.missing(),
+                        f.slots.iter().enumerate().filter(|(_,s)| s.is_some()).map(|(i,_)| i).collect::<Vec<_>>());
+                }
+                let s = cluster.site(0).inner();
+                for (a, t, m, fl) in s.memory.incomplete_frames() {
+                    eprintln!("  now  {a} {t} missing={m} filled={fl:?}");
+                }
+                let st = s.site_mgr.status(s);
+                eprintln!("  status: queued={} busy={}", st.queued_frames, st.busy_slots);
+                panic!("stall");
+            }
+        }
+    }
+}

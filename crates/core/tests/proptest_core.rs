@@ -1,0 +1,108 @@
+//! Property-based tests of core data structures: microframe firing,
+//! value plumbing, and program-level determinism of the dataflow model.
+
+use proptest::prelude::*;
+use sdvm_core::{AppBuilder, InProcessCluster, Microframe, SiteConfig};
+use sdvm_types::{
+    GlobalAddress, MicrothreadId, ProgramId, SchedulingHint, SiteId, Value,
+};
+use std::time::Duration;
+
+fn frame(nslots: usize) -> Microframe {
+    Microframe::new(
+        GlobalAddress::new(SiteId(1), 1),
+        MicrothreadId::new(ProgramId(1), 0),
+        nslots,
+        vec![],
+        SchedulingHint::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frame_fires_exactly_on_last_fill_any_order(
+        nslots in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        // Fill slots in a seeded random permutation; only the final apply
+        // may report "fired".
+        let mut order: Vec<u32> = (0..nslots as u32).collect();
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let mut f = frame(nslots);
+        for (k, &slot) in order.iter().enumerate() {
+            let fired = f.apply(slot, Value::from_u64(slot as u64)).unwrap();
+            prop_assert_eq!(fired, k == nslots - 1, "slot {} at step {}", slot, k);
+            prop_assert_eq!(f.missing(), nslots - k - 1);
+        }
+        // Every slot readable, every duplicate rejected.
+        for slot in 0..nslots as u32 {
+            prop_assert_eq!(f.param(slot).unwrap().as_u64().unwrap(), slot as u64);
+            prop_assert!(f.apply(slot, Value::empty()).is_err());
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_any_fill_state(
+        nslots in 0usize..16,
+        fills in prop::collection::vec(any::<bool>(), 0..16),
+    ) {
+        let mut f = frame(nslots);
+        for (i, &fill) in fills.iter().take(nslots).enumerate() {
+            if fill {
+                f.apply(i as u32, Value::from_u64(i as u64)).unwrap();
+            }
+        }
+        let back = Microframe::from_wire(f.to_wire());
+        prop_assert_eq!(back, f);
+    }
+}
+
+// Slow (cluster-spawning) property: run with fewer cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn reduction_result_is_order_independent(
+        values in prop::collection::vec(1u64..1000, 1..24),
+        sites in 1usize..4,
+    ) {
+        // Whatever the scheduling interleaving, the dataflow reduction
+        // computes the same sum.
+        let expected: u64 = values.iter().sum();
+        let cluster = InProcessCluster::new(sites, SiteConfig::default()).unwrap();
+        let mut app = AppBuilder::new("prop-sum");
+        let emit = app.thread("emit", |ctx| {
+            let v = ctx.param(0)?.as_u64()?;
+            let slot = ctx.param(1)?.as_u64()? as u32;
+            ctx.send(ctx.target(0)?, slot, Value::from_u64(v))
+        });
+        let fold = app.thread("fold", |ctx| {
+            let mut acc = 0u64;
+            for i in 0..ctx.param_count() as u32 {
+                acc += ctx.param(i)?.as_u64()?;
+            }
+            ctx.send(ctx.target(0)?, 0, Value::from_u64(acc))
+        });
+        let vals = values.clone();
+        let handle = cluster
+            .site(0)
+            .launch(&app, move |ctx, result| {
+                let f = ctx.create_frame(fold, vals.len(), vec![result], Default::default());
+                for (i, v) in vals.iter().enumerate() {
+                    let e = ctx.create_frame(emit, 2, vec![f], Default::default());
+                    ctx.send(e, 0, Value::from_u64(*v))?;
+                    ctx.send(e, 1, Value::from_u64(i as u64))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        let got = handle.wait(Duration::from_secs(60)).unwrap();
+        prop_assert_eq!(got.as_u64().unwrap(), expected);
+    }
+}

@@ -1,0 +1,138 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574]; // "expand 32-byte k"
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    let mut work = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut work, 0, 4, 8, 12);
+        quarter_round(&mut work, 1, 5, 9, 13);
+        quarter_round(&mut work, 2, 6, 10, 14);
+        quarter_round(&mut work, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut work, 0, 5, 10, 15);
+        quarter_round(&mut work, 1, 6, 11, 12);
+        quarter_round(&mut work, 2, 7, 8, 13);
+        quarter_round(&mut work, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let v = work[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// XOR `data` in place with the ChaCha20 keystream for (`key`, `nonce`)
+/// starting at block `counter`. Applying twice decrypts.
+pub fn chacha20_xor(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+    let mut ctr = counter;
+    for chunk in data.chunks_mut(64) {
+        let ks = chacha20_block(key, ctr, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        ctr = ctr.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] =
+            hex_to_bytes("000000090000004a00000000").try_into().unwrap();
+        let block = chacha20_block(&key, 1, &nonce);
+        let expected = hex_to_bytes(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(block.to_vec(), expected);
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] =
+            hex_to_bytes("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it."
+            .to_vec();
+        chacha20_xor(&key, &nonce, 1, &mut data);
+        let expected = hex_to_bytes(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn xor_roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let original: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut data = original.clone();
+        chacha20_xor(&key, &nonce, 0, &mut data);
+        assert_ne!(data, original);
+        chacha20_xor(&key, &nonce, 0, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        chacha20_xor(&key, &[0u8; 12], 0, &mut a);
+        chacha20_xor(&key, &[1u8; 12], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let mut data: Vec<u8> = vec![];
+        chacha20_xor(&[0u8; 32], &[0u8; 12], 0, &mut data);
+        assert!(data.is_empty());
+    }
+}

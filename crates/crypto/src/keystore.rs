@@ -1,0 +1,155 @@
+//! Per-peer key management for the security manager.
+//!
+//! "It has to maintain a list of known communication partners with their
+//! respective keys, and obviously a first contact must be made in a secure
+//! way, e.g. by supplying a start password by hand." (paper §4)
+//!
+//! All sites of a cluster share the start password; pairwise *directed*
+//! traffic keys are derived from it, so the keystore needs no handshake
+//! messages — matching the paper's pre-shared-secret bootstrap.
+
+use crate::channel::SecureChannel;
+use crate::kdf::{master_key, traffic_key};
+use crate::CryptoError;
+use std::collections::HashMap;
+
+/// Keys and live channels of one site towards all its peers.
+pub struct KeyStore {
+    master: [u8; 32],
+    local: u32,
+    /// Sender channel per peer (our outgoing nonce counters).
+    send: HashMap<u32, SecureChannel>,
+    /// Receiver channel per peer (their nonce horizon).
+    recv: HashMap<u32, SecureChannel>,
+}
+
+impl KeyStore {
+    /// Build a keystore for logical site `local` from the cluster's start
+    /// password.
+    pub fn from_password(local: u32, password: &str) -> Self {
+        Self { master: master_key(password), local, send: HashMap::new(), recv: HashMap::new() }
+    }
+
+    /// Build from a precomputed master key (lets a cluster spawner derive
+    /// the password hash once instead of per site).
+    pub fn from_master(local: u32, master: [u8; 32]) -> Self {
+        Self { master, local, send: HashMap::new(), recv: HashMap::new() }
+    }
+
+    /// Re-key the keystore for a (newly assigned) logical id. Called when
+    /// sign-on replaces the provisional id; drops all channel state.
+    pub fn rekey(&mut self, local: u32) {
+        self.local = local;
+        self.send.clear();
+        self.recv.clear();
+    }
+
+    /// Seal a message for `peer`.
+    pub fn seal_for(&mut self, peer: u32, plaintext: &[u8]) -> Vec<u8> {
+        let (master, local) = (self.master, self.local);
+        self.send
+            .entry(peer)
+            .or_insert_with(|| SecureChannel::new(&traffic_key(&master, local, peer)))
+            .seal(plaintext)
+    }
+
+    /// Open a message received from `peer`.
+    pub fn open_from(&mut self, peer: u32, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let (master, local) = (self.master, self.local);
+        self.recv
+            .entry(peer)
+            .or_insert_with(|| SecureChannel::new(&traffic_key(&master, peer, local)))
+            .open(sealed)
+    }
+
+    /// Forget a peer's channels (it signed off or crashed; if it returns
+    /// it will be re-keyed with fresh counters under a new logical id).
+    pub fn forget(&mut self, peer: u32) {
+        self.send.remove(&peer);
+        self.recv.remove(&peer);
+    }
+
+    /// Number of peers with live channel state.
+    pub fn peer_count(&self) -> usize {
+        let mut peers: Vec<u32> = self.send.keys().copied().collect();
+        peers.extend(self.recv.keys());
+        peers.sort_unstable();
+        peers.dedup();
+        peers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sites_communicate() {
+        let mut a = KeyStore::from_password(1, "pw");
+        let mut b = KeyStore::from_password(2, "pw");
+        let sealed = a.seal_for(2, b"hello from 1");
+        assert_eq!(b.open_from(1, &sealed).unwrap(), b"hello from 1");
+        let sealed2 = b.seal_for(1, b"hello from 2");
+        assert_eq!(a.open_from(2, &sealed2).unwrap(), b"hello from 2");
+    }
+
+    #[test]
+    fn wrong_password_fails() {
+        let mut a = KeyStore::from_password(1, "pw");
+        let mut b = KeyStore::from_password(2, "other");
+        let sealed = a.seal_for(2, b"hi");
+        assert!(b.open_from(1, &sealed).is_err());
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut a = KeyStore::from_password(1, "pw");
+        let mut b = KeyStore::from_password(2, "pw");
+        let sealed = a.seal_for(2, b"hi");
+        // Site 2 trying to open it as if 2 had sent it to 1 must fail.
+        let mut a2 = KeyStore::from_password(1, "pw");
+        assert!(a2.open_from(2, &sealed).is_err());
+        assert!(b.open_from(1, &sealed).is_ok());
+    }
+
+    #[test]
+    fn many_peers_independent_counters() {
+        let mut hub = KeyStore::from_password(1, "pw");
+        let mut peers: Vec<KeyStore> =
+            (2..6).map(|i| KeyStore::from_password(i, "pw")).collect();
+        for round in 0..3 {
+            for (i, p) in peers.iter_mut().enumerate() {
+                let peer_id = (i + 2) as u32;
+                let msg = format!("round {round} to {peer_id}");
+                let sealed = hub.seal_for(peer_id, msg.as_bytes());
+                assert_eq!(p.open_from(1, &sealed).unwrap(), msg.as_bytes());
+            }
+        }
+        assert_eq!(hub.peer_count(), 4);
+    }
+
+    #[test]
+    fn forget_resets_replay_horizon() {
+        let mut a = KeyStore::from_password(1, "pw");
+        let mut b = KeyStore::from_password(2, "pw");
+        let s1 = a.seal_for(2, b"one");
+        b.open_from(1, &s1).unwrap();
+        // Replay now fails...
+        assert!(b.open_from(1, &s1).is_err());
+        // ...but after forgetting the peer (sign-off + re-join semantics),
+        // a *fresh sender* starting at nonce 1 is accepted again.
+        b.forget(1);
+        let mut a_fresh = KeyStore::from_password(1, "pw");
+        let s2 = a_fresh.seal_for(2, b"fresh");
+        assert_eq!(b.open_from(1, &s2).unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn from_master_matches_from_password() {
+        let m = master_key("pw");
+        let mut a = KeyStore::from_master(1, m);
+        let mut b = KeyStore::from_password(2, "pw");
+        let sealed = a.seal_for(2, b"x");
+        assert!(b.open_from(1, &sealed).is_ok());
+    }
+}

@@ -1,0 +1,66 @@
+//! Security-manager substrate for the SDVM.
+//!
+//! The paper (§4) places a *security manager* between the message manager
+//! and the network manager: it encrypts all outgoing and decrypts all
+//! incoming traffic, keyed per communication partner, bootstrapped from a
+//! *start password* supplied by hand. It can be disabled on trusted
+//! (insular) clusters in favor of a performance gain — measured in
+//! experiment E5 (`crypto_overhead`).
+//!
+//! Everything here is implemented from scratch (no external crypto crates
+//! are in the approved dependency list) and validated against published
+//! test vectors:
+//!
+//! - [`sha256`] — FIPS 180-4 SHA-256,
+//! - [`hmac`] — RFC 2104 HMAC-SHA-256 (RFC 4231 vectors),
+//! - [`chacha`] — RFC 8439 ChaCha20 stream cipher,
+//! - [`kdf`] — HKDF-style key derivation (extract/expand),
+//! - [`channel`] — an encrypt-then-MAC [`SecureChannel`] with strictly
+//!   monotone nonces (replay protection),
+//! - [`keystore`] — per-peer channel management from one cluster password.
+//!
+//! This is a faithful *instance* of what the paper requires, not an
+//! audited security product.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chacha;
+pub mod channel;
+pub mod hmac;
+pub mod kdf;
+pub mod keystore;
+pub mod sha256;
+
+pub use channel::{SecureChannel, TAG_LEN};
+pub use keystore::KeyStore;
+
+/// Errors produced by the crypto layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Message authentication failed (corrupt or forged).
+    BadTag,
+    /// Nonce not strictly greater than the last accepted one (replay).
+    Replay {
+        /// Nonce carried by the rejected message.
+        got: u64,
+        /// Highest nonce accepted so far.
+        last: u64,
+    },
+    /// Ciphertext too short to contain nonce and tag.
+    Truncated,
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::BadTag => write!(f, "message authentication failed"),
+            CryptoError::Replay { got, last } => {
+                write!(f, "replayed nonce {got} (last accepted {last})")
+            }
+            CryptoError::Truncated => write!(f, "ciphertext truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

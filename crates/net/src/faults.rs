@@ -1,0 +1,154 @@
+//! Datagram fault injection for the in-memory transport.
+//!
+//! The paper tested UDP and found it "not viable at present": packets may
+//! be lost or arrive out of order, and the SDVM has no resequencing
+//! layer. [`FaultPlan`] lets tests and experiment E11 reproduce exactly
+//! those datagram semantics on the in-memory hub and observe the
+//! consequences, while the default plan is a faithful reliable, ordered
+//! link (TCP semantics).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Probabilistic fault model applied per message on a [`MemHub`](crate::MemHub)
+/// (see [`crate::mem`]) link.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability a message is held back and delivered *after* the next
+    /// one on the same link (pairwise reordering).
+    pub reorder_prob: f64,
+    /// RNG seed, so experiments are reproducible.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Reliable, ordered delivery — TCP semantics (the default).
+    pub fn reliable() -> Self {
+        FaultPlan { drop_prob: 0.0, dup_prob: 0.0, reorder_prob: 0.0, seed: 0 }
+    }
+
+    /// Lossy, reordering datagram semantics approximating what the paper
+    /// observed with UDP.
+    pub fn udp_like(seed: u64) -> Self {
+        FaultPlan { drop_prob: 0.02, dup_prob: 0.01, reorder_prob: 0.05, seed }
+    }
+
+    /// True if this plan never perturbs traffic.
+    pub fn is_reliable(&self) -> bool {
+        self.drop_prob == 0.0 && self.dup_prob == 0.0 && self.reorder_prob == 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::reliable()
+    }
+}
+
+/// Per-link fault state: the RNG plus at most one held-back message.
+pub(crate) struct LinkFaults {
+    plan: FaultPlan,
+    rng: StdRng,
+    held: Option<Vec<u8>>,
+}
+
+/// What the fault layer decided to deliver for one offered message.
+pub(crate) enum Delivery {
+    /// Deliver these messages, in order (possibly empty = dropped).
+    Now(Vec<Vec<u8>>),
+}
+
+impl LinkFaults {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Self { plan, rng, held: None }
+    }
+
+    /// Run one message through the fault model.
+    pub(crate) fn offer(&mut self, msg: Vec<u8>) -> Delivery {
+        if self.plan.is_reliable() {
+            return Delivery::Now(vec![msg]);
+        }
+        let mut out = Vec::new();
+        if self.rng.random::<f64>() < self.plan.drop_prob {
+            // Dropped; but anything held back still flushes behind it.
+            if let Some(h) = self.held.take() {
+                out.push(h);
+            }
+            return Delivery::Now(out);
+        }
+        let duplicated = self.rng.random::<f64>() < self.plan.dup_prob;
+        if self.held.is_none() && self.rng.random::<f64>() < self.plan.reorder_prob {
+            // Hold this one back; it will be delivered after the next.
+            self.held = Some(msg);
+            return Delivery::Now(out);
+        }
+        out.push(msg.clone());
+        if duplicated {
+            out.push(msg);
+        }
+        if let Some(h) = self.held.take() {
+            out.push(h);
+        }
+        Delivery::Now(out)
+    }
+
+    /// Flush any held message (so nothing is lost forever by the
+    /// *reorder* fault alone; exercised by the fault-model tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn flush(&mut self) -> Option<Vec<u8>> {
+        self.held.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(plan: FaultPlan, n: usize) -> Vec<u64> {
+        let mut lf = LinkFaults::new(plan);
+        let mut delivered = Vec::new();
+        for i in 0..n as u64 {
+            let Delivery::Now(msgs) = lf.offer(i.to_le_bytes().to_vec());
+            for m in msgs {
+                delivered.push(u64::from_le_bytes(m.try_into().unwrap()));
+            }
+        }
+        if let Some(m) = lf.flush() {
+            delivered.push(u64::from_le_bytes(m.try_into().unwrap()));
+        }
+        delivered
+    }
+
+    #[test]
+    fn reliable_is_identity() {
+        let got = run(FaultPlan::reliable(), 100);
+        assert_eq!(got, (0..100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn udp_like_loses_and_reorders() {
+        let got = run(FaultPlan::udp_like(7), 2000);
+        // Some messages lost...
+        assert!(got.len() < 2000 + 50, "dup bound");
+        let unique: std::collections::HashSet<_> = got.iter().collect();
+        assert!(unique.len() < 2000, "expected losses with seed 7");
+        // ...and some out of order.
+        let sorted = {
+            let mut s = got.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_ne!(got, sorted, "expected reordering with seed 7");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(run(FaultPlan::udp_like(3), 500), run(FaultPlan::udp_like(3), 500));
+        assert_ne!(run(FaultPlan::udp_like(3), 500), run(FaultPlan::udp_like(4), 500));
+    }
+}

@@ -1,0 +1,51 @@
+//! Network-manager substrate for the SDVM.
+//!
+//! The paper's network manager "sends and receives packets to and from the
+//! network", features a listener spawning a thread per incoming
+//! connection, and "works with physical (ip) addresses only" (§4). This
+//! crate provides that lowest layer as a [`Transport`] trait with two
+//! implementations:
+//!
+//! - [`MemTransport`] — an in-process hub for building whole clusters in
+//!   one process (tests, benches, the in-process cluster API). It can
+//!   inject *datagram faults* (loss, duplication, reordering) to
+//!   reproduce the paper's finding that raw UDP semantics are "not
+//!   viable" for the SDVM (experiment E11).
+//! - [`TcpTransport`] — real TCP with length-prefixed frames, a listener
+//!   thread and per-connection reader threads, exactly the paper's
+//!   structure.
+//!
+//! Transports move opaque byte vectors; SDMessage encoding/decoding and
+//! encryption live above this layer (message and security managers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod mem;
+pub mod tcp;
+
+pub use faults::FaultPlan;
+pub use mem::{MemHub, MemTransport};
+pub use tcp::TcpTransport;
+
+use crossbeam::channel::Receiver;
+use sdvm_types::{PhysicalAddr, SdvmResult};
+
+/// A byte-oriented, connectionless-looking transport between physical
+/// addresses. Implementations must be usable from many threads.
+pub trait Transport: Send + Sync {
+    /// The address peers can reach this endpoint at.
+    fn local_addr(&self) -> PhysicalAddr;
+
+    /// Send one message (a serialized, possibly sealed, SDMessage).
+    fn send(&self, to: &PhysicalAddr, data: Vec<u8>) -> SdvmResult<()>;
+
+    /// The stream of received messages. Each item is one framed message
+    /// together with nothing else — framing/reassembly is the transport's
+    /// job.
+    fn incoming(&self) -> Receiver<Vec<u8>>;
+
+    /// Stop background threads and refuse further traffic.
+    fn shutdown(&self);
+}

@@ -1,0 +1,301 @@
+//! In-process transport: whole SDVM clusters inside one process.
+//!
+//! A [`MemHub`] is the "wire"; each [`MemTransport`] is one site's network
+//! endpoint. Per-link [`FaultPlan`]s support the datagram-semantics
+//! experiments, and endpoints can be *severed* to simulate a site crash
+//! (traffic to and from a severed endpoint vanishes, exactly like a
+//! machine dropping off the network).
+
+use crate::faults::{Delivery, FaultPlan, LinkFaults};
+use crate::Transport;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sdvm_types::{PhysicalAddr, SdvmError, SdvmResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Endpoint {
+    tx: Sender<Vec<u8>>,
+    severed: Arc<AtomicBool>,
+}
+
+struct HubInner {
+    endpoints: Mutex<HashMap<u64, Endpoint>>,
+    links: Mutex<HashMap<(u64, u64), LinkFaults>>,
+    default_plan: Mutex<FaultPlan>,
+    next_id: AtomicU64,
+    /// Total messages accepted for delivery (observability for benches).
+    delivered: AtomicU64,
+}
+
+/// The shared in-process "network" connecting [`MemTransport`] endpoints.
+#[derive(Clone)]
+pub struct MemHub {
+    inner: Arc<HubInner>,
+}
+
+impl Default for MemHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemHub {
+    /// A hub with reliable, ordered links.
+    pub fn new() -> Self {
+        MemHub {
+            inner: Arc::new(HubInner {
+                endpoints: Mutex::new(HashMap::new()),
+                links: Mutex::new(HashMap::new()),
+                default_plan: Mutex::new(FaultPlan::reliable()),
+                next_id: AtomicU64::new(1),
+                delivered: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Set the fault plan applied to links created from now on.
+    pub fn set_default_plan(&self, plan: FaultPlan) {
+        *self.inner.default_plan.lock() = plan;
+    }
+
+    /// Override the fault plan of one directed link.
+    pub fn set_link_plan(&self, from: u64, to: u64, plan: FaultPlan) {
+        self.inner.links.lock().insert((from, to), LinkFaults::new(plan));
+    }
+
+    /// Create a new endpoint on this hub.
+    pub fn endpoint(&self) -> MemTransport {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        let severed = Arc::new(AtomicBool::new(false));
+        self.inner
+            .endpoints
+            .lock()
+            .insert(id, Endpoint { tx, severed: severed.clone() });
+        MemTransport { hub: self.clone(), id, rx, severed }
+    }
+
+    /// Simulate a crash: messages to and from this endpoint vanish.
+    /// (An orderly sign-off, by contrast, drains its queues first.)
+    pub fn sever(&self, addr: &PhysicalAddr) {
+        if let PhysicalAddr::Mem(id) = addr {
+            if let Some(ep) = self.inner.endpoints.lock().get(id) {
+                ep.severed.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Messages accepted for delivery so far (for benchmarks).
+    pub fn delivered_count(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Relaxed)
+    }
+
+    fn send_from(&self, src: u64, to: &PhysicalAddr, data: Vec<u8>) -> SdvmResult<()> {
+        let dst = match to {
+            PhysicalAddr::Mem(id) => *id,
+            other => {
+                return Err(SdvmError::Transport(format!(
+                    "mem transport cannot reach {other}"
+                )))
+            }
+        };
+        let endpoints = self.inner.endpoints.lock();
+        // A severed *sender* can no longer emit traffic.
+        if let Some(src_ep) = endpoints.get(&src) {
+            if src_ep.severed.load(Ordering::SeqCst) {
+                return Err(SdvmError::Transport("local endpoint severed".into()));
+            }
+        }
+        let ep = endpoints
+            .get(&dst)
+            .ok_or_else(|| SdvmError::Transport(format!("no endpoint mem:{dst}")))?;
+        if ep.severed.load(Ordering::SeqCst) {
+            // Crashed machines silently eat packets; the sender notices
+            // only via timeouts — just like a real network.
+            return Ok(());
+        }
+        let tx = ep.tx.clone();
+        drop(endpoints);
+
+        let mut links = self.inner.links.lock();
+        let faults = links
+            .entry((src, dst))
+            .or_insert_with(|| LinkFaults::new(self.inner.default_plan.lock().clone()));
+        let Delivery::Now(msgs) = faults.offer(data);
+        drop(links);
+        for m in msgs {
+            self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+            // Receiver dropped == site gone; that's a silent loss too.
+            let _ = tx.send(m);
+        }
+        Ok(())
+    }
+}
+
+/// One site's endpoint on a [`MemHub`].
+pub struct MemTransport {
+    hub: MemHub,
+    id: u64,
+    rx: Receiver<Vec<u8>>,
+    severed: Arc<AtomicBool>,
+}
+
+impl MemTransport {
+    /// The hub this endpoint belongs to.
+    pub fn hub(&self) -> &MemHub {
+        &self.hub
+    }
+}
+
+impl Transport for MemTransport {
+    fn local_addr(&self) -> PhysicalAddr {
+        PhysicalAddr::Mem(self.id)
+    }
+
+    fn send(&self, to: &PhysicalAddr, data: Vec<u8>) -> SdvmResult<()> {
+        self.hub.send_from(self.id, to, data)
+    }
+
+    fn incoming(&self) -> Receiver<Vec<u8>> {
+        self.rx.clone()
+    }
+
+    fn shutdown(&self) {
+        self.severed.store(true, Ordering::SeqCst);
+        self.hub.inner.endpoints.lock().remove(&self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_delivery() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        a.send(&b.local_addr(), b"ping".to_vec()).unwrap();
+        assert_eq!(b.incoming().recv().unwrap(), b"ping");
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        assert_ne!(a.local_addr(), b.local_addr());
+    }
+
+    #[test]
+    fn unknown_target_errors() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let err = a.send(&PhysicalAddr::Mem(999), b"x".to_vec());
+        assert!(err.is_err());
+        let err2 = a.send(&PhysicalAddr::Tcp("h:1".into()), b"x".to_vec());
+        assert!(err2.is_err());
+    }
+
+    #[test]
+    fn severed_target_swallows_silently() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        hub.sever(&b.local_addr());
+        // Send succeeds (network can't know the peer died)...
+        a.send(&b.local_addr(), b"lost".to_vec()).unwrap();
+        // ...but nothing arrives.
+        assert!(b.incoming().try_recv().is_err());
+    }
+
+    #[test]
+    fn severed_sender_cannot_send() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        hub.sever(&a.local_addr());
+        assert!(a.send(&b.local_addr(), b"x".to_vec()).is_err());
+    }
+
+    #[test]
+    fn shutdown_removes_endpoint() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        let b_addr = b.local_addr();
+        b.shutdown();
+        assert!(a.send(&b_addr, b"x".to_vec()).is_err());
+    }
+
+    #[test]
+    fn ordered_reliable_by_default() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        for i in 0..100u32 {
+            a.send(&b.local_addr(), i.to_le_bytes().to_vec()).unwrap();
+        }
+        let rx = b.incoming();
+        for i in 0..100u32 {
+            assert_eq!(rx.recv().unwrap(), i.to_le_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn faulty_link_perturbs_traffic() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        let (PhysicalAddr::Mem(aid), PhysicalAddr::Mem(bid)) =
+            (a.local_addr(), b.local_addr())
+        else {
+            unreachable!()
+        };
+        hub.set_link_plan(aid, bid, FaultPlan::udp_like(11));
+        for i in 0..1000u32 {
+            a.send(&b.local_addr(), i.to_le_bytes().to_vec()).unwrap();
+        }
+        let rx = b.incoming();
+        let mut got = Vec::new();
+        while let Ok(m) = rx.try_recv() {
+            got.push(u32::from_le_bytes(m.try_into().unwrap()));
+        }
+        assert!(!got.is_empty());
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(
+            got.len() != 1000 || got != (0..1000).collect::<Vec<_>>(),
+            "udp-like link should drop/dup/reorder"
+        );
+    }
+
+    #[test]
+    fn many_to_one_is_safe() {
+        let hub = MemHub::new();
+        let target = hub.endpoint();
+        let addr = target.local_addr();
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let ep = hub.endpoint();
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    ep.send(&addr, vec![t, i as u8]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rx = target.incoming();
+        let mut count = 0;
+        while rx.try_recv().is_ok() {
+            count += 1;
+        }
+        assert_eq!(count, 200);
+    }
+}

@@ -1,0 +1,220 @@
+//! TCP transport: the paper's network manager over real sockets.
+//!
+//! "To receive, it features a listener, which spawns a new thread every
+//! time an incoming connection is established." (§4). Outgoing
+//! connections are cached per peer and re-established on failure.
+//! Messages are delimited with the framing from `sdvm-wire`.
+
+use crate::Transport;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sdvm_types::{PhysicalAddr, SdvmError, SdvmResult};
+use sdvm_wire::{read_frame, write_frame};
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// TCP implementation of [`Transport`].
+pub struct TcpTransport {
+    local: String,
+    inbox_rx: Receiver<Vec<u8>>,
+    conns: Mutex<HashMap<String, TcpStream>>,
+    closed: Arc<AtomicBool>,
+}
+
+impl TcpTransport {
+    /// Bind to `bind_addr` (e.g. `"127.0.0.1:0"` for an ephemeral port)
+    /// and start the listener thread.
+    pub fn bind(bind_addr: &str) -> SdvmResult<Arc<TcpTransport>> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let local = listener.local_addr()?.to_string();
+        let (inbox_tx, inbox_rx) = unbounded();
+        let closed = Arc::new(AtomicBool::new(false));
+        let t = Arc::new(TcpTransport {
+            local,
+            inbox_rx,
+            conns: Mutex::new(HashMap::new()),
+            closed: closed.clone(),
+        });
+        Self::spawn_listener(listener, inbox_tx, closed);
+        Ok(t)
+    }
+
+    fn spawn_listener(listener: TcpListener, inbox: Sender<Vec<u8>>, closed: Arc<AtomicBool>) {
+        listener
+            .set_nonblocking(true)
+            .expect("set_nonblocking on fresh listener");
+        std::thread::Builder::new()
+            .name("sdvm-tcp-listener".into())
+            .spawn(move || loop {
+                if closed.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stream.set_nonblocking(false).ok();
+                        let inbox = inbox.clone();
+                        let closed = closed.clone();
+                        std::thread::Builder::new()
+                            .name("sdvm-tcp-reader".into())
+                            .spawn(move || Self::read_loop(stream, inbox, closed))
+                            .expect("spawn reader");
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn listener");
+    }
+
+    fn read_loop(mut stream: TcpStream, inbox: Sender<Vec<u8>>, closed: Arc<AtomicBool>) {
+        // Bound blocking reads so the thread notices shutdown.
+        stream.set_read_timeout(Some(Duration::from_millis(200))).ok();
+        loop {
+            if closed.load(Ordering::SeqCst) {
+                return;
+            }
+            match read_frame(&mut stream) {
+                Ok(Some(frame)) => {
+                    if inbox.send(frame).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => return, // clean EOF
+                Err(SdvmError::Io(ref m))
+                    if m.contains("timed out") || m.contains("would block") =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn connect(&self, host: &str) -> SdvmResult<TcpStream> {
+        let stream = TcpStream::connect(host)
+            .map_err(|e| SdvmError::Transport(format!("connect {host}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        Ok(stream)
+    }
+
+    fn try_send(&self, host: &str, data: &[u8]) -> SdvmResult<()> {
+        let mut conns = self.conns.lock();
+        if !conns.contains_key(host) {
+            let s = self.connect(host)?;
+            conns.insert(host.to_string(), s);
+        }
+        let stream = conns.get_mut(host).expect("just inserted");
+        match write_frame(stream, data) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                conns.remove(host);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn local_addr(&self) -> PhysicalAddr {
+        PhysicalAddr::Tcp(self.local.clone())
+    }
+
+    fn send(&self, to: &PhysicalAddr, data: Vec<u8>) -> SdvmResult<()> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(SdvmError::Transport("transport shut down".into()));
+        }
+        let host = match to {
+            PhysicalAddr::Tcp(h) => h,
+            other => {
+                return Err(SdvmError::Transport(format!("tcp transport cannot reach {other}")))
+            }
+        };
+        // One reconnect attempt: a cached connection may have died.
+        match self.try_send(host, &data) {
+            Ok(()) => Ok(()),
+            Err(_) => self.try_send(host, &data),
+        }
+    }
+
+    fn incoming(&self) -> Receiver<Vec<u8>> {
+        self.inbox_rx.clone()
+    }
+
+    fn shutdown(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.conns.lock().clear();
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_endpoints_roundtrip() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        a.send(&b.local_addr(), b"hello tcp".to_vec()).unwrap();
+        let got = b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, b"hello tcp");
+        // And back, on a fresh connection.
+        b.send(&a.local_addr(), b"reply".to_vec()).unwrap();
+        assert_eq!(
+            a.incoming().recv_timeout(Duration::from_secs(5)).unwrap(),
+            b"reply"
+        );
+    }
+
+    #[test]
+    fn many_messages_preserve_order() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        for i in 0..200u32 {
+            a.send(&b.local_addr(), i.to_le_bytes().to_vec()).unwrap();
+        }
+        let rx = b.incoming();
+        for i in 0..200u32 {
+            let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(m, i.to_le_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn unreachable_peer_errors() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        // Port 1 is essentially never listening.
+        let err = a.send(&PhysicalAddr::Tcp("127.0.0.1:1".into()), b"x".to_vec());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn send_after_shutdown_errors() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        a.shutdown();
+        assert!(a.send(&b.local_addr(), b"x".to_vec()).is_err());
+    }
+
+    #[test]
+    fn large_frame_roundtrips() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let big = vec![0xa5u8; 1 << 20];
+        a.send(&b.local_addr(), big.clone()).unwrap();
+        assert_eq!(
+            b.incoming().recv_timeout(Duration::from_secs(10)).unwrap(),
+            big
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! The event queue: a deterministic min-heap over virtual time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Something scheduled to happen at a virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// The current CPU segment of an open task finished.
+    SegmentDone {
+        /// Executing site.
+        site: usize,
+        /// CDAG node.
+        node: usize,
+    },
+    /// A blocking remote read of an open task completed.
+    ReadDone {
+        /// Executing site.
+        site: usize,
+        /// CDAG node.
+        node: usize,
+    },
+    /// A result message arrives at the destination frame's site.
+    ResultArrive {
+        /// Destination CDAG node (frame).
+        node: usize,
+    },
+    /// A migrated frame arrives at a site (help grant, relocation,
+    /// recovery).
+    FrameArrive {
+        /// Receiving site.
+        site: usize,
+        /// The frame's CDAG node.
+        node: usize,
+    },
+    /// A help request arrives at its target.
+    HelpArrive {
+        /// Asked site.
+        site: usize,
+        /// Requesting site.
+        from: usize,
+    },
+    /// A can't-help answer arrives back at the requester.
+    CantHelpArrive {
+        /// Requesting site.
+        site: usize,
+    },
+    /// A site retries finding work after a backoff.
+    TryHelp {
+        /// The idle site.
+        site: usize,
+    },
+    /// Code for `thread` became available on `site`; open task resumes.
+    CodeReady {
+        /// The site.
+        site: usize,
+        /// The waiting task's node.
+        node: usize,
+    },
+    /// A site joins the cluster.
+    Join {
+        /// The site.
+        site: usize,
+    },
+    /// A site leaves orderly (relocating its work).
+    Leave {
+        /// The site.
+        site: usize,
+    },
+    /// A site crashes (its in-progress work is lost and later revived).
+    Crash {
+        /// The site.
+        site: usize,
+    },
+    /// A power-managed site checks whether it has been idle long enough
+    /// to enter the sleep state (§2.2 SoC scenario).
+    MaybeSleep {
+        /// The site.
+        site: usize,
+        /// Idle epoch this check belongs to; stale checks are ignored.
+        epoch: u64,
+    },
+    /// An overloaded site pokes a sleeping one back awake.
+    Wake {
+        /// The sleeping site.
+        site: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: smaller time first; ties broken by insertion order so
+        // the simulation is deterministic.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute virtual time `time`.
+    pub fn push(&mut self, time: f64, event: Event) {
+        debug_assert!(time.is_finite(), "non-finite event time");
+        self.heap.push(Scheduled { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, Event::TryHelp { site: 3 });
+        q.push(1.0, Event::TryHelp { site: 1 });
+        q.push(2.0, Event::TryHelp { site: 2 });
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::TryHelp { site } => site,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for site in 0..10 {
+            q.push(5.0, Event::TryHelp { site });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::TryHelp { site } => site,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, Event::Join { site: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

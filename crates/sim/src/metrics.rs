@@ -1,0 +1,89 @@
+//! Results of a simulation run.
+
+/// Aggregate metrics of one simulated execution.
+#[derive(Clone, Debug, Default)]
+pub struct SimMetrics {
+    /// Virtual completion time of the last task (s).
+    pub makespan: f64,
+    /// Tasks executed (≥ node count when crashes forced re-execution).
+    pub tasks_executed: u64,
+    /// CPU-busy seconds per site.
+    pub busy: Vec<f64>,
+    /// Tasks executed per site.
+    pub executed_per_site: Vec<u64>,
+    /// Help requests sent.
+    pub help_requests: u64,
+    /// Help requests answered with a frame.
+    pub help_granted: u64,
+    /// Frames that migrated between sites.
+    pub migrations: u64,
+    /// Result messages that crossed the network (inter-site).
+    pub remote_results: u64,
+    /// Result applications that stayed site-local.
+    pub local_results: u64,
+    /// Binary fetches paid.
+    pub binary_fetches: u64,
+    /// On-the-fly compiles paid.
+    pub compiles: u64,
+    /// Tasks lost to crashes and re-executed.
+    pub reexecutions: u64,
+    /// Events processed (simulation effort, for sanity checks).
+    pub events: u64,
+    /// Energy per site in joules (0.0 for sites without a power model).
+    pub energy: Vec<f64>,
+    /// Seconds each site spent in the sleep state.
+    pub slept: Vec<f64>,
+    /// Per-site executed CPU segments as (start, end, node), recorded
+    /// only when `SimConfig::record_timeline` is set.
+    pub timeline: Vec<Vec<(f64, f64, usize)>>,
+}
+
+impl SimMetrics {
+    /// Average utilization over sites that were ever alive, relative to
+    /// the makespan.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.busy.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self.busy.iter().sum();
+        total / (self.makespan * self.busy.len() as f64)
+    }
+
+    /// Total energy over all power-modelled sites (J).
+    pub fn total_energy(&self) -> f64 {
+        self.energy.iter().sum()
+    }
+
+    /// Share of result traffic that crossed the network.
+    pub fn remote_result_fraction(&self) -> f64 {
+        let total = self.remote_results + self.local_results;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_results as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let m = SimMetrics {
+            makespan: 10.0,
+            busy: vec![5.0, 10.0],
+            ..Default::default()
+        };
+        assert!((m.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(SimMetrics::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn remote_fraction() {
+        let m = SimMetrics { remote_results: 1, local_results: 3, ..Default::default() };
+        assert!((m.remote_result_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(SimMetrics::default().remote_result_fraction(), 0.0);
+    }
+}

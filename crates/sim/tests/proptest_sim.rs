@@ -1,0 +1,119 @@
+//! Property-based tests of the simulator: completion, determinism and
+//! physical bounds on arbitrary workloads and cluster shapes.
+
+#![allow(clippy::field_reassign_with_default)] // config structs are built by mutation by design
+
+use proptest::prelude::*;
+use sdvm_cdag::{generators, CdagAnalysis};
+use sdvm_sim::{SimConfig, SimSite, Simulation};
+
+fn arb_graph() -> impl Strategy<Value = sdvm_cdag::Cdag> {
+    prop_oneof![
+        (1usize..40, 1u64..10_000).prop_map(|(n, c)| generators::chain(n, c)),
+        (1usize..40, 1u64..10_000).prop_map(|(w, c)| generators::fork_join(1, w, c, 1)),
+        (1usize..6, 1usize..12, 1u64..10_000)
+            .prop_map(|(r, w, c)| generators::iterative_fork_join(r, w, c)),
+        (2usize..8, 2usize..10, any::<u64>())
+            .prop_map(|(l, w, s)| generators::layered_random(l, w, s)),
+        (1usize..24, 1u64..5_000).prop_map(|(n, c)| generators::reduction_tree(n, c)),
+        (2usize..8, 1u64..5_000).prop_map(|(n, c)| generators::wavefront(n, c)),
+    ]
+}
+
+fn arb_cluster() -> impl Strategy<Value = Vec<SimSite>> {
+    prop::collection::vec(0.25f64..4.0, 1..9)
+        .prop_map(|speeds| speeds.into_iter().map(SimSite::with_speed).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_run_completes_every_task(g in arb_graph(), sites in arb_cluster()) {
+        let total = g.node_count() as u64;
+        let mut cfg = SimConfig::default();
+        cfg.sites = sites;
+        let m = Simulation::new(cfg, g).run();
+        prop_assert_eq!(m.tasks_executed, total);
+    }
+
+    #[test]
+    fn determinism(g in arb_graph(), n in 1usize..6) {
+        let a = Simulation::new(SimConfig::homogeneous(n), g.clone()).run();
+        let b = Simulation::new(SimConfig::homogeneous(n), g).run();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.executed_per_site, b.executed_per_site);
+        prop_assert_eq!(a.migrations, b.migrations);
+    }
+
+    #[test]
+    fn makespan_physical_bounds(g in arb_graph(), n in 1usize..6) {
+        // Lower bound: the critical path at reference speed. Upper bound:
+        // all work serialized on one site plus generous per-task overheads.
+        let analysis = CdagAnalysis::analyse(&g).expect("acyclic");
+        let cfg = SimConfig::homogeneous(n);
+        let units = cfg.cost.units_per_sec;
+        let critical_secs = analysis.critical.length as f64 / units;
+        let serial_secs = g.total_work() as f64 / units;
+        let tasks = g.node_count() as f64;
+        let m = Simulation::new(cfg, g).run();
+        prop_assert!(
+            m.makespan + 1e-12 >= critical_secs,
+            "makespan {} below critical path {}",
+            m.makespan,
+            critical_secs
+        );
+        // Slack: code fetches, context switches, network and one full
+        // round of help-request latency per task.
+        let slack = tasks * 0.05 + 1.0;
+        prop_assert!(
+            m.makespan <= serial_secs + slack,
+            "makespan {} way beyond serial {} + slack {}",
+            m.makespan,
+            serial_secs,
+            slack
+        );
+    }
+
+    #[test]
+    fn more_sites_never_catastrophically_worse(g in arb_graph()) {
+        // Adding sites may add overhead, but a 4-site run must never be
+        // an order of magnitude slower than 1 site (work conservation).
+        let t1 = Simulation::new(SimConfig::homogeneous(1), g.clone()).run().makespan;
+        let t4 = Simulation::new(SimConfig::homogeneous(4), g).run().makespan;
+        prop_assert!(t4 <= t1 * 2.0 + 0.5, "t4={t4} vs t1={t1}");
+    }
+
+    #[test]
+    fn executed_per_site_sums_to_tasks(g in arb_graph(), sites in arb_cluster()) {
+        let total = g.node_count() as u64;
+        let mut cfg = SimConfig::default();
+        cfg.sites = sites;
+        let m = Simulation::new(cfg, g).run();
+        prop_assert_eq!(m.executed_per_site.iter().sum::<u64>(), total);
+        prop_assert_eq!(m.help_granted, m.migrations);
+    }
+
+    #[test]
+    fn crash_still_completes(g in arb_graph(), crash_frac in 0.01f64..0.9) {
+        let mut cfg = SimConfig::homogeneous(3);
+        let t3 = Simulation::new(cfg.clone(), g.clone()).run().makespan;
+        cfg.sites[2].crash_at = Some((t3 * crash_frac).max(1e-6));
+        let m = Simulation::new(cfg, g.clone()).run();
+        prop_assert!(
+            m.tasks_executed >= g.node_count() as u64,
+            "all tasks must (re-)execute after a crash"
+        );
+    }
+
+    #[test]
+    fn leave_preserves_work(g in arb_graph(), leave_frac in 0.01f64..0.9) {
+        let mut cfg = SimConfig::homogeneous(3);
+        let t3 = Simulation::new(cfg.clone(), g.clone()).run().makespan;
+        cfg.sites[1].leave_at = Some((t3 * leave_frac).max(1e-6));
+        let m = Simulation::new(cfg, g.clone()).run();
+        prop_assert_eq!(m.tasks_executed, g.node_count() as u64);
+        prop_assert_eq!(m.reexecutions, 0, "orderly leave loses nothing");
+    }
+}

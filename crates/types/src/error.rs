@@ -1,0 +1,109 @@
+//! The SDVM error type.
+
+use crate::ids::{GlobalAddress, MicrothreadId, ProgramId, SiteId};
+use std::fmt;
+
+/// Result alias used across all SDVM crates.
+pub type SdvmResult<T> = Result<T, SdvmError>;
+
+/// Errors surfaced by the SDVM runtime, its substrates and the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdvmError {
+    /// A wire message could not be decoded.
+    Decode(String),
+    /// The transport failed to deliver or receive.
+    Transport(String),
+    /// A logical site id could not be resolved to a physical address.
+    UnknownSite(SiteId),
+    /// A global memory object could not be located anywhere.
+    ObjectMissing(GlobalAddress),
+    /// A microthread's code is unavailable (neither binary nor source).
+    CodeMissing(MicrothreadId),
+    /// The program is not known to this site.
+    UnknownProgram(ProgramId),
+    /// A microframe parameter slot was accessed out of range or re-applied.
+    FrameSlot {
+        /// Frame whose slot was misused.
+        frame: GlobalAddress,
+        /// The offending slot index.
+        slot: u32,
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// Cryptographic failure (bad MAC, replayed nonce, unknown peer).
+    Crypto(String),
+    /// A blocking operation timed out.
+    Timeout(String),
+    /// A site crashed or left while we depended on it.
+    SiteLost(SiteId),
+    /// The operation is invalid in the current state.
+    InvalidState(String),
+    /// Local I/O error (files, sockets), stringified to stay `Clone`/`Eq`.
+    Io(String),
+    /// Checkpoint/recovery failure.
+    Checkpoint(String),
+    /// An application-level microthread returned an error.
+    Application(String),
+}
+
+impl fmt::Display for SdvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdvmError::Decode(m) => write!(f, "decode error: {m}"),
+            SdvmError::Transport(m) => write!(f, "transport error: {m}"),
+            SdvmError::UnknownSite(s) => write!(f, "unknown site {s}"),
+            SdvmError::ObjectMissing(a) => write!(f, "global memory object {a} not found"),
+            SdvmError::CodeMissing(t) => write!(f, "no code available for microthread {t}"),
+            SdvmError::UnknownProgram(p) => write!(f, "unknown program {p}"),
+            SdvmError::FrameSlot { frame, slot, reason } => {
+                write!(f, "frame {frame} slot {slot}: {reason}")
+            }
+            SdvmError::Crypto(m) => write!(f, "crypto error: {m}"),
+            SdvmError::Timeout(m) => write!(f, "timeout: {m}"),
+            SdvmError::SiteLost(s) => write!(f, "site {s} lost"),
+            SdvmError::InvalidState(m) => write!(f, "invalid state: {m}"),
+            SdvmError::Io(m) => write!(f, "io error: {m}"),
+            SdvmError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            SdvmError::Application(m) => write!(f, "application error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SdvmError {}
+
+impl From<std::io::Error> for SdvmError {
+    fn from(e: std::io::Error) -> Self {
+        SdvmError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SdvmError::FrameSlot {
+            frame: GlobalAddress::new(SiteId(1), 2),
+            slot: 3,
+            reason: "already filled",
+        };
+        let s = e.to_string();
+        assert!(s.contains("@1.2"), "{s}");
+        assert!(s.contains("slot 3"), "{s}");
+        assert!(s.contains("already filled"), "{s}");
+    }
+
+    #[test]
+    fn from_io_error() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SdvmError = ioe.into();
+        assert!(matches!(e, SdvmError::Io(ref m) if m.contains("gone")));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SdvmError::Timeout("x".into()));
+        assert!(e.to_string().contains("timeout"));
+    }
+}

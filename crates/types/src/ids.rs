@@ -1,0 +1,277 @@
+//! Identifier types used throughout the SDVM.
+//!
+//! The paper distinguishes *logical* site ids (assigned by the cluster
+//! manager at sign-on) from *physical* addresses (used by the network
+//! manager only). Global memory addresses embed the id of the site an
+//! object was created on — its *homesite* — so any site can locate the
+//! object's directory entry without central lookup.
+
+use std::fmt;
+
+/// Logical id of a site (a machine running the SDVM daemon).
+///
+/// Assigned at sign-on by the cluster manager; see
+/// [`IdAllocStrategy`](crate::policy::IdAllocStrategy) for the three
+/// allocation concepts discussed in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The reserved id of the first site of a cluster (the one others
+    /// initially connect to).
+    pub const FIRST: SiteId = SiteId(1);
+
+    /// Sentinel meaning "no site" / "not yet assigned".
+    pub const NONE: SiteId = SiteId(0);
+
+    /// True unless this is the [`SiteId::NONE`] sentinel.
+    pub fn is_valid(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// Physical address of a site, used by the network manager only.
+///
+/// The message manager resolves logical [`SiteId`]s to physical addresses
+/// via the cluster manager's cluster list (paper, Fig. 6).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PhysicalAddr {
+    /// Endpoint of the in-process memory transport (used by in-process
+    /// clusters, tests and fault-injection experiments).
+    Mem(u64),
+    /// TCP endpoint as `host:port`.
+    Tcp(String),
+}
+
+impl fmt::Display for PhysicalAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicalAddr::Mem(n) => write!(f, "mem:{n}"),
+            PhysicalAddr::Tcp(s) => write!(f, "tcp:{s}"),
+        }
+    }
+}
+
+/// Id of an application ("program") running on the cluster. The SDVM is
+/// multi-program: microframes and memory objects carry their program id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProgramId(pub u32);
+
+impl fmt::Display for ProgramId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prog{}", self.0)
+    }
+}
+
+/// Platform id: identifies a (CPU architecture, OS) pair for which a
+/// platform-specific microthread binary exists. Heterogeneous clusters mix
+/// platform ids; the code manager ships source code when no binary for the
+/// requesting platform is known and compiles it on the fly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PlatformId(pub u16);
+
+impl fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "platform{}", self.0)
+    }
+}
+
+/// Identifies a microthread (a compiled code fragment) within a program.
+///
+/// Several microframes may point to the same microthread (n-to-1), e.g. a
+/// loop body executed repeatedly with changing arguments.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MicrothreadId {
+    /// The program this microthread belongs to.
+    pub program: ProgramId,
+    /// Index of the microthread within the program's code table.
+    pub index: u32,
+}
+
+impl MicrothreadId {
+    /// Construct from a program and a code-table index.
+    pub fn new(program: ProgramId, index: u32) -> Self {
+        Self { program, index }
+    }
+}
+
+impl fmt::Display for MicrothreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:mt{}", self.program, self.index)
+    }
+}
+
+/// A global memory address in the attraction memory.
+///
+/// Contains the id of the site the object was created on (its *homesite*,
+/// which maintains the directory entry tracking the object's current owner)
+/// plus a locally unique counter. Microframes are a special kind of global
+/// memory object, so frame ids are global addresses too.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GlobalAddress {
+    /// Site that created (and is homesite of) the object.
+    pub home: SiteId,
+    /// Locally unique counter on the homesite.
+    pub local: u64,
+}
+
+impl GlobalAddress {
+    /// Construct an address from homesite and local counter.
+    pub fn new(home: SiteId, local: u64) -> Self {
+        Self { home, local }
+    }
+}
+
+impl fmt::Display for GlobalAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}.{}", self.home.0, self.local)
+    }
+}
+
+/// Handle for a disk file opened through the I/O manager.
+///
+/// Contains the id of the site the file physically resides on; accesses
+/// from other sites are rerouted there automatically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FileHandle {
+    /// Site the file resides on.
+    pub site: SiteId,
+    /// Locally unique file number on that site.
+    pub local: u32,
+}
+
+impl fmt::Display for FileHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file:{}.{}", self.site.0, self.local)
+    }
+}
+
+/// Identifies a manager inside a site's daemon. All inter-site communication
+/// is manager-to-manager: an SDMessage carries source and target manager ids
+/// alongside the site ids (paper, §4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum ManagerId {
+    /// Executes microthreads (execution layer).
+    Processing = 0,
+    /// Maintains executable/ready queues, answers help requests.
+    Scheduling = 1,
+    /// Stores and distributes microthread code.
+    Code = 2,
+    /// The attraction memory (local part of the global memory).
+    Memory = 3,
+    /// Disk files and user interaction, routed to the frontend.
+    Io = 4,
+    /// Hub for inter-site information interchange.
+    Message = 5,
+    /// Cluster list, site-id allocation, help-site selection.
+    Cluster = 6,
+    /// Per-program bookkeeping (code home site, checkpoints, termination).
+    Program = 7,
+    /// Local-site lifecycle and performance data.
+    Site = 8,
+    /// Encryption layer between message and network manager.
+    Security = 9,
+    /// Sends/receives byte streams; knows physical addresses only.
+    Network = 10,
+    /// User-facing frontend attached to some site.
+    Frontend = 11,
+}
+
+impl ManagerId {
+    /// All manager ids, in wire order.
+    pub const ALL: [ManagerId; 12] = [
+        ManagerId::Processing,
+        ManagerId::Scheduling,
+        ManagerId::Code,
+        ManagerId::Memory,
+        ManagerId::Io,
+        ManagerId::Message,
+        ManagerId::Cluster,
+        ManagerId::Program,
+        ManagerId::Site,
+        ManagerId::Security,
+        ManagerId::Network,
+        ManagerId::Frontend,
+    ];
+
+    /// Decode from the wire representation.
+    pub fn from_u8(v: u8) -> Option<ManagerId> {
+        ManagerId::ALL.get(v as usize).copied()
+    }
+
+    /// Short human-readable name (used in traces reproducing Fig. 5/6).
+    pub fn name(self) -> &'static str {
+        match self {
+            ManagerId::Processing => "processing",
+            ManagerId::Scheduling => "scheduling",
+            ManagerId::Code => "code",
+            ManagerId::Memory => "memory",
+            ManagerId::Io => "io",
+            ManagerId::Message => "message",
+            ManagerId::Cluster => "cluster",
+            ManagerId::Program => "program",
+            ManagerId::Site => "site",
+            ManagerId::Security => "security",
+            ManagerId::Network => "network",
+            ManagerId::Frontend => "frontend",
+        }
+    }
+}
+
+impl fmt::Display for ManagerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_id_validity() {
+        assert!(!SiteId::NONE.is_valid());
+        assert!(SiteId::FIRST.is_valid());
+        assert!(SiteId(42).is_valid());
+    }
+
+    #[test]
+    fn manager_id_roundtrip() {
+        for m in ManagerId::ALL {
+            assert_eq!(ManagerId::from_u8(m as u8), Some(m));
+        }
+        assert_eq!(ManagerId::from_u8(12), None);
+        assert_eq!(ManagerId::from_u8(255), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SiteId(3).to_string(), "site3");
+        assert_eq!(ProgramId(1).to_string(), "prog1");
+        assert_eq!(
+            MicrothreadId::new(ProgramId(1), 7).to_string(),
+            "prog1:mt7"
+        );
+        assert_eq!(GlobalAddress::new(SiteId(2), 9).to_string(), "@2.9");
+        assert_eq!(PhysicalAddr::Mem(5).to_string(), "mem:5");
+        assert_eq!(
+            PhysicalAddr::Tcp("127.0.0.1:9000".into()).to_string(),
+            "tcp:127.0.0.1:9000"
+        );
+        assert_eq!(FileHandle { site: SiteId(1), local: 2 }.to_string(), "file:1.2");
+    }
+
+    #[test]
+    fn global_address_ordering_groups_by_home() {
+        let a = GlobalAddress::new(SiteId(1), 100);
+        let b = GlobalAddress::new(SiteId(2), 1);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Tunable policies shared by the runtime and the simulator.
+//!
+//! The paper fixes a FIFO strategy for local scheduling (to avoid
+//! starvation) and a LIFO strategy for answering help requests (to hide
+//! communication latency), but explicitly leaves the decision "which
+//! microframes to give to the processing manager or to other sites" as
+//! room for research — so both are configurable here, and E4
+//! (`policy_ablation`) measures the alternatives.
+
+use std::fmt;
+
+/// Scheduling priority attached to a microframe as a *scheduling hint*
+/// (paper §3.3): derived from the CDAG (critical-path microthreads get
+/// higher priority) or supplied by the programmer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Priority(pub i32);
+
+impl Priority {
+    /// Neutral priority for frames without hints.
+    pub const NORMAL: Priority = Priority(0);
+    /// Priority used for frames identified as on the critical path.
+    pub const CRITICAL: Priority = Priority(100);
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORMAL
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio{}", self.0)
+    }
+}
+
+/// Scheduling hints a CDAG analysis (or the programmer) may attach to a
+/// microframe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SchedulingHint {
+    /// Execution priority.
+    pub priority: Priority,
+    /// Prefer executing on the site already holding the frame (set for
+    /// frames with large parameter payloads, where migration is costly).
+    pub sticky: bool,
+}
+
+impl SchedulingHint {
+    /// Hint marking a critical-path frame.
+    pub fn critical() -> Self {
+        SchedulingHint { priority: Priority::CRITICAL, sticky: false }
+    }
+}
+
+/// Queue discipline used by the scheduling manager.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Default)]
+pub enum QueuePolicy {
+    /// First in, first out — the paper's local policy (avoids starvation).
+    #[default]
+    Fifo,
+    /// Last in, first out — the paper's help-reply policy (latency hiding:
+    /// the most recently enqueued frame is least likely to be needed
+    /// locally soon).
+    Lifo,
+    /// Highest [`Priority`] first, FIFO among equals.
+    Priority,
+}
+
+
+impl fmt::Display for QueuePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QueuePolicy::Fifo => "fifo",
+            QueuePolicy::Lifo => "lifo",
+            QueuePolicy::Priority => "priority",
+        })
+    }
+}
+
+/// The three concepts the paper discusses for creating unique logical site
+/// ids for joining sites (§4, cluster manager).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Default)]
+pub enum IdAllocStrategy {
+    /// One central contact site hands out ids. Simple, but a central point
+    /// of failure: if it leaves, no new site can ever join.
+    #[default]
+    CentralServer,
+    /// Several id servers each receive a contingent of free ids at their
+    /// own sign-on and hand them out; an exhausted contingent triggers a
+    /// broadcast to re-split the id space.
+    Contingents {
+        /// Number of ids in each contingent handed to a new id server.
+        chunk: u32,
+    },
+    /// A fixed number `k` of id servers; server `i` (0-based) emits ids
+    /// congruent to its own slot modulo `k` — no coordination ever needed.
+    Modulo {
+        /// Number of id servers sharing the id space.
+        servers: u32,
+    },
+}
+
+
+impl fmt::Display for IdAllocStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdAllocStrategy::CentralServer => f.write_str("central"),
+            IdAllocStrategy::Contingents { chunk } => write!(f, "contingents({chunk})"),
+            IdAllocStrategy::Modulo { servers } => write!(f, "modulo({servers})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::CRITICAL > Priority::NORMAL);
+        assert!(Priority(-5) < Priority::NORMAL);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        // Paper: FIFO locally, LIFO for help replies; central id server is
+        // the baseline concept.
+        assert_eq!(QueuePolicy::default(), QueuePolicy::Fifo);
+        assert_eq!(IdAllocStrategy::default(), IdAllocStrategy::CentralServer);
+        assert_eq!(SchedulingHint::default().priority, Priority::NORMAL);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(QueuePolicy::Lifo.to_string(), "lifo");
+        assert_eq!(IdAllocStrategy::Contingents { chunk: 64 }.to_string(), "contingents(64)");
+        assert_eq!(IdAllocStrategy::Modulo { servers: 4 }.to_string(), "modulo(4)");
+    }
+}

@@ -1,0 +1,227 @@
+//! Untyped byte values with typed accessors.
+//!
+//! The SDVM prototype passes parameters and results as raw memory (the
+//! microthreads are compiled C code casting `void*`). We keep the same
+//! language-agnostic model: a [`Value`] is an immutable byte buffer, and
+//! typed constructors/accessors perform explicit little-endian conversion.
+
+use crate::error::{SdvmError, SdvmResult};
+use crate::ids::GlobalAddress;
+use bytes::Bytes;
+use std::fmt;
+
+/// An immutable, cheaply cloneable byte value — a microframe parameter, a
+/// microthread result, or the contents of a global memory object.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// An empty value (used e.g. as a pure synchronization token).
+    pub fn empty() -> Self {
+        Value(Bytes::new())
+    }
+
+    /// Wrap raw bytes.
+    pub fn from_bytes(b: impl Into<Bytes>) -> Self {
+        Value(b.into())
+    }
+
+    /// Encode a signed 64-bit integer.
+    pub fn from_i64(v: i64) -> Self {
+        Value(Bytes::copy_from_slice(&v.to_le_bytes()))
+    }
+
+    /// Encode an unsigned 64-bit integer.
+    pub fn from_u64(v: u64) -> Self {
+        Value(Bytes::copy_from_slice(&v.to_le_bytes()))
+    }
+
+    /// Encode a 64-bit float.
+    pub fn from_f64(v: f64) -> Self {
+        Value(Bytes::copy_from_slice(&v.to_le_bytes()))
+    }
+
+    /// Encode a UTF-8 string.
+    pub fn from_str_val(v: &str) -> Self {
+        Value(Bytes::copy_from_slice(v.as_bytes()))
+    }
+
+    /// Encode a slice of u64s (length-prefixed by the slice length itself
+    /// being recoverable from the byte length).
+    pub fn from_u64_slice(v: &[u64]) -> Self {
+        let mut out = Vec::with_capacity(v.len() * 8);
+        for x in v {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value(Bytes::from(out))
+    }
+
+    /// Encode a global address (so frames can pass target addresses along,
+    /// the paper's mechanism for propagating result destinations).
+    pub fn from_address(a: GlobalAddress) -> Self {
+        let mut out = [0u8; 12];
+        out[..4].copy_from_slice(&a.home.0.to_le_bytes());
+        out[4..].copy_from_slice(&a.local.to_le_bytes());
+        Value(Bytes::copy_from_slice(&out))
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &Bytes {
+        &self.0
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the value holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Decode as `i64`.
+    pub fn as_i64(&self) -> SdvmResult<i64> {
+        Ok(i64::from_le_bytes(self.fixed::<8>("i64")?))
+    }
+
+    /// Decode as `u64`.
+    pub fn as_u64(&self) -> SdvmResult<u64> {
+        Ok(u64::from_le_bytes(self.fixed::<8>("u64")?))
+    }
+
+    /// Decode as `f64`.
+    pub fn as_f64(&self) -> SdvmResult<f64> {
+        Ok(f64::from_le_bytes(self.fixed::<8>("f64")?))
+    }
+
+    /// Decode as UTF-8 string slice.
+    pub fn as_str(&self) -> SdvmResult<&str> {
+        std::str::from_utf8(&self.0).map_err(|e| SdvmError::Decode(format!("utf8: {e}")))
+    }
+
+    /// Decode as a vector of u64s.
+    pub fn as_u64_slice(&self) -> SdvmResult<Vec<u64>> {
+        if !self.0.len().is_multiple_of(8) {
+            return Err(SdvmError::Decode(format!(
+                "u64 slice: length {} not a multiple of 8",
+                self.0.len()
+            )));
+        }
+        Ok(self
+            .0
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    /// Decode as a global address.
+    pub fn as_address(&self) -> SdvmResult<GlobalAddress> {
+        if self.0.len() != 12 {
+            return Err(SdvmError::Decode(format!(
+                "address: expected 12 bytes, got {}",
+                self.0.len()
+            )));
+        }
+        let home = u32::from_le_bytes(self.0[..4].try_into().expect("4 bytes"));
+        let local = u64::from_le_bytes(self.0[4..].try_into().expect("8 bytes"));
+        Ok(GlobalAddress::new(crate::ids::SiteId(home), local))
+    }
+
+    fn fixed<const N: usize>(&self, what: &str) -> SdvmResult<[u8; N]> {
+        self.0.as_ref().try_into().map_err(|_| {
+            SdvmError::Decode(format!("{what}: expected {N} bytes, got {}", self.0.len()))
+        })
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.len() <= 16 {
+            write!(f, "Value({:02x?})", self.0.as_ref())
+        } else {
+            write!(f, "Value({} bytes, {:02x?}..)", self.0.len(), &self.0[..16])
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::from_i64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::from_u64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::from_f64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::from_str_val(v)
+    }
+}
+
+impl From<GlobalAddress> for Value {
+    fn from(a: GlobalAddress) -> Self {
+        Value::from_address(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteId;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(Value::from_i64(-42).as_i64().unwrap(), -42);
+        assert_eq!(Value::from_u64(7).as_u64().unwrap(), 7);
+        assert_eq!(Value::from_f64(2.5).as_f64().unwrap(), 2.5);
+        assert_eq!(Value::from_str_val("hi").as_str().unwrap(), "hi");
+    }
+
+    #[test]
+    fn roundtrip_slice_and_address() {
+        let v = Value::from_u64_slice(&[1, 2, 3]);
+        assert_eq!(v.as_u64_slice().unwrap(), vec![1, 2, 3]);
+        let a = GlobalAddress::new(SiteId(9), 1234);
+        assert_eq!(Value::from_address(a).as_address().unwrap(), a);
+    }
+
+    #[test]
+    fn wrong_sizes_are_decode_errors() {
+        let v = Value::from_bytes(vec![1u8, 2, 3]);
+        assert!(matches!(v.as_i64(), Err(SdvmError::Decode(_))));
+        assert!(matches!(v.as_u64_slice(), Err(SdvmError::Decode(_))));
+        assert!(matches!(v.as_address(), Err(SdvmError::Decode(_))));
+    }
+
+    #[test]
+    fn empty_value() {
+        let v = Value::empty();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.as_u64_slice().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let v = Value::from_bytes(vec![0xff, 0xfe]);
+        assert!(v.as_str().is_err());
+    }
+
+    #[test]
+    fn debug_truncates() {
+        let long = Value::from_bytes(vec![0u8; 64]);
+        let s = format!("{long:?}");
+        assert!(s.contains("64 bytes"), "{s}");
+    }
+}

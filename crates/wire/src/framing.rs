@@ -1,0 +1,97 @@
+//! Length-prefixed stream framing for the TCP transport.
+//!
+//! The paper's network manager exchanges serialized SDMessages over TCP;
+//! we delimit them with a 4-byte big-endian length prefix. The same
+//! framing is reused by the checkpoint store when snapshots are written to
+//! disk.
+
+use sdvm_types::{SdvmError, SdvmResult};
+use std::io::{Read, Write};
+
+/// Upper bound on a single frame; anything larger is a protocol error
+/// (prevents a bad peer from making us allocate unboundedly).
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> SdvmResult<()> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(SdvmError::Transport(format!("frame of {} exceeds cap", body.len())));
+    }
+    let len = (body.len() as u32).to_be_bytes();
+    w.write_all(&len)?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
+/// frame boundary; errors on mid-frame EOF.
+pub fn read_frame<R: Read>(r: &mut R) -> SdvmResult<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(mut n) => {
+            while n < 4 {
+                let m = r.read(&mut len_buf[n..])?;
+                if m == 0 {
+                    return Err(SdvmError::Transport("eof inside frame length".into()));
+                }
+                n += m;
+            }
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(SdvmError::Transport(format!("incoming frame of {len} exceeds cap")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut c = Cursor::new(buf);
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut c).unwrap().unwrap(), vec![7u8; 1000]);
+        assert_eq!(read_frame(&mut c).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_inside_frame_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut c = Cursor::new(buf);
+        assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn eof_inside_length_is_error() {
+        let mut c = Cursor::new(vec![0u8, 0]);
+        assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn oversize_frame_rejected_both_ways() {
+        let mut sink = Vec::new();
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(write_frame(&mut sink, &huge).is_err());
+
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut c = Cursor::new(bad);
+        assert!(read_frame(&mut c).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! The SDMessage envelope (paper §4, message manager).
+//!
+//! "All communication is done between managers only, so a message contains
+//! the source's and the target's site ids and manager ids apart from other
+//! administrational information and the payload data itself."
+
+use crate::codec::{Decode, Encode, WireReader, WireWriter};
+use crate::payload::Payload;
+use sdvm_types::{ManagerId, SdvmResult, SiteId};
+
+/// Wire-format version; bumped on incompatible changes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// A manager-to-manager message between sites.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SdMessage {
+    /// Sending site (logical id).
+    pub src_site: SiteId,
+    /// Sending manager.
+    pub src_manager: ManagerId,
+    /// Receiving site (logical id).
+    pub dst_site: SiteId,
+    /// Receiving manager.
+    pub dst_manager: ManagerId,
+    /// Sender-local sequence number; replies echo it in `in_reply_to` so
+    /// blocked requesters can be woken.
+    pub seq: u64,
+    /// Sequence number of the request this message answers, if any.
+    pub in_reply_to: Option<u64>,
+    /// The payload.
+    pub payload: Payload,
+}
+
+impl SdMessage {
+    /// Build a fresh (non-reply) message.
+    pub fn new(
+        src_site: SiteId,
+        src_manager: ManagerId,
+        dst_site: SiteId,
+        dst_manager: ManagerId,
+        seq: u64,
+        payload: Payload,
+    ) -> Self {
+        Self { src_site, src_manager, dst_site, dst_manager, seq, in_reply_to: None, payload }
+    }
+
+    /// Build the reply to `self`, swapping the endpoints and echoing the
+    /// sequence number.
+    pub fn reply(&self, seq: u64, src_manager: ManagerId, payload: Payload) -> SdMessage {
+        SdMessage {
+            src_site: self.dst_site,
+            src_manager,
+            dst_site: self.src_site,
+            dst_manager: self.src_manager,
+            seq,
+            in_reply_to: Some(self.seq),
+            payload,
+        }
+    }
+
+    /// Serialize to bytes (including the version byte).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(64);
+        w.put_u8(WIRE_VERSION);
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Parse from bytes produced by [`SdMessage::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> SdvmResult<Self> {
+        let mut r = WireReader::new(buf);
+        let ver = r.get_u8()?;
+        if ver != WIRE_VERSION {
+            return Err(sdvm_types::SdvmError::Decode(format!(
+                "wire version {ver}, expected {WIRE_VERSION}"
+            )));
+        }
+        let m = SdMessage::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(m)
+    }
+}
+
+impl Encode for SdMessage {
+    fn encode(&self, w: &mut WireWriter) {
+        self.src_site.encode(w);
+        self.src_manager.encode(w);
+        self.dst_site.encode(w);
+        self.dst_manager.encode(w);
+        w.put_varint(self.seq);
+        self.in_reply_to.encode(w);
+        self.payload.encode(w);
+    }
+}
+
+impl Decode for SdMessage {
+    fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
+        Ok(SdMessage {
+            src_site: SiteId::decode(r)?,
+            src_manager: ManagerId::decode(r)?,
+            dst_site: SiteId::decode(r)?,
+            dst_manager: ManagerId::decode(r)?,
+            seq: r.get_varint()?,
+            in_reply_to: Option::decode(r)?,
+            payload: Payload::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SdMessage {
+        SdMessage::new(
+            SiteId(1),
+            ManagerId::Scheduling,
+            SiteId(2),
+            ManagerId::Scheduling,
+            7,
+            Payload::CantHelp {},
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let back = SdMessage::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reply_swaps_endpoints_and_links_seq() {
+        let m = sample();
+        let r = m.reply(99, ManagerId::Scheduling, Payload::Ping { token: 1 });
+        assert_eq!(r.src_site, SiteId(2));
+        assert_eq!(r.dst_site, SiteId(1));
+        assert_eq!(r.dst_manager, ManagerId::Scheduling);
+        assert_eq!(r.in_reply_to, Some(7));
+        assert_eq!(r.seq, 99);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 99;
+        assert!(SdMessage::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(SdMessage::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0xab);
+        assert!(SdMessage::from_bytes(&bytes).is_err());
+    }
+}

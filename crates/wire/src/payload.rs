@@ -1,0 +1,509 @@
+//! Every protocol payload exchanged between SDVM managers, plus the wire
+//! form of microframes and memory objects.
+//!
+//! Grouped as in the paper's manager structure (§4): scheduling (help
+//! requests), code distribution, attraction memory, program/checkpoint
+//! management, cluster membership, I/O, and site lifecycle.
+
+use crate::codec::{Decode, Encode, WireReader, WireWriter};
+use bytes::Bytes;
+use sdvm_types::{
+    FileHandle, GlobalAddress, LoadReport, MicrothreadId, PlatformId, ProgramId, SchedulingHint,
+    SdvmError, SdvmResult, SiteDescriptor, SiteId, Value,
+};
+
+/// Serialized microframe: the unit shipped by help replies, relocation at
+/// sign-off, and checkpoints (paper Fig. 2: id, input parameters, owning
+/// microthread, target addresses).
+#[derive(Clone, PartialEq, Debug)]
+pub struct WireFrame {
+    /// Global id of the frame (it is a special memory object).
+    pub id: GlobalAddress,
+    /// The microthread this frame will fire.
+    pub thread: MicrothreadId,
+    /// Parameter slots; `None` = still missing.
+    pub slots: Vec<Option<Value>>,
+    /// Target addresses the microthread will send its results to (may also
+    /// be passed inside parameter values; this field carries the
+    /// statically-known part).
+    pub targets: Vec<GlobalAddress>,
+    /// Scheduling hints (priority from the CDAG or the programmer).
+    pub hint: SchedulingHint,
+}
+
+impl WireFrame {
+    /// The program this frame belongs to.
+    pub fn program(&self) -> ProgramId {
+        self.thread.program
+    }
+
+    /// Number of parameters still missing before the frame is executable.
+    pub fn missing(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// True when every parameter has arrived (dataflow firing rule).
+    pub fn is_executable(&self) -> bool {
+        self.missing() == 0
+    }
+}
+
+impl Encode for WireFrame {
+    fn encode(&self, w: &mut WireWriter) {
+        self.id.encode(w);
+        self.thread.encode(w);
+        self.slots.encode(w);
+        self.targets.encode(w);
+        self.hint.encode(w);
+    }
+}
+
+impl Decode for WireFrame {
+    fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
+        Ok(WireFrame {
+            id: GlobalAddress::decode(r)?,
+            thread: MicrothreadId::decode(r)?,
+            slots: Vec::decode(r)?,
+            targets: Vec::decode(r)?,
+            hint: SchedulingHint::decode(r)?,
+        })
+    }
+}
+
+/// Serialized global memory object (for migration, relocation, checkpoints).
+#[derive(Clone, PartialEq, Debug)]
+pub struct WireMemObject {
+    /// Global address (homesite encoded within).
+    pub addr: GlobalAddress,
+    /// Owning program (objects die with their program).
+    pub program: ProgramId,
+    /// Contents.
+    pub data: Value,
+}
+
+impl Encode for WireMemObject {
+    fn encode(&self, w: &mut WireWriter) {
+        self.addr.encode(w);
+        self.program.encode(w);
+        self.data.encode(w);
+    }
+}
+
+impl Decode for WireMemObject {
+    fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
+        Ok(WireMemObject {
+            addr: GlobalAddress::decode(r)?,
+            program: ProgramId::decode(r)?,
+            data: Value::decode(r)?,
+        })
+    }
+}
+
+macro_rules! payloads {
+    (
+        $(
+            $(#[$meta:meta])*
+            $tag:literal $variant:ident { $( $(#[$fmeta:meta])* $field:ident : $ty:ty ),* $(,)? }
+        ),* $(,)?
+    ) => {
+        /// A typed protocol payload carried by an [`SdMessage`](crate::SdMessage).
+        ///
+        /// Field meanings are documented on each variant; the field names
+        /// themselves are self-describing.
+        #[derive(Clone, PartialEq, Debug)]
+        #[allow(missing_docs)]
+        pub enum Payload {
+            $(
+                $(#[$meta])*
+                $variant { $( $(#[$fmeta])* $field: $ty, )* },
+            )*
+        }
+
+        impl Payload {
+            /// Stable wire tag of this payload kind.
+            pub fn tag(&self) -> u16 {
+                match self {
+                    $( Payload::$variant { .. } => $tag, )*
+                }
+            }
+
+            /// Human-readable payload kind (for traces and logs).
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $( Payload::$variant { .. } => stringify!($variant), )*
+                }
+            }
+        }
+
+        impl Encode for Payload {
+            fn encode(&self, w: &mut WireWriter) {
+                w.put_varint(self.tag() as u64);
+                match self {
+                    $(
+                        #[allow(unused_variables)]
+                        Payload::$variant { $( $field, )* } => {
+                            $( $field.encode(w); )*
+                        }
+                    )*
+                }
+            }
+        }
+
+        impl Decode for Payload {
+            fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
+                let tag = r.get_varint()?;
+                match tag {
+                    $(
+                        $tag => Ok(Payload::$variant {
+                            $( $field: <$ty>::decode(r)?, )*
+                        }),
+                    )*
+                    t => Err(SdvmError::Decode(format!("unknown payload tag {t}"))),
+                }
+            }
+        }
+    };
+}
+
+payloads! {
+    // ---- cluster membership (§3.4, §4 cluster manager) ----
+
+    /// A new site asks to join; sent to the cluster manager of a site it
+    /// already knows. Carries the joiner's self-description (its id is
+    /// still `SiteId::NONE`).
+    1 SignOn { descriptor: SiteDescriptor },
+    /// Reply to `SignOn`: the assigned logical id plus knowledge about the
+    /// current composition of the cluster.
+    2 SignOnAck { assigned: SiteId, cluster: Vec<SiteDescriptor> },
+    /// Join refused (e.g. id space exhausted under the modulo strategy or
+    /// contact site cannot allocate).
+    3 SignOnRefused { reason: String },
+    /// Epidemic propagation of site knowledge with normal traffic.
+    4 SiteAnnounce { descriptor: SiteDescriptor },
+    /// Orderly sign-off announcement (after relocation finished).
+    /// `successor` takes over the leaver's homesite directory role.
+    5 SignOff { site: SiteId, successor: SiteId },
+    /// Periodic liveness + load gossip.
+    6 Heartbeat { load: LoadReport },
+    /// Request the full cluster list (new sites, recovery).
+    7 ClusterListRequest {},
+    /// The full cluster list.
+    8 ClusterList { sites: Vec<SiteDescriptor> },
+    /// Id-server protocol (contingents strategy): ask for a fresh block.
+    9 IdBlockRequest {},
+    /// Id-server protocol: a block of free logical ids [start, start+len).
+    10 IdBlockGrant { start: u32, len: u32 },
+    /// A site was detected crashed; propagate so everyone drops it.
+    /// `successor` takes over its homesite directory role during recovery.
+    11 SiteCrashed { site: SiteId, successor: SiteId },
+
+    // ---- distributed scheduling (§3.3, §4 scheduling manager) ----
+
+    /// An idle site asks another for work. Carries current load and — on a
+    /// site's *first* request — its descriptor, which doubles as the join
+    /// announcement (§3.4).
+    20 HelpRequest { load: LoadReport, descriptor: Option<SiteDescriptor> },
+    /// Positive answer: an executable (or ready) microframe migrates to
+    /// the requester.
+    21 HelpReply { frame: WireFrame },
+    /// The asked site has no spare work either.
+    22 CantHelp {},
+
+    // ---- code distribution (§4 code manager) ----
+
+    /// Request a microthread's code, in the requester's platform-specific
+    /// binary format if possible.
+    30 CodeRequest { thread: MicrothreadId, platform: PlatformId },
+    /// Code in the requested binary format.
+    31 CodeBinary { thread: MicrothreadId, platform: PlatformId, artifact: Bytes },
+    /// No binary for that platform is known; source code instead. The
+    /// requester compiles on the fly.
+    32 CodeSource { thread: MicrothreadId, source: Bytes },
+    /// Neither binary nor source available here.
+    33 CodeUnavailable { thread: MicrothreadId },
+    /// After on-the-fly compilation, the fresh binary is uploaded to a
+    /// code distribution site so future requesters get binaries at first go.
+    34 CodeUpload { thread: MicrothreadId, platform: PlatformId, artifact: Bytes },
+
+    // ---- attraction memory (§4) ----
+
+    /// Apply a microthread result to a waiting frame's parameter slot —
+    /// the fundamental dataflow message.
+    40 ApplyResult { target: GlobalAddress, slot: u32, value: Value },
+    /// Read a global object; `migrate` requests ownership transfer
+    /// (attraction), otherwise a copy suffices.
+    41 MemRead { addr: GlobalAddress, migrate: bool },
+    /// Successful read/migration reply.
+    42 MemValue { obj: WireMemObject, migrated: bool },
+    /// Write a global object (forwarded to the current owner).
+    43 MemWrite { addr: GlobalAddress, value: Value },
+    /// Write acknowledged.
+    44 MemWriteAck { addr: GlobalAddress },
+    /// Homesite directory: ask who currently owns an object.
+    45 OwnerQuery { addr: GlobalAddress },
+    /// Homesite directory answer.
+    46 OwnerReply { addr: GlobalAddress, owner: Option<SiteId> },
+    /// Homesite directory update: object migrated to a new owner.
+    47 OwnerUpdate { addr: GlobalAddress, owner: SiteId },
+    /// The object could not be found anywhere (fatal unless recovering).
+    48 MemMissing { addr: GlobalAddress },
+    /// Bulk transfer of objects + frames during sign-off relocation.
+    /// `directory` hands over the leaver's homesite directory entries
+    /// (address → current owner).
+    49 Relocate { objects: Vec<WireMemObject>, frames: Vec<WireFrame>, directory: Vec<(GlobalAddress, SiteId)> },
+    /// Relocation accepted.
+    50 RelocateAck {},
+
+    // ---- crash management: backup mirroring (§2.2, [4]) ----
+
+    /// The frame migrated away from `owner`; drop it from that bucket
+    /// (unlike `BackupConsumed` this is not a tombstone — the new owner
+    /// mirrors it afresh). Sent by the *adopter* after it has re-mirrored
+    /// the frame, so there is never a moment with no backup anywhere.
+    54 BackupRelease { frame: GlobalAddress, owner: SiteId },
+    /// Mirror of a freshly created frame to its backup site.
+    55 BackupFrame { frame: WireFrame },
+    /// Mirror of a result application (sent by the *result sender* so no
+    /// crash window exists between owner receipt and mirroring).
+    56 BackupApply { target: GlobalAddress, slot: u32, value: Value },
+    /// The frame was executed; its backup may be discarded.
+    57 BackupConsumed { frame: GlobalAddress },
+    /// Mirror of a global memory object (on alloc and write).
+    58 BackupObject { obj: WireMemObject },
+    /// Ask a backup site to revive everything it holds for a dead site.
+    59 RecoverSite { dead: SiteId },
+
+    // ---- program management & checkpoints (§4, [4]) ----
+
+    /// Announce a program: code home site and number of microthreads.
+    60 ProgramRegister { program: ProgramId, code_home: SiteId, name: String, threads: u32 },
+    /// The program produced its final result / terminated; sites may purge
+    /// its microthreads and objects.
+    61 ProgramTerminated { program: ProgramId },
+    /// Store a checkpoint snapshot on a checkpoint site.
+    62 CheckpointStore { program: ProgramId, epoch: u64, snapshot: Bytes },
+    /// Snapshot stored.
+    63 CheckpointAck { program: ProgramId, epoch: u64 },
+    /// Fetch the latest snapshot (crash recovery).
+    64 CheckpointFetch { program: ProgramId },
+    /// Latest snapshot.
+    65 CheckpointData { program: ProgramId, epoch: u64, snapshot: Bytes },
+    /// No snapshot stored here.
+    66 CheckpointNone { program: ProgramId },
+    /// Pause (or resume) executing a program's microframes cluster-wide;
+    /// used to quiesce before collecting a checkpoint snapshot.
+    67 ProgramPause { program: ProgramId, paused: bool },
+    /// Ask a site for its share of a program's state (without draining
+    /// it — unlike `Relocate`).
+    68 SnapshotCollect { program: ProgramId },
+    /// A site's contribution to a program snapshot.
+    69 SnapshotPart { program: ProgramId, objects: Vec<WireMemObject>, frames: Vec<WireFrame> },
+
+    // ---- I/O manager (§4) ----
+
+    /// Program output routed to the frontend site.
+    70 IoOutput { program: ProgramId, text: String },
+    /// Program requests an input line from the user (via frontend).
+    71 IoInputRequest { program: ProgramId, prompt: String },
+    /// The user's input line.
+    72 IoInputReply { program: ProgramId, line: String },
+    /// Open a file on the site it resides on.
+    73 FileOpen { path: String, create: bool },
+    /// File opened; the handle embeds the owning site.
+    74 FileOpened { handle: FileHandle },
+    /// Read `len` bytes at `offset` (rerouted to the handle's site).
+    75 FileRead { handle: FileHandle, offset: u64, len: u32 },
+    /// Bytes read.
+    76 FileData { handle: FileHandle, data: Bytes },
+    /// Write bytes at `offset`.
+    77 FileWrite { handle: FileHandle, offset: u64, data: Bytes },
+    /// Write acknowledged.
+    78 FileAck { handle: FileHandle },
+    /// Close the file.
+    79 FileClose { handle: FileHandle },
+    /// A file operation failed.
+    80 FileError { message: String },
+
+    // ---- generic ----
+
+    /// Generic error reply carrying the failed request's description.
+    90 Error { message: String },
+    /// Liveness probe used by tests and the site manager's status query.
+    91 Ping { token: u64 },
+    /// Answer to `Ping`.
+    92 Pong { token: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvm_types::{PhysicalAddr, Priority};
+
+    fn rt(p: Payload) {
+        let bytes = p.encode_to_vec();
+        let back = Payload::decode_from_slice(&bytes).expect("decode");
+        assert_eq!(back, p);
+    }
+
+    fn sample_frame() -> WireFrame {
+        WireFrame {
+            id: GlobalAddress::new(SiteId(1), 7),
+            thread: MicrothreadId::new(ProgramId(2), 3),
+            slots: vec![Some(Value::from_u64(1)), None, Some(Value::from_str_val("x"))],
+            targets: vec![GlobalAddress::new(SiteId(4), 9)],
+            hint: SchedulingHint { priority: Priority(5), sticky: true },
+        }
+    }
+
+    #[test]
+    fn frame_executability() {
+        let mut f = sample_frame();
+        assert_eq!(f.missing(), 1);
+        assert!(!f.is_executable());
+        f.slots[1] = Some(Value::empty());
+        assert!(f.is_executable());
+        assert_eq!(f.program(), ProgramId(2));
+    }
+
+    #[test]
+    fn roundtrip_every_payload_kind() {
+        let d = SiteDescriptor::new(SiteId(3), PhysicalAddr::Mem(3), PlatformId(1));
+        let obj = WireMemObject {
+            addr: GlobalAddress::new(SiteId(1), 5),
+            program: ProgramId(1),
+            data: Value::from_u64(9),
+        };
+        let samples = vec![
+            Payload::SignOn { descriptor: d.clone() },
+            Payload::SignOnAck { assigned: SiteId(9), cluster: vec![d.clone()] },
+            Payload::SignOnRefused { reason: "full".into() },
+            Payload::SiteAnnounce { descriptor: d.clone() },
+            Payload::SignOff { site: SiteId(2), successor: SiteId(3) },
+            Payload::Heartbeat { load: LoadReport { epoch: 3, ..Default::default() } },
+            Payload::ClusterListRequest {},
+            Payload::ClusterList { sites: vec![d.clone(), d.clone()] },
+            Payload::IdBlockRequest {},
+            Payload::IdBlockGrant { start: 100, len: 50 },
+            Payload::SiteCrashed { site: SiteId(4), successor: SiteId(5) },
+            Payload::HelpRequest { load: LoadReport::default(), descriptor: Some(d.clone()) },
+            Payload::HelpReply { frame: sample_frame() },
+            Payload::CantHelp {},
+            Payload::CodeRequest {
+                thread: MicrothreadId::new(ProgramId(1), 2),
+                platform: PlatformId(3),
+            },
+            Payload::CodeBinary {
+                thread: MicrothreadId::new(ProgramId(1), 2),
+                platform: PlatformId(3),
+                artifact: Bytes::from_static(b"bin"),
+            },
+            Payload::CodeSource {
+                thread: MicrothreadId::new(ProgramId(1), 2),
+                source: Bytes::from_static(b"src"),
+            },
+            Payload::CodeUnavailable { thread: MicrothreadId::new(ProgramId(1), 2) },
+            Payload::CodeUpload {
+                thread: MicrothreadId::new(ProgramId(1), 2),
+                platform: PlatformId(1),
+                artifact: Bytes::from_static(b"bin2"),
+            },
+            Payload::ApplyResult {
+                target: GlobalAddress::new(SiteId(1), 1),
+                slot: 2,
+                value: Value::from_i64(-5),
+            },
+            Payload::MemRead { addr: GlobalAddress::new(SiteId(1), 1), migrate: true },
+            Payload::MemValue { obj: obj.clone(), migrated: false },
+            Payload::MemWrite { addr: GlobalAddress::new(SiteId(1), 1), value: Value::empty() },
+            Payload::MemWriteAck { addr: GlobalAddress::new(SiteId(1), 1) },
+            Payload::OwnerQuery { addr: GlobalAddress::new(SiteId(1), 1) },
+            Payload::OwnerReply { addr: GlobalAddress::new(SiteId(1), 1), owner: Some(SiteId(2)) },
+            Payload::OwnerUpdate { addr: GlobalAddress::new(SiteId(1), 1), owner: SiteId(2) },
+            Payload::MemMissing { addr: GlobalAddress::new(SiteId(1), 1) },
+            Payload::Relocate {
+                objects: vec![obj.clone()],
+                frames: vec![sample_frame()],
+                directory: vec![(GlobalAddress::new(SiteId(1), 3), SiteId(2))],
+            },
+            Payload::RelocateAck {},
+            Payload::BackupRelease { frame: GlobalAddress::new(SiteId(1), 1), owner: SiteId(2) },
+            Payload::BackupFrame { frame: sample_frame() },
+            Payload::BackupApply {
+                target: GlobalAddress::new(SiteId(1), 1),
+                slot: 0,
+                value: Value::from_u64(3),
+            },
+            Payload::BackupConsumed { frame: GlobalAddress::new(SiteId(1), 1) },
+            Payload::BackupObject { obj: obj.clone() },
+            Payload::RecoverSite { dead: SiteId(3) },
+            Payload::ProgramRegister {
+                program: ProgramId(1),
+                code_home: SiteId(1),
+                name: "primes".into(),
+                threads: 4,
+            },
+            Payload::ProgramTerminated { program: ProgramId(1) },
+            Payload::CheckpointStore {
+                program: ProgramId(1),
+                epoch: 2,
+                snapshot: Bytes::from_static(b"snap"),
+            },
+            Payload::CheckpointAck { program: ProgramId(1), epoch: 2 },
+            Payload::CheckpointFetch { program: ProgramId(1) },
+            Payload::CheckpointData {
+                program: ProgramId(1),
+                epoch: 2,
+                snapshot: Bytes::from_static(b"snap"),
+            },
+            Payload::CheckpointNone { program: ProgramId(1) },
+            Payload::ProgramPause { program: ProgramId(1), paused: true },
+            Payload::SnapshotCollect { program: ProgramId(1) },
+            Payload::SnapshotPart {
+                program: ProgramId(1),
+                objects: vec![obj.clone()],
+                frames: vec![sample_frame()],
+            },
+            Payload::IoOutput { program: ProgramId(1), text: "hello".into() },
+            Payload::IoInputRequest { program: ProgramId(1), prompt: "> ".into() },
+            Payload::IoInputReply { program: ProgramId(1), line: "yes".into() },
+            Payload::FileOpen { path: "/tmp/x".into(), create: true },
+            Payload::FileOpened { handle: FileHandle { site: SiteId(1), local: 2 } },
+            Payload::FileRead {
+                handle: FileHandle { site: SiteId(1), local: 2 },
+                offset: 0,
+                len: 16,
+            },
+            Payload::FileData {
+                handle: FileHandle { site: SiteId(1), local: 2 },
+                data: Bytes::from_static(b"data"),
+            },
+            Payload::FileWrite {
+                handle: FileHandle { site: SiteId(1), local: 2 },
+                offset: 8,
+                data: Bytes::from_static(b"data"),
+            },
+            Payload::FileAck { handle: FileHandle { site: SiteId(1), local: 2 } },
+            Payload::FileClose { handle: FileHandle { site: SiteId(1), local: 2 } },
+            Payload::FileError { message: "enoent".into() },
+            Payload::Error { message: "nope".into() },
+            Payload::Ping { token: 99 },
+            Payload::Pong { token: 99 },
+        ];
+        for p in samples {
+            rt(p);
+        }
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        // Build a few payloads of each family and check tag uniqueness by
+        // decoding garbage tags fails.
+        assert!(Payload::decode_from_slice(&[200, 1]).is_err());
+    }
+
+    #[test]
+    fn name_matches_variant() {
+        assert_eq!(Payload::CantHelp {}.name(), "CantHelp");
+        assert_eq!(Payload::Ping { token: 0 }.name(), "Ping");
+    }
+}

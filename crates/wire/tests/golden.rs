@@ -1,0 +1,127 @@
+//! Golden-bytes tests: pin the exact wire encoding of representative
+//! SDMessages. Heterogeneous clusters mix daemon builds, so an
+//! accidental codec change is a silent cluster-wide incompatibility —
+//! these tests make it a loud one. If a change is *intentional*, bump
+//! `WIRE_VERSION` and update the constants.
+
+use sdvm_types::{GlobalAddress, LoadReport, ManagerId, MicrothreadId, ProgramId, SiteId, Value};
+use sdvm_wire::{Payload, SdMessage};
+
+fn hex(b: &[u8]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}
+
+#[test]
+fn golden_apply_result() {
+    let msg = SdMessage::new(
+        SiteId(3),
+        ManagerId::Memory,
+        SiteId(7),
+        ManagerId::Memory,
+        42,
+        Payload::ApplyResult {
+            target: GlobalAddress::new(SiteId(2), 9),
+            slot: 1,
+            value: Value::from_u64(0x0102030405060708),
+        },
+    );
+    let bytes = msg.to_bytes();
+    assert_eq!(
+        hex(&bytes),
+        "010303070\
+32a0028020901080807060504030201",
+        "ApplyResult wire encoding changed — bump WIRE_VERSION if intentional"
+    );
+    assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);
+}
+
+#[test]
+fn golden_help_request() {
+    let mut msg = SdMessage::new(
+        SiteId(5),
+        ManagerId::Scheduling,
+        SiteId(1),
+        ManagerId::Scheduling,
+        7,
+        Payload::HelpRequest {
+            load: LoadReport {
+                queued_frames: 2,
+                busy_slots: 5,
+                programs: 1,
+                memory_bytes: 1024,
+                epoch: 3,
+            },
+            descriptor: None,
+        },
+    );
+    msg.in_reply_to = None;
+    let bytes = msg.to_bytes();
+    assert_eq!(
+        hex(&bytes),
+        "0105010101070014020501800803\
+00",
+        "HelpRequest wire encoding changed — bump WIRE_VERSION if intentional"
+    );
+    assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);
+}
+
+#[test]
+fn golden_ping_reply() {
+    let req = SdMessage::new(
+        SiteId(1),
+        ManagerId::Site,
+        SiteId(2),
+        ManagerId::Site,
+        100,
+        Payload::Ping { token: 255 },
+    );
+    let reply = req.reply(101, ManagerId::Site, Payload::Pong { token: 255 });
+    let bytes = reply.to_bytes();
+    assert_eq!(
+        hex(&bytes),
+        "0102080108650164\
+5cff01",
+        "Pong wire encoding changed — bump WIRE_VERSION if intentional"
+    );
+    assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), reply);
+}
+
+#[test]
+fn payload_tags_are_stable() {
+    // Tags are the wire contract; reordering the enum must not move them.
+    let samples: Vec<(u16, Payload)> = vec![
+        (1, Payload::SignOn {
+            descriptor: sdvm_types::SiteDescriptor::new(
+                SiteId(1),
+                sdvm_types::PhysicalAddr::Mem(1),
+                sdvm_types::PlatformId(0),
+            ),
+        }),
+        (20, Payload::HelpRequest { load: LoadReport::default(), descriptor: None }),
+        (21, Payload::HelpReply {
+            frame: sdvm_wire::WireFrame {
+                id: GlobalAddress::new(SiteId(1), 1),
+                thread: MicrothreadId::new(ProgramId(1), 0),
+                slots: vec![],
+                targets: vec![],
+                hint: Default::default(),
+            },
+        }),
+        (40, Payload::ApplyResult {
+            target: GlobalAddress::new(SiteId(1), 1),
+            slot: 0,
+            value: Value::empty(),
+        }),
+        (54, Payload::BackupRelease { frame: GlobalAddress::new(SiteId(1), 1), owner: SiteId(2) }),
+        (62, Payload::CheckpointStore {
+            program: ProgramId(1),
+            epoch: 1,
+            snapshot: bytes::Bytes::new(),
+        }),
+        (67, Payload::ProgramPause { program: ProgramId(1), paused: true }),
+        (91, Payload::Ping { token: 0 }),
+    ];
+    for (tag, p) in samples {
+        assert_eq!(p.tag(), tag, "tag moved for {}", p.name());
+    }
+}

@@ -1,0 +1,53 @@
+//! Checkpointing (paper §6: "automatic backup and recovery mechanism
+//! (which uses checkpointing)"): a long-running program is snapshotted
+//! cluster-wide, the *entire cluster* is then destroyed — and a freshly
+//! built cluster resumes the program from the checkpoint file. This is
+//! the paper's hardware-upgrade/migration story taken to the extreme.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_restore
+//! ```
+
+use sdvm::apps::primes::{nth_prime, PrimesProgram};
+use sdvm::core::{InProcessCluster, ProgramSnapshot, SiteConfig};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = PrimesProgram { p: 80, width: 12, spin: 0, sleep_us: 20_000 };
+    let ckpt_path = std::env::temp_dir().join("sdvm-demo.ckpt");
+
+    let snapshot: ProgramSnapshot;
+    {
+        let cluster = InProcessCluster::new(3, SiteConfig::default())?;
+        let handle = prog.launch(cluster.site(0))?;
+        println!("program running on 3 sites (first {} primes)…", prog.p);
+        std::thread::sleep(Duration::from_millis(300));
+
+        snapshot = cluster.site(0).checkpoint_program(handle.program)?;
+        snapshot.save_to_file(&ckpt_path)?;
+        println!(
+            "checkpoint taken: epoch {}, {} live frames, {} objects → {}",
+            snapshot.epoch,
+            snapshot.frames.len(),
+            snapshot.objects.len(),
+            ckpt_path.display()
+        );
+        println!("…and now the whole cluster dies (no orderly sign-off).");
+        // Cluster dropped here: every site gone.
+    }
+
+    let cluster = InProcessCluster::new(3, SiteConfig::default())?;
+    println!("fresh cluster built (same logical site ids).");
+    let loaded = ProgramSnapshot::load_from_file(&ckpt_path)?;
+    let handle = cluster.site(0).restore_program(&prog.app(), &loaded)?;
+    let result = handle.wait(Duration::from_secs(600))?;
+    println!(
+        "restored program finished: the {}-th prime is {} (expected {})",
+        prog.p,
+        result.as_u64()?,
+        nth_prime(prog.p)
+    );
+    assert_eq!(result.as_u64()?, nth_prime(prog.p));
+    let _ = std::fs::remove_file(&ckpt_path);
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a 3-site SDVM cluster in one process, split a tiny
+//! application into microthreads, and run it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sdvm::core::{AppBuilder, InProcessCluster, SiteConfig};
+use sdvm::types::Value;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A cluster: the first site founds it, the others sign on through
+    //    it at runtime — exactly the paper's §3.4 entry protocol.
+    let cluster = InProcessCluster::new(3, SiteConfig::default())?;
+    println!(
+        "cluster up: sites {:?}",
+        (0..cluster.len()).map(|i| cluster.site(i).id().to_string()).collect::<Vec<_>>()
+    );
+
+    // 2. An application, split into microthreads. Each microthread gets
+    //    its arguments from a microframe and sends results to target
+    //    frames — dataflow synchronization does the rest.
+    let mut app = AppBuilder::new("sum-of-squares");
+    let square = app.thread("square", |ctx| {
+        let n = ctx.param(0)?.as_u64()?;
+        let slot = ctx.param(1)?.as_u64()? as u32;
+        let target = ctx.target(0)?;
+        ctx.send(target, slot, Value::from_u64(n * n))
+    });
+    let reduce = app.thread("reduce", |ctx| {
+        let mut total = 0;
+        for i in 0..ctx.param_count() as u32 {
+            total += ctx.param(i)?.as_u64()?;
+        }
+        ctx.output(format!("sum of squares = {total}"));
+        ctx.send(ctx.target(0)?, 0, Value::from_u64(total))
+    });
+
+    // 3. Launch: the bootstrap creates the initial microframes. The SDVM
+    //    distributes them over the cluster automatically.
+    let n = 32usize;
+    let handle = cluster.site(0).launch(&app, |ctx, result| {
+        let reducer = ctx.create_frame(reduce, n, vec![result], Default::default());
+        for i in 0..n {
+            let worker = ctx.create_frame(square, 2, vec![reducer], Default::default());
+            ctx.send(worker, 0, Value::from_u64(i as u64 + 1))?;
+            ctx.send(worker, 1, Value::from_u64(i as u64))?;
+        }
+        Ok(())
+    })?;
+
+    // 4. The result arrives at the hidden result frame on the starting
+    //    site; program output is routed to this frontend.
+    let result = handle.wait(Duration::from_secs(60))?;
+    println!("frontend got: {:?}", handle.drain_output());
+    println!("result: {}", result.as_u64()?);
+    assert_eq!(result.as_u64()?, (1..=n as u64).map(|x| x * x).sum::<u64>());
+    Ok(())
+}

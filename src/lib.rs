@@ -1,0 +1,73 @@
+//! # SDVM — The Self Distributing Virtual Machine
+//!
+//! A Rust reproduction of *"The SDVM — an approach for future adaptive
+//! computer clusters"* (Haase, Eschmann, Waldschmidt; IPPS 2005).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`types`] — ids, addresses, values, errors, policies
+//! - [`wire`] — the SDMessage binary wire format
+//! - [`crypto`] — the security-manager substrate (ChaCha20, HMAC-SHA-256)
+//! - [`net`] — transports (in-memory with fault injection, TCP)
+//! - [`cdag`] — controlflow/dataflow allocation graphs and critical paths
+//! - [`core`] — the SDVM daemon: managers, attraction memory, scheduling,
+//!   checkpointing, and the program-building API
+//! - [`sim`] — the discrete-event cluster simulator (virtual time)
+//! - [`apps`] — example applications (the paper's prime search and more)
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+//!
+//! # Example
+//!
+//! A two-site cluster computing a parallel sum through dataflow-fired
+//! microthreads:
+//!
+//! ```
+//! use sdvm::core::{AppBuilder, InProcessCluster, SiteConfig};
+//! use sdvm::types::Value;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cluster = InProcessCluster::new(2, SiteConfig::default())?;
+//!
+//! let mut app = AppBuilder::new("doubles");
+//! let double = app.thread("double", |ctx| {
+//!     let n = ctx.param(0)?.as_u64()?;
+//!     let slot = ctx.param(1)?.as_u64()? as u32;
+//!     ctx.send(ctx.target(0)?, slot, Value::from_u64(n * 2))
+//! });
+//! let sum = app.thread("sum", |ctx| {
+//!     let mut acc = 0;
+//!     for i in 0..ctx.param_count() as u32 {
+//!         acc += ctx.param(i)?.as_u64()?;
+//!     }
+//!     ctx.send(ctx.target(0)?, 0, Value::from_u64(acc))
+//! });
+//!
+//! let handle = cluster.site(0).launch(&app, |ctx, result| {
+//!     let reducer = ctx.create_frame(sum, 4, vec![result], Default::default());
+//!     for i in 0..4 {
+//!         let w = ctx.create_frame(double, 2, vec![reducer], Default::default());
+//!         ctx.send(w, 0, Value::from_u64(i + 1))?;
+//!         ctx.send(w, 1, Value::from_u64(i))?;
+//!     }
+//!     Ok(())
+//! })?;
+//!
+//! let result = handle.wait(Duration::from_secs(30))?;
+//! assert_eq!(result.as_u64()?, 2 * (1 + 2 + 3 + 4));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use sdvm_apps as apps;
+pub use sdvm_cdag as cdag;
+pub use sdvm_core as core;
+pub use sdvm_crypto as crypto;
+pub use sdvm_net as net;
+pub use sdvm_sim as sim;
+pub use sdvm_types as types;
+pub use sdvm_wire as wire;
+
+pub use sdvm_types::{SdvmError, SdvmResult};

@@ -1,0 +1,84 @@
+//! Figure 5, asserted: the career of microframes follows
+//! incomplete → executable → ready → executed, with migration inserted
+//! between executable and ready when a help request moves the frame.
+
+use sdvm::core::{AppBuilder, InProcessCluster, SiteConfig, TraceEvent, TraceLog};
+use sdvm::types::Value;
+use std::time::Duration;
+
+fn run_and_collect(sites: usize, tasks: usize, work_ms: u64) -> (TraceLog, Vec<sdvm::types::GlobalAddress>) {
+    let trace = TraceLog::new();
+    let cluster = InProcessCluster::with_configs(
+        vec![SiteConfig::default(); sites],
+        Some(trace.clone()),
+    )
+    .expect("cluster");
+    let mut app = AppBuilder::new("career");
+    let work = app.thread("work", move |ctx| {
+        if work_ms > 0 {
+            std::thread::sleep(Duration::from_millis(work_ms));
+        }
+        let slot = ctx.param(0)?.as_u64()? as u32;
+        ctx.send(ctx.target(0)?, slot, Value::empty())
+    });
+    let join = app.thread("join", |ctx| ctx.send(ctx.target(0)?, 0, Value::from_u64(7)));
+    let handle = cluster
+        .site(0)
+        .launch(&app, |ctx, result| {
+            let j = ctx.create_frame(join, tasks, vec![result], Default::default());
+            for i in 0..tasks {
+                let w = ctx.create_frame(work, 1, vec![j], Default::default());
+                ctx.send(w, 0, Value::from_u64(i as u64))?;
+            }
+            Ok(())
+        })
+        .expect("launch");
+    handle.wait(Duration::from_secs(60)).expect("result");
+    let frames = trace
+        .filter(|e| {
+            // The hidden result frame also has one slot; exclude it.
+            matches!(e, TraceEvent::FrameCreated { slots: 1, thread, .. }
+                if thread.index != u32::MAX)
+        })
+        .into_iter()
+        .filter_map(|e| match e {
+            TraceEvent::FrameCreated { frame, .. } => Some(frame),
+            _ => None,
+        })
+        .collect();
+    (trace, frames)
+}
+
+#[test]
+fn local_career_is_figure5() {
+    let (trace, frames) = run_and_collect(1, 6, 0);
+    assert_eq!(frames.len(), 6);
+    for f in frames {
+        assert_eq!(
+            trace.career_of(f),
+            vec!["incomplete", "param", "executable", "ready", "executed"],
+            "career of {f}"
+        );
+    }
+}
+
+#[test]
+fn migrated_career_inserts_migration_before_ready() {
+    let (trace, frames) = run_and_collect(2, 16, 15);
+    let mut saw_migration = false;
+    for f in frames {
+        let career = trace.career_of(f);
+        assert_eq!(career.first().map(String::as_str), Some("incomplete"), "{f}");
+        assert_eq!(career.last().map(String::as_str), Some("executed"), "{f}");
+        if let Some(pos) = career.iter().position(|s| s == "migrated") {
+            saw_migration = true;
+            // Migration happens after the frame became executable (only
+            // executable/ready frames are given away) and before it is
+            // made ready on the receiving site.
+            let exec_pos = career.iter().position(|s| s == "executable").expect("executable");
+            let ready_pos = career.iter().rposition(|s| s == "ready").expect("ready");
+            assert!(exec_pos < pos && pos < ready_pos, "career of {f}: {career:?}");
+        }
+    }
+    assert!(saw_migration, "with 16 slow tasks on 2 sites, some frame must migrate");
+}
