@@ -85,7 +85,9 @@ impl MandelbrotProgram {
 
     /// Reference (sequential) checksum.
     pub fn reference(&self) -> u64 {
-        (0..self.rows).map(|r| row_iterations(r, self.rows, self.cols, self.max_iter)).sum()
+        (0..self.rows)
+            .map(|r| row_iterations(r, self.rows, self.cols, self.max_iter))
+            .sum()
     }
 
     /// The task graph with *real* per-row costs (iterations), so the
@@ -116,17 +118,27 @@ mod tests {
 
     #[test]
     fn costs_are_uneven() {
-        let m = MandelbrotProgram { rows: 32, cols: 32, max_iter: 200 };
-        let costs: Vec<u64> =
-            (0..32).map(|r| row_iterations(r, 32, 32, 200)).collect();
+        let m = MandelbrotProgram {
+            rows: 32,
+            cols: 32,
+            max_iter: 200,
+        };
+        let costs: Vec<u64> = (0..32).map(|r| row_iterations(r, 32, 32, 200)).collect();
         let (min, max) = (costs.iter().min().unwrap(), costs.iter().max().unwrap());
-        assert!(max > &(min * 2), "rows should differ in cost: {min} vs {max}");
+        assert!(
+            max > &(min * 2),
+            "rows should differ in cost: {min} vs {max}"
+        );
         assert_eq!(m.reference(), costs.iter().sum::<u64>());
     }
 
     #[test]
     fn graph_mirrors_costs() {
-        let m = MandelbrotProgram { rows: 8, cols: 16, max_iter: 64 };
+        let m = MandelbrotProgram {
+            rows: 8,
+            cols: 16,
+            max_iter: 64,
+        };
         let g = m.graph();
         assert_eq!(g.node_count(), 9);
         assert_eq!(g.sinks().len(), 1);

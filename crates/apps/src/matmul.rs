@@ -38,7 +38,11 @@ impl MatmulProgram {
         for r in 0..self.bs {
             for c in 0..self.bs {
                 let (i, j) = (bi * self.bs + r, bj * self.bs + c);
-                let v = if which == 'a' { self.a_elem(i, j) } else { self.b_elem(i, j) };
+                let v = if which == 'a' {
+                    self.a_elem(i, j)
+                } else {
+                    self.b_elem(i, j)
+                };
                 out.push(v as u64);
             }
         }
@@ -125,12 +129,8 @@ impl MatmulProgram {
             let coord = ctx.create_frame(COLLECT, nb * nb, vec![result], Default::default());
             for bi in 0..nb {
                 for bj in 0..nb {
-                    let f = ctx.create_frame(
-                        BLOCK_TASK,
-                        1 + 2 * nb,
-                        vec![coord],
-                        Default::default(),
-                    );
+                    let f =
+                        ctx.create_frame(BLOCK_TASK, 1 + 2 * nb, vec![coord], Default::default());
                     ctx.send(f, 0, Value::from_u64_slice(&[bi as u64, bj as u64]))?;
                     for k in 0..nb {
                         ctx.send(f, 1 + k as u32, Value::from_address(a_addrs[bi][k]))?;

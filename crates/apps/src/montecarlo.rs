@@ -80,7 +80,9 @@ impl MonteCarloProgram {
 
     /// Sequential reference hit count.
     pub fn reference(&self) -> u64 {
-        (0..self.tasks as u64).map(|s| hits_in_circle(s, self.samples)).sum()
+        (0..self.tasks as u64)
+            .map(|s| hits_in_circle(s, self.samples))
+            .sum()
     }
 
     /// π estimate from a hit count.
@@ -106,7 +108,10 @@ mod tests {
 
     #[test]
     fn estimate_converges_to_pi() {
-        let prog = MonteCarloProgram { tasks: 16, samples: 20_000 };
+        let prog = MonteCarloProgram {
+            tasks: 16,
+            samples: 20_000,
+        };
         let est = prog.estimate(prog.reference());
         assert!((est - std::f64::consts::PI).abs() < 0.05, "estimate {est}");
     }
@@ -119,7 +124,11 @@ mod tests {
 
     #[test]
     fn graph_is_flat_fork_join() {
-        let g = MonteCarloProgram { tasks: 10, samples: 100 }.graph();
+        let g = MonteCarloProgram {
+            tasks: 10,
+            samples: 100,
+        }
+        .graph();
         assert_eq!(g.node_count(), 11);
         assert_eq!(g.roots().len(), 10);
     }

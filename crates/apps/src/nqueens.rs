@@ -60,8 +60,13 @@ impl NQueensProgram {
         // target(0) = where the subtree count goes.
         let explore = app.thread("explore", move |ctx| {
             let s = ctx.param(0)?.as_u64_slice()?;
-            let (row, cols, diag1, diag2, slot) =
-                (s[0] as u32, s[1] as u32, s[2] as u32, s[3] as u32, s[4] as u32);
+            let (row, cols, diag1, diag2, slot) = (
+                s[0] as u32,
+                s[1] as u32,
+                s[2] as u32,
+                s[3] as u32,
+                s[4] as u32,
+            );
             let target = ctx.target(0)?;
             if row >= parallel_depth || row == n {
                 // Granularity reached: finish sequentially.
@@ -82,8 +87,7 @@ impl NQueensProgram {
             // A combine frame gathers the children's counts and forwards
             // the sum: slot 0 carries the parent slot, 1..=k the counts.
             let k = placements.len();
-            let combine =
-                ctx.create_frame(COMBINE, k + 1, vec![target], Default::default());
+            let combine = ctx.create_frame(COMBINE, k + 1, vec![target], Default::default());
             ctx.send(combine, 0, Value::from_u64(u64::from(slot)))?;
             for (i, bit) in placements.into_iter().enumerate() {
                 let child = ctx.create_frame(EXPLORE, 1, vec![combine], Default::default());
@@ -129,8 +133,7 @@ impl NQueensProgram {
     pub fn graph(&self) -> (Cdag, u64) {
         let mut g = Cdag::new();
         let sink = g.add_node("root-combine", COMBINE, 1);
-        let total =
-            self.expand(&mut g, sink, 0, 0, 0, 0, 0);
+        let total = self.expand(&mut g, sink, 0, 0, 0, 0, 0);
         (g, total)
     }
 
@@ -190,7 +193,11 @@ mod tests {
     #[test]
     fn graph_total_matches_reference() {
         for depth in [1u32, 2, 3] {
-            let (g, total) = NQueensProgram { n: 7, parallel_depth: depth }.graph();
+            let (g, total) = NQueensProgram {
+                n: 7,
+                parallel_depth: depth,
+            }
+            .graph();
             assert_eq!(total, solutions(7));
             g.topo_order().expect("acyclic");
         }
@@ -198,9 +205,16 @@ mod tests {
 
     #[test]
     fn graph_is_irregular() {
-        let (g, _) = NQueensProgram { n: 8, parallel_depth: 3 }.graph();
+        let (g, _) = NQueensProgram {
+            n: 8,
+            parallel_depth: 3,
+        }
+        .graph();
         let costs: Vec<u64> = g.node_ids().map(|n| g.node(n).cost).collect();
         let (min, max) = (costs.iter().min().unwrap(), costs.iter().max().unwrap());
-        assert!(max > &(min * 10), "leaf costs should vary widely: {min}..{max}");
+        assert!(
+            max > &(min * 10),
+            "leaf costs should vary widely: {min}..{max}"
+        );
     }
 }

@@ -120,7 +120,12 @@ impl PrimesProgram {
     /// A program finding the first `p` primes, `width` at a time.
     pub fn new(p: u64, width: usize) -> Self {
         assert!(width >= 1);
-        PrimesProgram { p, width, spin: 0, sleep_us: 0 }
+        PrimesProgram {
+            p,
+            width,
+            spin: 0,
+            sleep_us: 0,
+        }
     }
 
     /// Build the microthread code table.
@@ -163,8 +168,7 @@ impl PrimesProgram {
             // Create the pair for the candidate `width` ahead and pass
             // the state down the chain.
             let next_cand = cand + width as u64;
-            let new_collect =
-                ctx.create_frame(COLLECT, 2, vec![result_target], Default::default());
+            let new_collect = ctx.create_frame(COLLECT, 2, vec![result_target], Default::default());
             let new_test = ctx.create_frame(TEST, 1, vec![new_collect], Default::default());
             ctx.send(new_test, 0, Value::from_u64(next_cand))?;
             ring.push(new_collect);
@@ -218,7 +222,8 @@ impl PrimesProgram {
         }
         for i in 0..m {
             // Verdict edge.
-            g.add_edge(tests[i], collects[i], 1, 24).expect("verdict edge");
+            g.add_edge(tests[i], collects[i], 1, 24)
+                .expect("verdict edge");
             // Chain (state) edge.
             if i + 1 < m {
                 g.add_edge(collects[i], collects[i + 1], 0, 8 + 16 * w as u64)
@@ -226,7 +231,8 @@ impl PrimesProgram {
             }
             // Window dispatch: collect_i creates test_{i+w}.
             if i + w < m {
-                g.add_edge(collects[i], tests[i + w], 0, 16).expect("dispatch edge");
+                g.add_edge(collects[i], tests[i + w], 0, 16)
+                    .expect("dispatch edge");
             }
         }
         g
@@ -242,8 +248,10 @@ mod tests {
         let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
         assert_eq!(
             primes,
-            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
-                 73, 79, 83, 89, 97]
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
         );
     }
 

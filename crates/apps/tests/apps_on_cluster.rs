@@ -2,7 +2,9 @@
 //! checked against their sequential references.
 
 use sdvm_apps::{
-    mandelbrot::MandelbrotProgram, matmul::MatmulProgram, montecarlo::MonteCarloProgram,
+    mandelbrot::MandelbrotProgram,
+    matmul::MatmulProgram,
+    montecarlo::MonteCarloProgram,
     primes::{nth_prime, PrimesProgram},
 };
 use sdvm_core::{InProcessCluster, SiteConfig};
@@ -32,7 +34,9 @@ fn primes_on_cluster_matches_reference() {
 fn primes_width_does_not_change_the_answer() {
     let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
     for width in [3usize, 10, 20] {
-        let handle = PrimesProgram::new(30, width).launch(cluster.site(0)).unwrap();
+        let handle = PrimesProgram::new(30, width)
+            .launch(cluster.site(0))
+            .unwrap();
         assert_eq!(handle.wait(WAIT).unwrap().as_u64().unwrap(), nth_prime(30));
     }
 }
@@ -40,7 +44,11 @@ fn primes_width_does_not_change_the_answer() {
 #[test]
 fn mandelbrot_checksum_matches() {
     let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
-    let prog = MandelbrotProgram { rows: 24, cols: 32, max_iter: 150 };
+    let prog = MandelbrotProgram {
+        rows: 24,
+        cols: 32,
+        max_iter: 150,
+    };
     let handle = prog.launch(cluster.site(0)).unwrap();
     let result = handle.wait(WAIT).unwrap();
     assert_eq!(result.as_u64().unwrap(), prog.reference());
@@ -58,7 +66,10 @@ fn matmul_through_attraction_memory() {
 #[test]
 fn montecarlo_hits_match_reference() {
     let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
-    let prog = MonteCarloProgram { tasks: 12, samples: 5_000 };
+    let prog = MonteCarloProgram {
+        tasks: 12,
+        samples: 5_000,
+    };
     let handle = prog.launch(cluster.site(0)).unwrap();
     let result = handle.wait(WAIT).unwrap();
     assert_eq!(result.as_u64().unwrap(), prog.reference());
@@ -71,17 +82,28 @@ fn nqueens_dynamic_tree_on_cluster() {
     use sdvm_apps::nqueens::{solutions, NQueensProgram};
     let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
     for (n, depth) in [(6u32, 2u32), (7, 2), (8, 3)] {
-        let prog = NQueensProgram { n, parallel_depth: depth };
+        let prog = NQueensProgram {
+            n,
+            parallel_depth: depth,
+        };
         let handle = prog.launch(cluster.site(0)).unwrap();
         let result = handle.wait(WAIT).unwrap();
-        assert_eq!(result.as_u64().unwrap(), solutions(n), "n={n} depth={depth}");
+        assert_eq!(
+            result.as_u64().unwrap(),
+            solutions(n),
+            "n={n} depth={depth}"
+        );
     }
 }
 
 #[test]
 fn nqueens_graph_runs_on_simulator() {
     use sdvm_apps::nqueens::NQueensProgram;
-    let (g, total) = NQueensProgram { n: 8, parallel_depth: 3 }.graph();
+    let (g, total) = NQueensProgram {
+        n: 8,
+        parallel_depth: 3,
+    }
+    .graph();
     assert_eq!(total, 92);
     // The irregular tree must still complete and distribute on the sim.
     let m = sdvm_sim_shim::run(g);

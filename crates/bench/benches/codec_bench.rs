@@ -11,7 +11,9 @@ fn sample_frame(slots: usize) -> WireFrame {
     WireFrame {
         id: GlobalAddress::new(SiteId(3), 42),
         thread: MicrothreadId::new(ProgramId(7), 1),
-        slots: (0..slots).map(|i| Some(Value::from_u64(i as u64))).collect(),
+        slots: (0..slots)
+            .map(|i| Some(Value::from_u64(i as u64)))
+            .collect(),
         targets: vec![GlobalAddress::new(SiteId(1), 9)],
         hint: SchedulingHint::default(),
     }
@@ -24,7 +26,9 @@ fn help_reply(slots: usize) -> SdMessage {
         SiteId(5),
         ManagerId::Scheduling,
         991,
-        Payload::HelpReply { frame: sample_frame(slots) },
+        Payload::HelpReply {
+            frame: sample_frame(slots),
+        },
     )
 }
 

@@ -21,7 +21,12 @@ fn run(crash_tolerance: bool) -> (f64, u64) {
     let mut cfg = SiteConfig::default();
     cfg.crash_tolerance = crash_tolerance;
     let cluster = InProcessCluster::new(3, cfg).expect("cluster");
-    let prog = PrimesProgram { p: 120, width: 16, spin: 0, sleep_us: 1_500 };
+    let prog = PrimesProgram {
+        p: 120,
+        width: 16,
+        spin: 0,
+        sleep_us: 1_500,
+    };
     let before = cluster.hub().delivered_count();
     let t0 = Instant::now();
     let handle = prog.launch(cluster.site(0)).expect("launch");
@@ -47,7 +52,10 @@ fn main() {
         let r = run(true);
         on = (on.0.min(r.0), on.1.min(r.1));
     }
-    println!("{:>22} {:>11.3}s {:>16}", "crash tolerance off", off.0, off.1);
+    println!(
+        "{:>22} {:>11.3}s {:>16}",
+        "crash tolerance off", off.0, off.1
+    );
     println!("{:>22} {:>11.3}s {:>16}", "crash tolerance on", on.0, on.1);
     println!(
         "{:>22} {:>+11.1}% {:>+15.1}%",
@@ -59,11 +67,19 @@ fn main() {
 
     // Checkpoint cost: quiesce + collect + store, measured mid-run.
     let cluster = InProcessCluster::new(3, SiteConfig::default()).expect("cluster");
-    let prog = PrimesProgram { p: 200, width: 16, spin: 0, sleep_us: 4_000 };
+    let prog = PrimesProgram {
+        p: 200,
+        width: 16,
+        spin: 0,
+        sleep_us: 4_000,
+    };
     let handle = prog.launch(cluster.site(0)).expect("launch");
     std::thread::sleep(Duration::from_millis(200));
     let t0 = Instant::now();
-    let snap = cluster.site(0).checkpoint_program(handle.program).expect("checkpoint");
+    let snap = cluster
+        .site(0)
+        .checkpoint_program(handle.program)
+        .expect("checkpoint");
     let ckpt_time = t0.elapsed();
     println!(
         "one cluster-wide checkpoint: {ckpt_time:?} (quiesce + collect + store; \

@@ -55,12 +55,15 @@ fn main() {
     let mut cfg_foreign = SiteConfig::default();
     cfg_foreign.platform = PlatformId(2);
     cfg_foreign.compile_latency = Duration::from_millis(10);
-    let cluster = InProcessCluster::with_configs(
-        vec![cfg_home, cfg_foreign.clone(), cfg_foreign],
-        None,
-    )
-    .expect("cluster");
-    let prog = PrimesProgram { p: 60, width: 8, spin: 0, sleep_us: 4_000 };
+    let cluster =
+        InProcessCluster::with_configs(vec![cfg_home, cfg_foreign.clone(), cfg_foreign], None)
+            .expect("cluster");
+    let prog = PrimesProgram {
+        p: 60,
+        width: 8,
+        spin: 0,
+        sleep_us: 4_000,
+    };
     let handle = prog.launch(cluster.site(0)).expect("launch");
     handle.wait(Duration::from_secs(120)).expect("result");
     println!("real runtime, mixed platforms (1×home + 2×foreign):");

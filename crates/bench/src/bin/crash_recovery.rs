@@ -25,7 +25,10 @@ fn main() {
     let baseline = simulate(cluster_config(8), g.clone()).makespan;
     println!("no crash: {baseline:.1}s");
     println!();
-    println!("{:>8} {:>12} {:>12} {:>14} {:>12}", "crashes", "detect (s)", "makespan", "vs baseline", "re-executed");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12}",
+        "crashes", "detect (s)", "makespan", "vs baseline", "re-executed"
+    );
     rule(76);
     for &crashes in &[1usize, 2, 3] {
         for &detect in &[0.1f64, 0.5, 2.0] {
@@ -54,9 +57,14 @@ fn main() {
     let mut cfg = SiteConfig::default().with_crash_tolerance();
     cfg.heartbeat_interval = Duration::from_millis(50);
     cfg.crash_timeout = Duration::from_millis(300);
-    let cluster = InProcessCluster::with_configs(vec![cfg; 3], Some(trace.clone()))
-        .expect("cluster");
-    let prog = PrimesProgram { p: 60, width: 16, spin: 0, sleep_us: 8_000 };
+    let cluster =
+        InProcessCluster::with_configs(vec![cfg; 3], Some(trace.clone())).expect("cluster");
+    let prog = PrimesProgram {
+        p: 60,
+        width: 16,
+        spin: 0,
+        sleep_us: 8_000,
+    };
     let handle = prog.launch(cluster.site(0)).expect("launch");
     // Crash only once the victim demonstrably received work.
     let victim = cluster.site(2).id();
@@ -70,7 +78,9 @@ fn main() {
     }
     std::thread::sleep(Duration::from_millis(50));
     cluster.crash(2);
-    let result = handle.wait(Duration::from_secs(120)).expect("recovered result");
+    let result = handle
+        .wait(Duration::from_secs(120))
+        .expect("recovered result");
     assert_eq!(result.as_u64().unwrap(), nth_prime(60));
     // Detection may lag completion by up to the crash timeout.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
@@ -88,11 +98,16 @@ fn main() {
         .filter(|e| matches!(e, TraceEvent::Recovered { .. }))
         .iter()
         .map(|e| match e {
-            TraceEvent::Recovered { frames, objects, .. } => frames + objects,
+            TraceEvent::Recovered {
+                frames, objects, ..
+            } => frames + objects,
             _ => 0,
         })
         .sum();
-    println!("result correct: {} (the 60th prime)", result.as_u64().unwrap());
+    println!(
+        "result correct: {} (the 60th prime)",
+        result.as_u64().unwrap()
+    );
     println!("crash detections observed : {detected}");
     println!("backup entries revived    : {recovered}");
     rule(76);

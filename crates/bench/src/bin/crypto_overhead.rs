@@ -71,7 +71,9 @@ fn main() {
                     b_id,
                     sdvm_types::ManagerId::Site,
                     sdvm_types::ManagerId::Site,
-                    sdvm_wire::Payload::Ping { token: u64::from(token) },
+                    sdvm_wire::Payload::Ping {
+                        token: u64::from(token),
+                    },
                     Duration::from_secs(10),
                 )
                 .expect("pong");
@@ -82,16 +84,27 @@ fn main() {
     let plain = run(None);
     let sealed = run(Some("cluster-secret"));
     println!("{round_trips} site-manager ping/pong round trips (2 sites):");
-    println!("  plaintext : {plain:.3} s ({:.1} µs/round trip)", plain * 1e6 / f64::from(round_trips));
-    println!("  encrypted : {sealed:.3} s ({:.1} µs/round trip)", sealed * 1e6 / f64::from(round_trips));
+    println!(
+        "  plaintext : {plain:.3} s ({:.1} µs/round trip)",
+        plain * 1e6 / f64::from(round_trips)
+    );
+    println!(
+        "  encrypted : {sealed:.3} s ({:.1} µs/round trip)",
+        sealed * 1e6 / f64::from(round_trips)
+    );
     println!(
         "security manager cost: {:+.1}%  (paper: disabling is a \"performance gain\")",
         (sealed / plain - 1.0) * 100.0
     );
     // 3. Sanity: the prime search still completes on an encrypted cluster.
-    let cluster = InProcessCluster::new(2, SiteConfig::default().with_password("s"))
-        .expect("cluster");
-    let prog = PrimesProgram { p: 60, width: 8, spin: 0, sleep_us: 0 };
+    let cluster =
+        InProcessCluster::new(2, SiteConfig::default().with_password("s")).expect("cluster");
+    let prog = PrimesProgram {
+        p: 60,
+        width: 8,
+        spin: 0,
+        sleep_us: 0,
+    };
     let handle = prog.launch(cluster.site(0)).expect("launch");
     handle.wait(Duration::from_secs(600)).expect("result");
     println!("(primes completes correctly under encryption)");

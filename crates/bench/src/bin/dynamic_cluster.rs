@@ -27,7 +27,10 @@ fn main() {
     // Growth: 4 founders + 4 joining at 25% of the static-4 makespan.
     let mut grow = cluster_config(8);
     for i in 4..8 {
-        grow.sites[i] = SimSite { join_at: t4 * 0.25, ..SimSite::reference() };
+        grow.sites[i] = SimSite {
+            join_at: t4 * 0.25,
+            ..SimSite::reference()
+        };
     }
     let tg = simulate(grow, g.clone());
 
@@ -39,20 +42,32 @@ fn main() {
 
     // Churn: one joins, one leaves, one crashes.
     let mut churn = cluster_config(6);
-    churn.sites[4] = SimSite { join_at: t4 * 0.2, ..SimSite::reference() };
+    churn.sites[4] = SimSite {
+        join_at: t4 * 0.2,
+        ..SimSite::reference()
+    };
     churn.sites[5].leave_at = Some(t4 * 0.5);
     churn.sites[3].crash_at = Some(t4 * 0.35);
     let tc = simulate(churn, g.clone());
 
     println!("static 4 sites                        : {t4:>8.1}s");
     println!("static 8 sites                        : {t8:>8.1}s");
-    println!("4 sites + 4 join at 25%               : {:>8.1}s (between static 4 and 8)", tg.makespan);
-    println!("8 sites, 2 leave orderly at 25%       : {:>8.1}s (all work preserved: {} tasks)", ts.makespan, ts.tasks_executed);
+    println!(
+        "4 sites + 4 join at 25%               : {:>8.1}s (between static 4 and 8)",
+        tg.makespan
+    );
+    println!(
+        "8 sites, 2 leave orderly at 25%       : {:>8.1}s (all work preserved: {} tasks)",
+        ts.makespan, ts.tasks_executed
+    );
     println!(
         "6 sites: 1 joins, 1 leaves, 1 crashes : {:>8.1}s ({} re-executions)",
         tc.makespan, tc.reexecutions
     );
     rule(72);
-    assert!(tg.makespan < t4 && tg.makespan > t8 * 0.95, "growth lands between static sizes");
+    assert!(
+        tg.makespan < t4 && tg.makespan > t8 * 0.95,
+        "growth lands between static sizes"
+    );
     println!("the application finished correctly under every membership change");
 }

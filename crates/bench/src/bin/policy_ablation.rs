@@ -16,17 +16,15 @@ use sdvm_cdag::generators;
 use sdvm_sim::Simulation;
 use sdvm_types::QueuePolicy;
 
-const POLICIES: [QueuePolicy; 3] =
-    [QueuePolicy::Fifo, QueuePolicy::Lifo, QueuePolicy::Priority];
+const POLICIES: [QueuePolicy; 3] = [QueuePolicy::Fifo, QueuePolicy::Lifo, QueuePolicy::Priority];
 
-fn run_case(
-    name: &str,
-    graph: sdvm_cdag::Cdag,
-    sites: usize,
-) {
+fn run_case(name: &str, graph: sdvm_cdag::Cdag, sites: usize) {
     println!("workload: {name} on {sites} sites");
     rule(66);
-    println!("{:>10} {:>10} {:>12} {:>10} {:>10}", "local", "help", "makespan", "migrations", "help-req");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10} {:>10}",
+        "local", "help", "makespan", "migrations", "help-req"
+    );
     rule(66);
     let mut best: Option<(f64, QueuePolicy, QueuePolicy)> = None;
     for local in POLICIES {
@@ -66,9 +64,5 @@ fn main() {
         4,
     );
     println!();
-    run_case(
-        "wavefront 24×24",
-        generators::wavefront(24, 40_000),
-        4,
-    );
+    run_case("wavefront 24×24", generators::wavefront(24, 40_000), 4);
 }

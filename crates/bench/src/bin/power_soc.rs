@@ -46,7 +46,10 @@ fn bursty() -> Cdag {
 fn config(cores: usize, sleep_after: Option<f64>) -> SimConfig {
     let mut cfg = SimConfig::homogeneous(cores);
     // On-chip interconnect: microseconds, not LAN milliseconds.
-    cfg.net = NetworkModel { latency: 2e-6, bandwidth: 1e9 };
+    cfg.net = NetworkModel {
+        latency: 2e-6,
+        bandwidth: 1e9,
+    };
     cfg.cost.msg_overhead = 2e-6;
     for s in &mut cfg.sites {
         s.power = sleep_after.map(|after| PowerModel {
@@ -80,8 +83,7 @@ fn main() {
     );
     for sleep_after in [50e-3f64, 10e-3, 2e-3, 0.5e-3] {
         let m = Simulation::new(config(8, Some(sleep_after)), g.clone()).run();
-        let slept_frac =
-            m.slept.iter().sum::<f64>() / (8.0 * m.makespan.max(1e-12)) * 100.0;
+        let slept_frac = m.slept.iter().sum::<f64>() / (8.0 * m.makespan.max(1e-12)) * 100.0;
         println!(
             "{:>16.1}ms {:>11.3}s {:>12.3} {:>11.1}% {:>13.1}%",
             sleep_after * 1e3,

@@ -29,7 +29,10 @@ fn main() {
         "timeline: primes p=60 width={width} on {sites} sites — makespan {:.2}s (virtual)",
         m.makespan
     );
-    println!("each column ≈ {:.0} ms;  █ = testing a candidate, ▒ = collect/bookkeeping", m.makespan / COLS as f64 * 1e3);
+    println!(
+        "each column ≈ {:.0} ms;  █ = testing a candidate, ▒ = collect/bookkeeping",
+        m.makespan / COLS as f64 * 1e3
+    );
     println!();
     for (i, lanes) in m.timeline.iter().enumerate() {
         let mut row = vec![' '; COLS];
@@ -45,7 +48,11 @@ fn main() {
             }
         }
         let line: String = row.into_iter().collect();
-        println!("site{:<2} │{line}│ {:>5.1}% busy", i + 1, m.busy[i] / m.makespan * 100.0);
+        println!(
+            "site{:<2} │{line}│ {:>5.1}% busy",
+            i + 1,
+            m.busy[i] / m.makespan * 100.0
+        );
     }
     println!();
     println!(

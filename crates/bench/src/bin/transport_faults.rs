@@ -20,19 +20,19 @@ fn run_plan(name: &str, plan: FaultPlan) {
     let hub = MemHub::new();
     let a = hub.endpoint();
     let b = hub.endpoint();
-    let (PhysicalAddr::Mem(aid), PhysicalAddr::Mem(bid)) = (a.local_addr(), b.local_addr())
-    else {
+    let (PhysicalAddr::Mem(aid), PhysicalAddr::Mem(bid)) = (a.local_addr(), b.local_addr()) else {
         unreachable!("mem transport yields mem addresses");
     };
     hub.set_link_plan(aid, bid, plan);
     const N: u32 = 100_000;
     for i in 0..N {
-        a.send(&b.local_addr(), i.to_le_bytes().to_vec()).expect("send");
+        a.send_body(&b.local_addr(), &i.to_le_bytes())
+            .expect("send");
     }
     let rx = b.incoming();
     let mut got = Vec::new();
     while let Ok(m) = rx.try_recv() {
-        got.push(u32::from_le_bytes(m.try_into().expect("4 bytes")));
+        got.push(u32::from_le_bytes(m[..].try_into().expect("4 bytes")));
     }
     let mut seen = vec![0u32; N as usize];
     let mut out_of_order = 0u32;
@@ -64,7 +64,12 @@ fn main() {
     run_plan("reliable (TCP-like)", FaultPlan::reliable());
     run_plan("udp-like (seed 1)", FaultPlan::udp_like(1));
     run_plan("udp-like (seed 2)", FaultPlan::udp_like(2));
-    let heavy = FaultPlan { drop_prob: 0.05, dup_prob: 0.02, reorder_prob: 0.15, seed: 3 };
+    let heavy = FaultPlan {
+        drop_prob: 0.05,
+        dup_prob: 0.02,
+        reorder_prob: 0.15,
+        seed: 3,
+    };
     run_plan("congested udp-like", heavy);
     rule(90);
     println!("every lost message is a lost microframe parameter: the waiting frame");

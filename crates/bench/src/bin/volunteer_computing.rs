@@ -25,7 +25,10 @@ fn main() {
     rule(78);
     let g = primes_graph(500, 20);
     let core_only = Simulation::new(cluster_config(2), g.clone()).run();
-    println!("reliable core alone (2 sites)          : {:>7.1}s", core_only.makespan);
+    println!(
+        "reliable core alone (2 sites)          : {:>7.1}s",
+        core_only.makespan
+    );
 
     println!(
         "{:>10} {:>12} {:>12} {:>14} {:>12}",

@@ -66,7 +66,10 @@ impl CdagAnalysis {
         }
 
         let critical = if n == 0 {
-            CriticalPath { length: 0, nodes: Vec::new() }
+            CriticalPath {
+                length: 0,
+                nodes: Vec::new(),
+            }
         } else {
             let start = g
                 .roots()
@@ -79,7 +82,10 @@ impl CdagAnalysis {
                 nodes.push(next);
                 cur = next;
             }
-            CriticalPath { length: b_level[start], nodes }
+            CriticalPath {
+                length: b_level[start],
+                nodes,
+            }
         };
 
         let avg_parallelism = if critical.length == 0 {
@@ -88,7 +94,12 @@ impl CdagAnalysis {
             g.total_work() as f64 / critical.length as f64
         };
 
-        Ok(CdagAnalysis { t_level, b_level, critical, avg_parallelism })
+        Ok(CdagAnalysis {
+            t_level,
+            b_level,
+            critical,
+            avg_parallelism,
+        })
     }
 
     /// Derive a scheduling hint per node: the b-level becomes the
@@ -106,7 +117,10 @@ impl CdagAnalysis {
                 } else {
                     Priority(scaled)
                 };
-                SchedulingHint { priority, sticky: false }
+                SchedulingHint {
+                    priority,
+                    sticky: false,
+                }
             })
             .collect()
     }
@@ -136,7 +150,13 @@ mod tests {
         let a = CdagAnalysis::analyse(&g).unwrap();
         assert_eq!(a.t_level, vec![0, 1, 1, 6]); // d waits for c: 1 + 5
         assert_eq!(a.b_level[0], 7); // a + c + d
-        assert_eq!(a.critical, CriticalPath { length: 7, nodes: vec![0, 2, 3] });
+        assert_eq!(
+            a.critical,
+            CriticalPath {
+                length: 7,
+                nodes: vec![0, 2, 3]
+            }
+        );
         let expect = 9.0 / 7.0;
         assert!((a.avg_parallelism - expect).abs() < 1e-9);
     }

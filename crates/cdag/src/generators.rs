@@ -96,8 +96,9 @@ pub fn layered_random(layers: usize, width: usize, seed: u64) -> Cdag {
 pub fn reduction_tree(leaves: usize, cost: u64) -> Cdag {
     let mut g = Cdag::new();
     assert!(leaves > 0, "need at least one leaf");
-    let mut level: Vec<usize> =
-        (0..leaves).map(|i| g.add_node(format!("leaf{i}"), 0, cost)).collect();
+    let mut level: Vec<usize> = (0..leaves)
+        .map(|i| g.add_node(format!("leaf{i}"), 0, cost))
+        .collect();
     let mut depth = 0;
     while level.len() > 1 {
         depth += 1;
@@ -128,11 +129,13 @@ pub fn wavefront(n: usize, cost: u64) -> Cdag {
             ids[i][j] = g.add_node(format!("g{i}.{j}"), 0, cost);
             let mut slot = 0;
             if i > 0 {
-                g.add_edge(ids[i - 1][j], ids[i][j], slot, 8).expect("grid edge");
+                g.add_edge(ids[i - 1][j], ids[i][j], slot, 8)
+                    .expect("grid edge");
                 slot += 1;
             }
             if j > 0 {
-                g.add_edge(ids[i][j - 1], ids[i][j], slot, 8).expect("grid edge");
+                g.add_edge(ids[i][j - 1], ids[i][j], slot, 8)
+                    .expect("grid edge");
             }
         }
     }
@@ -193,7 +196,7 @@ mod tests {
         assert_eq!(g.node_count(), 15);
         let a = CdagAnalysis::analyse(&g).unwrap();
         assert_eq!(a.critical.length, 2 * 4); // leaf + 3 reduce levels
-        // Non-power-of-two leaf counts also work.
+                                              // Non-power-of-two leaf counts also work.
         let g5 = reduction_tree(5, 1);
         assert_eq!(g5.sinks().len(), 1);
         g5.topo_order().expect("acyclic");

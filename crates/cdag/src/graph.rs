@@ -80,7 +80,12 @@ impl Cdag {
             return Err(SdvmError::InvalidState(format!("self-loop on node {from}")));
         }
         let id = self.edges.len();
-        self.edges.push(Edge { from, to, slot, data_bytes });
+        self.edges.push(Edge {
+            from,
+            to,
+            slot,
+            data_bytes,
+        });
         self.nodes[from].succs.push(id);
         self.nodes[to].preds.push(id);
         Ok(id)
@@ -134,12 +139,16 @@ impl Cdag {
     /// Nodes without predecessors (executable immediately — the program's
     /// entry frames).
     pub fn roots(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Nodes without successors (the program's results).
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
     }
 
     /// Total work over all nodes.
@@ -150,8 +159,7 @@ impl Cdag {
     /// Kahn topological order; errors if the graph has a cycle.
     pub fn topo_order(&self) -> SdvmResult<Vec<NodeId>> {
         let mut indeg: Vec<usize> = self.node_ids().map(|n| self.in_degree(n)).collect();
-        let mut queue: Vec<NodeId> =
-            self.node_ids().filter(|&n| indeg[n] == 0).collect();
+        let mut queue: Vec<NodeId> = self.node_ids().filter(|&n| indeg[n] == 0).collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(n) = queue.pop() {
             order.push(n);
@@ -179,7 +187,11 @@ impl Cdag {
         let hl: std::collections::HashSet<_> = highlight.iter().collect();
         let mut out = String::from("digraph cdag {\n  rankdir=TB;\n");
         for (i, n) in self.nodes.iter().enumerate() {
-            let style = if hl.contains(&i) { ", color=red, penwidth=2" } else { "" };
+            let style = if hl.contains(&i) {
+                ", color=red, penwidth=2"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  n{i} [label=\"{} ({})\"{}];",

@@ -23,7 +23,8 @@ fn arb_dag() -> impl Strategy<Value = Cdag> {
             for i in 0..n {
                 for j in (i + 1)..n {
                     if edges[k] {
-                        g.add_edge(i, j, slot[j], 8).expect("indexed edges are valid");
+                        g.add_edge(i, j, slot[j], 8)
+                            .expect("indexed edges are valid");
                         slot[j] += 1;
                     }
                     k += 1;

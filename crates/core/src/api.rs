@@ -46,7 +46,10 @@ pub struct AppBuilder {
 impl AppBuilder {
     /// Start building an application.
     pub fn new(name: &str) -> Self {
-        AppBuilder { name: name.to_string(), threads: Vec::new() }
+        AppBuilder {
+            name: name.to_string(),
+            threads: Vec::new(),
+        }
     }
 
     /// Register a microthread; returns its code-table index, used when
@@ -56,7 +59,10 @@ impl AppBuilder {
         F: Fn(&mut ExecCtx<'_>) -> SdvmResult<()> + Send + Sync + 'static,
     {
         let idx = self.threads.len() as u32;
-        self.threads.push(ThreadSpec { name: name.to_string(), func: Arc::new(f) });
+        self.threads.push(ThreadSpec {
+            name: name.to_string(),
+            func: Arc::new(f),
+        });
         idx
     }
 
@@ -131,11 +137,19 @@ pub struct ExecCtx<'a> {
 
 impl<'a> ExecCtx<'a> {
     pub(crate) fn for_frame(site: &'a SiteInner, frame: &'a Microframe) -> Self {
-        ExecCtx { site, program: frame.program(), frame: Some(frame) }
+        ExecCtx {
+            site,
+            program: frame.program(),
+            frame: Some(frame),
+        }
     }
 
     pub(crate) fn bootstrap(site: &'a SiteInner, program: ProgramId) -> Self {
-        ExecCtx { site, program, frame: None }
+        ExecCtx {
+            site,
+            program,
+            frame: None,
+        }
     }
 
     /// The program this execution belongs to.
@@ -207,7 +221,9 @@ impl<'a> ExecCtx<'a> {
     /// a microthread's execution, §3.2). The frame may live anywhere in
     /// the cluster.
     pub fn send(&mut self, target: GlobalAddress, slot: u32, value: Value) -> SdvmResult<()> {
-        self.site.memory.apply_or_forward(self.site, target, slot, value, 4)
+        self.site
+            .memory
+            .apply_or_forward(self.site, target, slot, value, 4)
     }
 
     /// Allocate a global memory object; it is accessible (and migrates)
@@ -265,7 +281,9 @@ impl<'a> ExecCtx<'a> {
     /// Internal: the hidden result microthread delivers the program's
     /// final value.
     pub(crate) fn deliver_result(&mut self, value: Value) {
-        self.site.program.finish_local(self.site, self.program, value);
+        self.site
+            .program
+            .finish_local(self.site, self.program, value);
     }
 }
 
@@ -285,7 +303,8 @@ impl Site {
                 "site not started (call start_first or sign_on)".into(),
             ));
         }
-        site.registry.register(program, &app.name, app.threads.clone());
+        site.registry
+            .register(program, &app.name, app.threads.clone());
         site.program.register(
             program,
             ProgramInfo {
@@ -329,7 +348,13 @@ impl Site {
         result_addr: GlobalAddress,
     ) -> SdvmResult<ProgramHandle> {
         let (result_rx, output_rx, input_queue) = self.register_program_here(app, program)?;
-        Ok(ProgramHandle { program, result_addr, result_rx, output_rx, input_queue })
+        Ok(ProgramHandle {
+            program,
+            result_addr,
+            result_rx,
+            output_rx,
+            input_queue,
+        })
     }
 
     /// Launch an application on this site. `bootstrap` runs once (like an
@@ -353,7 +378,10 @@ impl Site {
         // from the frontend site).
         let result_addr = {
             let id = site.memory.fresh_address(site);
-            let hint = SchedulingHint { sticky: true, ..Default::default() };
+            let hint = SchedulingHint {
+                sticky: true,
+                ..Default::default()
+            };
             let frame = Microframe::new(
                 id,
                 MicrothreadId::new(program, RESULT_THREAD_INDEX),
@@ -368,7 +396,13 @@ impl Site {
         let mut ctx = ExecCtx::bootstrap(site, program);
         bootstrap(&mut ctx, result_addr)?;
 
-        Ok(ProgramHandle { program, result_addr, result_rx, output_rx, input_queue })
+        Ok(ProgramHandle {
+            program,
+            result_addr,
+            result_rx,
+            output_rx,
+            input_queue,
+        })
     }
 }
 
@@ -391,8 +425,12 @@ impl InProcessCluster {
         assert!(!configs.is_empty(), "cluster needs at least one site");
         let hub = MemHub::new();
         let registry = AppRegistry::new();
-        let mut cluster =
-            InProcessCluster { hub, registry, trace, sites: Vec::with_capacity(configs.len()) };
+        let mut cluster = InProcessCluster {
+            hub,
+            registry,
+            trace,
+            sites: Vec::with_capacity(configs.len()),
+        };
         let mut iter = configs.into_iter();
         let first_cfg = iter.next().expect("non-empty");
         let first = cluster.build_site(first_cfg);

@@ -117,7 +117,10 @@ impl Site {
                 ManagerId::Program,
                 ManagerId::Program,
                 site.next_seq(),
-                Payload::ProgramPause { program, paused: true },
+                Payload::ProgramPause {
+                    program,
+                    paused: true,
+                },
             );
         }
 
@@ -138,30 +141,33 @@ impl Site {
             }
             let _ = round;
             for &m in &members {
-            match site.request(
-                m,
-                ManagerId::Program,
-                ManagerId::Program,
-                Payload::SnapshotCollect { program },
-                site.config.request_timeout,
-            ) {
-                Ok(reply) => match reply.payload {
-                    Payload::SnapshotPart { frames: f, objects: o, .. } => {
-                        frames.extend(f);
-                        objects.extend(o);
+                match site.request(
+                    m,
+                    ManagerId::Program,
+                    ManagerId::Program,
+                    Payload::SnapshotCollect { program },
+                    site.config.request_timeout,
+                ) {
+                    Ok(reply) => match reply.payload {
+                        Payload::SnapshotPart {
+                            frames: f,
+                            objects: o,
+                            ..
+                        } => {
+                            frames.extend(f);
+                            objects.extend(o);
+                        }
+                        other => {
+                            collect_err = Some(SdvmError::Checkpoint(format!(
+                                "unexpected snapshot reply {}",
+                                other.name()
+                            )));
+                        }
+                    },
+                    Err(e) => {
+                        collect_err = Some(SdvmError::Checkpoint(format!("collect from {m}: {e}")));
                     }
-                    other => {
-                        collect_err = Some(SdvmError::Checkpoint(format!(
-                            "unexpected snapshot reply {}",
-                            other.name()
-                        )));
-                    }
-                },
-                Err(e) => {
-                    collect_err =
-                        Some(SdvmError::Checkpoint(format!("collect from {m}: {e}")));
                 }
-            }
                 if collect_err.is_some() {
                     break;
                 }
@@ -175,7 +181,10 @@ impl Site {
                 ManagerId::Program,
                 ManagerId::Program,
                 site.next_seq(),
-                Payload::ProgramPause { program, paused: false },
+                Payload::ProgramPause {
+                    program,
+                    paused: false,
+                },
             );
         }
         if let Some(e) = collect_err {
@@ -202,7 +211,14 @@ impl Site {
                 site.registry.thread_count(program) as u32,
             )
         };
-        let snapshot = ProgramSnapshot { program, epoch, name, threads, frames, objects };
+        let snapshot = ProgramSnapshot {
+            program,
+            epoch,
+            name,
+            threads,
+            frames,
+            objects,
+        };
 
         // 4. Store on the checkpoint sites (the code distribution sites,
         // ourselves included) — "the sites where checkpoints are stored".
@@ -249,7 +265,10 @@ impl Site {
                 Payload::CheckpointFetch { program },
                 site.config.request_timeout,
             ) {
-                if let Payload::CheckpointData { epoch, snapshot, .. } = reply.payload {
+                if let Payload::CheckpointData {
+                    epoch, snapshot, ..
+                } = reply.payload
+                {
                     if best.as_ref().map(|(e, _)| *e < epoch).unwrap_or(true) {
                         best = Some((epoch, snapshot));
                     }
@@ -258,7 +277,9 @@ impl Site {
         }
         match best {
             Some((_, bytes)) => ProgramSnapshot::from_bytes(&bytes),
-            None => Err(SdvmError::Checkpoint(format!("no checkpoint stored for {program}"))),
+            None => Err(SdvmError::Checkpoint(format!(
+                "no checkpoint stored for {program}"
+            ))),
         }
     }
 
@@ -281,8 +302,7 @@ impl Site {
         let result_addr = snapshot.result_addr().ok_or_else(|| {
             SdvmError::Checkpoint("snapshot has no result frame (program finished?)".into())
         })?;
-        let handle =
-            self.relaunch_registered(app, snapshot.program, result_addr)?;
+        let handle = self.relaunch_registered(app, snapshot.program, result_addr)?;
         let site = self.inner();
         for obj in &snapshot.objects {
             site.memory.adopt_object(site, obj.clone());
@@ -291,8 +311,11 @@ impl Site {
         // executable frame starts it running, and its results must find
         // every waiting frame already registered — otherwise the
         // directory reports them unknown and the results are dropped.
-        let (incomplete, executable): (Vec<_>, Vec<_>) =
-            snapshot.frames.iter().cloned().partition(|f| !f.is_executable());
+        let (incomplete, executable): (Vec<_>, Vec<_>) = snapshot
+            .frames
+            .iter()
+            .cloned()
+            .partition(|f| !f.is_executable());
         for f in incomplete.into_iter().chain(executable) {
             site.memory.adopt_frame(site, Microframe::from_wire(f));
         }
@@ -316,7 +339,10 @@ mod tests {
                 thread: MicrothreadId::new(ProgramId(65536), RESULT_THREAD_INDEX),
                 slots: vec![None],
                 targets: vec![],
-                hint: SchedulingHint { sticky: true, ..Default::default() },
+                hint: SchedulingHint {
+                    sticky: true,
+                    ..Default::default()
+                },
             }],
             objects: vec![WireMemObject {
                 addr: GlobalAddress::new(SiteId(2), 4),

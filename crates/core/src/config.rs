@@ -93,12 +93,17 @@ mod tests {
         assert_eq!(c.slots, 5, "paper: about 5 virtual-parallel microthreads");
         assert_eq!(c.local_policy, QueuePolicy::Fifo);
         assert_eq!(c.help_policy, QueuePolicy::Lifo);
-        assert!(c.password.is_none(), "security off by default on insular clusters");
+        assert!(
+            c.password.is_none(),
+            "security off by default on insular clusters"
+        );
     }
 
     #[test]
     fn builders() {
-        let c = SiteConfig::default().with_crash_tolerance().with_password("pw");
+        let c = SiteConfig::default()
+            .with_crash_tolerance()
+            .with_password("pw");
         assert!(c.crash_tolerance);
         assert_eq!(c.password.as_deref(), Some("pw"));
     }

@@ -35,7 +35,14 @@ impl Microframe {
         targets: Vec<GlobalAddress>,
         hint: SchedulingHint,
     ) -> Self {
-        Microframe { id, thread, slots: vec![None; nslots], targets, hint, missing: nslots }
+        Microframe {
+            id,
+            thread,
+            slots: vec![None; nslots],
+            targets,
+            hint,
+            missing: nslots,
+        }
     }
 
     /// The program this frame belongs to.
@@ -59,10 +66,18 @@ impl Microframe {
     pub fn apply(&mut self, slot: u32, value: Value) -> SdvmResult<bool> {
         let idx = slot as usize;
         if idx >= self.slots.len() {
-            return Err(SdvmError::FrameSlot { frame: self.id, slot, reason: "out of range" });
+            return Err(SdvmError::FrameSlot {
+                frame: self.id,
+                slot,
+                reason: "out of range",
+            });
         }
         if self.slots[idx].is_some() {
-            return Err(SdvmError::FrameSlot { frame: self.id, slot, reason: "already filled" });
+            return Err(SdvmError::FrameSlot {
+                frame: self.id,
+                slot,
+                reason: "already filled",
+            });
         }
         self.slots[idx] = Some(value);
         self.missing -= 1;
@@ -74,7 +89,11 @@ impl Microframe {
         self.slots
             .get(slot as usize)
             .and_then(|s| s.as_ref())
-            .ok_or(SdvmError::FrameSlot { frame: self.id, slot, reason: "not filled" })
+            .ok_or(SdvmError::FrameSlot {
+                frame: self.id,
+                slot,
+                reason: "not filled",
+            })
     }
 
     /// Serialize for the wire (help replies, relocation, backups).
@@ -139,7 +158,13 @@ mod tests {
         let mut f = mk(2);
         f.apply(0, Value::from_u64(1)).unwrap();
         let err = f.apply(0, Value::from_u64(9)).unwrap_err();
-        assert!(matches!(err, SdvmError::FrameSlot { reason: "already filled", .. }));
+        assert!(matches!(
+            err,
+            SdvmError::FrameSlot {
+                reason: "already filled",
+                ..
+            }
+        ));
         assert_eq!(f.missing(), 1, "failed apply must not consume a slot");
     }
 
@@ -148,7 +173,10 @@ mod tests {
         let mut f = mk(1);
         assert!(matches!(
             f.apply(5, Value::empty()),
-            Err(SdvmError::FrameSlot { reason: "out of range", .. })
+            Err(SdvmError::FrameSlot {
+                reason: "out of range",
+                ..
+            })
         ));
     }
 

@@ -94,7 +94,12 @@ impl BackupManager {
 
     /// Record a mirrored memory object.
     pub fn on_object(&self, owner: SiteId, obj: WireMemObject) {
-        self.state.lock().objects.entry(owner).or_default().insert(obj.addr, obj);
+        self.state
+            .lock()
+            .objects
+            .entry(owner)
+            .or_default()
+            .insert(obj.addr, obj);
     }
 
     /// Counts (frames, objects) held for `owner` — observability.
@@ -172,7 +177,12 @@ pub(crate) fn recover(site: &SiteInner, dead: SiteId) {
     for frame in incomplete.into_iter().chain(executable) {
         site.memory.adopt_frame(site, frame);
     }
-    site.emit(TraceEvent::Recovered { site: site.my_id(), dead, frames: nf, objects: no });
+    site.emit(TraceEvent::Recovered {
+        site: site.my_id(),
+        dead,
+        frames: nf,
+        objects: no,
+    });
 }
 
 // ---- sender-side mirroring helpers ----
@@ -192,7 +202,9 @@ pub(crate) fn mirror_frame(site: &SiteInner, frame: &Microframe) {
             ManagerId::Memory,
             ManagerId::Memory,
             site.next_seq(),
-            Payload::BackupFrame { frame: frame.to_wire() },
+            Payload::BackupFrame {
+                frame: frame.to_wire(),
+            },
         );
     }
 }
@@ -211,7 +223,11 @@ pub(crate) fn mirror_apply(
             ManagerId::Memory,
             ManagerId::Memory,
             site.next_seq(),
-            Payload::BackupApply { target, slot, value },
+            Payload::BackupApply {
+                target,
+                slot,
+                value,
+            },
         );
     }
 }
@@ -236,13 +252,20 @@ pub(crate) fn mirror_released(site: &SiteInner, prev_owner: SiteId, frame: Globa
     if !site.config.crash_tolerance {
         return;
     }
-    if let Some(buddy) = site.cluster.successor_of(prev_owner).filter(|b| *b != prev_owner) {
+    if let Some(buddy) = site
+        .cluster
+        .successor_of(prev_owner)
+        .filter(|b| *b != prev_owner)
+    {
         let _ = site.send_payload(
             buddy,
             ManagerId::Memory,
             ManagerId::Memory,
             site.next_seq(),
-            Payload::BackupRelease { frame, owner: prev_owner },
+            Payload::BackupRelease {
+                frame,
+                owner: prev_owner,
+            },
         );
     }
 }
@@ -260,7 +283,13 @@ pub(crate) fn mirror_object(
             ManagerId::Memory,
             ManagerId::Memory,
             site.next_seq(),
-            Payload::BackupObject { obj: WireMemObject { addr, program, data } },
+            Payload::BackupObject {
+                obj: WireMemObject {
+                    addr,
+                    program,
+                    data,
+                },
+            },
         );
     }
 }

@@ -91,12 +91,14 @@ impl ClusterManager {
         st.me = Some(desc);
         st.alloc = match self.strategy {
             IdAllocStrategy::CentralServer => AllocState::Central { next: 2 },
-            IdAllocStrategy::Contingents { .. } => {
-                AllocState::Ranges { ranges: vec![(2, u32::MAX / 2)] }
-            }
-            IdAllocStrategy::Modulo { servers } => {
-                AllocState::Modulo { slot: 0, servers, next: 1 + servers }
-            }
+            IdAllocStrategy::Contingents { .. } => AllocState::Ranges {
+                ranges: vec![(2, u32::MAX / 2)],
+            },
+            IdAllocStrategy::Modulo { servers } => AllocState::Modulo {
+                slot: 0,
+                servers,
+                next: 1 + servers,
+            },
         };
     }
 
@@ -163,13 +165,12 @@ impl ClusterManager {
                     // The acker's follow-up IdBlockGrant may have been
                     // processed by the router before this waiter thread
                     // ran — never wipe an already-granted range.
-                    IdAllocStrategy::Contingents { .. } => match std::mem::replace(
-                        &mut st.alloc,
-                        AllocState::Client,
-                    ) {
-                        existing @ AllocState::Ranges { .. } => existing,
-                        _ => AllocState::Ranges { ranges: vec![] },
-                    },
+                    IdAllocStrategy::Contingents { .. } => {
+                        match std::mem::replace(&mut st.alloc, AllocState::Client) {
+                            existing @ AllocState::Ranges { .. } => existing,
+                            _ => AllocState::Ranges { ranges: vec![] },
+                        }
+                    }
                     IdAllocStrategy::Modulo { servers } if assigned.0 <= servers => {
                         AllocState::Modulo {
                             slot: assigned.0 - 1,
@@ -191,9 +192,9 @@ impl ClusterManager {
                 st.announced_to.insert(reply.src_site);
                 Ok(())
             }
-            Payload::SignOnRefused { reason } => {
-                Err(SdvmError::InvalidState(format!("sign-on refused: {reason}")))
-            }
+            Payload::SignOnRefused { reason } => Err(SdvmError::InvalidState(format!(
+                "sign-on refused: {reason}"
+            ))),
             other => Err(SdvmError::InvalidState(format!(
                 "unexpected sign-on reply {}",
                 other.name()
@@ -224,8 +225,12 @@ impl ClusterManager {
         std::thread::sleep(site.config.help_timeout);
         // Collect everything: queued frames + incomplete frames + objects
         // + our homesite directory.
-        let mut frames: Vec<_> =
-            site.scheduling.drain_all().into_iter().map(|f| f.to_wire()).collect();
+        let mut frames: Vec<_> = site
+            .scheduling
+            .drain_all()
+            .into_iter()
+            .map(|f| f.to_wire())
+            .collect();
         let (objects, mem_frames, directory) = site.memory.drain_for_relocation();
         frames.extend(mem_frames.into_iter().map(|f| f.to_wire()));
         let restore_on_failure = |err: SdvmError| -> SdvmError {
@@ -233,7 +238,8 @@ impl ClusterManager {
             // the caller can retry or keep running — destroying drained
             // state on a failed hand-over would lose the program's work.
             for f in &frames {
-                site.memory.adopt_frame(site, crate::frame::Microframe::from_wire(f.clone()));
+                site.memory
+                    .adopt_frame(site, crate::frame::Microframe::from_wire(f.clone()));
             }
             for o in &objects {
                 site.memory.adopt_object(site, o.clone());
@@ -269,7 +275,10 @@ impl ClusterManager {
                     ManagerId::Cluster,
                     ManagerId::Cluster,
                     site.next_seq(),
-                    Payload::SignOff { site: me, successor },
+                    Payload::SignOff {
+                        site: me,
+                        successor,
+                    },
                 );
             }
         }
@@ -287,7 +296,10 @@ impl ClusterManager {
         let is_new = st.sites.insert(d.site, d.clone()).is_none();
         drop(st);
         if is_new {
-            site.emit(TraceEvent::SiteJoined { site: site.my_id(), joined: d.site });
+            site.emit(TraceEvent::SiteJoined {
+                site: site.my_id(),
+                joined: d.site,
+            });
         }
     }
 
@@ -343,7 +355,10 @@ impl ClusterManager {
         if ids.is_empty() {
             return None;
         }
-        ids.iter().copied().find(|&s| s > of).or_else(|| ids.first().copied())
+        ids.iter()
+            .copied()
+            .find(|&s| s > of)
+            .or_else(|| ids.first().copied())
     }
 
     /// Follow the succession chain of departed sites to a live one.
@@ -363,8 +378,7 @@ impl ClusterManager {
     pub fn pick_help_target(&self, site: &SiteInner) -> Option<SiteId> {
         let me = site.my_id();
         let mut st = self.state.lock();
-        let mut candidates: Vec<SiteId> =
-            st.sites.keys().copied().filter(|&s| s != me).collect();
+        let mut candidates: Vec<SiteId> = st.sites.keys().copied().filter(|&s| s != me).collect();
         if candidates.is_empty() {
             return None;
         }
@@ -373,9 +387,7 @@ impl ClusterManager {
             .iter()
             .copied()
             .max_by_key(|s| st.loads.get(s).map(|l| l.busyness()).unwrap_or(0));
-        let best = busiest.filter(|s| {
-            st.loads.get(s).map(|l| l.busyness()).unwrap_or(0) > 0
-        });
+        let best = busiest.filter(|s| st.loads.get(s).map(|l| l.busyness()).unwrap_or(0) > 0);
         Some(match best {
             Some(s) => s,
             None => {
@@ -411,7 +423,11 @@ impl ClusterManager {
                 }
                 AllocOutcome::NeedBlock
             }
-            AllocState::Modulo { slot, servers, next } => {
+            AllocState::Modulo {
+                slot,
+                servers,
+                next,
+            } => {
                 let k = *servers;
                 // Bootstrap: the first site fills the server slots 2..=k
                 // sequentially so each residue class gets an emitter.
@@ -434,12 +450,13 @@ impl ClusterManager {
         // the first `servers` ids. Contingents: any site may have ids.
         let st = self.state.lock();
         match self.strategy {
-            IdAllocStrategy::CentralServer => {
-                st.sites.contains_key(&SiteId::FIRST).then_some(SiteId::FIRST)
+            IdAllocStrategy::CentralServer => st
+                .sites
+                .contains_key(&SiteId::FIRST)
+                .then_some(SiteId::FIRST),
+            IdAllocStrategy::Modulo { servers } => {
+                (1..=servers).map(SiteId).find(|s| st.sites.contains_key(s))
             }
-            IdAllocStrategy::Modulo { servers } => (1..=servers)
-                .map(SiteId)
-                .find(|s| st.sites.contains_key(s)),
             IdAllocStrategy::Contingents { .. } => {
                 st.sites.keys().copied().min() // ask the oldest site
             }
@@ -457,15 +474,16 @@ impl ClusterManager {
         let load = self.my_load(site);
         let targets: Vec<SiteId> = {
             let mut st = self.state.lock();
-            let mut ids: Vec<SiteId> =
-                st.sites.keys().copied().filter(|&s| s != me).collect();
+            let mut ids: Vec<SiteId> = st.sites.keys().copied().filter(|&s| s != me).collect();
             ids.sort_unstable();
             if ids.is_empty() {
                 Vec::new()
             } else {
                 let start = st.hb_rr;
                 st.hb_rr = st.hb_rr.wrapping_add(1);
-                (0..ids.len().min(3)).map(|i| ids[(start + i) % ids.len()]).collect()
+                (0..ids.len().min(3))
+                    .map(|i| ids[(start + i) % ids.len()])
+                    .collect()
             }
         };
         for t in targets {
@@ -542,7 +560,11 @@ impl ClusterManager {
             st.succession.insert(dead, successor);
             successor
         };
-        site.emit(TraceEvent::SiteGone { site: site.my_id(), gone: dead, crashed: true });
+        site.emit(TraceEvent::SiteGone {
+            site: site.my_id(),
+            gone: dead,
+            crashed: true,
+        });
         site.security.forget(dead);
         // The dead site's homesite directory died with it: re-register
         // our locally owned state homed there with the successor.
@@ -555,7 +577,10 @@ impl ClusterManager {
                         ManagerId::Cluster,
                         ManagerId::Cluster,
                         site.next_seq(),
-                        Payload::SiteCrashed { site: dead, successor },
+                        Payload::SiteCrashed {
+                            site: dead,
+                            successor,
+                        },
                     );
                 }
             }
@@ -573,14 +598,18 @@ impl ClusterManager {
                 // address; a *forwarded* sign-on (from a contact site that
                 // is no id server) is answered like any normal request.
                 let reply_addr = if msg.src_site.is_valid() {
-                    self.addr_of(msg.src_site).unwrap_or_else(|| descriptor.addr.clone())
+                    self.addr_of(msg.src_site)
+                        .unwrap_or_else(|| descriptor.addr.clone())
                 } else {
                     descriptor.addr.clone()
                 };
                 site.spawn_task(Task::SignOn { msg, reply_addr });
             }
             Payload::SiteAnnounce { descriptor } => self.learn(site, descriptor),
-            Payload::SignOff { site: gone, successor } => {
+            Payload::SignOff {
+                site: gone,
+                successor,
+            } => {
                 let mut st = self.state.lock();
                 st.sites.remove(&gone);
                 st.loads.remove(&gone);
@@ -589,7 +618,11 @@ impl ClusterManager {
                 st.succession.insert(gone, successor);
                 drop(st);
                 site.security.forget(gone);
-                site.emit(TraceEvent::SiteGone { site: site.my_id(), gone, crashed: false });
+                site.emit(TraceEvent::SiteGone {
+                    site: site.my_id(),
+                    gone,
+                    crashed: false,
+                });
             }
             Payload::Heartbeat { load } => self.note_load(msg.src_site, load),
             Payload::ClusterListRequest {} => {
@@ -621,9 +654,10 @@ impl ClusterManager {
                     }
                 };
                 let payload = match grant {
-                    Some((start, end)) => {
-                        Payload::IdBlockGrant { start, len: end - start + 1 }
-                    }
+                    Some((start, end)) => Payload::IdBlockGrant {
+                        start,
+                        len: end - start + 1,
+                    },
                     None => Payload::IdBlockGrant { start: 0, len: 0 },
                 };
                 site.reply_to(&msg, ManagerId::Cluster, payload);
@@ -633,7 +667,10 @@ impl ClusterManager {
                 // our own sign-on (paper: id servers "are given a
                 // contingent of free ids during their own sign on").
                 if std::env::var_os("SDVM_DEBUG").is_some() {
-                    eprintln!("[dbg site{}] got IdBlockGrant start={start} len={len}", site.my_id().0);
+                    eprintln!(
+                        "[dbg site{}] got IdBlockGrant start={start} len={len}",
+                        site.my_id().0
+                    );
                 }
                 if len > 0 && matches!(self.strategy, IdAllocStrategy::Contingents { .. }) {
                     let mut st = self.state.lock();
@@ -647,7 +684,10 @@ impl ClusterManager {
                     }
                 }
             }
-            Payload::SiteCrashed { site: dead, successor } => {
+            Payload::SiteCrashed {
+                site: dead,
+                successor,
+            } => {
                 {
                     let mut st = self.state.lock();
                     st.succession.insert(dead, successor);
@@ -660,7 +700,9 @@ impl ClusterManager {
                 site.reply_to(
                     &msg,
                     ManagerId::Cluster,
-                    Payload::Error { message: format!("cluster: unexpected {}", other.name()) },
+                    Payload::Error {
+                        message: format!("cluster: unexpected {}", other.name()),
+                    },
                 );
             }
         }
@@ -725,7 +767,9 @@ pub(crate) fn handle_signon_blocking(site: &SiteInner, msg: SdMessage, reply_add
                         server,
                         ManagerId::Cluster,
                         ManagerId::Cluster,
-                        Payload::SignOn { descriptor: descriptor.clone() },
+                        Payload::SignOn {
+                            descriptor: descriptor.clone(),
+                        },
                         site.config.request_timeout,
                     ) {
                         Ok(reply) => match reply.payload {
@@ -755,7 +799,9 @@ pub(crate) fn handle_signon_blocking(site: &SiteInner, msg: SdMessage, reply_add
         let r = msg.reply(
             site.next_seq(),
             ManagerId::Cluster,
-            Payload::SignOnRefused { reason: "no id server reachable / id space exhausted".into() },
+            Payload::SignOnRefused {
+                reason: "no id server reachable / id space exhausted".into(),
+            },
         );
         let _ = site.send_msg_to_addr(&reply_addr, r);
         return;
@@ -769,7 +815,10 @@ pub(crate) fn handle_signon_blocking(site: &SiteInner, msg: SdMessage, reply_add
     let r = msg.reply(
         site.next_seq(),
         ManagerId::Cluster,
-        Payload::SignOnAck { assigned, cluster: cluster_list },
+        Payload::SignOnAck {
+            assigned,
+            cluster: cluster_list,
+        },
     );
     let _ = site.send_msg_to_addr(&reply_addr, r);
     // Under the contingents concept, hand the newcomer its own block of
@@ -803,7 +852,10 @@ pub(crate) fn handle_signon_blocking(site: &SiteInner, msg: SdMessage, reply_add
             ManagerId::Cluster,
             ManagerId::Cluster,
             site.next_seq(),
-            Payload::IdBlockGrant { start, len: end - start + 1 },
+            Payload::IdBlockGrant {
+                start,
+                len: end - start + 1,
+            },
         );
     }
     // Propagate the newcomer to everyone else.
@@ -814,7 +866,9 @@ pub(crate) fn handle_signon_blocking(site: &SiteInner, msg: SdMessage, reply_add
                 ManagerId::Cluster,
                 ManagerId::Cluster,
                 site.next_seq(),
-                Payload::SiteAnnounce { descriptor: d.clone() },
+                Payload::SiteAnnounce {
+                    descriptor: d.clone(),
+                },
             );
         }
     }

@@ -16,9 +16,7 @@ use crate::thread::{ThreadFn, RESULT_THREAD_INDEX};
 use crate::trace::TraceEvent;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use sdvm_types::{
-    ManagerId, MicrothreadId, PlatformId, ProgramId, SdvmError, SdvmResult, SiteId,
-};
+use sdvm_types::{ManagerId, MicrothreadId, PlatformId, ProgramId, SdvmError, SdvmResult, SiteId};
 use sdvm_wire::{Payload, SdMessage};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -57,7 +55,8 @@ impl CodeManager {
     pub fn stats(&self) -> (u64, u64) {
         (
             self.compiles.load(std::sync::atomic::Ordering::Relaxed),
-            self.remote_fetches.load(std::sync::atomic::Ordering::Relaxed),
+            self.remote_fetches
+                .load(std::sync::atomic::Ordering::Relaxed),
         )
     }
 
@@ -84,14 +83,20 @@ impl CodeManager {
             return Ok(result_thread());
         }
         if self.has_binary(thread, self.my_platform) {
-            return site.registry.resolve(thread).ok_or(SdvmError::CodeMissing(thread));
+            return site
+                .registry
+                .resolve(thread)
+                .ok_or(SdvmError::CodeMissing(thread));
         }
         // Local source but no "binary" yet: compile on the fly without
         // any network round trip.
         if self.sources.lock().contains(&thread.program) {
             self.compile(site, thread)?;
             self.upload_binary(site, thread);
-            return site.registry.resolve(thread).ok_or(SdvmError::CodeMissing(thread));
+            return site
+                .registry
+                .resolve(thread)
+                .ok_or(SdvmError::CodeMissing(thread));
         }
         for target in self.code_sites(site, thread.program) {
             site.emit(TraceEvent::CodeRequested {
@@ -103,7 +108,10 @@ impl CodeManager {
                 target,
                 ManagerId::Code,
                 ManagerId::Code,
-                Payload::CodeRequest { thread, platform: self.my_platform },
+                Payload::CodeRequest {
+                    thread,
+                    platform: self.my_platform,
+                },
                 site.config.request_timeout,
             ) {
                 Ok(r) => r,
@@ -111,18 +119,25 @@ impl CodeManager {
             };
             match reply.payload {
                 Payload::CodeBinary { .. } => {
-                    self.remote_fetches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.remote_fetches
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if !self.binary_fetch_latency.is_zero() {
                         std::thread::sleep(self.binary_fetch_latency);
                     }
                     self.available.lock().insert((thread, self.my_platform));
-                    return site.registry.resolve(thread).ok_or(SdvmError::CodeMissing(thread));
+                    return site
+                        .registry
+                        .resolve(thread)
+                        .ok_or(SdvmError::CodeMissing(thread));
                 }
                 Payload::CodeSource { .. } => {
                     self.sources.lock().insert(thread.program);
                     self.compile(site, thread)?;
                     self.upload_binary(site, thread);
-                    return site.registry.resolve(thread).ok_or(SdvmError::CodeMissing(thread));
+                    return site
+                        .registry
+                        .resolve(thread)
+                        .ok_or(SdvmError::CodeMissing(thread));
                 }
                 Payload::CodeUnavailable { .. } => continue,
                 _ => continue,
@@ -136,7 +151,8 @@ impl CodeManager {
         if !self.compile_latency.is_zero() {
             std::thread::sleep(self.compile_latency);
         }
-        self.compiles.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.compiles
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         site.emit(TraceEvent::CodeCompiled {
             site: site.my_id(),
             thread,
@@ -213,11 +229,15 @@ impl CodeManager {
                 };
                 site.reply_to(&msg, ManagerId::Code, reply);
             }
-            Payload::CodeUpload { thread, platform, .. } => {
+            Payload::CodeUpload {
+                thread, platform, ..
+            } => {
                 self.available.lock().insert((thread, platform));
             }
             // Unclaimed replies after a timeout still improve our cache.
-            Payload::CodeBinary { thread, platform, .. } => {
+            Payload::CodeBinary {
+                thread, platform, ..
+            } => {
                 if platform == self.my_platform {
                     self.available.lock().insert((thread, platform));
                 }
@@ -230,7 +250,9 @@ impl CodeManager {
                 site.reply_to(
                     &msg,
                     ManagerId::Code,
-                    Payload::Error { message: format!("code: unexpected {}", other.name()) },
+                    Payload::Error {
+                        message: format!("code: unexpected {}", other.name()),
+                    },
                 );
             }
         }

@@ -41,12 +41,19 @@ impl IoManager {
     pub fn attach_frontend(
         &self,
         program: ProgramId,
-    ) -> (crossbeam::channel::Receiver<String>, Arc<Mutex<VecDeque<String>>>) {
+    ) -> (
+        crossbeam::channel::Receiver<String>,
+        Arc<Mutex<VecDeque<String>>>,
+    ) {
         let (tx, rx) = crossbeam::channel::unbounded();
         let q: Arc<Mutex<VecDeque<String>>> = Arc::default();
-        self.frontends
-            .lock()
-            .insert(program, FrontendState { output_tx: tx, input_queue: q.clone() });
+        self.frontends.lock().insert(
+            program,
+            FrontendState {
+                output_tx: tx,
+                input_queue: q.clone(),
+            },
+        );
         (rx, q)
     }
 
@@ -90,12 +97,18 @@ impl IoManager {
             home,
             ManagerId::Io,
             ManagerId::Io,
-            Payload::IoInputRequest { program, prompt: prompt.to_string() },
+            Payload::IoInputRequest {
+                program,
+                prompt: prompt.to_string(),
+            },
             site.config.request_timeout,
         )?;
         match reply.payload {
             Payload::IoInputReply { line, .. } => Ok(line),
-            other => Err(SdvmError::Io(format!("unexpected input reply {}", other.name()))),
+            other => Err(SdvmError::Io(format!(
+                "unexpected input reply {}",
+                other.name()
+            ))),
         }
     }
 
@@ -110,7 +123,10 @@ impl IoManager {
             .map_err(|e| SdvmError::Io(format!("open {path}: {e}")))?;
         let local = self.next_file.fetch_add(1, Ordering::Relaxed);
         self.files.lock().insert(local, file);
-        Ok(FileHandle { site: site.my_id(), local })
+        Ok(FileHandle {
+            site: site.my_id(),
+            local,
+        })
     }
 
     /// Read from a (possibly remote) file.
@@ -128,13 +144,20 @@ impl IoManager {
             handle.site,
             ManagerId::Io,
             ManagerId::Io,
-            Payload::FileRead { handle, offset, len },
+            Payload::FileRead {
+                handle,
+                offset,
+                len,
+            },
             site.config.request_timeout,
         )?;
         match reply.payload {
             Payload::FileData { data, .. } => Ok(data),
             Payload::FileError { message } => Err(SdvmError::Io(message)),
-            other => Err(SdvmError::Io(format!("unexpected file reply {}", other.name()))),
+            other => Err(SdvmError::Io(format!(
+                "unexpected file reply {}",
+                other.name()
+            ))),
         }
     }
 
@@ -153,13 +176,20 @@ impl IoManager {
             handle.site,
             ManagerId::Io,
             ManagerId::Io,
-            Payload::FileWrite { handle, offset, data },
+            Payload::FileWrite {
+                handle,
+                offset,
+                data,
+            },
             site.config.request_timeout,
         )?;
         match reply.payload {
             Payload::FileAck { .. } => Ok(()),
             Payload::FileError { message } => Err(SdvmError::Io(message)),
-            other => Err(SdvmError::Io(format!("unexpected file reply {}", other.name()))),
+            other => Err(SdvmError::Io(format!(
+                "unexpected file reply {}",
+                other.name()
+            ))),
         }
     }
 
@@ -184,7 +214,8 @@ impl IoManager {
         let f = files
             .get_mut(&handle.local)
             .ok_or_else(|| SdvmError::Io(format!("bad file handle {handle}")))?;
-        f.seek(SeekFrom::Start(offset)).map_err(|e| SdvmError::Io(e.to_string()))?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| SdvmError::Io(e.to_string()))?;
         let mut buf = vec![0u8; len as usize];
         let mut read = 0;
         while read < buf.len() {
@@ -203,8 +234,10 @@ impl IoManager {
         let f = files
             .get_mut(&handle.local)
             .ok_or_else(|| SdvmError::Io(format!("bad file handle {handle}")))?;
-        f.seek(SeekFrom::Start(offset)).map_err(|e| SdvmError::Io(e.to_string()))?;
-        f.write_all(data).map_err(|e| SdvmError::Io(e.to_string()))?;
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| SdvmError::Io(e.to_string()))?;
+        f.write_all(data)
+            .map_err(|e| SdvmError::Io(e.to_string()))?;
         f.flush().map_err(|e| SdvmError::Io(e.to_string()))?;
         Ok(())
     }
@@ -243,7 +276,10 @@ impl IoManager {
                         site.reply_to(
                             &msg,
                             ManagerId::Io,
-                            Payload::IoInputReply { program, line: String::new() },
+                            Payload::IoInputReply {
+                                program,
+                                line: String::new(),
+                            },
                         );
                     }
                 }
@@ -251,21 +287,35 @@ impl IoManager {
             Payload::FileOpen { path, create } => {
                 let reply = match self.file_open(site, &path, create) {
                     Ok(handle) => Payload::FileOpened { handle },
-                    Err(e) => Payload::FileError { message: e.to_string() },
+                    Err(e) => Payload::FileError {
+                        message: e.to_string(),
+                    },
                 };
                 site.reply_to(&msg, ManagerId::Io, reply);
             }
-            Payload::FileRead { handle, offset, len } => {
+            Payload::FileRead {
+                handle,
+                offset,
+                len,
+            } => {
                 let reply = match self.local_read(handle, offset, len) {
                     Ok(data) => Payload::FileData { handle, data },
-                    Err(e) => Payload::FileError { message: e.to_string() },
+                    Err(e) => Payload::FileError {
+                        message: e.to_string(),
+                    },
                 };
                 site.reply_to(&msg, ManagerId::Io, reply);
             }
-            Payload::FileWrite { handle, offset, data } => {
+            Payload::FileWrite {
+                handle,
+                offset,
+                data,
+            } => {
                 let reply = match self.local_write(handle, offset, &data) {
                     Ok(()) => Payload::FileAck { handle },
-                    Err(e) => Payload::FileError { message: e.to_string() },
+                    Err(e) => Payload::FileError {
+                        message: e.to_string(),
+                    },
                 };
                 site.reply_to(&msg, ManagerId::Io, reply);
             }
@@ -276,7 +326,9 @@ impl IoManager {
                 site.reply_to(
                     &msg,
                     ManagerId::Io,
-                    Payload::Error { message: format!("io: unexpected {}", other.name()) },
+                    Payload::Error {
+                        message: format!("io: unexpected {}", other.name()),
+                    },
                 );
             }
         }

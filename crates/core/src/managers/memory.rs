@@ -15,9 +15,7 @@ use crate::managers::backup;
 use crate::site::{SiteInner, Task};
 use crate::trace::TraceEvent;
 use parking_lot::Mutex;
-use sdvm_types::{
-    GlobalAddress, ManagerId, ProgramId, SdvmError, SdvmResult, SiteId, Value,
-};
+use sdvm_types::{GlobalAddress, ManagerId, ProgramId, SdvmError, SdvmResult, SiteId, Value};
 use sdvm_wire::{Payload, SdMessage, WireMemObject};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -58,7 +56,10 @@ impl Default for MemoryManager {
 impl MemoryManager {
     /// Fresh, empty memory.
     pub fn new() -> Self {
-        MemoryManager { state: Mutex::new(MemState::default()), counter: AtomicU64::new(1) }
+        MemoryManager {
+            state: Mutex::new(MemState::default()),
+            counter: AtomicU64::new(1),
+        }
     }
 
     /// Allocate a fresh global address homed on this site.
@@ -78,16 +79,17 @@ impl MemoryManager {
     /// Clone (do not drain) this site's share of a program's state: the
     /// owned objects and incomplete frames. Queued executable frames are
     /// contributed by the scheduling manager.
-    pub fn snapshot_program(
-        &self,
-        program: ProgramId,
-    ) -> (Vec<WireMemObject>, Vec<Microframe>) {
+    pub fn snapshot_program(&self, program: ProgramId) -> (Vec<WireMemObject>, Vec<Microframe>) {
         let st = self.state.lock();
         let objects = st
             .objects
             .iter()
             .filter(|(_, o)| o.program == program)
-            .map(|(addr, o)| WireMemObject { addr: *addr, program: o.program, data: o.data.clone() })
+            .map(|(addr, o)| WireMemObject {
+                addr: *addr,
+                program: o.program,
+                data: o.data.clone(),
+            })
             .collect();
         let frames = st
             .frames
@@ -103,7 +105,13 @@ impl MemoryManager {
         let addr = self.fresh_address(site);
         {
             let mut st = self.state.lock();
-            st.objects.insert(addr, MemObject { program, data: data.clone() });
+            st.objects.insert(
+                addr,
+                MemObject {
+                    program,
+                    data: data.clone(),
+                },
+            );
             st.directory.insert(addr, site.my_id());
         }
         backup::mirror_object(site, addr, program, data);
@@ -157,7 +165,10 @@ impl MemoryManager {
                 ManagerId::Memory,
                 ManagerId::Memory,
                 site.next_seq(),
-                Payload::OwnerUpdate { addr: frame.id, owner: me },
+                Payload::OwnerUpdate {
+                    addr: frame.id,
+                    owner: me,
+                },
             );
         }
         if executable {
@@ -179,8 +190,13 @@ impl MemoryManager {
         let home = self.resolve_home(site, obj.addr.home);
         {
             let mut st = self.state.lock();
-            st.objects
-                .insert(obj.addr, MemObject { program: obj.program, data: obj.data.clone() });
+            st.objects.insert(
+                obj.addr,
+                MemObject {
+                    program: obj.program,
+                    data: obj.data.clone(),
+                },
+            );
             if home == me {
                 st.directory.insert(obj.addr, me);
             }
@@ -191,7 +207,10 @@ impl MemoryManager {
                 ManagerId::Memory,
                 ManagerId::Memory,
                 site.next_seq(),
-                Payload::OwnerUpdate { addr: obj.addr, owner: me },
+                Payload::OwnerUpdate {
+                    addr: obj.addr,
+                    owner: me,
+                },
             );
         }
         backup::mirror_object(site, obj.addr, obj.program, obj.data);
@@ -210,14 +229,20 @@ impl MemoryManager {
                 ManagerId::Memory,
                 ManagerId::Memory,
                 site.next_seq(),
-                Payload::OwnerUpdate { addr: id, owner: SiteId::NONE },
+                Payload::OwnerUpdate {
+                    addr: id,
+                    owner: SiteId::NONE,
+                },
             );
         }
         backup::mirror_consumed(site, id);
     }
 
     fn promote(&self, site: &SiteInner, frame: Microframe) {
-        site.emit(TraceEvent::FrameExecutable { site: site.my_id(), frame: frame.id });
+        site.emit(TraceEvent::FrameExecutable {
+            site: site.my_id(),
+            frame: frame.id,
+        });
         site.scheduling.enqueue_executable(site, frame);
     }
 
@@ -273,9 +298,18 @@ impl MemoryManager {
         };
         let fired = frame.apply(slot, value)?;
         let missing = frame.missing();
-        let fired_frame = if fired { st.frames.remove(&target) } else { None };
+        let fired_frame = if fired {
+            st.frames.remove(&target)
+        } else {
+            None
+        };
         drop(st);
-        site.emit(TraceEvent::ParamApplied { site: site.my_id(), frame: target, slot, missing });
+        site.emit(TraceEvent::ParamApplied {
+            site: site.my_id(),
+            frame: target,
+            slot,
+            missing,
+        });
         if let Some(f) = fired_frame {
             self.promote(site, f);
         }
@@ -413,7 +447,11 @@ impl MemoryManager {
             ManagerId::Memory,
             ManagerId::Memory,
             site.next_seq(),
-            Payload::ApplyResult { target, slot, value },
+            Payload::ApplyResult {
+                target,
+                slot,
+                value,
+            },
         )?;
         Ok(true)
     }
@@ -453,10 +491,13 @@ impl MemoryManager {
                     if migrated {
                         let program = obj.program;
                         let data = obj.data.clone();
-                        self.state
-                            .lock()
-                            .objects
-                            .insert(addr, MemObject { program, data: data.clone() });
+                        self.state.lock().objects.insert(
+                            addr,
+                            MemObject {
+                                program,
+                                data: data.clone(),
+                            },
+                        );
                         let home = self.resolve_home(site, addr.home);
                         if home == me {
                             self.state.lock().directory.insert(addr, me);
@@ -522,7 +563,10 @@ impl MemoryManager {
                 owner,
                 ManagerId::Memory,
                 ManagerId::Memory,
-                Payload::MemWrite { addr, value: value.clone() },
+                Payload::MemWrite {
+                    addr,
+                    value: value.clone(),
+                },
                 site.config.request_timeout,
             )?;
             match reply.payload {
@@ -572,12 +616,20 @@ impl MemoryManager {
     /// incomplete frames, and the homesite directory entries.
     pub fn drain_for_relocation(
         &self,
-    ) -> (Vec<WireMemObject>, Vec<Microframe>, Vec<(GlobalAddress, SiteId)>) {
+    ) -> (
+        Vec<WireMemObject>,
+        Vec<Microframe>,
+        Vec<(GlobalAddress, SiteId)>,
+    ) {
         let mut st = self.state.lock();
         let objects = st
             .objects
             .drain()
-            .map(|(addr, o)| WireMemObject { addr, program: o.program, data: o.data })
+            .map(|(addr, o)| WireMemObject {
+                addr,
+                program: o.program,
+                data: o.data,
+            })
             .collect();
         let frames = st.frames.drain().map(|(_, f)| f).collect();
         let directory = st.directory.drain().collect();
@@ -586,7 +638,9 @@ impl MemoryManager {
 
     /// Snapshot of incomplete frames: (address, microthread, missing,
     /// filled-slot indices). Diagnostic aid for stalled dataflow.
-    pub fn incomplete_frames(&self) -> Vec<(GlobalAddress, sdvm_types::MicrothreadId, usize, Vec<u32>)> {
+    pub fn incomplete_frames(
+        &self,
+    ) -> Vec<(GlobalAddress, sdvm_types::MicrothreadId, usize, Vec<u32>)> {
         self.state
             .lock()
             .frames
@@ -630,7 +684,11 @@ impl MemoryManager {
     /// Handle an incoming memory-manager message.
     pub fn handle(&self, site: &SiteInner, msg: SdMessage) {
         match msg.payload.clone() {
-            Payload::ApplyResult { target, slot, value } => {
+            Payload::ApplyResult {
+                target,
+                slot,
+                value,
+            } => {
                 match self.apply_local(site, target, slot, value.clone()) {
                     Ok(true) => {
                         backup::mirror_apply(site, site.my_id(), target, slot, value);
@@ -638,7 +696,12 @@ impl MemoryManager {
                     Ok(false) => {
                         // Not here (frame migrated on, or consumed):
                         // resolve and forward off the router thread.
-                        site.spawn_task(Task::ForwardApply { target, slot, value, ttl: 4 });
+                        site.spawn_task(Task::ForwardApply {
+                            target,
+                            slot,
+                            value,
+                            ttl: 4,
+                        });
                     }
                     Err(_) => { /* duplicate/stale result: drop */ }
                 }
@@ -724,12 +787,21 @@ impl MemoryManager {
                     st.directory.remove(&addr);
                 }
             }
-            Payload::Relocate { objects, frames, directory } => {
+            Payload::Relocate {
+                objects,
+                frames,
+                directory,
+            } => {
                 {
                     let mut st = self.state.lock();
                     for o in &objects {
-                        st.objects
-                            .insert(o.addr, MemObject { program: o.program, data: o.data.clone() });
+                        st.objects.insert(
+                            o.addr,
+                            MemObject {
+                                program: o.program,
+                                data: o.data.clone(),
+                            },
+                        );
                         // Ownership moved here; record it if we will act
                         // as the address's directory too.
                         st.directory.insert(o.addr, site.my_id());
@@ -757,17 +829,26 @@ impl MemoryManager {
             }
             // A migrated object whose requesting waiter timed out: the
             // old owner already removed it — adopt it here or it is lost.
-            Payload::MemValue { obj, migrated: true } => {
+            Payload::MemValue {
+                obj,
+                migrated: true,
+            } => {
                 self.adopt_object(site, obj);
             }
-            Payload::MemValue { migrated: false, .. } => {}
+            Payload::MemValue {
+                migrated: false, ..
+            } => {}
             Payload::BackupFrame { frame } => {
                 site.backup.on_frame(msg.src_site, frame);
             }
             Payload::BackupRelease { frame, owner } => {
                 site.backup.on_release(owner, frame);
             }
-            Payload::BackupApply { target, slot, value } => {
+            Payload::BackupApply {
+                target,
+                slot,
+                value,
+            } => {
                 // If the frame lives *here* (it was already revived from
                 // backup, or migrated to us while the sender still
                 // believed the old owner), deliver the result for real —
@@ -792,7 +873,9 @@ impl MemoryManager {
                 site.reply_to(
                     &msg,
                     ManagerId::Memory,
-                    Payload::Error { message: format!("memory: unexpected {}", other.name()) },
+                    Payload::Error {
+                        message: format!("memory: unexpected {}", other.name()),
+                    },
                 );
             }
         }

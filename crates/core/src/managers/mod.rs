@@ -23,7 +23,12 @@ use crate::site::{SiteInner, Task};
 /// Execute one helper-thread task (see [`Task`]).
 pub(crate) fn run_task(site: &SiteInner, task: Task) {
     match task {
-        Task::ForwardApply { target, slot, value, ttl } => {
+        Task::ForwardApply {
+            target,
+            slot,
+            value,
+            ttl,
+        } => {
             memory::forward_apply(site, target, slot, value, ttl);
         }
         Task::SignOn { msg, reply_addr } => {

@@ -65,7 +65,11 @@ pub fn worker_loop(site: &Arc<SiteInner>) {
         }
         // The microframe is consumed by execution and vanishes (§3.2).
         site.memory.consume_frame(site, id);
-        site.emit(TraceEvent::FrameExecuted { site: site.my_id(), frame: id, thread });
+        site.emit(TraceEvent::FrameExecuted {
+            site: site.my_id(),
+            frame: id,
+            thread,
+        });
         if let Err(e) = result {
             // An application error must not kill the daemon; surface it
             // through the I/O manager to the program's frontend.

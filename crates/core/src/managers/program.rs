@@ -55,10 +55,7 @@ impl ProgramManager {
     }
 
     /// Install the result waiter for a locally started program.
-    pub fn install_waiter(
-        &self,
-        program: ProgramId,
-    ) -> crossbeam::channel::Receiver<Value> {
+    pub fn install_waiter(&self, program: ProgramId) -> crossbeam::channel::Receiver<Value> {
         let (tx, rx) = crossbeam::channel::bounded(1);
         self.waiters.lock().insert(program, tx);
         rx
@@ -76,12 +73,20 @@ impl ProgramManager {
 
     /// Number of non-terminated programs this site knows/works on.
     pub fn active_count(&self) -> u32 {
-        self.programs.lock().values().filter(|i| !i.terminated).count() as u32
+        self.programs
+            .lock()
+            .values()
+            .filter(|i| !i.terminated)
+            .count() as u32
     }
 
     /// Is the program known and still running?
     pub fn is_active(&self, program: ProgramId) -> bool {
-        self.programs.lock().get(&program).map(|i| !i.terminated).unwrap_or(false)
+        self.programs
+            .lock()
+            .get(&program)
+            .map(|i| !i.terminated)
+            .unwrap_or(false)
     }
 
     /// Deliver a locally finished program's result: wake the waiting
@@ -123,8 +128,21 @@ impl ProgramManager {
     /// Handle an incoming program-manager message.
     pub fn handle(&self, site: &SiteInner, msg: SdMessage) {
         match msg.payload.clone() {
-            Payload::ProgramRegister { program, code_home, name, threads } => {
-                self.register(program, ProgramInfo { code_home, name, threads, terminated: false });
+            Payload::ProgramRegister {
+                program,
+                code_home,
+                name,
+                threads,
+            } => {
+                self.register(
+                    program,
+                    ProgramInfo {
+                        code_home,
+                        name,
+                        threads,
+                        terminated: false,
+                    },
+                );
             }
             Payload::ProgramTerminated { program } => {
                 self.mark_terminated(site, program);
@@ -169,24 +187,38 @@ impl ProgramManager {
                     site.reply_to(
                         &msg,
                         ManagerId::Program,
-                        Payload::SnapshotPart { program, objects, frames },
+                        Payload::SnapshotPart {
+                            program,
+                            objects,
+                            frames,
+                        },
                     );
                 })));
             }
-            Payload::CheckpointStore { program, epoch, snapshot } => {
+            Payload::CheckpointStore {
+                program,
+                epoch,
+                snapshot,
+            } => {
                 let mut cps = self.checkpoints.lock();
                 let newer = cps.get(&program).map(|(e, _)| *e < epoch).unwrap_or(true);
                 if newer {
                     cps.insert(program, (epoch, snapshot));
                 }
                 drop(cps);
-                site.reply_to(&msg, ManagerId::Program, Payload::CheckpointAck { program, epoch });
+                site.reply_to(
+                    &msg,
+                    ManagerId::Program,
+                    Payload::CheckpointAck { program, epoch },
+                );
             }
             Payload::CheckpointFetch { program } => {
                 let reply = match self.stored_checkpoint(program) {
-                    Some((epoch, snapshot)) => {
-                        Payload::CheckpointData { program, epoch, snapshot }
-                    }
+                    Some((epoch, snapshot)) => Payload::CheckpointData {
+                        program,
+                        epoch,
+                        snapshot,
+                    },
                     None => Payload::CheckpointNone { program },
                 };
                 site.reply_to(&msg, ManagerId::Program, reply);
@@ -195,7 +227,9 @@ impl ProgramManager {
                 site.reply_to(
                     &msg,
                     ManagerId::Program,
-                    Payload::Error { message: format!("program: unexpected {}", other.name()) },
+                    Payload::Error {
+                        message: format!("program: unexpected {}", other.name()),
+                    },
                 );
             }
         }

@@ -81,8 +81,13 @@ fn pop_ready(
 /// queue, fall back to ready frames (dropping the local code pointer).
 /// Sticky frames (e.g. the hidden result frame) never leave their site.
 fn pop_for_help(st: &mut SchedState, policy: QueuePolicy) -> Option<Microframe> {
-    let pos_exec: Vec<usize> =
-        st.executable.iter().enumerate().filter(|(_, f)| !f.hint.sticky).map(|(i, _)| i).collect();
+    let pos_exec: Vec<usize> = st
+        .executable
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.hint.sticky)
+        .map(|(i, _)| i)
+        .collect();
     if !pos_exec.is_empty() {
         let idx = match policy {
             QueuePolicy::Fifo => pos_exec[0],
@@ -94,8 +99,13 @@ fn pop_for_help(st: &mut SchedState, policy: QueuePolicy) -> Option<Microframe> 
         };
         return st.executable.remove(idx);
     }
-    let pos_ready: Vec<usize> =
-        st.ready.iter().enumerate().filter(|(_, (f, _))| !f.hint.sticky).map(|(i, _)| i).collect();
+    let pos_ready: Vec<usize> = st
+        .ready
+        .iter()
+        .enumerate()
+        .filter(|(_, (f, _))| !f.hint.sticky)
+        .map(|(i, _)| i)
+        .collect();
     if !pos_ready.is_empty() {
         let idx = match policy {
             QueuePolicy::Fifo => pos_ready[0],
@@ -231,7 +241,10 @@ impl SchedulingManager {
     /// (queued executable+ready, busy slots) for load reports.
     pub fn load_numbers(&self) -> (u32, u32) {
         let st = self.state.lock();
-        ((st.executable.len() + st.ready.len()) as u32, self.busy.load(Ordering::Relaxed))
+        (
+            (st.executable.len() + st.ready.len()) as u32,
+            self.busy.load(Ordering::Relaxed),
+        )
     }
 
     /// Next load-gossip epoch.
@@ -325,10 +338,16 @@ impl SchedulingManager {
         let Some(target) = site.cluster.pick_help_target(site) else {
             return Ok(()); // alone in the cluster
         };
-        site.emit(TraceEvent::HelpRequested { site: site.my_id(), target });
+        site.emit(TraceEvent::HelpRequested {
+            site: site.my_id(),
+            target,
+        });
         let load = site.cluster.my_load(site);
-        let descriptor =
-            if site.cluster.announced(target) { None } else { Some(site.cluster.my_descriptor(site)) };
+        let descriptor = if site.cluster.announced(target) {
+            None
+        } else {
+            Some(site.cluster.my_descriptor(site))
+        };
         let reply = site.request(
             target,
             ManagerId::Scheduling,
@@ -410,13 +429,18 @@ impl SchedulingManager {
                                 ManagerId::Memory,
                                 ManagerId::Memory,
                                 site.next_seq(),
-                                Payload::OwnerUpdate { addr: frame.id, owner: requester },
+                                Payload::OwnerUpdate {
+                                    addr: frame.id,
+                                    owner: requester,
+                                },
                             );
                         }
                         let reply = msg.reply(
                             site.next_seq(),
                             ManagerId::Scheduling,
-                            Payload::HelpReply { frame: frame.to_wire() },
+                            Payload::HelpReply {
+                                frame: frame.to_wire(),
+                            },
                         );
                         if site.send_msg(reply).is_err() {
                             // The requester became unreachable between
@@ -426,7 +450,10 @@ impl SchedulingManager {
                         }
                     }
                     None => {
-                        site.emit(TraceEvent::HelpDenied { site: site.my_id(), requester });
+                        site.emit(TraceEvent::HelpDenied {
+                            site: site.my_id(),
+                            requester,
+                        });
                         site.reply_to(&msg, ManagerId::Scheduling, Payload::CantHelp {});
                     }
                 }
@@ -445,7 +472,9 @@ impl SchedulingManager {
                 site.reply_to(
                     &msg,
                     ManagerId::Scheduling,
-                    Payload::Error { message: format!("scheduling: unexpected {}", other.name()) },
+                    Payload::Error {
+                        message: format!("scheduling: unexpected {}", other.name()),
+                    },
                 );
             }
         }
@@ -463,7 +492,10 @@ mod tests {
             MicrothreadId::new(ProgramId(1), 0),
             0,
             vec![],
-            SchedulingHint { priority: Priority(prio), sticky },
+            SchedulingHint {
+                priority: Priority(prio),
+                sticky,
+            },
         )
     }
 
@@ -487,19 +519,38 @@ mod tests {
 
     #[test]
     fn priority_pops_highest_then_fifo_among_equals() {
-        let mut q = queue(vec![mk(1, 5, false), mk(2, 9, false), mk(3, 9, false), mk(4, 1, false)]);
-        assert_eq!(pop_frame(&mut q, QueuePolicy::Priority).unwrap().id.local, 2);
-        assert_eq!(pop_frame(&mut q, QueuePolicy::Priority).unwrap().id.local, 3);
-        assert_eq!(pop_frame(&mut q, QueuePolicy::Priority).unwrap().id.local, 1);
-        assert_eq!(pop_frame(&mut q, QueuePolicy::Priority).unwrap().id.local, 4);
+        let mut q = queue(vec![
+            mk(1, 5, false),
+            mk(2, 9, false),
+            mk(3, 9, false),
+            mk(4, 1, false),
+        ]);
+        assert_eq!(
+            pop_frame(&mut q, QueuePolicy::Priority).unwrap().id.local,
+            2
+        );
+        assert_eq!(
+            pop_frame(&mut q, QueuePolicy::Priority).unwrap().id.local,
+            3
+        );
+        assert_eq!(
+            pop_frame(&mut q, QueuePolicy::Priority).unwrap().id.local,
+            1
+        );
+        assert_eq!(
+            pop_frame(&mut q, QueuePolicy::Priority).unwrap().id.local,
+            4
+        );
         assert!(pop_frame(&mut q, QueuePolicy::Priority).is_none());
     }
 
     #[test]
     fn help_never_gives_sticky_frames() {
         // Only the sticky result frame queued: nothing to give.
-        let mut st =
-            SchedState { executable: queue(vec![mk(1, 0, true)]), ..Default::default() };
+        let mut st = SchedState {
+            executable: queue(vec![mk(1, 0, true)]),
+            ..Default::default()
+        };
         assert!(pop_for_help(&mut st, QueuePolicy::Lifo).is_none());
         assert_eq!(st.executable.len(), 1, "sticky frame must stay queued");
         // With a normal frame present, that one is given instead.

@@ -23,12 +23,15 @@
 
 use crate::config::SiteConfig;
 use crate::site::SiteInner;
+use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::RngExt;
 use sdvm_crypto::channel::SecureChannel;
-use sdvm_crypto::kdf;
 use sdvm_crypto::KeyStore;
+use sdvm_crypto::{kdf, NONCE_PREFIX_LEN};
 use sdvm_types::{SdvmError, SdvmResult, SiteId};
+use sdvm_wire::{begin_frame, finish_frame, SdMessage, WireWriter};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 const TAG_PLAIN: u8 = 0;
 const TAG_PEER: u8 = 1;
@@ -38,6 +41,10 @@ const JOIN_SALT_LEN: usize = 16;
 /// The security manager of one site.
 pub struct SecurityManager {
     inner: Option<Mutex<Keys>>,
+    /// Capacity hint for the next outgoing frame, learned from the last
+    /// one: right-sizing the single send buffer up front avoids growth
+    /// reallocations mid-encode (message sizes are strongly clustered).
+    frame_cap: AtomicUsize,
 }
 
 struct Keys {
@@ -50,9 +57,15 @@ impl SecurityManager {
     pub fn new(config: &SiteConfig) -> Self {
         let inner = config.password.as_ref().map(|pw| {
             let master = kdf::master_key(pw);
-            Mutex::new(Keys { master, store: KeyStore::from_master(0, master) })
+            Mutex::new(Keys {
+                master,
+                store: KeyStore::from_master(0, master),
+            })
         });
-        SecurityManager { inner }
+        SecurityManager {
+            inner,
+            frame_cap: AtomicUsize::new(128),
+        }
     }
 
     /// Whether encryption is active.
@@ -106,6 +119,53 @@ impl SecurityManager {
         out
     }
 
+    /// Encode, seal and frame an outgoing message for `dst` in one
+    /// buffer: `[len u32 BE | envelope tag (+src/salt) | nonce | body |
+    /// tag]`, with encryption applied in place. This is the transport's
+    /// zero-copy send path; [`SecurityManager::seal`] remains for
+    /// callers holding pre-serialized bytes.
+    pub fn seal_frame(&self, site: &SiteInner, dst: SiteId, msg: &SdMessage) -> SdvmResult<Bytes> {
+        let mut buf = begin_frame(self.frame_cap.load(Ordering::Relaxed));
+        let Some(m) = &self.inner else {
+            buf.put_u8(TAG_PLAIN);
+            let mut w = WireWriter::from_buf(buf);
+            msg.encode_into(&mut w);
+            return self.finish_learning(w.into_buf());
+        };
+        let mut k = m.lock();
+        if !dst.is_valid() || !site.my_id().is_valid() {
+            // Join channel: fresh salted key per message.
+            let mut salt = [0u8; JOIN_SALT_LEN];
+            rand::rng().fill(&mut salt[..]);
+            buf.put_u8(TAG_JOIN);
+            buf.extend_from_slice(&salt);
+            let seal_start = buf.len();
+            buf.resize(seal_start + NONCE_PREFIX_LEN, 0);
+            let mut w = WireWriter::from_buf(buf);
+            msg.encode_into(&mut w);
+            let mut buf = w.into_buf();
+            let key = join_key(&k.master, &salt);
+            SecureChannel::new(&key).seal_in_place(&mut buf, seal_start);
+            return self.finish_learning(buf);
+        }
+        buf.put_u8(TAG_PEER);
+        buf.extend_from_slice(&site.my_id().0.to_le_bytes());
+        let seal_start = buf.len();
+        buf.resize(seal_start + NONCE_PREFIX_LEN, 0);
+        let mut w = WireWriter::from_buf(buf);
+        msg.encode_into(&mut w);
+        let mut buf = w.into_buf();
+        k.store.seal_for_in_place(dst.0, &mut buf, seal_start);
+        self.finish_learning(buf)
+    }
+
+    /// Finish a frame and remember its size as the next capacity hint.
+    fn finish_learning(&self, buf: bytes::BytesMut) -> SdvmResult<Bytes> {
+        let frame = finish_frame(buf)?;
+        self.frame_cap.store(frame.len() + 32, Ordering::Relaxed);
+        Ok(frame)
+    }
+
     /// Open an incoming envelope.
     pub fn open(&self, _site: &SiteInner, raw: &[u8]) -> SdvmResult<Vec<u8>> {
         let (&tag, body) = raw
@@ -113,10 +173,12 @@ impl SecurityManager {
             .ok_or_else(|| SdvmError::Crypto("empty envelope".into()))?;
         match (tag, &self.inner) {
             (TAG_PLAIN, None) => Ok(body.to_vec()),
-            (TAG_PLAIN, Some(_)) => {
-                Err(SdvmError::Crypto("plaintext rejected: security manager active".into()))
-            }
-            (_, None) => Err(SdvmError::Crypto("sealed traffic but security disabled".into())),
+            (TAG_PLAIN, Some(_)) => Err(SdvmError::Crypto(
+                "plaintext rejected: security manager active".into(),
+            )),
+            (_, None) => Err(SdvmError::Crypto(
+                "sealed traffic but security disabled".into(),
+            )),
             (TAG_PEER, Some(m)) => {
                 if body.len() < 4 {
                     return Err(SdvmError::Crypto("short peer envelope".into()));
@@ -134,7 +196,8 @@ impl SecurityManager {
                 let (salt, sealed) = body.split_at(JOIN_SALT_LEN);
                 let key = join_key(&m.lock().master, salt);
                 let mut ch = SecureChannel::new(&key);
-                ch.open(sealed).map_err(|e| SdvmError::Crypto(e.to_string()))
+                ch.open(sealed)
+                    .map_err(|e| SdvmError::Crypto(e.to_string()))
             }
             _ => Err(SdvmError::Crypto(format!("unknown envelope tag {tag}"))),
         }

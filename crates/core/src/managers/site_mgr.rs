@@ -35,6 +35,9 @@ pub struct SiteStatus {
     pub known_sites: usize,
     /// (compiles on the fly, remote code fetches).
     pub code_stats: (u64, u64),
+    /// Frames waiting in the transport's per-peer outbound queues —
+    /// non-zero means peers are applying backpressure.
+    pub outbound_queued: usize,
 }
 
 /// Resource usage of one program on this site — the accounting data the
@@ -73,8 +76,7 @@ impl SiteManager {
     /// The accounting ledger: per-program resource usage on this site.
     /// (Terminated programs stay in the ledger — bills outlive jobs.)
     pub fn accounting(&self) -> Vec<(ProgramId, ProgramUsage)> {
-        let mut v: Vec<_> =
-            self.usage.lock().iter().map(|(p, u)| (*p, *u)).collect();
+        let mut v: Vec<_> = self.usage.lock().iter().map(|(p, u)| (*p, *u)).collect();
         v.sort_by_key(|(p, _)| *p);
         v
     }
@@ -99,6 +101,12 @@ impl SiteManager {
             outstanding_requests: site.pending.outstanding(),
             known_sites: site.cluster.known_sites().len(),
             code_stats: site.code.stats(),
+            outbound_queued: site
+                .transport
+                .outbound_depths()
+                .iter()
+                .map(|(_, depth)| depth)
+                .sum(),
         }
     }
 
@@ -112,7 +120,9 @@ impl SiteManager {
                 site.reply_to(
                     &msg,
                     ManagerId::Site,
-                    Payload::Error { message: format!("site: unexpected {}", other.name()) },
+                    Payload::Error {
+                        message: format!("site: unexpected {}", other.name()),
+                    },
                 );
             }
         }

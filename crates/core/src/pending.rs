@@ -124,7 +124,9 @@ mod tests {
     fn timeout_cancels() {
         let p = PendingMap::new();
         let rx = p.register(7);
-        let err = p.await_reply(7, &rx, Duration::from_millis(10)).unwrap_err();
+        let err = p
+            .await_reply(7, &rx, Duration::from_millis(10))
+            .unwrap_err();
         assert!(matches!(err, SdvmError::Timeout(_)));
         assert_eq!(p.outstanding(), 0);
         // A late reply after timeout is dropped without panic.

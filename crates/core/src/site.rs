@@ -23,9 +23,7 @@ use crate::thread::AppRegistry;
 use crate::trace::{TraceEvent, TraceLog};
 use parking_lot::RwLock;
 use sdvm_net::Transport;
-use sdvm_types::{
-    ManagerId, PhysicalAddr, SdvmError, SdvmResult, SiteDescriptor, SiteId,
-};
+use sdvm_types::{ManagerId, PhysicalAddr, SdvmError, SdvmResult, SiteDescriptor, SiteId};
 use sdvm_wire::{Payload, SdMessage};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -161,7 +159,14 @@ impl SiteInner {
         seq: u64,
         payload: Payload,
     ) -> SdvmResult<()> {
-        let msg = SdMessage::new(self.my_id(), src_manager, dst_site, dst_manager, seq, payload);
+        let msg = SdMessage::new(
+            self.my_id(),
+            src_manager,
+            dst_site,
+            dst_manager,
+            seq,
+            payload,
+        );
         self.send_msg(msg)
     }
 
@@ -189,15 +194,15 @@ impl SiteInner {
             payload: msg.payload.name(),
             outgoing: true,
         });
-        let plain = msg.to_bytes();
-        let sealed = self.security.seal(self, msg.dst_site, plain);
+        // Encode + seal + frame in one buffer (the zero-copy send path).
+        let frame = self.security.seal_frame(self, msg.dst_site, &msg)?;
         self.emit(TraceEvent::MessageHop {
             site: self.my_id(),
             manager: ManagerId::Network,
             payload: msg.payload.name(),
             outgoing: true,
         });
-        self.transport.send(addr, sealed)
+        self.transport.send(addr, frame)
     }
 
     /// Blocking request/response with timeout.
@@ -341,7 +346,10 @@ impl Site {
             recovery_tx,
             recovery_rx,
         });
-        Site { inner, threads: parking_lot::Mutex::new(Vec::new()) }
+        Site {
+            inner,
+            threads: parking_lot::Mutex::new(Vec::new()),
+        }
     }
 
     /// Access to the shared state (managers, message sending).

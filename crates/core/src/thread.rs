@@ -66,9 +66,13 @@ impl AppRegistry {
 
     /// Register a program's code table.
     pub fn register(&self, program: ProgramId, name: &str, threads: Vec<ThreadSpec>) {
-        self.programs
-            .write()
-            .insert(program, RegisteredProgram { name: name.to_string(), threads });
+        self.programs.write().insert(
+            program,
+            RegisteredProgram {
+                name: name.to_string(),
+                threads,
+            },
+        );
     }
 
     /// Remove a terminated program's code.
@@ -103,7 +107,11 @@ impl AppRegistry {
 
     /// Number of microthreads in the program's code table.
     pub fn thread_count(&self, program: ProgramId) -> usize {
-        self.programs.read().get(&program).map(|p| p.threads.len()).unwrap_or(0)
+        self.programs
+            .read()
+            .get(&program)
+            .map(|p| p.threads.len())
+            .unwrap_or(0)
     }
 
     /// Whether the program is known here.
@@ -129,8 +137,14 @@ mod tests {
             p,
             "demo",
             vec![
-                ThreadSpec { name: "a".into(), func: noop() },
-                ThreadSpec { name: "b".into(), func: noop() },
+                ThreadSpec {
+                    name: "a".into(),
+                    func: noop(),
+                },
+                ThreadSpec {
+                    name: "b".into(),
+                    func: noop(),
+                },
             ],
         );
         assert!(reg.knows(p));

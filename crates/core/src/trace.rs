@@ -157,7 +157,10 @@ impl TraceLog {
 
     /// A log that also prints each event to stdout (for the examples).
     pub fn echoing() -> Self {
-        TraceLog { inner: Arc::default(), echo: true }
+        TraceLog {
+            inner: Arc::default(),
+            echo: true,
+        }
     }
 
     /// Record one event.
@@ -205,9 +208,7 @@ impl TraceLog {
                 TraceEvent::FrameExecutable { frame: f, .. } if *f == frame => {
                     Some("executable".to_string())
                 }
-                TraceEvent::FrameReady { frame: f, .. } if *f == frame => {
-                    Some("ready".to_string())
-                }
+                TraceEvent::FrameReady { frame: f, .. } if *f == frame => Some("ready".to_string()),
                 TraceEvent::FrameExecuted { frame: f, .. } if *f == frame => {
                     Some("executed".to_string())
                 }
@@ -229,8 +230,15 @@ mod tests {
     fn collects_and_filters() {
         let log = TraceLog::new();
         assert!(log.is_empty());
-        log.emit(TraceEvent::SiteJoined { site: SiteId(1), joined: SiteId(2) });
-        log.emit(TraceEvent::SiteGone { site: SiteId(1), gone: SiteId(2), crashed: true });
+        log.emit(TraceEvent::SiteJoined {
+            site: SiteId(1),
+            joined: SiteId(2),
+        });
+        log.emit(TraceEvent::SiteGone {
+            site: SiteId(1),
+            gone: SiteId(2),
+            crashed: true,
+        });
         assert_eq!(log.len(), 2);
         let crashes = log.filter(|e| matches!(e, TraceEvent::SiteGone { crashed: true, .. }));
         assert_eq!(crashes.len(), 1);
@@ -242,12 +250,37 @@ mod tests {
         let frame = GlobalAddress::new(SiteId(1), 1);
         let other = GlobalAddress::new(SiteId(1), 2);
         let thread = MicrothreadId::new(ProgramId(1), 0);
-        log.emit(TraceEvent::FrameCreated { site: SiteId(1), frame, thread, slots: 1 });
-        log.emit(TraceEvent::FrameCreated { site: SiteId(1), frame: other, thread, slots: 1 });
-        log.emit(TraceEvent::ParamApplied { site: SiteId(1), frame, slot: 0, missing: 0 });
-        log.emit(TraceEvent::FrameExecutable { site: SiteId(1), frame });
-        log.emit(TraceEvent::FrameReady { site: SiteId(1), frame });
-        log.emit(TraceEvent::FrameExecuted { site: SiteId(1), frame, thread });
+        log.emit(TraceEvent::FrameCreated {
+            site: SiteId(1),
+            frame,
+            thread,
+            slots: 1,
+        });
+        log.emit(TraceEvent::FrameCreated {
+            site: SiteId(1),
+            frame: other,
+            thread,
+            slots: 1,
+        });
+        log.emit(TraceEvent::ParamApplied {
+            site: SiteId(1),
+            frame,
+            slot: 0,
+            missing: 0,
+        });
+        log.emit(TraceEvent::FrameExecutable {
+            site: SiteId(1),
+            frame,
+        });
+        log.emit(TraceEvent::FrameReady {
+            site: SiteId(1),
+            frame,
+        });
+        log.emit(TraceEvent::FrameExecuted {
+            site: SiteId(1),
+            frame,
+            thread,
+        });
         assert_eq!(
             log.career_of(frame),
             vec!["incomplete", "param", "executable", "ready", "executed"]

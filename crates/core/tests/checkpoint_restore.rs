@@ -38,10 +38,7 @@ fn staged_app(_width: usize) -> AppBuilder {
     app
 }
 
-fn launch_staged(
-    cluster: &InProcessCluster,
-    width: usize,
-) -> sdvm_core::ProgramHandle {
+fn launch_staged(cluster: &InProcessCluster, width: usize) -> sdvm_core::ProgramHandle {
     let app = staged_app(width);
     cluster
         .site(0)
@@ -75,10 +72,19 @@ fn checkpoint_and_restore_after_cluster_restart() {
         // Let it get properly underway, then checkpoint.
         std::thread::sleep(Duration::from_millis(100));
         snapshot = cluster.site(0).checkpoint_program(handle.program).unwrap();
-        assert!(!snapshot.frames.is_empty(), "mid-run snapshot must hold frames");
-        assert!(snapshot.result_addr().is_some(), "result frame must be captured");
+        assert!(
+            !snapshot.frames.is_empty(),
+            "mid-run snapshot must hold frames"
+        );
+        assert!(
+            snapshot.result_addr().is_some(),
+            "result frame must be captured"
+        );
         // The program keeps running to completion after the checkpoint.
-        assert_eq!(handle.wait(WAIT).unwrap().as_u64().unwrap(), expected(width));
+        assert_eq!(
+            handle.wait(WAIT).unwrap().as_u64().unwrap(),
+            expected(width)
+        );
         // Entire cluster dies here (drop).
     }
     // A fresh cluster with the same logical ids (1..=3) restores the cut.
@@ -86,7 +92,11 @@ fn checkpoint_and_restore_after_cluster_restart() {
     let app = staged_app(width);
     let handle = cluster.site(0).restore_program(&app, &snapshot).unwrap();
     let result = handle.wait(WAIT).unwrap();
-    assert_eq!(result.as_u64().unwrap(), expected(width), "restored run must finish correctly");
+    assert_eq!(
+        result.as_u64().unwrap(),
+        expected(width),
+        "restored run must finish correctly"
+    );
 }
 
 #[test]
@@ -105,15 +115,22 @@ fn checkpoint_pauses_execution() {
             sdvm_types::ManagerId::Program,
             sdvm_types::ManagerId::Program,
             s0.next_seq(),
-            sdvm_wire::Payload::ProgramPause { program: handle.program, paused: true },
+            sdvm_wire::Payload::ProgramPause {
+                program: handle.program,
+                paused: true,
+            },
         )
         .unwrap();
     }
     // Drain running microthreads, then count executions over a quiet window.
     std::thread::sleep(Duration::from_millis(150));
-    let before = trace.filter(|e| matches!(e, TraceEvent::FrameExecuted { .. })).len();
+    let before = trace
+        .filter(|e| matches!(e, TraceEvent::FrameExecuted { .. }))
+        .len();
     std::thread::sleep(Duration::from_millis(250));
-    let after = trace.filter(|e| matches!(e, TraceEvent::FrameExecuted { .. })).len();
+    let after = trace
+        .filter(|e| matches!(e, TraceEvent::FrameExecuted { .. }))
+        .len();
     assert_eq!(before, after, "paused program must not execute frames");
     // Resume and finish.
     for m in s0.cluster.known_sites() {
@@ -122,7 +139,10 @@ fn checkpoint_pauses_execution() {
             sdvm_types::ManagerId::Program,
             sdvm_types::ManagerId::Program,
             s0.next_seq(),
-            sdvm_wire::Payload::ProgramPause { program: handle.program, paused: false },
+            sdvm_wire::Payload::ProgramPause {
+                program: handle.program,
+                paused: false,
+            },
         )
         .unwrap();
     }
@@ -161,7 +181,10 @@ fn checkpoint_to_disk_roundtrip() {
     let loaded = ProgramSnapshot::load_from_file(&path).unwrap();
     assert_eq!(loaded, snap);
     let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
-    let handle = cluster.site(0).restore_program(&staged_app(12), &loaded).unwrap();
+    let handle = cluster
+        .site(0)
+        .restore_program(&staged_app(12), &loaded)
+        .unwrap();
     assert_eq!(handle.wait(WAIT).unwrap().as_u64().unwrap(), expected(12));
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -174,6 +197,8 @@ fn restore_rejects_mismatched_code_table() {
     let snap = cluster.site(0).checkpoint_program(handle.program).unwrap();
     handle.wait(WAIT).unwrap();
     let mut wrong = AppBuilder::new("wrong");
-    wrong.thread("only-one", |ctx| ctx.send(ctx.target(0)?, 0, Value::empty()));
+    wrong.thread("only-one", |ctx| {
+        ctx.send(ctx.target(0)?, 0, Value::empty())
+    });
     assert!(cluster.site(0).restore_program(&wrong, &snap).is_err());
 }

@@ -4,22 +4,43 @@
 //! running before their dependents were adopted, and address-counter
 //! collisions between restored and freshly allocated frames.
 
-use sdvm_core::{InProcessCluster, ProgramSnapshot, SiteConfig, AppBuilder};
+use sdvm_core::{AppBuilder, InProcessCluster, ProgramSnapshot, SiteConfig};
 use sdvm_types::{GlobalAddress, SiteId, Value};
 use std::time::Duration;
 
 fn enc(count: u64, ring: &[GlobalAddress]) -> Value {
     let mut w = vec![count];
-    for a in ring { w.push(a.home.0 as u64); w.push(a.local); }
+    for a in ring {
+        w.push(a.home.0 as u64);
+        w.push(a.local);
+    }
     Value::from_u64_slice(&w)
 }
 fn dec(v: &Value) -> sdvm_types::SdvmResult<(u64, Vec<GlobalAddress>)> {
     let w = v.as_u64_slice()?;
-    Ok((w[0], w[1..].chunks_exact(2).map(|c| GlobalAddress::new(SiteId(c[0] as u32), c[1])).collect()))
+    Ok((
+        w[0],
+        w[1..]
+            .chunks_exact(2)
+            .map(|c| GlobalAddress::new(SiteId(c[0] as u32), c[1]))
+            .collect(),
+    ))
 }
 fn is_prime(n: u64) -> bool {
-    if n < 2 { return false } if n % 2 == 0 { return n == 2 }
-    let mut d = 3; while d*d <= n { if n % d == 0 { return false } d += 2; } true
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
 }
 fn primes_app(p: u64, w: usize, sleep_us: u64) -> AppBuilder {
     let mut app = AppBuilder::new("p");
@@ -27,14 +48,23 @@ fn primes_app(p: u64, w: usize, sleep_us: u64) -> AppBuilder {
         let cand = ctx.param(0)?.as_u64()?;
         std::thread::sleep(Duration::from_micros(sleep_us));
         let isp = is_prime(cand);
-        ctx.send(ctx.target(0)?, 1, Value::from_u64_slice(&[cand, isp as u64]))
+        ctx.send(
+            ctx.target(0)?,
+            1,
+            Value::from_u64_slice(&[cand, isp as u64]),
+        )
     });
     app.thread("collect", move |ctx| {
         let (mut count, mut ring) = dec(ctx.param(0)?)?;
         let v = ctx.param(1)?.as_u64_slice()?;
         let (cand, isp) = (v[0], v[1]);
         let rt = ctx.target(0)?;
-        if isp == 1 { count += 1; if count == p { return ctx.send(rt, 0, Value::from_u64(cand)); } }
+        if isp == 1 {
+            count += 1;
+            if count == p {
+                return ctx.send(rt, 0, Value::from_u64(cand));
+            }
+        }
         let nc = ctx.create_frame(1, 2, vec![rt], Default::default());
         let nt = ctx.create_frame(0, 1, vec![nc], Default::default());
         ctx.send(nt, 0, Value::from_u64(cand + w as u64))?;
@@ -46,16 +76,19 @@ fn primes_app(p: u64, w: usize, sleep_us: u64) -> AppBuilder {
 }
 fn launch(cluster: &InProcessCluster, p: u64, w: usize, sleep_us: u64) -> sdvm_core::ProgramHandle {
     let app = primes_app(p, w, sleep_us);
-    cluster.site(0).launch(&app, move |ctx, result| {
-        let mut cs = vec![];
-        for i in 0..w {
-            let c = ctx.create_frame(1, 2, vec![result], Default::default());
-            let t = ctx.create_frame(0, 1, vec![c], Default::default());
-            ctx.send(t, 0, Value::from_u64(2 + i as u64))?;
-            cs.push(c);
-        }
-        ctx.send(cs[0], 0, enc(0, &cs[1..]))
-    }).unwrap()
+    cluster
+        .site(0)
+        .launch(&app, move |ctx, result| {
+            let mut cs = vec![];
+            for i in 0..w {
+                let c = ctx.create_frame(1, 2, vec![result], Default::default());
+                let t = ctx.create_frame(0, 1, vec![c], Default::default());
+                ctx.send(t, 0, Value::from_u64(2 + i as u64))?;
+                cs.push(c);
+            }
+            ctx.send(cs[0], 0, enc(0, &cs[1..]))
+        })
+        .unwrap()
 }
 
 #[test]
@@ -78,16 +111,28 @@ fn restore_stress_loop() {
                 eprintln!("round {round}: STALL {e}");
                 eprintln!("snapshot had {} frames:", snapshot.frames.len());
                 for f in &snapshot.frames {
-                    eprintln!("  snap {} thread={} missing={} filled={:?}", f.id, f.thread,
+                    eprintln!(
+                        "  snap {} thread={} missing={} filled={:?}",
+                        f.id,
+                        f.thread,
                         f.missing(),
-                        f.slots.iter().enumerate().filter(|(_,s)| s.is_some()).map(|(i,_)| i).collect::<Vec<_>>());
+                        f.slots
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.is_some())
+                            .map(|(i, _)| i)
+                            .collect::<Vec<_>>()
+                    );
                 }
                 let s = cluster.site(0).inner();
                 for (a, t, m, fl) in s.memory.incomplete_frames() {
                     eprintln!("  now  {a} {t} missing={m} filled={fl:?}");
                 }
                 let st = s.site_mgr.status(s);
-                eprintln!("  status: queued={} busy={}", st.queued_frames, st.busy_slots);
+                eprintln!(
+                    "  status: queued={} busy={}",
+                    st.queued_frames, st.busy_slots
+                );
                 panic!("stall");
             }
         }

@@ -19,8 +19,8 @@ fn cluster_view_converges_after_joins() {
     // as the SiteAnnounce gossip lands.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        let complete = (0..cluster.len())
-            .all(|i| cluster.site(i).inner().cluster.known_sites().len() == 5);
+        let complete =
+            (0..cluster.len()).all(|i| cluster.site(i).inner().cluster.known_sites().len() == 5);
         if complete {
             break;
         }
@@ -42,7 +42,11 @@ fn successor_ring_and_succession_chain() {
     // Ring over ids {1,2,3}.
     assert_eq!(s0.cluster.successor_of(SiteId(1)), Some(SiteId(2)));
     assert_eq!(s0.cluster.successor_of(SiteId(2)), Some(SiteId(3)));
-    assert_eq!(s0.cluster.successor_of(SiteId(3)), Some(SiteId(1)), "ring wraps");
+    assert_eq!(
+        s0.cluster.successor_of(SiteId(3)),
+        Some(SiteId(1)),
+        "ring wraps"
+    );
     // No succession registered: identity.
     assert_eq!(s0.cluster.resolve_succession(SiteId(2)), SiteId(2));
 }
@@ -56,7 +60,10 @@ fn signoff_installs_succession() {
     let s0 = cluster.site(0).inner();
     assert!(!s0.cluster.known_sites().contains(&gone));
     let heir = s0.cluster.resolve_succession(gone);
-    assert_ne!(heir, gone, "departed site's directory role must be inherited");
+    assert_ne!(
+        heir, gone,
+        "departed site's directory role must be inherited"
+    );
 }
 
 #[test]
@@ -97,7 +104,10 @@ fn remote_read_copy_vs_migrate() {
     let program = sdvm_types::ProgramId(1);
     let addr = s0.memory.alloc(s0, program, Value::from_u64(7));
     // Snapshot copy: object stays on site 1 (id 1).
-    assert_eq!(s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(), 7);
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        7
+    );
     assert_eq!(s0.memory.stats().0, 1, "copy must not move the object");
     // Migrating read attracts it.
     assert_eq!(s1.memory.read(s1, addr, true).unwrap().as_u64().unwrap(), 7);
@@ -105,7 +115,10 @@ fn remote_read_copy_vs_migrate() {
     assert_eq!(s1.memory.stats().0, 1);
     // Writes still reach it through the homesite directory.
     s0.memory.write(s0, addr, Value::from_u64(70)).unwrap();
-    assert_eq!(s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(), 70);
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        70
+    );
 }
 
 #[test]
@@ -174,15 +187,24 @@ fn program_manager_registers_and_terminates() {
     // The launch broadcast registered the program cluster-wide.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while s1.program.code_home(handle.program).is_none() {
-        assert!(std::time::Instant::now() < deadline, "program never registered remotely");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "program never registered remotely"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
-    assert_eq!(s1.program.code_home(handle.program), Some(cluster.site(0).id()));
+    assert_eq!(
+        s1.program.code_home(handle.program),
+        Some(cluster.site(0).id())
+    );
     handle.wait(Duration::from_secs(30)).unwrap();
     // Termination propagates; the remote site marks it inactive.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while s1.program.is_active(handle.program) {
-        assert!(std::time::Instant::now() < deadline, "termination never propagated");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "termination never propagated"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 }
@@ -210,11 +232,9 @@ fn plaintext_site_cannot_join_encrypted_cluster() {
 fn message_hops_follow_figure6_order() {
     use sdvm_core::{TraceEvent, TraceLog};
     let trace = TraceLog::new();
-    let cluster = InProcessCluster::with_configs(
-        vec![SiteConfig::default(); 2],
-        Some(trace.clone()),
-    )
-    .unwrap();
+    let cluster =
+        InProcessCluster::with_configs(vec![SiteConfig::default(); 2], Some(trace.clone()))
+            .unwrap();
     let s0 = cluster.site(0).inner();
     s0.request(
         cluster.site(1).id(),
@@ -227,10 +247,23 @@ fn message_hops_follow_figure6_order() {
     // Outgoing: the Ping passes the message manager, then the network
     // manager — in that order (Fig. 6).
     let hops: Vec<(SiteId, ManagerId, bool)> = trace
-        .filter(|e| matches!(e, TraceEvent::MessageHop { payload: "Ping", .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::MessageHop {
+                    payload: "Ping",
+                    ..
+                }
+            )
+        })
         .into_iter()
         .map(|e| match e {
-            TraceEvent::MessageHop { site, manager, outgoing, .. } => (site, manager, outgoing),
+            TraceEvent::MessageHop {
+                site,
+                manager,
+                outgoing,
+                ..
+            } => (site, manager, outgoing),
             _ => unreachable!(),
         })
         .collect();

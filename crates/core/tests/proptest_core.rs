@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use sdvm_core::{AppBuilder, InProcessCluster, Microframe, SiteConfig};
-use sdvm_types::{
-    GlobalAddress, MicrothreadId, ProgramId, SchedulingHint, SiteId, Value,
-};
+use sdvm_types::{GlobalAddress, MicrothreadId, ProgramId, SchedulingHint, SiteId, Value};
 use std::time::Duration;
 
 fn frame(nslots: usize) -> Microframe {

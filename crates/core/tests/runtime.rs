@@ -54,8 +54,7 @@ fn launch_square_sum_with(
         .launch(&app, |ctx, result| {
             let reducer = ctx.create_frame(reduce, width, vec![result], Default::default());
             for i in 0..width {
-                let w =
-                    ctx.create_frame(square, 2, vec![reducer], SchedulingHint::default());
+                let w = ctx.create_frame(square, 2, vec![reducer], SchedulingHint::default());
                 ctx.send(w, 0, Value::from_u64(i as u64 + 1))?;
                 ctx.send(w, 1, Value::from_u64(i as u64))?;
             }
@@ -119,15 +118,22 @@ fn career_of_microframe_matches_figure5() {
     let handle = launch_square_sum(&cluster, 0, 2);
     handle.wait(WAIT).unwrap();
     // Find a square frame (2 slots) and check its lifecycle order.
-    let created = trace.filter(
-        |e| matches!(e, TraceEvent::FrameCreated { slots: 2, .. }),
-    );
+    let created = trace.filter(|e| matches!(e, TraceEvent::FrameCreated { slots: 2, .. }));
     assert!(!created.is_empty());
-    let TraceEvent::FrameCreated { frame, .. } = created[0] else { unreachable!() };
+    let TraceEvent::FrameCreated { frame, .. } = created[0] else {
+        unreachable!()
+    };
     let career = trace.career_of(frame);
     assert_eq!(
         career,
-        vec!["incomplete", "param", "param", "executable", "ready", "executed"],
+        vec![
+            "incomplete",
+            "param",
+            "param",
+            "executable",
+            "ready",
+            "executed"
+        ],
         "career of {frame}"
     );
 }
@@ -186,8 +192,7 @@ fn dynamic_exit_relocates_work() {
     cluster.sign_off(2).unwrap();
     let result = handle.wait(WAIT).unwrap();
     assert_eq!(result.as_u64().unwrap(), expected_square_sum(30));
-    let gone = trace
-        .filter(|e| matches!(e, TraceEvent::SiteGone { crashed: false, .. }));
+    let gone = trace.filter(|e| matches!(e, TraceEvent::SiteGone { crashed: false, .. }));
     assert!(!gone.is_empty(), "orderly departure must be announced");
 }
 
@@ -237,8 +242,7 @@ fn crash_recovery_completes_program() {
     // Detection needs crash_timeout of silence; poll for it.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        let crashes =
-            trace.filter(|e| matches!(e, TraceEvent::SiteGone { crashed: true, .. }));
+        let crashes = trace.filter(|e| matches!(e, TraceEvent::SiteGone { crashed: true, .. }));
         if !crashes.is_empty() {
             break;
         }
@@ -262,8 +266,9 @@ fn crash_recovery_revives_lost_frames() {
     let victim = cluster.site(2).id();
     let deadline = std::time::Instant::now() + Duration::from_secs(15);
     loop {
-        let got_work = trace
-            .filter(|e| matches!(e, TraceEvent::HelpGranted { requester, .. } if *requester == victim));
+        let got_work = trace.filter(
+            |e| matches!(e, TraceEvent::HelpGranted { requester, .. } if *requester == victim),
+        );
         if !got_work.is_empty() {
             break;
         }
@@ -294,7 +299,10 @@ fn wrong_password_cannot_join() {
     let mut cluster =
         InProcessCluster::new(1, SiteConfig::default().with_password("right")).unwrap();
     let err = cluster.add_site(SiteConfig::default().with_password("wrong"));
-    assert!(err.is_err(), "a site with the wrong start password must not join");
+    assert!(
+        err.is_err(),
+        "a site with the wrong start password must not join"
+    );
 }
 
 #[test]
@@ -314,7 +322,13 @@ fn heterogeneous_platforms_compile_on_the_fly() {
     assert_eq!(result.as_u64().unwrap(), expected_square_sum(30));
     // Platform-2 sites had no binary: at least one on-the-fly compile.
     let compiles = trace.filter(|e| {
-        matches!(e, TraceEvent::CodeCompiled { platform: PlatformId(2), .. })
+        matches!(
+            e,
+            TraceEvent::CodeCompiled {
+                platform: PlatformId(2),
+                ..
+            }
+        )
     });
     assert!(!compiles.is_empty(), "platform 2 must compile from source");
 }
@@ -325,8 +339,14 @@ fn two_programs_run_concurrently() {
     let h1 = launch_square_sum(&cluster, 0, 10);
     let h2 = launch_square_sum(&cluster, 1, 15);
     assert_ne!(h1.program, h2.program);
-    assert_eq!(h1.wait(WAIT).unwrap().as_u64().unwrap(), expected_square_sum(10));
-    assert_eq!(h2.wait(WAIT).unwrap().as_u64().unwrap(), expected_square_sum(15));
+    assert_eq!(
+        h1.wait(WAIT).unwrap().as_u64().unwrap(),
+        expected_square_sum(10)
+    );
+    assert_eq!(
+        h2.wait(WAIT).unwrap().as_u64().unwrap(),
+        expected_square_sum(15)
+    );
 }
 
 #[test]
@@ -433,16 +453,26 @@ fn accounting_tracks_per_program_usage() {
     let h2 = launch_square_sum_with(&cluster, 0, 8, 5);
     h1.wait(WAIT).unwrap();
     h2.wait(WAIT).unwrap();
-    let mut frames1 = 0u64;
-    let mut frames2 = 0u64;
-    let mut cpu_total = Duration::ZERO;
-    for i in 0..2 {
-        let s = cluster.site(i).inner();
-        frames1 += s.site_mgr.usage_of(h1.program).frames_executed;
-        frames2 += s.site_mgr.usage_of(h2.program).frames_executed;
-        for (_, u) in s.site_mgr.accounting() {
-            cpu_total += u.cpu;
+    // `wait` only proves the result arrived; the executing slot bills
+    // *after* running a frame, so poll until the ledger settles.
+    let (mut frames1, mut frames2, mut cpu_total);
+    let deadline = std::time::Instant::now() + WAIT;
+    loop {
+        frames1 = 0;
+        frames2 = 0;
+        cpu_total = Duration::ZERO;
+        for i in 0..2 {
+            let s = cluster.site(i).inner();
+            frames1 += s.site_mgr.usage_of(h1.program).frames_executed;
+            frames2 += s.site_mgr.usage_of(h2.program).frames_executed;
+            for (_, u) in s.site_mgr.accounting() {
+                cpu_total += u.cpu;
+            }
         }
+        if (frames1 == 18 && frames2 == 10) || std::time::Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
     // 16 squares + reducer + result thread; likewise 8 + 2.
     assert_eq!(frames1, 18, "program 1 executions across the cluster");

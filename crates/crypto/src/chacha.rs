@@ -78,8 +78,7 @@ mod tests {
     #[test]
     fn rfc8439_block() {
         let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
-        let nonce: [u8; 12] =
-            hex_to_bytes("000000090000004a00000000").try_into().unwrap();
+        let nonce: [u8; 12] = hex_to_bytes("000000090000004a00000000").try_into().unwrap();
         let block = chacha20_block(&key, 1, &nonce);
         let expected = hex_to_bytes(
             "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
@@ -92,8 +91,7 @@ mod tests {
     #[test]
     fn rfc8439_encrypt() {
         let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
-        let nonce: [u8; 12] =
-            hex_to_bytes("000000000000004a00000000").try_into().unwrap();
+        let nonce: [u8; 12] = hex_to_bytes("000000000000004a00000000").try_into().unwrap();
         let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it."
             .to_vec();

@@ -7,18 +7,29 @@
 //! ```
 //!
 //! The nonce counter makes each keystream unique and doubles as replay
-//! protection: the receiver only accepts strictly increasing nonces.
-//! (SDVM transports are ordered — TCP or the in-memory channel — so
-//! strict monotonicity does not drop legitimate traffic.)
+//! protection: the receiver tracks a sliding window (RFC 2401 style) of
+//! the last [`REPLAY_WINDOW`] counters, accepting each exactly once.
+//! A window — rather than strict monotonicity — is required because
+//! sealing and enqueueing onto the transport are not one atomic step:
+//! two site threads can seal in one order and enqueue in the other, so
+//! slightly out-of-order arrival is legitimate traffic, while an exact
+//! duplicate (a replay, or a frame resent by a transport-level
+//! reconnect) must still be dropped.
 
 use crate::chacha::{chacha20_xor, KEY_LEN, NONCE_LEN};
 use crate::hmac::{ct_eq, HmacSha256};
 use crate::CryptoError;
+use bytes::BytesMut;
 
 /// Truncated HMAC tag length in bytes.
 pub const TAG_LEN: usize = 16;
 /// Nonce prefix length in bytes.
 pub const NONCE_PREFIX_LEN: usize = 8;
+/// Bytes added by sealing: nonce prefix up front, tag at the end.
+pub const SEAL_OVERHEAD: usize = NONCE_PREFIX_LEN + TAG_LEN;
+/// How far behind the newest accepted counter a message may arrive and
+/// still be accepted (once). Anything older is rejected as a replay.
+pub const REPLAY_WINDOW: u64 = 64;
 
 /// One direction of a secure peer link. The sender half allocates nonces;
 /// the receiver half verifies and tracks the replay horizon. A full link
@@ -28,7 +39,11 @@ pub struct SecureChannel {
     enc_key: [u8; KEY_LEN],
     mac_key: [u8; KEY_LEN],
     next_send: u64,
-    last_recv: u64,
+    /// Highest counter accepted so far.
+    recv_horizon: u64,
+    /// Bitmask over the window below the horizon: bit `d` set means
+    /// counter `recv_horizon - d` was already accepted.
+    recv_seen: u64,
 }
 
 impl SecureChannel {
@@ -39,7 +54,36 @@ impl SecureChannel {
         let mut mac_key = [0u8; KEY_LEN];
         crate::kdf::expand(traffic_key, b"enc", &mut enc_key);
         crate::kdf::expand(traffic_key, b"mac", &mut mac_key);
-        Self { enc_key, mac_key, next_send: 1, last_recv: 0 }
+        Self {
+            enc_key,
+            mac_key,
+            next_send: 1,
+            recv_horizon: 0,
+            recv_seen: 0,
+        }
+    }
+
+    /// Accept `counter` exactly once within the sliding window.
+    fn check_replay(&mut self, counter: u64) -> Result<(), CryptoError> {
+        if counter > self.recv_horizon {
+            let ahead = counter - self.recv_horizon;
+            self.recv_seen = if ahead >= REPLAY_WINDOW {
+                1
+            } else {
+                (self.recv_seen << ahead) | 1
+            };
+            self.recv_horizon = counter;
+            return Ok(());
+        }
+        let behind = self.recv_horizon - counter;
+        if counter == 0 || behind >= REPLAY_WINDOW || (self.recv_seen >> behind) & 1 == 1 {
+            return Err(CryptoError::Replay {
+                got: counter,
+                last: self.recv_horizon,
+            });
+        }
+        self.recv_seen |= 1 << behind;
+        Ok(())
     }
 
     fn nonce_bytes(counter: u64) -> [u8; NONCE_LEN] {
@@ -50,18 +94,37 @@ impl SecureChannel {
 
     /// Encrypt and authenticate `plaintext`.
     pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(SEAL_OVERHEAD + plaintext.len());
+        buf.resize(NONCE_PREFIX_LEN, 0);
+        buf.extend_from_slice(plaintext);
+        self.seal_in_place(&mut buf, 0);
+        Vec::from(buf)
+    }
+
+    /// Seal a message already laid out in `buf` without moving it.
+    ///
+    /// The caller must have reserved [`NONCE_PREFIX_LEN`] zero bytes at
+    /// `buf[start..start + NONCE_PREFIX_LEN]`; the plaintext follows
+    /// through `buf.len()`. On return the slot holds the nonce, the
+    /// plaintext is encrypted in place, and the tag is appended —
+    /// producing exactly the [`SecureChannel::seal`] wire layout while
+    /// letting framing and envelope headers before `start` share the
+    /// allocation.
+    pub fn seal_in_place(&mut self, buf: &mut BytesMut, start: usize) {
         let counter = self.next_send;
         self.next_send += 1;
         let nonce = Self::nonce_bytes(counter);
-        let mut out = Vec::with_capacity(NONCE_PREFIX_LEN + plaintext.len() + TAG_LEN);
-        out.extend_from_slice(&counter.to_le_bytes());
-        out.extend_from_slice(plaintext);
-        chacha20_xor(&self.enc_key, &nonce, 1, &mut out[NONCE_PREFIX_LEN..]);
+        buf[start..start + NONCE_PREFIX_LEN].copy_from_slice(&counter.to_le_bytes());
+        chacha20_xor(
+            &self.enc_key,
+            &nonce,
+            1,
+            &mut buf[start + NONCE_PREFIX_LEN..],
+        );
         let mut mac = HmacSha256::new(&self.mac_key);
-        mac.update(&out);
+        mac.update(&buf[start..]);
         let tag = mac.finalize();
-        out.extend_from_slice(&tag[..TAG_LEN]);
-        out
+        buf.extend_from_slice(&tag[..TAG_LEN]);
     }
 
     /// Verify and decrypt a sealed message. Rejects forgeries and replays.
@@ -77,10 +140,7 @@ impl SecureChannel {
             return Err(CryptoError::BadTag);
         }
         let counter = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
-        if counter <= self.last_recv {
-            return Err(CryptoError::Replay { got: counter, last: self.last_recv });
-        }
-        self.last_recv = counter;
+        self.check_replay(counter)?;
         let nonce = Self::nonce_bytes(counter);
         let mut plain = body[NONCE_PREFIX_LEN..].to_vec();
         chacha20_xor(&self.enc_key, &nonce, 1, &mut plain);
@@ -136,12 +196,28 @@ mod tests {
     }
 
     #[test]
-    fn old_message_after_newer_rejected() {
+    fn out_of_order_within_window_accepted_once() {
+        // Sealing and transport enqueueing are not atomic, so slightly
+        // out-of-order arrival is legitimate — but only once each.
         let (mut tx, mut rx) = pair();
         let first = tx.seal(b"first");
         let second = tx.seal(b"second");
         assert!(rx.open(&second).is_ok());
+        assert_eq!(rx.open(&first).unwrap(), b"first");
         assert!(matches!(rx.open(&first), Err(CryptoError::Replay { .. })));
+        assert!(matches!(rx.open(&second), Err(CryptoError::Replay { .. })));
+    }
+
+    #[test]
+    fn messages_older_than_window_rejected() {
+        let (mut tx, mut rx) = pair();
+        let oldest = tx.seal(b"too old");
+        let sealed: Vec<_> = (0..REPLAY_WINDOW).map(|_| tx.seal(b"fill")).collect();
+        assert!(rx.open(sealed.last().unwrap()).is_ok());
+        // `oldest` has counter 1; horizon is now REPLAY_WINDOW + 1.
+        assert!(matches!(rx.open(&oldest), Err(CryptoError::Replay { .. })));
+        // Unseen messages still inside the window are fine.
+        assert!(rx.open(&sealed[sealed.len() - 2]).is_ok());
     }
 
     #[test]
@@ -156,6 +232,27 @@ mod tests {
         let mut tx = SecureChannel::new(&[1u8; 32]);
         let mut rx = SecureChannel::new(&[2u8; 32]);
         assert_eq!(rx.open(&tx.seal(b"hi")), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn seal_in_place_matches_seal_layout() {
+        let (mut tx_place, mut rx) = pair();
+        let (mut tx_vec, _) = pair();
+        let plain = b"in-place sealed payload";
+        // Lay out [header | nonce slot | plaintext] in one buffer.
+        let header = b"HDR!";
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(header);
+        buf.resize(header.len() + NONCE_PREFIX_LEN, 0);
+        buf.extend_from_slice(plain);
+        tx_place.seal_in_place(&mut buf, header.len());
+        assert_eq!(&buf[..header.len()], header, "header untouched");
+        assert_eq!(
+            buf[header.len()..],
+            tx_vec.seal(plain)[..],
+            "same wire layout"
+        );
+        assert_eq!(rx.open(&buf[header.len()..]).unwrap(), plain);
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        Self { inner, outer_key: opad }
+        Self {
+            inner,
+            outer_key: opad,
+        }
     }
 
     /// Absorb message bytes.
@@ -105,7 +108,10 @@ mod tests {
     fn rfc4231_case6_long_key() {
         let key = [0xaau8; 131];
         assert_eq!(
-            hex(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
     }

@@ -27,13 +27,23 @@ impl KeyStore {
     /// Build a keystore for logical site `local` from the cluster's start
     /// password.
     pub fn from_password(local: u32, password: &str) -> Self {
-        Self { master: master_key(password), local, send: HashMap::new(), recv: HashMap::new() }
+        Self {
+            master: master_key(password),
+            local,
+            send: HashMap::new(),
+            recv: HashMap::new(),
+        }
     }
 
     /// Build from a precomputed master key (lets a cluster spawner derive
     /// the password hash once instead of per site).
     pub fn from_master(local: u32, master: [u8; 32]) -> Self {
-        Self { master, local, send: HashMap::new(), recv: HashMap::new() }
+        Self {
+            master,
+            local,
+            send: HashMap::new(),
+            recv: HashMap::new(),
+        }
     }
 
     /// Re-key the keystore for a (newly assigned) logical id. Called when
@@ -46,11 +56,20 @@ impl KeyStore {
 
     /// Seal a message for `peer`.
     pub fn seal_for(&mut self, peer: u32, plaintext: &[u8]) -> Vec<u8> {
+        self.sender_for(peer).seal(plaintext)
+    }
+
+    /// Seal for `peer` in place; see [`SecureChannel::seal_in_place`] for
+    /// the buffer contract (`buf[start..start+8]` is the nonce slot).
+    pub fn seal_for_in_place(&mut self, peer: u32, buf: &mut bytes::BytesMut, start: usize) {
+        self.sender_for(peer).seal_in_place(buf, start)
+    }
+
+    fn sender_for(&mut self, peer: u32) -> &mut SecureChannel {
         let (master, local) = (self.master, self.local);
         self.send
             .entry(peer)
             .or_insert_with(|| SecureChannel::new(&traffic_key(&master, local, peer)))
-            .seal(plaintext)
     }
 
     /// Open a message received from `peer`.
@@ -115,8 +134,7 @@ mod tests {
     #[test]
     fn many_peers_independent_counters() {
         let mut hub = KeyStore::from_password(1, "pw");
-        let mut peers: Vec<KeyStore> =
-            (2..6).map(|i| KeyStore::from_password(i, "pw")).collect();
+        let mut peers: Vec<KeyStore> = (2..6).map(|i| KeyStore::from_password(i, "pw")).collect();
         for round in 0..3 {
             for (i, p) in peers.iter_mut().enumerate() {
                 let peer_id = (i + 2) as u32;

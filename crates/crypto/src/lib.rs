@@ -32,7 +32,7 @@ pub mod kdf;
 pub mod keystore;
 pub mod sha256;
 
-pub use channel::{SecureChannel, TAG_LEN};
+pub use channel::{SecureChannel, NONCE_PREFIX_LEN, SEAL_OVERHEAD, TAG_LEN};
 pub use keystore::KeyStore;
 
 /// Errors produced by the crypto layer.

@@ -7,6 +7,7 @@
 //! consequences, while the default plan is a faithful reliable, ordered
 //! link (TCP semantics).
 
+use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -28,13 +29,23 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Reliable, ordered delivery — TCP semantics (the default).
     pub fn reliable() -> Self {
-        FaultPlan { drop_prob: 0.0, dup_prob: 0.0, reorder_prob: 0.0, seed: 0 }
+        FaultPlan {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            seed: 0,
+        }
     }
 
     /// Lossy, reordering datagram semantics approximating what the paper
     /// observed with UDP.
     pub fn udp_like(seed: u64) -> Self {
-        FaultPlan { drop_prob: 0.02, dup_prob: 0.01, reorder_prob: 0.05, seed }
+        FaultPlan {
+            drop_prob: 0.02,
+            dup_prob: 0.01,
+            reorder_prob: 0.05,
+            seed,
+        }
     }
 
     /// True if this plan never perturbs traffic.
@@ -53,23 +64,27 @@ impl Default for FaultPlan {
 pub(crate) struct LinkFaults {
     plan: FaultPlan,
     rng: StdRng,
-    held: Option<Vec<u8>>,
+    held: Option<Bytes>,
 }
 
 /// What the fault layer decided to deliver for one offered message.
 pub(crate) enum Delivery {
     /// Deliver these messages, in order (possibly empty = dropped).
-    Now(Vec<Vec<u8>>),
+    Now(Vec<Bytes>),
 }
 
 impl LinkFaults {
     pub(crate) fn new(plan: FaultPlan) -> Self {
         let rng = StdRng::seed_from_u64(plan.seed);
-        Self { plan, rng, held: None }
+        Self {
+            plan,
+            rng,
+            held: None,
+        }
     }
 
     /// Run one message through the fault model.
-    pub(crate) fn offer(&mut self, msg: Vec<u8>) -> Delivery {
+    pub(crate) fn offer(&mut self, msg: Bytes) -> Delivery {
         if self.plan.is_reliable() {
             return Delivery::Now(vec![msg]);
         }
@@ -87,6 +102,7 @@ impl LinkFaults {
             self.held = Some(msg);
             return Delivery::Now(out);
         }
+        // Duplication is a refcount bump, not a deep copy.
         out.push(msg.clone());
         if duplicated {
             out.push(msg);
@@ -100,7 +116,7 @@ impl LinkFaults {
     /// Flush any held message (so nothing is lost forever by the
     /// *reorder* fault alone; exercised by the fault-model tests).
     #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn flush(&mut self) -> Option<Vec<u8>> {
+    pub(crate) fn flush(&mut self) -> Option<Bytes> {
         self.held.take()
     }
 }
@@ -113,13 +129,13 @@ mod tests {
         let mut lf = LinkFaults::new(plan);
         let mut delivered = Vec::new();
         for i in 0..n as u64 {
-            let Delivery::Now(msgs) = lf.offer(i.to_le_bytes().to_vec());
+            let Delivery::Now(msgs) = lf.offer(Bytes::from(i.to_le_bytes().to_vec()));
             for m in msgs {
-                delivered.push(u64::from_le_bytes(m.try_into().unwrap()));
+                delivered.push(u64::from_le_bytes(m[..].try_into().unwrap()));
             }
         }
         if let Some(m) = lf.flush() {
-            delivered.push(u64::from_le_bytes(m.try_into().unwrap()));
+            delivered.push(u64::from_le_bytes(m[..].try_into().unwrap()));
         }
         delivered
     }
@@ -148,7 +164,13 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(run(FaultPlan::udp_like(3), 500), run(FaultPlan::udp_like(3), 500));
-        assert_ne!(run(FaultPlan::udp_like(3), 500), run(FaultPlan::udp_like(4), 500));
+        assert_eq!(
+            run(FaultPlan::udp_like(3), 500),
+            run(FaultPlan::udp_like(3), 500)
+        );
+        assert_ne!(
+            run(FaultPlan::udp_like(3), 500),
+            run(FaultPlan::udp_like(4), 500)
+        );
     }
 }

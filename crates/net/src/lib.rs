@@ -29,22 +29,44 @@ pub use faults::FaultPlan;
 pub use mem::{MemHub, MemTransport};
 pub use tcp::TcpTransport;
 
+use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use sdvm_types::{PhysicalAddr, SdvmResult};
 
 /// A byte-oriented, connectionless-looking transport between physical
 /// addresses. Implementations must be usable from many threads.
+///
+/// The send side is *frame-oriented and zero-copy*: callers hand over a
+/// complete frame — the 4-byte big-endian length prefix followed by the
+/// body, as produced by [`sdvm_wire::finish_frame`] / [`sdvm_wire::frame_bytes`]
+/// — as a cheaply cloneable [`Bytes`]. Building the prefix into the
+/// caller's buffer lets the whole message path (encode, seal, frame)
+/// touch one allocation, and lets the TCP transport queue and coalesce
+/// frames without copying them again.
 pub trait Transport: Send + Sync {
     /// The address peers can reach this endpoint at.
     fn local_addr(&self) -> PhysicalAddr;
 
-    /// Send one message (a serialized, possibly sealed, SDMessage).
-    fn send(&self, to: &PhysicalAddr, data: Vec<u8>) -> SdvmResult<()>;
+    /// Send one complete frame (length prefix + serialized, possibly
+    /// sealed, SDMessage body).
+    fn send(&self, to: &PhysicalAddr, frame: Bytes) -> SdvmResult<()>;
 
-    /// The stream of received messages. Each item is one framed message
-    /// together with nothing else — framing/reassembly is the transport's
-    /// job.
-    fn incoming(&self) -> Receiver<Vec<u8>>;
+    /// Frame a raw body and send it: the convenience path for callers
+    /// that do not pre-build frames (tests, tools).
+    fn send_body(&self, to: &PhysicalAddr, body: &[u8]) -> SdvmResult<()> {
+        self.send(to, sdvm_wire::frame_bytes(body)?)
+    }
+
+    /// The stream of received message bodies (length prefix stripped).
+    /// Each item is one framed message together with nothing else —
+    /// framing/reassembly is the transport's job.
+    fn incoming(&self) -> Receiver<Bytes>;
+
+    /// Outbound queue depth per peer, for load reporting. Transports
+    /// without per-peer queues report nothing.
+    fn outbound_depths(&self) -> Vec<(String, usize)> {
+        Vec::new()
+    }
 
     /// Stop background threads and refuse further traffic.
     fn shutdown(&self);

@@ -8,6 +8,7 @@
 
 use crate::faults::{Delivery, FaultPlan, LinkFaults};
 use crate::Transport;
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sdvm_types::{PhysicalAddr, SdvmError, SdvmResult};
@@ -16,7 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct Endpoint {
-    tx: Sender<Vec<u8>>,
+    tx: Sender<Bytes>,
     severed: Arc<AtomicBool>,
 }
 
@@ -62,7 +63,10 @@ impl MemHub {
 
     /// Override the fault plan of one directed link.
     pub fn set_link_plan(&self, from: u64, to: u64, plan: FaultPlan) {
-        self.inner.links.lock().insert((from, to), LinkFaults::new(plan));
+        self.inner
+            .links
+            .lock()
+            .insert((from, to), LinkFaults::new(plan));
     }
 
     /// Create a new endpoint on this hub.
@@ -70,11 +74,19 @@ impl MemHub {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded();
         let severed = Arc::new(AtomicBool::new(false));
-        self.inner
-            .endpoints
-            .lock()
-            .insert(id, Endpoint { tx, severed: severed.clone() });
-        MemTransport { hub: self.clone(), id, rx, severed }
+        self.inner.endpoints.lock().insert(
+            id,
+            Endpoint {
+                tx,
+                severed: severed.clone(),
+            },
+        );
+        MemTransport {
+            hub: self.clone(),
+            id,
+            rx,
+            severed,
+        }
     }
 
     /// Simulate a crash: messages to and from this endpoint vanish.
@@ -92,7 +104,13 @@ impl MemHub {
         self.inner.delivered.load(Ordering::Relaxed)
     }
 
-    fn send_from(&self, src: u64, to: &PhysicalAddr, data: Vec<u8>) -> SdvmResult<()> {
+    fn send_from(&self, src: u64, to: &PhysicalAddr, frame: Bytes) -> SdvmResult<()> {
+        // The hub is datagram-like: strip the stream-framing prefix here
+        // (zero-copy slice) and deliver bodies.
+        if frame.len() < sdvm_wire::FRAME_PREFIX_LEN {
+            return Err(SdvmError::Transport("frame shorter than its prefix".into()));
+        }
+        let body = frame.slice(sdvm_wire::FRAME_PREFIX_LEN..);
         let dst = match to {
             PhysicalAddr::Mem(id) => *id,
             other => {
@@ -123,7 +141,7 @@ impl MemHub {
         let faults = links
             .entry((src, dst))
             .or_insert_with(|| LinkFaults::new(self.inner.default_plan.lock().clone()));
-        let Delivery::Now(msgs) = faults.offer(data);
+        let Delivery::Now(msgs) = faults.offer(body);
         drop(links);
         for m in msgs {
             self.inner.delivered.fetch_add(1, Ordering::Relaxed);
@@ -138,7 +156,7 @@ impl MemHub {
 pub struct MemTransport {
     hub: MemHub,
     id: u64,
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<Bytes>,
     severed: Arc<AtomicBool>,
 }
 
@@ -154,11 +172,11 @@ impl Transport for MemTransport {
         PhysicalAddr::Mem(self.id)
     }
 
-    fn send(&self, to: &PhysicalAddr, data: Vec<u8>) -> SdvmResult<()> {
-        self.hub.send_from(self.id, to, data)
+    fn send(&self, to: &PhysicalAddr, frame: Bytes) -> SdvmResult<()> {
+        self.hub.send_from(self.id, to, frame)
     }
 
-    fn incoming(&self) -> Receiver<Vec<u8>> {
+    fn incoming(&self) -> Receiver<Bytes> {
         self.rx.clone()
     }
 
@@ -177,7 +195,7 @@ mod tests {
         let hub = MemHub::new();
         let a = hub.endpoint();
         let b = hub.endpoint();
-        a.send(&b.local_addr(), b"ping".to_vec()).unwrap();
+        a.send_body(&b.local_addr(), b"ping").unwrap();
         assert_eq!(b.incoming().recv().unwrap(), b"ping");
     }
 
@@ -193,9 +211,9 @@ mod tests {
     fn unknown_target_errors() {
         let hub = MemHub::new();
         let a = hub.endpoint();
-        let err = a.send(&PhysicalAddr::Mem(999), b"x".to_vec());
+        let err = a.send_body(&PhysicalAddr::Mem(999), b"x");
         assert!(err.is_err());
-        let err2 = a.send(&PhysicalAddr::Tcp("h:1".into()), b"x".to_vec());
+        let err2 = a.send_body(&PhysicalAddr::Tcp("h:1".into()), b"x");
         assert!(err2.is_err());
     }
 
@@ -206,7 +224,7 @@ mod tests {
         let b = hub.endpoint();
         hub.sever(&b.local_addr());
         // Send succeeds (network can't know the peer died)...
-        a.send(&b.local_addr(), b"lost".to_vec()).unwrap();
+        a.send_body(&b.local_addr(), b"lost").unwrap();
         // ...but nothing arrives.
         assert!(b.incoming().try_recv().is_err());
     }
@@ -217,7 +235,7 @@ mod tests {
         let a = hub.endpoint();
         let b = hub.endpoint();
         hub.sever(&a.local_addr());
-        assert!(a.send(&b.local_addr(), b"x".to_vec()).is_err());
+        assert!(a.send_body(&b.local_addr(), b"x").is_err());
     }
 
     #[test]
@@ -227,7 +245,7 @@ mod tests {
         let b = hub.endpoint();
         let b_addr = b.local_addr();
         b.shutdown();
-        assert!(a.send(&b_addr, b"x".to_vec()).is_err());
+        assert!(a.send_body(&b_addr, b"x").is_err());
     }
 
     #[test]
@@ -236,7 +254,7 @@ mod tests {
         let a = hub.endpoint();
         let b = hub.endpoint();
         for i in 0..100u32 {
-            a.send(&b.local_addr(), i.to_le_bytes().to_vec()).unwrap();
+            a.send_body(&b.local_addr(), &i.to_le_bytes()).unwrap();
         }
         let rx = b.incoming();
         for i in 0..100u32 {
@@ -249,19 +267,18 @@ mod tests {
         let hub = MemHub::new();
         let a = hub.endpoint();
         let b = hub.endpoint();
-        let (PhysicalAddr::Mem(aid), PhysicalAddr::Mem(bid)) =
-            (a.local_addr(), b.local_addr())
+        let (PhysicalAddr::Mem(aid), PhysicalAddr::Mem(bid)) = (a.local_addr(), b.local_addr())
         else {
             unreachable!()
         };
         hub.set_link_plan(aid, bid, FaultPlan::udp_like(11));
         for i in 0..1000u32 {
-            a.send(&b.local_addr(), i.to_le_bytes().to_vec()).unwrap();
+            a.send_body(&b.local_addr(), &i.to_le_bytes()).unwrap();
         }
         let rx = b.incoming();
         let mut got = Vec::new();
         while let Ok(m) = rx.try_recv() {
-            got.push(u32::from_le_bytes(m.try_into().unwrap()));
+            got.push(u32::from_le_bytes(m[..].try_into().unwrap()));
         }
         assert!(!got.is_empty());
         let mut sorted = got.clone();
@@ -284,7 +301,7 @@ mod tests {
             let addr = addr.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..50u32 {
-                    ep.send(&addr, vec![t, i as u8]).unwrap();
+                    ep.send_body(&addr, &[t, i as u8]).unwrap();
                 }
             }));
         }

@@ -130,7 +130,10 @@ impl Simulation {
             .collect();
         let timeline = vec![Vec::new(); cfg.sites.len()];
         Simulation {
-            metrics: SimMetrics { timeline, ..SimMetrics::default() },
+            metrics: SimMetrics {
+                timeline,
+                ..SimMetrics::default()
+            },
             cfg,
             graph,
             nodes,
@@ -164,8 +167,11 @@ impl Simulation {
         }
         // The starting site has the program installed: binaries for all
         // microthreads are present from the start.
-        let all_threads: HashSet<u32> =
-            self.graph.node_ids().map(|n| self.graph.node(n).thread_index).collect();
+        let all_threads: HashSet<u32> = self
+            .graph
+            .node_ids()
+            .map(|n| self.graph.node(n).thread_index)
+            .collect();
         self.sites[0].code = all_threads;
         // Founding members with nothing to do immediately start asking
         // for work (their processing managers are idle from the start).
@@ -205,7 +211,14 @@ impl Simulation {
         self.metrics.slept = self
             .sites
             .iter()
-            .map(|s| s.slept + if s.asleep { makespan - s.sleep_started } else { 0.0 })
+            .map(|s| {
+                s.slept
+                    + if s.asleep {
+                        makespan - s.sleep_started
+                    } else {
+                        0.0
+                    }
+            })
             .collect();
         self.metrics.energy = self
             .cfg
@@ -244,7 +257,8 @@ impl Simulation {
             s.idle_epoch += 1;
             // A freshly woken site looks for work once it is up.
             if let Some(p) = self.cfg.sites[site].power {
-                self.queue.push(self.now + p.wake_latency, Event::TryHelp { site });
+                self.queue
+                    .push(self.now + p.wake_latency, Event::TryHelp { site });
             }
         }
     }
@@ -259,7 +273,8 @@ impl Simulation {
             return;
         }
         let epoch = s.idle_epoch;
-        self.queue.push(self.now + p.sleep_after, Event::MaybeSleep { site, epoch });
+        self.queue
+            .push(self.now + p.sleep_after, Event::MaybeSleep { site, epoch });
     }
 
     fn on_maybe_sleep(&mut self, site: usize, epoch: u64) {
@@ -280,7 +295,8 @@ impl Simulation {
             .filter(|&i| i != from && self.sites[i].asleep && self.sites[i].accepting)
             .collect();
         for target in targets {
-            self.queue.push(self.now + latency, Event::Wake { site: target });
+            self.queue
+                .push(self.now + latency, Event::Wake { site: target });
         }
     }
 
@@ -341,11 +357,10 @@ impl Simulation {
             let succ = self.successor_of(site);
             self.nodes[node].status = NodeStatus::Migrating;
             self.metrics.migrations += 1;
-            self.queue
-                .push(self.now + self.cfg.net.transfer(FRAME_BYTES), Event::FrameArrive {
-                    site: succ,
-                    node,
-                });
+            self.queue.push(
+                self.now + self.cfg.net.transfer(FRAME_BYTES),
+                Event::FrameArrive { site: succ, node },
+            );
             return;
         }
         self.sites[site].queue.push_back(node);
@@ -369,8 +384,7 @@ impl Simulation {
             self.open_task(site, node);
         }
         let s = &self.sites[site];
-        if s.accepting && s.open < self.cfg.slots && s.queue.is_empty() && !s.outstanding_help
-        {
+        if s.accepting && s.open < self.cfg.slots && s.queue.is_empty() && !s.outstanding_help {
             self.queue.push(self.now, Event::TryHelp { site });
         }
         if self.sites[site].open == 0 && self.sites[site].queue.is_empty() {
@@ -404,14 +418,18 @@ impl Simulation {
         self.sites[site].open += 1;
         let thread = self.graph.node(node).thread_index;
         let speed = self.cfg.sites[site].speed.max(1e-9);
-        let cpu_time =
-            self.graph.node(node).cost as f64 / (self.cfg.cost.units_per_sec * speed);
+        let cpu_time = self.graph.node(node).cost as f64 / (self.cfg.cost.units_per_sec * speed);
         let segments = self.cfg.cost.remote_reads + 1;
         let seg_duration = cpu_time / segments as f64;
         let needs_code = !self.sites[site].code.contains(&thread);
         self.open_tasks.insert(
             node,
-            OpenTask { site, segments_left: segments, seg_duration, waiting_code: needs_code },
+            OpenTask {
+                site,
+                segments_left: segments,
+                seg_duration,
+                waiting_code: needs_code,
+            },
         );
         if needs_code {
             // First execution of this microthread here: fetch the binary
@@ -424,7 +442,8 @@ impl Simulation {
                 self.metrics.compiles += 1;
                 self.cfg.compile + self.cfg.net.transfer(FRAME_BYTES)
             };
-            self.queue.push(self.now + delay, Event::CodeReady { site, node });
+            self.queue
+                .push(self.now + delay, Event::CodeReady { site, node });
         } else {
             self.segment_runnable(site, node);
         }
@@ -438,7 +457,9 @@ impl Simulation {
             return;
         }
         task.waiting_code = false;
-        self.sites[site].code.insert(self.graph.node(node).thread_index);
+        self.sites[site]
+            .code
+            .insert(self.graph.node(node).thread_index);
         self.segment_runnable(site, node);
     }
 
@@ -464,12 +485,17 @@ impl Simulation {
         if self.cfg.record_timeline {
             self.metrics.timeline[site].push((self.now, self.now + dur, node));
         }
-        self.queue.push(self.now + dur, Event::SegmentDone { site, node });
+        self.queue
+            .push(self.now + dur, Event::SegmentDone { site, node });
     }
 
     fn on_segment_done(&mut self, site: usize, node: usize) {
         // Stale after a crash?
-        let valid = self.open_tasks.get(&node).map(|t| t.site == site).unwrap_or(false);
+        let valid = self
+            .open_tasks
+            .get(&node)
+            .map(|t| t.site == site)
+            .unwrap_or(false);
         if !self.sites[site].alive && !valid {
             return;
         }
@@ -503,7 +529,11 @@ impl Simulation {
     }
 
     fn on_read_done(&mut self, site: usize, node: usize) {
-        let valid = self.open_tasks.get(&node).map(|t| t.site == site).unwrap_or(false);
+        let valid = self
+            .open_tasks
+            .get(&node)
+            .map(|t| t.site == site)
+            .unwrap_or(false);
         if !valid {
             return;
         }
@@ -520,8 +550,11 @@ impl Simulation {
         // Route results to successor frames (allocating them here if this
         // is their first parameter — frames are allocated as early as
         // possible, on the producer's site).
-        let succs: Vec<(usize, u64)> =
-            self.graph.succs(node).map(|e| (e.to, e.data_bytes)).collect();
+        let succs: Vec<(usize, u64)> = self
+            .graph
+            .succs(node)
+            .map(|e| (e.to, e.data_bytes))
+            .collect();
         for (dst, bytes) in succs {
             if self.nodes[dst].status == NodeStatus::Done {
                 continue;
@@ -536,10 +569,10 @@ impl Simulation {
                 self.apply_result(dst);
             } else {
                 self.metrics.remote_results += 1;
-                self.queue
-                    .push(self.now + self.cfg.net.transfer(bytes.max(32)), Event::ResultArrive {
-                        node: dst,
-                    });
+                self.queue.push(
+                    self.now + self.cfg.net.transfer(bytes.max(32)),
+                    Event::ResultArrive { node: dst },
+                );
             }
         }
         self.fill_slots(site);
@@ -580,7 +613,10 @@ impl Simulation {
         self.metrics.help_requests += 1;
         self.queue.push(
             self.now + self.cfg.net.transfer(CTRL_BYTES),
-            Event::HelpArrive { site: target, from: me },
+            Event::HelpArrive {
+                site: target,
+                from: me,
+            },
         );
     }
 
@@ -622,9 +658,12 @@ impl Simulation {
     fn on_frame_arrive(&mut self, site: usize, node: usize) {
         // Work arriving at a sleeping SoC site first wakes it.
         if self.sites[site].asleep {
-            let p = self.cfg.sites[site].power.expect("asleep implies power model");
+            let p = self.cfg.sites[site]
+                .power
+                .expect("asleep implies power model");
             self.wake(site);
-            self.queue.push(self.now + p.wake_latency, Event::FrameArrive { site, node });
+            self.queue
+                .push(self.now + p.wake_latency, Event::FrameArrive { site, node });
             return;
         }
         self.mark_active(site);
@@ -736,8 +775,7 @@ impl Simulation {
             .graph
             .node_ids()
             .filter(|&n| {
-                self.nodes[n].status == NodeStatus::Waiting
-                    && self.nodes[n].location == Some(site)
+                self.nodes[n].status == NodeStatus::Waiting && self.nodes[n].location == Some(site)
             })
             .collect();
         for node in waiting {
@@ -893,7 +931,10 @@ mod tests {
         let s8 = m1.makespan / m8.makespan;
         // A 12×12 wavefront has average parallelism 144/23 ≈ 6.26; the
         // speedup must stay below that bound.
-        assert!(s8 < 6.3, "speedup {s8} exceeds the graph's parallelism bound");
+        assert!(
+            s8 < 6.3,
+            "speedup {s8} exceeds the graph's parallelism bound"
+        );
         assert!(s8 > 1.5, "some speedup expected, got {s8}");
     }
 }
@@ -921,7 +962,12 @@ mod power_tests {
         assert_eq!(m.tasks_executed, 40);
         // At least two of the three idle sites slept for most of the run.
         let sleepers = m.slept.iter().filter(|&&s| s > m.makespan * 0.5).count();
-        assert!(sleepers >= 2, "slept: {:?} of makespan {}", m.slept, m.makespan);
+        assert!(
+            sleepers >= 2,
+            "slept: {:?} of makespan {}",
+            m.slept,
+            m.makespan
+        );
         // Energy with sleeping must beat an always-idle estimate.
         let p = PowerModel::embedded();
         let always_on = p.active_watts * m.busy.iter().sum::<f64>()
@@ -947,7 +993,11 @@ mod power_tests {
         let m = Simulation::new(powered(4), g).run();
         assert_eq!(m.tasks_executed, 33);
         let active_sites = m.executed_per_site.iter().filter(|&&e| e > 0).count();
-        assert!(active_sites >= 3, "sleepers must wake for the burst: {:?}", m.executed_per_site);
+        assert!(
+            active_sites >= 3,
+            "sleepers must wake for the burst: {:?}",
+            m.executed_per_site
+        );
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl EventQueue {
     /// Schedule `event` at absolute virtual time `time`.
     pub fn push(&mut self, time: f64, event: Event) {
         debug_assert!(time.is_finite(), "non-finite event time");
-        self.heap.push(Scheduled { time, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

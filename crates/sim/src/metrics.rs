@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn remote_fraction() {
-        let m = SimMetrics { remote_results: 1, local_results: 3, ..Default::default() };
+        let m = SimMetrics {
+            remote_results: 1,
+            local_results: 3,
+            ..Default::default()
+        };
         assert!((m.remote_result_fraction() - 0.25).abs() < 1e-12);
         assert_eq!(SimMetrics::default().remote_result_fraction(), 0.0);
     }

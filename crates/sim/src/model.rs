@@ -73,7 +73,10 @@ impl SimSite {
 
     /// A site with the given relative speed.
     pub fn with_speed(speed: f64) -> Self {
-        SimSite { speed, ..Self::default() }
+        SimSite {
+            speed,
+            ..Self::default()
+        }
     }
 }
 
@@ -89,12 +92,18 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// A 2005-era switched 100 Mbit/s LAN (the paper's setting).
     pub fn lan() -> Self {
-        NetworkModel { latency: 2e-4, bandwidth: 1.25e7 }
+        NetworkModel {
+            latency: 2e-4,
+            bandwidth: 1.25e7,
+        }
     }
 
     /// A WAN/internet-ish link (public resource computing).
     pub fn wan() -> Self {
-        NetworkModel { latency: 3e-2, bandwidth: 1.25e6 }
+        NetworkModel {
+            latency: 3e-2,
+            bandwidth: 1.25e6,
+        }
     }
 
     /// Message transfer time for a payload of `bytes`.
@@ -189,7 +198,10 @@ impl Default for SimConfig {
 impl SimConfig {
     /// A homogeneous cluster of `n` reference sites on a LAN.
     pub fn homogeneous(n: usize) -> Self {
-        SimConfig { sites: vec![SimSite::reference(); n], ..Self::default() }
+        SimConfig {
+            sites: vec![SimSite::reference(); n],
+            ..Self::default()
+        }
     }
 }
 

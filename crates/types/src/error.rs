@@ -55,7 +55,11 @@ impl fmt::Display for SdvmError {
             SdvmError::ObjectMissing(a) => write!(f, "global memory object {a} not found"),
             SdvmError::CodeMissing(t) => write!(f, "no code available for microthread {t}"),
             SdvmError::UnknownProgram(p) => write!(f, "unknown program {p}"),
-            SdvmError::FrameSlot { frame, slot, reason } => {
+            SdvmError::FrameSlot {
+                frame,
+                slot,
+                reason,
+            } => {
                 write!(f, "frame {frame} slot {slot}: {reason}")
             }
             SdvmError::Crypto(m) => write!(f, "crypto error: {m}"),

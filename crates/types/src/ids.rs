@@ -255,17 +255,21 @@ mod tests {
     fn display_formats() {
         assert_eq!(SiteId(3).to_string(), "site3");
         assert_eq!(ProgramId(1).to_string(), "prog1");
-        assert_eq!(
-            MicrothreadId::new(ProgramId(1), 7).to_string(),
-            "prog1:mt7"
-        );
+        assert_eq!(MicrothreadId::new(ProgramId(1), 7).to_string(), "prog1:mt7");
         assert_eq!(GlobalAddress::new(SiteId(2), 9).to_string(), "@2.9");
         assert_eq!(PhysicalAddr::Mem(5).to_string(), "mem:5");
         assert_eq!(
             PhysicalAddr::Tcp("127.0.0.1:9000".into()).to_string(),
             "tcp:127.0.0.1:9000"
         );
-        assert_eq!(FileHandle { site: SiteId(1), local: 2 }.to_string(), "file:1.2");
+        assert_eq!(
+            FileHandle {
+                site: SiteId(1),
+                local: 2
+            }
+            .to_string(),
+            "file:1.2"
+        );
     }
 
     #[test]

@@ -29,7 +29,13 @@ impl SiteDescriptor {
     /// Descriptor with defaults: reference speed, not a code-distribution
     /// site.
     pub fn new(site: SiteId, addr: PhysicalAddr, platform: PlatformId) -> Self {
-        Self { site, addr, platform, speed: 1.0, code_distribution: false }
+        Self {
+            site,
+            addr,
+            platform,
+            speed: 1.0,
+            code_distribution: false,
+        }
     }
 }
 
@@ -69,11 +75,23 @@ mod tests {
 
     #[test]
     fn merge_keeps_newer() {
-        let mut a = LoadReport { epoch: 1, queued_frames: 5, ..Default::default() };
-        let b = LoadReport { epoch: 2, queued_frames: 9, ..Default::default() };
+        let mut a = LoadReport {
+            epoch: 1,
+            queued_frames: 5,
+            ..Default::default()
+        };
+        let b = LoadReport {
+            epoch: 2,
+            queued_frames: 9,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.queued_frames, 9);
-        let old = LoadReport { epoch: 1, queued_frames: 1, ..Default::default() };
+        let old = LoadReport {
+            epoch: 1,
+            queued_frames: 1,
+            ..Default::default()
+        };
         a.merge(&old);
         assert_eq!(a.queued_frames, 9, "older gossip must not regress state");
     }
@@ -81,8 +99,14 @@ mod tests {
     #[test]
     fn busyness_prefers_queued_work() {
         let idle = LoadReport::default();
-        let queued = LoadReport { queued_frames: 3, ..Default::default() };
-        let busy = LoadReport { busy_slots: 3, ..Default::default() };
+        let queued = LoadReport {
+            queued_frames: 3,
+            ..Default::default()
+        };
+        let busy = LoadReport {
+            busy_slots: 3,
+            ..Default::default()
+        };
         assert!(queued.busyness() > busy.busyness());
         assert_eq!(idle.busyness(), 0);
     }

@@ -48,13 +48,15 @@ pub struct SchedulingHint {
 impl SchedulingHint {
     /// Hint marking a critical-path frame.
     pub fn critical() -> Self {
-        SchedulingHint { priority: Priority::CRITICAL, sticky: false }
+        SchedulingHint {
+            priority: Priority::CRITICAL,
+            sticky: false,
+        }
     }
 }
 
 /// Queue discipline used by the scheduling manager.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum QueuePolicy {
     /// First in, first out — the paper's local policy (avoids starvation).
     #[default]
@@ -66,7 +68,6 @@ pub enum QueuePolicy {
     /// Highest [`Priority`] first, FIFO among equals.
     Priority,
 }
-
 
 impl fmt::Display for QueuePolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -80,8 +81,7 @@ impl fmt::Display for QueuePolicy {
 
 /// The three concepts the paper discusses for creating unique logical site
 /// ids for joining sites (§4, cluster manager).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum IdAllocStrategy {
     /// One central contact site hands out ids. Simple, but a central point
     /// of failure: if it leaves, no new site can ever join.
@@ -101,7 +101,6 @@ pub enum IdAllocStrategy {
         servers: u32,
     },
 }
-
 
 impl fmt::Display for IdAllocStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -135,7 +134,13 @@ mod tests {
     #[test]
     fn displays() {
         assert_eq!(QueuePolicy::Lifo.to_string(), "lifo");
-        assert_eq!(IdAllocStrategy::Contingents { chunk: 64 }.to_string(), "contingents(64)");
-        assert_eq!(IdAllocStrategy::Modulo { servers: 4 }.to_string(), "modulo(4)");
+        assert_eq!(
+            IdAllocStrategy::Contingents { chunk: 64 }.to_string(),
+            "contingents(64)"
+        );
+        assert_eq!(
+            IdAllocStrategy::Modulo { servers: 4 }.to_string(),
+            "modulo(4)"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! total: any byte sequence either decodes or returns
 //! [`SdvmError::Decode`] — it never panics (fuzz-tested below).
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use sdvm_types::{
     FileHandle, GlobalAddress, LoadReport, ManagerId, MicrothreadId, PhysicalAddr, PlatformId,
     Priority, ProgramId, QueuePolicy, SchedulingHint, SdvmError, SdvmResult, SiteDescriptor,
@@ -17,10 +17,16 @@ use sdvm_types::{
 /// maliciously huge length prefixes (a 5-byte varint can claim 4 GiB).
 pub const MAX_COLLECTION_LEN: usize = 16 * 1024 * 1024;
 
-/// Serializer: appends wire-encoded data to a byte vector.
+/// Serializer: appends wire-encoded data to a byte buffer.
+///
+/// Backed by [`BytesMut`] so encoding can continue an existing buffer —
+/// the zero-copy message path seeds the buffer with framing and envelope
+/// prefixes, encodes the message in place behind them, and freezes the
+/// whole thing into one [`Bytes`] without ever re-copying the payload
+/// (see [`crate::framing`] and the security manager).
 #[derive(Default)]
 pub struct WireWriter {
-    buf: Vec<u8>,
+    buf: BytesMut,
 }
 
 impl WireWriter {
@@ -31,15 +37,30 @@ impl WireWriter {
 
     /// A writer with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: Vec::with_capacity(cap) }
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Continue writing into an existing buffer (appends after its
+    /// current contents).
+    pub fn from_buf(buf: BytesMut) -> Self {
+        Self { buf }
     }
 
     /// Finish and take the encoded bytes.
     pub fn finish(self) -> Vec<u8> {
+        Vec::from(self.buf)
+    }
+
+    /// Finish, returning the underlying buffer (prefix bytes from
+    /// [`WireWriter::from_buf`] included).
+    pub fn into_buf(self) -> BytesMut {
         self.buf
     }
 
-    /// Current encoded length.
+    /// Current encoded length (including any [`WireWriter::from_buf`]
+    /// prefix).
     pub fn len(&self) -> usize {
         self.buf.len()
     }
@@ -51,7 +72,7 @@ impl WireWriter {
 
     /// Write one raw byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.buf.put_u8(v);
     }
 
     /// Write an unsigned LEB128 varint.
@@ -60,10 +81,10 @@ impl WireWriter {
             let byte = (v & 0x7f) as u8;
             v >>= 7;
             if v == 0 {
-                self.buf.push(byte);
+                self.buf.put_u8(byte);
                 return;
             }
-            self.buf.push(byte | 0x80);
+            self.buf.put_u8(byte | 0x80);
         }
     }
 
@@ -116,7 +137,10 @@ impl<'a> WireReader<'a> {
         if self.remaining() == 0 {
             Ok(())
         } else {
-            Err(SdvmError::Decode(format!("{} trailing bytes", self.remaining())))
+            Err(SdvmError::Decode(format!(
+                "{} trailing bytes",
+                self.remaining()
+            )))
         }
     }
 
@@ -173,15 +197,16 @@ impl<'a> WireReader<'a> {
     pub fn get_bytes(&mut self) -> SdvmResult<&'a [u8]> {
         let len = self.get_varint()? as usize;
         if len > MAX_COLLECTION_LEN {
-            return Err(SdvmError::Decode(format!("byte string of {len} exceeds cap")));
+            return Err(SdvmError::Decode(format!(
+                "byte string of {len} exceeds cap"
+            )));
         }
         self.take(len)
     }
 
     /// Read a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> SdvmResult<&'a str> {
-        std::str::from_utf8(self.get_bytes()?)
-            .map_err(|e| SdvmError::Decode(format!("utf8: {e}")))
+        std::str::from_utf8(self.get_bytes()?).map_err(|e| SdvmError::Decode(format!("utf8: {e}")))
     }
 
     /// Read a bool byte (strictly 0 or 1).
@@ -197,7 +222,9 @@ impl<'a> WireReader<'a> {
     pub fn get_len(&mut self) -> SdvmResult<usize> {
         let len = self.get_varint()? as usize;
         if len > MAX_COLLECTION_LEN {
-            return Err(SdvmError::Decode(format!("collection of {len} exceeds cap")));
+            return Err(SdvmError::Decode(format!(
+                "collection of {len} exceeds cap"
+            )));
         }
         Ok(len)
     }
@@ -240,8 +267,9 @@ macro_rules! varint_newtype {
         impl Decode for $t {
             fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
                 let v = r.get_varint()?;
-                let inner = <$inner>::try_from(v)
-                    .map_err(|_| SdvmError::Decode(format!("{} out of range: {v}", stringify!($t))))?;
+                let inner = <$inner>::try_from(v).map_err(|_| {
+                    SdvmError::Decode(format!("{} out of range: {v}", stringify!($t)))
+                })?;
                 Ok($ctor(inner))
             }
         }
@@ -413,7 +441,10 @@ impl Encode for GlobalAddress {
 }
 impl Decode for GlobalAddress {
     fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
-        Ok(GlobalAddress { home: SiteId::decode(r)?, local: r.get_varint()? })
+        Ok(GlobalAddress {
+            home: SiteId::decode(r)?,
+            local: r.get_varint()?,
+        })
     }
 }
 
@@ -425,7 +456,10 @@ impl Encode for MicrothreadId {
 }
 impl Decode for MicrothreadId {
     fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
-        Ok(MicrothreadId { program: ProgramId::decode(r)?, index: u32::decode(r)? })
+        Ok(MicrothreadId {
+            program: ProgramId::decode(r)?,
+            index: u32::decode(r)?,
+        })
     }
 }
 
@@ -437,7 +471,10 @@ impl Encode for FileHandle {
 }
 impl Decode for FileHandle {
     fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
-        Ok(FileHandle { site: SiteId::decode(r)?, local: u32::decode(r)? })
+        Ok(FileHandle {
+            site: SiteId::decode(r)?,
+            local: u32::decode(r)?,
+        })
     }
 }
 
@@ -540,7 +577,10 @@ impl Encode for SchedulingHint {
 }
 impl Decode for SchedulingHint {
     fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
-        Ok(SchedulingHint { priority: Priority::decode(r)?, sticky: r.get_bool()? })
+        Ok(SchedulingHint {
+            priority: Priority::decode(r)?,
+            sticky: r.get_bool()?,
+        })
     }
 }
 
@@ -576,7 +616,17 @@ mod tests {
 
     #[test]
     fn varint_edges() {
-        for v in [0u64, 1, 127, 128, 255, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut w = WireWriter::new();
             w.put_varint(v);
             let bytes = w.finish();
@@ -623,17 +673,26 @@ mod tests {
         roundtrip(PlatformId(3));
         roundtrip(GlobalAddress::new(SiteId(2), 99));
         roundtrip(MicrothreadId::new(ProgramId(1), 5));
-        roundtrip(FileHandle { site: SiteId(1), local: 3 });
+        roundtrip(FileHandle {
+            site: SiteId(1),
+            local: 3,
+        });
         roundtrip(ManagerId::Scheduling);
         roundtrip(PhysicalAddr::Mem(17));
         roundtrip(PhysicalAddr::Tcp("10.0.0.1:4444".into()));
         roundtrip(Priority(-3));
-        roundtrip(SchedulingHint { priority: Priority(9), sticky: true });
+        roundtrip(SchedulingHint {
+            priority: Priority(9),
+            sticky: true,
+        });
         roundtrip(QueuePolicy::Lifo);
         roundtrip(Value::from_u64_slice(&[1, 2, 3]));
         roundtrip(Some(SiteId(1)));
         roundtrip(Option::<SiteId>::None);
-        roundtrip(vec![GlobalAddress::new(SiteId(1), 1), GlobalAddress::new(SiteId(2), 2)]);
+        roundtrip(vec![
+            GlobalAddress::new(SiteId(1), 1),
+            GlobalAddress::new(SiteId(2), 2),
+        ]);
         roundtrip((SiteId(1), 77u64));
     }
 
@@ -681,7 +740,9 @@ mod tests {
         for len in 0..200usize {
             let mut buf = vec![0u8; len];
             for b in &mut buf {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *b = (state >> 33) as u8;
             }
             let _ = SiteDescriptor::decode_from_slice(&buf);

@@ -4,18 +4,159 @@
 //! we delimit them with a 4-byte big-endian length prefix. The same
 //! framing is reused by the checkpoint store when snapshots are written to
 //! disk.
+//!
+//! Two styles coexist:
+//!
+//! - [`write_frame`]/[`read_frame`]: synchronous whole-frame I/O against
+//!   a `Read`/`Write` (checkpoint files, simple tools).
+//! - [`finish_frame`]/[`frame_bytes`] + [`FrameReader`]: the transport's
+//!   zero-copy path. A sender builds the frame *including* its length
+//!   prefix in one [`BytesMut`] and ships the frozen [`Bytes`];
+//!   a receiver drives a [`FrameReader`], which survives read timeouts
+//!   mid-frame (a plain `read_exact` would lose its position and
+//!   desynchronize the stream on the next call).
 
+use bytes::{Bytes, BytesMut};
 use sdvm_types::{SdvmError, SdvmResult};
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 
 /// Upper bound on a single frame; anything larger is a protocol error
 /// (prevents a bad peer from making us allocate unboundedly).
 pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
 
+/// Size of the frame length prefix.
+pub const FRAME_PREFIX_LEN: usize = 4;
+
+/// Start a frame buffer: the length-prefix slot followed by nothing.
+/// Append the body, then call [`finish_frame`].
+pub fn begin_frame(capacity_hint: usize) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(FRAME_PREFIX_LEN + capacity_hint);
+    buf.resize(FRAME_PREFIX_LEN, 0);
+    buf
+}
+
+/// Patch the length prefix of a buffer started with [`begin_frame`] and
+/// freeze it into an immutable frame ready for `Transport::send`.
+pub fn finish_frame(mut buf: BytesMut) -> SdvmResult<Bytes> {
+    let body_len = buf
+        .len()
+        .checked_sub(FRAME_PREFIX_LEN)
+        .expect("finish_frame on a buffer without a prefix slot");
+    if body_len > MAX_FRAME_LEN {
+        return Err(SdvmError::Transport(format!(
+            "frame of {body_len} exceeds cap"
+        )));
+    }
+    buf[..FRAME_PREFIX_LEN].copy_from_slice(&(body_len as u32).to_be_bytes());
+    Ok(buf.freeze())
+}
+
+/// Build a complete frame (prefix + body) from a body slice: the
+/// one-copy convenience for callers that already hold the body.
+pub fn frame_bytes(body: &[u8]) -> SdvmResult<Bytes> {
+    let mut buf = begin_frame(body.len());
+    buf.extend_from_slice(body);
+    finish_frame(buf)
+}
+
+/// Outcome of one [`FrameReader::read_frame`] call.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// One complete frame body (length prefix stripped).
+    Frame(Bytes),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The read timed out (or would block); partial progress is kept.
+    /// Call again with the same reader to continue the frame.
+    Pending,
+}
+
+/// Incremental frame decoder that is safe to drive over a socket with a
+/// read timeout: a timeout mid-frame yields [`FrameRead::Pending`] with
+/// all partial progress retained, instead of corrupting stream position.
+#[derive(Default)]
+pub struct FrameReader {
+    len_buf: [u8; FRAME_PREFIX_LEN],
+    len_got: usize,
+    /// `Some` once the length prefix is complete and the body is being
+    /// accumulated.
+    body: Option<BodyProgress>,
+}
+
+struct BodyProgress {
+    buf: BytesMut,
+    got: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True while a frame is partially read (EOF now would be an error).
+    pub fn mid_frame(&self) -> bool {
+        self.len_got > 0 || self.body.is_some()
+    }
+
+    /// Advance by reading from `r` until a frame completes, EOF, or the
+    /// reader's timeout fires.
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> SdvmResult<FrameRead> {
+        while self.body.is_none() {
+            match r.read(&mut self.len_buf[self.len_got..]) {
+                Ok(0) => {
+                    return if self.len_got == 0 {
+                        Ok(FrameRead::Eof)
+                    } else {
+                        Err(SdvmError::Transport("eof inside frame length".into()))
+                    };
+                }
+                Ok(n) => {
+                    self.len_got += n;
+                    if self.len_got == FRAME_PREFIX_LEN {
+                        let len = u32::from_be_bytes(self.len_buf) as usize;
+                        if len > MAX_FRAME_LEN {
+                            return Err(SdvmError::Transport(format!(
+                                "incoming frame of {len} exceeds cap"
+                            )));
+                        }
+                        let mut buf = BytesMut::with_capacity(len);
+                        buf.resize(len, 0);
+                        self.body = Some(BodyProgress { buf, got: 0 });
+                    }
+                }
+                Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(ref e) if is_timeout(e) => return Ok(FrameRead::Pending),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let body = self.body.as_mut().expect("body in progress");
+        while body.got < body.buf.len() {
+            match r.read(&mut body.buf[body.got..]) {
+                Ok(0) => return Err(SdvmError::Transport("eof inside frame body".into())),
+                Ok(n) => body.got += n,
+                Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(ref e) if is_timeout(e) => return Ok(FrameRead::Pending),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let done = self.body.take().expect("body complete");
+        self.len_got = 0;
+        Ok(FrameRead::Frame(done.buf.freeze()))
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
 /// Write one length-prefixed frame.
 pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> SdvmResult<()> {
     if body.len() > MAX_FRAME_LEN {
-        return Err(SdvmError::Transport(format!("frame of {} exceeds cap", body.len())));
+        return Err(SdvmError::Transport(format!(
+            "frame of {} exceeds cap",
+            body.len()
+        )));
     }
     let len = (body.len() as u32).to_be_bytes();
     w.write_all(&len)?;
@@ -43,7 +184,9 @@ pub fn read_frame<R: Read>(r: &mut R) -> SdvmResult<Option<Vec<u8>>> {
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_LEN {
-        return Err(SdvmError::Transport(format!("incoming frame of {len} exceeds cap")));
+        return Err(SdvmError::Transport(format!(
+            "incoming frame of {len} exceeds cap"
+        )));
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
@@ -93,5 +236,103 @@ mod tests {
         bad.extend_from_slice(&(u32::MAX).to_be_bytes());
         let mut c = Cursor::new(bad);
         assert!(read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn finish_frame_matches_write_frame() {
+        for body in [&b""[..], b"x", &[7u8; 1000]] {
+            let mut via_io = Vec::new();
+            write_frame(&mut via_io, body).unwrap();
+            assert_eq!(frame_bytes(body).unwrap(), via_io);
+
+            let mut buf = begin_frame(body.len());
+            buf.extend_from_slice(body);
+            assert_eq!(finish_frame(buf).unwrap(), via_io);
+        }
+    }
+
+    #[test]
+    fn finish_frame_rejects_oversize() {
+        let mut buf = begin_frame(0);
+        buf.resize(FRAME_PREFIX_LEN + MAX_FRAME_LEN + 1, 0);
+        assert!(finish_frame(buf).is_err());
+    }
+
+    /// A reader that delivers its data in tiny chunks, injecting a
+    /// timeout error between every chunk — the worst case the TCP
+    /// read-timeout can produce.
+    struct ChoppyReader {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        ready: bool,
+    }
+
+    impl Read for ChoppyReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "not yet",
+                ));
+            }
+            self.ready = false;
+            let n = self.chunk.min(out.len()).min(self.data.len() - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        // The regression this guards: a timeout inside read_exact used to
+        // lose the partial frame, so the next read parsed a length word
+        // from the middle of the stream and desynchronized forever.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"first message").unwrap();
+        write_frame(&mut stream, &[0xcd; 300]).unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        for chunk in [1, 2, 3, 7] {
+            let mut r = ChoppyReader {
+                data: stream.clone(),
+                pos: 0,
+                chunk,
+                ready: false,
+            };
+            let mut fr = FrameReader::new();
+            let mut frames = Vec::new();
+            let mut pendings = 0u32;
+            loop {
+                match fr.read_frame(&mut r).unwrap() {
+                    FrameRead::Frame(f) => frames.push(f),
+                    FrameRead::Pending => pendings += 1,
+                    FrameRead::Eof => break,
+                }
+            }
+            assert_eq!(frames.len(), 3, "chunk {chunk}");
+            assert_eq!(frames[0], b"first message"[..]);
+            assert_eq!(frames[1], [0xcd; 300][..]);
+            assert_eq!(frames[2], b""[..]);
+            assert!(pendings > 0, "test must actually exercise Pending");
+        }
+    }
+
+    #[test]
+    fn frame_reader_mid_frame_eof_is_error() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"cut short").unwrap();
+        stream.truncate(stream.len() - 3);
+        let mut c = Cursor::new(stream);
+        let mut fr = FrameReader::new();
+        assert!(!fr.mid_frame());
+        assert!(fr.read_frame(&mut c).is_err());
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversize_length() {
+        let mut c = Cursor::new((u32::MAX).to_be_bytes().to_vec());
+        assert!(FrameReader::new().read_frame(&mut c).is_err());
     }
 }

@@ -25,6 +25,9 @@ pub mod message;
 pub mod payload;
 
 pub use codec::{Decode, Encode, WireReader, WireWriter};
-pub use framing::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use framing::{
+    begin_frame, finish_frame, frame_bytes, read_frame, write_frame, FrameRead, FrameReader,
+    FRAME_PREFIX_LEN, MAX_FRAME_LEN,
+};
 pub use message::SdMessage;
 pub use payload::{Payload, WireFrame, WireMemObject};

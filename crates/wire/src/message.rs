@@ -41,7 +41,15 @@ impl SdMessage {
         seq: u64,
         payload: Payload,
     ) -> Self {
-        Self { src_site, src_manager, dst_site, dst_manager, seq, in_reply_to: None, payload }
+        Self {
+            src_site,
+            src_manager,
+            dst_site,
+            dst_manager,
+            seq,
+            in_reply_to: None,
+            payload,
+        }
     }
 
     /// Build the reply to `self`, swapping the endpoints and echoing the
@@ -61,9 +69,16 @@ impl SdMessage {
     /// Serialize to bytes (including the version byte).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(64);
-        w.put_u8(WIRE_VERSION);
-        self.encode(&mut w);
+        self.encode_into(&mut w);
         w.finish()
+    }
+
+    /// Serialize (version byte + fields) onto an existing writer: the
+    /// zero-copy path, where the writer's buffer already holds the frame
+    /// prefix slot and any security-envelope header.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.put_u8(WIRE_VERSION);
+        self.encode(w);
     }
 
     /// Parse from bytes produced by [`SdMessage::to_bytes`].

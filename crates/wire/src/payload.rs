@@ -349,9 +349,16 @@ mod tests {
         WireFrame {
             id: GlobalAddress::new(SiteId(1), 7),
             thread: MicrothreadId::new(ProgramId(2), 3),
-            slots: vec![Some(Value::from_u64(1)), None, Some(Value::from_str_val("x"))],
+            slots: vec![
+                Some(Value::from_u64(1)),
+                None,
+                Some(Value::from_str_val("x")),
+            ],
             targets: vec![GlobalAddress::new(SiteId(4), 9)],
-            hint: SchedulingHint { priority: Priority(5), sticky: true },
+            hint: SchedulingHint {
+                priority: Priority(5),
+                sticky: true,
+            },
         }
     }
 
@@ -374,19 +381,49 @@ mod tests {
             data: Value::from_u64(9),
         };
         let samples = vec![
-            Payload::SignOn { descriptor: d.clone() },
-            Payload::SignOnAck { assigned: SiteId(9), cluster: vec![d.clone()] },
-            Payload::SignOnRefused { reason: "full".into() },
-            Payload::SiteAnnounce { descriptor: d.clone() },
-            Payload::SignOff { site: SiteId(2), successor: SiteId(3) },
-            Payload::Heartbeat { load: LoadReport { epoch: 3, ..Default::default() } },
+            Payload::SignOn {
+                descriptor: d.clone(),
+            },
+            Payload::SignOnAck {
+                assigned: SiteId(9),
+                cluster: vec![d.clone()],
+            },
+            Payload::SignOnRefused {
+                reason: "full".into(),
+            },
+            Payload::SiteAnnounce {
+                descriptor: d.clone(),
+            },
+            Payload::SignOff {
+                site: SiteId(2),
+                successor: SiteId(3),
+            },
+            Payload::Heartbeat {
+                load: LoadReport {
+                    epoch: 3,
+                    ..Default::default()
+                },
+            },
             Payload::ClusterListRequest {},
-            Payload::ClusterList { sites: vec![d.clone(), d.clone()] },
+            Payload::ClusterList {
+                sites: vec![d.clone(), d.clone()],
+            },
             Payload::IdBlockRequest {},
-            Payload::IdBlockGrant { start: 100, len: 50 },
-            Payload::SiteCrashed { site: SiteId(4), successor: SiteId(5) },
-            Payload::HelpRequest { load: LoadReport::default(), descriptor: Some(d.clone()) },
-            Payload::HelpReply { frame: sample_frame() },
+            Payload::IdBlockGrant {
+                start: 100,
+                len: 50,
+            },
+            Payload::SiteCrashed {
+                site: SiteId(4),
+                successor: SiteId(5),
+            },
+            Payload::HelpRequest {
+                load: LoadReport::default(),
+                descriptor: Some(d.clone()),
+            },
+            Payload::HelpReply {
+                frame: sample_frame(),
+            },
             Payload::CantHelp {},
             Payload::CodeRequest {
                 thread: MicrothreadId::new(ProgramId(1), 2),
@@ -401,7 +438,9 @@ mod tests {
                 thread: MicrothreadId::new(ProgramId(1), 2),
                 source: Bytes::from_static(b"src"),
             },
-            Payload::CodeUnavailable { thread: MicrothreadId::new(ProgramId(1), 2) },
+            Payload::CodeUnavailable {
+                thread: MicrothreadId::new(ProgramId(1), 2),
+            },
             Payload::CodeUpload {
                 thread: MicrothreadId::new(ProgramId(1), 2),
                 platform: PlatformId(1),
@@ -412,28 +451,56 @@ mod tests {
                 slot: 2,
                 value: Value::from_i64(-5),
             },
-            Payload::MemRead { addr: GlobalAddress::new(SiteId(1), 1), migrate: true },
-            Payload::MemValue { obj: obj.clone(), migrated: false },
-            Payload::MemWrite { addr: GlobalAddress::new(SiteId(1), 1), value: Value::empty() },
-            Payload::MemWriteAck { addr: GlobalAddress::new(SiteId(1), 1) },
-            Payload::OwnerQuery { addr: GlobalAddress::new(SiteId(1), 1) },
-            Payload::OwnerReply { addr: GlobalAddress::new(SiteId(1), 1), owner: Some(SiteId(2)) },
-            Payload::OwnerUpdate { addr: GlobalAddress::new(SiteId(1), 1), owner: SiteId(2) },
-            Payload::MemMissing { addr: GlobalAddress::new(SiteId(1), 1) },
+            Payload::MemRead {
+                addr: GlobalAddress::new(SiteId(1), 1),
+                migrate: true,
+            },
+            Payload::MemValue {
+                obj: obj.clone(),
+                migrated: false,
+            },
+            Payload::MemWrite {
+                addr: GlobalAddress::new(SiteId(1), 1),
+                value: Value::empty(),
+            },
+            Payload::MemWriteAck {
+                addr: GlobalAddress::new(SiteId(1), 1),
+            },
+            Payload::OwnerQuery {
+                addr: GlobalAddress::new(SiteId(1), 1),
+            },
+            Payload::OwnerReply {
+                addr: GlobalAddress::new(SiteId(1), 1),
+                owner: Some(SiteId(2)),
+            },
+            Payload::OwnerUpdate {
+                addr: GlobalAddress::new(SiteId(1), 1),
+                owner: SiteId(2),
+            },
+            Payload::MemMissing {
+                addr: GlobalAddress::new(SiteId(1), 1),
+            },
             Payload::Relocate {
                 objects: vec![obj.clone()],
                 frames: vec![sample_frame()],
                 directory: vec![(GlobalAddress::new(SiteId(1), 3), SiteId(2))],
             },
             Payload::RelocateAck {},
-            Payload::BackupRelease { frame: GlobalAddress::new(SiteId(1), 1), owner: SiteId(2) },
-            Payload::BackupFrame { frame: sample_frame() },
+            Payload::BackupRelease {
+                frame: GlobalAddress::new(SiteId(1), 1),
+                owner: SiteId(2),
+            },
+            Payload::BackupFrame {
+                frame: sample_frame(),
+            },
             Payload::BackupApply {
                 target: GlobalAddress::new(SiteId(1), 1),
                 slot: 0,
                 value: Value::from_u64(3),
             },
-            Payload::BackupConsumed { frame: GlobalAddress::new(SiteId(1), 1) },
+            Payload::BackupConsumed {
+                frame: GlobalAddress::new(SiteId(1), 1),
+            },
             Payload::BackupObject { obj: obj.clone() },
             Payload::RecoverSite { dead: SiteId(3) },
             Payload::ProgramRegister {
@@ -442,50 +509,104 @@ mod tests {
                 name: "primes".into(),
                 threads: 4,
             },
-            Payload::ProgramTerminated { program: ProgramId(1) },
+            Payload::ProgramTerminated {
+                program: ProgramId(1),
+            },
             Payload::CheckpointStore {
                 program: ProgramId(1),
                 epoch: 2,
                 snapshot: Bytes::from_static(b"snap"),
             },
-            Payload::CheckpointAck { program: ProgramId(1), epoch: 2 },
-            Payload::CheckpointFetch { program: ProgramId(1) },
+            Payload::CheckpointAck {
+                program: ProgramId(1),
+                epoch: 2,
+            },
+            Payload::CheckpointFetch {
+                program: ProgramId(1),
+            },
             Payload::CheckpointData {
                 program: ProgramId(1),
                 epoch: 2,
                 snapshot: Bytes::from_static(b"snap"),
             },
-            Payload::CheckpointNone { program: ProgramId(1) },
-            Payload::ProgramPause { program: ProgramId(1), paused: true },
-            Payload::SnapshotCollect { program: ProgramId(1) },
+            Payload::CheckpointNone {
+                program: ProgramId(1),
+            },
+            Payload::ProgramPause {
+                program: ProgramId(1),
+                paused: true,
+            },
+            Payload::SnapshotCollect {
+                program: ProgramId(1),
+            },
             Payload::SnapshotPart {
                 program: ProgramId(1),
                 objects: vec![obj.clone()],
                 frames: vec![sample_frame()],
             },
-            Payload::IoOutput { program: ProgramId(1), text: "hello".into() },
-            Payload::IoInputRequest { program: ProgramId(1), prompt: "> ".into() },
-            Payload::IoInputReply { program: ProgramId(1), line: "yes".into() },
-            Payload::FileOpen { path: "/tmp/x".into(), create: true },
-            Payload::FileOpened { handle: FileHandle { site: SiteId(1), local: 2 } },
+            Payload::IoOutput {
+                program: ProgramId(1),
+                text: "hello".into(),
+            },
+            Payload::IoInputRequest {
+                program: ProgramId(1),
+                prompt: "> ".into(),
+            },
+            Payload::IoInputReply {
+                program: ProgramId(1),
+                line: "yes".into(),
+            },
+            Payload::FileOpen {
+                path: "/tmp/x".into(),
+                create: true,
+            },
+            Payload::FileOpened {
+                handle: FileHandle {
+                    site: SiteId(1),
+                    local: 2,
+                },
+            },
             Payload::FileRead {
-                handle: FileHandle { site: SiteId(1), local: 2 },
+                handle: FileHandle {
+                    site: SiteId(1),
+                    local: 2,
+                },
                 offset: 0,
                 len: 16,
             },
             Payload::FileData {
-                handle: FileHandle { site: SiteId(1), local: 2 },
+                handle: FileHandle {
+                    site: SiteId(1),
+                    local: 2,
+                },
                 data: Bytes::from_static(b"data"),
             },
             Payload::FileWrite {
-                handle: FileHandle { site: SiteId(1), local: 2 },
+                handle: FileHandle {
+                    site: SiteId(1),
+                    local: 2,
+                },
                 offset: 8,
                 data: Bytes::from_static(b"data"),
             },
-            Payload::FileAck { handle: FileHandle { site: SiteId(1), local: 2 } },
-            Payload::FileClose { handle: FileHandle { site: SiteId(1), local: 2 } },
-            Payload::FileError { message: "enoent".into() },
-            Payload::Error { message: "nope".into() },
+            Payload::FileAck {
+                handle: FileHandle {
+                    site: SiteId(1),
+                    local: 2,
+                },
+            },
+            Payload::FileClose {
+                handle: FileHandle {
+                    site: SiteId(1),
+                    local: 2,
+                },
+            },
+            Payload::FileError {
+                message: "enoent".into(),
+            },
+            Payload::Error {
+                message: "nope".into(),
+            },
             Payload::Ping { token: 99 },
             Payload::Pong { token: 99 },
         ];

@@ -90,35 +90,65 @@ fn golden_ping_reply() {
 fn payload_tags_are_stable() {
     // Tags are the wire contract; reordering the enum must not move them.
     let samples: Vec<(u16, Payload)> = vec![
-        (1, Payload::SignOn {
-            descriptor: sdvm_types::SiteDescriptor::new(
-                SiteId(1),
-                sdvm_types::PhysicalAddr::Mem(1),
-                sdvm_types::PlatformId(0),
-            ),
-        }),
-        (20, Payload::HelpRequest { load: LoadReport::default(), descriptor: None }),
-        (21, Payload::HelpReply {
-            frame: sdvm_wire::WireFrame {
-                id: GlobalAddress::new(SiteId(1), 1),
-                thread: MicrothreadId::new(ProgramId(1), 0),
-                slots: vec![],
-                targets: vec![],
-                hint: Default::default(),
+        (
+            1,
+            Payload::SignOn {
+                descriptor: sdvm_types::SiteDescriptor::new(
+                    SiteId(1),
+                    sdvm_types::PhysicalAddr::Mem(1),
+                    sdvm_types::PlatformId(0),
+                ),
             },
-        }),
-        (40, Payload::ApplyResult {
-            target: GlobalAddress::new(SiteId(1), 1),
-            slot: 0,
-            value: Value::empty(),
-        }),
-        (54, Payload::BackupRelease { frame: GlobalAddress::new(SiteId(1), 1), owner: SiteId(2) }),
-        (62, Payload::CheckpointStore {
-            program: ProgramId(1),
-            epoch: 1,
-            snapshot: bytes::Bytes::new(),
-        }),
-        (67, Payload::ProgramPause { program: ProgramId(1), paused: true }),
+        ),
+        (
+            20,
+            Payload::HelpRequest {
+                load: LoadReport::default(),
+                descriptor: None,
+            },
+        ),
+        (
+            21,
+            Payload::HelpReply {
+                frame: sdvm_wire::WireFrame {
+                    id: GlobalAddress::new(SiteId(1), 1),
+                    thread: MicrothreadId::new(ProgramId(1), 0),
+                    slots: vec![],
+                    targets: vec![],
+                    hint: Default::default(),
+                },
+            },
+        ),
+        (
+            40,
+            Payload::ApplyResult {
+                target: GlobalAddress::new(SiteId(1), 1),
+                slot: 0,
+                value: Value::empty(),
+            },
+        ),
+        (
+            54,
+            Payload::BackupRelease {
+                frame: GlobalAddress::new(SiteId(1), 1),
+                owner: SiteId(2),
+            },
+        ),
+        (
+            62,
+            Payload::CheckpointStore {
+                program: ProgramId(1),
+                epoch: 1,
+                snapshot: bytes::Bytes::new(),
+            },
+        ),
+        (
+            67,
+            Payload::ProgramPause {
+                program: ProgramId(1),
+                paused: true,
+            },
+        ),
         (91, Payload::Ping { token: 0 }),
     ];
     for (tag, p) in samples {

@@ -33,20 +33,29 @@ fn arb_physical() -> impl Strategy<Value = PhysicalAddr> {
 }
 
 fn arb_descriptor() -> impl Strategy<Value = SiteDescriptor> {
-    (arb_site(), arb_physical(), any::<u16>(), 0.01f64..100.0, any::<bool>()).prop_map(
-        |(site, addr, platform, speed, code_distribution)| SiteDescriptor {
-            site,
-            addr,
-            platform: PlatformId(platform),
-            speed,
-            code_distribution,
-        },
+    (
+        arb_site(),
+        arb_physical(),
+        any::<u16>(),
+        0.01f64..100.0,
+        any::<bool>(),
     )
+        .prop_map(
+            |(site, addr, platform, speed, code_distribution)| SiteDescriptor {
+                site,
+                addr,
+                platform: PlatformId(platform),
+                speed,
+                code_distribution,
+            },
+        )
 }
 
 fn arb_hint() -> impl Strategy<Value = SchedulingHint> {
-    (any::<i32>(), any::<bool>())
-        .prop_map(|(p, sticky)| SchedulingHint { priority: Priority(p), sticky })
+    (any::<i32>(), any::<bool>()).prop_map(|(p, sticky)| SchedulingHint {
+        priority: Priority(p),
+        sticky,
+    })
 }
 
 fn arb_frame() -> impl Strategy<Value = WireFrame> {
@@ -73,11 +82,20 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
             .prop_map(|(assigned, cluster)| Payload::SignOnAck { assigned, cluster }),
         arb_frame().prop_map(|frame| Payload::HelpReply { frame }),
         Just(Payload::CantHelp {}),
-        (arb_addr(), any::<u32>(), arb_value())
-            .prop_map(|(target, slot, value)| Payload::ApplyResult { target, slot, value }),
+        (arb_addr(), any::<u32>(), arb_value()).prop_map(|(target, slot, value)| {
+            Payload::ApplyResult {
+                target,
+                slot,
+                value,
+            }
+        }),
         (arb_addr(), any::<bool>()).prop_map(|(addr, migrate)| Payload::MemRead { addr, migrate }),
         (arb_addr(), arb_value(), any::<u32>()).prop_map(|(addr, data, p)| Payload::MemValue {
-            obj: WireMemObject { addr, program: ProgramId(p), data },
+            obj: WireMemObject {
+                addr,
+                program: ProgramId(p),
+                data
+            },
             migrated: false,
         }),
         (any::<u32>(), arb_site(), "[a-z]{0,12}", any::<u32>()).prop_map(

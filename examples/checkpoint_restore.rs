@@ -13,7 +13,12 @@ use sdvm::core::{InProcessCluster, ProgramSnapshot, SiteConfig};
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let prog = PrimesProgram { p: 80, width: 12, spin: 0, sleep_us: 20_000 };
+    let prog = PrimesProgram {
+        p: 80,
+        width: 12,
+        spin: 0,
+        sleep_us: 20_000,
+    };
     let ckpt_path = std::env::temp_dir().join("sdvm-demo.ckpt");
 
     let snapshot: ProgramSnapshot;

@@ -18,9 +18,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Two users, two programs, concurrently — even launched from
     // different sites ("access the cluster from any machine", goal 15).
-    let primes = PrimesProgram { p: 150, width: 12, spin: 0, sleep_us: 15_000 };
+    let primes = PrimesProgram {
+        p: 150,
+        width: 12,
+        spin: 0,
+        sleep_us: 15_000,
+    };
     let h1 = primes.launch(cluster.site(0))?;
-    let mandel = MandelbrotProgram { rows: 96, cols: 128, max_iter: 600 };
+    let mandel = MandelbrotProgram {
+        rows: 96,
+        cols: 128,
+        max_iter: 600,
+    };
     let h2 = mandel.launch(cluster.site(1))?;
 
     // Sample the cluster status a few times while they run.
@@ -50,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r1 = h1.wait(Duration::from_secs(600))?;
     let r2 = h2.wait(Duration::from_secs(600))?;
     println!();
-    println!("primes result: {}  mandelbrot checksum: {}", r1.as_u64()?, r2.as_u64()?);
+    println!(
+        "primes result: {}  mandelbrot checksum: {}",
+        r1.as_u64()?,
+        r2.as_u64()?
+    );
     assert_eq!(r2.as_u64()?, mandel.reference());
 
     // The bill, per site and program (goal 14: accounting).

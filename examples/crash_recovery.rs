@@ -18,7 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.crash_timeout = Duration::from_millis(400);
     let cluster = InProcessCluster::with_configs(vec![cfg; 3], Some(trace.clone()))?;
 
-    let prog = PrimesProgram { p: 60, width: 16, spin: 0, sleep_us: 6_000 };
+    let prog = PrimesProgram {
+        p: 60,
+        width: 16,
+        spin: 0,
+        sleep_us: 6_000,
+    };
     let handle = prog.launch(cluster.site(0))?;
     let victim = cluster.site(2).id();
 
@@ -36,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.crash(2);
 
     let result = handle.wait(Duration::from_secs(600))?;
-    println!("result: {} (expected {})", result.as_u64()?, nth_prime(prog.p));
+    println!(
+        "result: {} (expected {})",
+        result.as_u64()?,
+        nth_prime(prog.p)
+    );
     assert_eq!(result.as_u64()?, nth_prime(prog.p));
 
     // Detection can lag completion; wait for the trace to show it.
@@ -49,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::thread::sleep(Duration::from_millis(50));
     }
     for e in trace.filter(|e| {
-        matches!(e, TraceEvent::SiteGone { crashed: true, .. } | TraceEvent::Recovered { .. })
+        matches!(
+            e,
+            TraceEvent::SiteGone { crashed: true, .. } | TraceEvent::Recovered { .. }
+        )
     }) {
         println!("  {e:?}");
     }

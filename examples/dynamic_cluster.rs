@@ -17,9 +17,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         InProcessCluster::with_configs(vec![SiteConfig::default(); 2], Some(trace.clone()))?;
     println!("started with 2 sites");
 
-    let prog = PrimesProgram { p: 80, width: 12, spin: 0, sleep_us: 3_000 };
+    let prog = PrimesProgram {
+        p: 80,
+        width: 12,
+        spin: 0,
+        sleep_us: 3_000,
+    };
     let handle = prog.launch(cluster.site(0))?;
-    println!("program launched: first {} primes, width {}", prog.p, prog.width);
+    println!(
+        "program launched: first {} primes, width {}",
+        prog.p, prog.width
+    );
 
     // Two machines join while the application runs...
     std::thread::sleep(Duration::from_millis(150));
@@ -36,10 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("site signed off orderly (work relocated)");
 
     let result = handle.wait(Duration::from_secs(600))?;
-    println!("result: {} (expected {})", result.as_u64()?, nth_prime(prog.p));
+    println!(
+        "result: {} (expected {})",
+        result.as_u64()?,
+        nth_prime(prog.p)
+    );
     assert_eq!(result.as_u64()?, nth_prime(prog.p));
 
-    let joins = trace.filter(|e| matches!(e, TraceEvent::SiteJoined { .. })).len();
+    let joins = trace
+        .filter(|e| matches!(e, TraceEvent::SiteJoined { .. }))
+        .len();
     let leaves = trace
         .filter(|e| matches!(e, TraceEvent::SiteGone { crashed: false, .. }))
         .len();

@@ -13,28 +13,55 @@ use sdvm::sim::{NetworkModel, SimConfig, SimSite, Simulation};
 
 fn main() {
     // A workload with uneven task costs: Mandelbrot rows.
-    let prog = MandelbrotProgram { rows: 256, cols: 256, max_iter: 300 };
+    let prog = MandelbrotProgram {
+        rows: 256,
+        cols: 256,
+        max_iter: 300,
+    };
     let graph = prog.graph();
     println!(
         "workload: mandelbrot {}x{} ({} tasks, uneven costs)",
-        prog.rows, prog.cols, graph.node_count() - 1
+        prog.rows,
+        prog.cols,
+        graph.node_count() - 1
     );
 
     let mut cfg = SimConfig::default();
     cfg.net = NetworkModel::lan();
     cfg.sites = vec![
-        SimSite::with_speed(2.0),                                     // fast founder
-        SimSite::with_speed(1.0),                                     // reference
-        SimSite { speed: 0.5, ..SimSite::reference() },               // slow
-        SimSite { speed: 1.0, join_at: 0.02, ..SimSite::reference() }, // late joiner
-        SimSite { speed: 1.0, leave_at: Some(0.05), ..SimSite::reference() }, // leaves early
-        SimSite { speed: 1.5, crash_at: Some(0.04), ..SimSite::reference() }, // crashes
+        SimSite::with_speed(2.0), // fast founder
+        SimSite::with_speed(1.0), // reference
+        SimSite {
+            speed: 0.5,
+            ..SimSite::reference()
+        }, // slow
+        SimSite {
+            speed: 1.0,
+            join_at: 0.02,
+            ..SimSite::reference()
+        }, // late joiner
+        SimSite {
+            speed: 1.0,
+            leave_at: Some(0.05),
+            ..SimSite::reference()
+        }, // leaves early
+        SimSite {
+            speed: 1.5,
+            crash_at: Some(0.04),
+            ..SimSite::reference()
+        }, // crashes
     ];
     let m = Simulation::new(cfg, graph).run();
 
     println!("makespan: {:.3}s (virtual)", m.makespan);
-    println!("tasks executed: {} (re-executions after crash: {})", m.tasks_executed, m.reexecutions);
-    println!("help requests: {} ({} granted)", m.help_requests, m.help_granted);
+    println!(
+        "tasks executed: {} (re-executions after crash: {})",
+        m.tasks_executed, m.reexecutions
+    );
+    println!(
+        "help requests: {} ({} granted)",
+        m.help_requests, m.help_granted
+    );
     println!();
     println!("site  role                  tasks   busy(s)");
     let roles = [

@@ -23,13 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // sleep_us gives each candidate test measurable duration while
     // yielding the CPU, so the whole cluster's threads stay schedulable
     // on small machines.
-    let prog = PrimesProgram { p, width, spin: 0, sleep_us: 2_000 };
+    let prog = PrimesProgram {
+        p,
+        width,
+        spin: 0,
+        sleep_us: 2_000,
+    };
     let t0 = Instant::now();
     let handle = prog.launch(cluster.site(0))?;
     let result = handle.wait(Duration::from_secs(600))?;
     let elapsed = t0.elapsed();
 
-    println!("the {p}-th prime is {} (found in {elapsed:?})", result.as_u64()?);
+    println!(
+        "the {p}-th prime is {} (found in {elapsed:?})",
+        result.as_u64()?
+    );
     assert_eq!(result.as_u64()?, nth_prime(p));
 
     // Where did the microthreads actually run?
@@ -43,8 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (site, count) in per_site {
         println!("  {site}: {count}");
     }
-    let grants = trace.filter(|e| matches!(e, TraceEvent::HelpGranted { .. })).len();
-    let denials = trace.filter(|e| matches!(e, TraceEvent::HelpDenied { .. })).len();
+    let grants = trace
+        .filter(|e| matches!(e, TraceEvent::HelpGranted { .. }))
+        .len();
+    let denials = trace
+        .filter(|e| matches!(e, TraceEvent::HelpDenied { .. }))
+        .len();
     println!("help requests granted: {grants}, denied: {denials}");
     Ok(())
 }

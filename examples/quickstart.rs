@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = InProcessCluster::new(3, SiteConfig::default())?;
     println!(
         "cluster up: sites {:?}",
-        (0..cluster.len()).map(|i| cluster.site(i).id().to_string()).collect::<Vec<_>>()
+        (0..cluster.len())
+            .map(|i| cluster.site(i).id().to_string())
+            .collect::<Vec<_>>()
     );
 
     // 2. An application, split into microthreads. Each microthread gets

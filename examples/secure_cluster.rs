@@ -52,7 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(()) => unreachable!("intruder must not join"),
     }
 
-    let prog = PrimesProgram { p: 50, width: 10, spin: 0, sleep_us: 2_000 };
+    let prog = PrimesProgram {
+        p: 50,
+        width: 10,
+        spin: 0,
+        sleep_us: 2_000,
+    };
     let handle = prog.launch(&first)?;
     let result = handle.wait(Duration::from_secs(600))?;
     println!(
@@ -70,7 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .into_iter()
             .take(20)
         {
-            if let TraceEvent::MessageHop { site, manager, payload, outgoing } = e {
+            if let TraceEvent::MessageHop {
+                site,
+                manager,
+                payload,
+                outgoing,
+            } = e
+            {
                 let dir = if outgoing { "send" } else { "recv" };
                 println!("{site} {dir:<4} [{manager}] {payload}");
             }

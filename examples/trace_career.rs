@@ -56,8 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for frame in &created {
         println!("{frame}: {}", trace.career_of(*frame).join(" → "));
     }
-    let migrated = created.iter().filter(|f| trace.career_of(**f).contains(&"migrated".to_string())).count();
-    println!("({migrated} of {} frames migrated to the other site via help requests)", created.len());
+    let migrated = created
+        .iter()
+        .filter(|f| trace.career_of(**f).contains(&"migrated".to_string()))
+        .count();
+    println!(
+        "({migrated} of {} frames migrated to the other site via help requests)",
+        created.len()
+    );
 
     // Figure 4: one frame's walk through the managers.
     println!();
@@ -67,7 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .take(14)
     {
-        if let TraceEvent::MessageHop { site, manager, payload, outgoing } = e {
+        if let TraceEvent::MessageHop {
+            site,
+            manager,
+            payload,
+            outgoing,
+        } = e
+        {
             let dir = if outgoing { "→" } else { "←" };
             println!("{site} {dir} [{manager}] {payload}");
         }

@@ -6,13 +6,15 @@ use sdvm::core::{AppBuilder, InProcessCluster, SiteConfig, TraceEvent, TraceLog}
 use sdvm::types::Value;
 use std::time::Duration;
 
-fn run_and_collect(sites: usize, tasks: usize, work_ms: u64) -> (TraceLog, Vec<sdvm::types::GlobalAddress>) {
+fn run_and_collect(
+    sites: usize,
+    tasks: usize,
+    work_ms: u64,
+) -> (TraceLog, Vec<sdvm::types::GlobalAddress>) {
     let trace = TraceLog::new();
-    let cluster = InProcessCluster::with_configs(
-        vec![SiteConfig::default(); sites],
-        Some(trace.clone()),
-    )
-    .expect("cluster");
+    let cluster =
+        InProcessCluster::with_configs(vec![SiteConfig::default(); sites], Some(trace.clone()))
+            .expect("cluster");
     let mut app = AppBuilder::new("career");
     let work = app.thread("work", move |ctx| {
         if work_ms > 0 {
@@ -21,7 +23,9 @@ fn run_and_collect(sites: usize, tasks: usize, work_ms: u64) -> (TraceLog, Vec<s
         let slot = ctx.param(0)?.as_u64()? as u32;
         ctx.send(ctx.target(0)?, slot, Value::empty())
     });
-    let join = app.thread("join", |ctx| ctx.send(ctx.target(0)?, 0, Value::from_u64(7)));
+    let join = app.thread("join", |ctx| {
+        ctx.send(ctx.target(0)?, 0, Value::from_u64(7))
+    });
     let handle = cluster
         .site(0)
         .launch(&app, |ctx, result| {
@@ -68,17 +72,30 @@ fn migrated_career_inserts_migration_before_ready() {
     let mut saw_migration = false;
     for f in frames {
         let career = trace.career_of(f);
-        assert_eq!(career.first().map(String::as_str), Some("incomplete"), "{f}");
+        assert_eq!(
+            career.first().map(String::as_str),
+            Some("incomplete"),
+            "{f}"
+        );
         assert_eq!(career.last().map(String::as_str), Some("executed"), "{f}");
         if let Some(pos) = career.iter().position(|s| s == "migrated") {
             saw_migration = true;
             // Migration happens after the frame became executable (only
             // executable/ready frames are given away) and before it is
             // made ready on the receiving site.
-            let exec_pos = career.iter().position(|s| s == "executable").expect("executable");
+            let exec_pos = career
+                .iter()
+                .position(|s| s == "executable")
+                .expect("executable");
             let ready_pos = career.iter().rposition(|s| s == "ready").expect("ready");
-            assert!(exec_pos < pos && pos < ready_pos, "career of {f}: {career:?}");
+            assert!(
+                exec_pos < pos && pos < ready_pos,
+                "career of {f}: {career:?}"
+            );
         }
     }
-    assert!(saw_migration, "with 16 slow tasks on 2 sites, some frame must migrate");
+    assert!(
+        saw_migration,
+        "with 16 slow tasks on 2 sites, some frame must migrate"
+    );
 }

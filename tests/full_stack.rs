@@ -9,7 +9,12 @@ use std::time::Duration;
 
 fn tcp_site(cfg: &SiteConfig, registry: &Arc<AppRegistry>) -> Site {
     let transport = TcpTransport::bind("127.0.0.1:0").expect("bind");
-    Site::new(cfg.clone(), transport as Arc<dyn Transport>, registry.clone(), None)
+    Site::new(
+        cfg.clone(),
+        transport as Arc<dyn Transport>,
+        registry.clone(),
+        None,
+    )
 }
 
 #[test]
@@ -22,7 +27,12 @@ fn tcp_cluster_runs_primes() {
     second.sign_on(&first.addr()).expect("sign on");
     assert!(second.id().is_valid());
 
-    let prog = PrimesProgram { p: 30, width: 6, spin: 0, sleep_us: 1_000 };
+    let prog = PrimesProgram {
+        p: 30,
+        width: 6,
+        spin: 0,
+        sleep_us: 1_000,
+    };
     let handle = prog.launch(&first).expect("launch");
     let result = handle.wait(Duration::from_secs(120)).expect("result");
     assert_eq!(result.as_u64().unwrap(), nth_prime(30));
@@ -37,7 +47,12 @@ fn tcp_cluster_with_encryption() {
     let second = tcp_site(&cfg, &registry);
     second.sign_on(&first.addr()).expect("sign on");
 
-    let prog = PrimesProgram { p: 20, width: 5, spin: 0, sleep_us: 1_000 };
+    let prog = PrimesProgram {
+        p: 20,
+        width: 5,
+        spin: 0,
+        sleep_us: 1_000,
+    };
     let handle = prog.launch(&first).expect("launch");
     let result = handle.wait(Duration::from_secs(120)).expect("result");
     assert_eq!(result.as_u64().unwrap(), nth_prime(20));
@@ -68,7 +83,8 @@ fn join_through_any_member() {
     let b = tcp_site(&cfg, &registry);
     b.sign_on(&a.addr()).expect("b joins via a");
     let c = tcp_site(&cfg, &registry);
-    c.sign_on(&b.addr()).expect("c joins via b (not the first site)");
+    c.sign_on(&b.addr())
+        .expect("c joins via b (not the first site)");
     let ids = [a.id(), b.id(), c.id()];
     let mut uniq = ids.to_vec();
     uniq.sort();

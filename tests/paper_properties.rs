@@ -28,7 +28,11 @@ fn table1_single_site_times_match_paper_within_15_percent() {
     for (p, expect) in [(100u64, 33.9f64), (200, 71.9), (500, 207.0)] {
         let t = primes_makespan(p, 10, 1);
         let err = (t - expect).abs() / expect;
-        assert!(err < 0.15, "p={p}: {t:.1}s vs paper {expect}s ({:.0}% off)", err * 100.0);
+        assert!(
+            err < 0.15,
+            "p={p}: {t:.1}s vs paper {expect}s ({:.0}% off)",
+            err * 100.0
+        );
     }
 }
 
@@ -39,8 +43,14 @@ fn table1_speedup_bands() {
     let t1 = primes_makespan(200, 10, 1);
     let s4 = t1 / primes_makespan(200, 10, 4);
     let s8 = t1 / primes_makespan(200, 10, 8);
-    assert!((3.0..=4.0).contains(&s4), "4-site speedup {s4:.2} outside band");
-    assert!((6.0..=7.4).contains(&s8), "8-site speedup {s8:.2} outside band");
+    assert!(
+        (3.0..=4.0).contains(&s4),
+        "4-site speedup {s4:.2} outside band"
+    );
+    assert!(
+        (6.0..=7.4).contains(&s8),
+        "8-site speedup {s8:.2} outside band"
+    );
     assert!(s8 > s4, "more sites must help");
 }
 
@@ -74,8 +84,14 @@ fn five_slots_beat_one_on_latency_bound_work() {
         Simulation::new(c, g.clone()).run().makespan
     };
     let (t1, t5, t8) = (run(1), run(5), run(8));
-    assert!(t5 < t1 * 0.75, "5 slots ({t5:.3}) must clearly beat 1 ({t1:.3})");
-    assert!(t8 > t5 * 0.85, "beyond ~5 slots the gain flattens ({t5:.3} vs {t8:.3})");
+    assert!(
+        t5 < t1 * 0.75,
+        "5 slots ({t5:.3}) must clearly beat 1 ({t1:.3})"
+    );
+    assert!(
+        t8 > t5 * 0.85,
+        "beyond ~5 slots the gain flattens ({t5:.3} vs {t8:.3})"
+    );
 }
 
 #[test]
@@ -84,7 +100,11 @@ fn work_share_tracks_speed_share() {
     use sdvm::sim::SimSite;
     let g = PrimesProgram::new(100, 20).graph(UNIT_COST, 1_000);
     let mut c = cfg(3);
-    c.sites = vec![SimSite::with_speed(4.0), SimSite::with_speed(1.0), SimSite::with_speed(1.0)];
+    c.sites = vec![
+        SimSite::with_speed(4.0),
+        SimSite::with_speed(1.0),
+        SimSite::with_speed(1.0),
+    ];
     let m = Simulation::new(c, g).run();
     let total: u64 = m.executed_per_site.iter().sum();
     let fast_share = m.executed_per_site[0] as f64 / total as f64;
@@ -102,10 +122,22 @@ fn growing_the_cluster_mid_run_helps() {
     let g = PrimesProgram::new(200, 20).graph(UNIT_COST, 1_000);
     let t2 = Simulation::new(cfg(2), g.clone()).run().makespan;
     let mut grown = cfg(4);
-    grown.sites[2] = SimSite { join_at: t2 * 0.2, ..SimSite::reference() };
-    grown.sites[3] = SimSite { join_at: t2 * 0.2, ..SimSite::reference() };
+    grown.sites[2] = SimSite {
+        join_at: t2 * 0.2,
+        ..SimSite::reference()
+    };
+    grown.sites[3] = SimSite {
+        join_at: t2 * 0.2,
+        ..SimSite::reference()
+    };
     let tg = Simulation::new(grown, g.clone()).run().makespan;
     let t4 = Simulation::new(cfg(4), g).run().makespan;
-    assert!(tg < t2 * 0.85, "joiners must speed things up: {tg:.1} vs static-2 {t2:.1}");
-    assert!(tg > t4 * 0.95, "but not beat a cluster that was large from the start");
+    assert!(
+        tg < t2 * 0.85,
+        "joiners must speed things up: {tg:.1} vs static-2 {t2:.1}"
+    );
+    assert!(
+        tg > t4 * 0.95,
+        "but not beat a cluster that was large from the start"
+    );
 }

@@ -18,11 +18,11 @@ fn reliable_link_delivers_everything_in_order() {
     let a = hub.endpoint();
     let b = hub.endpoint();
     for i in 0..10_000u32 {
-        a.send(&b.local_addr(), i.to_le_bytes().to_vec()).unwrap();
+        a.send_body(&b.local_addr(), &i.to_le_bytes()).unwrap();
     }
     let rx = b.incoming();
     for i in 0..10_000u32 {
-        assert_eq!(rx.try_recv().unwrap(), i.to_le_bytes().to_vec());
+        assert_eq!(rx.try_recv().unwrap(), i.to_le_bytes());
     }
 }
 
@@ -35,13 +35,13 @@ fn udp_like_link_loses_parameters() {
     hub.set_link_plan(aid, bid, FaultPlan::udp_like(42));
     const N: u32 = 50_000;
     for i in 0..N {
-        a.send(&b.local_addr(), i.to_le_bytes().to_vec()).unwrap();
+        a.send_body(&b.local_addr(), &i.to_le_bytes()).unwrap();
     }
     let rx = b.incoming();
     let mut seen = vec![false; N as usize];
     let mut delivered = 0u32;
     while let Ok(m) = rx.try_recv() {
-        seen[u32::from_le_bytes(m.try_into().unwrap()) as usize] = true;
+        seen[u32::from_le_bytes(m[..].try_into().unwrap()) as usize] = true;
         delivered += 1;
     }
     let lost = seen.iter().filter(|&&s| !s).count();
@@ -49,7 +49,10 @@ fn udp_like_link_loses_parameters() {
     // lost message would be a microframe parameter that never arrives —
     // the frame never becomes executable and the application hangs,
     // which is exactly why the paper's SDVM runs on TCP.
-    assert!(lost > N as usize / 200, "expected ≥0.5% loss, saw {lost} of {N}");
+    assert!(
+        lost > N as usize / 200,
+        "expected ≥0.5% loss, saw {lost} of {N}"
+    );
     assert!(delivered > N * 9 / 10, "most traffic still arrives");
 }
 
@@ -62,12 +65,12 @@ fn fault_plans_are_deterministic_per_seed() {
         let (aid, bid) = endpoint_ids(&a.local_addr(), &b.local_addr());
         hub.set_link_plan(aid, bid, FaultPlan::udp_like(seed));
         for i in 0..5_000u32 {
-            a.send(&b.local_addr(), i.to_le_bytes().to_vec()).unwrap();
+            a.send_body(&b.local_addr(), &i.to_le_bytes()).unwrap();
         }
         let rx = b.incoming();
         let mut out = Vec::new();
         while let Ok(m) = rx.try_recv() {
-            out.push(u32::from_le_bytes(m.try_into().unwrap()));
+            out.push(u32::from_le_bytes(m[..].try_into().unwrap()));
         }
         out
     };

@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset this workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `throughput`/`sample_size`, and `Bencher::iter`
+//! / `iter_batched`. Measurement is a calibrated fixed-time loop (median
+//! of N samples) rather than criterion's full statistics, printed in a
+//! criterion-like format:
+//!
+//! ```text
+//! group/bench             time: [median 1.234 µs]  thrpt: [81.0 MiB/s]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on —
+/// the stand-in always runs setup outside the timed section).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Each batch is exactly one iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    target_time: Duration,
+    /// Median seconds per iteration, recorded by `iter`/`iter_batched`.
+    measured: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize, target_time: Duration) -> Self {
+        Bencher {
+            samples,
+            target_time,
+            measured: 0.0,
+        }
+    }
+
+    /// Measure a routine: median over samples of mean-time-per-iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit one sample slot.
+        let t0 = Instant::now();
+        black_box(routine());
+        let one = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample = self.target_time / self.samples as u32;
+        let iters = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.measured = times[times.len() / 2];
+    }
+
+    /// Measure a routine with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let t0 = Instant::now();
+        black_box(routine(setup()));
+        let one = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample = self.target_time / self.samples as u32;
+        let iters = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            times.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.measured = times[times.len() / 2];
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn report(name: &str, secs: f64, throughput: Option<Throughput>) {
+    let thrpt = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  thrpt: [{:.1} MiB/s]",
+                n as f64 / secs / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: [{:.0} elem/s]", n as f64 / secs)
+        }
+        None => String::new(),
+    };
+    println!("{name:<44} time: [{}]{thrpt}", fmt_time(secs));
+}
+
+/// The benchmark driver (stand-in for criterion's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for CLI compatibility; returns `self` unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        report(id, b.measured, None);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    results: Vec<(String, f64)>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Override the target measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(samples, self.criterion.measurement_time);
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.measured,
+            self.throughput,
+        );
+        self.results.push((id, b.measured));
+        self
+    }
+
+    /// Median seconds/iteration for every bench run in this group so
+    /// far, in run order. (Extension over criterion: lets harness
+    /// binaries collect numbers for machine-readable reports.)
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// Finish the group (criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function list (criterion API).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define the bench `main` that runs every group (criterion API).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(30));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_with_throughput_and_batched() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(30));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert_eq!(g.results().len(), 1);
+        assert!(g.results()[0].1 >= 0.0);
+        g.finish();
+    }
+}

@@ -1,0 +1,512 @@
+//! The [`Strategy`] trait, combinators, and primitive strategies.
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values passing the predicate (retry otherwise).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?}: nothing passed after 1000 tries",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from at least one arm.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---- integer / float ranges ----
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                assert!(lo <= hi, "empty range");
+                if hi - lo == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo + rng.below(hi - lo + 1)) as $t
+            }
+        }
+    )*};
+}
+uint_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        if lo == 0 && hi == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.below(hi - lo + 1)
+    }
+}
+
+macro_rules! sint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i64, *self.end() as i64);
+                assert!(lo <= hi, "empty range");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as i64) as $t
+            }
+        }
+    )*};
+}
+sint_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+// ---- tuples ----
+
+macro_rules! tuple_strategy {
+    ($($S:ident => $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A => 0);
+tuple_strategy!(A => 0, B => 1);
+tuple_strategy!(A => 0, B => 1, C => 2);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+// ---- string patterns ----
+
+/// One parsed token of the regex subset: a character set repeated
+/// between `min` and `max` times.
+struct PatToken {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatToken> {
+    let mut tokens = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(cc) = it.next() else {
+                        panic!("unterminated [class] in pattern {pat:?}");
+                    };
+                    match cc {
+                        ']' => break,
+                        '\\' => {
+                            let esc = it.next().expect("dangling escape in pattern");
+                            let lit = match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                other => other,
+                            };
+                            set.push(lit);
+                            prev = Some(lit);
+                        }
+                        '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().unwrap();
+                            let mut hi = it.next().unwrap();
+                            if hi == '\\' {
+                                hi = it.next().expect("dangling escape in pattern");
+                            }
+                            assert!(lo <= hi, "descending range in pattern {pat:?}");
+                            // `lo` itself is already in the set.
+                            let mut ch = lo;
+                            while ch < hi {
+                                ch = char::from_u32(ch as u32 + 1).expect("char range");
+                                set.push(ch);
+                            }
+                            prev = None;
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty [class] in pattern {pat:?}");
+                set
+            }
+            '\\' => {
+                let esc = it.next().expect("dangling escape in pattern");
+                match esc {
+                    'n' => vec!['\n'],
+                    't' => vec!['\t'],
+                    'r' => vec!['\r'],
+                    'd' => ('0'..='9').collect(),
+                    other => vec![other],
+                }
+            }
+            other => vec![other],
+        };
+        let (min, max) = parse_quantifier(&mut it, pat);
+        tokens.push(PatToken { chars, min, max });
+    }
+    tokens
+}
+
+fn parse_quantifier(
+    it: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pat: &str,
+) -> (usize, usize) {
+    match it.peek() {
+        Some('{') => {
+            it.next();
+            let mut spec = String::new();
+            for cc in it.by_ref() {
+                if cc == '}' {
+                    break;
+                }
+                spec.push(cc);
+            }
+            if let Some((lo, hi)) = spec.split_once(',') {
+                let lo: usize = lo.trim().parse().expect("bad {m,n} in pattern");
+                let hi: usize = if hi.trim().is_empty() {
+                    lo + 16
+                } else {
+                    hi.trim().parse().expect("bad {m,n} in pattern")
+                };
+                assert!(lo <= hi, "descending quantifier in pattern {pat:?}");
+                (lo, hi)
+            } else {
+                let n: usize = spec.trim().parse().expect("bad {n} in pattern");
+                (n, n)
+            }
+        }
+        Some('*') => {
+            it.next();
+            (0, 8)
+        }
+        Some('+') => {
+            it.next();
+            (1, 8)
+        }
+        Some('?') => {
+            it.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Strategy for `String` from a regex-subset pattern.
+pub struct StringPattern {
+    tokens: Vec<PatToken>,
+}
+
+impl Strategy for StringPattern {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for tok in &self.tokens {
+            let n = tok.min + rng.below((tok.max - tok.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(tok.chars[rng.below(tok.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsed per call; patterns are tiny and tests are offline-only.
+        StringPattern {
+            tokens: parse_pattern(self),
+        }
+        .generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u8..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (1u8..=255).generate(&mut r);
+            assert!(w >= 1);
+            let x = (-5i32..5).generate(&mut r);
+            assert!((-5..5).contains(&x));
+            let f = (0.25f64..4.0).generate(&mut r);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_overflow() {
+        let mut r = rng();
+        let _ = (0u64..=u64::MAX).generate(&mut r);
+    }
+
+    #[test]
+    fn pattern_class_with_escape_and_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9\\.:]{1,24}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == ':'));
+        }
+    }
+
+    #[test]
+    fn pattern_space_to_tilde() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[ -~]{0,8}".generate(&mut r);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn pattern_literals_and_quantifiers() {
+        let mut r = rng();
+        let s = "ab{3}c?".generate(&mut r);
+        assert!(s.starts_with("abbb"));
+        assert!(s == "abbb" || s == "abbbc");
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut r = rng();
+        let s = OneOf::new(vec![(0u32..1).boxed(), (100u32..101).boxed()]);
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            match s.generate(&mut r) {
+                0 => seen[0] = true,
+                100 => seen[1] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = (0u32..100)
+                .prop_filter("even", |v| v % 2 == 0)
+                .generate(&mut r);
+            assert_eq!(v % 2, 0);
+        }
+    }
+}
