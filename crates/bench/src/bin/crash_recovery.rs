@@ -54,9 +54,10 @@ fn main() {
     println!();
     println!("real runtime: 3 sites, site 3 crashes mid-run (crash tolerance on)");
     let trace = TraceLog::new();
+    const CRASH_TIMEOUT_MS: u64 = 300;
     let mut cfg = SiteConfig::default().with_crash_tolerance();
     cfg.heartbeat_interval = Duration::from_millis(50);
-    cfg.crash_timeout = Duration::from_millis(300);
+    cfg.crash_timeout = Duration::from_millis(CRASH_TIMEOUT_MS);
     let cluster =
         InProcessCluster::with_configs(vec![cfg; 3], Some(trace.clone())).expect("cluster");
     let prog = PrimesProgram {
@@ -77,22 +78,45 @@ fn main() {
         std::thread::sleep(Duration::from_millis(20));
     }
     std::thread::sleep(Duration::from_millis(50));
+    let crashed_at = std::time::Instant::now();
     cluster.crash(2);
+    // Watch for the death verdict concurrently with the program so the
+    // detection latency is measured when the event lands, not when we
+    // happen to look.
+    let detection_latency = {
+        let trace = trace.clone();
+        std::thread::spawn(move || {
+            let deadline = crashed_at + Duration::from_secs(10);
+            loop {
+                if !trace
+                    .filter(|e| matches!(e, TraceEvent::SiteGone { gone, crashed: true, .. } if *gone == victim))
+                    .is_empty()
+                {
+                    return Some(crashed_at.elapsed());
+                }
+                if std::time::Instant::now() > deadline {
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
     let result = handle
         .wait(Duration::from_secs(120))
         .expect("recovered result");
+    let makespan = crashed_at.elapsed();
     assert_eq!(result.as_u64().unwrap(), nth_prime(60));
-    // Detection may lag completion by up to the crash timeout.
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    while trace
-        .filter(|e| matches!(e, TraceEvent::SiteGone { crashed: true, .. }))
-        .is_empty()
-        && std::time::Instant::now() < deadline
-    {
-        std::thread::sleep(Duration::from_millis(50));
-    }
+    let detection_latency = detection_latency.join().expect("detector watcher");
     let detected = trace
         .filter(|e| matches!(e, TraceEvent::SiteGone { crashed: true, .. }))
+        .len();
+    // Any declared death of a site that never crashed is a false positive
+    // of the suspicion detector (the whole point of two-phase detection
+    // is to keep this at zero).
+    let false_positives = trace
+        .filter(
+            |e| matches!(e, TraceEvent::SiteGone { gone, crashed: true, .. } if *gone != victim),
+        )
         .len();
     let recovered: usize = trace
         .filter(|e| matches!(e, TraceEvent::Recovered { .. }))
@@ -110,5 +134,37 @@ fn main() {
     );
     println!("crash detections observed : {detected}");
     println!("backup entries revived    : {recovered}");
+    match detection_latency {
+        Some(d) => println!(
+            "detection latency         : {:.0} ms",
+            d.as_secs_f64() * 1e3
+        ),
+        None => println!("detection latency         : not observed within 10s"),
+    }
+    println!("false positives           : {false_positives}");
+    println!(
+        "recovery makespan         : {:.0} ms (crash to result delivery)",
+        makespan.as_secs_f64() * 1e3
+    );
     rule(76);
+
+    let mut json = String::from("{\n  \"bench\": \"crash_recovery\",\n");
+    json.push_str("  \"sites\": 3,\n");
+    json.push_str(&format!("  \"crash_timeout_ms\": {CRASH_TIMEOUT_MS},\n"));
+    json.push_str(&format!(
+        "  \"detection_latency_ms\": {},\n",
+        detection_latency
+            .map(|d| format!("{:.1}", d.as_secs_f64() * 1e3))
+            .unwrap_or_else(|| "null".into())
+    ));
+    json.push_str(&format!("  \"false_positives\": {false_positives},\n"));
+    json.push_str(&format!("  \"crash_detections\": {detected},\n"));
+    json.push_str(&format!("  \"backup_entries_revived\": {recovered},\n"));
+    json.push_str(&format!(
+        "  \"recovery_makespan_ms\": {:.1}\n",
+        makespan.as_secs_f64() * 1e3
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_crash_recovery.json", &json).expect("write BENCH_crash_recovery.json");
+    println!("wrote BENCH_crash_recovery.json");
 }

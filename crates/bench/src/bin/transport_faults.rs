@@ -69,6 +69,7 @@ fn main() {
         dup_prob: 0.02,
         reorder_prob: 0.15,
         seed: 3,
+        ..FaultPlan::reliable()
     };
     run_plan("congested udp-like", heavy);
     rule(90);

@@ -502,4 +502,28 @@ impl InProcessCluster {
         self.hub.sever(&self.sites[i].addr());
         self.sites[i].crash();
     }
+
+    /// Freeze site `i` (GC-pause emulation): its threads park at the next
+    /// gate but its endpoint stays reachable, so peers see pure silence.
+    pub fn pause_site(&self, i: usize) {
+        self.sites[i].pause();
+    }
+
+    /// Unfreeze site `i`; its liveness clocks are refreshed first so it
+    /// does not mistake its own pause for cluster-wide death.
+    pub fn resume_site(&self, i: usize) {
+        self.sites[i].resume();
+    }
+
+    /// Blackhole all traffic between sites `a` and `b` (both directions)
+    /// until [`InProcessCluster::heal`].
+    pub fn partition(&self, a: usize, b: usize) {
+        self.hub
+            .partition(&self.sites[a].addr(), &self.sites[b].addr());
+    }
+
+    /// Remove the partition between sites `a` and `b`.
+    pub fn heal(&self, a: usize, b: usize) {
+        self.hub.heal(&self.sites[a].addr(), &self.sites[b].addr());
+    }
 }

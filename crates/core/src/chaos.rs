@@ -1,0 +1,174 @@
+//! Deterministic chaos harness: scripted fault scenarios against an
+//! [`InProcessCluster`].
+//!
+//! A [`ChaosScenario`] is a fixed schedule of kills, pauses and link
+//! partitions, each pinned to an offset from scenario start. Combined
+//! with a seeded [`sdvm_net::FaultPlan`] on the hub, a scenario makes a
+//! whole failure drill reproducible: the same seed and schedule yield
+//! the same fault decisions, so a test can assert the *outcome* (right
+//! answer, exactly-once delivery, reconverged membership) across runs.
+//!
+//! The runner executes the schedule on the calling thread, sleeping
+//! between events; paired follow-ups (resume after a pause, heal after a
+//! partition) are expanded into the same timeline, so overlapping faults
+//! interleave exactly as scripted.
+
+use crate::api::InProcessCluster;
+use std::time::{Duration, Instant};
+
+/// One scripted fault.
+#[derive(Clone, Copy, Debug)]
+pub enum ChaosAction {
+    /// Crash site `site` abruptly (sever + kill, no relocation).
+    Kill {
+        /// Index of the victim in the cluster.
+        site: usize,
+    },
+    /// Freeze site `site` for `for_` (GC-pause emulation), then resume.
+    Pause {
+        /// Index of the frozen site.
+        site: usize,
+        /// Pause length.
+        for_: Duration,
+    },
+    /// Blackhole the link between `a` and `b` (both directions), healing
+    /// it after `heal_after`.
+    Partition {
+        /// One end of the cut link.
+        a: usize,
+        /// The other end.
+        b: usize,
+        /// Time until the link heals.
+        heal_after: Duration,
+    },
+}
+
+/// A fault pinned to an offset from scenario start.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosEvent {
+    /// When the fault fires, relative to [`ChaosScenario::run`].
+    pub at: Duration,
+    /// What happens.
+    pub action: ChaosAction,
+}
+
+/// Atomic steps a schedule expands into (follow-ups made explicit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Step {
+    Kill(usize),
+    Pause(usize),
+    Resume(usize),
+    Partition(usize, usize),
+    Heal(usize, usize),
+}
+
+/// A deterministic fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosScenario {
+    events: Vec<ChaosEvent>,
+}
+
+impl ChaosScenario {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault at `at` from scenario start (builder style).
+    pub fn at(mut self, at: Duration, action: ChaosAction) -> Self {
+        self.events.push(ChaosEvent { at, action });
+        self
+    }
+
+    /// Number of scripted faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Expand paired follow-ups into one sorted timeline.
+    fn timeline(&self) -> Vec<(Duration, Step)> {
+        let mut steps = Vec::new();
+        for ev in &self.events {
+            match ev.action {
+                ChaosAction::Kill { site } => steps.push((ev.at, Step::Kill(site))),
+                ChaosAction::Pause { site, for_ } => {
+                    steps.push((ev.at, Step::Pause(site)));
+                    steps.push((ev.at + for_, Step::Resume(site)));
+                }
+                ChaosAction::Partition { a, b, heal_after } => {
+                    steps.push((ev.at, Step::Partition(a, b)));
+                    steps.push((ev.at + heal_after, Step::Heal(a, b)));
+                }
+            }
+        }
+        steps.sort_by_key(|(at, _)| *at);
+        steps
+    }
+
+    /// Execute the schedule against `cluster`, blocking until the last
+    /// step fired. Run it from a helper thread (e.g. inside
+    /// `std::thread::scope`) while the main thread awaits the program
+    /// under test.
+    pub fn run(&self, cluster: &InProcessCluster) {
+        let start = Instant::now();
+        for (at, step) in self.timeline() {
+            if let Some(wait) = at.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            match step {
+                Step::Kill(site) => cluster.crash(site),
+                Step::Pause(site) => cluster.pause_site(site),
+                Step::Resume(site) => cluster.resume_site(site),
+                Step::Partition(a, b) => cluster.partition(a, b),
+                Step::Heal(a, b) => cluster.heal(a, b),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_expands_and_sorts_followups() {
+        let s = ChaosScenario::new()
+            .at(
+                Duration::from_millis(50),
+                ChaosAction::Partition {
+                    a: 0,
+                    b: 1,
+                    heal_after: Duration::from_millis(100),
+                },
+            )
+            .at(
+                Duration::from_millis(10),
+                ChaosAction::Pause {
+                    site: 2,
+                    for_: Duration::from_millis(30),
+                },
+            )
+            .at(Duration::from_millis(60), ChaosAction::Kill { site: 3 });
+        assert_eq!(s.len(), 3);
+        let t = s.timeline();
+        let steps: Vec<Step> = t.iter().map(|(_, st)| *st).collect();
+        assert_eq!(
+            steps,
+            vec![
+                Step::Pause(2),
+                Step::Resume(2),
+                Step::Partition(0, 1),
+                Step::Kill(3),
+                Step::Heal(0, 1),
+            ]
+        );
+        // Follow-ups land at event time + duration.
+        assert_eq!(t[1].0, Duration::from_millis(40));
+        assert_eq!(t[4].0, Duration::from_millis(150));
+    }
+}

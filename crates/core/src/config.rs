@@ -40,6 +40,21 @@ pub struct SiteConfig {
     /// Silence after which a site is declared crashed (when crash
     /// tolerance is on).
     pub crash_timeout: Duration,
+    /// Use the two-phase (suspect → confirm) failure detector: silence
+    /// past `suspect_timeout` only *suspects* a site and triggers
+    /// indirect probes; `declare_crashed` needs silence past
+    /// `crash_timeout` or a quorum of gossiped suspicions. Off, silence
+    /// past `crash_timeout` kills directly (the pre-suspicion behavior).
+    pub suspicion: bool,
+    /// Silence after which a site becomes *suspected* (two-phase
+    /// detector only). Must be below `crash_timeout` to buy the suspect
+    /// a probing window before the verdict.
+    pub suspect_timeout: Duration,
+    /// How many other members are asked to probe a suspect indirectly.
+    pub probe_fanout: usize,
+    /// Gossiped suspicions (distinct accusers, this site included) that
+    /// escalate a suspect to crashed before `crash_timeout` elapses.
+    pub suspicion_quorum: usize,
     /// How long an idle worker waits for a help reply before trying the
     /// next site.
     pub help_timeout: Duration,
@@ -63,6 +78,10 @@ impl Default for SiteConfig {
             crash_tolerance: false,
             heartbeat_interval: Duration::from_millis(100),
             crash_timeout: Duration::from_millis(600),
+            suspicion: true,
+            suspect_timeout: Duration::from_millis(300),
+            probe_fanout: 3,
+            suspicion_quorum: 2,
             help_timeout: Duration::from_millis(100),
             request_timeout: Duration::from_secs(5),
         }
@@ -79,6 +98,12 @@ impl SiteConfig {
     /// Shorthand: default config with the given start password.
     pub fn with_password(mut self, pw: &str) -> Self {
         self.password = Some(pw.to_string());
+        self
+    }
+
+    /// Shorthand: disable the two-phase detector (single-timeout kill).
+    pub fn without_suspicion(mut self) -> Self {
+        self.suspicion = false;
         self
     }
 }
@@ -106,5 +131,11 @@ mod tests {
             .with_password("pw");
         assert!(c.crash_tolerance);
         assert_eq!(c.password.as_deref(), Some("pw"));
+        assert!(c.suspicion, "two-phase detector on by default");
+        assert!(!c.clone().without_suspicion().suspicion);
+        assert!(
+            c.suspect_timeout < c.crash_timeout,
+            "suspicion must precede the verdict"
+        );
     }
 }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod chaos;
 pub mod checkpoint;
 pub mod config;
 pub mod frame;
@@ -32,6 +33,7 @@ pub mod thread;
 pub mod trace;
 
 pub use api::{AppBuilder, ExecCtx, InProcessCluster, ProgramHandle};
+pub use chaos::{ChaosAction, ChaosEvent, ChaosScenario};
 pub use checkpoint::ProgramSnapshot;
 pub use config::SiteConfig;
 pub use frame::Microframe;

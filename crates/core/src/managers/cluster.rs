@@ -32,6 +32,27 @@ enum AllocState {
     Modulo { slot: u32, servers: u32, next: u32 },
 }
 
+/// An open suspicion against a silent site (first phase of the
+/// two-phase detector).
+struct Suspicion {
+    /// Distinct sites (self included) that independently suspect it.
+    accusers: HashSet<SiteId>,
+}
+
+/// Tombstone for a declared-dead site: every incarnation at or below
+/// `floor` is fenced as a zombie.
+struct DeadEntry {
+    /// Highest incarnation covered by the death verdict.
+    floor: u64,
+    /// Last known physical address (for fencing notices).
+    addr: PhysicalAddr,
+    /// Rate limiter on outgoing [`Payload::DeathNotice`]s.
+    last_notice: Option<Instant>,
+}
+
+/// Minimum delay between fencing notices to the same zombie.
+const DEATH_NOTICE_INTERVAL: Duration = Duration::from_millis(200);
+
 struct ClusterState {
     me: Option<SiteDescriptor>,
     sites: HashMap<SiteId, SiteDescriptor>,
@@ -44,6 +65,12 @@ struct ClusterState {
     /// `sites` (the learn() happens after the ack): prevents two
     /// concurrent sign-ons from receiving the same bootstrap id.
     handed_out: HashSet<u32>,
+    /// Highest incarnation each member is known to live at.
+    incarnations: HashMap<SiteId, u64>,
+    /// Open suspicions (two-phase detector).
+    suspects: HashMap<SiteId, Suspicion>,
+    /// Declared-dead sites and the incarnation floor that fences them.
+    dead: HashMap<SiteId, DeadEntry>,
     alloc: AllocState,
     rr: usize,
     hb_rr: usize,
@@ -55,6 +82,10 @@ pub struct ClusterManager {
     strategy: IdAllocStrategy,
     crash_tolerance: bool,
     crash_timeout: Duration,
+    suspicion: bool,
+    suspect_timeout: Duration,
+    probe_fanout: usize,
+    suspicion_quorum: usize,
 }
 
 impl ClusterManager {
@@ -69,6 +100,9 @@ impl ClusterManager {
                 succession: HashMap::new(),
                 announced_to: HashSet::new(),
                 handed_out: HashSet::new(),
+                incarnations: HashMap::new(),
+                suspects: HashMap::new(),
+                dead: HashMap::new(),
                 alloc: AllocState::Client,
                 rr: 0,
                 hb_rr: 0,
@@ -76,6 +110,10 @@ impl ClusterManager {
             strategy: config.id_alloc,
             crash_tolerance: config.crash_tolerance,
             crash_timeout: config.crash_timeout,
+            suspicion: config.suspicion,
+            suspect_timeout: config.suspect_timeout,
+            probe_fanout: config.probe_fanout,
+            suspicion_quorum: config.suspicion_quorum.max(2),
         }
     }
 
@@ -109,6 +147,7 @@ impl ClusterManager {
             platform: site.config.platform,
             speed: site.config.speed,
             code_distribution: site.config.code_distribution,
+            incarnation: site.my_incarnation(),
         }
     }
 
@@ -184,6 +223,7 @@ impl ClusterManager {
                 for d in cluster {
                     if d.site != assigned {
                         st.last_heard.insert(d.site, now);
+                        st.incarnations.insert(d.site, d.incarnation);
                         st.sites.insert(d.site, d);
                     }
                 }
@@ -286,21 +326,125 @@ impl ClusterManager {
     }
 
     /// Learn about a site (sign-on ack, announce, gossip, first help
-    /// request).
+    /// request). A descriptor from a declared-dead incarnation is fenced
+    /// instead of re-admitting the zombie; a *higher* incarnation lifts
+    /// the tombstone (the site refuted its death and rejoins).
     pub fn learn(&self, site: &SiteInner, d: SiteDescriptor) {
         if d.site == site.my_id() || !d.site.is_valid() {
             return;
         }
         let mut st = self.state.lock();
+        if let Some(entry) = st.dead.get(&d.site) {
+            if d.incarnation <= entry.floor {
+                drop(st);
+                site.emit(TraceEvent::StaleIncarnation {
+                    site: site.my_id(),
+                    from: d.site,
+                    incarnation: d.incarnation,
+                });
+                return;
+            }
+            st.dead.remove(&d.site);
+            // The directory owner is back: its succession entry would
+            // otherwise keep redirecting homesite lookups away from it.
+            st.succession.remove(&d.site);
+        }
+        if d.incarnation < st.incarnations.get(&d.site).copied().unwrap_or(0) {
+            return; // stale gossip about an older incarnation of a live site
+        }
         st.last_heard.insert(d.site, Instant::now());
+        st.incarnations.insert(d.site, d.incarnation);
+        let refuted = st.suspects.remove(&d.site).is_some();
         let is_new = st.sites.insert(d.site, d.clone()).is_none();
         drop(st);
+        if refuted {
+            site.emit(TraceEvent::SuspicionRefuted {
+                site: site.my_id(),
+                suspect: d.site,
+                incarnation: d.incarnation,
+            });
+        }
         if is_new {
             site.emit(TraceEvent::SiteJoined {
                 site: site.my_id(),
                 joined: d.site,
             });
         }
+    }
+
+    /// Screen an inbound message (called by the dispatcher for every
+    /// message carrying a valid foreign source). Returns `false` when the
+    /// sender is a *zombie* — a declared-dead site still talking at a
+    /// fenced incarnation — and the message must be dropped; a rate-
+    /// limited [`Payload::DeathNotice`] tells the zombie to bump its
+    /// incarnation and re-announce. Any other message doubles as a
+    /// liveness proof: it refreshes `last_heard` and withdraws an open
+    /// suspicion against the sender.
+    pub(crate) fn observe_inbound(&self, site: &SiteInner, from: SiteId, incarnation: u64) -> bool {
+        let mut st = self.state.lock();
+        if let Some(entry) = st.dead.get_mut(&from) {
+            if incarnation <= entry.floor {
+                let notify = entry
+                    .last_notice
+                    .map(|t| t.elapsed() >= DEATH_NOTICE_INTERVAL)
+                    .unwrap_or(true);
+                if notify {
+                    entry.last_notice = Some(Instant::now());
+                }
+                let (addr, floor) = (entry.addr.clone(), entry.floor);
+                drop(st);
+                site.emit(TraceEvent::StaleIncarnation {
+                    site: site.my_id(),
+                    from,
+                    incarnation,
+                });
+                if notify {
+                    let notice = SdMessage::new(
+                        site.my_id(),
+                        ManagerId::Cluster,
+                        from,
+                        ManagerId::Cluster,
+                        site.next_seq(),
+                        Payload::DeathNotice { incarnation: floor },
+                    );
+                    let _ = site.send_msg_to_addr(&addr, notice);
+                }
+                return false;
+            }
+            // Alive at a newer incarnation: lift the tombstone. Full
+            // membership re-entry happens when its descriptor arrives.
+            st.dead.remove(&from);
+            st.succession.remove(&from);
+        }
+        st.last_heard.insert(from, Instant::now());
+        if incarnation > 0 {
+            let known = st.incarnations.entry(from).or_insert(0);
+            *known = (*known).max(incarnation);
+        }
+        let refuted = st.suspects.remove(&from).is_some();
+        drop(st);
+        if refuted {
+            site.emit(TraceEvent::SuspicionRefuted {
+                site: site.my_id(),
+                suspect: from,
+                incarnation,
+            });
+        }
+        true
+    }
+
+    /// Reset the liveness clock of every known member and drop open
+    /// suspicions. Called when *this* site resumes from a long pause: its
+    /// stale `last_heard` map would otherwise read as cluster-wide
+    /// silence and mass-declare healthy peers.
+    pub fn refresh_liveness(&self) {
+        let mut st = self.state.lock();
+        let now = Instant::now();
+        let ids: Vec<SiteId> = st.sites.keys().copied().collect();
+        for s in ids {
+            st.last_heard.insert(s, now);
+        }
+        st.suspects.clear();
     }
 
     /// Record a load report (heartbeat or help-request gossip).
@@ -500,51 +644,208 @@ impl ClusterManager {
         }
     }
 
+    /// The two-phase detector (SWIM-style). Silence past
+    /// `suspect_timeout` only *suspects* a site and fans out indirect
+    /// probes; the verdict needs silence past `crash_timeout` or a quorum
+    /// of independent accusers. With `suspicion` off this degrades to the
+    /// original single-timeout kill.
     fn detect_crashes(&self, site: &SiteInner) {
         let me = site.my_id();
         let now = Instant::now();
-        let dead: Vec<SiteId> = {
-            let st = self.state.lock();
-            st.sites
-                .keys()
-                .copied()
-                .filter(|&s| s != me)
-                .filter(|s| {
-                    st.last_heard
-                        .get(s)
-                        .map(|t| now.duration_since(*t) > self.crash_timeout)
-                        .unwrap_or(false)
-                })
-                .collect()
-        };
-        for d in dead {
+        let mut to_suspect: Vec<(SiteId, u64)> = Vec::new();
+        let mut to_declare: Vec<SiteId> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let ids: Vec<SiteId> = st.sites.keys().copied().filter(|&s| s != me).collect();
+            for s in ids {
+                let Some(heard) = st.last_heard.get(&s).copied() else {
+                    continue;
+                };
+                let silent_for = now.duration_since(heard);
+                if !self.suspicion {
+                    if silent_for > self.crash_timeout {
+                        to_declare.push(s);
+                    }
+                    continue;
+                }
+                if let Some(susp) = st.suspects.get_mut(&s) {
+                    // Join the accusation only on our *own* observation
+                    // of silence — a gossiped suspicion alone must not
+                    // multiply accusers.
+                    if silent_for > self.suspect_timeout {
+                        susp.accusers.insert(me);
+                    }
+                    if silent_for > self.crash_timeout
+                        || susp.accusers.len() >= self.suspicion_quorum
+                    {
+                        to_declare.push(s);
+                    }
+                } else if silent_for > self.suspect_timeout {
+                    let incarnation = st.incarnations.get(&s).copied().unwrap_or(1);
+                    let mut accusers = HashSet::new();
+                    accusers.insert(me);
+                    st.suspects.insert(s, Suspicion { accusers });
+                    to_suspect.push((s, incarnation));
+                }
+            }
+        }
+        for (s, incarnation) in to_suspect {
+            self.start_suspicion(site, s, incarnation);
+        }
+        for d in to_declare {
             self.declare_crashed(site, d, true);
+        }
+    }
+
+    /// Announce a fresh suspicion: gossip it, ask up to `probe_fanout`
+    /// members to probe the suspect indirectly, and ping it directly.
+    /// Any resulting message from the suspect clears the suspicion on
+    /// its way through [`ClusterManager::observe_inbound`].
+    fn start_suspicion(&self, site: &SiteInner, suspect: SiteId, incarnation: u64) {
+        let me = site.my_id();
+        site.emit(TraceEvent::SiteSuspected { site: me, suspect });
+        let peers: Vec<SiteId> = self
+            .known_sites()
+            .into_iter()
+            .filter(|&s| s != me && s != suspect)
+            .collect();
+        for &p in &peers {
+            let _ = site.send_payload(
+                p,
+                ManagerId::Cluster,
+                ManagerId::Cluster,
+                site.next_seq(),
+                Payload::SuspectSite {
+                    site: suspect,
+                    incarnation,
+                },
+            );
+        }
+        for &p in peers.iter().take(self.probe_fanout) {
+            let _ = site.send_payload(
+                p,
+                ManagerId::Cluster,
+                ManagerId::Cluster,
+                site.next_seq(),
+                Payload::ProbeRequest { target: suspect },
+            );
+        }
+        // Direct probe off-thread: a live-but-slow suspect's Pong refutes
+        // through the normal dispatch path. help_timeout keeps a truly
+        // dead suspect from pinning the helper until the verdict.
+        site.spawn_task(Task::Run(Box::new(move |s: &SiteInner| {
+            let _ = s.request(
+                suspect,
+                ManagerId::Site,
+                ManagerId::Cluster,
+                Payload::Ping {
+                    token: suspect.0 as u64,
+                },
+                s.config.help_timeout,
+            );
+        })));
+    }
+
+    /// A peer gossiped a suspicion. Three cases: the suspect is *us*
+    /// (refute with a bumped incarnation), we have fresh evidence the
+    /// suspect lives (vouch for it to the accuser), or we join the
+    /// accusation — enough independent accusers convict before
+    /// `crash_timeout`.
+    fn on_suspect_gossip(
+        &self,
+        site: &SiteInner,
+        accuser: SiteId,
+        suspect: SiteId,
+        incarnation: u64,
+    ) {
+        let me = site.my_id();
+        if suspect == me {
+            let bumped = site.bump_incarnation_to(incarnation + 1);
+            let descriptor = {
+                let mut st = self.state.lock();
+                let Some(mine) = st.me.as_mut() else { return };
+                mine.incarnation = bumped;
+                let d = mine.clone();
+                st.sites.insert(d.site, d.clone());
+                d
+            };
+            for p in self.known_sites() {
+                if p != me {
+                    let _ = site.send_payload(
+                        p,
+                        ManagerId::Cluster,
+                        ManagerId::Cluster,
+                        site.next_seq(),
+                        Payload::RefuteSuspicion {
+                            descriptor: descriptor.clone(),
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        // Record the accusation. Deliberately no vouch-from-memory here:
+        // only a *live* Pong from the suspect (direct traffic through
+        // observe_inbound, or a ProbeAck relayed after a real probe) may
+        // refute — answering from a stale `last_heard` would let two
+        // accusers endlessly re-vouch each other's cleared suspicions of
+        // a genuinely dead site. If the suspect lives, the probes this
+        // accuser fanned out will clear the entry within a tick.
+        let convicted = {
+            let mut st = self.state.lock();
+            if !st.sites.contains_key(&suspect) {
+                return; // unknown or already removed — nothing to judge
+            }
+            let entry = st.suspects.entry(suspect).or_insert_with(|| Suspicion {
+                accusers: HashSet::new(),
+            });
+            entry.accusers.insert(accuser);
+            entry.accusers.len() >= self.suspicion_quorum
+        };
+        if convicted {
+            self.declare_crashed(site, suspect, true);
         }
     }
 
     /// Remove a site as crashed, computing the successor locally (the
     /// detector's path); see [`ClusterManager::declare_crashed_with`].
     pub fn declare_crashed(&self, site: &SiteInner, dead: SiteId, originator: bool) {
-        self.declare_crashed_with(site, dead, originator, None)
+        self.declare_crashed_with(site, dead, originator, None, 0)
     }
 
     /// Remove a site as crashed; `originator` broadcasts the verdict.
     /// `announced` carries the successor chosen by whoever detected the
     /// crash first — all sites must install the *same* succession entry,
     /// so a broadcast verdict always wins over a local recomputation
-    /// (membership views can diverge transiently).
+    /// (membership views can diverge transiently). `incarnation_floor`
+    /// threads the originator's fencing floor into relayed verdicts; the
+    /// tombstone fences every incarnation at or below the highest floor
+    /// any site knows, so the dead site can only return by bumping past it.
     pub fn declare_crashed_with(
         &self,
         site: &SiteInner,
         dead: SiteId,
         originator: bool,
         announced: Option<SiteId>,
+        incarnation_floor: u64,
     ) {
-        let successor = {
+        let (successor, floor) = {
             let mut st = self.state.lock();
-            if st.sites.remove(&dead).is_none() {
+            let Some(removed) = st.sites.remove(&dead) else {
                 return; // already handled
-            }
+            };
+            let floor = incarnation_floor
+                .max(st.incarnations.get(&dead).copied().unwrap_or(0))
+                .max(removed.incarnation);
+            st.dead.insert(
+                dead,
+                DeadEntry {
+                    floor,
+                    addr: removed.addr,
+                    last_notice: None,
+                },
+            );
+            st.suspects.remove(&dead);
             st.loads.remove(&dead);
             st.last_heard.remove(&dead);
             st.announced_to.remove(&dead);
@@ -558,7 +859,7 @@ impl ClusterManager {
                     .unwrap_or(site.my_id())
             });
             st.succession.insert(dead, successor);
-            successor
+            (successor, floor)
         };
         site.emit(TraceEvent::SiteGone {
             site: site.my_id(),
@@ -580,6 +881,7 @@ impl ClusterManager {
                         Payload::SiteCrashed {
                             site: dead,
                             successor,
+                            incarnation: floor,
                         },
                     );
                 }
@@ -615,6 +917,8 @@ impl ClusterManager {
                 st.loads.remove(&gone);
                 st.last_heard.remove(&gone);
                 st.announced_to.remove(&gone);
+                st.suspects.remove(&gone);
+                st.incarnations.remove(&gone);
                 st.succession.insert(gone, successor);
                 drop(st);
                 site.security.forget(gone);
@@ -687,6 +991,7 @@ impl ClusterManager {
             Payload::SiteCrashed {
                 site: dead,
                 successor,
+                incarnation,
             } => {
                 {
                     let mut st = self.state.lock();
@@ -694,7 +999,95 @@ impl ClusterManager {
                 }
                 // Adopt the originator's successor verbatim so the whole
                 // cluster agrees on the directory inheritor.
-                self.declare_crashed_with(site, dead, false, Some(successor));
+                self.declare_crashed_with(site, dead, false, Some(successor), incarnation);
+            }
+            Payload::SuspectSite {
+                site: suspect,
+                incarnation,
+            } => self.on_suspect_gossip(site, msg.src_site, suspect, incarnation),
+            Payload::RefuteSuspicion { descriptor } => {
+                // The refuting descriptor carries the bumped incarnation:
+                // learn() withdraws the suspicion and lifts any tombstone.
+                self.learn(site, descriptor);
+            }
+            Payload::ProbeRequest { target } => {
+                // Probe the suspect on the requester's behalf — blocking,
+                // so off the router thread. A Pong proves liveness at the
+                // suspect's current incarnation; relay that as a fresh
+                // ProbeAck (not a reply: the requester isn't waiting).
+                let requester = msg.src_site;
+                site.spawn_task(Task::Run(Box::new(move |s: &SiteInner| {
+                    let Ok(reply) = s.request(
+                        target,
+                        ManagerId::Site,
+                        ManagerId::Cluster,
+                        Payload::Ping {
+                            token: target.0 as u64,
+                        },
+                        s.config.help_timeout,
+                    ) else {
+                        return;
+                    };
+                    if matches!(reply.payload, Payload::Pong { .. }) {
+                        let _ = s.send_payload(
+                            requester,
+                            ManagerId::Cluster,
+                            ManagerId::Cluster,
+                            s.next_seq(),
+                            Payload::ProbeAck {
+                                target,
+                                incarnation: reply.src_incarnation,
+                            },
+                        );
+                    }
+                })));
+            }
+            Payload::ProbeAck {
+                target,
+                incarnation,
+            } => {
+                let mut st = self.state.lock();
+                st.last_heard.insert(target, Instant::now());
+                if incarnation > 0 {
+                    let known = st.incarnations.entry(target).or_insert(0);
+                    *known = (*known).max(incarnation);
+                }
+                let refuted = st.suspects.remove(&target).is_some();
+                drop(st);
+                if refuted {
+                    site.emit(TraceEvent::SuspicionRefuted {
+                        site: site.my_id(),
+                        suspect: target,
+                        incarnation,
+                    });
+                }
+            }
+            Payload::DeathNotice { incarnation } => {
+                // Someone declared *us* dead: refute by outliving the
+                // verdict — bump past the fenced floor and re-announce so
+                // every site re-admits us at the new incarnation.
+                let bumped = site.bump_incarnation_to(incarnation + 1);
+                let descriptor = {
+                    let mut st = self.state.lock();
+                    let Some(me) = st.me.as_mut() else { return };
+                    me.incarnation = bumped;
+                    let d = me.clone();
+                    st.sites.insert(d.site, d.clone());
+                    d
+                };
+                for p in self.known_sites() {
+                    if p != site.my_id() {
+                        let _ = site.send_payload(
+                            p,
+                            ManagerId::Cluster,
+                            ManagerId::Cluster,
+                            site.next_seq(),
+                            Payload::SiteAnnounce {
+                                descriptor: descriptor.clone(),
+                            },
+                        );
+                    }
+                }
             }
             other => {
                 site.reply_to(

@@ -29,6 +29,7 @@ fn is_infrastructure(e: &SdvmError) -> bool {
 /// Body of one processing slot; runs until site shutdown.
 pub fn worker_loop(site: &Arc<SiteInner>) {
     while site.is_running() {
+        site.pause_gate();
         let Some((frame, func)) = site.scheduling.next_work(site) else {
             break;
         };

@@ -38,6 +38,9 @@ pub struct SiteStatus {
     /// Frames waiting in the transport's per-peer outbound queues —
     /// non-zero means peers are applying backpressure.
     pub outbound_queued: usize,
+    /// Cumulative transport reconnect attempts across all peers —
+    /// climbing numbers mean flapping links.
+    pub outbound_retries: u64,
 }
 
 /// Resource usage of one program on this site — the accounting data the
@@ -106,6 +109,12 @@ impl SiteManager {
                 .outbound_depths()
                 .iter()
                 .map(|(_, depth)| depth)
+                .sum(),
+            outbound_retries: site
+                .transport
+                .outbound_retries()
+                .iter()
+                .map(|(_, retries)| retries)
                 .sum(),
         }
     }

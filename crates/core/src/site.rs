@@ -74,6 +74,15 @@ pub struct SiteInner {
     seq: AtomicU64,
     running: AtomicBool,
     draining: AtomicBool,
+    /// This site's incarnation: 1 from birth, bumped (monotonically) when
+    /// refuting a false death declaration. Stamped into every outgoing
+    /// message so receivers can fence zombies.
+    incarnation: AtomicU64,
+    /// Freeze flag for the chaos harness (GC-pause emulation): while set,
+    /// every site thread parks at its loop top, so the site goes silent
+    /// without dying — exactly what a long GC pause looks like from
+    /// outside.
+    paused: AtomicBool,
 
     /// Attraction memory (execution layer).
     pub memory: MemoryManager,
@@ -126,6 +135,35 @@ impl SiteInner {
         self.draining.load(Ordering::SeqCst)
     }
 
+    /// This site's current incarnation number.
+    pub fn my_incarnation(&self) -> u64 {
+        self.incarnation.load(Ordering::SeqCst)
+    }
+
+    /// Raise the incarnation to at least `at_least` (never lowers it).
+    /// Returns the incarnation now in effect.
+    pub fn bump_incarnation_to(&self, at_least: u64) -> u64 {
+        self.incarnation.fetch_max(at_least, Ordering::SeqCst);
+        self.incarnation.load(Ordering::SeqCst)
+    }
+
+    /// True while the chaos harness holds this site frozen.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_paused(&self, paused: bool) {
+        self.paused.store(paused, Ordering::SeqCst);
+    }
+
+    /// Park the calling site thread while the site is paused. Called at
+    /// the top of every site loop so a pause freezes the whole daemon.
+    pub(crate) fn pause_gate(&self) {
+        while self.is_paused() && self.is_running() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
     /// Emit a trace event if tracing is on.
     pub fn emit(&self, ev: TraceEvent) {
         if let Some(t) = &self.trace {
@@ -173,8 +211,9 @@ impl SiteInner {
     /// Send a fully built message: loopback locally or resolve the
     /// logical id to a physical address (via the cluster manager), seal
     /// (security manager) and hand to the network manager.
-    pub fn send_msg(&self, msg: SdMessage) -> SdvmResult<()> {
+    pub fn send_msg(&self, mut msg: SdMessage) -> SdvmResult<()> {
         if msg.dst_site == self.my_id() {
+            msg.src_incarnation = self.my_incarnation();
             self.dispatch(msg);
             return Ok(());
         }
@@ -187,7 +226,13 @@ impl SiteInner {
 
     /// Send to an explicit physical address (used during sign-on, before
     /// the peer's logical id is known).
-    pub fn send_msg_to_addr(&self, addr: &PhysicalAddr, msg: SdMessage) -> SdvmResult<()> {
+    pub fn send_msg_to_addr(&self, addr: &PhysicalAddr, mut msg: SdMessage) -> SdvmResult<()> {
+        // A paused (frozen) site emits nothing: threads parked deep in
+        // blocking loops (idle workers begging for help, waiters) would
+        // otherwise keep leaking liveness proof to the cluster. Gating
+        // the one outbound choke point makes the freeze airtight.
+        self.pause_gate();
+        msg.src_incarnation = self.my_incarnation();
         self.emit(TraceEvent::MessageHop {
             site: self.my_id(),
             manager: ManagerId::Message,
@@ -266,6 +311,17 @@ impl SiteInner {
             payload: msg.payload.name(),
             outgoing: false,
         });
+        // Zombie fencing + liveness bookkeeping: messages from declared-
+        // dead incarnations are dropped here, before any manager (or
+        // pending waiter) can act on them.
+        if msg.src_site.is_valid()
+            && msg.src_site != self.my_id()
+            && !self
+                .cluster
+                .observe_inbound(self, msg.src_site, msg.src_incarnation)
+        {
+            return;
+        }
         if let Some(r) = msg.in_reply_to {
             if self.pending.complete(r, msg.clone()) {
                 return;
@@ -341,6 +397,8 @@ impl Site {
             seq: AtomicU64::new(1),
             running: AtomicBool::new(false),
             draining: AtomicBool::new(false),
+            incarnation: AtomicU64::new(1),
+            paused: AtomicBool::new(false),
             tasks_tx,
             tasks_rx,
             recovery_tx,
@@ -398,6 +456,23 @@ impl Site {
         self.stop();
     }
 
+    /// Freeze the whole site (GC-pause emulation, chaos harness): every
+    /// site thread parks, the site goes silent but does not die. From
+    /// the cluster's perspective this is indistinguishable from a crash
+    /// — which is exactly what the suspicion machinery must cope with.
+    pub fn pause(&self) {
+        self.inner.set_paused(true);
+    }
+
+    /// Unfreeze after [`Site::pause`]. Liveness clocks for every known
+    /// peer are reset *before* the threads wake, so the freshly resumed
+    /// site doesn't instantly declare the whole (silent-to-it) cluster
+    /// dead out of its own stale timestamps.
+    pub fn resume(&self) {
+        self.inner.cluster.refresh_liveness();
+        self.inner.set_paused(false);
+    }
+
     fn stop(&self) {
         self.inner.running.store(false, Ordering::SeqCst);
         self.inner.scheduling.wake_all();
@@ -423,6 +498,7 @@ impl Site {
                     .name(format!("sdvm-router-{}", inner.my_id()))
                     .spawn(move || {
                         while inner.is_running() {
+                            inner.pause_gate();
                             match rx.recv_timeout(Duration::from_millis(50)) {
                                 Ok(raw) => {
                                     let Ok(plain) = inner.security.open(&inner, &raw) else {
@@ -456,6 +532,7 @@ impl Site {
                     .name(format!("sdvm-helper-{}-{}", inner.my_id(), n))
                     .spawn(move || {
                         while inner.is_running() {
+                            inner.pause_gate();
                             match rx.recv_timeout(Duration::from_millis(50)) {
                                 Ok(task) => crate::managers::run_task(&inner, task),
                                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
@@ -487,6 +564,7 @@ impl Site {
                     .spawn(move || {
                         while inner.is_running() {
                             std::thread::sleep(inner.config.heartbeat_interval);
+                            inner.pause_gate();
                             if !inner.is_running() {
                                 break;
                             }
@@ -506,6 +584,7 @@ impl Site {
             platform: self.inner.config.platform,
             speed: self.inner.config.speed,
             code_distribution: self.inner.config.code_distribution,
+            incarnation: self.inner.my_incarnation(),
         }
     }
 }

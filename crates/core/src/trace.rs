@@ -120,6 +120,34 @@ pub enum TraceEvent {
         /// The new site.
         joined: SiteId,
     },
+    /// The failure detector moved a silent site to *suspected* (first
+    /// phase of the two-phase detector; indirect probes are in flight).
+    SiteSuspected {
+        /// Observer.
+        site: SiteId,
+        /// The suspect.
+        suspect: SiteId,
+    },
+    /// A suspicion was withdrawn: the suspect answered a probe, gossiped
+    /// fresh liveness, or refuted with a bumped incarnation.
+    SuspicionRefuted {
+        /// Observer.
+        site: SiteId,
+        /// The no-longer-suspect.
+        suspect: SiteId,
+        /// Incarnation the site is now known to live at.
+        incarnation: u64,
+    },
+    /// A message from a declared-dead incarnation of a site was fenced
+    /// (dropped) instead of re-admitting the zombie into membership.
+    StaleIncarnation {
+        /// Observer that fenced the message.
+        site: SiteId,
+        /// The zombie sender.
+        from: SiteId,
+        /// The stale incarnation the message carried.
+        incarnation: u64,
+    },
     /// A site left (orderly) or was declared crashed.
     SiteGone {
         /// Observer.

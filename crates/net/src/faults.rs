@@ -10,6 +10,7 @@
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// Probabilistic fault model applied per message on a [`MemHub`](crate::MemHub)
 /// (see [`crate::mem`]) link.
@@ -22,6 +23,10 @@ pub struct FaultPlan {
     /// Probability a message is held back and delivered *after* the next
     /// one on the same link (pairwise reordering).
     pub reorder_prob: f64,
+    /// Longest a reorder-held message may wait for a successor before the
+    /// hub's sweeper releases it anyway. Without this bound, a reorder on
+    /// a link that then goes quiet silently becomes a drop.
+    pub hold_max: Duration,
     /// RNG seed, so experiments are reproducible.
     pub seed: u64,
 }
@@ -33,6 +38,7 @@ impl FaultPlan {
             drop_prob: 0.0,
             dup_prob: 0.0,
             reorder_prob: 0.0,
+            hold_max: Duration::ZERO,
             seed: 0,
         }
     }
@@ -44,6 +50,7 @@ impl FaultPlan {
             drop_prob: 0.02,
             dup_prob: 0.01,
             reorder_prob: 0.05,
+            hold_max: Duration::from_millis(20),
             seed,
         }
     }
@@ -60,11 +67,12 @@ impl Default for FaultPlan {
     }
 }
 
-/// Per-link fault state: the RNG plus at most one held-back message.
+/// Per-link fault state: the RNG plus at most one held-back message
+/// (with the deadline after which the sweeper releases it).
 pub(crate) struct LinkFaults {
     plan: FaultPlan,
     rng: StdRng,
-    held: Option<Bytes>,
+    held: Option<(Bytes, Instant)>,
 }
 
 /// What the fault layer decided to deliver for one offered message.
@@ -91,15 +99,18 @@ impl LinkFaults {
         let mut out = Vec::new();
         if self.rng.random::<f64>() < self.plan.drop_prob {
             // Dropped; but anything held back still flushes behind it.
-            if let Some(h) = self.held.take() {
+            if let Some(h) = self.flush() {
                 out.push(h);
             }
             return Delivery::Now(out);
         }
         let duplicated = self.rng.random::<f64>() < self.plan.dup_prob;
         if self.held.is_none() && self.rng.random::<f64>() < self.plan.reorder_prob {
-            // Hold this one back; it will be delivered after the next.
-            self.held = Some(msg);
+            // Hold this one back; it will be delivered after the next —
+            // or by the hub sweeper once `hold_max` elapses, whichever
+            // comes first. (The RNG decisions above never consult the
+            // clock, so per-seed delivery *decisions* stay deterministic.)
+            self.held = Some((msg, Instant::now() + self.plan.hold_max));
             return Delivery::Now(out);
         }
         // Duplication is a refcount bump, not a deep copy.
@@ -107,17 +118,32 @@ impl LinkFaults {
         if duplicated {
             out.push(msg);
         }
-        if let Some(h) = self.held.take() {
+        if let Some(h) = self.flush() {
             out.push(h);
         }
         Delivery::Now(out)
     }
 
     /// Flush any held message (so nothing is lost forever by the
-    /// *reorder* fault alone; exercised by the fault-model tests).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// *reorder* fault alone).
     pub(crate) fn flush(&mut self) -> Option<Bytes> {
-        self.held.take()
+        self.held.take().map(|(b, _)| b)
+    }
+
+    /// Release the held message if its deadline has passed — called by
+    /// the hub's sweeper so a reorder on a link that then goes quiet is
+    /// a *delay*, not a silent drop.
+    pub(crate) fn take_expired(&mut self, now: Instant) -> Option<Bytes> {
+        match &self.held {
+            Some((_, deadline)) if *deadline <= now => self.flush(),
+            _ => None,
+        }
+    }
+
+    /// True while a reorder-held message is parked on this link.
+    #[cfg(test)]
+    pub(crate) fn holding(&self) -> bool {
+        self.held.is_some()
     }
 }
 
@@ -160,6 +186,29 @@ mod tests {
             s
         };
         assert_ne!(got, sorted, "expected reordering with seed 7");
+    }
+
+    #[test]
+    fn held_frame_expires_on_deadline() {
+        // Force a hold on the very first offer, then never send again:
+        // the deadline path must hand the frame back.
+        let plan = FaultPlan {
+            reorder_prob: 1.0,
+            hold_max: Duration::from_millis(5),
+            ..FaultPlan::reliable()
+        };
+        let mut lf = LinkFaults::new(plan);
+        let Delivery::Now(none) = lf.offer(Bytes::from_static(b"only"));
+        assert!(none.is_empty(), "frame should be held back");
+        assert!(lf.holding());
+        assert!(
+            lf.take_expired(Instant::now()).is_none(),
+            "deadline not reached yet"
+        );
+        let late = Instant::now() + Duration::from_millis(50);
+        assert_eq!(lf.take_expired(late).unwrap(), &b"only"[..]);
+        assert!(!lf.holding());
+        assert!(lf.take_expired(late).is_none(), "released only once");
     }
 
     #[test]

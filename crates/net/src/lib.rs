@@ -68,6 +68,12 @@ pub trait Transport: Send + Sync {
         Vec::new()
     }
 
+    /// Cumulative reconnect attempts per peer, for health reporting.
+    /// Transports that never reconnect report nothing.
+    fn outbound_retries(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
     /// Stop background threads and refuse further traffic.
     fn shutdown(&self);
 }

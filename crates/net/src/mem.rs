@@ -12,22 +12,37 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use sdvm_types::{PhysicalAddr, SdvmError, SdvmResult};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 struct Endpoint {
     tx: Sender<Bytes>,
     severed: Arc<AtomicBool>,
 }
 
+/// The hub id behind a mem address, if it is one.
+fn mem_id(addr: &PhysicalAddr) -> Option<u64> {
+    match addr {
+        PhysicalAddr::Mem(id) => Some(*id),
+        _ => None,
+    }
+}
+
 struct HubInner {
     endpoints: Mutex<HashMap<u64, Endpoint>>,
     links: Mutex<HashMap<(u64, u64), LinkFaults>>,
+    /// Directed links currently blackholed by a partition: traffic
+    /// vanishes silently (the sender cannot distinguish a partition from
+    /// a crashed peer — exactly like a real network).
+    blackholes: Mutex<HashSet<(u64, u64)>>,
     default_plan: Mutex<FaultPlan>,
     next_id: AtomicU64,
     /// Total messages accepted for delivery (observability for benches).
     delivered: AtomicU64,
+    /// Whether the held-frame sweeper thread is running.
+    sweeper_running: AtomicBool,
 }
 
 /// The shared in-process "network" connecting [`MemTransport`] endpoints.
@@ -49,24 +64,106 @@ impl MemHub {
             inner: Arc::new(HubInner {
                 endpoints: Mutex::new(HashMap::new()),
                 links: Mutex::new(HashMap::new()),
+                blackholes: Mutex::new(HashSet::new()),
                 default_plan: Mutex::new(FaultPlan::reliable()),
                 next_id: AtomicU64::new(1),
                 delivered: AtomicU64::new(0),
+                sweeper_running: AtomicBool::new(false),
             }),
         }
     }
 
     /// Set the fault plan applied to links created from now on.
     pub fn set_default_plan(&self, plan: FaultPlan) {
+        if plan.reorder_prob > 0.0 {
+            self.ensure_sweeper();
+        }
         *self.inner.default_plan.lock() = plan;
     }
 
     /// Override the fault plan of one directed link.
     pub fn set_link_plan(&self, from: u64, to: u64, plan: FaultPlan) {
+        if plan.reorder_prob > 0.0 {
+            self.ensure_sweeper();
+        }
         self.inner
             .links
             .lock()
             .insert((from, to), LinkFaults::new(plan));
+    }
+
+    /// Blackhole both directions between two endpoints (a network
+    /// partition isolating the pair). Heal with [`MemHub::heal`].
+    pub fn partition(&self, a: &PhysicalAddr, b: &PhysicalAddr) {
+        if let (Some(a), Some(b)) = (mem_id(a), mem_id(b)) {
+            let mut bh = self.inner.blackholes.lock();
+            bh.insert((a, b));
+            bh.insert((b, a));
+        }
+    }
+
+    /// Blackhole a single direction (asymmetric partition: `from` can no
+    /// longer reach `to`, while the reverse path still works).
+    pub fn partition_oneway(&self, from: &PhysicalAddr, to: &PhysicalAddr) {
+        if let (Some(f), Some(t)) = (mem_id(from), mem_id(to)) {
+            self.inner.blackholes.lock().insert((f, t));
+        }
+    }
+
+    /// Heal the partition between two endpoints (both directions).
+    pub fn heal(&self, a: &PhysicalAddr, b: &PhysicalAddr) {
+        if let (Some(a), Some(b)) = (mem_id(a), mem_id(b)) {
+            let mut bh = self.inner.blackholes.lock();
+            bh.remove(&(a, b));
+            bh.remove(&(b, a));
+        }
+    }
+
+    /// Heal every partition on the hub.
+    pub fn heal_all(&self) {
+        self.inner.blackholes.lock().clear();
+    }
+
+    /// Start the background sweeper that releases reorder-held frames
+    /// once their `hold_max` deadline passes. Holds only a weak ref, so
+    /// it exits when the hub (and all its endpoints) are dropped.
+    fn ensure_sweeper(&self) {
+        if self.inner.sweeper_running.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let weak: Weak<HubInner> = Arc::downgrade(&self.inner);
+        std::thread::Builder::new()
+            .name("memhub-sweeper".into())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(2));
+                let Some(inner) = weak.upgrade() else { return };
+                let now = Instant::now();
+                let mut expired: Vec<(u64, u64, Bytes)> = Vec::new();
+                {
+                    let mut links = inner.links.lock();
+                    for ((src, dst), lf) in links.iter_mut() {
+                        if let Some(b) = lf.take_expired(now) {
+                            expired.push((*src, *dst, b));
+                        }
+                    }
+                }
+                // Locks are never held together: links above, then
+                // blackholes/endpoints below (send_from drops endpoints
+                // before taking links, so no ordering cycle exists).
+                for (src, dst, body) in expired {
+                    if inner.blackholes.lock().contains(&(src, dst)) {
+                        continue;
+                    }
+                    let endpoints = inner.endpoints.lock();
+                    if let Some(ep) = endpoints.get(&dst) {
+                        if !ep.severed.load(Ordering::SeqCst) {
+                            inner.delivered.fetch_add(1, Ordering::Relaxed);
+                            let _ = ep.tx.send(body);
+                        }
+                    }
+                }
+            })
+            .expect("spawn memhub sweeper");
     }
 
     /// Create a new endpoint on this hub.
@@ -136,6 +233,12 @@ impl MemHub {
         }
         let tx = ep.tx.clone();
         drop(endpoints);
+
+        if self.inner.blackholes.lock().contains(&(src, dst)) {
+            // Partitioned link: the packet vanishes. Indistinguishable
+            // from a crashed peer until the partition heals.
+            return Ok(());
+        }
 
         let mut links = self.inner.links.lock();
         let faults = links
@@ -288,6 +391,66 @@ mod tests {
             got.len() != 1000 || got != (0..1000).collect::<Vec<_>>(),
             "udp-like link should drop/dup/reorder"
         );
+    }
+
+    #[test]
+    fn partition_blackholes_both_ways_until_healed() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        hub.partition(&a.local_addr(), &b.local_addr());
+        // Sends "succeed" (a partition looks like a dead peer)...
+        a.send_body(&b.local_addr(), b"eaten").unwrap();
+        b.send_body(&a.local_addr(), b"eaten too").unwrap();
+        // ...but nothing arrives either way.
+        assert!(b.incoming().try_recv().is_err());
+        assert!(a.incoming().try_recv().is_err());
+        hub.heal(&a.local_addr(), &b.local_addr());
+        a.send_body(&b.local_addr(), b"through").unwrap();
+        assert_eq!(b.incoming().recv().unwrap(), b"through");
+    }
+
+    #[test]
+    fn oneway_partition_is_asymmetric() {
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        hub.partition_oneway(&a.local_addr(), &b.local_addr());
+        a.send_body(&b.local_addr(), b"lost").unwrap();
+        assert!(b.incoming().try_recv().is_err());
+        b.send_body(&a.local_addr(), b"back path ok").unwrap();
+        assert_eq!(a.incoming().recv().unwrap(), b"back path ok");
+        hub.heal_all();
+        a.send_body(&b.local_addr(), b"healed").unwrap();
+        assert_eq!(b.incoming().recv().unwrap(), b"healed");
+    }
+
+    #[test]
+    fn quiet_link_releases_held_frame() {
+        // A reorder hold on a link that then goes silent must be a
+        // delay, not a permanent loss: the sweeper releases it.
+        let hub = MemHub::new();
+        let a = hub.endpoint();
+        let b = hub.endpoint();
+        let (PhysicalAddr::Mem(aid), PhysicalAddr::Mem(bid)) = (a.local_addr(), b.local_addr())
+        else {
+            unreachable!()
+        };
+        hub.set_link_plan(
+            aid,
+            bid,
+            FaultPlan {
+                reorder_prob: 1.0,
+                hold_max: std::time::Duration::from_millis(10),
+                ..FaultPlan::reliable()
+            },
+        );
+        a.send_body(&b.local_addr(), b"held").unwrap();
+        let got = b
+            .incoming()
+            .recv_timeout(std::time::Duration::from_secs(2))
+            .expect("held frame must be released by deadline");
+        assert_eq!(got, b"held");
     }
 
     #[test]

@@ -29,7 +29,8 @@
 use crate::Transport;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use rand::RngExt;
 use sdvm_types::{PhysicalAddr, SdvmError, SdvmResult};
 use sdvm_wire::{FrameRead, FrameReader};
 use std::collections::HashMap;
@@ -48,6 +49,13 @@ const BACKPRESSURE_TIMEOUT: Duration = Duration::from_secs(2);
 const BATCH_MAX_FRAMES: usize = 256;
 /// Most payload bytes coalesced into one vectored write.
 const BATCH_MAX_BYTES: usize = 1 << 20;
+/// Reconnect attempts after a broken write before the writer gives up
+/// and lets the next `send` surface the failure.
+const RECONNECT_MAX_TRIES: u32 = 5;
+/// First reconnect delay; doubles per attempt up to [`RECONNECT_CAP`].
+const RECONNECT_BASE: Duration = Duration::from_millis(20);
+/// Upper bound on the reconnect delay.
+const RECONNECT_CAP: Duration = Duration::from_millis(1000);
 
 /// One peer's outbound pipe: the queue feeding its writer thread. The
 /// generation lets an exiting writer remove *its own* map entry without
@@ -64,6 +72,9 @@ pub struct TcpTransport {
     conns: Arc<RwLock<HashMap<String, PeerHandle>>>,
     next_gen: AtomicU64,
     closed: Arc<AtomicBool>,
+    /// Cumulative reconnect attempts per peer (survives writer restarts);
+    /// surfaced by [`Transport::outbound_retries`].
+    retries: Arc<Mutex<HashMap<String, u64>>>,
 }
 
 impl TcpTransport {
@@ -80,6 +91,7 @@ impl TcpTransport {
             conns: Arc::new(RwLock::new(HashMap::new())),
             next_gen: AtomicU64::new(1),
             closed: closed.clone(),
+            retries: Arc::new(Mutex::new(HashMap::new())),
         });
         Self::spawn_listener(listener, inbox_tx, closed);
         Ok(t)
@@ -167,23 +179,57 @@ impl TcpTransport {
         let host = host.to_string();
         let conns = self.conns.clone();
         let closed = self.closed.clone();
+        let retries = self.retries.clone();
         std::thread::Builder::new()
             .name(format!("sdvm-tcp-writer-{host}"))
-            .spawn(move || Self::writer_loop(host, stream, rx, conns, closed, gen))
+            .spawn(move || Self::writer_loop(host, stream, rx, conns, closed, retries, gen))
             .expect("spawn writer");
         Ok((tx, gen))
     }
 
+    /// Re-establish a broken connection and replay `batch` onto it, with
+    /// capped exponential backoff plus jitter (so a cluster-wide peer
+    /// restart doesn't produce a synchronized reconnect stampede). Every
+    /// attempt is counted in the per-peer retry ledger. Returns the live
+    /// stream once a replay succeeds, `None` when the budget is spent or
+    /// the transport shuts down.
+    fn reconnect_with_backoff(
+        host: &str,
+        batch: &[Bytes],
+        closed: &AtomicBool,
+        retries: &Mutex<HashMap<String, u64>>,
+    ) -> Option<TcpStream> {
+        let mut delay = RECONNECT_BASE;
+        for _ in 0..RECONNECT_MAX_TRIES {
+            if closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            let jitter = Duration::from_millis(
+                rand::rng().random_range(0..1 + delay.as_millis() as u64 / 2),
+            );
+            std::thread::sleep(delay + jitter);
+            *retries.lock().entry(host.to_string()).or_insert(0) += 1;
+            if let Ok(mut s) = Self::connect(host) {
+                if Self::write_batch(&mut s, batch).is_ok() {
+                    return Some(s);
+                }
+            }
+            delay = (delay * 2).min(RECONNECT_CAP);
+        }
+        None
+    }
+
     /// Drain one peer's queue onto its socket, coalescing bursts into
     /// vectored writes. Exits (removing its own map entry) when the
-    /// transport closes, every sender is gone, or the connection dies
-    /// beyond one reconnect attempt.
+    /// transport closes, every sender is gone, or the connection stays
+    /// dead past the reconnect budget.
     fn writer_loop(
         host: String,
         mut stream: TcpStream,
         rx: Receiver<Bytes>,
         conns: Arc<RwLock<HashMap<String, PeerHandle>>>,
         closed: Arc<AtomicBool>,
+        retries: Arc<Mutex<HashMap<String, u64>>>,
         gen: u64,
     ) {
         let mut batch: Vec<Bytes> = Vec::with_capacity(64);
@@ -205,16 +251,12 @@ impl TcpTransport {
                             Err(_) => break,
                         }
                     }
+                    // Reconnect with backoff on failure, replaying the
+                    // in-flight batch on each fresh connection.
                     if Self::write_batch(&mut stream, &batch).is_err() {
-                        // One reconnect, replaying the in-flight batch.
-                        match Self::connect(&host) {
-                            Ok(s) => {
-                                stream = s;
-                                if Self::write_batch(&mut stream, &batch).is_err() {
-                                    break;
-                                }
-                            }
-                            Err(_) => break,
+                        match Self::reconnect_with_backoff(&host, &batch, &closed, &retries) {
+                            Some(s) => stream = s,
+                            None => break,
                         }
                     }
                 }
@@ -312,6 +354,14 @@ impl Transport for TcpTransport {
             .collect()
     }
 
+    fn outbound_retries(&self) -> Vec<(String, u64)> {
+        self.retries
+            .lock()
+            .iter()
+            .map(|(host, n)| (host.clone(), *n))
+            .collect()
+    }
+
     fn shutdown(&self) {
         self.closed.store(true, Ordering::SeqCst);
         // Dropping the handles disconnects every writer's queue.
@@ -401,6 +451,33 @@ mod tests {
             let m = rx.recv_timeout(Duration::from_secs(10)).unwrap();
             assert_eq!(m, i.to_le_bytes(), "frame {i}");
         }
+    }
+
+    #[test]
+    fn broken_peer_triggers_counted_reconnects() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b_addr = b.local_addr();
+        a.send_body(&b_addr, b"warmup").unwrap();
+        b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(a.outbound_retries().is_empty(), "no retries while healthy");
+        // Kill the peer: its listener stops and its sockets close, so
+        // a's writer sees broken writes and starts the backoff loop
+        // (every reconnect now gets connection-refused).
+        b.shutdown();
+        drop(b);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut total = 0u64;
+        while std::time::Instant::now() < deadline {
+            // Keep offering traffic so the writer notices the break.
+            let _ = a.send_body(&b_addr, b"poke");
+            total = a.outbound_retries().iter().map(|(_, n)| n).sum();
+            if total > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert!(total > 0, "reconnect attempts must be counted");
     }
 
     #[test]

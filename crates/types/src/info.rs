@@ -23,11 +23,17 @@ pub struct SiteDescriptor {
     /// Whether this site volunteered as a code distribution site (stores
     /// every microthread of every program it hears about).
     pub code_distribution: bool,
+    /// Incarnation number of this site: starts at 1 on sign-on and is
+    /// bumped whenever the site refutes a false death declaration. A
+    /// descriptor with a higher incarnation always supersedes a lower
+    /// one; messages from an incarnation at or below a recorded death
+    /// are fenced as stale.
+    pub incarnation: u64,
 }
 
 impl SiteDescriptor {
     /// Descriptor with defaults: reference speed, not a code-distribution
-    /// site.
+    /// site, first incarnation.
     pub fn new(site: SiteId, addr: PhysicalAddr, platform: PlatformId) -> Self {
         Self {
             site,
@@ -35,6 +41,7 @@ impl SiteDescriptor {
             platform,
             speed: 1.0,
             code_distribution: false,
+            incarnation: 1,
         }
     }
 }
@@ -116,5 +123,6 @@ mod tests {
         let d = SiteDescriptor::new(SiteId(1), PhysicalAddr::Mem(0), PlatformId(3));
         assert_eq!(d.speed, 1.0);
         assert!(!d.code_distribution);
+        assert_eq!(d.incarnation, 1, "sites start at incarnation 1");
     }
 }

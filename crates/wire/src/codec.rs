@@ -521,6 +521,7 @@ impl Encode for SiteDescriptor {
         self.platform.encode(w);
         w.put_f64(self.speed);
         w.put_bool(self.code_distribution);
+        w.put_varint(self.incarnation);
     }
 }
 impl Decode for SiteDescriptor {
@@ -531,6 +532,7 @@ impl Decode for SiteDescriptor {
             platform: PlatformId::decode(r)?,
             speed: r.get_f64()?,
             code_distribution: r.get_bool()?,
+            incarnation: r.get_varint()?,
         })
     }
 }
@@ -704,6 +706,7 @@ mod tests {
             platform: PlatformId(2),
             speed: 1.5,
             code_distribution: true,
+            incarnation: 6,
         });
         roundtrip(LoadReport {
             queued_frames: 3,

@@ -9,13 +9,21 @@ use crate::payload::Payload;
 use sdvm_types::{ManagerId, SdvmResult, SiteId};
 
 /// Wire-format version; bumped on incompatible changes.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// History: v1 = initial format; v2 = `src_incarnation` added to the
+/// envelope (zombie fencing) and membership payloads learned incarnation
+/// fields. v1 frames are rejected loudly, not decoded best-effort.
+pub const WIRE_VERSION: u8 = 2;
 
 /// A manager-to-manager message between sites.
 #[derive(Clone, PartialEq, Debug)]
 pub struct SdMessage {
     /// Sending site (logical id).
     pub src_site: SiteId,
+    /// Incarnation of the sending site (0 = unknown/not yet signed on).
+    /// Receivers fence messages whose incarnation is at or below a
+    /// recorded death of `src_site` instead of processing them.
+    pub src_incarnation: u64,
     /// Sending manager.
     pub src_manager: ManagerId,
     /// Receiving site (logical id).
@@ -43,6 +51,7 @@ impl SdMessage {
     ) -> Self {
         Self {
             src_site,
+            src_incarnation: 0,
             src_manager,
             dst_site,
             dst_manager,
@@ -57,6 +66,7 @@ impl SdMessage {
     pub fn reply(&self, seq: u64, src_manager: ManagerId, payload: Payload) -> SdMessage {
         SdMessage {
             src_site: self.dst_site,
+            src_incarnation: 0,
             src_manager,
             dst_site: self.src_site,
             dst_manager: self.src_manager,
@@ -99,6 +109,7 @@ impl SdMessage {
 impl Encode for SdMessage {
     fn encode(&self, w: &mut WireWriter) {
         self.src_site.encode(w);
+        w.put_varint(self.src_incarnation);
         self.src_manager.encode(w);
         self.dst_site.encode(w);
         self.dst_manager.encode(w);
@@ -112,6 +123,7 @@ impl Decode for SdMessage {
     fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
         Ok(SdMessage {
             src_site: SiteId::decode(r)?,
+            src_incarnation: r.get_varint()?,
             src_manager: ManagerId::decode(r)?,
             dst_site: SiteId::decode(r)?,
             dst_manager: ManagerId::decode(r)?,
@@ -142,6 +154,14 @@ mod tests {
         let m = sample();
         let back = SdMessage::from_bytes(&m.to_bytes()).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn incarnation_survives_roundtrip() {
+        let mut m = sample();
+        m.src_incarnation = 7;
+        let back = SdMessage::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back.src_incarnation, 7);
     }
 
     #[test]

@@ -195,7 +195,31 @@ payloads! {
     10 IdBlockGrant { start: u32, len: u32 },
     /// A site was detected crashed; propagate so everyone drops it.
     /// `successor` takes over its homesite directory role during recovery.
-    11 SiteCrashed { site: SiteId, successor: SiteId },
+    /// `incarnation` is the highest incarnation of `site` known to the
+    /// declarer: every incarnation at or below it is fenced as a zombie.
+    11 SiteCrashed { site: SiteId, successor: SiteId, incarnation: u64 },
+
+    // ---- failure detection (SWIM-style suspicion; §2.2 robustness) ----
+
+    /// Gossip: the sender suspects `site` (incarnation `incarnation`) of
+    /// having crashed — it has been silent past the suspect timeout and
+    /// direct probes went unanswered so far. Receivers that heard from
+    /// the site recently may answer with `ProbeAck`; the suspect itself
+    /// refutes with a bumped incarnation.
+    12 SuspectSite { site: SiteId, incarnation: u64 },
+    /// A suspected site protests it is alive: re-announces its descriptor
+    /// with an incarnation bumped past the suspicion it refutes.
+    13 RefuteSuspicion { descriptor: SiteDescriptor },
+    /// Indirect probe: ask the receiver to ping `target` on the sender's
+    /// behalf (the sender cannot reach it, or wants a second opinion).
+    14 ProbeRequest { target: SiteId },
+    /// Indirect probe succeeded (or the sender has fresh first-hand
+    /// evidence): `target` is alive at `incarnation`.
+    15 ProbeAck { target: SiteId, incarnation: u64 },
+    /// Fencing notice sent to a zombie: "the cluster declared incarnation
+    /// `incarnation` of you dead". The zombie rejoins by re-announcing
+    /// itself with a higher incarnation.
+    16 DeathNotice { incarnation: u64 },
 
     // ---- distributed scheduling (§3.3, §4 scheduling manager) ----
 
@@ -416,7 +440,21 @@ mod tests {
             Payload::SiteCrashed {
                 site: SiteId(4),
                 successor: SiteId(5),
+                incarnation: 2,
             },
+            Payload::SuspectSite {
+                site: SiteId(4),
+                incarnation: 1,
+            },
+            Payload::RefuteSuspicion {
+                descriptor: d.clone(),
+            },
+            Payload::ProbeRequest { target: SiteId(4) },
+            Payload::ProbeAck {
+                target: SiteId(4),
+                incarnation: 3,
+            },
+            Payload::DeathNotice { incarnation: 2 },
             Payload::HelpRequest {
                 load: LoadReport::default(),
                 descriptor: Some(d.clone()),

@@ -11,6 +11,13 @@ fn hex(b: &[u8]) -> String {
     b.iter().map(|x| format!("{x:02x}")).collect()
 }
 
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
 #[test]
 fn golden_apply_result() {
     let msg = SdMessage::new(
@@ -28,11 +35,25 @@ fn golden_apply_result() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "010303070\
-32a0028020901080807060504030201",
+        "020300030703\
+2a0028020901080807060504030201",
         "ApplyResult wire encoding changed — bump WIRE_VERSION if intentional"
     );
     assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);
+}
+
+#[test]
+fn v1_frames_are_rejected_loudly() {
+    // The exact golden ApplyResult bytes from WIRE_VERSION 1 (before
+    // `src_incarnation` entered the envelope). A v2 daemon must refuse
+    // them with a version error, not misparse the old field layout.
+    let v1 = unhex("01030307032a0028020901080807060504030201");
+    let err = SdMessage::from_bytes(&v1).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("version"),
+        "v1 frame must fail on the version byte, got: {msg}"
+    );
 }
 
 #[test]
@@ -58,8 +79,8 @@ fn golden_help_request() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0105010101070014020501800803\
-00",
+        "02050001010107001402050180\
+080300",
         "HelpRequest wire encoding changed — bump WIRE_VERSION if intentional"
     );
     assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);
@@ -79,11 +100,35 @@ fn golden_ping_reply() {
     let bytes = reply.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0102080108650164\
+        "020200080108650164\
 5cff01",
         "Pong wire encoding changed — bump WIRE_VERSION if intentional"
     );
     assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), reply);
+}
+
+#[test]
+fn golden_suspect_site() {
+    // New in WIRE_VERSION 2: suspicion gossip for the two-phase detector.
+    let msg = SdMessage::new(
+        SiteId(1),
+        ManagerId::Cluster,
+        SiteId(2),
+        ManagerId::Cluster,
+        9,
+        Payload::SuspectSite {
+            site: SiteId(4),
+            incarnation: 3,
+        },
+    );
+    let bytes = msg.to_bytes();
+    assert_eq!(
+        hex(&bytes),
+        "020100060206090\
+00c0403",
+        "SuspectSite wire encoding changed — bump WIRE_VERSION if intentional"
+    );
+    assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);
 }
 
 #[test]
@@ -100,6 +145,21 @@ fn payload_tags_are_stable() {
                 ),
             },
         ),
+        (
+            12,
+            Payload::SuspectSite {
+                site: SiteId(1),
+                incarnation: 1,
+            },
+        ),
+        (
+            15,
+            Payload::ProbeAck {
+                target: SiteId(1),
+                incarnation: 1,
+            },
+        ),
+        (16, Payload::DeathNotice { incarnation: 1 }),
         (
             20,
             Payload::HelpRequest {

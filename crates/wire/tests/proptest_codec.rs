@@ -39,14 +39,16 @@ fn arb_descriptor() -> impl Strategy<Value = SiteDescriptor> {
         any::<u16>(),
         0.01f64..100.0,
         any::<bool>(),
+        any::<u64>(),
     )
         .prop_map(
-            |(site, addr, platform, speed, code_distribution)| SiteDescriptor {
+            |(site, addr, platform, speed, code_distribution, incarnation)| SiteDescriptor {
                 site,
                 addr,
                 platform: PlatformId(platform),
                 speed,
                 code_distribution,
+                incarnation,
             },
         )
 }
@@ -122,6 +124,7 @@ proptest! {
         dst in arb_site(),
         seq in any::<u64>(),
         reply in prop::option::of(any::<u64>()),
+        incarnation in any::<u64>(),
         payload in arb_payload(),
     ) {
         let mut msg = SdMessage::new(
@@ -133,6 +136,7 @@ proptest! {
             payload,
         );
         msg.in_reply_to = reply;
+        msg.src_incarnation = incarnation;
         let bytes = msg.to_bytes();
         let back = SdMessage::from_bytes(&bytes).expect("roundtrip");
         prop_assert_eq!(back, msg);
