@@ -69,10 +69,12 @@ fn main() {
     println!("real runtime, mixed platforms (1×home + 2×foreign):");
     for i in 0..3 {
         let s = cluster.site(i).inner();
-        let (compiles, fetches) = s.code.stats();
+        let stats = s.code.stats();
         println!(
-            "  site {}: on-the-fly compiles = {compiles}, remote code fetches = {fetches}",
-            cluster.site(i).id()
+            "  site {}: on-the-fly compiles = {}, remote code fetches = {}",
+            cluster.site(i).id(),
+            stats.compiles,
+            stats.remote_fetches
         );
     }
     rule(72);

@@ -29,6 +29,7 @@ pub mod frame;
 pub mod managers;
 pub mod pending;
 pub mod site;
+pub mod telemetry;
 pub mod thread;
 pub mod trace;
 
@@ -38,5 +39,6 @@ pub use checkpoint::ProgramSnapshot;
 pub use config::SiteConfig;
 pub use frame::Microframe;
 pub use site::Site;
+pub use telemetry::{perfetto_trace_json, prometheus_text, HistogramSnapshot, SiteMetrics};
 pub use thread::{AppRegistry, ThreadFn, ThreadSpec};
-pub use trace::{TraceEvent, TraceLog};
+pub use trace::{BusEvent, Category, TraceEvent, TraceLog};

@@ -834,6 +834,14 @@ impl ClusterManager {
             let Some(removed) = st.sites.remove(&dead) else {
                 return; // already handled
             };
+            // Detection latency: how long the peer was silent (by our
+            // firsthand clock) before the verdict landed. Relayed
+            // verdicts measure the same silence as observed here.
+            if let Some(heard) = st.last_heard.get(&dead) {
+                site.metrics
+                    .detection_latency_us
+                    .observe(heard.elapsed().as_micros() as u64);
+            }
             let floor = incarnation_floor
                 .max(st.incarnations.get(&dead).copied().unwrap_or(0))
                 .max(removed.incarnation);

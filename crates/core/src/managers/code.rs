@@ -22,6 +22,15 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Code-manager counters (the code-distribution experiments' numbers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodeStats {
+    /// On-the-fly compiles performed here.
+    pub compiles: u64,
+    /// Binaries fetched from remote sites.
+    pub remote_fetches: u64,
+}
+
 /// The code manager of one site.
 pub struct CodeManager {
     /// (microthread, platform) binaries present on this site.
@@ -51,13 +60,14 @@ impl CodeManager {
         }
     }
 
-    /// (on-the-fly compiles, remote code fetches) so far.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.compiles.load(std::sync::atomic::Ordering::Relaxed),
-            self.remote_fetches
+    /// Code-manager counters so far.
+    pub fn stats(&self) -> CodeStats {
+        CodeStats {
+            compiles: self.compiles.load(std::sync::atomic::Ordering::Relaxed),
+            remote_fetches: self
+                .remote_fetches
                 .load(std::sync::atomic::Ordering::Relaxed),
-        )
+        }
     }
 
     /// A program was started locally: all its microthreads are available
@@ -148,9 +158,13 @@ impl CodeManager {
 
     /// Compile-on-the-fly simulation: pay the latency, gain the binary.
     fn compile(&self, site: &SiteInner, thread: MicrothreadId) -> SdvmResult<()> {
+        let started = std::time::Instant::now();
         if !self.compile_latency.is_zero() {
             std::thread::sleep(self.compile_latency);
         }
+        site.metrics
+            .compile_us
+            .observe(started.elapsed().as_micros() as u64);
         self.compiles
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         site.emit(TraceEvent::CodeCompiled {

@@ -13,10 +13,11 @@
 use crate::frame::Microframe;
 use crate::managers::backup;
 use crate::site::{SiteInner, Task};
+use crate::telemetry::trace_id_of;
 use crate::trace::TraceEvent;
 use parking_lot::Mutex;
 use sdvm_types::{GlobalAddress, ManagerId, ProgramId, SdvmError, SdvmResult, SiteId, Value};
-use sdvm_wire::{Payload, SdMessage, WireMemObject};
+use sdvm_wire::{Payload, SdMessage, TraceContext, WireMemObject};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -442,7 +443,10 @@ impl MemoryManager {
             return Ok(true); // consumed tombstone
         }
         backup::mirror_apply(site, owner, target, slot, value.clone());
-        site.send_payload(
+        // The forwarded result belongs to the target frame's career:
+        // stamp its trace context so the owner's inbound hop stitches to
+        // the same trace.
+        site.send_payload_traced(
             owner,
             ManagerId::Memory,
             ManagerId::Memory,
@@ -451,6 +455,10 @@ impl MemoryManager {
                 target,
                 slot,
                 value,
+            },
+            TraceContext {
+                origin: target.home,
+                id: trace_id_of(target),
             },
         )?;
         Ok(true)

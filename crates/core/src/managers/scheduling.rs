@@ -12,11 +12,12 @@
 use crate::frame::Microframe;
 use crate::managers::backup;
 use crate::site::SiteInner;
+use crate::telemetry::trace_id_of;
 use crate::thread::ThreadFn;
 use crate::trace::TraceEvent;
 use parking_lot::{Condvar, Mutex};
 use sdvm_types::{ManagerId, QueuePolicy, SdvmResult};
-use sdvm_wire::{Payload, SdMessage};
+use sdvm_wire::{Payload, SdMessage, TraceContext};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
@@ -348,6 +349,7 @@ impl SchedulingManager {
         } else {
             Some(site.cluster.my_descriptor(site))
         };
+        let asked = std::time::Instant::now();
         let reply = site.request(
             target,
             ManagerId::Scheduling,
@@ -355,6 +357,9 @@ impl SchedulingManager {
             Payload::HelpRequest { load, descriptor },
             site.config.help_timeout,
         )?;
+        site.metrics
+            .help_rtt_us
+            .observe(asked.elapsed().as_micros() as u64);
         if let Payload::HelpReply { frame } = reply.payload {
             let granter = reply.src_site;
             let frame = Microframe::from_wire(frame);
@@ -435,13 +440,20 @@ impl SchedulingManager {
                                 },
                             );
                         }
-                        let reply = msg.reply(
+                        let mut reply = msg.reply(
                             site.next_seq(),
                             ManagerId::Scheduling,
                             Payload::HelpReply {
                                 frame: frame.to_wire(),
                             },
                         );
+                        // The migration rides the wire under the frame's
+                        // own trace context, so the requester's hops are
+                        // stitchable to this career.
+                        reply.trace = TraceContext {
+                            origin: frame.id.home,
+                            id: trace_id_of(frame.id),
+                        };
                         if site.send_msg(reply).is_err() {
                             // The requester became unreachable between
                             // request and grant: the frame must not be

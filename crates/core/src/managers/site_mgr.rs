@@ -5,7 +5,9 @@
 //! local site. [...] it provides the functionality to query the status of
 //! the local site, i.e. all local managers."
 
+use crate::managers::code::CodeStats;
 use crate::site::SiteInner;
+use crate::telemetry::SiteMetrics;
 use parking_lot::Mutex;
 use sdvm_types::{ManagerId, ProgramId, SiteId};
 use sdvm_wire::{Payload, SdMessage};
@@ -33,14 +35,16 @@ pub struct SiteStatus {
     pub outstanding_requests: usize,
     /// Sites currently known (cluster view size).
     pub known_sites: usize,
-    /// (compiles on the fly, remote code fetches).
-    pub code_stats: (u64, u64),
+    /// Code-manager counters (compiles on the fly, remote code fetches).
+    pub code_stats: CodeStats,
     /// Frames waiting in the transport's per-peer outbound queues —
     /// non-zero means peers are applying backpressure.
     pub outbound_queued: usize,
     /// Cumulative transport reconnect attempts across all peers —
     /// climbing numbers mean flapping links.
     pub outbound_retries: u64,
+    /// Full telemetry snapshot: counters, gauges and latency histograms.
+    pub metrics: SiteMetrics,
 }
 
 /// Resource usage of one program on this site — the accounting data the
@@ -93,6 +97,19 @@ impl SiteManager {
     pub fn status(&self, site: &SiteInner) -> SiteStatus {
         let (queued_frames, busy_slots) = site.scheduling.load_numbers();
         let (objects, incomplete_frames, memory_bytes) = site.memory.stats();
+        let outbound_queued: usize = site
+            .transport
+            .outbound_depths()
+            .iter()
+            .map(|(_, depth)| depth)
+            .sum();
+        // Sample the queue-depth gauge and fold transport-level stall
+        // counts into the metrics snapshot.
+        site.metrics
+            .outbound_queue_depth
+            .set(outbound_queued as u64);
+        let mut metrics = site.metrics.snapshot();
+        metrics.backpressure_stalls = site.transport.outbound_stalls();
         SiteStatus {
             id: site.my_id(),
             queued_frames,
@@ -104,18 +121,14 @@ impl SiteManager {
             outstanding_requests: site.pending.outstanding(),
             known_sites: site.cluster.known_sites().len(),
             code_stats: site.code.stats(),
-            outbound_queued: site
-                .transport
-                .outbound_depths()
-                .iter()
-                .map(|(_, depth)| depth)
-                .sum(),
+            outbound_queued,
             outbound_retries: site
                 .transport
                 .outbound_retries()
                 .iter()
                 .map(|(_, retries)| retries)
                 .sum(),
+            metrics,
         }
     }
 

@@ -19,12 +19,13 @@ use crate::managers::scheduling::SchedulingManager;
 use crate::managers::security::SecurityManager;
 use crate::managers::site_mgr::SiteManager;
 use crate::pending::PendingMap;
+use crate::telemetry::{manager_index, Metrics};
 use crate::thread::AppRegistry;
 use crate::trace::{TraceEvent, TraceLog};
 use parking_lot::RwLock;
 use sdvm_net::Transport;
 use sdvm_types::{ManagerId, PhysicalAddr, SdvmError, SdvmResult, SiteDescriptor, SiteId};
-use sdvm_wire::{Payload, SdMessage};
+use sdvm_wire::{Payload, SdMessage, TraceContext};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -69,6 +70,9 @@ pub struct SiteInner {
     pub registry: Arc<AppRegistry>,
     /// Optional event trace.
     pub trace: Option<TraceLog>,
+    /// Always-on per-site metrics registry (counters, gauges, latency
+    /// histograms); snapshotable via the site manager's status.
+    pub metrics: Metrics,
     /// Outstanding request correlation.
     pub pending: PendingMap,
     seq: AtomicU64,
@@ -164,10 +168,39 @@ impl SiteInner {
         }
     }
 
-    /// Emit a trace event if tracing is on.
+    /// Record a trace-point: updates the event-derived metrics, then
+    /// hands the event to the trace bus if one is attached.
     pub fn emit(&self, ev: TraceEvent) {
+        self.metrics.observe(&ev);
         if let Some(t) = &self.trace {
             t.emit(ev);
+        }
+    }
+
+    /// [`SiteInner::emit`] with a caller-supplied clock read, for hot
+    /// paths that already timed their work (seal/open): sharing the
+    /// `Instant` keeps telemetry to one clock read per event.
+    pub fn emit_at(&self, ev: TraceEvent, now: std::time::Instant) {
+        self.metrics.observe(&ev);
+        if let Some(t) = &self.trace {
+            t.emit_at(ev, now);
+        }
+    }
+
+    /// Record two trace-points with caller-supplied clock reads, pushed
+    /// to the bus under a single ring-lock acquisition (the outbound
+    /// message path emits exactly two hops per message).
+    pub fn emit_pair_at(
+        &self,
+        ev0: TraceEvent,
+        t0: std::time::Instant,
+        ev1: TraceEvent,
+        t1: std::time::Instant,
+    ) {
+        self.metrics.observe(&ev0);
+        self.metrics.observe(&ev1);
+        if let Some(t) = &self.trace {
+            t.emit_pair_at(ev0, t0, ev1, t1);
         }
     }
 
@@ -197,7 +230,29 @@ impl SiteInner {
         seq: u64,
         payload: Payload,
     ) -> SdvmResult<()> {
-        let msg = SdMessage::new(
+        self.send_payload_traced(
+            dst_site,
+            dst_manager,
+            src_manager,
+            seq,
+            payload,
+            TraceContext::NONE,
+        )
+    }
+
+    /// [`SiteInner::send_payload`] with an explicit causal trace context
+    /// stamped onto the message (wire v3), so telemetry on the receiving
+    /// site can stitch the message to the operation it belongs to.
+    pub fn send_payload_traced(
+        &self,
+        dst_site: SiteId,
+        dst_manager: ManagerId,
+        src_manager: ManagerId,
+        seq: u64,
+        payload: Payload,
+        trace: TraceContext,
+    ) -> SdvmResult<()> {
+        let mut msg = SdMessage::new(
             self.my_id(),
             src_manager,
             dst_site,
@@ -205,6 +260,7 @@ impl SiteInner {
             seq,
             payload,
         );
+        msg.trace = trace;
         self.send_msg(msg)
     }
 
@@ -233,20 +289,34 @@ impl SiteInner {
         // the one outbound choke point makes the freeze airtight.
         self.pause_gate();
         msg.src_incarnation = self.my_incarnation();
-        self.emit(TraceEvent::MessageHop {
-            site: self.my_id(),
-            manager: ManagerId::Message,
-            payload: msg.payload.name(),
-            outgoing: true,
-        });
+        // Two clock reads serve four consumers: `t0` stamps the
+        // message-manager hop and starts the seal timer, `t1` stops it
+        // and stamps the network-manager hop.
+        let t0 = std::time::Instant::now();
         // Encode + seal + frame in one buffer (the zero-copy send path).
         let frame = self.security.seal_frame(self, msg.dst_site, &msg)?;
-        self.emit(TraceEvent::MessageHop {
-            site: self.my_id(),
-            manager: ManagerId::Network,
-            payload: msg.payload.name(),
-            outgoing: true,
-        });
+        let t1 = std::time::Instant::now();
+        self.metrics
+            .seal_us
+            .observe_duration(t1.saturating_duration_since(t0));
+        self.emit_pair_at(
+            TraceEvent::MessageHop {
+                site: self.my_id(),
+                manager: ManagerId::Message,
+                payload: msg.payload.name(),
+                outgoing: true,
+                trace: msg.trace.id,
+            },
+            t0,
+            TraceEvent::MessageHop {
+                site: self.my_id(),
+                manager: ManagerId::Network,
+                payload: msg.payload.name(),
+                outgoing: true,
+                trace: msg.trace.id,
+            },
+            t1,
+        );
         self.transport.send(addr, frame)
     }
 
@@ -310,6 +380,7 @@ impl SiteInner {
             manager: msg.dst_manager,
             payload: msg.payload.name(),
             outgoing: false,
+            trace: msg.trace.id,
         });
         // Zombie fencing + liveness bookkeeping: messages from declared-
         // dead incarnations are dropped here, before any manager (or
@@ -336,6 +407,8 @@ impl SiteInner {
                 _ => return,
             }
         }
+        let handler = manager_index(msg.dst_manager);
+        let handle_started = std::time::Instant::now();
         match msg.dst_manager {
             ManagerId::Scheduling => self.scheduling.handle(self, msg),
             ManagerId::Memory => self.memory.handle(self, msg),
@@ -350,8 +423,12 @@ impl SiteInner {
                     manager: other,
                     payload: "undeliverable",
                     outgoing: false,
+                    trace: 0,
                 });
             }
+        }
+        if let Some(idx) = handler {
+            self.metrics.dispatch_us[idx].observe_duration(handle_started.elapsed());
         }
     }
 }
@@ -393,6 +470,7 @@ impl Site {
             transport,
             registry,
             trace,
+            metrics: Metrics::new(),
             pending: PendingMap::new(),
             seq: AtomicU64::new(1),
             running: AtomicBool::new(false),
@@ -501,7 +579,13 @@ impl Site {
                             inner.pause_gate();
                             match rx.recv_timeout(Duration::from_millis(50)) {
                                 Ok(raw) => {
-                                    let Ok(plain) = inner.security.open(&inner, &raw) else {
+                                    let open_started = std::time::Instant::now();
+                                    let opened = inner.security.open(&inner, &raw);
+                                    inner
+                                        .metrics
+                                        .open_us
+                                        .observe_duration(open_started.elapsed());
+                                    let Ok(plain) = opened else {
                                         continue; // forged/corrupt: drop
                                     };
                                     let Ok(msg) = SdMessage::from_bytes(&plain) else {

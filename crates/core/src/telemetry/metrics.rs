@@ -1,0 +1,537 @@
+//! Lock-free metric primitives and the per-site metrics registry.
+//!
+//! Counters and gauges are single atomics; histograms are log2-bucketed
+//! (power-of-two boundaries over microseconds) arrays of atomics, so the
+//! hot paths record with a handful of relaxed atomic ops and never take a
+//! lock. The only locked structure is the career-mark map, touched once
+//! per career *transition* (four times per frame lifetime), not per
+//! message.
+
+use crate::trace::TraceEvent;
+use parking_lot::Mutex;
+use sdvm_types::{GlobalAddress, ManagerId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of log2 histogram buckets: bucket `i` (for `i < LAST`) counts
+/// values `v` with `v < 2^i` and `v >= 2^(i-1)` (bucket 0: `v == 0`);
+/// the last bucket is the overflow (+Inf) bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down (e.g. a queue depth).
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed latency histogram over microseconds. The observation
+/// count is *derived* (the sum of the buckets) rather than stored, so
+/// the hot-path record is two relaxed RMWs, not three.
+pub struct Histogram {
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a microsecond value: 0 for 0, else
+    /// `floor(log2(v)) + 1`, clamped into the overflow bucket.
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Record one observation (microseconds).
+    pub fn observe(&self, micros: u64) {
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one observation from a [`Duration`], converting with u64
+    /// arithmetic (`Duration::as_micros` divides in u128, which is
+    /// measurable on per-message paths).
+    ///
+    /// [`Duration`]: std::time::Duration
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs() * 1_000_000 + d.subsec_micros() as u64);
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum_us: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values (µs).
+    pub sum_us: u64,
+    /// Per-bucket counts; bucket `i > 0` holds values in
+    /// `[2^(i-1), 2^i)` µs, bucket 0 holds zeros, the last bucket is
+    /// the overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// The upper bound (`le` label) of bucket `i`: `2^i - 1` µs written
+    /// as a number, or `+Inf` for the overflow bucket.
+    pub fn le_label(i: usize) -> String {
+        if i + 1 == HISTOGRAM_BUCKETS {
+            "+Inf".to_string()
+        } else {
+            format!("{}", (1u64 << i) - 1)
+        }
+    }
+}
+
+/// Career timestamps of one frame still in flight (µs since the
+/// registry epoch).
+#[derive(Default, Clone, Copy)]
+struct CareerMarks {
+    created: Option<u64>,
+    executable: Option<u64>,
+    ready: Option<u64>,
+}
+
+/// Bound on in-flight career marks; beyond it the oldest-inserted entries
+/// are not pruned individually (no ordering kept) — the map is cleared,
+/// trading a window of lost career samples for bounded memory.
+const CAREER_MAP_CAP: usize = 100_000;
+
+/// Per-site metrics registry. One instance hangs off every `SiteInner`;
+/// event-derived metrics update through [`Metrics::observe`] (called on
+/// every trace-point, whether or not a `TraceLog` is attached), and hot
+/// paths with real timing data (seal, open, dispatch, help RTT, compile)
+/// record directly into the histograms.
+pub struct Metrics {
+    epoch: Instant,
+
+    // ---- counters (event-derived) ----
+    /// Messages leaving this site's message manager.
+    pub messages_sent: Counter,
+    /// Messages dispatched on this site.
+    pub messages_received: Counter,
+    /// Help requests sent.
+    pub help_requests: Counter,
+    /// Help requests this site answered with a frame.
+    pub help_granted: Counter,
+    /// Help requests this site answered with can't-help.
+    pub help_denied: Counter,
+    /// Suspicions this site raised (failure detector phase 1).
+    pub suspicions_raised: Counter,
+    /// Suspicions this site withdrew after fresh liveness evidence.
+    pub suspicions_refuted: Counter,
+    /// Messages fenced because they carried a declared-dead incarnation.
+    pub zombies_fenced: Counter,
+    /// Peers this site declared crashed.
+    pub crashes_declared: Counter,
+    /// Frames this site executed.
+    pub frames_executed: Counter,
+
+    // ---- gauges ----
+    /// Frames waiting in the transport's outbound queues (sampled at
+    /// status time).
+    pub outbound_queue_depth: Gauge,
+
+    // ---- histograms (µs) ----
+    /// Whole career: created → executed.
+    pub career_total_us: Histogram,
+    /// Dataflow wait: created → executable (last parameter arrives).
+    pub career_wait_us: Histogram,
+    /// Code fetch: executable → ready.
+    pub career_fetch_us: Histogram,
+    /// Queue + run: ready → executed.
+    pub career_exec_us: Histogram,
+    /// Security-manager seal (encode + encrypt + frame) time.
+    pub seal_us: Histogram,
+    /// Security-manager open (decrypt + verify) time.
+    pub open_us: Histogram,
+    /// Per-manager inbound dispatch (handler) time, indexed by
+    /// [`manager_index`].
+    pub dispatch_us: Vec<Histogram>,
+    /// Help-request round trip (request sent → reply or timeout).
+    pub help_rtt_us: Histogram,
+    /// Simulated on-the-fly compile duration.
+    pub compile_us: Histogram,
+    /// Failure-detector detection latency: last-heard → declared-crashed.
+    pub detection_latency_us: Histogram,
+
+    /// In-flight career marks, keyed by frame address.
+    careers: Mutex<HashMap<GlobalAddress, CareerMarks>>,
+}
+
+/// Managers whose inbound dispatch time is tracked, in
+/// [`Metrics::dispatch_us`] index order.
+pub const DISPATCH_MANAGERS: [ManagerId; 7] = [
+    ManagerId::Scheduling,
+    ManagerId::Memory,
+    ManagerId::Code,
+    ManagerId::Cluster,
+    ManagerId::Program,
+    ManagerId::Io,
+    ManagerId::Site,
+];
+
+/// Index of `m` in [`DISPATCH_MANAGERS`]/[`Metrics::dispatch_us`]
+/// (`None` for managers without a dispatch handler).
+pub fn manager_index(m: ManagerId) -> Option<usize> {
+    DISPATCH_MANAGERS.iter().position(|d| *d == m)
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            epoch: Instant::now(),
+            messages_sent: Counter::default(),
+            messages_received: Counter::default(),
+            help_requests: Counter::default(),
+            help_granted: Counter::default(),
+            help_denied: Counter::default(),
+            suspicions_raised: Counter::default(),
+            suspicions_refuted: Counter::default(),
+            zombies_fenced: Counter::default(),
+            crashes_declared: Counter::default(),
+            frames_executed: Counter::default(),
+            outbound_queue_depth: Gauge::default(),
+            career_total_us: Histogram::default(),
+            career_wait_us: Histogram::default(),
+            career_fetch_us: Histogram::default(),
+            career_exec_us: Histogram::default(),
+            seal_us: Histogram::default(),
+            open_us: Histogram::default(),
+            dispatch_us: (0..DISPATCH_MANAGERS.len())
+                .map(|_| Histogram::default())
+                .collect(),
+            help_rtt_us: Histogram::default(),
+            compile_us: Histogram::default(),
+            detection_latency_us: Histogram::default(),
+            careers: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Microseconds since this registry was created.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Update event-derived metrics from one trace-point. Counter-only
+    /// for the per-message events; career events additionally touch the
+    /// career-mark map (a few times per frame lifetime).
+    pub fn observe(&self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::MessageHop {
+                manager, outgoing, ..
+            } => {
+                // Count the message-manager legs only: one outgoing hop
+                // pair (Message + Network) is one sent message; an
+                // incoming hop is one dispatched message.
+                if *outgoing {
+                    if *manager == ManagerId::Message {
+                        self.messages_sent.inc();
+                    }
+                } else {
+                    self.messages_received.inc();
+                }
+            }
+            TraceEvent::FrameCreated { frame, .. } => {
+                let now = self.now_micros();
+                let mut careers = self.careers.lock();
+                if careers.len() >= CAREER_MAP_CAP {
+                    careers.clear();
+                }
+                careers.entry(*frame).or_default().created = Some(now);
+            }
+            TraceEvent::FrameExecutable { frame, .. } => {
+                let now = self.now_micros();
+                let mut careers = self.careers.lock();
+                let marks = careers.entry(*frame).or_default();
+                marks.executable = Some(now);
+                if let Some(created) = marks.created {
+                    self.career_wait_us.observe(now.saturating_sub(created));
+                }
+            }
+            TraceEvent::FrameReady { frame, .. } => {
+                let now = self.now_micros();
+                let mut careers = self.careers.lock();
+                let marks = careers.entry(*frame).or_default();
+                marks.ready = Some(now);
+                if let Some(executable) = marks.executable {
+                    self.career_fetch_us.observe(now.saturating_sub(executable));
+                }
+            }
+            TraceEvent::FrameExecuted { frame, .. } => {
+                self.frames_executed.inc();
+                let now = self.now_micros();
+                let marks = self.careers.lock().remove(frame);
+                if let Some(marks) = marks {
+                    if let Some(ready) = marks.ready {
+                        self.career_exec_us.observe(now.saturating_sub(ready));
+                    }
+                    if let Some(created) = marks.created {
+                        self.career_total_us.observe(now.saturating_sub(created));
+                    }
+                }
+            }
+            TraceEvent::HelpRequested { .. } => self.help_requests.inc(),
+            TraceEvent::HelpGranted { .. } => self.help_granted.inc(),
+            TraceEvent::HelpDenied { .. } => self.help_denied.inc(),
+            TraceEvent::SiteSuspected { .. } => self.suspicions_raised.inc(),
+            TraceEvent::SuspicionRefuted { .. } => self.suspicions_refuted.inc(),
+            TraceEvent::StaleIncarnation { .. } => self.zombies_fenced.inc(),
+            TraceEvent::SiteGone { crashed: true, .. } => self.crashes_declared.inc(),
+            _ => {}
+        }
+    }
+
+    /// Typed point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> SiteMetrics {
+        SiteMetrics {
+            messages_sent: self.messages_sent.get(),
+            messages_received: self.messages_received.get(),
+            help_requests: self.help_requests.get(),
+            help_granted: self.help_granted.get(),
+            help_denied: self.help_denied.get(),
+            suspicions_raised: self.suspicions_raised.get(),
+            suspicions_refuted: self.suspicions_refuted.get(),
+            zombies_fenced: self.zombies_fenced.get(),
+            crashes_declared: self.crashes_declared.get(),
+            frames_executed: self.frames_executed.get(),
+            outbound_queue_depth: self.outbound_queue_depth.get(),
+            backpressure_stalls: 0,
+            career_total_us: self.career_total_us.snapshot(),
+            career_wait_us: self.career_wait_us.snapshot(),
+            career_fetch_us: self.career_fetch_us.snapshot(),
+            career_exec_us: self.career_exec_us.snapshot(),
+            seal_us: self.seal_us.snapshot(),
+            open_us: self.open_us.snapshot(),
+            dispatch_us: DISPATCH_MANAGERS
+                .iter()
+                .zip(self.dispatch_us.iter())
+                .map(|(m, h)| (format!("{m:?}"), h.snapshot()))
+                .collect(),
+            help_rtt_us: self.help_rtt_us.snapshot(),
+            compile_us: self.compile_us.snapshot(),
+            detection_latency_us: self.detection_latency_us.snapshot(),
+        }
+    }
+}
+
+/// A typed point-in-time snapshot of one site's metrics (the metrics
+/// half of `SiteStatus`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiteMetrics {
+    /// Messages leaving this site's message manager.
+    pub messages_sent: u64,
+    /// Messages dispatched on this site.
+    pub messages_received: u64,
+    /// Help requests sent.
+    pub help_requests: u64,
+    /// Help requests answered with a frame.
+    pub help_granted: u64,
+    /// Help requests answered with can't-help.
+    pub help_denied: u64,
+    /// Suspicions raised.
+    pub suspicions_raised: u64,
+    /// Suspicions withdrawn.
+    pub suspicions_refuted: u64,
+    /// Zombie messages fenced.
+    pub zombies_fenced: u64,
+    /// Peers declared crashed.
+    pub crashes_declared: u64,
+    /// Frames executed.
+    pub frames_executed: u64,
+    /// Frames waiting in outbound queues (sampled).
+    pub outbound_queue_depth: u64,
+    /// Sends that hit a full outbound queue and had to wait (transport-
+    /// level; filled in from the transport at snapshot time).
+    pub backpressure_stalls: u64,
+    /// Whole career: created → executed (µs).
+    pub career_total_us: HistogramSnapshot,
+    /// Dataflow wait: created → executable (µs).
+    pub career_wait_us: HistogramSnapshot,
+    /// Code fetch: executable → ready (µs).
+    pub career_fetch_us: HistogramSnapshot,
+    /// Queue + run: ready → executed (µs).
+    pub career_exec_us: HistogramSnapshot,
+    /// Seal (encode + encrypt + frame) time (µs).
+    pub seal_us: HistogramSnapshot,
+    /// Open (decrypt + verify) time (µs).
+    pub open_us: HistogramSnapshot,
+    /// Per-manager inbound dispatch time (µs), labeled by manager name.
+    pub dispatch_us: Vec<(String, HistogramSnapshot)>,
+    /// Help-request round trip (µs).
+    pub help_rtt_us: HistogramSnapshot,
+    /// Simulated compile duration (µs).
+    pub compile_us: HistogramSnapshot,
+    /// Failure-detector detection latency (µs).
+    pub detection_latency_us: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdvm_types::{MicrothreadId, ProgramId, SiteId};
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(5);
+        h.observe(5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_us, 10);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[3], 2); // 5 ∈ [4, 8)
+        assert!((s.mean_us() - 10.0 / 3.0).abs() < 1e-9);
+        assert_eq!(HistogramSnapshot::le_label(3), "7");
+        assert_eq!(HistogramSnapshot::le_label(HISTOGRAM_BUCKETS - 1), "+Inf");
+    }
+
+    #[test]
+    fn career_latency_derived_from_events() {
+        let m = Metrics::new();
+        let site = SiteId(1);
+        let frame = GlobalAddress::new(site, 1);
+        let thread = MicrothreadId::new(ProgramId(1), 0);
+        m.observe(&TraceEvent::FrameCreated {
+            site,
+            frame,
+            thread,
+            slots: 1,
+        });
+        m.observe(&TraceEvent::FrameExecutable { site, frame });
+        m.observe(&TraceEvent::FrameReady { site, frame });
+        m.observe(&TraceEvent::FrameExecuted {
+            site,
+            frame,
+            thread,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.frames_executed, 1);
+        assert_eq!(s.career_total_us.count, 1);
+        assert_eq!(s.career_wait_us.count, 1);
+        assert_eq!(s.career_fetch_us.count, 1);
+        assert_eq!(s.career_exec_us.count, 1);
+        // The frame's marks are cleaned up after execution.
+        assert!(m.careers.lock().is_empty());
+    }
+
+    #[test]
+    fn detector_counters_follow_events() {
+        let m = Metrics::new();
+        let site = SiteId(1);
+        m.observe(&TraceEvent::SiteSuspected {
+            site,
+            suspect: SiteId(2),
+        });
+        m.observe(&TraceEvent::SuspicionRefuted {
+            site,
+            suspect: SiteId(2),
+            incarnation: 2,
+        });
+        m.observe(&TraceEvent::StaleIncarnation {
+            site,
+            from: SiteId(3),
+            incarnation: 1,
+        });
+        m.observe(&TraceEvent::SiteGone {
+            site,
+            gone: SiteId(3),
+            crashed: true,
+        });
+        m.observe(&TraceEvent::SiteGone {
+            site,
+            gone: SiteId(4),
+            crashed: false,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.suspicions_raised, 1);
+        assert_eq!(s.suspicions_refuted, 1);
+        assert_eq!(s.zombies_fenced, 1);
+        assert_eq!(s.crashes_declared, 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Cluster-wide telemetry: the metrics registry and exporters.
+//!
+//! The paper's figures are behavioural claims — Fig. 5's microframe
+//! career, Fig. 6's manager hops, §6's join/leave and crash-recovery
+//! timelines. The event bus ([`crate::trace`]) records *what* happened
+//! and *when*; this module measures *how long* the interesting intervals
+//! took ([`metrics`]) and renders a whole run for human eyes
+//! ([`export`]): a Perfetto/Chrome `trace.json` with one track per site
+//! (careers stitched across sites by trace id) and a Prometheus text
+//! exposition of every counter and histogram.
+
+pub mod export;
+pub mod metrics;
+
+pub use export::{perfetto_trace_json, prometheus_text, trace_id_of};
+pub use metrics::{
+    manager_index, Counter, Gauge, Histogram, HistogramSnapshot, Metrics, SiteMetrics,
+    DISPATCH_MANAGERS, HISTOGRAM_BUCKETS,
+};

@@ -1,5 +1,5 @@
-//! Event tracing: machine-checkable reproductions of the paper's
-//! behavioural figures.
+//! The telemetry event bus: machine-checkable reproductions of the
+//! paper's behavioural figures, with timestamps.
 //!
 //! Figure 4 (execution cycle) and Figure 5 (the career of microframes:
 //! *incomplete → executable → ready → work*) describe runtime behaviour;
@@ -7,10 +7,34 @@
 //! network managers. Sites emit [`TraceEvent`]s at those points, so tests
 //! can assert the exact lifecycle and the `trace_career` example prints
 //! it for inspection.
+//!
+//! Since PR 3 the collector is a *bounded ring buffer* rather than an
+//! unbounded `Vec`: every recorded event is wrapped in a [`BusEvent`]
+//! carrying a bus-global sequence number, a per-site sequence number and
+//! a monotonic microsecond timestamp (wall-clock time is derived on
+//! demand from the bus construction epoch, so the emit hot path costs a
+//! single `Instant::now()` and a short lock). Old events are overwritten
+//! once the ring is full ([`TraceLog::dropped`] counts them), and
+//! non-blocking subscriber taps ([`TraceLog::subscribe`]) receive live
+//! copies without ever stalling an emitting site. The pre-PR 3 snapshot
+//! API (`events`, `filter`, `len`, `career_of`, …) is preserved verbatim
+//! so the chaos harness and the existing tests keep working unchanged.
 
-use parking_lot::Mutex;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
 use sdvm_types::{GlobalAddress, ManagerId, MicrothreadId, PlatformId, SiteId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity: large enough that every existing test and
+/// example sees the complete event stream, small enough to bound memory
+/// on long chaos runs.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+/// Default depth of a subscriber tap's channel.
+pub const DEFAULT_TAP_CAPACITY: usize = 1024;
 
 /// Something observable happened inside a site.
 #[derive(Clone, Debug, PartialEq)]
@@ -112,6 +136,12 @@ pub enum TraceEvent {
         payload: &'static str,
         /// `true` while sending, `false` while receiving.
         outgoing: bool,
+        /// Trace id the message's wire [`TraceContext`] carried
+        /// (0 = untraced). Lets exporters stitch one logical operation's
+        /// hops across sites.
+        ///
+        /// [`TraceContext`]: sdvm_wire::TraceContext
+        trace: u32,
     },
     /// A site joined the cluster.
     SiteJoined {
@@ -170,53 +200,418 @@ pub enum TraceEvent {
     },
 }
 
-/// A shared, thread-safe trace collector.
-#[derive(Clone, Default)]
-pub struct TraceLog {
-    inner: Arc<Mutex<Vec<TraceEvent>>>,
+impl TraceEvent {
+    /// The site that observed/emitted this event.
+    pub fn site(&self) -> SiteId {
+        match self {
+            TraceEvent::FrameCreated { site, .. }
+            | TraceEvent::ParamApplied { site, .. }
+            | TraceEvent::FrameExecutable { site, .. }
+            | TraceEvent::FrameReady { site, .. }
+            | TraceEvent::FrameExecuted { site, .. }
+            | TraceEvent::HelpRequested { site, .. }
+            | TraceEvent::HelpGranted { site, .. }
+            | TraceEvent::HelpDenied { site, .. }
+            | TraceEvent::CodeRequested { site, .. }
+            | TraceEvent::CodeCompiled { site, .. }
+            | TraceEvent::MessageHop { site, .. }
+            | TraceEvent::SiteJoined { site, .. }
+            | TraceEvent::SiteSuspected { site, .. }
+            | TraceEvent::SuspicionRefuted { site, .. }
+            | TraceEvent::StaleIncarnation { site, .. }
+            | TraceEvent::SiteGone { site, .. }
+            | TraceEvent::Recovered { site, .. } => *site,
+        }
+    }
+
+    /// The telemetry category this event belongs to (the unit the
+    /// `SDVM_TELEMETRY` env filter selects on).
+    pub fn category(&self) -> Category {
+        match self {
+            TraceEvent::FrameCreated { .. }
+            | TraceEvent::ParamApplied { .. }
+            | TraceEvent::FrameExecutable { .. }
+            | TraceEvent::FrameReady { .. }
+            | TraceEvent::FrameExecuted { .. } => Category::Career,
+            TraceEvent::HelpRequested { .. }
+            | TraceEvent::HelpGranted { .. }
+            | TraceEvent::HelpDenied { .. } => Category::Help,
+            TraceEvent::CodeRequested { .. } | TraceEvent::CodeCompiled { .. } => Category::Code,
+            TraceEvent::MessageHop { .. } => Category::Hops,
+            TraceEvent::SiteJoined { .. } | TraceEvent::SiteGone { .. } => Category::Membership,
+            TraceEvent::SiteSuspected { .. }
+            | TraceEvent::SuspicionRefuted { .. }
+            | TraceEvent::StaleIncarnation { .. } => Category::Detector,
+            TraceEvent::Recovered { .. } => Category::Recovery,
+        }
+    }
+}
+
+/// Coarse event families the `SDVM_TELEMETRY` filter selects on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Category {
+    /// Microframe career transitions (Fig. 5).
+    Career = 1 << 0,
+    /// Help-request traffic (work stealing / migration).
+    Help = 1 << 1,
+    /// Code requests and on-the-fly compiles.
+    Code = 1 << 2,
+    /// Message hops through the manager stack (Fig. 6).
+    Hops = 1 << 3,
+    /// Join / sign-off / crash declarations.
+    Membership = 1 << 4,
+    /// Failure-detector internals (suspicions, refutations, fencing).
+    Detector = 1 << 5,
+    /// Crash recovery.
+    Recovery = 1 << 6,
+}
+
+impl Category {
+    const ALL: u32 = 0x7f;
+
+    fn from_name(name: &str) -> Option<u32> {
+        Some(match name {
+            "career" => Category::Career as u32,
+            "help" => Category::Help as u32,
+            "code" => Category::Code as u32,
+            "hops" => Category::Hops as u32,
+            "membership" => Category::Membership as u32,
+            "detector" => Category::Detector as u32,
+            "recovery" => Category::Recovery as u32,
+            "all" => Category::ALL,
+            "off" | "none" => 0,
+            _ => return None,
+        })
+    }
+
+    /// Parse an `SDVM_TELEMETRY`-style spec (comma-separated category
+    /// names, `all`, or `off`) into a category bitmask. Unknown names are
+    /// ignored; an empty spec means *all*.
+    pub fn parse_spec(spec: &str) -> u32 {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Category::ALL;
+        }
+        let mut mask = 0u32;
+        let mut any = false;
+        for part in spec.split(',') {
+            if let Some(bits) = Category::from_name(part.trim()) {
+                mask |= bits;
+                any = true;
+            }
+        }
+        if any {
+            mask
+        } else {
+            Category::ALL
+        }
+    }
+}
+
+/// One recorded event with its bus metadata: timestamps and sequencing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BusEvent {
+    /// Bus-global sequence number (total order of arrival at this log).
+    pub seq: u64,
+    /// Per-site sequence number (order within the emitting site).
+    pub site_seq: u64,
+    /// Monotonic microseconds since the bus was created. Wall-clock time
+    /// is `TraceLog::epoch_wall_micros() + at_micros`.
+    pub at_micros: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// The bounded ring holding recent events, behind one short lock.
+struct Ring {
+    buf: VecDeque<BusEvent>,
+    cap: usize,
+    next_seq: u64,
+    // Linear scan beats hashing: a cluster has a handful of sites and
+    // this sits on the per-emit hot path under the lock.
+    site_seqs: Vec<(SiteId, u64)>,
+}
+
+struct BusInner {
+    ring: Mutex<Ring>,
+    /// Monotonic zero point for every `at_micros`.
+    epoch: Instant,
+    /// Wall-clock microseconds since the UNIX epoch at `epoch`, captured
+    /// once so the emit path never makes a wall-clock syscall.
+    epoch_wall_micros: u64,
+    /// Category bitmask; events outside it are not recorded.
+    filter_mask: u32,
+    /// Echo each event to stderr (examples / debugging).
     echo: bool,
+    /// Events overwritten by ring wraparound.
+    overwritten: AtomicU64,
+    /// Events a full subscriber tap failed to receive.
+    tap_dropped: AtomicU64,
+    /// Cheap emptiness check so emit skips the subscriber lock entirely
+    /// in the common no-subscriber case.
+    sub_count: AtomicUsize,
+    subscribers: RwLock<Vec<Sender<BusEvent>>>,
+}
+
+/// A shared, thread-safe trace collector: the telemetry event bus.
+#[derive(Clone)]
+pub struct TraceLog {
+    inner: Arc<BusInner>,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::with_options(DEFAULT_RING_CAPACITY, Category::ALL, false)
+    }
 }
 
 impl TraceLog {
-    /// A collecting log.
+    /// A collecting log with the default capacity, recording everything.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// A log that also prints each event to stdout (for the examples).
+    /// A log that also prints each event to stderr (for the examples).
+    /// The line is formatted *before* the ring lock is taken, so echoing
+    /// never serializes sites through lock-held I/O.
     pub fn echoing() -> Self {
+        Self::with_options(DEFAULT_RING_CAPACITY, Category::ALL, true)
+    }
+
+    /// A log with a specific ring capacity (`cap >= 1`).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_options(cap, Category::ALL, false)
+    }
+
+    /// A log recording only the categories in `mask` (see
+    /// [`Category::parse_spec`]).
+    pub fn with_filter(mask: u32) -> Self {
+        Self::with_options(DEFAULT_RING_CAPACITY, mask, false)
+    }
+
+    /// A log configured from the `SDVM_TELEMETRY` environment variable
+    /// (comma-separated category names, `all`, or `off`; unset = all).
+    pub fn from_env() -> Self {
+        let mask = match std::env::var("SDVM_TELEMETRY") {
+            Ok(spec) => Category::parse_spec(&spec),
+            Err(_) => Category::ALL,
+        };
+        Self::with_filter(mask)
+    }
+
+    fn with_options(cap: usize, filter_mask: u32, echo: bool) -> Self {
+        let cap = cap.max(1);
+        let epoch_wall_micros = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
         TraceLog {
-            inner: Arc::default(),
-            echo: true,
+            inner: Arc::new(BusInner {
+                ring: Mutex::new(Ring {
+                    buf: VecDeque::with_capacity(cap),
+                    cap,
+                    next_seq: 0,
+                    site_seqs: Vec::new(),
+                }),
+                epoch: Instant::now(),
+                epoch_wall_micros,
+                filter_mask,
+                echo,
+                overwritten: AtomicU64::new(0),
+                tap_dropped: AtomicU64::new(0),
+                sub_count: AtomicUsize::new(0),
+                subscribers: RwLock::new(Vec::new()),
+            }),
         }
     }
 
-    /// Record one event.
+    /// Record one event, reading the clock once.
     pub fn emit(&self, ev: TraceEvent) {
-        if self.echo {
-            println!("[trace] {ev:?}");
+        if ev.category() as u32 & self.inner.filter_mask == 0 {
+            return;
         }
-        self.inner.lock().push(ev);
+        self.record(ev, Instant::now());
     }
 
-    /// Snapshot of all events so far.
+    /// Record one event using an [`Instant`] the caller already read —
+    /// the hot paths time their work anyway (seal, open, dispatch), so
+    /// sharing that read keeps telemetry to one clock read per event.
+    pub fn emit_at(&self, ev: TraceEvent, now: Instant) {
+        if ev.category() as u32 & self.inner.filter_mask == 0 {
+            return;
+        }
+        self.record(ev, now);
+    }
+
+    /// Record two events under a single ring-lock acquisition, using
+    /// clocks the caller already read. The send path emits exactly two
+    /// hops per outbound message (message manager, then network
+    /// manager); pairing them halves its lock traffic.
+    pub fn emit_pair_at(&self, ev0: TraceEvent, t0: Instant, ev1: TraceEvent, t1: Instant) {
+        let mask = self.inner.filter_mask;
+        let keep0 = ev0.category() as u32 & mask != 0;
+        let keep1 = ev1.category() as u32 & mask != 0;
+        match (keep0, keep1) {
+            (true, true) => {
+                let at0 = self.micros_since_epoch(t0);
+                let at1 = self.micros_since_epoch(t1);
+                self.record_pair(ev0, at0, ev1, at1);
+            }
+            (true, false) => self.record(ev0, t0),
+            (false, true) => self.record(ev1, t1),
+            (false, false) => {}
+        }
+    }
+
+    fn micros_since_epoch(&self, now: Instant) -> u64 {
+        // u64 arithmetic: `Duration::as_micros` divides in u128, which
+        // shows up on the per-event hot path.
+        let d = now.saturating_duration_since(self.inner.epoch);
+        d.as_secs() * 1_000_000 + d.subsec_micros() as u64
+    }
+
+    fn record(&self, ev: TraceEvent, now: Instant) {
+        let inner = &*self.inner;
+        let at_micros = self.micros_since_epoch(now);
+        // Format the echo line *outside* the ring lock (satellite fix:
+        // echo mode used to serialize all sites through lock + stdout).
+        let echo_line = inner.echo.then(|| format!("[trace +{at_micros}us] {ev:?}"));
+        // Only clone the event out of the ring when a subscriber wants a
+        // copy — the common no-subscriber emit stays clone-free.
+        let want_copy = inner.sub_count.load(Ordering::Acquire) > 0;
+        let mut overwrote = 0u64;
+        let for_subs = {
+            let mut ring = inner.ring.lock();
+            push_locked(&mut ring, ev, at_micros, want_copy, &mut overwrote)
+        };
+        if overwrote > 0 {
+            inner.overwritten.fetch_add(overwrote, Ordering::Relaxed);
+        }
+        if let Some(line) = echo_line {
+            eprintln!("{line}");
+        }
+        if let Some(bus_ev) = for_subs {
+            self.fan_out(&bus_ev);
+        }
+    }
+
+    fn record_pair(&self, ev0: TraceEvent, at0: u64, ev1: TraceEvent, at1: u64) {
+        let inner = &*self.inner;
+        let echo_lines = inner.echo.then(|| {
+            (
+                format!("[trace +{at0}us] {ev0:?}"),
+                format!("[trace +{at1}us] {ev1:?}"),
+            )
+        });
+        let want_copy = inner.sub_count.load(Ordering::Acquire) > 0;
+        let mut overwrote = 0u64;
+        let (s0, s1) = {
+            let mut ring = inner.ring.lock();
+            (
+                push_locked(&mut ring, ev0, at0, want_copy, &mut overwrote),
+                push_locked(&mut ring, ev1, at1, want_copy, &mut overwrote),
+            )
+        };
+        if overwrote > 0 {
+            inner.overwritten.fetch_add(overwrote, Ordering::Relaxed);
+        }
+        if let Some((l0, l1)) = echo_lines {
+            eprintln!("{l0}\n{l1}");
+        }
+        for bus_ev in [s0, s1].into_iter().flatten() {
+            self.fan_out(&bus_ev);
+        }
+    }
+
+    fn fan_out(&self, bus_ev: &BusEvent) {
+        let inner = &*self.inner;
+        let subs = inner.subscribers.read();
+        for tx in subs.iter() {
+            match tx.try_send(bus_ev.clone()) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    inner.tap_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Attach a non-blocking subscriber tap with the default channel
+    /// depth. Emitters never block on a slow subscriber: once the tap's
+    /// channel is full, further events are dropped for that tap (counted
+    /// in [`TraceLog::tap_dropped`]) while the ring keeps recording.
+    pub fn subscribe(&self) -> Receiver<BusEvent> {
+        self.subscribe_with_capacity(DEFAULT_TAP_CAPACITY)
+    }
+
+    /// Attach a subscriber tap with an explicit channel depth.
+    pub fn subscribe_with_capacity(&self, cap: usize) -> Receiver<BusEvent> {
+        let (tx, rx) = bounded(cap.max(1));
+        let mut subs = self.inner.subscribers.write();
+        subs.push(tx);
+        self.inner.sub_count.store(subs.len(), Ordering::Release);
+        rx
+    }
+
+    /// Events overwritten by ring wraparound so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.overwritten.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because a subscriber tap's channel was full.
+    pub fn tap_dropped(&self) -> u64 {
+        self.inner.tap_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total events recorded since creation (including overwritten ones).
+    pub fn total_emitted(&self) -> u64 {
+        self.inner.ring.lock().next_seq
+    }
+
+    /// Wall-clock microseconds (since the UNIX epoch) at bus creation;
+    /// add a [`BusEvent::at_micros`] to place an event on the wall clock.
+    pub fn epoch_wall_micros(&self) -> u64 {
+        self.inner.epoch_wall_micros
+    }
+
+    /// Snapshot of the buffered events with their bus metadata
+    /// (sequence numbers and timestamps), oldest first.
+    pub fn timestamped(&self) -> Vec<BusEvent> {
+        self.inner.ring.lock().buf.iter().cloned().collect()
+    }
+
+    /// Snapshot of all buffered events so far (compat API).
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.lock().clone()
+        self.inner
+            .ring
+            .lock()
+            .buf
+            .iter()
+            .map(|b| b.event.clone())
+            .collect()
     }
 
-    /// Events matching a predicate.
+    /// Buffered events matching a predicate (compat API).
     pub fn filter(&self, f: impl Fn(&TraceEvent) -> bool) -> Vec<TraceEvent> {
-        self.inner.lock().iter().filter(|e| f(e)).cloned().collect()
+        self.inner
+            .ring
+            .lock()
+            .buf
+            .iter()
+            .filter(|b| f(&b.event))
+            .map(|b| b.event.clone())
+            .collect()
     }
 
-    /// Number of recorded events.
+    /// Number of currently buffered events.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.ring.lock().buf.len()
     }
 
-    /// True if no events were recorded.
+    /// True if no events are buffered.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.ring.lock().buf.is_empty()
     }
 
     /// The career (ordered trace states) of one frame, as Figure 5 names
@@ -224,9 +619,11 @@ impl TraceLog {
     /// possible migration in between.
     pub fn career_of(&self, frame: GlobalAddress) -> Vec<String> {
         self.inner
+            .ring
             .lock()
+            .buf
             .iter()
-            .filter_map(|e| match e {
+            .filter_map(|b| match &b.event {
                 TraceEvent::FrameCreated { frame: f, .. } if *f == frame => {
                     Some("incomplete".to_string())
                 }
@@ -247,6 +644,47 @@ impl TraceLog {
             })
             .collect()
     }
+}
+
+/// Append one event to the ring (the lock is already held), assigning
+/// its sequence numbers and handling wraparound. Returns a copy for
+/// subscriber fan-out when `want_copy` is set. Overwritten events are
+/// tallied into `overwrote` so the caller can settle the shared counter
+/// once, outside the lock.
+fn push_locked(
+    ring: &mut Ring,
+    ev: TraceEvent,
+    at_micros: u64,
+    want_copy: bool,
+    overwrote: &mut u64,
+) -> Option<BusEvent> {
+    let seq = ring.next_seq;
+    ring.next_seq += 1;
+    let site = ev.site();
+    let site_seq = match ring.site_seqs.iter_mut().find(|(s, _)| *s == site) {
+        Some((_, n)) => {
+            let v = *n;
+            *n += 1;
+            v
+        }
+        None => {
+            ring.site_seqs.push((site, 1));
+            0
+        }
+    };
+    let bus_ev = BusEvent {
+        seq,
+        site_seq,
+        at_micros,
+        event: ev,
+    };
+    if ring.buf.len() == ring.cap {
+        ring.buf.pop_front();
+        *overwrote += 1;
+    }
+    let for_subs = want_copy.then(|| bus_ev.clone());
+    ring.buf.push_back(bus_ev);
+    for_subs
 }
 
 #[cfg(test)]
@@ -314,5 +752,58 @@ mod tests {
             vec!["incomplete", "param", "executable", "ready", "executed"]
         );
         assert_eq!(log.career_of(other), vec!["incomplete"]);
+    }
+
+    #[test]
+    fn sequences_and_timestamps_are_monotonic() {
+        let log = TraceLog::new();
+        for i in 0..5 {
+            log.emit(TraceEvent::SiteJoined {
+                site: SiteId(1 + (i % 2)),
+                joined: SiteId(9),
+            });
+        }
+        let evs = log.timestamped();
+        assert_eq!(evs.len(), 5);
+        for (i, b) in evs.iter().enumerate() {
+            assert_eq!(b.seq, i as u64);
+        }
+        for w in evs.windows(2) {
+            assert!(w[1].at_micros >= w[0].at_micros);
+        }
+        // Per-site sequences count independently.
+        let site1: Vec<u64> = evs
+            .iter()
+            .filter(|b| b.event.site() == SiteId(1))
+            .map(|b| b.site_seq)
+            .collect();
+        assert_eq!(site1, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn category_spec_parses() {
+        assert_eq!(Category::parse_spec("all"), Category::ALL);
+        assert_eq!(Category::parse_spec("off"), 0);
+        assert_eq!(
+            Category::parse_spec("career,hops"),
+            Category::Career as u32 | Category::Hops as u32
+        );
+        // Unknown-only specs fall back to everything.
+        assert_eq!(Category::parse_spec("bogus"), Category::ALL);
+    }
+
+    #[test]
+    fn filtered_categories_are_not_recorded() {
+        let log = TraceLog::with_filter(Category::Career as u32);
+        log.emit(TraceEvent::SiteJoined {
+            site: SiteId(1),
+            joined: SiteId(2),
+        });
+        assert!(log.is_empty());
+        log.emit(TraceEvent::FrameExecutable {
+            site: SiteId(1),
+            frame: GlobalAddress::new(SiteId(1), 1),
+        });
+        assert_eq!(log.len(), 1);
     }
 }

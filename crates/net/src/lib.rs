@@ -74,6 +74,13 @@ pub trait Transport: Send + Sync {
         Vec::new()
     }
 
+    /// Cumulative sends that found their peer's outbound queue full and
+    /// had to wait (backpressure stalls). Transports without bounded
+    /// queues report zero.
+    fn outbound_stalls(&self) -> u64 {
+        0
+    }
+
     /// Stop background threads and refuse further traffic.
     fn shutdown(&self);
 }

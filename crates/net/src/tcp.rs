@@ -75,6 +75,9 @@ pub struct TcpTransport {
     /// Cumulative reconnect attempts per peer (survives writer restarts);
     /// surfaced by [`Transport::outbound_retries`].
     retries: Arc<Mutex<HashMap<String, u64>>>,
+    /// Cumulative sends that found a peer queue full and had to wait;
+    /// surfaced by [`Transport::outbound_stalls`].
+    stalls: AtomicU64,
 }
 
 impl TcpTransport {
@@ -92,6 +95,7 @@ impl TcpTransport {
             next_gen: AtomicU64::new(1),
             closed: closed.clone(),
             retries: Arc::new(Mutex::new(HashMap::new())),
+            stalls: AtomicU64::new(0),
         });
         Self::spawn_listener(listener, inbox_tx, closed);
         Ok(t)
@@ -300,6 +304,7 @@ impl TcpTransport {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(frame)) => {
                 // This peer is slow; block only this sender, bounded.
+                self.stalls.fetch_add(1, Ordering::Relaxed);
                 tx.send_timeout(frame, BACKPRESSURE_TIMEOUT).map_err(|_| {
                     SdvmError::Transport(format!("outbound queue to {host} full (backpressure)"))
                 })
@@ -360,6 +365,10 @@ impl Transport for TcpTransport {
             .iter()
             .map(|(host, n)| (host.clone(), *n))
             .collect()
+    }
+
+    fn outbound_stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
     }
 
     fn shutdown(&self) {

@@ -29,5 +29,5 @@ pub use framing::{
     begin_frame, finish_frame, frame_bytes, read_frame, write_frame, FrameRead, FrameReader,
     FRAME_PREFIX_LEN, MAX_FRAME_LEN,
 };
-pub use message::SdMessage;
+pub use message::{SdMessage, TraceContext, WIRE_VERSION};
 pub use payload::{Payload, WireFrame, WireMemObject};

@@ -12,8 +12,63 @@ use sdvm_types::{ManagerId, SdvmResult, SiteId};
 ///
 /// History: v1 = initial format; v2 = `src_incarnation` added to the
 /// envelope (zombie fencing) and membership payloads learned incarnation
-/// fields. v1 frames are rejected loudly, not decoded best-effort.
-pub const WIRE_VERSION: u8 = 2;
+/// fields; v3 = causal [`TraceContext`] (origin site + 32-bit trace id)
+/// added to the envelope so one microframe's migration is stitchable
+/// across sites. Older frames are rejected loudly, not decoded
+/// best-effort.
+pub const WIRE_VERSION: u8 = 3;
+
+/// Causal trace context riding every [`SdMessage`] (wire v3).
+///
+/// Identifies the *logical operation* a message belongs to — typically one
+/// microframe's career — so telemetry on different sites can stitch the
+/// same operation's spans together without coordination. The id space is
+/// partitioned by `origin` (the site that minted the id), so two sites can
+/// mint ids concurrently without collision. Encoded as two varints
+/// (origin site id, then the 32-bit trace id).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TraceContext {
+    /// Site that minted the trace id (partition of the id space).
+    pub origin: SiteId,
+    /// Trace id, unique within `origin`. 0 with origin 0 means "none".
+    pub id: u32,
+}
+
+impl TraceContext {
+    /// The absent trace context: untraced administrative traffic.
+    pub const NONE: TraceContext = TraceContext {
+        origin: SiteId(0),
+        id: 0,
+    };
+
+    /// Whether this context actually names a trace.
+    pub fn is_some(&self) -> bool {
+        *self != TraceContext::NONE
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> Self {
+        TraceContext::NONE
+    }
+}
+
+impl Encode for TraceContext {
+    fn encode(&self, w: &mut WireWriter) {
+        self.origin.encode(w);
+        w.put_varint(self.id as u64);
+    }
+}
+
+impl Decode for TraceContext {
+    fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
+        let origin = SiteId::decode(r)?;
+        let id = r.get_varint()?;
+        let id = u32::try_from(id)
+            .map_err(|_| sdvm_types::SdvmError::Decode(format!("trace id {id} overflows u32")))?;
+        Ok(TraceContext { origin, id })
+    }
+}
 
 /// A manager-to-manager message between sites.
 #[derive(Clone, PartialEq, Debug)]
@@ -35,6 +90,9 @@ pub struct SdMessage {
     pub seq: u64,
     /// Sequence number of the request this message answers, if any.
     pub in_reply_to: Option<u64>,
+    /// Causal trace context ([`TraceContext::NONE`] for untraced traffic).
+    /// Replies inherit the request's context.
+    pub trace: TraceContext,
     /// The payload.
     pub payload: Payload,
 }
@@ -57,6 +115,7 @@ impl SdMessage {
             dst_manager,
             seq,
             in_reply_to: None,
+            trace: TraceContext::NONE,
             payload,
         }
     }
@@ -72,6 +131,7 @@ impl SdMessage {
             dst_manager: self.src_manager,
             seq,
             in_reply_to: Some(self.seq),
+            trace: self.trace,
             payload,
         }
     }
@@ -115,6 +175,7 @@ impl Encode for SdMessage {
         self.dst_manager.encode(w);
         w.put_varint(self.seq);
         self.in_reply_to.encode(w);
+        self.trace.encode(w);
         self.payload.encode(w);
     }
 }
@@ -129,6 +190,7 @@ impl Decode for SdMessage {
             dst_manager: ManagerId::decode(r)?,
             seq: r.get_varint()?,
             in_reply_to: Option::decode(r)?,
+            trace: TraceContext::decode(r)?,
             payload: Payload::decode(r)?,
         })
     }
@@ -173,6 +235,30 @@ mod tests {
         assert_eq!(r.dst_manager, ManagerId::Scheduling);
         assert_eq!(r.in_reply_to, Some(7));
         assert_eq!(r.seq, 99);
+    }
+
+    #[test]
+    fn trace_context_survives_roundtrip_and_reply() {
+        let mut m = sample();
+        m.trace = TraceContext {
+            origin: SiteId(3),
+            id: 0xDEAD,
+        };
+        let back = SdMessage::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back.trace, m.trace);
+        // Replies inherit the request's context (causal propagation).
+        let r = back.reply(99, ManagerId::Scheduling, Payload::Ping { token: 1 });
+        assert_eq!(r.trace, m.trace);
+    }
+
+    #[test]
+    fn trace_id_overflow_rejected() {
+        let mut w = WireWriter::with_capacity(16);
+        SiteId(1).encode(&mut w);
+        w.put_varint(u64::from(u32::MAX) + 1);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(TraceContext::decode(&mut r).is_err());
     }
 
     #[test]

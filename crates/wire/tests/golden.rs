@@ -5,7 +5,7 @@
 //! `WIRE_VERSION` and update the constants.
 
 use sdvm_types::{GlobalAddress, LoadReport, ManagerId, MicrothreadId, ProgramId, SiteId, Value};
-use sdvm_wire::{Payload, SdMessage};
+use sdvm_wire::{Payload, SdMessage, TraceContext};
 
 fn hex(b: &[u8]) -> String {
     b.iter().map(|x| format!("{x:02x}")).collect()
@@ -35,9 +35,36 @@ fn golden_apply_result() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "020300030703\
-2a0028020901080807060504030201",
+        "0303000307032a0000\
+0028020901080807060504030201",
         "ApplyResult wire encoding changed — bump WIRE_VERSION if intentional"
+    );
+    assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);
+}
+
+#[test]
+fn golden_traced_ping() {
+    // New in WIRE_VERSION 3: the causal trace context (origin site id +
+    // 32-bit trace id, two varints) rides the envelope between
+    // `in_reply_to` and the payload.
+    let mut msg = SdMessage::new(
+        SiteId(5),
+        ManagerId::Scheduling,
+        SiteId(1),
+        ManagerId::Scheduling,
+        7,
+        Payload::Ping { token: 1 },
+    );
+    msg.trace = TraceContext {
+        origin: SiteId(3),
+        id: 300,
+    };
+    let bytes = msg.to_bytes();
+    assert_eq!(
+        hex(&bytes),
+        "030500010101070003ac02\
+5b01",
+        "TraceContext wire encoding changed — bump WIRE_VERSION if intentional"
     );
     assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);
 }
@@ -45,14 +72,29 @@ fn golden_apply_result() {
 #[test]
 fn v1_frames_are_rejected_loudly() {
     // The exact golden ApplyResult bytes from WIRE_VERSION 1 (before
-    // `src_incarnation` entered the envelope). A v2 daemon must refuse
-    // them with a version error, not misparse the old field layout.
+    // `src_incarnation` entered the envelope). A current daemon must
+    // refuse them with a version error, not misparse the old layout.
     let v1 = unhex("01030307032a0028020901080807060504030201");
     let err = SdMessage::from_bytes(&v1).unwrap_err();
     let msg = format!("{err}");
     assert!(
         msg.contains("version"),
         "v1 frame must fail on the version byte, got: {msg}"
+    );
+}
+
+#[test]
+fn v2_frames_are_rejected_loudly() {
+    // The exact golden ApplyResult bytes from WIRE_VERSION 2 (before the
+    // trace context entered the envelope). A v3 daemon must refuse them
+    // with a version error — decoding best-effort would misread the
+    // payload tag as trace-context bytes.
+    let v2 = unhex("0203000307032a0028020901080807060504030201");
+    let err = SdMessage::from_bytes(&v2).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("version"),
+        "v2 frame must fail on the version byte, got: {msg}"
     );
 }
 
@@ -79,8 +121,8 @@ fn golden_help_request() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "02050001010107001402050180\
-080300",
+        "0305000101010700000014020501\
+80080300",
         "HelpRequest wire encoding changed — bump WIRE_VERSION if intentional"
     );
     assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);
@@ -100,7 +142,7 @@ fn golden_ping_reply() {
     let bytes = reply.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "020200080108650164\
+        "0302000801086501640000\
 5cff01",
         "Pong wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -124,8 +166,8 @@ fn golden_suspect_site() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "020100060206090\
-00c0403",
+        "030100060206090000\
+000c0403",
         "SuspectSite wire encoding changed — bump WIRE_VERSION if intentional"
     );
     assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);

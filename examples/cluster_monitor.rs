@@ -1,84 +1,194 @@
-//! A cluster monitor: the site manager's status interface ("query the
-//! status of the local site, i.e. all local managers", §4) and the
-//! accounting ledger (goal 14), sampled live while two programs from
-//! different users share the cluster (goals 10/11: multitasking,
-//! multiuser).
+//! The telemetry console: a chaos-stressed cluster observed end to end
+//! through PR 3's telemetry layer — the timestamped event bus (with a
+//! live subscriber tap), the per-site metrics registry folded into the
+//! site manager's status (§4), causal trace ids stitching migrated
+//! frames across sites, and the Perfetto + Prometheus exporters.
+//!
+//! The event-bus filter honors `SDVM_TELEMETRY` (comma-separated
+//! categories: `career,help,code,hops,membership,detector,recovery`,
+//! or `all` / `off`). Note that filtering only trims the *event bus*;
+//! the metrics registry is always on.
 //!
 //! ```text
-//! cargo run --release --example cluster_monitor
+//! cargo run --release --example cluster_monitor [-- OUT_DIR]
+//! SDVM_TELEMETRY=career,detector cargo run --release --example cluster_monitor
 //! ```
+//!
+//! Writes `OUT_DIR/trace.json` (open at <https://ui.perfetto.dev>) and
+//! `OUT_DIR/metrics.prom` (Prometheus text exposition). `OUT_DIR`
+//! defaults to the current directory.
 
-use sdvm::apps::mandelbrot::MandelbrotProgram;
 use sdvm::apps::primes::PrimesProgram;
-use sdvm::core::{InProcessCluster, SiteConfig};
-use std::time::Duration;
+use sdvm::core::{
+    perfetto_trace_json, prometheus_text, ChaosAction, ChaosScenario, InProcessCluster, SiteConfig,
+    SiteMetrics, TraceEvent, TraceLog,
+};
+use sdvm::types::SiteId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CATEGORY_NAMES: [&str; 7] = [
+    "career",
+    "help",
+    "code",
+    "hops",
+    "membership",
+    "detector",
+    "recovery",
+];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cluster = InProcessCluster::new(3, SiteConfig::default())?;
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
 
-    // Two users, two programs, concurrently — even launched from
-    // different sites ("access the cluster from any machine", goal 15).
-    let primes = PrimesProgram {
-        p: 150,
+    // The event bus, filtered by SDVM_TELEMETRY (unset = everything).
+    let trace = TraceLog::from_env();
+
+    // A live, non-blocking tap: a monitoring thread counts events per
+    // category as they happen. If it fell behind, events would be
+    // dropped for the tap only (counted), never stalling the sites.
+    let tap = trace.subscribe();
+    let tap_counts: Arc<[AtomicU64; 7]> = Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
+    {
+        let counts = tap_counts.clone();
+        std::thread::spawn(move || {
+            while let Ok(b) = tap.recv() {
+                let idx = (b.event.category() as u32).trailing_zeros() as usize;
+                counts[idx.min(6)].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+
+    // Four sites with the fast failure detector and crash tolerance on,
+    // so the chaos schedule below is survivable and observable.
+    let mut cfg = SiteConfig::default().with_crash_tolerance();
+    cfg.heartbeat_interval = Duration::from_millis(50);
+    cfg.suspect_timeout = Duration::from_millis(200);
+    cfg.crash_timeout = Duration::from_millis(1_000);
+    let cluster = InProcessCluster::with_configs(vec![cfg; 4], Some(trace.clone()))?;
+
+    // The workload: the paper's prime-search, slow enough that frames
+    // migrate between sites via help requests.
+    let prog = PrimesProgram {
+        p: 60,
         width: 12,
         spin: 0,
-        sleep_us: 15_000,
+        sleep_us: 10_000,
     };
-    let h1 = primes.launch(cluster.site(0))?;
-    let mandel = MandelbrotProgram {
-        rows: 96,
-        cols: 128,
-        max_iter: 600,
-    };
-    let h2 = mandel.launch(cluster.site(1))?;
 
-    // Sample the cluster status a few times while they run.
-    for tick in 0..3 {
-        std::thread::sleep(Duration::from_millis(150));
-        println!("── tick {tick} ───────────────────────────────────────────────");
-        println!(
-            "{:>6} {:>7} {:>6} {:>8} {:>8} {:>9} {:>7}",
-            "site", "queued", "busy", "frames", "objects", "programs", "known"
+    // The chaos schedule: a link partition that heals (suspicion raised,
+    // then refuted through indirect probes) and a long pause that gets
+    // site 3 declared dead (detection latency!), fenced as a zombie on
+    // resume, and re-admitted at a bumped incarnation.
+    let scenario = ChaosScenario::new()
+        .at(
+            Duration::from_millis(300),
+            ChaosAction::Partition {
+                a: 0,
+                b: 1,
+                heal_after: Duration::from_millis(1_200),
+            },
+        )
+        .at(
+            Duration::from_millis(800),
+            ChaosAction::Pause {
+                site: 3,
+                for_: Duration::from_millis(2_500),
+            },
         );
-        for i in 0..cluster.len() {
-            let s = cluster.site(i).inner();
-            let st = s.site_mgr.status(s);
-            println!(
-                "{:>6} {:>7} {:>6} {:>8} {:>8} {:>9} {:>7}",
-                st.id.to_string(),
-                st.queued_frames,
-                st.busy_slots,
-                st.incomplete_frames,
-                st.objects,
-                st.programs,
-                st.known_sites
-            );
-        }
-    }
 
-    let r1 = h1.wait(Duration::from_secs(600))?;
-    let r2 = h2.wait(Duration::from_secs(600))?;
+    let started = Instant::now();
+    let result = std::thread::scope(|s| -> Result<_, Box<dyn std::error::Error>> {
+        s.spawn(|| scenario.run(&cluster));
+        let handle = prog.launch(cluster.site(0))?;
+
+        // Sample the status interface — now carrying SiteMetrics — while
+        // the chaos plays out.
+        for tick in 0..4 {
+            std::thread::sleep(Duration::from_millis(600));
+            println!(
+                "── tick {tick} (+{:?}) ─────────────────────────────────────────",
+                started.elapsed()
+            );
+            println!(
+                "{:>6} {:>7} {:>6} {:>6} {:>6} {:>8} {:>8} {:>9}",
+                "site", "queued", "execd", "sent", "recvd", "career", "suspect", "declared"
+            );
+            for i in 0..cluster.len() {
+                let site = cluster.site(i);
+                let inner = site.inner();
+                let st = inner.site_mgr.status(inner);
+                let m = &st.metrics;
+                println!(
+                    "{:>6} {:>7} {:>6} {:>6} {:>6} {:>7.0}µ {:>8} {:>9}",
+                    st.id.to_string(),
+                    st.queued_frames,
+                    m.frames_executed,
+                    m.messages_sent,
+                    m.messages_received,
+                    m.career_total_us.mean_us(),
+                    m.suspicions_raised,
+                    m.crashes_declared,
+                );
+            }
+        }
+        Ok(handle.wait(Duration::from_secs(600))?)
+    })?;
     println!();
     println!(
-        "primes result: {}  mandelbrot checksum: {}",
-        r1.as_u64()?,
-        r2.as_u64()?
+        "the {}-th prime is {} — found in {:?} despite a partition and a paused site",
+        prog.p,
+        result.as_u64()?,
+        started.elapsed()
     );
-    assert_eq!(r2.as_u64()?, mandel.reference());
 
-    // The bill, per site and program (goal 14: accounting).
+    // Let the paused site's zombie fencing / rejoin play out before the
+    // final snapshot, so the detector metrics show the full story.
+    std::thread::sleep(Duration::from_millis(1_200));
+
+    // ---- export ----
+    let events = trace.timestamped();
+    let migrations: Vec<_> = events
+        .iter()
+        .filter_map(|b| match &b.event {
+            TraceEvent::HelpGranted { frame, .. } => Some(*frame),
+            _ => None,
+        })
+        .collect();
+
+    let trace_path = format!("{out_dir}/trace.json");
+    std::fs::write(&trace_path, perfetto_trace_json(&events))?;
+
+    let snapshots: Vec<(SiteId, SiteMetrics)> = (0..cluster.len())
+        .map(|i| {
+            let site = cluster.site(i);
+            let inner = site.inner();
+            let st = inner.site_mgr.status(inner);
+            (st.id, st.metrics)
+        })
+        .collect();
+    let prom_path = format!("{out_dir}/metrics.prom");
+    std::fs::write(&prom_path, prometheus_text(&snapshots))?;
+
     println!();
-    println!("accounting ledger (who used what, where):");
-    for i in 0..cluster.len() {
-        let s = cluster.site(i).inner();
-        for (program, usage) in s.site_mgr.accounting() {
-            println!(
-                "  {}: {program} executed {:>4} microthreads, {:>10.3?} slot time",
-                cluster.site(i).id(),
-                usage.frames_executed,
-                usage.cpu
-            );
+    println!(
+        "telemetry bus: {} events recorded ({} overwritten by the ring, {} dropped by slow taps)",
+        trace.total_emitted(),
+        trace.dropped(),
+        trace.tap_dropped()
+    );
+    print!("live tap saw:");
+    for (i, name) in CATEGORY_NAMES.iter().enumerate() {
+        let n = tap_counts[i].load(Ordering::Relaxed);
+        if n > 0 {
+            print!(" {name}={n}");
         }
     }
+    println!();
+    println!(
+        "{} frame migrations; their careers are stitched across sites by trace id in {trace_path}",
+        migrations.len()
+    );
+    println!("wrote {trace_path} (open at https://ui.perfetto.dev) and {prom_path}");
     Ok(())
 }

@@ -78,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             manager,
             payload,
             outgoing,
+            ..
         } = e
         {
             let dir = if outgoing { "→" } else { "←" };
