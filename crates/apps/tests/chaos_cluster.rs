@@ -8,8 +8,12 @@
 //! body covers the whole seeds × plans grid without recompiling.
 
 use sdvm_apps::primes::{nth_prime, PrimesProgram};
-use sdvm_core::{ChaosAction, ChaosScenario, InProcessCluster, SiteConfig};
+use sdvm_core::{
+    AppBuilder, AppFault, AppFaultKind, ChaosAction, ChaosScenario, InProcessCluster, SiteConfig,
+    TraceEvent, TraceLog,
+};
 use sdvm_net::FaultPlan;
+use sdvm_types::Value;
 use std::time::Duration;
 
 const WAIT: Duration = Duration::from_secs(120);
@@ -64,10 +68,83 @@ fn six_sites_survive_two_kills_and_a_partition() {
     );
 }
 
+/// Poison cell of the fault matrix: a deterministic application fault
+/// (panic or handler failure) fires while the transport is already
+/// degraded. The program must *fail fast with a descriptive error* —
+/// never hang, never take a worker slot down — and the poison frame must
+/// be quarantined exactly once cluster-wide.
+fn poison_drill(kind: AppFaultKind, plan: &str, seed: u64, scenario: ChaosScenario) {
+    let trace = TraceLog::new();
+    let cluster =
+        InProcessCluster::with_configs(vec![chaos_config(); 4], Some(trace.clone())).unwrap();
+    if plan == "poison_panic" {
+        cluster.hub().set_default_plan(FaultPlan::udp_like(seed));
+    }
+    // 3rd wrapped execution on the launch site: the fan-out is warm when
+    // the poison fires.
+    let fault = AppFault::new(cluster.site(0).id(), 3, kind);
+    let mut app = AppBuilder::new("poison-matrix");
+    let work = |ctx: &mut sdvm_core::ExecCtx<'_>| {
+        let v = ctx.param(0)?.as_u64()?;
+        let slot = ctx.param(1)?.as_u64()? as u32;
+        std::thread::sleep(Duration::from_millis(4));
+        ctx.send(ctx.target(0)?, slot, Value::from_u64(v * v))
+    };
+    app.thread("work", fault.wrap(work));
+    app.thread("join", |ctx| {
+        let mut acc = 0;
+        for i in 0..ctx.param_count() as u32 {
+            acc += ctx.param(i)?.as_u64()?;
+        }
+        ctx.send(ctx.target(0)?, 0, Value::from_u64(acc))
+    });
+    let n = 16usize;
+    let handle = cluster
+        .site(0)
+        .launch(&app, move |ctx, result| {
+            let join = ctx.create_frame(1, n, vec![result], Default::default());
+            for i in 0..n {
+                let w = ctx.create_frame(0, 2, vec![join], Default::default());
+                ctx.send(w, 0, Value::from_u64(i as u64))?;
+                ctx.send(w, 1, Value::from_u64(i as u64))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    let err = std::thread::scope(|s| {
+        s.spawn(|| scenario.run(&cluster));
+        handle
+            .wait(WAIT)
+            .expect_err("poisoned program must fail fast, not hang")
+    });
+    let text = err.to_string();
+    assert!(
+        text.contains("chaos: injected"),
+        "plan={plan} seed={seed}: error must carry the injected cause, got: {text}"
+    );
+    std::thread::sleep(Duration::from_millis(500));
+    for i in 0..4 {
+        assert_eq!(
+            cluster.site(i).live_workers(),
+            cluster.site(i).inner().config.slots,
+            "plan={plan} seed={seed}: site {i} lost a worker slot"
+        );
+    }
+    assert_eq!(
+        trace
+            .filter(|e| matches!(e, TraceEvent::FrameQuarantined { .. }))
+            .len(),
+        1,
+        "plan={plan} seed={seed}: exactly one quarantine cluster-wide"
+    );
+}
+
 /// CI fault-matrix hook: one scripted drill parameterized by environment.
 ///
 /// - `SDVM_CHAOS_PLAN`: `reliable` (default), `udp_like`,
-///   `partition_heal`, or `pause`.
+///   `partition_heal`, `pause`, `poison_panic` (a handler panics on a
+///   lossy transport), or `poison_fail` (a handler fails during a
+///   partition-and-heal).
 /// - `SDVM_CHAOS_SEED`: RNG seed for the fault plan (default 1).
 #[test]
 fn fault_matrix_scenario() {
@@ -76,6 +153,28 @@ fn fault_matrix_scenario() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    match plan.as_str() {
+        "poison_panic" => {
+            return poison_drill(
+                AppFaultKind::Panic,
+                "poison_panic",
+                seed,
+                ChaosScenario::new(),
+            );
+        }
+        "poison_fail" => {
+            let scenario = ChaosScenario::new().at(
+                Duration::from_millis(100),
+                ChaosAction::Partition {
+                    a: 0,
+                    b: 3,
+                    heal_after: Duration::from_millis(500),
+                },
+            );
+            return poison_drill(AppFaultKind::Fail, "poison_fail", seed, scenario);
+        }
+        _ => {}
+    }
     let cluster = InProcessCluster::new(4, chaos_config()).unwrap();
     let mut scenario = ChaosScenario::new();
     match plan.as_str() {

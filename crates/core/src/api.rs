@@ -23,8 +23,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use sdvm_net::{MemHub, Transport};
 use sdvm_types::{
-    FileHandle, GlobalAddress, ManagerId, MicrothreadId, ProgramId, SchedulingHint, SdvmError,
-    SdvmResult, SiteId, Value,
+    FailurePolicy, FileHandle, GlobalAddress, ManagerId, MicrothreadId, ProgramId, SchedulingHint,
+    SdvmError, SdvmResult, SiteId, Value,
 };
 use sdvm_wire::Payload;
 use std::collections::VecDeque;
@@ -41,6 +41,7 @@ use std::time::Duration;
 pub struct AppBuilder {
     name: String,
     threads: Vec<ThreadSpec>,
+    failure_policy: FailurePolicy,
 }
 
 impl AppBuilder {
@@ -49,7 +50,21 @@ impl AppBuilder {
         AppBuilder {
             name: name.to_string(),
             threads: Vec::new(),
+            failure_policy: FailurePolicy::default(),
         }
+    }
+
+    /// What the frontend does when a frame of this program is
+    /// quarantined as poison: fail the whole program (default) or report
+    /// the loss and keep the rest running.
+    pub fn on_failure(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// Set the failure policy in place (for builders held by reference).
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.failure_policy = policy;
     }
 
     /// Register a microthread; returns its code-table index, used when
@@ -84,17 +99,20 @@ pub struct ProgramHandle {
     pub program: ProgramId,
     /// Address of the hidden result frame (send the final value here).
     pub result_addr: GlobalAddress,
-    result_rx: crossbeam::channel::Receiver<Value>,
+    result_rx: crossbeam::channel::Receiver<SdvmResult<Value>>,
     output_rx: crossbeam::channel::Receiver<String>,
     input_queue: Arc<Mutex<VecDeque<String>>>,
 }
 
 impl ProgramHandle {
-    /// Block until the program delivers its result.
+    /// Block until the program settles: `Ok(value)` on success, or the
+    /// error that terminated it (quarantined poison frame under
+    /// fail-fast, stuck-program watchdog) — the handle never hangs on a
+    /// program the cluster has given up on.
     pub fn wait(&self, timeout: Duration) -> SdvmResult<Value> {
         self.result_rx
             .recv_timeout(timeout)
-            .map_err(|_| SdvmError::Timeout(format!("program {} result", self.program)))
+            .map_err(|_| SdvmError::Timeout(format!("program {} result", self.program)))?
     }
 
     /// Drain all frontend output produced so far.
@@ -122,7 +140,7 @@ impl ProgramHandle {
 /// Channels wired up when a program is installed on its frontend site:
 /// (result receiver, output receiver, input queue).
 type ProgramChannels = (
-    crossbeam::channel::Receiver<Value>,
+    crossbeam::channel::Receiver<SdvmResult<Value>>,
     crossbeam::channel::Receiver<String>,
     Arc<Mutex<VecDeque<String>>>,
 );
@@ -315,6 +333,7 @@ impl Site {
             },
         );
         site.code.mark_program_local(program, app.thread_count());
+        site.program.set_policy(program, app.failure_policy);
         let (output_rx, input_queue) = site.io.attach_frontend(program);
         let result_rx = site.program.install_waiter(program);
 
@@ -422,17 +441,20 @@ impl InProcessCluster {
 
     /// Build a cluster with per-site configurations and optional tracing.
     pub fn with_configs(configs: Vec<SiteConfig>, trace: Option<TraceLog>) -> SdvmResult<Self> {
-        assert!(!configs.is_empty(), "cluster needs at least one site");
+        let mut iter = configs.into_iter();
+        let Some(first_cfg) = iter.next() else {
+            return Err(SdvmError::InvalidState(
+                "cluster needs at least one site".into(),
+            ));
+        };
         let hub = MemHub::new();
         let registry = AppRegistry::new();
         let mut cluster = InProcessCluster {
             hub,
             registry,
             trace,
-            sites: Vec::with_capacity(configs.len()),
+            sites: Vec::new(),
         };
-        let mut iter = configs.into_iter();
-        let first_cfg = iter.next().expect("non-empty");
         let first = cluster.build_site(first_cfg);
         first.start_first();
         cluster.sites.push(first);

@@ -13,7 +13,10 @@
 //! partition) are expanded into the same timeline, so overlapping faults
 //! interleave exactly as scripted.
 
-use crate::api::InProcessCluster;
+use crate::api::{ExecCtx, InProcessCluster};
+use sdvm_types::{SdvmError, SdvmResult, SiteId};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One scripted fault.
@@ -41,6 +44,13 @@ pub enum ChaosAction {
         /// Time until the link heals.
         heal_after: Duration,
     },
+    /// Make one worker slot of site `site` exit its loop (the
+    /// maintenance supervisor respawns it) — drills the die-and-respawn
+    /// path of the execution engine.
+    KillWorker {
+        /// Index of the site losing a worker.
+        site: usize,
+    },
 }
 
 /// A fault pinned to an offset from scenario start.
@@ -60,6 +70,7 @@ enum Step {
     Resume(usize),
     Partition(usize, usize),
     Heal(usize, usize),
+    KillWorker(usize),
 }
 
 /// A deterministic fault schedule.
@@ -104,6 +115,7 @@ impl ChaosScenario {
                     steps.push((ev.at, Step::Partition(a, b)));
                     steps.push((ev.at + heal_after, Step::Heal(a, b)));
                 }
+                ChaosAction::KillWorker { site } => steps.push((ev.at, Step::KillWorker(site))),
             }
         }
         steps.sort_by_key(|(at, _)| *at);
@@ -126,12 +138,87 @@ impl ChaosScenario {
                 Step::Resume(site) => cluster.resume_site(site),
                 Step::Partition(a, b) => cluster.partition(a, b),
                 Step::Heal(a, b) => cluster.heal(a, b),
+                Step::KillWorker(site) => cluster.site(site).kill_worker(),
             }
         }
     }
 }
 
+/// Kind of application fault injected by an [`AppFault`].
+#[derive(Clone, Copy, Debug)]
+pub enum AppFaultKind {
+    /// The handler panics.
+    Panic,
+    /// The handler returns an application error.
+    Fail,
+    /// The handler hangs for the given duration, then runs normally.
+    Hang(Duration),
+}
+
+/// Deterministic application-fault injection: wraps a microthread
+/// handler so that its `nth` execution on a chosen site panics, fails
+/// or hangs. Executions on other sites run the handler unchanged, so a
+/// drill can pin the poison to one site of a cluster and assert exactly
+/// where the quarantine happens.
+#[derive(Clone)]
+pub struct AppFault {
+    /// Logical id of the site where the fault fires.
+    pub site: SiteId,
+    /// 1-based count of executions on `site` that triggers the fault.
+    pub nth: u32,
+    /// What happens on the triggering execution.
+    pub kind: AppFaultKind,
+    count: Arc<AtomicU32>,
+}
+
+impl AppFault {
+    /// A fault firing on the `nth` execution of the wrapped handler on
+    /// site `site`.
+    pub fn new(site: SiteId, nth: u32, kind: AppFaultKind) -> Self {
+        AppFault {
+            site,
+            nth,
+            kind,
+            count: Arc::new(AtomicU32::new(0)),
+        }
+    }
+
+    /// Executions of the wrapped handler seen on the target site so far.
+    pub fn seen(&self) -> u32 {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Wrap a handler with this fault. Register the returned closure in
+    /// place of `f` on the [`crate::AppBuilder`].
+    pub fn wrap<F>(&self, f: F) -> impl Fn(&mut ExecCtx<'_>) -> SdvmResult<()> + Send + Sync
+    where
+        F: Fn(&mut ExecCtx<'_>) -> SdvmResult<()> + Send + Sync,
+    {
+        let fault = self.clone();
+        move |ctx: &mut ExecCtx<'_>| {
+            if ctx.site_id() == fault.site {
+                let n = fault.count.fetch_add(1, Ordering::SeqCst) + 1;
+                if n == fault.nth {
+                    match fault.kind {
+                        AppFaultKind::Panic => {
+                            panic!("chaos: injected panic (execution {n})")
+                        }
+                        AppFaultKind::Fail => {
+                            return Err(SdvmError::Application(format!(
+                                "chaos: injected failure (execution {n})"
+                            )));
+                        }
+                        AppFaultKind::Hang(d) => std::thread::sleep(d),
+                    }
+                }
+            }
+            f(ctx)
+        }
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
 

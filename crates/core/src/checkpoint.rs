@@ -324,6 +324,7 @@ impl Site {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use sdvm_types::{MicrothreadId, SchedulingHint, SiteId, Value};

@@ -60,6 +60,20 @@ pub struct SiteConfig {
     pub help_timeout: Duration,
     /// Timeout for blocking remote operations (memory reads, code fetch).
     pub request_timeout: Duration,
+    /// How often a microframe that failed on an *infrastructure* error
+    /// (transport, timeout, missing object) is re-tried before it is
+    /// escalated to the dead-letter store as poison.
+    pub max_frame_retries: u32,
+    /// Backoff before the first retry; doubles per attempt (capped by
+    /// `retry_backoff_cap`). Deterministic — no jitter — so drills can
+    /// assert the exact delay schedule.
+    pub retry_backoff_base: Duration,
+    /// Upper bound on the per-retry backoff.
+    pub retry_backoff_cap: Duration,
+    /// Quiet period after which a frontend program with an undelivered
+    /// result, no runnable frames and no in-flight requests is declared
+    /// stuck (watchdog; the waiter gets `SdvmError::ProgramStuck`).
+    pub stuck_timeout: Duration,
 }
 
 impl Default for SiteConfig {
@@ -84,6 +98,10 @@ impl Default for SiteConfig {
             suspicion_quorum: 2,
             help_timeout: Duration::from_millis(100),
             request_timeout: Duration::from_secs(5),
+            max_frame_retries: 5,
+            retry_backoff_base: Duration::from_millis(10),
+            retry_backoff_cap: Duration::from_millis(500),
+            stuck_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -106,9 +124,41 @@ impl SiteConfig {
         self.suspicion = false;
         self
     }
+
+    /// Shorthand: set the retry budget and backoff schedule.
+    pub fn with_retry_budget(mut self, retries: u32, base: Duration, cap: Duration) -> Self {
+        self.max_frame_retries = retries;
+        self.retry_backoff_base = base;
+        self.retry_backoff_cap = cap;
+        self
+    }
+
+    /// Shorthand: set the stuck-program watchdog timeout.
+    pub fn with_stuck_timeout(mut self, t: Duration) -> Self {
+        self.stuck_timeout = t;
+        self
+    }
+
+    /// Backoff before retry attempt `n` (1-based): `base · 2^(n-1)`,
+    /// capped. Deterministic so tests can assert the schedule.
+    pub fn retry_backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.retry_backoff_base
+            .saturating_mul(factor)
+            .min(self.retry_backoff_cap)
+    }
+}
+
+/// True when `SDVM_DEBUG` was set in the environment at first use —
+/// consulted once and cached, never re-read (the env lookup used to sit
+/// on every failed execution).
+pub fn debug_enabled() -> bool {
+    static DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEBUG.get_or_init(|| std::env::var_os("SDVM_DEBUG").is_some())
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
 
@@ -122,6 +172,21 @@ mod tests {
             c.password.is_none(),
             "security off by default on insular clusters"
         );
+    }
+
+    #[test]
+    fn retry_backoff_schedule_is_deterministic_and_capped() {
+        let c = SiteConfig::default().with_retry_budget(
+            4,
+            Duration::from_millis(10),
+            Duration::from_millis(35),
+        );
+        assert_eq!(c.retry_backoff(1), Duration::from_millis(10));
+        assert_eq!(c.retry_backoff(2), Duration::from_millis(20));
+        assert_eq!(c.retry_backoff(3), Duration::from_millis(35), "capped");
+        assert_eq!(c.retry_backoff(4), Duration::from_millis(35));
+        // Huge attempt numbers don't overflow.
+        assert_eq!(c.retry_backoff(1000), Duration::from_millis(35));
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct Microframe {
     pub targets: Vec<GlobalAddress>,
     /// Scheduling hint (priority, stickiness).
     pub hint: SchedulingHint,
+    /// Local retry count: how often this frame already failed on an
+    /// infrastructure error and was re-enqueued with backoff. Not on the
+    /// wire — a migrated or revived frame starts a fresh budget on its
+    /// new site.
+    pub retries: u32,
     missing: usize,
 }
 
@@ -41,6 +46,7 @@ impl Microframe {
             slots: vec![None; nslots],
             targets,
             hint,
+            retries: 0,
             missing: nslots,
         }
     }
@@ -116,12 +122,14 @@ impl Microframe {
             slots: w.slots,
             targets: w.targets,
             hint: w.hint,
+            retries: 0,
             missing,
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use sdvm_types::SiteId;
@@ -196,5 +204,13 @@ mod tests {
         let back = Microframe::from_wire(f.to_wire());
         assert_eq!(back, f);
         assert_eq!(back.missing(), 2);
+    }
+
+    #[test]
+    fn retry_count_is_local_and_resets_over_the_wire() {
+        let mut f = mk(0);
+        f.retries = 3;
+        let back = Microframe::from_wire(f.to_wire());
+        assert_eq!(back.retries, 0, "a migrated frame gets a fresh budget");
     }
 }

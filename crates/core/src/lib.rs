@@ -34,10 +34,11 @@ pub mod thread;
 pub mod trace;
 
 pub use api::{AppBuilder, ExecCtx, InProcessCluster, ProgramHandle};
-pub use chaos::{ChaosAction, ChaosEvent, ChaosScenario};
+pub use chaos::{AppFault, AppFaultKind, ChaosAction, ChaosEvent, ChaosScenario};
 pub use checkpoint::ProgramSnapshot;
 pub use config::SiteConfig;
 pub use frame::Microframe;
+pub use managers::deadletter::{DeadLetter, DeadLetterManager};
 pub use site::Site;
 pub use telemetry::{perfetto_trace_json, prometheus_text, HistogramSnapshot, SiteMetrics};
 pub use thread::{AppRegistry, ThreadFn, ThreadSpec};

@@ -141,7 +141,7 @@ impl BackupManager {
 /// Revive everything this site holds in backup for `dead`.
 pub(crate) fn recover(site: &SiteInner, dead: SiteId) {
     let (frames, objects) = site.backup.take_for(dead);
-    if std::env::var_os("SDVM_DEBUG").is_some() {
+    if crate::config::debug_enabled() {
         for (w, applied) in &frames {
             eprintln!(
                 "[dbg site{}] reviving {} thread={} applied_slots={:?}",
@@ -295,6 +295,7 @@ pub(crate) fn mirror_object(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use sdvm_types::{MicrothreadId, ProgramId, SchedulingHint};

@@ -978,7 +978,7 @@ impl ClusterManager {
                 // Unsolicited grant: the contingent handed to us during
                 // our own sign-on (paper: id servers "are given a
                 // contingent of free ids during their own sign on").
-                if std::env::var_os("SDVM_DEBUG").is_some() {
+                if crate::config::debug_enabled() {
                     eprintln!(
                         "[dbg site{}] got IdBlockGrant start={start} len={len}",
                         site.my_id().0
@@ -1242,7 +1242,7 @@ pub(crate) fn handle_signon_blocking(site: &SiteInner, msg: SdMessage, reply_add
         }
     };
     if let Some((start, end)) = grant {
-        if std::env::var_os("SDVM_DEBUG").is_some() {
+        if crate::config::debug_enabled() {
             eprintln!(
                 "[dbg site{}] granting block {start}..={end} to {assigned}",
                 site.my_id().0

@@ -366,7 +366,7 @@ impl MemoryManager {
                 Err(e) => return Err(e),
             }
         }
-        if std::env::var_os("SDVM_DEBUG").is_some() {
+        if crate::config::debug_enabled() {
             eprintln!(
                 "[dbg site{}] apply_or_forward gave up: target={target} slot={slot} err={last_err:?}",
                 site.my_id().0
@@ -425,7 +425,7 @@ impl MemoryManager {
             // Directory says we own it but it is not in `frames`: it sits
             // in the scheduling queue already executable, or was consumed
             // concurrently. Either way this result is stale — drop.
-            if std::env::var_os("SDVM_DEBUG").is_some() {
+            if crate::config::debug_enabled() {
                 eprintln!(
                     "[dbg site{}] drop owner==me target={target} slot={slot}",
                     site.my_id().0
@@ -434,7 +434,7 @@ impl MemoryManager {
             return Ok(true);
         }
         if !owner.is_valid() {
-            if std::env::var_os("SDVM_DEBUG").is_some() {
+            if crate::config::debug_enabled() {
                 eprintln!(
                     "[dbg site{}] drop tombstone target={target} slot={slot}",
                     site.my_id().0

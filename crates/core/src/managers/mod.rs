@@ -10,6 +10,7 @@
 pub mod backup;
 pub mod cluster;
 pub mod code;
+pub mod deadletter;
 pub mod io;
 pub mod memory;
 pub mod processing;

@@ -6,11 +6,21 @@
 //! achieved by running `SiteConfig::slots` of these loops in (virtual)
 //! parallel — the paper found about 5 to work well; while one microthread
 //! blocks on a remote memory access, the other slots keep executing.
+//!
+//! The engine is panic-safe: every handler runs under `catch_unwind`, so
+//! an application bug cannot kill a worker slot, and the busy/running
+//! accounting is held by an RAII guard so no exit path — return, retry,
+//! or unwind — can leak a counter. Infrastructure failures are retried
+//! with a budgeted, capped exponential backoff; panics, application
+//! errors and exhausted budgets quarantine the frame in the dead-letter
+//! store instead of looping forever.
 
 use crate::api::ExecCtx;
+use crate::config::debug_enabled;
 use crate::site::SiteInner;
 use crate::trace::TraceEvent;
-use sdvm_types::SdvmError;
+use sdvm_types::{ProgramId, SdvmError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Is this failure the cluster's fault (peer crashed, request timed out)
@@ -26,43 +36,114 @@ fn is_infrastructure(e: &SdvmError) -> bool {
     )
 }
 
-/// Body of one processing slot; runs until site shutdown.
+/// Human-readable message out of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// RAII guard for one slot execution: busy/running counters and program
+/// billing are released on drop, so every exit path — including an
+/// unwind caught further up — restores the accounting.
+struct SlotGuard<'a> {
+    site: &'a SiteInner,
+    program: ProgramId,
+    started: std::time::Instant,
+}
+
+impl<'a> SlotGuard<'a> {
+    fn enter(site: &'a SiteInner, program: ProgramId) -> Self {
+        site.scheduling.set_busy(1);
+        site.scheduling.note_running(program, 1);
+        SlotGuard {
+            site,
+            program,
+            started: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.site.scheduling.set_busy(-1);
+        self.site.scheduling.note_running(self.program, -1);
+        // Accounting (paper goal 14): charge the program for the slot
+        // time, successful or not — failed work still burnt resources.
+        self.site
+            .site_mgr
+            .account(self.program, self.started.elapsed());
+    }
+}
+
+/// Body of one processing slot; runs until site shutdown (or until the
+/// supervisor asks this slot to exit — see `SiteInner::take_worker_exit`).
 pub fn worker_loop(site: &Arc<SiteInner>) {
     while site.is_running() {
         site.pause_gate();
-        let Some((frame, func)) = site.scheduling.next_work(site) else {
+        let Some((mut frame, func)) = site.scheduling.next_work(site) else {
             break;
         };
         let id = frame.id;
         let thread = frame.thread;
-        site.scheduling.set_busy(1);
-        site.scheduling.note_running(frame.program(), 1);
-        let started = std::time::Instant::now();
         let result = {
-            let mut ctx = ExecCtx::for_frame(site, &frame);
-            func(&mut ctx)
+            let guard = SlotGuard::enter(site, frame.program());
+            // The guard sits OUTSIDE the catch so its Drop runs on the
+            // normal path after a caught unwind — counters cannot leak.
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = ExecCtx::for_frame(site, &frame);
+                func(&mut ctx)
+            }));
+            drop(guard);
+            match caught {
+                Ok(r) => r,
+                Err(payload) => {
+                    site.metrics.handler_panics.inc();
+                    Err(SdvmError::HandlerPanicked {
+                        thread,
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
         };
-        site.scheduling.set_busy(-1);
-        site.scheduling.note_running(frame.program(), -1);
-        // Accounting (paper goal 14): charge the program for the slot
-        // time, successful or not — failed work still burnt resources.
-        site.site_mgr.account(frame.program(), started.elapsed());
         if let Err(ref e) = result {
-            if std::env::var_os("SDVM_DEBUG").is_some() {
+            if debug_enabled() {
                 eprintln!(
                     "[dbg site{}] microthread {thread} frame {id} failed: {e}",
                     site.my_id().0
                 );
             }
             if is_infrastructure(e) && site.is_running() && !site.is_draining() {
-                // A peer died under us mid-execution. Re-enqueue the
-                // frame: re-execution re-sends every result, and
-                // duplicates of the sends that already succeeded are
-                // dropped idempotently (at-least-once semantics, as
-                // after a crash recovery).
-                site.scheduling.enqueue_executable(site, frame.clone());
-                continue;
+                // A peer died under us mid-execution. Re-execution
+                // re-sends every result; duplicates of sends that
+                // already landed are dropped idempotently
+                // (at-least-once semantics, as after crash recovery).
+                frame.retries += 1;
+                if frame.retries <= site.config.max_frame_retries {
+                    let delay = site.config.retry_backoff(frame.retries);
+                    site.metrics.retry_delay_us.observe_duration(delay);
+                    site.emit(TraceEvent::FrameRetried {
+                        site: site.my_id(),
+                        frame: id,
+                        thread,
+                        attempt: frame.retries,
+                    });
+                    site.scheduling.enqueue_delayed(site, frame, delay);
+                    continue;
+                }
+                // Budget exhausted: the failure is persistent — the
+                // frame is poison, not merely unlucky.
             }
+            // Panic, application error, or exhausted retry budget:
+            // quarantine. This consumes the frame cluster-wide
+            // (tombstoning the backup) and reports to the program's
+            // code home, where the failure policy decides.
+            site.deadletter.quarantine(site, frame, e.clone());
+            continue;
         }
         // The microframe is consumed by execution and vanishes (§3.2).
         site.memory.consume_frame(site, id);
@@ -71,14 +152,5 @@ pub fn worker_loop(site: &Arc<SiteInner>) {
             frame: id,
             thread,
         });
-        if let Err(e) = result {
-            // An application error must not kill the daemon; surface it
-            // through the I/O manager to the program's frontend.
-            site.io.output(
-                site,
-                frame.program(),
-                format!("microthread {thread} failed: {e}"),
-            );
-        }
     }
 }

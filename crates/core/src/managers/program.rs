@@ -6,11 +6,16 @@
 //! terminated flag so a program's microthreads and objects can be purged.
 
 use crate::site::SiteInner;
+use crate::trace::TraceEvent;
 use parking_lot::Mutex;
-use sdvm_types::{ManagerId, ProgramId, SiteId, Value};
+use sdvm_types::{
+    FailurePolicy, GlobalAddress, ManagerId, MicrothreadId, ProgramId, SdvmError, SdvmResult,
+    SiteId, Value,
+};
 use sdvm_wire::{Payload, SdMessage};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
 
 /// What a site knows about one program.
 #[derive(Clone, Debug)]
@@ -29,7 +34,14 @@ pub struct ProgramInfo {
 #[derive(Default)]
 pub struct ProgramManager {
     programs: Mutex<HashMap<ProgramId, ProgramInfo>>,
-    waiters: Mutex<HashMap<ProgramId, crossbeam::channel::Sender<Value>>>,
+    waiters: Mutex<HashMap<ProgramId, crossbeam::channel::Sender<SdvmResult<Value>>>>,
+    /// Failure policy per locally started program (frontend-only state;
+    /// the quarantining site reports here and this map decides).
+    policies: Mutex<HashMap<ProgramId, FailurePolicy>>,
+    /// Watchdog state: when a locally started program was first seen
+    /// quiet (no runnable frames, no in-flight requests, result still
+    /// undelivered). Cleared on any sign of life.
+    quiet_since: Mutex<HashMap<ProgramId, Instant>>,
     /// Checkpoint snapshots stored on this site ("the sites where
     /// checkpoints are stored", §4): program → (epoch, snapshot bytes).
     checkpoints: Mutex<HashMap<ProgramId, (u64, bytes::Bytes)>>,
@@ -54,11 +66,31 @@ impl ProgramManager {
         self.programs.lock().entry(program).or_insert(info);
     }
 
-    /// Install the result waiter for a locally started program.
-    pub fn install_waiter(&self, program: ProgramId) -> crossbeam::channel::Receiver<Value> {
+    /// Install the result waiter for a locally started program. The
+    /// channel carries a `Result` so quarantine escalation and the stuck
+    /// watchdog can fail the waiter instead of leaving it hanging.
+    pub fn install_waiter(
+        &self,
+        program: ProgramId,
+    ) -> crossbeam::channel::Receiver<SdvmResult<Value>> {
         let (tx, rx) = crossbeam::channel::bounded(1);
         self.waiters.lock().insert(program, tx);
         rx
+    }
+
+    /// Set the failure policy for a locally started program (default:
+    /// [`FailurePolicy::FailFast`]).
+    pub fn set_policy(&self, program: ProgramId, policy: FailurePolicy) {
+        self.policies.lock().insert(program, policy);
+    }
+
+    /// The failure policy governing a program on this frontend.
+    pub fn policy_of(&self, program: ProgramId) -> FailurePolicy {
+        self.policies
+            .lock()
+            .get(&program)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// The program's code home site, if known here.
@@ -92,10 +124,21 @@ impl ProgramManager {
     /// Deliver a locally finished program's result: wake the waiting
     /// handle and broadcast termination so all sites can purge.
     pub fn finish_local(&self, site: &SiteInner, program: ProgramId, value: Value) {
+        self.settle_local(site, program, Ok(value));
+    }
+
+    /// Fail a locally started program: the waiting handle receives the
+    /// error and the cluster purges, exactly as on success.
+    pub fn fail_local(&self, site: &SiteInner, program: ProgramId, err: SdvmError) {
+        self.settle_local(site, program, Err(err));
+    }
+
+    fn settle_local(&self, site: &SiteInner, program: ProgramId, outcome: SdvmResult<Value>) {
         let waiter = self.waiters.lock().remove(&program);
         if let Some(tx) = waiter {
-            let _ = tx.send(value);
+            let _ = tx.send(outcome);
         }
+        self.quiet_since.lock().remove(&program);
         self.mark_terminated(site, program);
         for p in site.cluster.known_sites() {
             if p != site.my_id() {
@@ -110,6 +153,81 @@ impl ProgramManager {
         }
     }
 
+    /// A frame of `program` was quarantined somewhere in the cluster and
+    /// this site is the code home: apply the frontend's failure policy.
+    /// `FailFast` terminates the program with a descriptive error;
+    /// `SkipFrame` reports through the I/O manager and lets the rest of
+    /// the program continue.
+    pub fn on_frame_quarantined(
+        &self,
+        site: &SiteInner,
+        program: ProgramId,
+        frame: GlobalAddress,
+        thread: MicrothreadId,
+        cause: String,
+    ) {
+        match self.policy_of(program) {
+            FailurePolicy::FailFast => {
+                self.fail_local(
+                    site,
+                    program,
+                    SdvmError::ProgramFailed {
+                        program,
+                        frame,
+                        thread,
+                        cause,
+                    },
+                );
+            }
+            FailurePolicy::SkipFrame => {
+                site.io.output(
+                    site,
+                    program,
+                    format!("microthread {thread} frame {frame} quarantined: {cause}"),
+                );
+            }
+        }
+    }
+
+    /// Stuck-program watchdog (called from the maintenance tick). A
+    /// locally started program whose result is still undelivered, with
+    /// zero runnable or running frames on this site and zero in-flight
+    /// requests, is quiet; quiet past `SiteConfig::stuck_timeout` is
+    /// declared stuck and the waiter gets [`SdvmError::ProgramStuck`].
+    ///
+    /// The heuristic is frontend-local and conservative: any local
+    /// activity resets the clock, and the generous default timeout keeps
+    /// remote-only execution phases from tripping it.
+    pub fn watchdog_tick(&self, site: &SiteInner) {
+        let waiting: Vec<ProgramId> = self.waiters.lock().keys().copied().collect();
+        let now = Instant::now();
+        let mut stuck: Vec<ProgramId> = Vec::new();
+        {
+            let mut quiet = self.quiet_since.lock();
+            quiet.retain(|p, _| waiting.contains(p));
+            for program in waiting {
+                let active =
+                    site.scheduling.program_activity(program) > 0 || site.pending.outstanding() > 0;
+                if active {
+                    quiet.remove(&program);
+                } else {
+                    let since = *quiet.entry(program).or_insert(now);
+                    if now.duration_since(since) >= site.config.stuck_timeout {
+                        quiet.remove(&program);
+                        stuck.push(program);
+                    }
+                }
+            }
+        }
+        for program in stuck {
+            site.emit(TraceEvent::ProgramStuck {
+                site: site.my_id(),
+                program,
+            });
+            self.fail_local(site, program, SdvmError::ProgramStuck { program });
+        }
+    }
+
     fn mark_terminated(&self, site: &SiteInner, program: ProgramId) {
         if let Some(info) = self.programs.lock().get_mut(&program) {
             info.terminated = true;
@@ -118,6 +236,7 @@ impl ProgramManager {
         site.code.purge_program(program);
         site.scheduling.purge_program(program);
         site.backup.purge_program(program);
+        site.deadletter.purge_program(program);
     }
 
     /// Latest checkpoint stored here for `program`, if any.
@@ -146,6 +265,14 @@ impl ProgramManager {
             }
             Payload::ProgramTerminated { program } => {
                 self.mark_terminated(site, program);
+            }
+            Payload::FrameQuarantined {
+                program,
+                frame,
+                thread,
+                cause,
+            } => {
+                self.on_frame_quarantined(site, program, frame, thread, cause);
             }
             Payload::ProgramPause { program, paused } => {
                 if paused {

@@ -20,7 +20,7 @@ use sdvm_types::{ManagerId, QueuePolicy, SdvmResult};
 use sdvm_wire::{Payload, SdMessage, TraceContext};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 #[derive(Default)]
 struct SchedState {
@@ -30,8 +30,38 @@ struct SchedState {
     paused: std::collections::HashSet<sdvm_types::ProgramId>,
     /// Frames of paused programs, parked until resume.
     parked: Vec<Microframe>,
+    /// Frames re-enqueued with a retry backoff, promoted back into
+    /// `executable` once their due time passes (polled by the workers'
+    /// existing 20 ms idle wakeup — no extra timer thread).
+    delayed: Vec<(Instant, Microframe)>,
     /// Frames of each program currently executing on this site.
     running: std::collections::HashMap<sdvm_types::ProgramId, u32>,
+}
+
+impl SchedState {
+    /// Move every delayed frame whose backoff has elapsed back into the
+    /// executable queue. Returns how many were promoted.
+    fn promote_due(&mut self, now: Instant) -> usize {
+        if self.delayed.is_empty() {
+            return 0;
+        }
+        let mut promoted = 0;
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, frame) = self.delayed.swap_remove(i);
+                if self.paused.contains(&frame.program()) {
+                    self.parked.push(frame);
+                } else {
+                    self.executable.push_back(frame);
+                }
+                promoted += 1;
+            } else {
+                i += 1;
+            }
+        }
+        promoted
+    }
 }
 
 /// The scheduling manager of one site.
@@ -89,15 +119,15 @@ fn pop_for_help(st: &mut SchedState, policy: QueuePolicy) -> Option<Microframe> 
         .filter(|(_, f)| !f.hint.sticky)
         .map(|(i, _)| i)
         .collect();
-    if !pos_exec.is_empty() {
-        let idx = match policy {
-            QueuePolicy::Fifo => pos_exec[0],
-            QueuePolicy::Lifo => *pos_exec.last().expect("non-empty"),
-            QueuePolicy::Priority => *pos_exec
-                .iter()
-                .max_by_key(|&&i| st.executable[i].hint.priority)
-                .expect("non-empty"),
-        };
+    let idx = match policy {
+        QueuePolicy::Fifo => pos_exec.first().copied(),
+        QueuePolicy::Lifo => pos_exec.last().copied(),
+        QueuePolicy::Priority => pos_exec
+            .iter()
+            .copied()
+            .max_by_key(|&i| st.executable[i].hint.priority),
+    };
+    if let Some(idx) = idx {
         return st.executable.remove(idx);
     }
     let pos_ready: Vec<usize> = st
@@ -107,15 +137,15 @@ fn pop_for_help(st: &mut SchedState, policy: QueuePolicy) -> Option<Microframe> 
         .filter(|(_, (f, _))| !f.hint.sticky)
         .map(|(i, _)| i)
         .collect();
-    if !pos_ready.is_empty() {
-        let idx = match policy {
-            QueuePolicy::Fifo => pos_ready[0],
-            QueuePolicy::Lifo => *pos_ready.last().expect("non-empty"),
-            QueuePolicy::Priority => *pos_ready
-                .iter()
-                .max_by_key(|&&i| st.ready[i].0.hint.priority)
-                .expect("non-empty"),
-        };
+    let idx = match policy {
+        QueuePolicy::Fifo => pos_ready.first().copied(),
+        QueuePolicy::Lifo => pos_ready.last().copied(),
+        QueuePolicy::Priority => pos_ready
+            .iter()
+            .copied()
+            .max_by_key(|&i| st.ready[i].0.hint.priority),
+    };
+    if let Some(idx) = idx {
         return st.ready.remove(idx).map(|(f, _)| f);
     }
     None
@@ -144,6 +174,43 @@ impl SchedulingManager {
         }
         drop(st);
         self.work_cond.notify_one();
+    }
+
+    /// Queue a frame whose execution failed on an infrastructure error:
+    /// it re-enters the executable queue only after `delay` has passed
+    /// (capped exponential backoff, budgeted by the caller).
+    pub fn enqueue_delayed(&self, _site: &SiteInner, frame: Microframe, delay: Duration) {
+        let due = Instant::now() + delay;
+        self.state.lock().delayed.push((due, frame));
+        // No notify: the due time is in the future; idle workers re-check
+        // every 20 ms anyway.
+    }
+
+    /// Frames currently sitting out a retry backoff (observability).
+    pub fn delayed_count(&self) -> usize {
+        self.state.lock().delayed.len()
+    }
+
+    /// Local activity of a program: frames queued (executable, ready,
+    /// parked or sitting out a backoff) plus frames currently executing.
+    /// Zero means this site has nothing left to do for the program —
+    /// the stuck-program watchdog's main input.
+    pub fn program_activity(&self, program: sdvm_types::ProgramId) -> usize {
+        let st = self.state.lock();
+        st.executable
+            .iter()
+            .filter(|f| f.program() == program)
+            .count()
+            + st.ready
+                .iter()
+                .filter(|(f, _)| f.program() == program)
+                .count()
+            + st.parked.iter().filter(|f| f.program() == program).count()
+            + st.delayed
+                .iter()
+                .filter(|(_, f)| f.program() == program)
+                .count()
+            + st.running.get(&program).copied().unwrap_or(0) as usize
     }
 
     /// Pause a program: park its queued frames; workers stop picking its
@@ -229,6 +296,7 @@ impl SchedulingManager {
             .iter()
             .chain(st.ready.iter().map(|(f, _)| f))
             .chain(st.parked.iter())
+            .chain(st.delayed.iter().map(|(_, f)| f))
             .filter(|f| f.program() == program)
             .cloned()
             .collect()
@@ -270,9 +338,16 @@ impl SchedulingManager {
             if !site.is_running() {
                 return None;
             }
+            // A supervision drill asked one worker to exit: this slot
+            // dies here and the supervisor respawns it.
+            if site.take_worker_exit() {
+                return None;
+            }
+            // 0. Promote frames whose retry backoff elapsed.
             // 1. Ready frame?
             {
                 let mut st = self.state.lock();
+                st.promote_due(Instant::now());
                 if let Some(pair) = pop_ready(&mut st.ready, self.local_policy) {
                     if st.paused.contains(&pair.0.program()) {
                         st.parked.push(pair.0);
@@ -378,6 +453,7 @@ impl SchedulingManager {
         st.executable.retain(|f| f.program() != program);
         st.ready.retain(|(f, _)| f.program() != program);
         st.parked.retain(|f| f.program() != program);
+        st.delayed.retain(|(_, f)| f.program() != program);
         st.paused.remove(&program);
     }
 
@@ -387,6 +463,7 @@ impl SchedulingManager {
         let mut out: Vec<Microframe> = st.executable.drain(..).collect();
         out.extend(st.ready.drain(..).map(|(f, _)| f));
         out.append(&mut st.parked);
+        out.extend(st.delayed.drain(..).map(|(_, f)| f));
         out
     }
 
@@ -494,6 +571,7 @@ impl SchedulingManager {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use sdvm_types::{GlobalAddress, MicrothreadId, Priority, ProgramId, SchedulingHint, SiteId};
@@ -582,6 +660,32 @@ mod tests {
         assert_eq!(given.id.local, 2, "newest non-sticky frame leaves first");
         let given = pop_for_help(&mut st, QueuePolicy::Fifo).unwrap();
         assert_eq!(given.id.local, 1);
+    }
+
+    #[test]
+    fn delayed_frames_promote_only_when_due() {
+        let mut st = SchedState::default();
+        let now = Instant::now();
+        st.delayed
+            .push((now + Duration::from_millis(50), mk(1, 0, false)));
+        st.delayed.push((now, mk(2, 0, false)));
+        assert_eq!(st.promote_due(now), 1, "only the due frame promotes");
+        assert_eq!(st.executable.len(), 1);
+        assert_eq!(st.executable[0].id.local, 2);
+        assert_eq!(st.delayed.len(), 1);
+        assert_eq!(st.promote_due(now + Duration::from_millis(60)), 1);
+        assert!(st.delayed.is_empty());
+    }
+
+    #[test]
+    fn delayed_frames_of_paused_programs_park_instead() {
+        let mut st = SchedState::default();
+        st.paused.insert(ProgramId(1));
+        let now = Instant::now();
+        st.delayed.push((now, mk(1, 0, false)));
+        assert_eq!(st.promote_due(now), 1);
+        assert!(st.executable.is_empty());
+        assert_eq!(st.parked.len(), 1, "paused program's frame parks");
     }
 
     #[test]

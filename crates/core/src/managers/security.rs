@@ -183,7 +183,10 @@ impl SecurityManager {
                 if body.len() < 4 {
                     return Err(SdvmError::Crypto("short peer envelope".into()));
                 }
-                let src = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+                let Ok(src_bytes) = <[u8; 4]>::try_from(&body[..4]) else {
+                    return Err(SdvmError::Crypto("short peer envelope".into()));
+                };
+                let src = u32::from_le_bytes(src_bytes);
                 m.lock()
                     .store
                     .open_from(src, &body[4..])

@@ -43,6 +43,10 @@ pub struct SiteStatus {
     /// Cumulative transport reconnect attempts across all peers —
     /// climbing numbers mean flapping links.
     pub outbound_retries: u64,
+    /// Poison frames quarantined in this site's dead-letter store.
+    pub dead_letters: usize,
+    /// Frames currently sitting out a retry backoff.
+    pub delayed_frames: usize,
     /// Full telemetry snapshot: counters, gauges and latency histograms.
     pub metrics: SiteMetrics,
 }
@@ -128,6 +132,8 @@ impl SiteManager {
                 .iter()
                 .map(|(_, retries)| retries)
                 .sum(),
+            dead_letters: site.deadletter.count(),
+            delayed_frames: site.scheduling.delayed_count(),
             metrics,
         }
     }

@@ -86,6 +86,7 @@ impl PendingMap {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use sdvm_types::{ManagerId, SiteId};

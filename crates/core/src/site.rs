@@ -11,6 +11,7 @@ use crate::config::SiteConfig;
 use crate::managers::backup::BackupManager;
 use crate::managers::cluster::ClusterManager;
 use crate::managers::code::CodeManager;
+use crate::managers::deadletter::DeadLetterManager;
 use crate::managers::io::IoManager;
 use crate::managers::memory::MemoryManager;
 use crate::managers::processing;
@@ -26,7 +27,7 @@ use parking_lot::RwLock;
 use sdvm_net::Transport;
 use sdvm_types::{ManagerId, PhysicalAddr, SdvmError, SdvmResult, SiteDescriptor, SiteId};
 use sdvm_wire::{Payload, SdMessage, TraceContext};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -106,6 +107,16 @@ pub struct SiteInner {
     pub security: SecurityManager,
     /// Crash-management backup store.
     pub backup: BackupManager,
+    /// Dead-letter store: quarantined poison frames.
+    pub deadletter: DeadLetterManager,
+
+    /// Pending deterministic worker-exit requests (chaos harness): each
+    /// unit makes exactly one worker slot leave its loop, exercising the
+    /// supervisor's respawn path.
+    worker_exit: AtomicU32,
+    /// The processing slot threads, supervised by the maintenance
+    /// thread: a slot that died (despite panic isolation) is respawned.
+    worker_slots: parking_lot::Mutex<Vec<Option<std::thread::JoinHandle<()>>>>,
 
     tasks_tx: crossbeam::channel::Sender<Task>,
     tasks_rx: crossbeam::channel::Receiver<Task>,
@@ -149,6 +160,23 @@ impl SiteInner {
     pub fn bump_incarnation_to(&self, at_least: u64) -> u64 {
         self.incarnation.fetch_max(at_least, Ordering::SeqCst);
         self.incarnation.load(Ordering::SeqCst)
+    }
+
+    /// Consume one pending worker-exit request, if any. Checked by
+    /// `next_work` so an idle or between-frames worker notices within
+    /// its 20 ms wakeup and exits its loop deterministically.
+    pub(crate) fn take_worker_exit(&self) -> bool {
+        self.worker_exit
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Ask one worker slot to exit its loop (chaos/testing). The
+    /// maintenance thread's supervisor respawns the slot on its next
+    /// tick, so this exercises the full die-and-respawn path.
+    pub fn kill_worker(&self) {
+        self.worker_exit.fetch_add(1, Ordering::SeqCst);
+        self.scheduling.wake_all();
     }
 
     /// True while the chaos harness holds this site frozen.
@@ -465,6 +493,9 @@ impl Site {
             site_mgr: SiteManager::new(),
             security,
             backup: BackupManager::new(),
+            deadletter: DeadLetterManager::new(),
+            worker_exit: AtomicU32::new(0),
+            worker_slots: parking_lot::Mutex::new(Vec::new()),
             config,
             id: RwLock::new(SiteId::NONE),
             transport,
@@ -559,6 +590,10 @@ impl Site {
         for h in handles {
             let _ = h.join();
         }
+        let workers: Vec<_> = self.inner.worker_slots.lock().drain(..).collect();
+        for h in workers.into_iter().flatten() {
+            let _ = h.join();
+        }
     }
 
     fn spawn_threads(&self) {
@@ -571,35 +606,31 @@ impl Site {
         {
             let inner = self.inner.clone();
             let rx = inner.transport.incoming();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("sdvm-router-{}", inner.my_id()))
-                    .spawn(move || {
-                        while inner.is_running() {
-                            inner.pause_gate();
-                            match rx.recv_timeout(Duration::from_millis(50)) {
-                                Ok(raw) => {
-                                    let open_started = std::time::Instant::now();
-                                    let opened = inner.security.open(&inner, &raw);
-                                    inner
-                                        .metrics
-                                        .open_us
-                                        .observe_duration(open_started.elapsed());
-                                    let Ok(plain) = opened else {
-                                        continue; // forged/corrupt: drop
-                                    };
-                                    let Ok(msg) = SdMessage::from_bytes(&plain) else {
-                                        continue; // undecodable: drop
-                                    };
-                                    inner.dispatch(msg);
-                                }
-                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                                Err(_) => break,
-                            }
+            let name = format!("sdvm-router-{}", inner.my_id());
+            threads.extend(spawn_named(name, move || {
+                while inner.is_running() {
+                    inner.pause_gate();
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(raw) => {
+                            let open_started = std::time::Instant::now();
+                            let opened = inner.security.open(&inner, &raw);
+                            inner
+                                .metrics
+                                .open_us
+                                .observe_duration(open_started.elapsed());
+                            let Ok(plain) = opened else {
+                                continue; // forged/corrupt: drop
+                            };
+                            let Ok(msg) = SdMessage::from_bytes(&plain) else {
+                                continue; // undecodable: drop
+                            };
+                            inner.dispatch(msg);
                         }
-                    })
-                    .expect("spawn router"),
-            );
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(_) => break,
+                    }
+                }
+            }));
         }
 
         // Helpers: blocking background tasks (two, so one dead-site
@@ -611,53 +642,59 @@ impl Site {
             (2, self.inner.recovery_rx.clone()),
         ] {
             let inner = self.inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("sdvm-helper-{}-{}", inner.my_id(), n))
-                    .spawn(move || {
-                        while inner.is_running() {
-                            inner.pause_gate();
-                            match rx.recv_timeout(Duration::from_millis(50)) {
-                                Ok(task) => crate::managers::run_task(&inner, task),
-                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                                Err(_) => break,
-                            }
-                        }
-                    })
-                    .expect("spawn helper"),
-            );
+            let name = format!("sdvm-helper-{}-{}", inner.my_id(), n);
+            threads.extend(spawn_named(name, move || {
+                while inner.is_running() {
+                    inner.pause_gate();
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(task) => crate::managers::run_task(&inner, task),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(_) => break,
+                    }
+                }
+            }));
         }
 
-        // Processing manager: `slots` microthreads in (virtual) parallel.
-        for slot in 0..self.inner.config.slots {
-            let inner = self.inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("sdvm-worker-{}-{}", inner.my_id(), slot))
-                    .spawn(move || processing::worker_loop(&inner))
-                    .expect("spawn worker"),
-            );
-        }
+        // Processing manager: `slots` microthreads in (virtual)
+        // parallel, tracked per slot so the supervisor can respawn one
+        // that died.
+        *self.inner.worker_slots.lock() = (0..self.inner.config.slots)
+            .map(|slot| spawn_worker(self.inner.clone(), slot))
+            .collect();
 
-        // Maintenance: heartbeats, crash detection.
+        // Maintenance: heartbeats, crash detection, worker supervision,
+        // stuck-program watchdog.
         {
             let inner = self.inner.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("sdvm-maint-{}", inner.my_id()))
-                    .spawn(move || {
-                        while inner.is_running() {
-                            std::thread::sleep(inner.config.heartbeat_interval);
-                            inner.pause_gate();
-                            if !inner.is_running() {
-                                break;
-                            }
-                            inner.cluster.heartbeat_tick(&inner);
-                        }
-                    })
-                    .expect("spawn maintenance"),
-            );
+            let name = format!("sdvm-maint-{}", inner.my_id());
+            threads.extend(spawn_named(name, move || {
+                while inner.is_running() {
+                    std::thread::sleep(inner.config.heartbeat_interval);
+                    inner.pause_gate();
+                    if !inner.is_running() {
+                        break;
+                    }
+                    inner.cluster.heartbeat_tick(&inner);
+                    supervise_workers(&inner);
+                    inner.program.watchdog_tick(&inner);
+                }
+            }));
         }
+    }
+
+    /// Ask one worker slot to exit (the supervisor respawns it).
+    pub fn kill_worker(&self) {
+        self.inner.kill_worker();
+    }
+
+    /// Number of worker slot threads currently alive.
+    pub fn live_workers(&self) -> usize {
+        self.inner
+            .worker_slots
+            .lock()
+            .iter()
+            .filter(|h| h.as_ref().map(|h| !h.is_finished()).unwrap_or(false))
+            .count()
     }
 
     /// The descriptor this site announces about itself.
@@ -677,6 +714,51 @@ impl Drop for Site {
     fn drop(&mut self) {
         if self.inner.is_running() {
             self.stop();
+        }
+    }
+}
+
+/// Spawn a named thread; a spawn failure (fd/thread exhaustion) is
+/// reported, not fatal — the caller gets `None` and the site runs
+/// degraded rather than aborting the daemon.
+fn spawn_named(
+    name: String,
+    f: impl FnOnce() + Send + 'static,
+) -> Option<std::thread::JoinHandle<()>> {
+    match std::thread::Builder::new().name(name.clone()).spawn(f) {
+        Ok(h) => Some(h),
+        Err(e) => {
+            eprintln!("sdvm: failed to spawn thread {name}: {e}");
+            None
+        }
+    }
+}
+
+/// Spawn one processing slot thread.
+fn spawn_worker(inner: Arc<SiteInner>, slot: usize) -> Option<std::thread::JoinHandle<()>> {
+    let name = format!("sdvm-worker-{}-{}", inner.my_id(), slot);
+    spawn_named(name, move || processing::worker_loop(&inner))
+}
+
+/// Worker supervision (maintenance tick): respawn any slot thread that
+/// exited — a chaos-injected exit, a thread the OS killed, or a panic
+/// that somehow escaped the engine's isolation.
+fn supervise_workers(inner: &Arc<SiteInner>) {
+    if !inner.is_running() {
+        return;
+    }
+    let mut slots = inner.worker_slots.lock();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let dead = slot.as_ref().map(|h| h.is_finished()).unwrap_or(true);
+        if dead {
+            if let Some(h) = slot.take() {
+                let _ = h.join();
+            }
+            *slot = spawn_worker(inner.clone(), i);
+            inner.emit(TraceEvent::WorkerRespawned {
+                site: inner.my_id(),
+                slot: i as u32,
+            });
         }
     }
 }

@@ -187,6 +187,21 @@ pub fn perfetto_trace_json(events: &[BusEvent]) -> String {
                     }
                     TraceEvent::CodeRequested { thread, .. } => format!("request code {thread:?}"),
                     TraceEvent::CodeCompiled { thread, .. } => format!("compile {thread:?}"),
+                    TraceEvent::FrameRetried { frame, attempt, .. } => {
+                        format!(
+                            "retry frame {}.{} (attempt {attempt})",
+                            frame.home.0, frame.local
+                        )
+                    }
+                    TraceEvent::FrameQuarantined { frame, cause, .. } => {
+                        format!("quarantine frame {}.{}: {cause}", frame.home.0, frame.local)
+                    }
+                    TraceEvent::WorkerRespawned { slot, .. } => {
+                        format!("respawn worker slot {slot}")
+                    }
+                    TraceEvent::ProgramStuck { program, .. } => {
+                        format!("program {program} stuck")
+                    }
                     _ => continue,
                 };
                 entries.push(format!(
@@ -349,6 +364,36 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
     );
     write_counter(
         &mut out,
+        "sdvm_frames_retried_total",
+        "Microframes re-enqueued with backoff after an infrastructure error.",
+        &c(|m| m.frames_retried),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_frames_quarantined_total",
+        "Microframes moved to the dead-letter store.",
+        &c(|m| m.frames_quarantined),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_handler_panics_total",
+        "Handler panics caught by the execution engine.",
+        &c(|m| m.handler_panics),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_workers_respawned_total",
+        "Worker slot threads respawned by the supervisor.",
+        &c(|m| m.workers_respawned),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_programs_stuck_total",
+        "Programs the watchdog declared stuck.",
+        &c(|m| m.programs_stuck),
+    );
+    write_counter(
+        &mut out,
         "sdvm_outbound_backpressure_stalls_total",
         "Sends that hit a full outbound queue and had to wait.",
         &c(|m| m.backpressure_stalls),
@@ -414,6 +459,12 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
         "Failure-detector detection latency, last-heard to declared (microseconds).",
         &h(|m| &m.detection_latency_us),
     );
+    write_histogram(
+        &mut out,
+        "sdvm_retry_delay_us",
+        "Backoff delay applied before each frame retry (microseconds).",
+        &h(|m| &m.retry_delay_us),
+    );
 
     // Per-manager dispatch histograms carry an extra label.
     let mut dispatch: Vec<(String, &HistogramSnapshot)> = Vec::new();
@@ -432,6 +483,7 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use crate::telemetry::metrics::Metrics;

@@ -219,6 +219,23 @@ pub struct Metrics {
     pub compile_us: Histogram,
     /// Failure-detector detection latency: last-heard → declared-crashed.
     pub detection_latency_us: Histogram,
+    /// Backoff delay applied before each frame retry.
+    pub retry_delay_us: Histogram,
+
+    // ---- engine counters (cold: poison/repair events only) ----
+    // Declared after the hot histograms so the seed's field offsets —
+    // and with them the message-path cache lines — stay unchanged.
+    /// Frames re-enqueued with backoff after an infrastructure error.
+    pub frames_retried: Counter,
+    /// Frames moved to the dead-letter store (retry budget exhausted,
+    /// handler panic, or application error).
+    pub frames_quarantined: Counter,
+    /// Handler panics caught by the execution engine.
+    pub handler_panics: Counter,
+    /// Worker slot threads respawned by the supervisor.
+    pub workers_respawned: Counter,
+    /// Programs the watchdog declared stuck.
+    pub programs_stuck: Counter,
 
     /// In-flight career marks, keyed by frame address.
     careers: Mutex<HashMap<GlobalAddress, CareerMarks>>,
@@ -256,6 +273,11 @@ impl Default for Metrics {
             zombies_fenced: Counter::default(),
             crashes_declared: Counter::default(),
             frames_executed: Counter::default(),
+            frames_retried: Counter::default(),
+            frames_quarantined: Counter::default(),
+            handler_panics: Counter::default(),
+            workers_respawned: Counter::default(),
+            programs_stuck: Counter::default(),
             outbound_queue_depth: Gauge::default(),
             career_total_us: Histogram::default(),
             career_wait_us: Histogram::default(),
@@ -269,6 +291,7 @@ impl Default for Metrics {
             help_rtt_us: Histogram::default(),
             compile_us: Histogram::default(),
             detection_latency_us: Histogram::default(),
+            retry_delay_us: Histogram::default(),
             careers: Mutex::new(HashMap::new()),
         }
     }
@@ -350,6 +373,10 @@ impl Metrics {
             TraceEvent::SuspicionRefuted { .. } => self.suspicions_refuted.inc(),
             TraceEvent::StaleIncarnation { .. } => self.zombies_fenced.inc(),
             TraceEvent::SiteGone { crashed: true, .. } => self.crashes_declared.inc(),
+            TraceEvent::FrameRetried { .. } => self.frames_retried.inc(),
+            TraceEvent::FrameQuarantined { .. } => self.frames_quarantined.inc(),
+            TraceEvent::WorkerRespawned { .. } => self.workers_respawned.inc(),
+            TraceEvent::ProgramStuck { .. } => self.programs_stuck.inc(),
             _ => {}
         }
     }
@@ -367,6 +394,11 @@ impl Metrics {
             zombies_fenced: self.zombies_fenced.get(),
             crashes_declared: self.crashes_declared.get(),
             frames_executed: self.frames_executed.get(),
+            frames_retried: self.frames_retried.get(),
+            frames_quarantined: self.frames_quarantined.get(),
+            handler_panics: self.handler_panics.get(),
+            workers_respawned: self.workers_respawned.get(),
+            programs_stuck: self.programs_stuck.get(),
             outbound_queue_depth: self.outbound_queue_depth.get(),
             backpressure_stalls: 0,
             career_total_us: self.career_total_us.snapshot(),
@@ -383,6 +415,7 @@ impl Metrics {
             help_rtt_us: self.help_rtt_us.snapshot(),
             compile_us: self.compile_us.snapshot(),
             detection_latency_us: self.detection_latency_us.snapshot(),
+            retry_delay_us: self.retry_delay_us.snapshot(),
         }
     }
 }
@@ -411,6 +444,16 @@ pub struct SiteMetrics {
     pub crashes_declared: u64,
     /// Frames executed.
     pub frames_executed: u64,
+    /// Frames re-enqueued with backoff after an infrastructure error.
+    pub frames_retried: u64,
+    /// Frames moved to the dead-letter store.
+    pub frames_quarantined: u64,
+    /// Handler panics caught by the execution engine.
+    pub handler_panics: u64,
+    /// Worker slot threads respawned by the supervisor.
+    pub workers_respawned: u64,
+    /// Programs the watchdog declared stuck.
+    pub programs_stuck: u64,
     /// Frames waiting in outbound queues (sampled).
     pub outbound_queue_depth: u64,
     /// Sends that hit a full outbound queue and had to wait (transport-
@@ -436,9 +479,12 @@ pub struct SiteMetrics {
     pub compile_us: HistogramSnapshot,
     /// Failure-detector detection latency (µs).
     pub detection_latency_us: HistogramSnapshot,
+    /// Backoff delay applied before each frame retry (µs).
+    pub retry_delay_us: HistogramSnapshot,
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use sdvm_types::{MicrothreadId, ProgramId, SiteId};

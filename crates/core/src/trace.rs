@@ -22,7 +22,7 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
-use sdvm_types::{GlobalAddress, ManagerId, MicrothreadId, PlatformId, SiteId};
+use sdvm_types::{GlobalAddress, ManagerId, MicrothreadId, PlatformId, ProgramId, SiteId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -198,6 +198,49 @@ pub enum TraceEvent {
         /// Memory objects revived.
         objects: usize,
     },
+    /// A frame's execution failed on an infrastructure error and it was
+    /// re-enqueued with backoff (budgeted — see
+    /// `SiteConfig::max_frame_retries`).
+    FrameRetried {
+        /// Site where it happened.
+        site: SiteId,
+        /// The frame.
+        frame: GlobalAddress,
+        /// The microthread it fires.
+        thread: MicrothreadId,
+        /// Which retry this is (1-based).
+        attempt: u32,
+    },
+    /// A poisoned frame (panicked handler, application error, or
+    /// exhausted retry budget) was moved to the site's dead-letter store.
+    FrameQuarantined {
+        /// Site that quarantined it.
+        site: SiteId,
+        /// The frame.
+        frame: GlobalAddress,
+        /// The microthread it would have fired.
+        thread: MicrothreadId,
+        /// The cause, stringified. Boxed behind an `Arc` so this cold
+        /// variant does not grow `TraceEvent` (and with it every ring
+        /// slot) past one cache line.
+        cause: Arc<String>,
+    },
+    /// The supervisor replaced a worker-slot thread that died despite
+    /// panic isolation.
+    WorkerRespawned {
+        /// Site whose worker died.
+        site: SiteId,
+        /// The processing slot that was respawned.
+        slot: u32,
+    },
+    /// The stuck-program watchdog declared a program stuck: undelivered
+    /// result, no runnable frames, no in-flight requests.
+    ProgramStuck {
+        /// The program's frontend site.
+        site: SiteId,
+        /// The stuck program.
+        program: ProgramId,
+    },
 }
 
 impl TraceEvent {
@@ -220,7 +263,11 @@ impl TraceEvent {
             | TraceEvent::SuspicionRefuted { site, .. }
             | TraceEvent::StaleIncarnation { site, .. }
             | TraceEvent::SiteGone { site, .. }
-            | TraceEvent::Recovered { site, .. } => *site,
+            | TraceEvent::Recovered { site, .. }
+            | TraceEvent::FrameRetried { site, .. }
+            | TraceEvent::FrameQuarantined { site, .. }
+            | TraceEvent::WorkerRespawned { site, .. }
+            | TraceEvent::ProgramStuck { site, .. } => *site,
         }
     }
 
@@ -243,6 +290,10 @@ impl TraceEvent {
             | TraceEvent::SuspicionRefuted { .. }
             | TraceEvent::StaleIncarnation { .. } => Category::Detector,
             TraceEvent::Recovered { .. } => Category::Recovery,
+            TraceEvent::FrameRetried { .. }
+            | TraceEvent::FrameQuarantined { .. }
+            | TraceEvent::WorkerRespawned { .. }
+            | TraceEvent::ProgramStuck { .. } => Category::Engine,
         }
     }
 }
@@ -265,10 +316,13 @@ pub enum Category {
     Detector = 1 << 5,
     /// Crash recovery.
     Recovery = 1 << 6,
+    /// Execution-engine robustness: retries, quarantines, worker
+    /// respawns, stuck-program verdicts.
+    Engine = 1 << 7,
 }
 
 impl Category {
-    const ALL: u32 = 0x7f;
+    const ALL: u32 = 0xff;
 
     fn from_name(name: &str) -> Option<u32> {
         Some(match name {
@@ -279,6 +333,7 @@ impl Category {
             "membership" => Category::Membership as u32,
             "detector" => Category::Detector as u32,
             "recovery" => Category::Recovery as u32,
+            "engine" => Category::Engine as u32,
             "all" => Category::ALL,
             "off" | "none" => 0,
             _ => return None,
@@ -688,6 +743,7 @@ fn push_locked(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use sdvm_types::ProgramId;

@@ -3,6 +3,8 @@
 //! sites, falsely-declared sites must rejoin with a bumped incarnation,
 //! and recovery must survive the recoverer itself crashing.
 
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
 use sdvm_core::{AppBuilder, InProcessCluster, ProgramHandle, SiteConfig, TraceEvent, TraceLog};
 use sdvm_types::{GlobalAddress, SiteId, Value};
 use std::time::{Duration, Instant};

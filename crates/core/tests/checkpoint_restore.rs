@@ -2,6 +2,8 @@
 //! cluster-wide, kill the whole cluster, rebuild it, restore — and get
 //! the correct result.
 
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
 use sdvm_core::{AppBuilder, InProcessCluster, ProgramSnapshot, SiteConfig, TraceEvent, TraceLog};
 use sdvm_types::Value;
 use std::time::Duration;

@@ -4,6 +4,8 @@
 //! running before their dependents were adopted, and address-counter
 //! collisions between restored and freshly allocated frames.
 
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
 use sdvm_core::{AppBuilder, InProcessCluster, ProgramSnapshot, SiteConfig};
 use sdvm_types::{GlobalAddress, SiteId, Value};
 use std::time::Duration;

@@ -3,6 +3,7 @@
 //! security envelope.
 
 #![allow(clippy::field_reassign_with_default)] // config structs are built by mutation by design
+#![allow(clippy::disallowed_methods)] // tests may unwrap
 
 use sdvm_core::{InProcessCluster, SiteConfig};
 use sdvm_types::{ManagerId, SiteId, Value};

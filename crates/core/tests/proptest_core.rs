@@ -1,6 +1,8 @@
 //! Property-based tests of core data structures: microframe firing,
 //! value plumbing, and program-level determinism of the dataflow model.
 
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
 use proptest::prelude::*;
 use sdvm_core::{AppBuilder, InProcessCluster, Microframe, SiteConfig};
 use sdvm_types::{GlobalAddress, MicrothreadId, ProgramId, SchedulingHint, SiteId, Value};

@@ -3,6 +3,7 @@
 //! crash recovery, security, heterogeneous platforms and I/O.
 
 #![allow(clippy::field_reassign_with_default)] // config structs are built by mutation by design
+#![allow(clippy::disallowed_methods)] // tests may unwrap
 
 use bytes::Bytes;
 use sdvm_core::{AppBuilder, InProcessCluster, SiteConfig, TraceEvent, TraceLog};

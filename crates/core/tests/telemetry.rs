@@ -2,6 +2,8 @@
 //! taps, and cross-site causal trace stitching through a real
 //! `HelpGranted` migration on an in-process cluster.
 
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
 use sdvm_core::telemetry::trace_id_of;
 use sdvm_core::{
     perfetto_trace_json, AppBuilder, InProcessCluster, SiteConfig, TraceEvent, TraceLog,

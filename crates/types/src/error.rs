@@ -44,6 +44,32 @@ pub enum SdvmError {
     Checkpoint(String),
     /// An application-level microthread returned an error.
     Application(String),
+    /// A microthread handler panicked; the panic was caught at the
+    /// worker-slot boundary and converted into this error.
+    HandlerPanicked {
+        /// The microthread whose handler panicked.
+        thread: MicrothreadId,
+        /// The panic payload, stringified (best effort).
+        message: String,
+    },
+    /// A program failed fatally: a poisoned microframe was quarantined
+    /// under the `FailFast` failure policy.
+    ProgramFailed {
+        /// The failed program.
+        program: ProgramId,
+        /// The quarantined microframe.
+        frame: GlobalAddress,
+        /// The microthread the frame would have fired.
+        thread: MicrothreadId,
+        /// The underlying cause, stringified.
+        cause: String,
+    },
+    /// The stuck-program watchdog found a program with an undelivered
+    /// result but no runnable frames and no in-flight requests.
+    ProgramStuck {
+        /// The stuck program.
+        program: ProgramId,
+    },
 }
 
 impl fmt::Display for SdvmError {
@@ -69,6 +95,28 @@ impl fmt::Display for SdvmError {
             SdvmError::Io(m) => write!(f, "io error: {m}"),
             SdvmError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             SdvmError::Application(m) => write!(f, "application error: {m}"),
+            SdvmError::HandlerPanicked { thread, message } => {
+                write!(f, "handler for microthread {thread} panicked: {message}")
+            }
+            SdvmError::ProgramFailed {
+                program,
+                frame,
+                thread,
+                cause,
+            } => {
+                write!(
+                    f,
+                    "program {program} failed: frame {frame} (microthread {thread}) \
+                     was quarantined: {cause}"
+                )
+            }
+            SdvmError::ProgramStuck { program } => {
+                write!(
+                    f,
+                    "program {program} is stuck: result undelivered with no runnable \
+                     frames and no in-flight requests"
+                )
+            }
         }
     }
 }

@@ -23,5 +23,5 @@ pub use ids::{
     SiteId,
 };
 pub use info::{LoadReport, SiteDescriptor};
-pub use policy::{IdAllocStrategy, Priority, QueuePolicy, SchedulingHint};
+pub use policy::{FailurePolicy, IdAllocStrategy, Priority, QueuePolicy, SchedulingHint};
 pub use value::Value;

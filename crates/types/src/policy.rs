@@ -102,6 +102,32 @@ pub enum IdAllocStrategy {
     },
 }
 
+/// What a program's frontend does when one of its microframes is
+/// *poisoned* — quarantined after a handler panic, an application error,
+/// or retry-budget exhaustion.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FailurePolicy {
+    /// Fail the whole program: `wait()` returns an error naming the
+    /// frame, microthread and cause, and the program is terminated
+    /// cluster-wide.
+    #[default]
+    FailFast,
+    /// Report the poisoned frame through the I/O manager and keep the
+    /// rest of the program running; frames depending on the lost result
+    /// will never fire (the stuck-program watchdog eventually reports the
+    /// program if its result depended on the skipped frame).
+    SkipFrame,
+}
+
+impl fmt::Display for FailurePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailurePolicy::FailFast => "fail-fast",
+            FailurePolicy::SkipFrame => "skip-frame",
+        })
+    }
+}
+
 impl fmt::Display for IdAllocStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -348,6 +348,15 @@ payloads! {
     /// A file operation failed.
     80 FileError { message: String },
 
+    // ---- poison-frame quarantine (§2.2 robustness) ----
+
+    /// A microframe of `program` was quarantined on the sender (dead-letter
+    /// store) after a handler panic, an application error, or retry-budget
+    /// exhaustion. Sent to the program's code home (frontend), whose
+    /// failure policy decides whether the program fails fast or skips the
+    /// frame and continues.
+    81 FrameQuarantined { program: ProgramId, frame: GlobalAddress, thread: MicrothreadId, cause: String },
+
     // ---- generic ----
 
     /// Generic error reply carrying the failed request's description.
@@ -641,6 +650,12 @@ mod tests {
             },
             Payload::FileError {
                 message: "enoent".into(),
+            },
+            Payload::FrameQuarantined {
+                program: ProgramId(1),
+                frame: GlobalAddress::new(SiteId(2), 4),
+                thread: MicrothreadId::new(ProgramId(1), 2),
+                cause: "handler panicked: boom".into(),
             },
             Payload::Error {
                 message: "nope".into(),
