@@ -139,12 +139,93 @@ fn poison_drill(kind: AppFaultKind, plan: &str, seed: u64, scenario: ChaosScenar
     );
 }
 
+/// Replica cell of the fault matrix: a partition opens between an
+/// object's owner and a site holding a cached read replica, the owner
+/// writes *during* the partition (the invalidation is lost in the
+/// blackhole), and the partition heals. The lease semantics under test:
+/// while the replica is fresh, reads serve it; once the TTL expires
+/// mid-partition, reads go remote and may *time out* (the honest CAP
+/// outcome — never a value staler than the lease); after the heal, the
+/// holder must converge on the owner's new value.
+fn replica_partition_drill(seed: u64) {
+    let mut cfg = chaos_config().with_replica_ttl(Duration::from_millis(300));
+    // The drill partitions, it doesn't kill: suspicion verdicts would
+    // only add noise on top of the blackhole. Short request timeout so
+    // mid-partition probes fail fast.
+    cfg.crash_timeout = Duration::from_secs(30);
+    cfg.suspect_timeout = Duration::from_secs(10);
+    cfg.request_timeout = Duration::from_millis(400);
+    let cluster = InProcessCluster::with_configs(vec![cfg; 3], None).unwrap();
+    let s0 = cluster.site(0).inner();
+    let s2 = cluster.site(2).inner();
+    let addr = s0
+        .memory
+        .alloc(s0, sdvm_types::ProgramId(1), Value::from_u64(1));
+    // Replica outstanding at site 2.
+    assert_eq!(
+        s2.memory.read(s2, addr, false).unwrap().as_u64().unwrap(),
+        1
+    );
+    assert!(s2.memory.replica_version(addr).is_some(), "replica cached");
+    // Seed staggers when the partition opens relative to the write.
+    let partition_at = Duration::from_millis(50 + (seed % 5) * 40);
+    let scenario = ChaosScenario::new().at(
+        partition_at,
+        ChaosAction::Partition {
+            a: 0,
+            b: 2,
+            heal_after: Duration::from_millis(600),
+        },
+    );
+    std::thread::scope(|s| {
+        s.spawn(|| scenario.run(&cluster));
+        std::thread::sleep(partition_at + Duration::from_millis(100));
+        // Owner writes mid-partition: the ReplicaInvalidate to site 2
+        // dies in the blackhole.
+        s0.memory.write(s0, addr, Value::from_u64(2)).unwrap();
+        // Site 2 keeps reading. Three legal outcomes per read: the stale
+        // value while the lease lasts, a timeout once the lease expired
+        // and the owner is unreachable, the fresh value after the heal.
+        // Never a value staler than the lease allows once v2 was seen.
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        loop {
+            match s2.memory.read(s2, addr, false) {
+                Ok(v) => {
+                    let v = v.as_u64().unwrap();
+                    if v == 2 {
+                        break;
+                    }
+                    assert_eq!(v, 1, "seed={seed}: impossible value");
+                }
+                Err(sdvm_types::SdvmError::Timeout(_))
+                | Err(sdvm_types::SdvmError::Transport(_))
+                | Err(sdvm_types::SdvmError::ObjectMissing(_)) => {
+                    // Lease expired with the owner unreachable: honest
+                    // unavailability, not stale data.
+                }
+                Err(e) => panic!("seed={seed}: unexpected read error: {e}"),
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "seed={seed}: never converged on the post-partition write"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // Converged: the fresh value is now also re-cacheable locally.
+        assert_eq!(
+            s2.memory.read(s2, addr, false).unwrap().as_u64().unwrap(),
+            2
+        );
+    });
+}
+
 /// CI fault-matrix hook: one scripted drill parameterized by environment.
 ///
 /// - `SDVM_CHAOS_PLAN`: `reliable` (default), `udp_like`,
 ///   `partition_heal`, `pause`, `poison_panic` (a handler panics on a
-///   lossy transport), or `poison_fail` (a handler fails during a
-///   partition-and-heal).
+///   lossy transport), `poison_fail` (a handler fails during a
+///   partition-and-heal), or `replica_partition` (a lost replica
+///   invalidation must be healed by the TTL lease).
 /// - `SDVM_CHAOS_SEED`: RNG seed for the fault plan (default 1).
 #[test]
 fn fault_matrix_scenario() {
@@ -154,6 +235,9 @@ fn fault_matrix_scenario() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
     match plan.as_str() {
+        "replica_partition" => {
+            return replica_partition_drill(seed);
+        }
         "poison_panic" => {
             return poison_drill(
                 AppFaultKind::Panic,

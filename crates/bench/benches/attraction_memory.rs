@@ -1,0 +1,56 @@
+//! Criterion: single-read latency through the attraction memory — the
+//! three paths a non-migrating read can take.
+//!
+//! - `owned_local`: the object lives here; one shard lookup.
+//! - `replica_hit`: the object lives elsewhere but a fresh versioned
+//!   replica is cached; one shard lookup plus a TTL check.
+//! - `remote_round_trip`: replicas disabled, so every read crosses the
+//!   in-process transport to the owner and back.
+//!
+//! The first two should be within noise of each other — that gap
+//! closing is the whole point of read replicas; the third is the
+//! baseline they avoid.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sdvm_core::{InProcessCluster, SiteConfig};
+use sdvm_types::{ProgramId, Value};
+
+fn bench_attraction_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attraction_memory");
+
+    let cluster = InProcessCluster::new(2, SiteConfig::default()).expect("cluster");
+    let s0 = cluster.site(0).inner();
+    let s1 = cluster.site(1).inner();
+    let addr = s0.memory.alloc(s0, ProgramId(1), Value::from_u64(7));
+
+    g.bench_function("owned_local", |b| {
+        b.iter(|| black_box(s0.memory.read(s0, black_box(addr), false).expect("read")))
+    });
+
+    // Prime the replica; the default TTL (seconds) outlives the run.
+    s1.memory.read(s1, addr, false).expect("prime replica");
+    assert!(s1.memory.replica_version(addr).is_some());
+    g.bench_function("replica_hit", |b| {
+        b.iter(|| black_box(s1.memory.read(s1, black_box(addr), false).expect("read")))
+    });
+
+    let cold =
+        InProcessCluster::new(2, SiteConfig::default().without_replica_reads()).expect("cluster");
+    let c0 = cold.site(0).inner();
+    let c1 = cold.site(1).inner();
+    let cold_addr = c0.memory.alloc(c0, ProgramId(1), Value::from_u64(7));
+    g.bench_function("remote_round_trip", |b| {
+        b.iter(|| {
+            black_box(
+                c1.memory
+                    .read(c1, black_box(cold_addr), false)
+                    .expect("read"),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_attraction_memory);
+criterion_main!(benches);

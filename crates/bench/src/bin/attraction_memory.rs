@@ -1,0 +1,200 @@
+//! Attraction-memory v2 throughput, machine-readable.
+//!
+//! Two experiments, both on the real site stack (managers, wire codec,
+//! in-process transport):
+//!
+//! 1. **Read-mostly remote reads** — two sites repeatedly read an
+//!    object owned by a third, with an occasional owner-side write
+//!    mixed in (1 write per 100 read rounds). Compared with versioned
+//!    read replicas off vs on: with replicas every read after the
+//!    first is a local version-checked hit until the next
+//!    invalidation, without them every read is a full network
+//!    round-trip.
+//! 2. **Sharded store under local contention** — four threads hammer
+//!    read/write mixes against one site's store with 1 shard vs 8
+//!    shards, reporting both throughput and the contention counters
+//!    the shards expose (`MemStats::shard_contention`).
+//!
+//! Writes `BENCH_attraction_memory.json` into the working directory.
+//!
+//! ```text
+//! cargo run --release -p sdvm-bench --bin attraction_memory
+//! ```
+
+use sdvm_bench::rule;
+use sdvm_core::{InProcessCluster, SiteConfig};
+use sdvm_types::{ProgramId, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+const READ_ROUNDS: u64 = 2_000;
+const WRITE_EVERY: u64 = 100;
+const LOCAL_THREADS: usize = 4;
+const LOCAL_OPS: u64 = 30_000;
+
+struct BenchResult {
+    name: String,
+    ops_per_sec: f64,
+    ns_per_op: f64,
+    contention: Option<u64>,
+}
+
+/// Read-mostly fan-in: sites 1 and 2 read an object homed at site 0,
+/// the owner writing once per `WRITE_EVERY` rounds. Returns ops/sec
+/// over all remote reads.
+fn bench_remote_reads(replicas: bool) -> BenchResult {
+    let config = if replicas {
+        SiteConfig::default()
+    } else {
+        SiteConfig::default().without_replica_reads()
+    };
+    let cluster = Arc::new(InProcessCluster::new(3, config).expect("cluster"));
+    let s0 = cluster.site(0).inner();
+    let addr = s0.memory.alloc(s0, ProgramId(1), Value::from_u64(0));
+    // Warm the path (and the copyset, when replicas are on).
+    for i in 1..3 {
+        let site = cluster.site(i).inner();
+        site.memory.read(site, addr, false).expect("warm-up read");
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for r in 1..3usize {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            let site = cluster.site(r).inner();
+            for i in 0..READ_ROUNDS {
+                site.memory
+                    .read(site, addr, false)
+                    .unwrap_or_else(|e| panic!("reader {r} round {i}: {e}"));
+            }
+        }));
+    }
+    {
+        let cluster = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            let site = cluster.site(0).inner();
+            for i in 0..READ_ROUNDS / WRITE_EVERY {
+                site.memory
+                    .write(site, addr, Value::from_u64(i + 1))
+                    .unwrap_or_else(|e| panic!("writer round {i}: {e}"));
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let reads = (READ_ROUNDS * 2) as f64;
+    BenchResult {
+        name: format!(
+            "remote_read/replicas_{}",
+            if replicas { "on" } else { "off" }
+        ),
+        ops_per_sec: reads / secs,
+        ns_per_op: secs * 1e9 / reads,
+        contention: None,
+    }
+}
+
+/// Local mixed read/write traffic from `LOCAL_THREADS` threads against
+/// one site's store, parameterized by shard count. Reports the
+/// aggregate contention counter next to throughput: a single shard
+/// serializes every operation, the sharded store spreads them.
+fn bench_local_contention(shards: usize) -> BenchResult {
+    let config = SiteConfig::default().with_mem_shards(shards);
+    let cluster = Arc::new(InProcessCluster::new(1, config).expect("cluster"));
+    let site = cluster.site(0).inner();
+    let addrs: Vec<_> = (0..64)
+        .map(|i| site.memory.alloc(site, ProgramId(1), Value::from_u64(i)))
+        .collect();
+    let addrs = Arc::new(addrs);
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..LOCAL_THREADS {
+        let cluster = Arc::clone(&cluster);
+        let addrs = Arc::clone(&addrs);
+        handles.push(std::thread::spawn(move || {
+            let site = cluster.site(0).inner();
+            for i in 0..LOCAL_OPS {
+                let addr = addrs[((i as usize) * LOCAL_THREADS + t) % addrs.len()];
+                if i % 8 == t as u64 % 8 {
+                    site.memory
+                        .write(site, addr, Value::from_u64(i))
+                        .unwrap_or_else(|e| panic!("local writer {t}: {e}"));
+                } else {
+                    site.memory
+                        .read(site, addr, false)
+                        .unwrap_or_else(|e| panic!("local reader {t}: {e}"));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let ops = (LOCAL_OPS * LOCAL_THREADS as u64) as f64;
+    let contention: u64 = site.memory.stats().shard_contention.iter().sum();
+    BenchResult {
+        name: format!("local_mix/shards_{shards}"),
+        ops_per_sec: ops / secs,
+        ns_per_op: secs * 1e9 / ops,
+        contention: Some(contention),
+    }
+}
+
+fn main() {
+    println!("attraction memory v2: replica reads and sharded store");
+    rule(90);
+    let results = vec![
+        bench_remote_reads(false),
+        bench_remote_reads(true),
+        bench_local_contention(1),
+        bench_local_contention(8),
+    ];
+    for r in &results {
+        let contention = r
+            .contention
+            .map(|c| format!("  contention={c}"))
+            .unwrap_or_default();
+        println!(
+            "{:>26}: {:>12.0} ops/s  {:>10.0} ns/op{}",
+            r.name, r.ops_per_sec, r.ns_per_op, contention
+        );
+    }
+    let replica_speedup = results[1].ops_per_sec / results[0].ops_per_sec;
+    let shard_speedup = results[3].ops_per_sec / results[2].ops_per_sec;
+    println!("replica read speedup: {replica_speedup:.2}x   shard speedup: {shard_speedup:.2}x");
+    rule(90);
+
+    let mut json = String::from("{\n  \"bench\": \"attraction_memory\",\n");
+    json.push_str(&format!("  \"read_rounds\": {READ_ROUNDS},\n"));
+    json.push_str(&format!("  \"write_every\": {WRITE_EVERY},\n"));
+    json.push_str(&format!("  \"local_threads\": {LOCAL_THREADS},\n"));
+    json.push_str(&format!(
+        "  \"replica_read_speedup\": {replica_speedup:.2},\n"
+    ));
+    json.push_str(&format!("  \"shard_speedup\": {shard_speedup:.2},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let contention = r
+            .contention
+            .map(|c| format!(", \"shard_contention\": {c}"))
+            .unwrap_or_default();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, \"ns_per_op\": {:.1}{}}}{}\n",
+            r.name,
+            r.ops_per_sec,
+            r.ns_per_op,
+            contention,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_attraction_memory.json", &json)
+        .expect("write BENCH_attraction_memory.json");
+    println!("wrote BENCH_attraction_memory.json");
+}

@@ -304,6 +304,10 @@ impl Site {
         })?;
         let handle = self.relaunch_registered(app, snapshot.program, result_addr)?;
         let site = self.inner();
+        // The restore rewinds object state: replicas cut from the
+        // pre-restore timeline must not survive it (peers drop theirs on
+        // the ProgramRegister broadcast).
+        site.memory.purge_replicas(snapshot.program);
         for obj in &snapshot.objects {
             site.memory.adopt_object(site, obj.clone());
         }
@@ -349,6 +353,7 @@ mod tests {
                 addr: GlobalAddress::new(SiteId(2), 4),
                 program: ProgramId(65536),
                 data: Value::from_u64(7),
+                version: 2,
             }],
         }
     }

@@ -74,6 +74,18 @@ pub struct SiteConfig {
     /// result, no runnable frames and no in-flight requests is declared
     /// stuck (watchdog; the waiter gets `SdvmError::ProgramStuck`).
     pub stuck_timeout: Duration,
+    /// Number of address-hashed shards the attraction memory is split
+    /// into. More shards, less lock contention between workers touching
+    /// unrelated objects; 1 reproduces the old single-mutex store.
+    pub mem_shards: usize,
+    /// Cache non-migrating remote reads as local replicas (copyset
+    /// tracked at the owner, invalidated on write). Off, every remote
+    /// read re-crosses the wire.
+    pub replica_reads: bool,
+    /// Lease on a cached replica: a replica older than this is ignored
+    /// and re-fetched. Bounds staleness when an invalidation is lost
+    /// (e.g. dropped during a network partition).
+    pub replica_ttl: Duration,
 }
 
 impl Default for SiteConfig {
@@ -102,6 +114,9 @@ impl Default for SiteConfig {
             retry_backoff_base: Duration::from_millis(10),
             retry_backoff_cap: Duration::from_millis(500),
             stuck_timeout: Duration::from_secs(30),
+            mem_shards: 8,
+            replica_reads: true,
+            replica_ttl: Duration::from_secs(2),
         }
     }
 }
@@ -136,6 +151,24 @@ impl SiteConfig {
     /// Shorthand: set the stuck-program watchdog timeout.
     pub fn with_stuck_timeout(mut self, t: Duration) -> Self {
         self.stuck_timeout = t;
+        self
+    }
+
+    /// Shorthand: set the attraction-memory shard count.
+    pub fn with_mem_shards(mut self, n: usize) -> Self {
+        self.mem_shards = n.max(1);
+        self
+    }
+
+    /// Shorthand: disable replica caching of remote reads.
+    pub fn without_replica_reads(mut self) -> Self {
+        self.replica_reads = false;
+        self
+    }
+
+    /// Shorthand: set the replica staleness lease.
+    pub fn with_replica_ttl(mut self, t: Duration) -> Self {
+        self.replica_ttl = t;
         self
     }
 

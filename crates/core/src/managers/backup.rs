@@ -270,12 +270,15 @@ pub(crate) fn mirror_released(site: &SiteInner, prev_owner: SiteId, frame: Globa
     }
 }
 
-/// Mirror a memory object owned by *this* site.
+/// Mirror a memory object owned by *this* site. The write version rides
+/// along so a revived object resumes the version chain where it stopped
+/// (replicas themselves are cache and are never mirrored).
 pub(crate) fn mirror_object(
     site: &SiteInner,
     addr: GlobalAddress,
     program: ProgramId,
     data: Value,
+    version: u64,
 ) {
     if let Some(buddy) = buddy_of(site, site.my_id()) {
         let _ = site.send_payload(
@@ -288,6 +291,7 @@ pub(crate) fn mirror_object(
                     addr,
                     program,
                     data,
+                    version,
                 },
             },
         );
@@ -382,6 +386,7 @@ mod tests {
                 addr: GlobalAddress::new(SiteId(1), 3),
                 program: ProgramId(7),
                 data: Value::empty(),
+                version: 1,
             },
         );
         b.purge_program(ProgramId(7));
@@ -395,6 +400,7 @@ mod tests {
             addr: GlobalAddress::new(SiteId(9), 4),
             program: ProgramId(1),
             data: Value::from_u64(11),
+            version: 3,
         };
         b.on_object(SiteId(9), obj.clone());
         let (_, objects) = b.take_for(SiteId(9));

@@ -163,13 +163,12 @@ impl ClusterManager {
     /// Current load report of this site (for gossip and help requests).
     pub fn my_load(&self, site: &SiteInner) -> LoadReport {
         let (queued_frames, busy_slots) = site.scheduling.load_numbers();
-        let (objects, _frames, memory_bytes) = site.memory.stats();
-        let _ = objects;
+        let mem = site.memory.stats();
         LoadReport {
             queued_frames,
             busy_slots,
             programs: site.program.active_count(),
-            memory_bytes,
+            memory_bytes: mem.memory_bytes,
             epoch: site.scheduling.next_epoch(),
         }
     }
@@ -271,7 +270,7 @@ impl ClusterManager {
             .into_iter()
             .map(|f| f.to_wire())
             .collect();
-        let (objects, mem_frames, directory) = site.memory.drain_for_relocation();
+        let (objects, mem_frames, directory) = site.memory.drain_for_relocation(site);
         frames.extend(mem_frames.into_iter().map(|f| f.to_wire()));
         let restore_on_failure = |err: SdvmError| -> SdvmError {
             // The successor never took ownership: put everything back so

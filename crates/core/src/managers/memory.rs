@@ -9,17 +9,46 @@
 //! [`MemoryManager::apply_or_forward`]; when the last missing parameter arrives the
 //! frame becomes executable and is handed to the scheduling manager —
 //! exactly Fig. 4's execution cycle.
+//!
+//! v2 of the store (this file) splits the state into N address-hashed
+//! *shards* so concurrent workers touching unrelated objects stop
+//! serializing on one mutex; all state for one address (object, frame,
+//! directory entry, replica, copyset, forwarding hint) lives in the same
+//! shard, and no operation ever holds two shard locks at once. On top of
+//! the shards sit three protocol upgrades (wire v4):
+//!
+//! - **Versioned read replicas**: objects carry a monotonic version
+//!   bumped on every write. A non-migrating read enters the reader into
+//!   the owner's per-object *copyset* and caches the value locally;
+//!   repeat reads are served from the replica without crossing the wire
+//!   until the owner writes (it then sends `ReplicaInvalidate` to the
+//!   copyset) or the replica's TTL lease expires — the lease bounds
+//!   staleness when an invalidation is lost, e.g. during a partition.
+//! - **Forwarding hints**: when an object migrates away, the old owner
+//!   remembers where it went; `MemMissing` replies carry that hint so
+//!   chasers jump straight to the new owner instead of re-querying the
+//!   homesite after a blind backoff.
+//! - **Locality scoring** for help granting lives in
+//!   [`MemoryManager::help_score`].
 
 use crate::frame::Microframe;
 use crate::managers::backup;
 use crate::site::{SiteInner, Task};
 use crate::telemetry::trace_id_of;
 use crate::trace::TraceEvent;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use sdvm_types::{GlobalAddress, ManagerId, ProgramId, SdvmError, SdvmResult, SiteId, Value};
 use sdvm_wire::{Payload, SdMessage, TraceContext, WireMemObject};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Forwarding hints kept per shard; cleared wholesale on overflow (same
+/// bounded-map discipline as the telemetry career map).
+const HINT_CAP: usize = 1024;
+
+/// Upper bound on owner hops a read/write chase follows before giving up.
+const CHASE_HOPS: u32 = 8;
 
 /// A plain global memory object.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,10 +57,37 @@ pub struct MemObject {
     pub program: ProgramId,
     /// Contents.
     pub data: Value,
+    /// Monotonic write version (bumped by the owner on every write).
+    pub version: u64,
+}
+
+/// A cached copy of a remote object (replica read mode).
+struct Replica {
+    program: ProgramId,
+    data: Value,
+    version: u64,
+    /// When the copy was cut; replicas older than the configured TTL
+    /// lease are ignored (bounds staleness under lost invalidations).
+    fetched: Instant,
+}
+
+/// Named counts for load reports / status (replaces the old bare tuple).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemStats {
+    /// Objects currently owned by this site.
+    pub objects: usize,
+    /// Incomplete microframes owned by this site.
+    pub frames: usize,
+    /// Total payload bytes of the owned objects.
+    pub memory_bytes: u64,
+    /// Cached read replicas of remote objects.
+    pub replicas: usize,
+    /// Per-shard lock-contention counts (a `try_lock` that had to block).
+    pub shard_contention: Vec<u64>,
 }
 
 #[derive(Default)]
-struct MemState {
+struct Shard {
     /// Objects currently owned by this site (homed here or migrated in).
     objects: HashMap<GlobalAddress, MemObject>,
     /// Incomplete microframes owned by this site.
@@ -40,11 +96,35 @@ struct MemState {
     /// homed here (or whose directory this site inherited). An absent
     /// entry for a locally-homed address means consumed/freed.
     directory: HashMap<GlobalAddress, SiteId>,
+    /// Cached copies of remote objects (never mirrored, never owned).
+    replicas: HashMap<GlobalAddress, Replica>,
+    /// Owner-side copysets: which sites cached a replica of an object
+    /// owned here, to be invalidated on write/migration.
+    copysets: HashMap<GlobalAddress, Vec<SiteId>>,
+    /// Where an object that migrated away went (last known owner);
+    /// served as the `MemMissing` forwarding hint.
+    hints: HashMap<GlobalAddress, SiteId>,
+}
+
+struct ShardSlot {
+    state: Mutex<Shard>,
+    /// Times a locker found the shard held and had to block.
+    contention: AtomicU64,
+}
+
+impl ShardSlot {
+    fn lock(&self) -> MutexGuard<'_, Shard> {
+        if let Some(g) = self.state.try_lock() {
+            return g;
+        }
+        self.contention.fetch_add(1, Ordering::Relaxed);
+        self.state.lock()
+    }
 }
 
 /// The attraction memory of one site.
 pub struct MemoryManager {
-    state: Mutex<MemState>,
+    shards: Vec<ShardSlot>,
     counter: AtomicU64,
 }
 
@@ -55,12 +135,41 @@ impl Default for MemoryManager {
 }
 
 impl MemoryManager {
-    /// Fresh, empty memory.
+    /// Fresh, empty memory with the default shard count.
     pub fn new() -> Self {
+        Self::with_shards(crate::config::SiteConfig::default().mem_shards)
+    }
+
+    /// Fresh, empty memory split into `n` address-hashed shards (1
+    /// reproduces the old single-mutex store).
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
         MemoryManager {
-            state: Mutex::new(MemState::default()),
+            shards: (0..n)
+                .map(|_| ShardSlot {
+                    state: Mutex::new(Shard::default()),
+                    contention: AtomicU64::new(0),
+                })
+                .collect(),
             counter: AtomicU64::new(1),
         }
+    }
+
+    /// Number of shards (diagnostics/benches).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, addr: GlobalAddress) -> usize {
+        // Fibonacci-hash the address; home in the high bits so objects
+        // homed on different sites spread even with clashing locals.
+        let h = (addr.local ^ ((addr.home.0 as u64) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Lock the shard holding all state for `addr`.
+    fn shard(&self, addr: GlobalAddress) -> MutexGuard<'_, Shard> {
+        self.shards[self.shard_index(addr)].lock()
     }
 
     /// Allocate a fresh global address homed on this site.
@@ -79,25 +188,28 @@ impl MemoryManager {
 
     /// Clone (do not drain) this site's share of a program's state: the
     /// owned objects and incomplete frames. Queued executable frames are
-    /// contributed by the scheduling manager.
+    /// contributed by the scheduling manager. Replicas are cache, not
+    /// state — they are never snapshotted.
     pub fn snapshot_program(&self, program: ProgramId) -> (Vec<WireMemObject>, Vec<Microframe>) {
-        let st = self.state.lock();
-        let objects = st
-            .objects
-            .iter()
-            .filter(|(_, o)| o.program == program)
-            .map(|(addr, o)| WireMemObject {
-                addr: *addr,
-                program: o.program,
-                data: o.data.clone(),
-            })
-            .collect();
-        let frames = st
-            .frames
-            .values()
-            .filter(|f| f.program() == program)
-            .cloned()
-            .collect();
+        let mut objects = Vec::new();
+        let mut frames = Vec::new();
+        for slot in &self.shards {
+            let st = slot.lock();
+            objects.extend(st.objects.iter().filter(|(_, o)| o.program == program).map(
+                |(addr, o)| WireMemObject {
+                    addr: *addr,
+                    program: o.program,
+                    data: o.data.clone(),
+                    version: o.version,
+                },
+            ));
+            frames.extend(
+                st.frames
+                    .values()
+                    .filter(|f| f.program() == program)
+                    .cloned(),
+            );
+        }
         (objects, frames)
     }
 
@@ -105,17 +217,18 @@ impl MemoryManager {
     pub fn alloc(&self, site: &SiteInner, program: ProgramId, data: Value) -> GlobalAddress {
         let addr = self.fresh_address(site);
         {
-            let mut st = self.state.lock();
+            let mut st = self.shard(addr);
             st.objects.insert(
                 addr,
                 MemObject {
                     program,
                     data: data.clone(),
+                    version: 1,
                 },
             );
             st.directory.insert(addr, site.my_id());
         }
-        backup::mirror_object(site, addr, program, data);
+        backup::mirror_object(site, addr, program, data, 1);
         addr
     }
 
@@ -132,7 +245,7 @@ impl MemoryManager {
         backup::mirror_frame(site, &frame);
         let executable = frame.is_executable();
         {
-            let mut st = self.state.lock();
+            let mut st = self.shard(frame.id);
             st.directory.insert(frame.id, site.my_id());
             if !executable {
                 st.frames.insert(frame.id, frame.clone());
@@ -152,7 +265,8 @@ impl MemoryManager {
         let home = self.resolve_home(site, frame.id.home);
         let executable = frame.is_executable();
         {
-            let mut st = self.state.lock();
+            let mut st = self.shard(frame.id);
+            st.hints.remove(&frame.id);
             if home == me {
                 st.directory.insert(frame.id, me);
             }
@@ -180,28 +294,43 @@ impl MemoryManager {
     /// Remove an owned frame (it is about to migrate away via a help
     /// reply). Caller is responsible for the directory update.
     pub fn take_frame(&self, id: GlobalAddress) -> Option<Microframe> {
-        self.state.lock().frames.remove(&id)
+        self.shard(id).frames.remove(&id)
     }
 
     /// Adopt a memory object that migrated here by relocation or crash
-    /// recovery; updates the (possibly inherited) directory.
+    /// recovery; updates the (possibly inherited) directory. The object
+    /// supersedes any cached replica of itself; a newer local version
+    /// (e.g. a stale backup revival racing a live migration) survives.
     pub fn adopt_object(&self, site: &SiteInner, obj: sdvm_wire::WireMemObject) {
         self.note_foreign_address(site, obj.addr);
         let me = site.my_id();
         let home = self.resolve_home(site, obj.addr.home);
-        {
-            let mut st = self.state.lock();
-            st.objects.insert(
-                obj.addr,
-                MemObject {
-                    program: obj.program,
-                    data: obj.data.clone(),
-                },
-            );
+        let version = {
+            let mut st = self.shard(obj.addr);
+            let newer_here = st
+                .objects
+                .get(&obj.addr)
+                .is_some_and(|e| e.version > obj.version);
+            let version = if newer_here {
+                st.objects.get(&obj.addr).map(|e| e.version).unwrap_or(1)
+            } else {
+                st.objects.insert(
+                    obj.addr,
+                    MemObject {
+                        program: obj.program,
+                        data: obj.data.clone(),
+                        version: obj.version,
+                    },
+                );
+                obj.version
+            };
+            st.replicas.remove(&obj.addr);
+            st.hints.remove(&obj.addr);
             if home == me {
                 st.directory.insert(obj.addr, me);
             }
-        }
+            version
+        };
         if home != me {
             let _ = site.send_payload(
                 home,
@@ -214,7 +343,7 @@ impl MemoryManager {
                 },
             );
         }
-        backup::mirror_object(site, obj.addr, obj.program, obj.data);
+        backup::mirror_object(site, obj.addr, obj.program, obj.data, version);
     }
 
     /// Called after a frame was executed: free its directory entry and
@@ -223,7 +352,7 @@ impl MemoryManager {
         let me = site.my_id();
         let home = self.resolve_home(site, id.home);
         if home == me {
-            self.state.lock().directory.remove(&id);
+            self.shard(id).directory.remove(&id);
         } else {
             let _ = site.send_payload(
                 home,
@@ -258,20 +387,32 @@ impl MemoryManager {
     /// directory successor, so late results and reads keep resolving.
     /// (State owned by the dead site itself is rebuilt by backup
     /// revival; orderly sign-off hands the directory over explicitly.)
+    ///
+    /// Replica hygiene: every cached replica is dropped — its owner may
+    /// have died with our copyset entry, so invalidations can no longer
+    /// be trusted to arrive — and the dead site is scrubbed from local
+    /// copysets and forwarding hints.
     pub fn reregister_after_crash(&self, site: &SiteInner, dead: SiteId, successor: SiteId) {
         let me = site.my_id();
-        let owned: Vec<GlobalAddress> = {
-            let st = self.state.lock();
-            st.frames
-                .keys()
-                .chain(st.objects.keys())
-                .copied()
-                .filter(|a| a.home == dead)
-                .collect()
-        };
+        let mut owned: Vec<GlobalAddress> = Vec::new();
+        for slot in &self.shards {
+            let mut st = slot.lock();
+            owned.extend(
+                st.frames
+                    .keys()
+                    .chain(st.objects.keys())
+                    .copied()
+                    .filter(|a| a.home == dead),
+            );
+            st.replicas.clear();
+            for members in st.copysets.values_mut() {
+                members.retain(|m| *m != dead);
+            }
+            st.hints.retain(|_, owner| *owner != dead);
+        }
         for addr in owned {
             if successor == me {
-                self.state.lock().directory.insert(addr, me);
+                self.shard(addr).directory.insert(addr, me);
             } else {
                 let _ = site.send_payload(
                     successor,
@@ -293,7 +434,7 @@ impl MemoryManager {
         slot: u32,
         value: Value,
     ) -> SdvmResult<bool> {
-        let mut st = self.state.lock();
+        let mut st = self.shard(target);
         let Some(frame) = st.frames.get_mut(&target) else {
             return Ok(false);
         };
@@ -398,7 +539,7 @@ impl MemoryManager {
         let me = site.my_id();
         let home = self.resolve_home(site, target.home);
         let owner = if home == me {
-            match self.state.lock().directory.get(&target) {
+            match self.shard(target).directory.get(&target) {
                 Some(&o) => o,
                 None => return Ok(false),
             }
@@ -465,51 +606,98 @@ impl MemoryManager {
     }
 
     /// Read a global object. With `migrate`, ownership moves here
-    /// (attraction); otherwise a snapshot copy is returned. Blocks on
-    /// remote objects.
+    /// (attraction); otherwise a snapshot copy is returned — served from
+    /// a cached replica when one is fresh, else fetched (and cached, with
+    /// this site entered into the owner's copyset). Blocks on remote
+    /// objects.
     pub fn read(&self, site: &SiteInner, addr: GlobalAddress, migrate: bool) -> SdvmResult<Value> {
-        if let Some(obj) = self.state.lock().objects.get(&addr) {
-            return Ok(obj.data.clone());
+        let replica_mode = !migrate && site.config.replica_reads;
+        {
+            let st = self.shard(addr);
+            if let Some(obj) = st.objects.get(&addr) {
+                return Ok(obj.data.clone());
+            }
+            if replica_mode {
+                if let Some(r) = st.replicas.get(&addr) {
+                    if r.fetched.elapsed() <= site.config.replica_ttl {
+                        site.metrics.mem_replica_hits.inc();
+                        return Ok(r.data.clone());
+                    }
+                }
+            }
+        }
+        if replica_mode {
+            site.metrics.mem_replica_misses.inc();
         }
         let me = site.my_id();
-        for attempt in 0..6 {
-            if attempt > 0 {
-                // Directory updates of in-flight migrations race us;
-                // back off briefly before chasing again.
-                std::thread::sleep(std::time::Duration::from_millis(2 << attempt));
-            }
-            let owner = self.lookup_owner(site, addr)?;
+        let mut next_owner: Option<SiteId> = None;
+        let mut hops: u64 = 0;
+        for attempt in 0..CHASE_HOPS {
+            let owner = match next_owner.take() {
+                Some(o) => o,
+                None => {
+                    if attempt > 0 {
+                        // No forwarding hint: the directory update of an
+                        // in-flight migration races us — back off briefly
+                        // before asking the directory again.
+                        std::thread::sleep(std::time::Duration::from_millis(2 << attempt.min(5)));
+                    }
+                    self.lookup_owner(site, addr)?
+                }
+            };
             if owner == me {
                 // Migrated here concurrently, or the directory update of
                 // an outbound migration is still in flight.
-                if let Some(obj) = self.state.lock().objects.get(&addr) {
+                if let Some(obj) = self.shard(addr).objects.get(&addr) {
                     return Ok(obj.data.clone());
                 }
                 continue;
             }
+            hops += 1;
             let reply = site.request(
                 owner,
                 ManagerId::Memory,
                 ManagerId::Memory,
-                Payload::MemRead { addr, migrate },
+                Payload::MemRead {
+                    addr,
+                    migrate,
+                    replica: replica_mode,
+                },
                 site.config.request_timeout,
             )?;
             match reply.payload {
-                Payload::MemValue { obj, migrated } => {
+                Payload::MemValue {
+                    obj,
+                    migrated,
+                    replica,
+                } => {
+                    site.metrics.mem_chase_hops.observe(hops);
                     if migrated {
                         let program = obj.program;
                         let data = obj.data.clone();
-                        self.state.lock().objects.insert(
-                            addr,
-                            MemObject {
-                                program,
-                                data: data.clone(),
-                            },
-                        );
+                        let version = obj.version;
                         let home = self.resolve_home(site, addr.home);
-                        if home == me {
-                            self.state.lock().directory.insert(addr, me);
-                        } else {
+                        {
+                            // One critical section: the object and (when
+                            // we are its directory) its owner entry land
+                            // together, so no lookup can observe
+                            // owner==me with the object still absent.
+                            let mut st = self.shard(addr);
+                            st.objects.insert(
+                                addr,
+                                MemObject {
+                                    program,
+                                    data: data.clone(),
+                                    version,
+                                },
+                            );
+                            st.replicas.remove(&addr);
+                            st.hints.remove(&addr);
+                            if home == me {
+                                st.directory.insert(addr, me);
+                            }
+                        }
+                        if home != me {
                             let _ = site.send_payload(
                                 home,
                                 ManagerId::Memory,
@@ -518,12 +706,33 @@ impl MemoryManager {
                                 Payload::OwnerUpdate { addr, owner: me },
                             );
                         }
-                        backup::mirror_object(site, addr, program, data.clone());
+                        backup::mirror_object(site, addr, program, data.clone(), version);
                         return Ok(data);
+                    }
+                    if replica {
+                        let mut st = self.shard(addr);
+                        // The owner entered us into its copyset; cache
+                        // the copy unless we became the owner meanwhile.
+                        if !st.objects.contains_key(&addr) {
+                            st.replicas.insert(
+                                addr,
+                                Replica {
+                                    program: obj.program,
+                                    data: obj.data.clone(),
+                                    version: obj.version,
+                                    fetched: Instant::now(),
+                                },
+                            );
+                        }
                     }
                     return Ok(obj.data);
                 }
-                Payload::MemMissing { .. } => continue, // chase migration
+                Payload::MemMissing { hint, .. } => {
+                    // Jump straight to the hinted owner (no backoff);
+                    // without a hint, fall back to the directory.
+                    next_owner = hint.filter(|h| h.is_valid() && *h != owner);
+                    continue;
+                }
                 other => {
                     return Err(SdvmError::InvalidState(format!(
                         "unexpected read reply {}",
@@ -538,35 +747,36 @@ impl MemoryManager {
     /// Write a global object in place at its current owner. Blocks on
     /// remote objects.
     pub fn write(&self, site: &SiteInner, addr: GlobalAddress, value: Value) -> SdvmResult<()> {
-        {
-            let mut st = self.state.lock();
-            if let Some(obj) = st.objects.get_mut(&addr) {
-                obj.data = value.clone();
-                let program = obj.program;
-                drop(st);
-                backup::mirror_object(site, addr, program, value);
-                return Ok(());
-            }
+        if let Some((program, version, copyset)) = self.write_local(addr, &value) {
+            self.send_invalidations(site, addr, version, copyset);
+            backup::mirror_object(site, addr, program, value, version);
+            return Ok(());
         }
-        for attempt in 0..6 {
-            if attempt > 0 {
-                std::thread::sleep(std::time::Duration::from_millis(2 << attempt));
-            }
-            let owner = self.lookup_owner(site, addr)?;
-            if owner == site.my_id() {
+        let me = site.my_id();
+        let mut next_owner: Option<SiteId> = None;
+        let mut hops: u64 = 0;
+        for attempt in 0..CHASE_HOPS {
+            let owner = match next_owner.take() {
+                Some(o) => o,
+                None => {
+                    if attempt > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2 << attempt.min(5)));
+                    }
+                    self.lookup_owner(site, addr)?
+                }
+            };
+            if owner == me {
                 // The directory says it's ours but it wasn't in `objects`
                 // above: an inbound migration or its directory update is
                 // still settling — re-check locally.
-                let mut st = self.state.lock();
-                if let Some(obj) = st.objects.get_mut(&addr) {
-                    obj.data = value.clone();
-                    let program = obj.program;
-                    drop(st);
-                    backup::mirror_object(site, addr, program, value);
+                if let Some((program, version, copyset)) = self.write_local(addr, &value) {
+                    self.send_invalidations(site, addr, version, copyset);
+                    backup::mirror_object(site, addr, program, value, version);
                     return Ok(());
                 }
                 continue;
             }
+            hops += 1;
             let reply = site.request(
                 owner,
                 ManagerId::Memory,
@@ -578,8 +788,18 @@ impl MemoryManager {
                 site.config.request_timeout,
             )?;
             match reply.payload {
-                Payload::MemWriteAck { .. } => return Ok(()),
-                Payload::MemMissing { .. } => continue,
+                Payload::MemWriteAck { .. } => {
+                    site.metrics.mem_chase_hops.observe(hops);
+                    // Our own cached replica (if any) is stale now; the
+                    // owner's invalidation also races this, so drop
+                    // eagerly for read-your-writes freshness.
+                    self.shard(addr).replicas.remove(&addr);
+                    return Ok(());
+                }
+                Payload::MemMissing { hint, .. } => {
+                    next_owner = hint.filter(|h| h.is_valid() && *h != owner);
+                    continue;
+                }
                 other => {
                     return Err(SdvmError::InvalidState(format!(
                         "unexpected write reply {}",
@@ -591,13 +811,53 @@ impl MemoryManager {
         Err(SdvmError::ObjectMissing(addr))
     }
 
+    /// Write an object owned here: store, bump the version, take the
+    /// copyset for invalidation. `None` when the object is not local.
+    fn write_local(
+        &self,
+        addr: GlobalAddress,
+        value: &Value,
+    ) -> Option<(ProgramId, u64, Vec<SiteId>)> {
+        let mut st = self.shard(addr);
+        let obj = st.objects.get_mut(&addr)?;
+        obj.data = value.clone();
+        obj.version += 1;
+        let program = obj.program;
+        let version = obj.version;
+        let copyset = st.copysets.remove(&addr).unwrap_or_default();
+        Some((program, version, copyset))
+    }
+
+    /// Notify copyset members their replica is stale. Fire-and-forget:
+    /// a lost notice is bounded by the replica TTL lease.
+    fn send_invalidations(
+        &self,
+        site: &SiteInner,
+        addr: GlobalAddress,
+        version: u64,
+        members: Vec<SiteId>,
+    ) {
+        let me = site.my_id();
+        for m in members {
+            if m == me || !m.is_valid() {
+                continue;
+            }
+            let _ = site.send_payload(
+                m,
+                ManagerId::Memory,
+                ManagerId::Memory,
+                site.next_seq(),
+                Payload::ReplicaInvalidate { addr, version },
+            );
+        }
+    }
+
     fn lookup_owner(&self, site: &SiteInner, addr: GlobalAddress) -> SdvmResult<SiteId> {
         let me = site.my_id();
         let home = self.resolve_home(site, addr.home);
         if home == me {
             return self
-                .state
-                .lock()
+                .shard(addr)
                 .directory
                 .get(&addr)
                 .copied()
@@ -620,27 +880,73 @@ impl MemoryManager {
         }
     }
 
+    /// Locality score of granting `frame` to `requester`, used by the
+    /// scheduling manager's help-grant policy. Per argument object: an
+    /// input owned *here* scores −1 (executing locally avoids a remote
+    /// read), an input remote to this site scores +1 (we would fetch it
+    /// anyway), plus +1 more when the requester is its homesite or our
+    /// directory knows the requester owns it (the frame follows its
+    /// data). Ties fall back to the queue policy.
+    pub fn help_score(&self, requester: SiteId, frame: &Microframe) -> i32 {
+        let mut score = 0i32;
+        for value in frame.slots.iter().flatten() {
+            let Ok(addr) = value.as_address() else {
+                continue;
+            };
+            let st = self.shard(addr);
+            if st.objects.contains_key(&addr) {
+                score -= 1;
+            } else {
+                score += 1;
+                let requester_has = addr.home == requester
+                    || st.directory.get(&addr) == Some(&requester)
+                    || st.hints.get(&addr) == Some(&requester);
+                if requester_has {
+                    score += 1;
+                }
+            }
+        }
+        score
+    }
+
     /// Everything this site owns for relocation at sign-off: objects,
-    /// incomplete frames, and the homesite directory entries.
+    /// incomplete frames, and the homesite directory entries. Cached
+    /// replicas are dropped (not relocated — they are re-fetchable
+    /// cache), and outstanding copysets are invalidated so no site keeps
+    /// serving a replica whose owner is about to change.
     pub fn drain_for_relocation(
         &self,
+        site: &SiteInner,
     ) -> (
         Vec<WireMemObject>,
         Vec<Microframe>,
         Vec<(GlobalAddress, SiteId)>,
     ) {
-        let mut st = self.state.lock();
-        let objects = st
-            .objects
-            .drain()
-            .map(|(addr, o)| WireMemObject {
+        let mut objects = Vec::new();
+        let mut frames: Vec<Microframe> = Vec::new();
+        let mut directory = Vec::new();
+        let mut invals: Vec<(GlobalAddress, u64, Vec<SiteId>)> = Vec::new();
+        for slot in &self.shards {
+            let mut st = slot.lock();
+            let copysets: Vec<(GlobalAddress, Vec<SiteId>)> = st.copysets.drain().collect();
+            for (addr, members) in copysets {
+                let version = st.objects.get(&addr).map(|o| o.version).unwrap_or(0);
+                invals.push((addr, version, members));
+            }
+            objects.extend(st.objects.drain().map(|(addr, o)| WireMemObject {
                 addr,
                 program: o.program,
                 data: o.data,
-            })
-            .collect();
-        let frames = st.frames.drain().map(|(_, f)| f).collect();
-        let directory = st.directory.drain().collect();
+                version: o.version,
+            }));
+            frames.extend(st.frames.drain().map(|(_, f)| f));
+            directory.extend(st.directory.drain());
+            st.replicas.clear();
+            st.hints.clear();
+        }
+        for (addr, version, members) in invals {
+            self.send_invalidations(site, addr, version, members);
+        }
         (objects, frames, directory)
     }
 
@@ -649,11 +955,9 @@ impl MemoryManager {
     pub fn incomplete_frames(
         &self,
     ) -> Vec<(GlobalAddress, sdvm_types::MicrothreadId, usize, Vec<u32>)> {
-        self.state
-            .lock()
-            .frames
-            .values()
-            .map(|f| {
+        let mut out = Vec::new();
+        for slot in &self.shards {
+            out.extend(slot.lock().frames.values().map(|f| {
                 let filled = f
                     .slots
                     .iter()
@@ -662,31 +966,89 @@ impl MemoryManager {
                     .map(|(i, _)| i as u32)
                     .collect();
                 (f.id, f.thread, f.missing(), filled)
-            })
-            .collect()
+            }));
+        }
+        out
     }
 
     /// Counts for load reports / status.
-    pub fn stats(&self) -> (usize, usize, u64) {
-        let st = self.state.lock();
-        let bytes = st.objects.values().map(|o| o.data.len() as u64).sum();
-        (st.objects.len(), st.frames.len(), bytes)
+    pub fn stats(&self) -> MemStats {
+        let mut s = MemStats::default();
+        for slot in &self.shards {
+            let st = slot.lock();
+            s.objects += st.objects.len();
+            s.frames += st.frames.len();
+            s.memory_bytes += st
+                .objects
+                .values()
+                .map(|o| o.data.len() as u64)
+                .sum::<u64>();
+            s.replicas += st.replicas.len();
+            s.shard_contention
+                .push(slot.contention.load(Ordering::Relaxed));
+        }
+        s
     }
 
     /// Purge everything belonging to a terminated program.
     pub fn purge_program(&self, program: ProgramId) {
-        let mut st = self.state.lock();
-        st.objects.retain(|_, o| o.program != program);
-        let dead: Vec<GlobalAddress> = st
-            .frames
-            .iter()
-            .filter(|(_, f)| f.program() == program)
-            .map(|(a, _)| *a)
-            .collect();
-        for a in dead {
-            st.frames.remove(&a);
-            st.directory.remove(&a);
+        for slot in &self.shards {
+            let mut st = slot.lock();
+            let dead_objects: Vec<GlobalAddress> = st
+                .objects
+                .iter()
+                .filter(|(_, o)| o.program == program)
+                .map(|(a, _)| *a)
+                .collect();
+            for a in dead_objects {
+                st.objects.remove(&a);
+                st.copysets.remove(&a);
+                st.hints.remove(&a);
+            }
+            let dead_frames: Vec<GlobalAddress> = st
+                .frames
+                .iter()
+                .filter(|(_, f)| f.program() == program)
+                .map(|(a, _)| *a)
+                .collect();
+            for a in dead_frames {
+                st.frames.remove(&a);
+                st.directory.remove(&a);
+            }
+            st.replicas.retain(|_, r| r.program != program);
         }
+    }
+
+    /// Version of the locally cached replica of `addr`, if any
+    /// (diagnostics; stale-read assertions in tests).
+    pub fn replica_version(&self, addr: GlobalAddress) -> Option<u64> {
+        self.shard(addr).replicas.get(&addr).map(|r| r.version)
+    }
+
+    /// Version of the locally *owned* copy of `addr`, if any.
+    pub fn object_version(&self, addr: GlobalAddress) -> Option<u64> {
+        self.shard(addr).objects.get(&addr).map(|o| o.version)
+    }
+
+    /// Drop every cached replica of a program's objects. Called on
+    /// program (re-)registration — a checkpoint restore rewinds object
+    /// state, so copies cut from the pre-restore timeline must not
+    /// survive it (a fresh program trivially has no replicas).
+    pub fn purge_replicas(&self, program: ProgramId) {
+        for slot in &self.shards {
+            slot.lock().replicas.retain(|_, r| r.program != program);
+        }
+    }
+
+    /// Record where an object that left this site went, for `MemMissing`
+    /// forwarding hints. Bounded: the map is cleared wholesale at
+    /// `HINT_CAP` (hints are an optimization, losing them only costs a
+    /// directory lookup).
+    fn record_hint(st: &mut Shard, addr: GlobalAddress, new_owner: SiteId) {
+        if st.hints.len() >= HINT_CAP {
+            st.hints.clear();
+        }
+        st.hints.insert(addr, new_owner);
     }
 
     /// Handle an incoming memory-manager message.
@@ -714,81 +1076,48 @@ impl MemoryManager {
                     Err(_) => { /* duplicate/stale result: drop */ }
                 }
             }
-            Payload::MemRead { addr, migrate } => {
-                let mut st = self.state.lock();
-                let (reply, removed) = if migrate {
-                    match st.objects.remove(&addr) {
-                        Some(o) => (
-                            Payload::MemValue {
-                                obj: WireMemObject {
-                                    addr,
-                                    program: o.program,
-                                    data: o.data.clone(),
-                                },
-                                migrated: true,
-                            },
-                            Some(o),
-                        ),
-                        None => (Payload::MemMissing { addr }, None),
-                    }
-                } else {
-                    match st.objects.get(&addr) {
-                        Some(o) => (
-                            Payload::MemValue {
-                                obj: WireMemObject {
-                                    addr,
-                                    program: o.program,
-                                    data: o.data.clone(),
-                                },
-                                migrated: false,
-                            },
-                            None,
-                        ),
-                        None => (Payload::MemMissing { addr }, None),
-                    }
-                };
-                drop(st);
-                let sent = {
-                    let r = msg.reply(site.next_seq(), ManagerId::Memory, reply);
-                    site.send_msg(r)
-                };
-                if sent.is_err() {
-                    if let Some(o) = removed {
-                        // The requester became unreachable between request
-                        // and reply: the migrating object must not vanish
-                        // from the cluster — take it back.
-                        self.state.lock().objects.insert(addr, o);
-                    }
-                }
+            Payload::MemRead {
+                addr,
+                migrate,
+                replica,
+            } => {
+                self.on_mem_read(site, &msg, addr, migrate, replica);
             }
             Payload::MemWrite { addr, value } => {
-                let mut st = self.state.lock();
-                let reply = match st.objects.get_mut(&addr) {
-                    Some(o) => {
-                        o.data = value.clone();
-                        let program = o.program;
-                        drop(st);
-                        backup::mirror_object(site, addr, program, value);
-                        Payload::MemWriteAck { addr }
+                match self.write_local(addr, &value) {
+                    Some((program, version, copyset)) => {
+                        site.reply_to(&msg, ManagerId::Memory, Payload::MemWriteAck { addr });
+                        self.send_invalidations(site, addr, version, copyset);
+                        backup::mirror_object(site, addr, program, value, version);
                     }
                     None => {
-                        drop(st);
-                        Payload::MemMissing { addr }
+                        let hint = self.hint_for(site, addr, msg.src_site);
+                        site.reply_to(&msg, ManagerId::Memory, Payload::MemMissing { addr, hint });
                     }
                 };
-                site.reply_to(&msg, ManagerId::Memory, reply);
+            }
+            Payload::ReplicaInvalidate { addr, version } => {
+                let dropped = self.shard(addr).replicas.remove(&addr).is_some();
+                if dropped {
+                    site.metrics.mem_invalidations.inc();
+                    site.emit(TraceEvent::ReplicaInvalidated {
+                        site: site.my_id(),
+                        object: addr,
+                        version,
+                    });
+                }
             }
             Payload::OwnerQuery { addr } => {
                 // Any traffic about an address homed here proves that
                 // local id is in use (e.g. after a checkpoint restore
                 // elsewhere): never allocate it again.
                 self.note_foreign_address(site, addr);
-                let owner = self.state.lock().directory.get(&addr).copied();
+                let owner = self.shard(addr).directory.get(&addr).copied();
                 site.reply_to(&msg, ManagerId::Memory, Payload::OwnerReply { addr, owner });
             }
             Payload::OwnerUpdate { addr, owner } => {
                 self.note_foreign_address(site, addr);
-                let mut st = self.state.lock();
+                let mut st = self.shard(addr);
                 if owner.is_valid() {
                     st.directory.insert(addr, owner);
                 } else {
@@ -800,29 +1129,31 @@ impl MemoryManager {
                 frames,
                 directory,
             } => {
-                {
-                    let mut st = self.state.lock();
-                    for o in &objects {
-                        st.objects.insert(
-                            o.addr,
-                            MemObject {
-                                program: o.program,
-                                data: o.data.clone(),
-                            },
-                        );
-                        // Ownership moved here; record it if we will act
-                        // as the address's directory too.
-                        st.directory.insert(o.addr, site.my_id());
-                    }
-                    for (addr, owner) in directory {
-                        // Inherited directory entries keep their owner,
-                        // except entries pointing at the leaver itself —
-                        // those objects are in this very relocation.
-                        if owner == msg.src_site {
-                            st.directory.insert(addr, site.my_id());
-                        } else {
-                            st.directory.insert(addr, owner);
-                        }
+                for o in &objects {
+                    let mut st = self.shard(o.addr);
+                    st.objects.insert(
+                        o.addr,
+                        MemObject {
+                            program: o.program,
+                            data: o.data.clone(),
+                            version: o.version,
+                        },
+                    );
+                    st.replicas.remove(&o.addr);
+                    st.hints.remove(&o.addr);
+                    // Ownership moved here; record it if we will act
+                    // as the address's directory too.
+                    st.directory.insert(o.addr, site.my_id());
+                }
+                for (addr, owner) in directory {
+                    // Inherited directory entries keep their owner,
+                    // except entries pointing at the leaver itself —
+                    // those objects are in this very relocation.
+                    let mut st = self.shard(addr);
+                    if owner == msg.src_site {
+                        st.directory.insert(addr, site.my_id());
+                    } else {
+                        st.directory.insert(addr, owner);
                     }
                 }
                 // Incomplete frames first: executable ones start running
@@ -840,6 +1171,7 @@ impl MemoryManager {
             Payload::MemValue {
                 obj,
                 migrated: true,
+                ..
             } => {
                 self.adopt_object(site, obj);
             }
@@ -887,6 +1219,120 @@ impl MemoryManager {
                 );
             }
         }
+    }
+
+    /// Serve a `MemRead` request (migrate / replica / plain copy).
+    fn on_mem_read(
+        &self,
+        site: &SiteInner,
+        msg: &SdMessage,
+        addr: GlobalAddress,
+        migrate: bool,
+        replica: bool,
+    ) {
+        let requester = msg.src_site;
+        if migrate {
+            let (reply, removed, invals) = {
+                let mut st = self.shard(addr);
+                match st.objects.remove(&addr) {
+                    Some(o) => {
+                        // The object is leaving: remember where it went
+                        // (forwarding hint) and schedule invalidation of
+                        // every outstanding replica — the new owner's
+                        // future writes won't know this copyset.
+                        Self::record_hint(&mut st, addr, requester);
+                        let copyset = st.copysets.remove(&addr).unwrap_or_default();
+                        let version = o.version;
+                        (
+                            Payload::MemValue {
+                                obj: WireMemObject {
+                                    addr,
+                                    program: o.program,
+                                    data: o.data.clone(),
+                                    version,
+                                },
+                                migrated: true,
+                                replica: false,
+                            },
+                            Some(o),
+                            Some((version, copyset)),
+                        )
+                    }
+                    None => {
+                        let hint = st.hints.get(&addr).copied().filter(|h| *h != requester);
+                        (Payload::MemMissing { addr, hint }, None, None)
+                    }
+                }
+            };
+            if let Some((version, copyset)) = invals {
+                self.send_invalidations(site, addr, version, copyset);
+            }
+            let sent = {
+                let r = msg.reply(site.next_seq(), ManagerId::Memory, reply);
+                site.send_msg(r)
+            };
+            if sent.is_err() {
+                if let Some(o) = removed {
+                    // The requester became unreachable between request
+                    // and reply: the migrating object must not vanish
+                    // from the cluster — take it back.
+                    let mut st = self.shard(addr);
+                    st.objects.insert(addr, o);
+                    st.hints.remove(&addr);
+                }
+            }
+            return;
+        }
+        let reply = {
+            let mut st = self.shard(addr);
+            match st.objects.get(&addr) {
+                Some(o) => {
+                    let obj = WireMemObject {
+                        addr,
+                        program: o.program,
+                        data: o.data.clone(),
+                        version: o.version,
+                    };
+                    let grant_replica = replica && requester != site.my_id();
+                    if grant_replica {
+                        let members = st.copysets.entry(addr).or_default();
+                        if !members.contains(&requester) {
+                            members.push(requester);
+                        }
+                    }
+                    Payload::MemValue {
+                        obj,
+                        migrated: false,
+                        replica: grant_replica,
+                    }
+                }
+                None => {
+                    let hint = st.hints.get(&addr).copied().filter(|h| *h != requester);
+                    Payload::MemMissing { addr, hint }
+                }
+            }
+        };
+        site.reply_to(msg, ManagerId::Memory, reply);
+    }
+
+    /// Last-known-owner hint for an address not owned here: a recorded
+    /// migration hint, or (when this site is the directory) the current
+    /// directory entry.
+    fn hint_for(&self, site: &SiteInner, addr: GlobalAddress, requester: SiteId) -> Option<SiteId> {
+        let me = site.my_id();
+        let is_directory = self.resolve_home(site, addr.home) == me;
+        let st = self.shard(addr);
+        st.hints
+            .get(&addr)
+            .copied()
+            .or_else(|| {
+                if is_directory {
+                    st.directory.get(&addr).copied()
+                } else {
+                    None
+                }
+            })
+            .filter(|h| h.is_valid() && *h != requester && *h != me)
     }
 }
 

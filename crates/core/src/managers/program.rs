@@ -262,6 +262,11 @@ impl ProgramManager {
                         terminated: false,
                     },
                 );
+                // A (re-)registration may be a checkpoint restore
+                // rewinding the program's objects: cached replicas from
+                // the pre-restore timeline must not survive it. Fresh
+                // programs trivially have none.
+                site.memory.purge_replicas(program);
             }
             Payload::ProgramTerminated { program } => {
                 self.mark_terminated(site, program);

@@ -16,7 +16,7 @@ use crate::telemetry::trace_id_of;
 use crate::thread::ThreadFn;
 use crate::trace::TraceEvent;
 use parking_lot::{Condvar, Mutex};
-use sdvm_types::{ManagerId, QueuePolicy, SdvmResult};
+use sdvm_types::{ManagerId, Priority, QueuePolicy, SdvmResult};
 use sdvm_wire::{Payload, SdMessage, TraceContext};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -111,42 +111,46 @@ fn pop_ready(
 /// Pop a frame to give away on a help request: prefer the executable
 /// queue, fall back to ready frames (dropping the local code pointer).
 /// Sticky frames (e.g. the hidden result frame) never leave their site.
-fn pop_for_help(st: &mut SchedState, policy: QueuePolicy) -> Option<Microframe> {
-    let pos_exec: Vec<usize> = st
+///
+/// Candidates are ranked by `score` (locality of their argument objects
+/// relative to the requester — see `MemoryManager::help_score`); the
+/// queue policy only breaks ties, so a frame whose inputs live at the
+/// requester beats the LIFO-top frame whose inputs live here. The
+/// winning score is returned for tracing.
+fn pop_for_help(
+    st: &mut SchedState,
+    policy: QueuePolicy,
+    score: impl Fn(&Microframe) -> i32,
+) -> Option<(Microframe, i32)> {
+    // Tiebreak key mirroring the plain pop order: FIFO prefers the
+    // oldest (smallest index), LIFO the newest, Priority the highest
+    // priority then the oldest.
+    fn tiebreak(policy: QueuePolicy, idx: usize, f: &Microframe) -> (Priority, i64) {
+        match policy {
+            QueuePolicy::Fifo => (Priority(0), -(idx as i64)),
+            QueuePolicy::Lifo => (Priority(0), idx as i64),
+            QueuePolicy::Priority => (f.hint.priority, -(idx as i64)),
+        }
+    }
+    let best_exec = st
         .executable
         .iter()
         .enumerate()
         .filter(|(_, f)| !f.hint.sticky)
-        .map(|(i, _)| i)
-        .collect();
-    let idx = match policy {
-        QueuePolicy::Fifo => pos_exec.first().copied(),
-        QueuePolicy::Lifo => pos_exec.last().copied(),
-        QueuePolicy::Priority => pos_exec
-            .iter()
-            .copied()
-            .max_by_key(|&i| st.executable[i].hint.priority),
-    };
-    if let Some(idx) = idx {
-        return st.executable.remove(idx);
+        .max_by_key(|(i, f)| (score(f), tiebreak(policy, *i, f)))
+        .map(|(i, f)| (i, score(f)));
+    if let Some((idx, s)) = best_exec {
+        return st.executable.remove(idx).map(|f| (f, s));
     }
-    let pos_ready: Vec<usize> = st
+    let best_ready = st
         .ready
         .iter()
         .enumerate()
         .filter(|(_, (f, _))| !f.hint.sticky)
-        .map(|(i, _)| i)
-        .collect();
-    let idx = match policy {
-        QueuePolicy::Fifo => pos_ready.first().copied(),
-        QueuePolicy::Lifo => pos_ready.last().copied(),
-        QueuePolicy::Priority => pos_ready
-            .iter()
-            .copied()
-            .max_by_key(|&i| st.ready[i].0.hint.priority),
-    };
-    if let Some(idx) = idx {
-        return st.ready.remove(idx).map(|(f, _)| f);
+        .max_by_key(|(i, (f, _))| (score(f), tiebreak(policy, *i, f)))
+        .map(|(i, (f, _))| (i, score(f)));
+    if let Some((idx, s)) = best_ready {
+        return st.ready.remove(idx).map(|(f, _)| (f, s));
     }
     None
 }
@@ -488,14 +492,17 @@ impl SchedulingManager {
                 {
                     None
                 } else {
-                    pop_for_help(&mut self.state.lock(), self.help_policy)
+                    pop_for_help(&mut self.state.lock(), self.help_policy, |f| {
+                        site.memory.help_score(requester, f)
+                    })
                 };
                 match frame {
-                    Some(frame) => {
+                    Some((frame, score)) => {
                         site.emit(TraceEvent::HelpGranted {
                             site: site.my_id(),
                             requester,
                             frame: frame.id,
+                            score,
                         });
                         // Ownership moves to the requester: fix up the
                         // homesite directory and release our backup.
@@ -641,11 +648,11 @@ mod tests {
             executable: queue(vec![mk(1, 0, true)]),
             ..Default::default()
         };
-        assert!(pop_for_help(&mut st, QueuePolicy::Lifo).is_none());
+        assert!(pop_for_help(&mut st, QueuePolicy::Lifo, |_| 0).is_none());
         assert_eq!(st.executable.len(), 1, "sticky frame must stay queued");
         // With a normal frame present, that one is given instead.
         st.executable.push_back(mk(2, 0, false));
-        let given = pop_for_help(&mut st, QueuePolicy::Lifo).unwrap();
+        let (given, _) = pop_for_help(&mut st, QueuePolicy::Lifo, |_| 0).unwrap();
         assert_eq!(given.id.local, 2);
         assert_eq!(st.executable.len(), 1);
     }
@@ -656,10 +663,34 @@ mod tests {
             executable: queue(vec![mk(1, 0, false), mk(2, 0, false), mk(3, 0, true)]),
             ..Default::default()
         };
-        let given = pop_for_help(&mut st, QueuePolicy::Lifo).unwrap();
+        let (given, _) = pop_for_help(&mut st, QueuePolicy::Lifo, |_| 0).unwrap();
         assert_eq!(given.id.local, 2, "newest non-sticky frame leaves first");
-        let given = pop_for_help(&mut st, QueuePolicy::Fifo).unwrap();
+        let (given, _) = pop_for_help(&mut st, QueuePolicy::Fifo, |_| 0).unwrap();
         assert_eq!(given.id.local, 1);
+    }
+
+    #[test]
+    fn help_scoring_beats_queue_order() {
+        // LIFO would give frame 3; a higher locality score on frame 1
+        // overrides the queue order, and the winning score is returned.
+        let mut st = SchedState {
+            executable: queue(vec![mk(1, 0, false), mk(2, 0, false), mk(3, 0, false)]),
+            ..Default::default()
+        };
+        let (given, score) = pop_for_help(&mut st, QueuePolicy::Lifo, |f| {
+            if f.id.local == 1 {
+                2
+            } else {
+                0
+            }
+        })
+        .unwrap();
+        assert_eq!(given.id.local, 1, "locality score overrides LIFO");
+        assert_eq!(score, 2);
+        // Ties fall back to the queue policy (LIFO: newest first).
+        let (given, score) = pop_for_help(&mut st, QueuePolicy::Lifo, |_| 0).unwrap();
+        assert_eq!(given.id.local, 3);
+        assert_eq!(score, 0);
     }
 
     #[test]
@@ -694,7 +725,7 @@ mod tests {
         let mut st = SchedState::default();
         st.ready.push_back((mk(7, 0, false), noop.clone()));
         st.ready.push_back((mk(8, 3, false), noop));
-        let given = pop_for_help(&mut st, QueuePolicy::Priority).unwrap();
+        let (given, _) = pop_for_help(&mut st, QueuePolicy::Priority, |_| 0).unwrap();
         assert_eq!(given.id.local, 8, "highest-priority ready frame given");
         assert_eq!(st.ready.len(), 1);
     }

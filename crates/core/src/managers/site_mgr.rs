@@ -100,7 +100,7 @@ impl SiteManager {
     /// Collect the local status (queries all local managers).
     pub fn status(&self, site: &SiteInner) -> SiteStatus {
         let (queued_frames, busy_slots) = site.scheduling.load_numbers();
-        let (objects, incomplete_frames, memory_bytes) = site.memory.stats();
+        let mem = site.memory.stats();
         let outbound_queued: usize = site
             .transport
             .outbound_depths()
@@ -108,19 +108,21 @@ impl SiteManager {
             .map(|(_, depth)| depth)
             .sum();
         // Sample the queue-depth gauge and fold transport-level stall
-        // counts into the metrics snapshot.
+        // counts and per-shard memory contention into the metrics
+        // snapshot.
         site.metrics
             .outbound_queue_depth
             .set(outbound_queued as u64);
         let mut metrics = site.metrics.snapshot();
         metrics.backpressure_stalls = site.transport.outbound_stalls();
+        metrics.mem_shard_contention = mem.shard_contention.clone();
         SiteStatus {
             id: site.my_id(),
             queued_frames,
             busy_slots,
-            objects,
-            incomplete_frames,
-            memory_bytes,
+            objects: mem.objects,
+            incomplete_frames: mem.frames,
+            memory_bytes: mem.memory_bytes,
             programs: site.program.active_count(),
             outstanding_requests: site.pending.outstanding(),
             known_sites: site.cluster.known_sites().len(),

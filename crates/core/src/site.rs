@@ -485,7 +485,7 @@ impl Site {
         let security = SecurityManager::new(&config);
         let inner = Arc::new(SiteInner {
             scheduling: SchedulingManager::new(&config),
-            memory: MemoryManager::new(),
+            memory: MemoryManager::with_shards(config.mem_shards),
             code: CodeManager::new(&config),
             io: IoManager::new(),
             cluster: ClusterManager::new(&config),

@@ -202,6 +202,14 @@ pub fn perfetto_trace_json(events: &[BusEvent]) -> String {
                     TraceEvent::ProgramStuck { program, .. } => {
                         format!("program {program} stuck")
                     }
+                    TraceEvent::ReplicaInvalidated {
+                        object, version, ..
+                    } => {
+                        format!(
+                            "invalidate replica {}.{} (v{version})",
+                            object.home.0, object.local
+                        )
+                    }
                     _ => continue,
                 };
                 entries.push(format!(
@@ -394,6 +402,24 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
     );
     write_counter(
         &mut out,
+        "sdvm_mem_replica_hits_total",
+        "Non-migrating reads served from a fresh local replica.",
+        &c(|m| m.mem_replica_hits),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_mem_replica_misses_total",
+        "Non-migrating reads that found no usable local copy and went remote.",
+        &c(|m| m.mem_replica_misses),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_mem_invalidations_total",
+        "Cached replicas dropped on an owner's invalidation.",
+        &c(|m| m.mem_invalidations),
+    );
+    write_counter(
+        &mut out,
         "sdvm_outbound_backpressure_stalls_total",
         "Sends that hit a full outbound queue and had to wait.",
         &c(|m| m.backpressure_stalls),
@@ -466,6 +492,13 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
         &h(|m| &m.retry_delay_us),
     );
 
+    write_histogram(
+        &mut out,
+        "sdvm_mem_chase_hops",
+        "Owner hops chased per remote read/write (count, log2 buckets).",
+        &h(|m| &m.mem_chase_hops),
+    );
+
     // Per-manager dispatch histograms carry an extra label.
     let mut dispatch: Vec<(String, &HistogramSnapshot)> = Vec::new();
     for (site, m) in sites {
@@ -479,6 +512,23 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
         "Per-manager inbound dispatch time (microseconds).",
         &dispatch,
     );
+
+    // Per-shard attraction-memory contention gauge: one series per
+    // (site, shard).
+    let _ = writeln!(
+        out,
+        "# HELP sdvm_mem_shard_contention Attraction-memory shard lock contention (blocking lock acquisitions)."
+    );
+    let _ = writeln!(out, "# TYPE sdvm_mem_shard_contention gauge");
+    for (site, m) in sites {
+        for (shard, v) in m.mem_shard_contention.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "sdvm_mem_shard_contention{{site=\"{}\",shard=\"{shard}\"}} {v}",
+                site.0
+            );
+        }
+    }
     out
 }
 
@@ -516,6 +566,7 @@ mod tests {
             site: SiteId(1),
             requester: SiteId(2),
             frame,
+            score: 1,
         });
         run_career(&log, SiteId(2), frame);
         log.emit(TraceEvent::MessageHop {
@@ -548,7 +599,13 @@ mod tests {
         m.help_requests.inc();
         m.detection_latency_us.observe(344_000);
         m.career_total_us.observe(120);
-        let text = prometheus_text(&[(SiteId(1), m.snapshot())]);
+        m.mem_replica_hits.inc();
+        m.mem_replica_misses.inc();
+        m.mem_invalidations.inc();
+        m.mem_chase_hops.observe(1);
+        let mut snap = m.snapshot();
+        snap.mem_shard_contention = vec![0, 3];
+        let text = prometheus_text(&[(SiteId(1), snap)]);
         assert!(text.contains("# TYPE sdvm_help_requests_total counter"));
         assert!(text.contains("sdvm_help_requests_total{site=\"1\"} 1"));
         assert!(text.contains("# TYPE sdvm_detector_detection_latency_us histogram"));
@@ -556,6 +613,11 @@ mod tests {
         assert!(text.contains("sdvm_frame_career_us_bucket{site=\"1\",le=\"127\"} 1"));
         assert!(text.contains("le=\"+Inf\"} 1"));
         assert!(text.contains("manager=\"Scheduling\""));
+        assert!(text.contains("sdvm_mem_replica_hits_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_mem_replica_misses_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_mem_invalidations_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_mem_chase_hops_count{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_mem_shard_contention{site=\"1\",shard=\"1\"} 3"));
     }
 
     #[test]

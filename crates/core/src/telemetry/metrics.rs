@@ -237,6 +237,19 @@ pub struct Metrics {
     /// Programs the watchdog declared stuck.
     pub programs_stuck: Counter,
 
+    // ---- attraction-memory coherence (cold: replica protocol only) ----
+    /// Non-migrating reads served from a fresh local replica.
+    pub mem_replica_hits: Counter,
+    /// Non-migrating reads that found no usable local copy and went
+    /// remote.
+    pub mem_replica_misses: Counter,
+    /// Cached replicas dropped on an owner's invalidation (counted at
+    /// the holder, on actual drop).
+    pub mem_invalidations: Counter,
+    /// Owner hops a remote read/write chased before succeeding (count,
+    /// not µs — the log2 buckets still apply).
+    pub mem_chase_hops: Histogram,
+
     /// In-flight career marks, keyed by frame address.
     careers: Mutex<HashMap<GlobalAddress, CareerMarks>>,
 }
@@ -278,6 +291,10 @@ impl Default for Metrics {
             handler_panics: Counter::default(),
             workers_respawned: Counter::default(),
             programs_stuck: Counter::default(),
+            mem_replica_hits: Counter::default(),
+            mem_replica_misses: Counter::default(),
+            mem_invalidations: Counter::default(),
+            mem_chase_hops: Histogram::default(),
             outbound_queue_depth: Gauge::default(),
             career_total_us: Histogram::default(),
             career_wait_us: Histogram::default(),
@@ -399,6 +416,11 @@ impl Metrics {
             handler_panics: self.handler_panics.get(),
             workers_respawned: self.workers_respawned.get(),
             programs_stuck: self.programs_stuck.get(),
+            mem_replica_hits: self.mem_replica_hits.get(),
+            mem_replica_misses: self.mem_replica_misses.get(),
+            mem_invalidations: self.mem_invalidations.get(),
+            mem_chase_hops: self.mem_chase_hops.snapshot(),
+            mem_shard_contention: Vec::new(),
             outbound_queue_depth: self.outbound_queue_depth.get(),
             backpressure_stalls: 0,
             career_total_us: self.career_total_us.snapshot(),
@@ -454,6 +476,18 @@ pub struct SiteMetrics {
     pub workers_respawned: u64,
     /// Programs the watchdog declared stuck.
     pub programs_stuck: u64,
+    /// Non-migrating reads served from a fresh local replica.
+    pub mem_replica_hits: u64,
+    /// Non-migrating reads that went remote.
+    pub mem_replica_misses: u64,
+    /// Cached replicas dropped on an owner's invalidation.
+    pub mem_invalidations: u64,
+    /// Owner hops chased per remote read/write.
+    pub mem_chase_hops: HistogramSnapshot,
+    /// Per-shard attraction-memory lock contention counts (filled in
+    /// from the memory manager at snapshot time, like
+    /// `backpressure_stalls`).
+    pub mem_shard_contention: Vec<u64>,
     /// Frames waiting in outbound queues (sampled).
     pub outbound_queue_depth: u64,
     /// Sends that hit a full outbound queue and had to wait (transport-

@@ -100,6 +100,9 @@ pub enum TraceEvent {
         requester: SiteId,
         /// The migrated frame.
         frame: GlobalAddress,
+        /// Locality score of the pick (argument objects near the
+        /// requester / far from the granter score higher).
+        score: i32,
     },
     /// A help request was answered with can't-help.
     HelpDenied {
@@ -241,6 +244,15 @@ pub enum TraceEvent {
         /// The stuck program.
         program: ProgramId,
     },
+    /// A cached read replica was dropped on an owner's invalidation.
+    ReplicaInvalidated {
+        /// Site that held (and dropped) the replica.
+        site: SiteId,
+        /// The invalidated object.
+        object: GlobalAddress,
+        /// The owner's new write version that made the copy stale.
+        version: u64,
+    },
 }
 
 impl TraceEvent {
@@ -267,7 +279,8 @@ impl TraceEvent {
             | TraceEvent::FrameRetried { site, .. }
             | TraceEvent::FrameQuarantined { site, .. }
             | TraceEvent::WorkerRespawned { site, .. }
-            | TraceEvent::ProgramStuck { site, .. } => *site,
+            | TraceEvent::ProgramStuck { site, .. }
+            | TraceEvent::ReplicaInvalidated { site, .. } => *site,
         }
     }
 
@@ -294,6 +307,7 @@ impl TraceEvent {
             | TraceEvent::FrameQuarantined { .. }
             | TraceEvent::WorkerRespawned { .. }
             | TraceEvent::ProgramStuck { .. } => Category::Engine,
+            TraceEvent::ReplicaInvalidated { .. } => Category::Memory,
         }
     }
 }
@@ -319,10 +333,12 @@ pub enum Category {
     /// Execution-engine robustness: retries, quarantines, worker
     /// respawns, stuck-program verdicts.
     Engine = 1 << 7,
+    /// Attraction-memory coherence (replica invalidations).
+    Memory = 1 << 8,
 }
 
 impl Category {
-    const ALL: u32 = 0xff;
+    const ALL: u32 = 0x1ff;
 
     fn from_name(name: &str) -> Option<u32> {
         Some(match name {
@@ -334,6 +350,7 @@ impl Category {
             "detector" => Category::Detector as u32,
             "recovery" => Category::Recovery as u32,
             "engine" => Category::Engine as u32,
+            "memory" => Category::Memory as u32,
             "all" => Category::ALL,
             "off" | "none" => 0,
             _ => return None,

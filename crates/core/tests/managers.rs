@@ -90,11 +90,11 @@ fn memory_local_alloc_read_write() {
     assert_eq!(s.memory.read(s, a, false).unwrap().as_u64().unwrap(), 5);
     s.memory.write(s, a, Value::from_u64(50)).unwrap();
     assert_eq!(s.memory.read(s, a, true).unwrap().as_u64().unwrap(), 50);
-    let (objects, frames, bytes) = s.memory.stats();
-    assert_eq!((objects, frames), (2, 0));
-    assert_eq!(bytes, 16);
+    let stats = s.memory.stats();
+    assert_eq!((stats.objects, stats.frames), (2, 0));
+    assert_eq!(stats.memory_bytes, 16);
     s.memory.purge_program(program);
-    assert_eq!(s.memory.stats().0, 0);
+    assert_eq!(s.memory.stats().objects, 0);
 }
 
 #[test]
@@ -109,11 +109,19 @@ fn remote_read_copy_vs_migrate() {
         s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
         7
     );
-    assert_eq!(s0.memory.stats().0, 1, "copy must not move the object");
+    assert_eq!(
+        s0.memory.stats().objects,
+        1,
+        "copy must not move the object"
+    );
     // Migrating read attracts it.
     assert_eq!(s1.memory.read(s1, addr, true).unwrap().as_u64().unwrap(), 7);
-    assert_eq!(s0.memory.stats().0, 0, "object must have migrated away");
-    assert_eq!(s1.memory.stats().0, 1);
+    assert_eq!(
+        s0.memory.stats().objects,
+        0,
+        "object must have migrated away"
+    );
+    assert_eq!(s1.memory.stats().objects, 1);
     // Writes still reach it through the homesite directory.
     s0.memory.write(s0, addr, Value::from_u64(70)).unwrap();
     assert_eq!(
@@ -275,4 +283,177 @@ fn message_hops_follow_figure6_order() {
     assert_eq!(hops[1], (me, ManagerId::Network, true));
     // Receiving side: delivered to the target manager.
     assert!(hops.contains(&(peer, ManagerId::Site, false)), "{hops:?}");
+}
+
+// ---- attraction memory v2: versioned read replicas ----
+
+#[test]
+fn replica_read_caches_and_serves_locally() {
+    let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
+    let s0 = cluster.site(0).inner();
+    let s1 = cluster.site(1).inner();
+    let addr = s0
+        .memory
+        .alloc(s0, sdvm_types::ProgramId(1), Value::from_u64(7));
+    // First non-migrating read fetches remotely and caches a replica.
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        7
+    );
+    assert_eq!(s1.memory.replica_version(addr), Some(1), "replica cached");
+    assert_eq!(s1.memory.stats().replicas, 1);
+    let misses = s1.metrics.mem_replica_misses.get();
+    assert!(misses >= 1, "first read is a miss");
+    // Second read is served from the cache, no new miss.
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        7
+    );
+    assert!(s1.metrics.mem_replica_hits.get() >= 1, "repeat read hits");
+    assert_eq!(s1.metrics.mem_replica_misses.get(), misses);
+    // The owner tracks the reader in its copyset; the object stayed put.
+    assert_eq!(s0.memory.stats().objects, 1);
+}
+
+#[test]
+fn write_invalidates_remote_replicas() {
+    let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
+    let s0 = cluster.site(0).inner();
+    let s1 = cluster.site(1).inner();
+    let addr = s0
+        .memory
+        .alloc(s0, sdvm_types::ProgramId(1), Value::from_u64(7));
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        7
+    );
+    assert_eq!(s1.memory.replica_version(addr), Some(1));
+    // Owner writes: the copyset gets ReplicaInvalidate, s1 drops its copy.
+    s0.memory.write(s0, addr, Value::from_u64(70)).unwrap();
+    assert_eq!(
+        s0.memory.object_version(addr),
+        Some(2),
+        "write bumps version"
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while s1.memory.replica_version(addr).is_some() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "invalidation never landed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(s1.metrics.mem_invalidations.get() >= 1);
+    // The next read re-fetches the new value (and the new version).
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        70
+    );
+    assert_eq!(s1.memory.replica_version(addr), Some(2));
+}
+
+#[test]
+fn replica_ttl_bounds_staleness() {
+    let mut config = SiteConfig::default().with_replica_ttl(Duration::from_millis(30));
+    config.crash_tolerance = false;
+    let cluster = InProcessCluster::new(2, config).unwrap();
+    let s0 = cluster.site(0).inner();
+    let s1 = cluster.site(1).inner();
+    let addr = s0
+        .memory
+        .alloc(s0, sdvm_types::ProgramId(1), Value::from_u64(7));
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        7
+    );
+    let misses = s1.metrics.mem_replica_misses.get();
+    std::thread::sleep(Duration::from_millis(60));
+    // The lease expired: even with the replica still cached, the read
+    // goes remote again instead of trusting a possibly-stale copy.
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        7
+    );
+    assert!(s1.metrics.mem_replica_misses.get() > misses);
+}
+
+#[test]
+fn replica_reads_can_be_disabled() {
+    let cluster = InProcessCluster::new(2, SiteConfig::default().without_replica_reads()).unwrap();
+    let s0 = cluster.site(0).inner();
+    let s1 = cluster.site(1).inner();
+    let addr = s0
+        .memory
+        .alloc(s0, sdvm_types::ProgramId(1), Value::from_u64(7));
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        7
+    );
+    assert_eq!(s1.memory.replica_version(addr), None, "no replica cached");
+    assert_eq!(s1.memory.stats().replicas, 0);
+}
+
+#[test]
+fn migration_leaves_forwarding_hint() {
+    let cluster = InProcessCluster::new(3, SiteConfig::default()).unwrap();
+    let s0 = cluster.site(0).inner();
+    let s1 = cluster.site(1).inner();
+    let s2 = cluster.site(2).inner();
+    let addr = s0
+        .memory
+        .alloc(s0, sdvm_types::ProgramId(1), Value::from_u64(7));
+    // Attract the object to site 1.
+    assert_eq!(s1.memory.read(s1, addr, true).unwrap().as_u64().unwrap(), 7);
+    // Ask the *old* owner directly: it must answer MemMissing with a
+    // forwarding hint pointing at the new owner.
+    let reply = s2
+        .request(
+            cluster.site(0).id(),
+            ManagerId::Memory,
+            ManagerId::Memory,
+            Payload::MemRead {
+                addr,
+                migrate: false,
+                replica: false,
+            },
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    match reply.payload {
+        Payload::MemMissing { hint, .. } => {
+            assert_eq!(hint, Some(cluster.site(1).id()), "hint chases migration");
+        }
+        other => panic!("expected MemMissing with hint, got {}", other.name()),
+    }
+    // And a full read through the protocol still resolves.
+    assert_eq!(
+        s2.memory.read(s2, addr, false).unwrap().as_u64().unwrap(),
+        7
+    );
+}
+
+#[test]
+fn shard_contention_is_reported_per_shard() {
+    let cluster = InProcessCluster::new(1, SiteConfig::default().with_mem_shards(4)).unwrap();
+    let s = cluster.site(0).inner();
+    assert_eq!(s.memory.shard_count(), 4);
+    assert_eq!(s.memory.stats().shard_contention.len(), 4);
+}
+
+#[test]
+fn purge_program_drops_replicas_and_copysets() {
+    let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
+    let s0 = cluster.site(0).inner();
+    let s1 = cluster.site(1).inner();
+    let program = sdvm_types::ProgramId(1);
+    let addr = s0.memory.alloc(s0, program, Value::from_u64(7));
+    assert_eq!(
+        s1.memory.read(s1, addr, false).unwrap().as_u64().unwrap(),
+        7
+    );
+    assert_eq!(s1.memory.stats().replicas, 1);
+    s1.memory.purge_program(program);
+    assert_eq!(s1.memory.stats().replicas, 0, "purge drops cached replicas");
+    s1.memory.purge_replicas(program); // idempotent
+    assert_eq!(s1.memory.stats().replicas, 0);
 }

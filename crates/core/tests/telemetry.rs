@@ -113,6 +113,7 @@ fn migrated_frame_career_is_stitched_across_sites_by_trace_id() {
                 site,
                 requester,
                 frame,
+                ..
             } => Some((*site, *requester, *frame)),
             _ => None,
         });

@@ -14,9 +14,11 @@ use sdvm_types::{ManagerId, SdvmResult, SiteId};
 /// envelope (zombie fencing) and membership payloads learned incarnation
 /// fields; v3 = causal [`TraceContext`] (origin site + 32-bit trace id)
 /// added to the envelope so one microframe's migration is stitchable
-/// across sites. Older frames are rejected loudly, not decoded
-/// best-effort.
-pub const WIRE_VERSION: u8 = 3;
+/// across sites; v4 = attraction memory v2 — objects carry a monotonic
+/// version, `MemRead`/`MemValue` grew a `replica` mode, `MemMissing`
+/// carries a forwarding hint, and `ReplicaInvalidate` joined the memory
+/// family. Older frames are rejected loudly, not decoded best-effort.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Causal trace context riding every [`SdMessage`] (wire v3).
 ///

@@ -79,6 +79,10 @@ pub struct WireMemObject {
     pub program: ProgramId,
     /// Contents.
     pub data: Value,
+    /// Monotonic write version (wire v4). Bumped by the owner on every
+    /// write; read replicas remember the version they were cut from so
+    /// stale copies are detectable.
+    pub version: u64,
 }
 
 impl Encode for WireMemObject {
@@ -86,6 +90,7 @@ impl Encode for WireMemObject {
         self.addr.encode(w);
         self.program.encode(w);
         self.data.encode(w);
+        w.put_varint(self.version);
     }
 }
 
@@ -95,6 +100,7 @@ impl Decode for WireMemObject {
             addr: GlobalAddress::decode(r)?,
             program: ProgramId::decode(r)?,
             data: Value::decode(r)?,
+            version: r.get_varint()?,
         })
     }
 }
@@ -255,10 +261,13 @@ payloads! {
     /// the fundamental dataflow message.
     40 ApplyResult { target: GlobalAddress, slot: u32, value: Value },
     /// Read a global object; `migrate` requests ownership transfer
-    /// (attraction), otherwise a copy suffices.
-    41 MemRead { addr: GlobalAddress, migrate: bool },
-    /// Successful read/migration reply.
-    42 MemValue { obj: WireMemObject, migrated: bool },
+    /// (attraction), otherwise a copy suffices. `replica` (wire v4) asks
+    /// the owner to also enter the reader into the object's copyset so
+    /// the copy may be cached locally until invalidated.
+    41 MemRead { addr: GlobalAddress, migrate: bool, replica: bool },
+    /// Successful read/migration reply. `replica` echoes that the reader
+    /// was entered into the copyset and may cache the value.
+    42 MemValue { obj: WireMemObject, migrated: bool, replica: bool },
     /// Write a global object (forwarded to the current owner).
     43 MemWrite { addr: GlobalAddress, value: Value },
     /// Write acknowledged.
@@ -269,14 +278,20 @@ payloads! {
     46 OwnerReply { addr: GlobalAddress, owner: Option<SiteId> },
     /// Homesite directory update: object migrated to a new owner.
     47 OwnerUpdate { addr: GlobalAddress, owner: SiteId },
-    /// The object could not be found anywhere (fatal unless recovering).
-    48 MemMissing { addr: GlobalAddress },
+    /// The object is not owned by the replying site. `hint` (wire v4)
+    /// carries the last-known owner so the chaser can jump straight to it
+    /// instead of re-querying the homesite after a blind backoff.
+    48 MemMissing { addr: GlobalAddress, hint: Option<SiteId> },
     /// Bulk transfer of objects + frames during sign-off relocation.
     /// `directory` hands over the leaver's homesite directory entries
     /// (address → current owner).
     49 Relocate { objects: Vec<WireMemObject>, frames: Vec<WireFrame>, directory: Vec<(GlobalAddress, SiteId)> },
     /// Relocation accepted.
     50 RelocateAck {},
+    /// The owner wrote (or migrated) the object: every copyset member
+    /// must drop its cached replica. `version` is the owner's version
+    /// after the write, for tracing; the drop itself is unconditional.
+    51 ReplicaInvalidate { addr: GlobalAddress, version: u64 },
 
     // ---- crash management: backup mirroring (§2.2, [4]) ----
 
@@ -412,6 +427,7 @@ mod tests {
             addr: GlobalAddress::new(SiteId(1), 5),
             program: ProgramId(1),
             data: Value::from_u64(9),
+            version: 4,
         };
         let samples = vec![
             Payload::SignOn {
@@ -501,10 +517,12 @@ mod tests {
             Payload::MemRead {
                 addr: GlobalAddress::new(SiteId(1), 1),
                 migrate: true,
+                replica: false,
             },
             Payload::MemValue {
                 obj: obj.clone(),
                 migrated: false,
+                replica: true,
             },
             Payload::MemWrite {
                 addr: GlobalAddress::new(SiteId(1), 1),
@@ -526,6 +544,7 @@ mod tests {
             },
             Payload::MemMissing {
                 addr: GlobalAddress::new(SiteId(1), 1),
+                hint: Some(SiteId(3)),
             },
             Payload::Relocate {
                 objects: vec![obj.clone()],
@@ -533,6 +552,10 @@ mod tests {
                 directory: vec![(GlobalAddress::new(SiteId(1), 3), SiteId(2))],
             },
             Payload::RelocateAck {},
+            Payload::ReplicaInvalidate {
+                addr: GlobalAddress::new(SiteId(1), 1),
+                version: 7,
+            },
             Payload::BackupRelease {
                 frame: GlobalAddress::new(SiteId(1), 1),
                 owner: SiteId(2),

@@ -35,7 +35,7 @@ fn golden_apply_result() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0303000307032a0000\
+        "0403000307032a0000\
 0028020901080807060504030201",
         "ApplyResult wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -62,7 +62,7 @@ fn golden_traced_ping() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "030500010101070003ac02\
+        "040500010101070003ac02\
 5b01",
         "TraceContext wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -86,8 +86,8 @@ fn v1_frames_are_rejected_loudly() {
 #[test]
 fn v2_frames_are_rejected_loudly() {
     // The exact golden ApplyResult bytes from WIRE_VERSION 2 (before the
-    // trace context entered the envelope). A v3 daemon must refuse them
-    // with a version error — decoding best-effort would misread the
+    // trace context entered the envelope). A current daemon must refuse
+    // them with a version error — decoding best-effort would misread the
     // payload tag as trace-context bytes.
     let v2 = unhex("0203000307032a0028020901080807060504030201");
     let err = SdMessage::from_bytes(&v2).unwrap_err();
@@ -96,6 +96,46 @@ fn v2_frames_are_rejected_loudly() {
         msg.contains("version"),
         "v2 frame must fail on the version byte, got: {msg}"
     );
+}
+
+#[test]
+fn v3_frames_are_rejected_loudly() {
+    // The exact golden ApplyResult bytes from WIRE_VERSION 3 (before
+    // object versions / the replica mode entered the memory payloads). A
+    // v4 daemon must refuse them with a version error — decoding
+    // best-effort would misread memory payloads that gained fields.
+    let v3 = unhex("0303000307032a00000028020901080807060504030201");
+    let err = SdMessage::from_bytes(&v3).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("version"),
+        "v3 frame must fail on the version byte, got: {msg}"
+    );
+}
+
+#[test]
+fn golden_replica_invalidate() {
+    // New in WIRE_VERSION 4: owners invalidate cached read replicas on
+    // write/migration.
+    let msg = SdMessage::new(
+        SiteId(2),
+        ManagerId::Memory,
+        SiteId(6),
+        ManagerId::Memory,
+        11,
+        Payload::ReplicaInvalidate {
+            addr: GlobalAddress::new(SiteId(2), 9),
+            version: 300,
+        },
+    );
+    let bytes = msg.to_bytes();
+    assert_eq!(
+        hex(&bytes),
+        "0402000306030b0000\
+00330209ac02",
+        "ReplicaInvalidate wire encoding changed — bump WIRE_VERSION if intentional"
+    );
+    assert_eq!(SdMessage::from_bytes(&bytes).unwrap(), msg);
 }
 
 #[test]
@@ -121,7 +161,7 @@ fn golden_help_request() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0305000101010700000014020501\
+        "0405000101010700000014020501\
 80080300",
         "HelpRequest wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -142,7 +182,7 @@ fn golden_ping_reply() {
     let bytes = reply.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0302000801086501640000\
+        "0402000801086501640000\
 5cff01",
         "Pong wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -166,7 +206,7 @@ fn golden_suspect_site() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "030100060206090000\
+        "040100060206090000\
 000c0403",
         "SuspectSite wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -227,6 +267,13 @@ fn payload_tags_are_stable() {
                 target: GlobalAddress::new(SiteId(1), 1),
                 slot: 0,
                 value: Value::empty(),
+            },
+        ),
+        (
+            51,
+            Payload::ReplicaInvalidate {
+                addr: GlobalAddress::new(SiteId(1), 1),
+                version: 1,
             },
         ),
         (

@@ -91,15 +91,25 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
                 value,
             }
         }),
-        (arb_addr(), any::<bool>()).prop_map(|(addr, migrate)| Payload::MemRead { addr, migrate }),
-        (arb_addr(), arb_value(), any::<u32>()).prop_map(|(addr, data, p)| Payload::MemValue {
-            obj: WireMemObject {
+        (arb_addr(), any::<bool>(), any::<bool>()).prop_map(|(addr, migrate, replica)| {
+            Payload::MemRead {
                 addr,
-                program: ProgramId(p),
-                data
-            },
-            migrated: false,
+                migrate,
+                replica,
+            }
         }),
+        (arb_addr(), arb_value(), any::<u32>(), any::<u64>()).prop_map(
+            |(addr, data, p, version)| Payload::MemValue {
+                obj: WireMemObject {
+                    addr,
+                    program: ProgramId(p),
+                    data,
+                    version,
+                },
+                migrated: false,
+                replica: false,
+            }
+        ),
         (any::<u32>(), arb_site(), "[a-z]{0,12}", any::<u32>()).prop_map(
             |(program, code_home, name, threads)| Payload::ProgramRegister {
                 program: ProgramId(program),
