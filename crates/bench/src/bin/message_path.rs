@@ -10,7 +10,7 @@
 //! cargo run --release -p sdvm-bench --bin message_path
 //! ```
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use sdvm_bench::rule;
 use sdvm_crypto::{KeyStore, NONCE_PREFIX_LEN};
 use sdvm_net::{TcpTransport, Transport};
@@ -20,7 +20,10 @@ use std::time::{Duration, Instant};
 
 const TAG_PLAIN: u8 = 0;
 const TAG_PEER: u8 = 1;
+const TAG_BATCH: u8 = 3;
 const PAYLOAD_LEN: usize = 256;
+/// Records per batch-sealed frame: the writer's drain cap.
+const BATCH: usize = 64;
 const MEASURE: Duration = Duration::from_millis(800);
 
 fn sample_msg(dst: u32) -> SdMessage {
@@ -76,6 +79,37 @@ fn new_sealed(cap: &mut usize, ks: &mut KeyStore, dst: u32, msg: &SdMessage) -> 
     buf.resize(seal_start + NONCE_PREFIX_LEN, 0);
     let mut w = WireWriter::from_buf(buf);
     msg.encode_into(&mut w);
+    let mut buf = w.into_buf();
+    ks.seal_for_in_place(dst, &mut buf, seal_start);
+    let frame = finish_frame(buf).expect("frame");
+    *cap = frame.len() + 32;
+    frame
+}
+
+/// Serialize one message alone — the up-front cost on the drain-sealed
+/// send path (`SecurityManager::encode_plain`).
+fn encode_body(cap: &mut usize, msg: &SdMessage) -> Bytes {
+    let mut w = WireWriter::from_buf(BytesMut::with_capacity(*cap));
+    msg.encode_into(&mut w);
+    let buf = w.into_buf();
+    *cap = buf.len() + 32;
+    buf.freeze()
+}
+
+/// Seal a run of pre-encoded records as one batch record (wire v5):
+/// one nonce, one keystream setup, one MAC for the whole run — the
+/// writer-drain path's amortized frame shape.
+fn batch_sealed(cap: &mut usize, ks: &mut KeyStore, dst: u32, bodies: &[Bytes]) -> Bytes {
+    let mut buf = begin_frame(*cap);
+    buf.put_u8(TAG_BATCH);
+    buf.extend_from_slice(&1u32.to_le_bytes());
+    let seal_start = buf.len();
+    buf.resize(seal_start + NONCE_PREFIX_LEN, 0);
+    let mut w = WireWriter::from_buf(buf);
+    w.put_varint(bodies.len() as u64);
+    for b in bodies {
+        w.put_bytes(b);
+    }
     let mut buf = w.into_buf();
     ks.seal_for_in_place(dst, &mut buf, seal_start);
     let frame = finish_frame(buf).expect("frame");
@@ -162,6 +196,24 @@ fn bench_paths(results: &mut Vec<Result>) {
             || {
                 for (i, m) in msgs.iter().enumerate() {
                     std::hint::black_box(new_sealed(&mut cap, &mut ks, i as u32 + 2, m));
+                }
+            },
+        ));
+
+        // Batch-sealed (wire v5): per message, one plain encode plus a
+        // 1/BATCH share of the batch's nonce + keystream + MAC.
+        let mut ks = KeyStore::from_password(1, "bench-pw");
+        let mut body_cap = 128usize;
+        let mut cap = 128usize;
+        results.push(measure(
+            &format!("encrypted/batched/{peers}peer"),
+            (peers as usize * BATCH) as u64,
+            frame_len,
+            || {
+                for (i, m) in msgs.iter().enumerate() {
+                    let bodies: Vec<Bytes> =
+                        (0..BATCH).map(|_| encode_body(&mut body_cap, m)).collect();
+                    std::hint::black_box(batch_sealed(&mut cap, &mut ks, i as u32 + 2, &bodies));
                 }
             },
         ));

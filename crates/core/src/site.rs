@@ -22,7 +22,7 @@ use crate::managers::site_mgr::SiteManager;
 use crate::pending::PendingMap;
 use crate::telemetry::{manager_index, Metrics};
 use crate::thread::AppRegistry;
-use crate::trace::{TraceEvent, TraceLog};
+use crate::trace::{Category, TraceEvent, TraceLog};
 use parking_lot::RwLock;
 use sdvm_net::Transport;
 use sdvm_types::{ManagerId, PhysicalAddr, SdvmError, SdvmResult, SiteDescriptor, SiteId};
@@ -88,6 +88,11 @@ pub struct SiteInner {
     /// without dying — exactly what a long GC pause looks like from
     /// outside.
     paused: AtomicBool,
+    /// Whether the transport seals at writer-drain time (a
+    /// [`crate::managers::security::WriterSealer`] is installed): peer
+    /// traffic then skips seal-at-send and hands the transport plaintext
+    /// records, which the writer coalesces into batch-sealed frames.
+    drain_seal: AtomicBool,
 
     /// Attraction memory (execution layer).
     pub memory: MemoryManager,
@@ -215,6 +220,14 @@ impl SiteInner {
         }
     }
 
+    /// True when a trace bus is attached *and* its filter keeps `cat`
+    /// events. Hot paths check this before reading clocks or building
+    /// events the bus would discard anyway — with no bus (the
+    /// production default) the cost is one branch.
+    pub fn trace_wants(&self, cat: Category) -> bool {
+        self.trace.as_ref().is_some_and(|t| t.wants(cat))
+    }
+
     /// Record two trace-points with caller-supplied clock reads, pushed
     /// to the bus under a single ring-lock acquisition (the outbound
     /// message path emits exactly two hops per message).
@@ -317,6 +330,38 @@ impl SiteInner {
         // the one outbound choke point makes the freeze airtight.
         self.pause_gate();
         msg.src_incarnation = self.my_incarnation();
+        // Drain-time sealing: for established peer traffic, hand the
+        // transport the serialized message and let its writer thread
+        // seal — coalescing bursts into batch-sealed records. Join
+        // traffic (either id still unknown) keeps the per-frame path,
+        // as does everything when the transport declined the sealer.
+        if self.drain_seal.load(Ordering::Relaxed)
+            && msg.dst_site.is_valid()
+            && self.my_id().is_valid()
+        {
+            let hop = |manager| TraceEvent::MessageHop {
+                site: self.my_id(),
+                manager,
+                payload: msg.payload.name(),
+                outgoing: true,
+                trace: msg.trace.id,
+            };
+            // Seal timing lives at the writer's drain now (one
+            // histogram sample per batch), so per message the only
+            // unconditional telemetry is the two hop counters; clock
+            // reads happen just when a trace consumer wants the stamps.
+            if self.trace_wants(Category::Hops) {
+                let t0 = std::time::Instant::now();
+                let body = self.security.encode_plain(&msg);
+                let t1 = std::time::Instant::now();
+                self.emit_pair_at(hop(ManagerId::Message), t0, hop(ManagerId::Network), t1);
+                return self.transport.send_plain(addr, msg.dst_site.0, body);
+            }
+            let body = self.security.encode_plain(&msg);
+            self.metrics.observe(&hop(ManagerId::Message));
+            self.metrics.observe(&hop(ManagerId::Network));
+            return self.transport.send_plain(addr, msg.dst_site.0, body);
+        }
         // Two clock reads serve four consumers: `t0` stamps the
         // message-manager hop and starts the seal timer, `t1` stops it
         // and stamps the network-manager hop.
@@ -508,11 +553,23 @@ impl Site {
             draining: AtomicBool::new(false),
             incarnation: AtomicU64::new(1),
             paused: AtomicBool::new(false),
+            drain_seal: AtomicBool::new(false),
             tasks_tx,
             tasks_rx,
             recovery_tx,
             recovery_rx,
         });
+        // With encryption on, move sealing onto the transport's writer
+        // threads so coalesced bursts are sealed as single batch records
+        // (transports without a writer stage decline and the per-frame
+        // seal-at-send path stays in effect).
+        if inner.security.enabled() {
+            let sealer = crate::managers::security::WriterSealer::new(&inner);
+            inner.drain_seal.store(
+                inner.transport.install_drain_sealer(sealer),
+                Ordering::SeqCst,
+            );
+        }
         Site {
             inner,
             threads: parking_lot::Mutex::new(Vec::new()),
@@ -613,18 +670,23 @@ impl Site {
                     match rx.recv_timeout(Duration::from_millis(50)) {
                         Ok(raw) => {
                             let open_started = std::time::Instant::now();
-                            let opened = inner.security.open(&inner, &raw);
+                            let opened = inner.security.open_traffic(raw);
                             inner
                                 .metrics
                                 .open_us
                                 .observe_duration(open_started.elapsed());
-                            let Ok(plain) = opened else {
+                            let Ok(opened) = opened else {
                                 continue; // forged/corrupt: drop
                             };
-                            let Ok(msg) = SdMessage::from_bytes(&plain) else {
-                                continue; // undecodable: drop
-                            };
-                            inner.dispatch(msg);
+                            for rec in opened.records() {
+                                let Ok(rec) = rec else {
+                                    break; // malformed batch interior: drop rest
+                                };
+                                let Ok(msg) = SdMessage::from_bytes(rec) else {
+                                    continue; // undecodable record: drop
+                                };
+                                inner.dispatch(msg);
+                            }
                         }
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                         Err(_) => break,

@@ -536,6 +536,14 @@ impl TraceLog {
         }
     }
 
+    /// Whether this log records events of `cat` at all. Hot paths check
+    /// before paying for work that only feeds the bus (clock reads,
+    /// event construction) — a filtered-out category costs one mask
+    /// test.
+    pub fn wants(&self, cat: Category) -> bool {
+        cat as u32 & self.inner.filter_mask != 0
+    }
+
     fn micros_since_epoch(&self, now: Instant) -> u64 {
         // u64 arithmetic: `Duration::as_micros` divides in u128, which
         // shows up on the per-event hot path.

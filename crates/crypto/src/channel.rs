@@ -16,10 +16,11 @@
 //! duplicate (a replay, or a frame resent by a transport-level
 //! reconnect) must still be dropped.
 
-use crate::chacha::{chacha20_xor, KEY_LEN, NONCE_LEN};
-use crate::hmac::{ct_eq, HmacSha256};
+use crate::chacha::{ChaChaKey, KEY_LEN, NONCE_LEN};
+use crate::hmac::{ct_eq, HmacKey};
 use crate::CryptoError;
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
+use std::ops::Range;
 
 /// Truncated HMAC tag length in bytes.
 pub const TAG_LEN: usize = 16;
@@ -36,8 +37,11 @@ pub const REPLAY_WINDOW: u64 = 64;
 /// is a pair of channels with keys derived per direction (see
 /// [`crate::keystore::KeyStore`]).
 pub struct SecureChannel {
-    enc_key: [u8; KEY_LEN],
-    mac_key: [u8; KEY_LEN],
+    /// Encryption key with its state words pre-parsed.
+    enc_key: ChaChaKey,
+    /// MAC key with its ipad/opad midstates precomputed: each seal/open
+    /// pays only the message compressions plus one outer compression.
+    mac_key: HmacKey,
     next_send: u64,
     /// Highest counter accepted so far.
     recv_horizon: u64,
@@ -55,8 +59,8 @@ impl SecureChannel {
         crate::kdf::expand(traffic_key, b"enc", &mut enc_key);
         crate::kdf::expand(traffic_key, b"mac", &mut mac_key);
         Self {
-            enc_key,
-            mac_key,
+            enc_key: ChaChaKey::new(&enc_key),
+            mac_key: HmacKey::new(&mac_key),
             next_send: 1,
             recv_horizon: 0,
             recv_seen: 0,
@@ -92,13 +96,15 @@ impl SecureChannel {
         n
     }
 
-    /// Encrypt and authenticate `plaintext`.
-    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+    /// Encrypt and authenticate `plaintext`. The sealed record is
+    /// returned as [`Bytes`] — the buffer sealed in place and frozen,
+    /// with no trailing copy.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Bytes {
         let mut buf = BytesMut::with_capacity(SEAL_OVERHEAD + plaintext.len());
         buf.resize(NONCE_PREFIX_LEN, 0);
         buf.extend_from_slice(plaintext);
         self.seal_in_place(&mut buf, 0);
-        Vec::from(buf)
+        buf.freeze()
     }
 
     /// Seal a message already laid out in `buf` without moving it.
@@ -115,36 +121,47 @@ impl SecureChannel {
         self.next_send += 1;
         let nonce = Self::nonce_bytes(counter);
         buf[start..start + NONCE_PREFIX_LEN].copy_from_slice(&counter.to_le_bytes());
-        chacha20_xor(
-            &self.enc_key,
-            &nonce,
-            1,
-            &mut buf[start + NONCE_PREFIX_LEN..],
-        );
-        let mut mac = HmacSha256::new(&self.mac_key);
-        mac.update(&buf[start..]);
-        let tag = mac.finalize();
+        self.enc_key
+            .xor(&nonce, 1, &mut buf[start + NONCE_PREFIX_LEN..]);
+        let tag = self.mac_key.mac_of(&buf[start..]);
         buf.extend_from_slice(&tag[..TAG_LEN]);
     }
 
-    /// Verify and decrypt a sealed message. Rejects forgeries and replays.
-    pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        if sealed.len() < NONCE_PREFIX_LEN + TAG_LEN {
+    /// Verify and decrypt the sealed record at `buf[start..]` without
+    /// copying. On success the tag is verified, the plaintext is
+    /// decrypted in place, and its range within `buf` is returned
+    /// (`start + NONCE_PREFIX_LEN .. buf.len() - TAG_LEN`). On error the
+    /// buffer is left ciphertext — nothing before the MAC check writes.
+    pub fn open_in_place(
+        &mut self,
+        buf: &mut [u8],
+        start: usize,
+    ) -> Result<Range<usize>, CryptoError> {
+        if buf.len() < start + NONCE_PREFIX_LEN + TAG_LEN {
             return Err(CryptoError::Truncated);
         }
-        let (body, tag) = sealed.split_at(sealed.len() - TAG_LEN);
-        let mut mac = HmacSha256::new(&self.mac_key);
-        mac.update(body);
-        let expect = mac.finalize();
+        let tag_at = buf.len() - TAG_LEN;
+        let (body, tag) = buf[start..].split_at(tag_at - start);
+        let expect = self.mac_key.mac_of(body);
         if !ct_eq(&expect[..TAG_LEN], tag) {
             return Err(CryptoError::BadTag);
         }
         let counter = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
         self.check_replay(counter)?;
         let nonce = Self::nonce_bytes(counter);
-        let mut plain = body[NONCE_PREFIX_LEN..].to_vec();
-        chacha20_xor(&self.enc_key, &nonce, 1, &mut plain);
-        Ok(plain)
+        self.enc_key
+            .xor(&nonce, 1, &mut buf[start + NONCE_PREFIX_LEN..tag_at]);
+        Ok(start + NONCE_PREFIX_LEN..tag_at)
+    }
+
+    /// Verify and decrypt a sealed message. Rejects forgeries and replays.
+    /// Copying convenience over [`SecureChannel::open_in_place`].
+    pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut buf = sealed.to_vec();
+        let plain = self.open_in_place(&mut buf, 0)?;
+        buf.truncate(plain.end);
+        buf.drain(..plain.start);
+        Ok(buf)
     }
 }
 
@@ -176,7 +193,7 @@ mod tests {
     #[test]
     fn tamper_detected() {
         let (mut tx, mut rx) = pair();
-        let mut sealed = tx.seal(b"important");
+        let sealed = tx.seal(b"important").to_vec();
         for i in 0..sealed.len() {
             let mut copy = sealed.clone();
             copy[i] ^= 1;
@@ -184,7 +201,36 @@ mod tests {
         }
         // Untampered still works afterwards.
         assert_eq!(rx.open(&sealed).unwrap(), b"important");
-        sealed.clear();
+    }
+
+    #[test]
+    fn open_in_place_decrypts_within_buffer() {
+        let (mut tx, mut rx) = pair();
+        let plain = b"in-place opened payload";
+        let header = b"HDR!";
+        let mut buf = header.to_vec();
+        buf.extend_from_slice(&tx.seal(plain));
+        let range = rx.open_in_place(&mut buf, header.len()).unwrap();
+        assert_eq!(&buf[range.clone()], plain);
+        assert_eq!(&buf[..header.len()], header, "header untouched");
+        assert_eq!(range.start, header.len() + NONCE_PREFIX_LEN);
+        assert_eq!(range.end, buf.len() - TAG_LEN);
+    }
+
+    #[test]
+    fn open_in_place_rejects_tamper_and_replay() {
+        let (mut tx, mut rx) = pair();
+        let sealed = tx.seal(b"x");
+        let mut bad = sealed.to_vec();
+        bad[NONCE_PREFIX_LEN] ^= 1;
+        assert_eq!(rx.open_in_place(&mut bad, 0), Err(CryptoError::BadTag));
+        let mut ok = sealed.to_vec();
+        assert!(rx.open_in_place(&mut ok, 0).is_ok());
+        let mut again = sealed.to_vec();
+        assert!(matches!(
+            rx.open_in_place(&mut again, 0),
+            Err(CryptoError::Replay { .. })
+        ));
     }
 
     #[test]

@@ -1,18 +1,25 @@
 //! HMAC-SHA-256 (RFC 2104), validated against RFC 4231 test vectors.
+//!
+//! Hot-path layout: [`HmacKey`] absorbs the ipad and opad blocks once
+//! at key-schedule time and keeps the two SHA-256 midstates. Each MAC
+//! then starts by cloning ~100 bytes of state instead of re-running
+//! two compressions — a short-message MAC costs exactly its message
+//! compressions plus the one outer compression.
 
 use crate::sha256::{sha256, Sha256, DIGEST_LEN};
 
 const BLOCK_LEN: usize = 64;
 
-/// Incremental HMAC-SHA-256.
+/// A prepared HMAC-SHA-256 key: the ipad/opad midstates, computed once.
+/// Build per channel, then mint cheap [`HmacSha256`] instances from it.
 #[derive(Clone)]
-pub struct HmacSha256 {
+pub struct HmacKey {
     inner: Sha256,
-    outer_key: [u8; BLOCK_LEN],
+    outer: Sha256,
 }
 
-impl HmacSha256 {
-    /// Start a MAC keyed with `key` (any length; hashed down if > 64).
+impl HmacKey {
+    /// Derive the midstates from `key` (any length; hashed down if > 64).
     pub fn new(key: &[u8]) -> Self {
         let mut k = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
@@ -28,10 +35,39 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        Self {
-            inner,
-            outer_key: opad,
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacKey { inner, outer }
+    }
+
+    /// Start an incremental MAC from the midstates (no compressions).
+    pub fn mac(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
         }
+    }
+
+    /// One-shot MAC of `data` from the midstates.
+    pub fn mac_of(&self, data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut m = self.mac();
+        m.update(data);
+        m.finalize()
+    }
+}
+
+/// Incremental HMAC-SHA-256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Start a MAC keyed with `key` (any length; hashed down if > 64).
+    /// For repeated MACs under one key, build an [`HmacKey`] instead.
+    pub fn new(key: &[u8]) -> Self {
+        HmacKey::new(key).mac()
     }
 
     /// Absorb message bytes.
@@ -42,8 +78,7 @@ impl HmacSha256 {
     /// Finish and return the 32-byte tag.
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.outer_key);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -114,6 +149,19 @@ mod tests {
             )),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
+    }
+
+    // A reused HmacKey must produce the same tags as fresh HmacSha256
+    // instances: the midstate schedule is an optimization, not a
+    // different function.
+    #[test]
+    fn midstate_reuse_matches_fresh_keying() {
+        let key = b"a moderately long shared traffic key";
+        let schedule = HmacKey::new(key);
+        for len in [0usize, 1, 31, 64, 65, 200, 1000] {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i * 13 % 251) as u8).collect();
+            assert_eq!(schedule.mac_of(&data), hmac_sha256(key, &data), "len {len}");
+        }
     }
 
     #[test]

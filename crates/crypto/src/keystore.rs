@@ -54,8 +54,9 @@ impl KeyStore {
         self.recv.clear();
     }
 
-    /// Seal a message for `peer`.
-    pub fn seal_for(&mut self, peer: u32, plaintext: &[u8]) -> Vec<u8> {
+    /// Seal a message for `peer`. Returns the sealed record as
+    /// [`bytes::Bytes`] (sealed in place and frozen, no trailing copy).
+    pub fn seal_for(&mut self, peer: u32, plaintext: &[u8]) -> bytes::Bytes {
         self.sender_for(peer).seal(plaintext)
     }
 
@@ -74,11 +75,26 @@ impl KeyStore {
 
     /// Open a message received from `peer`.
     pub fn open_from(&mut self, peer: u32, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        self.receiver_for(peer).open(sealed)
+    }
+
+    /// Open a record from `peer` in place; see
+    /// [`SecureChannel::open_in_place`] for the buffer contract and the
+    /// returned plaintext range.
+    pub fn open_from_in_place(
+        &mut self,
+        peer: u32,
+        buf: &mut [u8],
+        start: usize,
+    ) -> Result<std::ops::Range<usize>, CryptoError> {
+        self.receiver_for(peer).open_in_place(buf, start)
+    }
+
+    fn receiver_for(&mut self, peer: u32) -> &mut SecureChannel {
         let (master, local) = (self.master, self.local);
         self.recv
             .entry(peer)
             .or_insert_with(|| SecureChannel::new(&traffic_key(&master, peer, local)))
-            .open(sealed)
     }
 
     /// Forget a peer's channels (it signed off or crashed; if it returns

@@ -92,10 +92,28 @@ proptest! {
     ) {
         let mut tx = SecureChannel::new(&key);
         let mut rx = SecureChannel::new(&key);
-        let mut sealed = tx.seal(&msg);
+        let mut sealed = tx.seal(&msg).to_vec();
         let i = pos.index(sealed.len());
         sealed[i] ^= flip;
         prop_assert_eq!(rx.open(&sealed), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn open_in_place_equals_open(
+        key in any::<[u8; 32]>(),
+        msg in prop::collection::vec(any::<u8>(), 0..512),
+        header in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut tx = SecureChannel::new(&key);
+        let mut rx_copy = SecureChannel::new(&key);
+        let mut rx_place = SecureChannel::new(&key);
+        let sealed = tx.seal(&msg);
+        prop_assert_eq!(&rx_copy.open(&sealed).unwrap(), &msg);
+        let mut buf = header.clone();
+        buf.extend_from_slice(&sealed);
+        let range = rx_place.open_in_place(&mut buf, header.len()).unwrap();
+        prop_assert_eq!(&buf[range], &msg[..]);
+        prop_assert_eq!(&buf[..header.len()], &header[..]);
     }
 
     #[test]

@@ -31,7 +31,29 @@ pub use tcp::TcpTransport;
 
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
-use sdvm_types::{PhysicalAddr, SdvmResult};
+use sdvm_types::{PhysicalAddr, SdvmError, SdvmResult};
+use std::sync::Arc;
+
+/// Seals plaintext SDMessage records into finished wire frames at
+/// writer-drain time.
+///
+/// Implemented above this crate (by the security manager); the transport
+/// only sees logical destination site ids and opaque bytes. Handing the
+/// transport a sealer moves nonce allocation onto the single writer
+/// thread, so nonce order and wire order always agree, and lets the
+/// writer seal a whole coalesced run of records for one destination as
+/// *one* AEAD unit — paying nonce + MAC cost per syscall instead of per
+/// frame.
+pub trait DrainSealer: Send + Sync {
+    /// Seal one record into one complete per-frame wire frame
+    /// (length prefix included).
+    fn seal_one(&self, dst: u32, body: &[u8]) -> SdvmResult<Bytes>;
+
+    /// Seal a run of records for one destination into a single
+    /// batch-sealed wire frame (length prefix included). Called with
+    /// `bodies.len() >= 2`.
+    fn seal_batch(&self, dst: u32, bodies: &[Bytes]) -> SdvmResult<Bytes>;
+}
 
 /// A byte-oriented, connectionless-looking transport between physical
 /// addresses. Implementations must be usable from many threads.
@@ -55,6 +77,26 @@ pub trait Transport: Send + Sync {
     /// that do not pre-build frames (tests, tools).
     fn send_body(&self, to: &PhysicalAddr, body: &[u8]) -> SdvmResult<()> {
         self.send(to, sdvm_wire::frame_bytes(body)?)
+    }
+
+    /// Install the hook that seals plaintext records at writer-drain
+    /// time. Returns `true` if this transport will seal at drain time
+    /// (and accept [`Transport::send_plain`]); the default transport
+    /// has no writer stage to hook and returns `false`, leaving callers
+    /// on the seal-before-send path.
+    fn install_drain_sealer(&self, _sealer: Arc<dyn DrainSealer>) -> bool {
+        false
+    }
+
+    /// Queue one *plaintext* record for logical site `dst` at `to`, to
+    /// be sealed by the installed [`DrainSealer`] when the writer drains
+    /// it — possibly coalesced with neighbouring records for `dst` into
+    /// one batch-sealed frame. Errors unless a drain sealer is
+    /// installed.
+    fn send_plain(&self, _to: &PhysicalAddr, _dst: u32, _body: Bytes) -> SdvmResult<()> {
+        Err(SdvmError::Transport(
+            "transport does not seal at drain time".into(),
+        ))
     }
 
     /// The stream of received message bodies (length prefix stripped).

@@ -26,7 +26,7 @@
 //! losing stream position (a plain `read_exact` would desynchronize and
 //! misparse the next length word from the middle of a frame).
 
-use crate::Transport;
+use crate::{DrainSealer, Transport};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
@@ -57,11 +57,59 @@ const RECONNECT_BASE: Duration = Duration::from_millis(20);
 /// Upper bound on the reconnect delay.
 const RECONNECT_CAP: Duration = Duration::from_millis(1000);
 
+/// One unit in a peer's outbound queue.
+enum OutItem {
+    /// A finished wire frame (already framed, possibly already sealed),
+    /// written verbatim.
+    Ready(Bytes),
+    /// A plaintext record for logical site `dst`, sealed by the
+    /// installed [`DrainSealer`] when the writer drains it. Consecutive
+    /// `Plain` items for the same `dst` are sealed together as one
+    /// batch record.
+    Plain {
+        /// Logical destination site id (selects the traffic key).
+        dst: u32,
+        /// Plaintext record bytes (no frame prefix, no envelope).
+        body: Bytes,
+    },
+}
+
+impl OutItem {
+    fn len(&self) -> usize {
+        match self {
+            OutItem::Ready(f) => f.len(),
+            OutItem::Plain { body, .. } => body.len(),
+        }
+    }
+}
+
+/// Drain-time sealing counters, surfaced for tests and telemetry.
+#[derive(Default)]
+struct DrainStats {
+    /// Batch-sealed records produced (each covers ≥ 2 frames).
+    batch_records: AtomicU64,
+    /// Plain records sealed one-to-one at drain time.
+    single_records: AtomicU64,
+    /// Records dropped because drain-time sealing failed (site shutting
+    /// down, oversized frame). Peers treat the gap like frame loss.
+    seal_failures: AtomicU64,
+}
+
+/// Everything a writer thread shares with the transport handle.
+#[derive(Clone)]
+struct WriterCtx {
+    conns: Arc<RwLock<HashMap<String, PeerHandle>>>,
+    closed: Arc<AtomicBool>,
+    retries: Arc<Mutex<HashMap<String, u64>>>,
+    sealer: Arc<Mutex<Option<Arc<dyn DrainSealer>>>>,
+    stats: Arc<DrainStats>,
+}
+
 /// One peer's outbound pipe: the queue feeding its writer thread. The
 /// generation lets an exiting writer remove *its own* map entry without
 /// clobbering a replacement installed concurrently.
 struct PeerHandle {
-    tx: Sender<Bytes>,
+    tx: Sender<OutItem>,
     gen: u64,
 }
 
@@ -78,6 +126,10 @@ pub struct TcpTransport {
     /// Cumulative sends that found a peer queue full and had to wait;
     /// surfaced by [`Transport::outbound_stalls`].
     stalls: AtomicU64,
+    /// Drain-time sealer, installed once by the security layer.
+    sealer: Arc<Mutex<Option<Arc<dyn DrainSealer>>>>,
+    /// Drain-time sealing counters.
+    drain_stats: Arc<DrainStats>,
 }
 
 impl TcpTransport {
@@ -96,6 +148,8 @@ impl TcpTransport {
             closed: closed.clone(),
             retries: Arc::new(Mutex::new(HashMap::new())),
             stalls: AtomicU64::new(0),
+            sealer: Arc::new(Mutex::new(None)),
+            drain_stats: Arc::new(DrainStats::default()),
         });
         Self::spawn_listener(listener, inbox_tx, closed);
         Ok(t)
@@ -162,9 +216,9 @@ impl TcpTransport {
 
     /// Connect to `host` synchronously, install a fresh peer handle and
     /// spawn its writer thread. Caller must hold no lock.
-    fn install_peer(&self, host: &str) -> SdvmResult<(Sender<Bytes>, u64)> {
+    fn install_peer(&self, host: &str) -> SdvmResult<(Sender<OutItem>, u64)> {
         let stream = Self::connect(host)?;
-        let (tx, rx) = bounded::<Bytes>(QUEUE_CAP);
+        let (tx, rx) = bounded::<OutItem>(QUEUE_CAP);
         let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
         let mut conns = self.conns.write();
         // Re-check under the write lock: another sender may have raced us
@@ -181,12 +235,16 @@ impl TcpTransport {
         );
         drop(conns);
         let host = host.to_string();
-        let conns = self.conns.clone();
-        let closed = self.closed.clone();
-        let retries = self.retries.clone();
+        let ctx = WriterCtx {
+            conns: self.conns.clone(),
+            closed: self.closed.clone(),
+            retries: self.retries.clone(),
+            sealer: self.sealer.clone(),
+            stats: self.drain_stats.clone(),
+        };
         std::thread::Builder::new()
             .name(format!("sdvm-tcp-writer-{host}"))
-            .spawn(move || Self::writer_loop(host, stream, rx, conns, closed, retries, gen))
+            .spawn(move || Self::writer_loop(host, stream, rx, ctx, gen))
             .expect("spawn writer");
         Ok((tx, gen))
     }
@@ -223,42 +281,49 @@ impl TcpTransport {
         None
     }
 
-    /// Drain one peer's queue onto its socket, coalescing bursts into
-    /// vectored writes. Exits (removing its own map entry) when the
-    /// transport closes, every sender is gone, or the connection stays
-    /// dead past the reconnect budget.
+    /// Drain one peer's queue onto its socket, sealing plaintext runs at
+    /// drain time and coalescing everything into vectored writes. Exits
+    /// (removing its own map entry) when the transport closes, every
+    /// sender is gone, or the connection stays dead past the reconnect
+    /// budget.
     fn writer_loop(
         host: String,
         mut stream: TcpStream,
-        rx: Receiver<Bytes>,
-        conns: Arc<RwLock<HashMap<String, PeerHandle>>>,
-        closed: Arc<AtomicBool>,
-        retries: Arc<Mutex<HashMap<String, u64>>>,
+        rx: Receiver<OutItem>,
+        ctx: WriterCtx,
         gen: u64,
     ) {
+        let mut items: Vec<OutItem> = Vec::with_capacity(64);
         let mut batch: Vec<Bytes> = Vec::with_capacity(64);
         loop {
-            if closed.load(Ordering::SeqCst) {
+            if ctx.closed.load(Ordering::SeqCst) {
                 break;
             }
             match rx.recv_timeout(Duration::from_millis(200)) {
-                Ok(frame) => {
-                    batch.clear();
-                    let mut bytes = frame.len();
-                    batch.push(frame);
-                    while batch.len() < BATCH_MAX_FRAMES && bytes < BATCH_MAX_BYTES {
+                Ok(item) => {
+                    items.clear();
+                    let mut bytes = item.len();
+                    items.push(item);
+                    while items.len() < BATCH_MAX_FRAMES && bytes < BATCH_MAX_BYTES {
                         match rx.try_recv() {
-                            Ok(f) => {
-                                bytes += f.len();
-                                batch.push(f);
+                            Ok(i) => {
+                                bytes += i.len();
+                                items.push(i);
                             }
                             Err(_) => break,
                         }
                     }
+                    Self::seal_drain(&mut items, &ctx, &mut batch);
+                    if batch.is_empty() {
+                        continue;
+                    }
                     // Reconnect with backoff on failure, replaying the
-                    // in-flight batch on each fresh connection.
+                    // in-flight batch on each fresh connection. The batch
+                    // is sealed by now, so a replay re-sends identical
+                    // records and the receiver's replay window deduplicates.
                     if Self::write_batch(&mut stream, &batch).is_err() {
-                        match Self::reconnect_with_backoff(&host, &batch, &closed, &retries) {
+                        match Self::reconnect_with_backoff(&host, &batch, &ctx.closed, &ctx.retries)
+                        {
                             Some(s) => stream = s,
                             None => break,
                         }
@@ -268,10 +333,95 @@ impl TcpTransport {
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
             }
         }
-        let mut conns = conns.write();
+        let mut conns = ctx.conns.write();
         if conns.get(&host).is_some_and(|h| h.gen == gen) {
             conns.remove(&host);
         }
+    }
+
+    /// Turn the drained queue items into wire frames: `Ready` frames
+    /// pass through untouched; maximal runs of consecutive `Plain`
+    /// records with the same destination become one frame each — sealed
+    /// per-frame for a run of one, batch-sealed for longer runs. Queue
+    /// order is preserved exactly.
+    fn seal_drain(items: &mut Vec<OutItem>, ctx: &WriterCtx, out: &mut Vec<Bytes>) {
+        out.clear();
+        let sealer = ctx.sealer.lock().clone();
+        let mut run: Vec<Bytes> = Vec::new();
+        let mut run_dst = 0u32;
+        for item in items.drain(..) {
+            match item {
+                OutItem::Ready(frame) => {
+                    Self::flush_run(sealer.as_deref(), run_dst, &mut run, out, &ctx.stats);
+                    out.push(frame);
+                }
+                OutItem::Plain { dst, body } => {
+                    if !run.is_empty() && dst != run_dst {
+                        Self::flush_run(sealer.as_deref(), run_dst, &mut run, out, &ctx.stats);
+                    }
+                    run_dst = dst;
+                    run.push(body);
+                }
+            }
+        }
+        Self::flush_run(sealer.as_deref(), run_dst, &mut run, out, &ctx.stats);
+    }
+
+    /// Seal one pending run of plaintext records and push the frame.
+    /// On seal failure the run is dropped and counted — the records are
+    /// unsent plaintext, so losing them is equivalent to frame loss,
+    /// which peers already tolerate.
+    fn flush_run(
+        sealer: Option<&dyn DrainSealer>,
+        dst: u32,
+        run: &mut Vec<Bytes>,
+        out: &mut Vec<Bytes>,
+        stats: &DrainStats,
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        let Some(sealer) = sealer else {
+            // `send_plain` refuses enqueues until a sealer is installed,
+            // so this only races an install-in-progress; drop and count.
+            stats
+                .seal_failures
+                .fetch_add(run.len() as u64, Ordering::Relaxed);
+            run.clear();
+            return;
+        };
+        let sealed = if run.len() == 1 {
+            sealer.seal_one(dst, &run[0])
+        } else {
+            sealer.seal_batch(dst, run)
+        };
+        match sealed {
+            Ok(frame) => {
+                if run.len() == 1 {
+                    stats.single_records.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    stats.batch_records.fetch_add(1, Ordering::Relaxed);
+                }
+                out.push(frame);
+            }
+            Err(_) => {
+                stats
+                    .seal_failures
+                    .fetch_add(run.len() as u64, Ordering::Relaxed);
+            }
+        }
+        run.clear();
+    }
+
+    /// Batch-sealed records produced at drain time (each covers ≥ 2
+    /// frames), per-frame records sealed at drain time, and records
+    /// dropped to seal failures — for tests and health reporting.
+    pub fn drain_seal_stats(&self) -> (u64, u64, u64) {
+        (
+            self.drain_stats.batch_records.load(Ordering::Relaxed),
+            self.drain_stats.single_records.load(Ordering::Relaxed),
+            self.drain_stats.seal_failures.load(Ordering::Relaxed),
+        )
     }
 
     /// Write all frames with as few syscalls as the kernel allows.
@@ -291,25 +441,25 @@ impl TcpTransport {
 
     /// The queue sender for `host` (with its generation), creating the
     /// connection on first use.
-    fn pipe_to(&self, host: &str) -> SdvmResult<(Sender<Bytes>, u64)> {
+    fn pipe_to(&self, host: &str) -> SdvmResult<(Sender<OutItem>, u64)> {
         if let Some(h) = self.conns.read().get(host) {
             return Ok((h.tx.clone(), h.gen));
         }
         self.install_peer(host)
     }
 
-    fn enqueue(&self, host: &str, frame: Bytes) -> SdvmResult<()> {
+    fn enqueue(&self, host: &str, item: OutItem) -> SdvmResult<()> {
         let (tx, gen) = self.pipe_to(host)?;
-        match tx.try_send(frame) {
+        match tx.try_send(item) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(frame)) => {
+            Err(TrySendError::Full(item)) => {
                 // This peer is slow; block only this sender, bounded.
                 self.stalls.fetch_add(1, Ordering::Relaxed);
-                tx.send_timeout(frame, BACKPRESSURE_TIMEOUT).map_err(|_| {
+                tx.send_timeout(item, BACKPRESSURE_TIMEOUT).map_err(|_| {
                     SdvmError::Transport(format!("outbound queue to {host} full (backpressure)"))
                 })
             }
-            Err(TrySendError::Disconnected(frame)) => {
+            Err(TrySendError::Disconnected(item)) => {
                 // The writer died (connection failed past retry). Drop
                 // the dead pipe — only if it is still the one we used —
                 // and rebuild; connect errors surface to the caller.
@@ -320,9 +470,18 @@ impl TcpTransport {
                     }
                 }
                 let (tx, _) = self.install_peer(host)?;
-                tx.try_send(frame)
+                tx.try_send(item)
                     .map_err(|_| SdvmError::Transport(format!("outbound queue to {host} failed")))
             }
+        }
+    }
+
+    fn host_of<'a>(&self, to: &'a PhysicalAddr) -> SdvmResult<&'a str> {
+        match to {
+            PhysicalAddr::Tcp(h) => Ok(h),
+            other => Err(SdvmError::Transport(format!(
+                "tcp transport cannot reach {other}"
+            ))),
         }
     }
 }
@@ -336,15 +495,26 @@ impl Transport for TcpTransport {
         if self.closed.load(Ordering::SeqCst) {
             return Err(SdvmError::Transport("transport shut down".into()));
         }
-        let host = match to {
-            PhysicalAddr::Tcp(h) => h,
-            other => {
-                return Err(SdvmError::Transport(format!(
-                    "tcp transport cannot reach {other}"
-                )))
-            }
-        };
-        self.enqueue(host, frame)
+        let host = self.host_of(to)?;
+        self.enqueue(host, OutItem::Ready(frame))
+    }
+
+    fn install_drain_sealer(&self, sealer: Arc<dyn DrainSealer>) -> bool {
+        *self.sealer.lock() = Some(sealer);
+        true
+    }
+
+    fn send_plain(&self, to: &PhysicalAddr, dst: u32, body: Bytes) -> SdvmResult<()> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(SdvmError::Transport("transport shut down".into()));
+        }
+        if self.sealer.lock().is_none() {
+            return Err(SdvmError::Transport(
+                "no drain sealer installed on tcp transport".into(),
+            ));
+        }
+        let host = self.host_of(to)?;
+        self.enqueue(host, OutItem::Plain { dst, body })
     }
 
     fn incoming(&self) -> Receiver<Bytes> {
@@ -487,6 +657,125 @@ mod tests {
             std::thread::sleep(Duration::from_millis(50));
         }
         assert!(total > 0, "reconnect attempts must be counted");
+    }
+
+    /// A fake sealer that "seals" by prefixing a visible marker, so the
+    /// tests can observe drain-time run grouping without real crypto.
+    /// Record layout inside the frame: `1 | dst | body` for singles,
+    /// `2 | dst | count | (len | body)*` for batches.
+    struct MarkSealer;
+
+    impl DrainSealer for MarkSealer {
+        fn seal_one(&self, dst: u32, body: &[u8]) -> SdvmResult<Bytes> {
+            let mut v = vec![1u8];
+            v.extend_from_slice(&dst.to_le_bytes());
+            v.extend_from_slice(body);
+            sdvm_wire::frame_bytes(&v)
+        }
+
+        fn seal_batch(&self, dst: u32, bodies: &[Bytes]) -> SdvmResult<Bytes> {
+            assert!(bodies.len() >= 2, "seal_batch called for a short run");
+            let mut v = vec![2u8];
+            v.extend_from_slice(&dst.to_le_bytes());
+            v.extend_from_slice(&(bodies.len() as u32).to_le_bytes());
+            for b in bodies {
+                v.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                v.extend_from_slice(b);
+            }
+            sdvm_wire::frame_bytes(&v)
+        }
+    }
+
+    /// Split received marker frames back into (dst, record) pairs.
+    fn unmark(frame: &[u8]) -> Vec<(u32, Vec<u8>)> {
+        let dst = u32::from_le_bytes(frame[1..5].try_into().unwrap());
+        match frame[0] {
+            1 => vec![(dst, frame[5..].to_vec())],
+            2 => {
+                let count = u32::from_le_bytes(frame[5..9].try_into().unwrap()) as usize;
+                let mut out = Vec::with_capacity(count);
+                let mut at = 9;
+                for _ in 0..count {
+                    let len = u32::from_le_bytes(frame[at..at + 4].try_into().unwrap()) as usize;
+                    at += 4;
+                    out.push((dst, frame[at..at + len].to_vec()));
+                    at += len;
+                }
+                assert_eq!(at, frame.len());
+                out
+            }
+            t => panic!("unknown marker tag {t}"),
+        }
+    }
+
+    #[test]
+    fn send_plain_requires_sealer() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        assert!(a
+            .send_plain(&b.local_addr(), 2, Bytes::from_static(b"x"))
+            .is_err());
+    }
+
+    #[test]
+    fn drain_sealing_preserves_order_and_batches_bursts() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        assert!(a.install_drain_sealer(Arc::new(MarkSealer)));
+        let n = 2000u32;
+        for i in 0..n {
+            // Interleave two destinations and the occasional pre-built
+            // frame to exercise run splitting.
+            let dst = if i % 5 == 4 { 9 } else { 2 };
+            a.send_plain(&b.local_addr(), dst, Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        let rx = b.incoming();
+        let mut got: Vec<(u32, Vec<u8>)> = Vec::with_capacity(n as usize);
+        while got.len() < n as usize {
+            let frame = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            got.extend(unmark(&frame));
+        }
+        for (i, (dst, body)) in got.iter().enumerate() {
+            let want_dst = if i % 5 == 4 { 9 } else { 2 };
+            assert_eq!(*dst, want_dst, "record {i} destination");
+            assert_eq!(body[..], (i as u32).to_le_bytes(), "record {i} order");
+        }
+        let (batches, singles, failures) = a.drain_seal_stats();
+        assert_eq!(failures, 0);
+        assert!(
+            batches > 0,
+            "a 2000-record burst must produce batch records (got {batches} batches / {singles} singles)"
+        );
+    }
+
+    #[test]
+    fn ready_and_plain_interleave_in_order() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        assert!(a.install_drain_sealer(Arc::new(MarkSealer)));
+        for i in 0..300u32 {
+            if i % 3 == 0 {
+                a.send_body(&b.local_addr(), &i.to_le_bytes()).unwrap();
+            } else {
+                a.send_plain(&b.local_addr(), 2, Bytes::from(i.to_le_bytes().to_vec()))
+                    .unwrap();
+            }
+        }
+        let rx = b.incoming();
+        let mut seen = 0u32;
+        while seen < 300 {
+            let frame = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            if seen.is_multiple_of(3) {
+                assert_eq!(frame[..], seen.to_le_bytes(), "ready frame {seen}");
+                seen += 1;
+            } else {
+                for (_, body) in unmark(&frame) {
+                    assert_eq!(body[..], seen.to_le_bytes(), "plain record {seen}");
+                    seen += 1;
+                }
+            }
+        }
     }
 
     #[test]

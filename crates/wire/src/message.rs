@@ -17,8 +17,14 @@ use sdvm_types::{ManagerId, SdvmResult, SiteId};
 /// across sites; v4 = attraction memory v2 — objects carry a monotonic
 /// version, `MemRead`/`MemValue` grew a `replica` mode, `MemMissing`
 /// carries a forwarding hint, and `ReplicaInvalidate` joined the memory
-/// family. Older frames are rejected loudly, not decoded best-effort.
-pub const WIRE_VERSION: u8 = 4;
+/// family; v5 = batch-sealed security records — the envelope layer may
+/// seal a whole coalesced writer batch under one nonce + MAC (security
+/// tag 3). The message encoding itself is unchanged from v4, but the
+/// version byte fences mixed clusters: a v4 daemon cannot open batch
+/// records, so it must reject v5 traffic loudly rather than drop
+/// whole batches on the floor. Older frames are rejected loudly, not
+/// decoded best-effort.
+pub const WIRE_VERSION: u8 = 5;
 
 /// Causal trace context riding every [`SdMessage`] (wire v3).
 ///

@@ -35,7 +35,7 @@ fn golden_apply_result() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0403000307032a0000\
+        "0503000307032a0000\
 0028020901080807060504030201",
         "ApplyResult wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -62,7 +62,7 @@ fn golden_traced_ping() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "040500010101070003ac02\
+        "050500010101070003ac02\
 5b01",
         "TraceContext wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -114,6 +114,22 @@ fn v3_frames_are_rejected_loudly() {
 }
 
 #[test]
+fn v4_frames_are_rejected_loudly() {
+    // The exact golden ApplyResult bytes from WIRE_VERSION 4 (before
+    // batch-sealed security records). A v5 daemon must refuse them with
+    // a version error: a v4 peer cannot open batch records, so mixed
+    // clusters have to fail loudly at the version byte instead of
+    // silently losing whole batches.
+    let v4 = unhex("0403000307032a00000028020901080807060504030201");
+    let err = SdMessage::from_bytes(&v4).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("version"),
+        "v4 frame must fail on the version byte, got: {msg}"
+    );
+}
+
+#[test]
 fn golden_replica_invalidate() {
     // New in WIRE_VERSION 4: owners invalidate cached read replicas on
     // write/migration.
@@ -131,7 +147,7 @@ fn golden_replica_invalidate() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0402000306030b0000\
+        "0502000306030b0000\
 00330209ac02",
         "ReplicaInvalidate wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -161,7 +177,7 @@ fn golden_help_request() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0405000101010700000014020501\
+        "0505000101010700000014020501\
 80080300",
         "HelpRequest wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -182,7 +198,7 @@ fn golden_ping_reply() {
     let bytes = reply.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0402000801086501640000\
+        "0502000801086501640000\
 5cff01",
         "Pong wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -206,7 +222,7 @@ fn golden_suspect_site() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "040100060206090000\
+        "050100060206090000\
 000c0403",
         "SuspectSite wire encoding changed — bump WIRE_VERSION if intentional"
     );

@@ -103,6 +103,35 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Convert back into a [`BytesMut`] without copying when this is the
+    /// only handle on the allocation; otherwise return `self` unchanged
+    /// in `Err` so the caller can decide to copy. Mirrors the upstream
+    /// `bytes` API (≥ 1.7); the receive path uses it to decrypt frames
+    /// in place.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match self.repr {
+            Repr::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(mut v) => {
+                    v.truncate(self.end);
+                    if self.start > 0 {
+                        v.drain(..self.start);
+                    }
+                    Ok(BytesMut { buf: v })
+                }
+                Err(arc) => Err(Bytes {
+                    repr: Repr::Shared(arc),
+                    start: self.start,
+                    end: self.end,
+                }),
+            },
+            repr @ Repr::Static(_) => Err(Bytes {
+                repr,
+                start: self.start,
+                end: self.end,
+            }),
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -400,5 +429,24 @@ mod tests {
     #[should_panic]
     fn out_of_bounds_slice_panics() {
         Bytes::from_static(b"ab").slice(0..3);
+    }
+
+    #[test]
+    fn try_into_mut_unique_succeeds() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]).slice(1..4);
+        let mut m = b.try_into_mut().expect("unique handle");
+        assert_eq!(m, BytesMut::from(&[2u8, 3, 4][..]));
+        m[0] = 9;
+        assert_eq!(m.freeze(), [9, 3, 4]);
+    }
+
+    #[test]
+    fn try_into_mut_shared_or_static_fails() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let clone = b.clone();
+        let back = b.try_into_mut().expect_err("shared handle");
+        assert_eq!(back, clone);
+        let s = Bytes::from_static(b"abc");
+        assert_eq!(s.try_into_mut().expect_err("static"), b"abc");
     }
 }
