@@ -9,12 +9,12 @@
 
 use sdvm_apps::primes::{nth_prime, PrimesProgram};
 use sdvm_core::{
-    AppBuilder, AppFault, AppFaultKind, ChaosAction, ChaosScenario, InProcessCluster, SiteConfig,
-    TraceEvent, TraceLog,
+    AppBuilder, AppFault, AppFaultKind, ChaosAction, ChaosScenario, InProcessCluster,
+    ReplicaSelector, ReplicationPolicy, SiteConfig, TraceEvent, TraceLog,
 };
 use sdvm_net::FaultPlan;
-use sdvm_types::Value;
-use std::time::Duration;
+use sdvm_types::{SchedulingHint, Value};
+use std::time::{Duration, Instant};
 
 const WAIT: Duration = Duration::from_secs(120);
 
@@ -219,13 +219,206 @@ fn replica_partition_drill(seed: u64) {
     });
 }
 
+/// A fan of `n` squaring frames into one sticky join: the pure work
+/// leaves are the replicated/hedged threads; the join (which creates
+/// nothing and must run once) is pinned to the launch site.
+fn replicated_fan(
+    policy: ReplicationPolicy,
+    fast_sites: Vec<sdvm_types::SiteId>,
+    work_sleep: Duration,
+) -> AppBuilder {
+    let mut app = AppBuilder::new("sdc-fan").replicate(policy);
+    app.thread("work", move |ctx: &mut sdvm_core::ExecCtx<'_>| {
+        let v = ctx.param(0)?.as_u64()?;
+        let slot = ctx.param(1)?.as_u64()? as u32;
+        if !fast_sites.contains(&ctx.site_id()) {
+            std::thread::sleep(work_sleep);
+        }
+        ctx.send(ctx.target(0)?, slot, Value::from_u64(v * v))
+    });
+    app.thread("join", |ctx| {
+        let mut acc = 0;
+        for i in 0..ctx.param_count() as u32 {
+            acc += ctx.param(i)?.as_u64()?;
+        }
+        ctx.send(ctx.target(0)?, 0, Value::from_u64(acc))
+    });
+    app
+}
+
+fn launch_replicated_fan(
+    cluster: &InProcessCluster,
+    app: &AppBuilder,
+    n: usize,
+) -> sdvm_core::ProgramHandle {
+    cluster
+        .site(0)
+        .launch(app, move |ctx, result| {
+            let sticky = SchedulingHint {
+                sticky: true,
+                ..Default::default()
+            };
+            let join = ctx.create_frame(1, n, vec![result], sticky);
+            for i in 0..n {
+                let w = ctx.create_frame(0, 2, vec![join], Default::default());
+                ctx.send(w, 0, Value::from_u64(i as u64))?;
+                ctx.send(w, 1, Value::from_u64(i as u64))?;
+            }
+            Ok(())
+        })
+        .unwrap()
+}
+
+/// Silent-data-corruption cell of the fault matrix. Two acts:
+///
+/// 1. **Control (`Off`)**: on a single site, a bit flip in the one
+///    result send silently produces the *wrong* answer — nothing in the
+///    baseline stack notices a lying ALU.
+/// 2. **Drill (k = 3)**: on four sites under a lossy transport, two
+///    sites flip (different) bits in their first result send. The
+///    majority outvotes each liar, the divergence counter fires, and
+///    the answer is exactly the fault-free sum.
+fn sdc_corrupt_drill(seed: u64) {
+    // Act 1: replication off, the corruption wins. 21*2 = 42 becomes 43.
+    let control = InProcessCluster::new(1, chaos_config()).unwrap();
+    control.corrupt_results(0, 2, 0); // send #1 is the launch parameter
+    let mut app = AppBuilder::new("sdc-control");
+    app.thread("work", |ctx: &mut sdvm_core::ExecCtx<'_>| {
+        let v = ctx.param(0)?.as_u64()?;
+        ctx.send(ctx.target(0)?, 0, Value::from_u64(v * 2))
+    });
+    let handle = control
+        .site(0)
+        .launch(&app, |ctx, result| {
+            let w = ctx.create_frame(0, 1, vec![result], Default::default());
+            ctx.send(w, 0, Value::from_u64(21))
+        })
+        .unwrap();
+    assert_eq!(
+        handle.wait(WAIT).unwrap().as_u64().unwrap(),
+        43,
+        "seed={seed}: without replication the flipped bit must go unnoticed"
+    );
+
+    // Act 2: k = 3 voting under udp_like, two independent liars.
+    let trace = TraceLog::new();
+    let cluster =
+        InProcessCluster::with_configs(vec![chaos_config(); 4], Some(trace.clone())).unwrap();
+    cluster.hub().set_default_plan(FaultPlan::udp_like(seed));
+    let liars = vec![cluster.site(1).id(), cluster.site(2).id()];
+    let policy = ReplicationPolicy::Replicate {
+        k: 3,
+        selector: ReplicaSelector::Thread(0),
+    };
+    // Liars answer fast so their corrupted ballots are observed (not
+    // fenced after an honest majority already settled the frame).
+    let app = replicated_fan(policy, liars, Duration::from_millis(25));
+    let n = 12usize;
+    let scenario = ChaosScenario::new()
+        .at(
+            Duration::ZERO,
+            ChaosAction::CorruptResult {
+                site: 1,
+                nth: 1,
+                bit: 0,
+            },
+        )
+        .at(
+            Duration::ZERO,
+            ChaosAction::CorruptResult {
+                site: 2,
+                nth: 1,
+                bit: 8,
+            },
+        );
+    let result = std::thread::scope(|s| {
+        s.spawn(|| scenario.run(&cluster));
+        let handle = launch_replicated_fan(&cluster, &app, n);
+        let r = handle.wait(WAIT).unwrap();
+        assert!(
+            handle.wait(Duration::from_millis(500)).is_err(),
+            "seed={seed}: result must be delivered exactly once"
+        );
+        r
+    });
+    let expect: u64 = (0..n as u64).map(|i| i * i).sum();
+    assert_eq!(
+        result.as_u64().unwrap(),
+        expect,
+        "seed={seed}: the majority must outvote both liars"
+    );
+    let divergence: u64 = (0..4)
+        .map(|i| cluster.site(i).inner().metrics.snapshot().result_divergence)
+        .sum();
+    assert!(
+        divergence >= 1,
+        "seed={seed}: corrupted ballots must be counted as divergence"
+    );
+}
+
+/// Straggler cell of the fault matrix: one site is paused (a long GC
+/// stall — it heartbeats nothing but is *not* declared crashed, the
+/// detector is detuned) while a hedged program runs. Work landing on the
+/// frozen site is rescued by hedge duplicates, so the program finishes
+/// in a fraction of the pause instead of waiting it out.
+fn hedge_straggler_drill(seed: u64) {
+    let mut cfg = chaos_config();
+    // The pause must read as a straggler, not a crash: no suspicion
+    // verdicts, no recovery — hedging is the only rescue.
+    cfg.crash_timeout = Duration::from_secs(30);
+    cfg.suspect_timeout = Duration::from_secs(10);
+    let cluster = InProcessCluster::with_configs(vec![cfg; 4], None).unwrap();
+    let policy = ReplicationPolicy::Hedge {
+        delay: Duration::from_millis(60),
+        selector: ReplicaSelector::Thread(0),
+    };
+    let app = replicated_fan(policy, Vec::new(), Duration::from_millis(5 + seed % 3));
+    let n = 8usize;
+    let pause_for = Duration::from_secs(6);
+    let scenario = ChaosScenario::new().at(
+        Duration::ZERO,
+        ChaosAction::Pause {
+            site: 2,
+            for_: pause_for,
+        },
+    );
+    let (result, elapsed) = std::thread::scope(|s| {
+        s.spawn(|| scenario.run(&cluster));
+        let started = Instant::now();
+        let handle = launch_replicated_fan(&cluster, &app, n);
+        let r = handle.wait(WAIT).unwrap();
+        let elapsed = started.elapsed();
+        assert!(
+            handle.wait(Duration::from_millis(500)).is_err(),
+            "seed={seed}: result must be delivered exactly once"
+        );
+        (r, elapsed)
+    });
+    let expect: u64 = (0..n as u64).map(|i| i * i).sum();
+    assert_eq!(result.as_u64().unwrap(), expect, "seed={seed}");
+    assert!(
+        elapsed < pause_for / 2,
+        "seed={seed}: hedging must beat the {pause_for:?} pause, took {elapsed:?}"
+    );
+    let fired: u64 = (0..4)
+        .map(|i| cluster.site(i).inner().metrics.snapshot().hedges_fired)
+        .sum();
+    assert!(
+        fired >= 1,
+        "seed={seed}: frames on the frozen site must have been hedged"
+    );
+}
+
 /// CI fault-matrix hook: one scripted drill parameterized by environment.
 ///
 /// - `SDVM_CHAOS_PLAN`: `reliable` (default), `udp_like`,
 ///   `partition_heal`, `pause`, `poison_panic` (a handler panics on a
 ///   lossy transport), `poison_fail` (a handler fails during a
-///   partition-and-heal), or `replica_partition` (a lost replica
-///   invalidation must be healed by the TTL lease).
+///   partition-and-heal), `replica_partition` (a lost replica
+///   invalidation must be healed by the TTL lease), `sdc_corrupt`
+///   (silent bit flips are outvoted by k = 3 replication on a lossy
+///   transport), or `hedge_straggler` (a frozen site's work is rescued
+///   by hedge duplicates).
 /// - `SDVM_CHAOS_SEED`: RNG seed for the fault plan (default 1).
 #[test]
 fn fault_matrix_scenario() {
@@ -237,6 +430,12 @@ fn fault_matrix_scenario() {
     match plan.as_str() {
         "replica_partition" => {
             return replica_partition_drill(seed);
+        }
+        "sdc_corrupt" => {
+            return sdc_corrupt_drill(seed);
+        }
+        "hedge_straggler" => {
+            return hedge_straggler_drill(seed);
         }
         "poison_panic" => {
             return poison_drill(

@@ -23,8 +23,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use sdvm_net::{MemHub, Transport};
 use sdvm_types::{
-    FailurePolicy, FileHandle, GlobalAddress, ManagerId, MicrothreadId, ProgramId, SchedulingHint,
-    SdvmError, SdvmResult, SiteId, Value,
+    FailurePolicy, FileHandle, GlobalAddress, ManagerId, MicrothreadId, ProgramId,
+    ReplicationPolicy, SchedulingHint, SdvmError, SdvmResult, SiteId, Value,
 };
 use sdvm_wire::Payload;
 use std::collections::VecDeque;
@@ -42,6 +42,7 @@ pub struct AppBuilder {
     name: String,
     threads: Vec<ThreadSpec>,
     failure_policy: FailurePolicy,
+    replication: ReplicationPolicy,
 }
 
 impl AppBuilder {
@@ -51,6 +52,7 @@ impl AppBuilder {
             name: name.to_string(),
             threads: Vec::new(),
             failure_policy: FailurePolicy::default(),
+            replication: ReplicationPolicy::default(),
         }
     }
 
@@ -65,6 +67,26 @@ impl AppBuilder {
     /// Set the failure policy in place (for builders held by reference).
     pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
         self.failure_policy = policy;
+    }
+
+    /// How this program's microframes are dispatched: plainly
+    /// (default), as `k` voting replicas on distinct sites (against
+    /// silent data corruption), or with a hedged duplicate after a delay
+    /// (against stragglers). Announced cluster-wide at registration.
+    pub fn replicate(mut self, policy: ReplicationPolicy) -> Self {
+        self.replication = policy;
+        self
+    }
+
+    /// Set the replication policy in place (for builders held by
+    /// reference).
+    pub fn set_replication(&mut self, policy: ReplicationPolicy) {
+        self.replication = policy;
+    }
+
+    /// The configured replication policy.
+    pub fn replication(&self) -> ReplicationPolicy {
+        self.replication
     }
 
     /// Register a microthread; returns its code-table index, used when
@@ -151,6 +173,10 @@ pub struct ExecCtx<'a> {
     site: &'a SiteInner,
     program: ProgramId,
     frame: Option<&'a Microframe>,
+    /// Ballot buffer of a replicated execution: when set, `send` records
+    /// `(target, slot, value)` here instead of applying it, so the
+    /// coordinator can compare replicas and apply exactly one winner.
+    ballot: Option<Arc<Mutex<Vec<sdvm_wire::WireSend>>>>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -159,6 +185,20 @@ impl<'a> ExecCtx<'a> {
             site,
             program: frame.program(),
             frame: Some(frame),
+            ballot: None,
+        }
+    }
+
+    pub(crate) fn for_replica(
+        site: &'a SiteInner,
+        frame: &'a Microframe,
+        ballot: Arc<Mutex<Vec<sdvm_wire::WireSend>>>,
+    ) -> Self {
+        ExecCtx {
+            site,
+            program: frame.program(),
+            frame: Some(frame),
+            ballot: Some(ballot),
         }
     }
 
@@ -167,6 +207,7 @@ impl<'a> ExecCtx<'a> {
             site,
             program,
             frame: None,
+            ballot: None,
         }
     }
 
@@ -237,8 +278,22 @@ impl<'a> ExecCtx<'a> {
 
     /// Send a result to a target microframe's parameter slot (step 4 of
     /// a microthread's execution, §3.2). The frame may live anywhere in
-    /// the cluster.
+    /// the cluster. In a replicated execution the send is buffered into
+    /// the replica's ballot instead of applied — the coordinator applies
+    /// the winning ballot exactly once.
     pub fn send(&mut self, target: GlobalAddress, slot: u32, value: Value) -> SdvmResult<()> {
+        // Chaos hook: armed silent data corruption flips a bit here, in
+        // the computed value, before buffering/applying — exactly what a
+        // broken DIMM would do.
+        let value = self.site.maybe_corrupt_result(value);
+        if let Some(ballot) = &self.ballot {
+            ballot.lock().push(sdvm_wire::WireSend {
+                target,
+                slot,
+                value,
+            });
+            return Ok(());
+        }
         self.site
             .memory
             .apply_or_forward(self.site, target, slot, value, 4)
@@ -334,6 +389,7 @@ impl Site {
         );
         site.code.mark_program_local(program, app.thread_count());
         site.program.set_policy(program, app.failure_policy);
+        site.program.set_replication(program, app.replication);
         let (output_rx, input_queue) = site.io.attach_frontend(program);
         let result_rx = site.program.install_waiter(program);
 
@@ -351,6 +407,7 @@ impl Site {
                         code_home: site.my_id(),
                         name: app.name.clone(),
                         threads: app.thread_count(),
+                        replication: app.replication,
                     },
                 );
             }
@@ -547,5 +604,12 @@ impl InProcessCluster {
     /// Remove the partition between sites `a` and `b`.
     pub fn heal(&self, a: usize, b: usize) {
         self.hub.heal(&self.sites[a].addr(), &self.sites[b].addr());
+    }
+
+    /// Arm silent result corruption on site `i`: the `nth` outgoing
+    /// result send from that site gets `bit` flipped in its value.
+    /// Deterministic — the trigger is a send count, not a coin flip.
+    pub fn corrupt_results(&self, i: usize, nth: u32, bit: u8) {
+        self.sites[i].corrupt_results(nth, bit);
     }
 }

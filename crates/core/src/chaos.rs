@@ -51,6 +51,19 @@ pub enum ChaosAction {
         /// Index of the site losing a worker.
         site: usize,
     },
+    /// Arm silent data corruption on site `site`: its `nth` outgoing
+    /// result send gets `bit` flipped in the value. Deterministic (the
+    /// trigger is a send count), so corruption drills replay exactly
+    /// under a fixed seed and schedule.
+    CorruptResult {
+        /// Index of the corrupting site.
+        site: usize,
+        /// 1-based count of result sends on that site that triggers the
+        /// flip.
+        nth: u32,
+        /// Bit to flip: byte `bit / 8` (mod value length), bit `bit % 8`.
+        bit: u8,
+    },
 }
 
 /// A fault pinned to an offset from scenario start.
@@ -71,6 +84,7 @@ enum Step {
     Partition(usize, usize),
     Heal(usize, usize),
     KillWorker(usize),
+    CorruptResult(usize, u32, u8),
 }
 
 /// A deterministic fault schedule.
@@ -116,6 +130,9 @@ impl ChaosScenario {
                     steps.push((ev.at + heal_after, Step::Heal(a, b)));
                 }
                 ChaosAction::KillWorker { site } => steps.push((ev.at, Step::KillWorker(site))),
+                ChaosAction::CorruptResult { site, nth, bit } => {
+                    steps.push((ev.at, Step::CorruptResult(site, nth, bit)))
+                }
             }
         }
         steps.sort_by_key(|(at, _)| *at);
@@ -139,6 +156,7 @@ impl ChaosScenario {
                 Step::Partition(a, b) => cluster.partition(a, b),
                 Step::Heal(a, b) => cluster.heal(a, b),
                 Step::KillWorker(site) => cluster.site(site).kill_worker(),
+                Step::CorruptResult(site, nth, bit) => cluster.corrupt_results(site, nth, bit),
             }
         }
     }

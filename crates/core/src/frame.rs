@@ -5,9 +5,29 @@
 //! every slot is filled (dataflow firing) and is *consumed* by execution.
 
 use sdvm_types::{
-    GlobalAddress, MicrothreadId, ProgramId, SchedulingHint, SdvmError, SdvmResult, Value,
+    GlobalAddress, MicrothreadId, ProgramId, SchedulingHint, SdvmError, SdvmResult, SiteId, Value,
 };
 use sdvm_wire::WireFrame;
+
+/// Replica identity of a microframe dispatched by the replication
+/// manager (vote or hedge mode). In-memory only — never serialized with
+/// the frame itself; the wire carries it inside `ReplicaTask` and the
+/// executor re-attaches it after `from_wire`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplicaRun {
+    /// The site holding the escrow entry (the frame's home).
+    pub coordinator: SiteId,
+    /// Dispatch round: bumped for tie-break re-executions and hedge
+    /// duplicates, so stale ballots are fenced.
+    pub generation: u32,
+    /// Replica index within the round (0-based).
+    pub replica: u8,
+    /// Buffer result sends into a ballot and report them in
+    /// `ReplicaDone` instead of applying them. Always `true` for both
+    /// vote and hedge replicas — only the coordinator ever applies a
+    /// (winning) ballot, so no consumer can observe two results.
+    pub vote: bool,
+}
 
 /// A runtime microframe.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,6 +48,10 @@ pub struct Microframe {
     /// wire — a migrated or revived frame starts a fresh budget on its
     /// new site.
     pub retries: u32,
+    /// Replica identity when this frame is a replication-manager
+    /// dispatch (`None` for ordinary frames). In-memory only — not on
+    /// the wire; `ReplicaTask` carries it separately.
+    pub replica: Option<ReplicaRun>,
     missing: usize,
 }
 
@@ -47,6 +71,7 @@ impl Microframe {
             targets,
             hint,
             retries: 0,
+            replica: None,
             missing: nslots,
         }
     }
@@ -123,6 +148,7 @@ impl Microframe {
             targets: w.targets,
             hint: w.hint,
             retries: 0,
+            replica: None,
             missing,
         }
     }

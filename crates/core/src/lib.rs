@@ -39,6 +39,8 @@ pub use checkpoint::ProgramSnapshot;
 pub use config::SiteConfig;
 pub use frame::Microframe;
 pub use managers::deadletter::{DeadLetter, DeadLetterManager};
+pub use managers::replication::ReplicationManager;
+pub use sdvm_types::{ReplicaSelector, ReplicationPolicy};
 pub use site::Site;
 pub use telemetry::{perfetto_trace_json, prometheus_text, HistogramSnapshot, SiteMetrics};
 pub use thread::{AppRegistry, ThreadFn, ThreadSpec};

@@ -373,6 +373,12 @@ impl MemoryManager {
             site: site.my_id(),
             frame: frame.id,
         });
+        // Under a replication policy, the frame's home site dispatches
+        // tagged replicas instead of enqueueing — `intercept` keeps the
+        // frame in escrow and returns `None`.
+        let Some(frame) = site.replication.intercept(site, frame) else {
+            return;
+        };
         site.scheduling.enqueue_executable(site, frame);
     }
 

@@ -15,6 +15,7 @@ pub mod io;
 pub mod memory;
 pub mod processing;
 pub mod program;
+pub mod replication;
 pub mod scheduling;
 pub mod security;
 pub mod site_mgr;

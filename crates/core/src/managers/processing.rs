@@ -90,12 +90,20 @@ pub fn worker_loop(site: &Arc<SiteInner>) {
         };
         let id = frame.id;
         let thread = frame.thread;
+        // A replica dispatched by the replication manager buffers its
+        // result sends into a ballot instead of applying them.
+        let ballot = frame
+            .replica
+            .map(|_| Arc::new(parking_lot::Mutex::new(Vec::new())));
         let result = {
             let guard = SlotGuard::enter(site, frame.program());
             // The guard sits OUTSIDE the catch so its Drop runs on the
             // normal path after a caught unwind — counters cannot leak.
             let caught = catch_unwind(AssertUnwindSafe(|| {
-                let mut ctx = ExecCtx::for_frame(site, &frame);
+                let mut ctx = match &ballot {
+                    Some(buf) => ExecCtx::for_replica(site, &frame, buf.clone()),
+                    None => ExecCtx::for_frame(site, &frame),
+                };
                 func(&mut ctx)
             }));
             drop(guard);
@@ -110,6 +118,15 @@ pub fn worker_loop(site: &Arc<SiteInner>) {
                 }
             }
         };
+        if let (Some(run), Some(buf)) = (frame.replica, ballot) {
+            // Replicas report to their coordinator — no local retry or
+            // quarantine (the escrow entry re-dispatches on failure),
+            // and no consume/FrameExecuted (the coordinator settles the
+            // logical frame exactly once).
+            let outcome = result.map(|()| std::mem::take(&mut *buf.lock()));
+            site.replication.report(site, id, run, outcome);
+            continue;
+        }
         if let Err(ref e) = result {
             if debug_enabled() {
                 eprintln!(

@@ -9,8 +9,8 @@ use crate::site::SiteInner;
 use crate::trace::TraceEvent;
 use parking_lot::Mutex;
 use sdvm_types::{
-    FailurePolicy, GlobalAddress, ManagerId, MicrothreadId, ProgramId, SdvmError, SdvmResult,
-    SiteId, Value,
+    FailurePolicy, GlobalAddress, ManagerId, MicrothreadId, ProgramId, ReplicationPolicy,
+    SdvmError, SdvmResult, SiteId, Value,
 };
 use sdvm_wire::{Payload, SdMessage};
 use std::collections::HashMap;
@@ -38,6 +38,10 @@ pub struct ProgramManager {
     /// Failure policy per locally started program (frontend-only state;
     /// the quarantining site reports here and this map decides).
     policies: Mutex<HashMap<ProgramId, FailurePolicy>>,
+    /// Replication policy per program. Unlike `policies` this is
+    /// cluster-wide state: every site learns it from `ProgramRegister`
+    /// so a frame's home site can replicate or hedge its dispatch.
+    replication: Mutex<HashMap<ProgramId, ReplicationPolicy>>,
     /// Watchdog state: when a locally started program was first seen
     /// quiet (no runnable frames, no in-flight requests, result still
     /// undelivered). Cleared on any sign of life.
@@ -87,6 +91,22 @@ impl ProgramManager {
     /// The failure policy governing a program on this frontend.
     pub fn policy_of(&self, program: ProgramId) -> FailurePolicy {
         self.policies
+            .lock()
+            .get(&program)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Set the replication policy for a program (default:
+    /// [`ReplicationPolicy::Off`]). Learned cluster-wide via
+    /// `ProgramRegister`.
+    pub fn set_replication(&self, program: ProgramId, policy: ReplicationPolicy) {
+        self.replication.lock().insert(program, policy);
+    }
+
+    /// The replication policy governing a program's dispatch on this site.
+    pub fn replication_of(&self, program: ProgramId) -> ReplicationPolicy {
+        self.replication
             .lock()
             .get(&program)
             .copied()
@@ -237,6 +257,8 @@ impl ProgramManager {
         site.scheduling.purge_program(program);
         site.backup.purge_program(program);
         site.deadletter.purge_program(program);
+        site.replication.purge_program(program);
+        self.replication.lock().remove(&program);
     }
 
     /// Latest checkpoint stored here for `program`, if any.
@@ -252,6 +274,7 @@ impl ProgramManager {
                 code_home,
                 name,
                 threads,
+                replication,
             } => {
                 self.register(
                     program,
@@ -262,6 +285,7 @@ impl ProgramManager {
                         terminated: false,
                     },
                 );
+                self.set_replication(program, replication);
                 // A (re-)registration may be a checkpoint restore
                 // rewinding the program's objects: cached replicas from
                 // the pre-restore timeline must not survive it. Fresh

@@ -9,7 +9,7 @@
 //! sends *help requests* to sites chosen by the cluster manager — this is
 //! the SDVM's fully decentralized scheduling.
 
-use crate::frame::Microframe;
+use crate::frame::{Microframe, ReplicaRun};
 use crate::managers::backup;
 use crate::site::SiteInner;
 use crate::telemetry::trace_id_of;
@@ -564,6 +564,46 @@ impl SchedulingManager {
                 backup::mirror_released(site, granter, id);
             }
             Payload::CantHelp {} => {}
+            // A replica of a frame coordinated elsewhere: execute it
+            // here, ballot-buffered. Pinned (sticky) so the help pool
+            // never migrates it away from the site it was dispatched to.
+            Payload::ReplicaTask {
+                frame,
+                generation,
+                replica,
+                coordinator,
+                vote,
+            } => {
+                let mut f = Microframe::from_wire(frame);
+                f.hint.sticky = true;
+                f.replica = Some(ReplicaRun {
+                    coordinator,
+                    generation,
+                    replica,
+                    vote,
+                });
+                self.enqueue_executable(site, f);
+            }
+            // A replica's ballot coming home to this coordinator.
+            Payload::ReplicaDone {
+                frame,
+                generation,
+                replica,
+                ok,
+                sends,
+                error,
+            } => {
+                site.replication.on_ballot(
+                    site,
+                    frame,
+                    generation,
+                    replica,
+                    ok,
+                    sends,
+                    error,
+                    msg.src_site,
+                );
+            }
             other => {
                 site.reply_to(
                     &msg,

@@ -16,6 +16,7 @@ use crate::managers::io::IoManager;
 use crate::managers::memory::MemoryManager;
 use crate::managers::processing;
 use crate::managers::program::ProgramManager;
+use crate::managers::replication::ReplicationManager;
 use crate::managers::scheduling::SchedulingManager;
 use crate::managers::security::SecurityManager;
 use crate::managers::site_mgr::SiteManager;
@@ -114,6 +115,12 @@ pub struct SiteInner {
     pub backup: BackupManager,
     /// Dead-letter store: quarantined poison frames.
     pub deadletter: DeadLetterManager,
+    /// Replicated/hedged execution: escrow ledger and ballot voting.
+    pub replication: ReplicationManager,
+    /// Chaos harness: silent result corruption armed on this site
+    /// (`(nth, bit, seen)` — the `nth` outgoing result send gets `bit`
+    /// flipped). Deterministic and seed-free: the count is the trigger.
+    corrupt_plan: parking_lot::Mutex<Option<(u32, u8, u32)>>,
 
     /// Pending deterministic worker-exit requests (chaos harness): each
     /// unit makes exactly one worker slot leave its loop, exercising the
@@ -257,6 +264,36 @@ impl SiteInner {
                 let _ = self.tasks_tx.send(other);
             }
         }
+    }
+
+    /// Arm deterministic result corruption (chaos harness): the `nth`
+    /// outgoing result send from this site gets `bit` flipped. Models
+    /// silent data corruption — the site keeps heartbeating and the
+    /// wire-level MACs still pass, because the value was corrupted
+    /// *before* it was sealed.
+    pub fn arm_corrupt_results(&self, nth: u32, bit: u8) {
+        *self.corrupt_plan.lock() = Some((nth, bit, 0));
+    }
+
+    /// Chaos hook on the result-send path: count this send and flip the
+    /// armed bit when the trigger count is reached. A no-op unless
+    /// [`SiteInner::arm_corrupt_results`] armed this site.
+    pub(crate) fn maybe_corrupt_result(&self, value: sdvm_types::Value) -> sdvm_types::Value {
+        let mut plan = self.corrupt_plan.lock();
+        let Some((nth, bit, seen)) = plan.as_mut() else {
+            return value;
+        };
+        *seen += 1;
+        if *seen != *nth {
+            return value;
+        }
+        let mut bytes = value.bytes().to_vec();
+        if bytes.is_empty() {
+            bytes.push(0);
+        }
+        let idx = (*bit as usize / 8) % bytes.len();
+        bytes[idx] ^= 1 << (*bit % 8);
+        sdvm_types::Value::from_bytes(bytes)
     }
 
     // ---- the message manager (paper §4, Fig. 6) ----
@@ -539,6 +576,8 @@ impl Site {
             security,
             backup: BackupManager::new(),
             deadletter: DeadLetterManager::new(),
+            replication: ReplicationManager::new(),
+            corrupt_plan: parking_lot::Mutex::new(None),
             worker_exit: AtomicU32::new(0),
             worker_slots: parking_lot::Mutex::new(Vec::new()),
             config,
@@ -628,6 +667,13 @@ impl Site {
     /// — which is exactly what the suspicion machinery must cope with.
     pub fn pause(&self) {
         self.inner.set_paused(true);
+    }
+
+    /// Chaos hook: arm silent result corruption on this site — the
+    /// `nth` outgoing result send has `bit` flipped in its value (see
+    /// [`crate::ChaosAction::CorruptResult`]).
+    pub fn corrupt_results(&self, nth: u32, bit: u8) {
+        self.inner.arm_corrupt_results(nth, bit);
     }
 
     /// Unfreeze after [`Site::pause`]. Liveness clocks for every known
@@ -739,6 +785,7 @@ impl Site {
                     inner.cluster.heartbeat_tick(&inner);
                     supervise_workers(&inner);
                     inner.program.watchdog_tick(&inner);
+                    inner.replication.tick(&inner);
                 }
             }));
         }

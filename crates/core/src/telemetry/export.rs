@@ -420,6 +420,30 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
     );
     write_counter(
         &mut out,
+        "sdvm_replicas_dispatched_total",
+        "Replica copies dispatched by the site's replication coordinator.",
+        &c(|m| m.replicas_dispatched),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_result_divergence_total",
+        "Frames whose replicas returned divergent results.",
+        &c(|m| m.result_divergence),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_hedges_fired_total",
+        "Hedge duplicates fired after a frame's delay elapsed unanswered.",
+        &c(|m| m.hedges_fired),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_hedge_wins_total",
+        "Hedged frames settled by a fired duplicate, not the primary.",
+        &c(|m| m.hedge_wins),
+    );
+    write_counter(
+        &mut out,
         "sdvm_outbound_backpressure_stalls_total",
         "Sends that hit a full outbound queue and had to wait.",
         &c(|m| m.backpressure_stalls),
@@ -497,6 +521,12 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
         "sdvm_mem_chase_hops",
         "Owner hops chased per remote read/write (count, log2 buckets).",
         &h(|m| &m.mem_chase_hops),
+    );
+    write_histogram(
+        &mut out,
+        "sdvm_hedge_delay_us",
+        "Pending time of hedged frames when their duplicate fired (microseconds).",
+        &h(|m| &m.hedge_delay_us),
     );
 
     // Per-manager dispatch histograms carry an extra label.
@@ -603,6 +633,11 @@ mod tests {
         m.mem_replica_misses.inc();
         m.mem_invalidations.inc();
         m.mem_chase_hops.observe(1);
+        m.replicas_dispatched.inc();
+        m.result_divergence.inc();
+        m.hedges_fired.inc();
+        m.hedge_wins.inc();
+        m.hedge_delay_us.observe(2_000);
         let mut snap = m.snapshot();
         snap.mem_shard_contention = vec![0, 3];
         let text = prometheus_text(&[(SiteId(1), snap)]);
@@ -617,6 +652,11 @@ mod tests {
         assert!(text.contains("sdvm_mem_replica_misses_total{site=\"1\"} 1"));
         assert!(text.contains("sdvm_mem_invalidations_total{site=\"1\"} 1"));
         assert!(text.contains("sdvm_mem_chase_hops_count{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_replicas_dispatched_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_result_divergence_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_hedges_fired_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_hedge_wins_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_hedge_delay_us_count{site=\"1\"} 1"));
         assert!(text.contains("sdvm_mem_shard_contention{site=\"1\",shard=\"1\"} 3"));
     }
 

@@ -250,6 +250,23 @@ pub struct Metrics {
     /// not µs — the log2 buckets still apply).
     pub mem_chase_hops: Histogram,
 
+    // ---- replicated / hedged execution (cold: coordinator only) ----
+    // Incremented directly by the replication manager (like
+    // `handler_panics`), not event-derived — the emitting site is
+    // always the coordinator itself.
+    /// Replica copies dispatched by this site's coordinator (all
+    /// rounds, vote and hedge).
+    pub replicas_dispatched: Counter,
+    /// Frames whose replicas returned divergent results (counted once
+    /// per frame, however many ballots disagree).
+    pub result_divergence: Counter,
+    /// Hedge duplicates fired after a frame's delay elapsed unanswered.
+    pub hedges_fired: Counter,
+    /// Hedged frames settled by a fired duplicate, not the primary.
+    pub hedge_wins: Counter,
+    /// How long a hedged frame had been pending when a duplicate fired.
+    pub hedge_delay_us: Histogram,
+
     /// In-flight career marks, keyed by frame address.
     careers: Mutex<HashMap<GlobalAddress, CareerMarks>>,
 }
@@ -295,6 +312,11 @@ impl Default for Metrics {
             mem_replica_misses: Counter::default(),
             mem_invalidations: Counter::default(),
             mem_chase_hops: Histogram::default(),
+            replicas_dispatched: Counter::default(),
+            result_divergence: Counter::default(),
+            hedges_fired: Counter::default(),
+            hedge_wins: Counter::default(),
+            hedge_delay_us: Histogram::default(),
             outbound_queue_depth: Gauge::default(),
             career_total_us: Histogram::default(),
             career_wait_us: Histogram::default(),
@@ -420,6 +442,11 @@ impl Metrics {
             mem_replica_misses: self.mem_replica_misses.get(),
             mem_invalidations: self.mem_invalidations.get(),
             mem_chase_hops: self.mem_chase_hops.snapshot(),
+            replicas_dispatched: self.replicas_dispatched.get(),
+            result_divergence: self.result_divergence.get(),
+            hedges_fired: self.hedges_fired.get(),
+            hedge_wins: self.hedge_wins.get(),
+            hedge_delay_us: self.hedge_delay_us.snapshot(),
             mem_shard_contention: Vec::new(),
             outbound_queue_depth: self.outbound_queue_depth.get(),
             backpressure_stalls: 0,
@@ -484,6 +511,16 @@ pub struct SiteMetrics {
     pub mem_invalidations: u64,
     /// Owner hops chased per remote read/write.
     pub mem_chase_hops: HistogramSnapshot,
+    /// Replica copies dispatched by this site's coordinator.
+    pub replicas_dispatched: u64,
+    /// Frames whose replicas returned divergent results.
+    pub result_divergence: u64,
+    /// Hedge duplicates fired.
+    pub hedges_fired: u64,
+    /// Hedged frames settled by a fired duplicate.
+    pub hedge_wins: u64,
+    /// Pending time of hedged frames when their duplicate fired (µs).
+    pub hedge_delay_us: HistogramSnapshot,
     /// Per-shard attraction-memory lock contention counts (filled in
     /// from the memory manager at snapshot time, like
     /// `backpressure_stalls`).

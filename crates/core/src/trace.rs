@@ -253,6 +253,52 @@ pub enum TraceEvent {
         /// The owner's new write version that made the copy stale.
         version: u64,
     },
+    /// The replication manager dispatched one replica of a frame
+    /// (vote-mode ballot or hedge duplicate).
+    ReplicaDispatched {
+        /// Coordinating site (the frame's home).
+        site: SiteId,
+        /// The replicated frame.
+        frame: GlobalAddress,
+        /// Executing site the replica went to.
+        target: SiteId,
+        /// Dispatch round.
+        generation: u32,
+        /// Replica index within the round.
+        replica: u8,
+        /// True for vote-mode ballots, false for hedge duplicates.
+        vote: bool,
+    },
+    /// Successful vote-mode replicas of a frame disagreed on the result
+    /// — silent data corruption surfaced.
+    ResultDivergence {
+        /// Coordinating site that compared the ballots.
+        site: SiteId,
+        /// The frame whose replicas diverged.
+        frame: GlobalAddress,
+        /// The microthread that ran.
+        thread: MicrothreadId,
+    },
+    /// A frame blew its hedge deadline and a duplicate was dispatched to
+    /// another site.
+    HedgeFired {
+        /// Coordinating site (the frame's home).
+        site: SiteId,
+        /// The straggling frame.
+        frame: GlobalAddress,
+        /// Site the hedge duplicate went to.
+        target: SiteId,
+    },
+    /// A hedge duplicate finished first: the hedge won the race against
+    /// the straggler.
+    HedgeWon {
+        /// Coordinating site.
+        site: SiteId,
+        /// The hedged frame.
+        frame: GlobalAddress,
+        /// Site whose execution completed the frame.
+        winner: SiteId,
+    },
 }
 
 impl TraceEvent {
@@ -280,7 +326,11 @@ impl TraceEvent {
             | TraceEvent::FrameQuarantined { site, .. }
             | TraceEvent::WorkerRespawned { site, .. }
             | TraceEvent::ProgramStuck { site, .. }
-            | TraceEvent::ReplicaInvalidated { site, .. } => *site,
+            | TraceEvent::ReplicaInvalidated { site, .. }
+            | TraceEvent::ReplicaDispatched { site, .. }
+            | TraceEvent::ResultDivergence { site, .. }
+            | TraceEvent::HedgeFired { site, .. }
+            | TraceEvent::HedgeWon { site, .. } => *site,
         }
     }
 
@@ -306,7 +356,11 @@ impl TraceEvent {
             TraceEvent::FrameRetried { .. }
             | TraceEvent::FrameQuarantined { .. }
             | TraceEvent::WorkerRespawned { .. }
-            | TraceEvent::ProgramStuck { .. } => Category::Engine,
+            | TraceEvent::ProgramStuck { .. }
+            | TraceEvent::ReplicaDispatched { .. }
+            | TraceEvent::ResultDivergence { .. }
+            | TraceEvent::HedgeFired { .. }
+            | TraceEvent::HedgeWon { .. } => Category::Engine,
             TraceEvent::ReplicaInvalidated { .. } => Category::Memory,
         }
     }

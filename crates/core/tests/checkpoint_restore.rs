@@ -172,8 +172,11 @@ fn checkpoint_to_disk_roundtrip() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("program.ckpt");
 
+    // Width 24 ≈ 2× the checkpoint delay in run time: a 60 ms cut of a
+    // width-12 run occasionally landed after the result frame was
+    // consumed on a loaded host, and a finished program cannot restore.
     let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
-    let handle = launch_staged(&cluster, 12);
+    let handle = launch_staged(&cluster, 24);
     std::thread::sleep(Duration::from_millis(60));
     let snap = cluster.site(0).checkpoint_program(handle.program).unwrap();
     snap.save_to_file(&path).unwrap();
@@ -185,9 +188,9 @@ fn checkpoint_to_disk_roundtrip() {
     let cluster = InProcessCluster::new(2, SiteConfig::default()).unwrap();
     let handle = cluster
         .site(0)
-        .restore_program(&staged_app(12), &loaded)
+        .restore_program(&staged_app(24), &loaded)
         .unwrap();
-    assert_eq!(handle.wait(WAIT).unwrap().as_u64().unwrap(), expected(12));
+    assert_eq!(handle.wait(WAIT).unwrap().as_u64().unwrap(), expected(24));
     let _ = std::fs::remove_dir_all(&dir);
 }
 

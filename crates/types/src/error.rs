@@ -70,6 +70,17 @@ pub enum SdvmError {
         /// The stuck program.
         program: ProgramId,
     },
+    /// Replicated executions of a microframe produced conflicting
+    /// results and no majority could be established — silent data
+    /// corruption was detected but not outvoted.
+    ResultDivergence {
+        /// The frame whose replicas diverged.
+        frame: GlobalAddress,
+        /// The microthread the frame fired.
+        thread: MicrothreadId,
+        /// What the vote saw, stringified.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SdvmError {
@@ -115,6 +126,17 @@ impl fmt::Display for SdvmError {
                     f,
                     "program {program} is stuck: result undelivered with no runnable \
                      frames and no in-flight requests"
+                )
+            }
+            SdvmError::ResultDivergence {
+                frame,
+                thread,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "result divergence: replicas of frame {frame} (microthread \
+                     {thread}) disagreed: {detail}"
                 )
             }
         }

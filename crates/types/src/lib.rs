@@ -23,5 +23,8 @@ pub use ids::{
     SiteId,
 };
 pub use info::{LoadReport, SiteDescriptor};
-pub use policy::{FailurePolicy, IdAllocStrategy, Priority, QueuePolicy, SchedulingHint};
+pub use policy::{
+    FailurePolicy, IdAllocStrategy, Priority, QueuePolicy, ReplicaSelector, ReplicationPolicy,
+    SchedulingHint,
+};
 pub use value::Value;

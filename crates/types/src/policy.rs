@@ -128,6 +128,107 @@ impl fmt::Display for FailurePolicy {
     }
 }
 
+/// Which microframes of a program a [`ReplicationPolicy`] applies to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ReplicaSelector {
+    /// Every microframe of the program (except the hidden result frame).
+    #[default]
+    All,
+    /// Only microframes firing the given microthread index. Lets a
+    /// program replicate its pure leaf compute while joins/reductions —
+    /// whose side effects (frame creation, allocation) should run once —
+    /// stay unreplicated.
+    Thread(u32),
+}
+
+impl ReplicaSelector {
+    /// Does this selector cover microthread index `thread`?
+    pub fn covers(&self, thread: u32) -> bool {
+        match self {
+            ReplicaSelector::All => true,
+            ReplicaSelector::Thread(t) => *t == thread,
+        }
+    }
+}
+
+impl fmt::Display for ReplicaSelector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaSelector::All => f.write_str("all"),
+            ReplicaSelector::Thread(t) => write!(f, "thread({t})"),
+        }
+    }
+}
+
+/// Per-program defence against silent data corruption and stragglers:
+/// how (and whether) selected microframes are dispatched more than once.
+///
+/// `Replicate` executes each covered frame on `k` distinct sites and
+/// *votes* on the produced results before any consumer slot fills —
+/// a lying site (bit-flipped result) is outvoted at k ≥ 3, and a k = 2
+/// tie triggers a tie-breaking re-execution on a fresh site. `Hedge`
+/// dispatches once, then duplicates the frame to a second site if no
+/// result arrived within `delay`; the first result wins and the loser
+/// is fenced by the first-write-wins memory invariants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReplicationPolicy {
+    /// Execute every frame exactly once (the paper's baseline).
+    #[default]
+    Off,
+    /// Execute covered frames on `k` distinct sites and vote on results.
+    Replicate {
+        /// Number of replicas (clamped to ≥ 2 by the runtime).
+        k: u8,
+        /// Which microframes are replicated.
+        selector: ReplicaSelector,
+    },
+    /// Duplicate-dispatch covered frames that straggle past `delay`.
+    Hedge {
+        /// How long a dispatched frame may straggle before a hedge
+        /// replica is sent to another site.
+        delay: std::time::Duration,
+        /// Which microframes are hedged.
+        selector: ReplicaSelector,
+    },
+}
+
+impl ReplicationPolicy {
+    /// Convenience: replicate every frame `k` times.
+    pub fn replicate(k: u8) -> Self {
+        ReplicationPolicy::Replicate {
+            k,
+            selector: ReplicaSelector::All,
+        }
+    }
+
+    /// Convenience: hedge every frame after `delay`.
+    pub fn hedge(delay: std::time::Duration) -> Self {
+        ReplicationPolicy::Hedge {
+            delay,
+            selector: ReplicaSelector::All,
+        }
+    }
+
+    /// Is any replication/hedging active at all?
+    pub fn is_off(&self) -> bool {
+        matches!(self, ReplicationPolicy::Off)
+    }
+}
+
+impl fmt::Display for ReplicationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationPolicy::Off => f.write_str("off"),
+            ReplicationPolicy::Replicate { k, selector } => {
+                write!(f, "replicate(k={k}, {selector})")
+            }
+            ReplicationPolicy::Hedge { delay, selector } => {
+                write!(f, "hedge({}us, {selector})", delay.as_micros())
+            }
+        }
+    }
+}
+
 impl fmt::Display for IdAllocStrategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -167,6 +268,39 @@ mod tests {
         assert_eq!(
             IdAllocStrategy::Modulo { servers: 4 }.to_string(),
             "modulo(4)"
+        );
+    }
+
+    #[test]
+    fn replication_defaults_off() {
+        assert_eq!(ReplicationPolicy::default(), ReplicationPolicy::Off);
+        assert!(ReplicationPolicy::Off.is_off());
+        assert!(!ReplicationPolicy::replicate(3).is_off());
+        assert_eq!(ReplicaSelector::default(), ReplicaSelector::All);
+    }
+
+    #[test]
+    fn replica_selector_covers() {
+        assert!(ReplicaSelector::All.covers(0));
+        assert!(ReplicaSelector::All.covers(7));
+        assert!(ReplicaSelector::Thread(2).covers(2));
+        assert!(!ReplicaSelector::Thread(2).covers(3));
+    }
+
+    #[test]
+    fn replication_displays() {
+        assert_eq!(ReplicationPolicy::Off.to_string(), "off");
+        assert_eq!(
+            ReplicationPolicy::replicate(3).to_string(),
+            "replicate(k=3, all)"
+        );
+        assert_eq!(
+            ReplicationPolicy::Hedge {
+                delay: std::time::Duration::from_millis(50),
+                selector: ReplicaSelector::Thread(1),
+            }
+            .to_string(),
+            "hedge(50000us, thread(1))"
         );
     }
 }

@@ -9,8 +9,8 @@
 use bytes::{Bytes, BytesMut};
 use sdvm_types::{
     FileHandle, GlobalAddress, LoadReport, ManagerId, MicrothreadId, PhysicalAddr, PlatformId,
-    Priority, ProgramId, QueuePolicy, SchedulingHint, SdvmError, SdvmResult, SiteDescriptor,
-    SiteId, Value,
+    Priority, ProgramId, QueuePolicy, ReplicaSelector, ReplicationPolicy, SchedulingHint,
+    SdvmError, SdvmResult, SiteDescriptor, SiteId, Value,
 };
 
 /// Sanity bound on decoded collection lengths: protects against
@@ -606,6 +606,61 @@ impl Decode for QueuePolicy {
     }
 }
 
+impl Encode for ReplicaSelector {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ReplicaSelector::All => w.put_u8(0),
+            ReplicaSelector::Thread(t) => {
+                w.put_u8(1);
+                w.put_varint(u64::from(*t));
+            }
+        }
+    }
+}
+impl Decode for ReplicaSelector {
+    fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(ReplicaSelector::All),
+            1 => Ok(ReplicaSelector::Thread(u32::decode(r)?)),
+            t => Err(SdvmError::Decode(format!("replica selector tag {t}"))),
+        }
+    }
+}
+
+impl Encode for ReplicationPolicy {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ReplicationPolicy::Off => w.put_u8(0),
+            ReplicationPolicy::Replicate { k, selector } => {
+                w.put_u8(1);
+                w.put_u8(*k);
+                selector.encode(w);
+            }
+            ReplicationPolicy::Hedge { delay, selector } => {
+                w.put_u8(2);
+                w.put_varint(delay.as_micros() as u64);
+                selector.encode(w);
+            }
+        }
+    }
+}
+impl Decode for ReplicationPolicy {
+    fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(ReplicationPolicy::Off),
+            1 => Ok(ReplicationPolicy::Replicate {
+                k: r.get_u8()?,
+                selector: ReplicaSelector::decode(r)?,
+            }),
+            2 => Ok(ReplicationPolicy::Hedge {
+                delay: std::time::Duration::from_micros(r.get_varint()?),
+                selector: ReplicaSelector::decode(r)?,
+            }),
+            t => Err(SdvmError::Decode(format!("replication policy tag {t}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -688,6 +743,15 @@ mod tests {
             sticky: true,
         });
         roundtrip(QueuePolicy::Lifo);
+        roundtrip(ReplicationPolicy::Off);
+        roundtrip(ReplicationPolicy::Replicate {
+            k: 3,
+            selector: ReplicaSelector::Thread(2),
+        });
+        roundtrip(ReplicationPolicy::Hedge {
+            delay: std::time::Duration::from_micros(12_345),
+            selector: ReplicaSelector::All,
+        });
         roundtrip(Value::from_u64_slice(&[1, 2, 3]));
         roundtrip(Some(SiteId(1)));
         roundtrip(Option::<SiteId>::None);

@@ -22,9 +22,14 @@ use sdvm_types::{ManagerId, SdvmResult, SiteId};
 /// tag 3). The message encoding itself is unchanged from v4, but the
 /// version byte fences mixed clusters: a v4 daemon cannot open batch
 /// records, so it must reject v5 traffic loudly rather than drop
-/// whole batches on the floor. Older frames are rejected loudly, not
-/// decoded best-effort.
-pub const WIRE_VERSION: u8 = 5;
+/// whole batches on the floor; v6 = replicated/hedged execution —
+/// `ProgramRegister` carries the program's `ReplicationPolicy`, and the
+/// `ReplicaTask`/`ReplicaDone` payloads carry a replica id + generation
+/// so escrow votes and hedge duplicates are fenced per dispatch round.
+/// A v5 daemon would treat replica traffic as unknown payloads, so
+/// mixed clusters are fenced at the version byte. Older frames are
+/// rejected loudly, not decoded best-effort.
+pub const WIRE_VERSION: u8 = 6;
 
 /// Causal trace context riding every [`SdMessage`] (wire v3).
 ///

@@ -8,8 +8,8 @@
 use crate::codec::{Decode, Encode, WireReader, WireWriter};
 use bytes::Bytes;
 use sdvm_types::{
-    FileHandle, GlobalAddress, LoadReport, MicrothreadId, PlatformId, ProgramId, SchedulingHint,
-    SdvmError, SdvmResult, SiteDescriptor, SiteId, Value,
+    FileHandle, GlobalAddress, LoadReport, MicrothreadId, PlatformId, ProgramId, ReplicationPolicy,
+    SchedulingHint, SdvmError, SdvmResult, SiteDescriptor, SiteId, Value,
 };
 
 /// Serialized microframe: the unit shipped by help replies, relocation at
@@ -101,6 +101,37 @@ impl Decode for WireMemObject {
             program: ProgramId::decode(r)?,
             data: Value::decode(r)?,
             version: r.get_varint()?,
+        })
+    }
+}
+
+/// One buffered result send produced by a vote-mode replica execution
+/// (wire v6): the escrow coordinator replays the winning replica's sends
+/// after the vote decides.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WireSend {
+    /// The consumer frame's parameter slot address.
+    pub target: GlobalAddress,
+    /// Slot index within the target frame.
+    pub slot: u32,
+    /// The result value.
+    pub value: Value,
+}
+
+impl Encode for WireSend {
+    fn encode(&self, w: &mut WireWriter) {
+        self.target.encode(w);
+        self.slot.encode(w);
+        self.value.encode(w);
+    }
+}
+
+impl Decode for WireSend {
+    fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
+        Ok(WireSend {
+            target: GlobalAddress::decode(r)?,
+            slot: u32::decode(r)?,
+            value: Value::decode(r)?,
         })
     }
 }
@@ -314,8 +345,10 @@ payloads! {
 
     // ---- program management & checkpoints (§4, [4]) ----
 
-    /// Announce a program: code home site and number of microthreads.
-    60 ProgramRegister { program: ProgramId, code_home: SiteId, name: String, threads: u32 },
+    /// Announce a program: code home site, number of microthreads, and
+    /// (wire v6) its replication policy, so every site coordinates
+    /// replicated/hedged dispatch identically.
+    60 ProgramRegister { program: ProgramId, code_home: SiteId, name: String, threads: u32, replication: ReplicationPolicy },
     /// The program produced its final result / terminated; sites may purge
     /// its microthreads and objects.
     61 ProgramTerminated { program: ProgramId },
@@ -371,6 +404,22 @@ payloads! {
     /// failure policy decides whether the program fails fast or skips the
     /// frame and continues.
     81 FrameQuarantined { program: ProgramId, frame: GlobalAddress, thread: MicrothreadId, cause: String },
+
+    // ---- replicated / hedged execution (wire v6) ----
+
+    /// Execute `frame` as replica number `replica` (generation
+    /// `generation`) on behalf of `coordinator` (the frame's home site,
+    /// which holds the escrow entry). With `vote` set the executor
+    /// buffers its result sends and reports them in `ReplicaDone`
+    /// instead of applying them — the coordinator compares the buffered
+    /// sends across replicas and applies the winners. Without `vote`
+    /// (hedged dispatch) the replica executes normally: first write
+    /// wins, the loser's duplicates are fenced.
+    82 ReplicaTask { frame: WireFrame, generation: u32, replica: u8, coordinator: SiteId, vote: bool },
+    /// A replica finished executing. For vote-mode replicas `sends`
+    /// carries the buffered result sends (the escrow ballot); `ok:false`
+    /// reports a failed/panicked replica with `error` as the cause.
+    83 ReplicaDone { frame: GlobalAddress, generation: u32, replica: u8, ok: bool, sends: Vec<WireSend>, error: String },
 
     // ---- generic ----
 
@@ -578,6 +627,10 @@ mod tests {
                 code_home: SiteId(1),
                 name: "primes".into(),
                 threads: 4,
+                replication: sdvm_types::ReplicationPolicy::Replicate {
+                    k: 3,
+                    selector: sdvm_types::ReplicaSelector::Thread(0),
+                },
             },
             Payload::ProgramTerminated {
                 program: ProgramId(1),
@@ -679,6 +732,25 @@ mod tests {
                 frame: GlobalAddress::new(SiteId(2), 4),
                 thread: MicrothreadId::new(ProgramId(1), 2),
                 cause: "handler panicked: boom".into(),
+            },
+            Payload::ReplicaTask {
+                frame: sample_frame(),
+                generation: 1,
+                replica: 2,
+                coordinator: SiteId(1),
+                vote: true,
+            },
+            Payload::ReplicaDone {
+                frame: GlobalAddress::new(SiteId(1), 7),
+                generation: 1,
+                replica: 2,
+                ok: true,
+                sends: vec![WireSend {
+                    target: GlobalAddress::new(SiteId(4), 9),
+                    slot: 0,
+                    value: Value::from_u64(42),
+                }],
+                error: String::new(),
             },
             Payload::Error {
                 message: "nope".into(),

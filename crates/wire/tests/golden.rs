@@ -35,7 +35,7 @@ fn golden_apply_result() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0503000307032a0000\
+        "0603000307032a0000\
 0028020901080807060504030201",
         "ApplyResult wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -62,7 +62,7 @@ fn golden_traced_ping() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "050500010101070003ac02\
+        "060500010101070003ac02\
 5b01",
         "TraceContext wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -130,6 +130,23 @@ fn v4_frames_are_rejected_loudly() {
 }
 
 #[test]
+fn v5_frames_are_rejected_loudly() {
+    // The exact golden ApplyResult bytes from WIRE_VERSION 5 (before
+    // replicated/hedged execution). A v6 daemon must refuse them with a
+    // version error: a v5 peer would treat `ReplicaTask`/`ReplicaDone`
+    // as unknown payloads and lack the `ProgramRegister` replication
+    // field, so mixed clusters would double-fire consumers instead of
+    // voting — they have to fail loudly at the version byte.
+    let v5 = unhex("0503000307032a00000028020901080807060504030201");
+    let err = SdMessage::from_bytes(&v5).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("version"),
+        "v5 frame must fail on the version byte, got: {msg}"
+    );
+}
+
+#[test]
 fn golden_replica_invalidate() {
     // New in WIRE_VERSION 4: owners invalidate cached read replicas on
     // write/migration.
@@ -147,7 +164,7 @@ fn golden_replica_invalidate() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0502000306030b0000\
+        "0602000306030b0000\
 00330209ac02",
         "ReplicaInvalidate wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -177,7 +194,7 @@ fn golden_help_request() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0505000101010700000014020501\
+        "0605000101010700000014020501\
 80080300",
         "HelpRequest wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -198,7 +215,7 @@ fn golden_ping_reply() {
     let bytes = reply.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0502000801086501640000\
+        "0602000801086501640000\
 5cff01",
         "Pong wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -222,7 +239,7 @@ fn golden_suspect_site() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "050100060206090000\
+        "060100060206090000\
 000c0403",
         "SuspectSite wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -312,6 +329,43 @@ fn payload_tags_are_stable() {
             Payload::ProgramPause {
                 program: ProgramId(1),
                 paused: true,
+            },
+        ),
+        (
+            60,
+            Payload::ProgramRegister {
+                program: ProgramId(1),
+                code_home: SiteId(1),
+                name: String::new(),
+                threads: 1,
+                replication: sdvm_types::ReplicationPolicy::Off,
+            },
+        ),
+        (
+            82,
+            Payload::ReplicaTask {
+                frame: sdvm_wire::WireFrame {
+                    id: GlobalAddress::new(SiteId(1), 1),
+                    thread: MicrothreadId::new(ProgramId(1), 0),
+                    slots: vec![],
+                    targets: vec![],
+                    hint: Default::default(),
+                },
+                generation: 1,
+                replica: 0,
+                coordinator: SiteId(1),
+                vote: true,
+            },
+        ),
+        (
+            83,
+            Payload::ReplicaDone {
+                frame: GlobalAddress::new(SiteId(1), 1),
+                generation: 1,
+                replica: 0,
+                ok: true,
+                sends: vec![],
+                error: String::new(),
             },
         ),
         (91, Payload::Ping { token: 0 }),

@@ -5,7 +5,8 @@ use bytes::Bytes;
 use proptest::prelude::*;
 use sdvm_types::{
     FileHandle, GlobalAddress, LoadReport, ManagerId, MicrothreadId, PhysicalAddr, PlatformId,
-    Priority, ProgramId, SchedulingHint, SiteDescriptor, SiteId, Value,
+    Priority, ProgramId, ReplicaSelector, ReplicationPolicy, SchedulingHint, SiteDescriptor,
+    SiteId, Value,
 };
 use sdvm_wire::{Decode, Encode, Payload, SdMessage, WireFrame, WireMemObject};
 
@@ -77,6 +78,24 @@ fn arb_frame() -> impl Strategy<Value = WireFrame> {
         })
 }
 
+fn arb_replication() -> impl Strategy<Value = ReplicationPolicy> {
+    fn selector() -> impl Strategy<Value = ReplicaSelector> {
+        prop_oneof![
+            Just(ReplicaSelector::All),
+            any::<u32>().prop_map(ReplicaSelector::Thread),
+        ]
+    }
+    prop_oneof![
+        Just(ReplicationPolicy::Off),
+        (any::<u8>(), selector())
+            .prop_map(|(k, selector)| ReplicationPolicy::Replicate { k, selector }),
+        (0u64..10_000_000, selector()).prop_map(|(us, selector)| ReplicationPolicy::Hedge {
+            delay: std::time::Duration::from_micros(us),
+            selector,
+        }),
+    ]
+}
+
 fn arb_payload() -> impl Strategy<Value = Payload> {
     prop_oneof![
         arb_descriptor().prop_map(|descriptor| Payload::SignOn { descriptor }),
@@ -110,14 +129,22 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
                 replica: false,
             }
         ),
-        (any::<u32>(), arb_site(), "[a-z]{0,12}", any::<u32>()).prop_map(
-            |(program, code_home, name, threads)| Payload::ProgramRegister {
-                program: ProgramId(program),
-                code_home,
-                name,
-                threads,
-            }
-        ),
+        (
+            any::<u32>(),
+            arb_site(),
+            "[a-z]{0,12}",
+            any::<u32>(),
+            arb_replication()
+        )
+            .prop_map(|(program, code_home, name, threads, replication)| {
+                Payload::ProgramRegister {
+                    program: ProgramId(program),
+                    code_home,
+                    name,
+                    threads,
+                    replication,
+                }
+            }),
         (arb_site(), any::<u32>()).prop_map(|(site, local)| Payload::FileOpened {
             handle: FileHandle { site, local }
         }),
