@@ -86,6 +86,17 @@ pub struct SiteConfig {
     /// and re-fetched. Bounds staleness when an invalidation is lost
     /// (e.g. dropped during a network partition).
     pub replica_ttl: Duration,
+    /// Bind address for the ops-plane HTTP listener serving
+    /// `GET /metrics`, `/healthz` and `/status` (e.g. `"127.0.0.1:0"`
+    /// to let the OS pick a port). `None` (the default) runs no
+    /// listener at all — the hot path then pays nothing for the ops
+    /// plane beyond the relaxed counter loads it already does.
+    pub ops_addr: Option<String>,
+    /// Directory where the flight recorder writes
+    /// `postmortem-<site>-<seq>.json` black boxes on crash verdicts,
+    /// frame quarantines, result divergence, or stuck programs.
+    /// `None` (the default) disables the recorder.
+    pub postmortem_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SiteConfig {
@@ -117,6 +128,8 @@ impl Default for SiteConfig {
             mem_shards: 8,
             replica_reads: true,
             replica_ttl: Duration::from_secs(2),
+            ops_addr: None,
+            postmortem_dir: None,
         }
     }
 }
@@ -169,6 +182,21 @@ impl SiteConfig {
     /// Shorthand: set the replica staleness lease.
     pub fn with_replica_ttl(mut self, t: Duration) -> Self {
         self.replica_ttl = t;
+        self
+    }
+
+    /// Shorthand: serve the ops-plane HTTP endpoints on `addr`
+    /// (`"127.0.0.1:0"` picks a free port; query it via
+    /// [`crate::site::Site::ops_addr`] after start).
+    pub fn with_ops_addr(mut self, addr: &str) -> Self {
+        self.ops_addr = Some(addr.to_string());
+        self
+    }
+
+    /// Shorthand: enable the flight recorder, writing postmortem black
+    /// boxes into `dir`.
+    pub fn with_postmortem_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.postmortem_dir = Some(dir.into());
         self
     }
 

@@ -38,10 +38,14 @@ pub use chaos::{AppFault, AppFaultKind, ChaosAction, ChaosEvent, ChaosScenario};
 pub use checkpoint::ProgramSnapshot;
 pub use config::SiteConfig;
 pub use frame::Microframe;
+pub use managers::cluster::{DeadView, MemberView, MembershipView};
 pub use managers::deadletter::{DeadLetter, DeadLetterManager};
 pub use managers::replication::ReplicationManager;
 pub use sdvm_types::{ReplicaSelector, ReplicationPolicy};
 pub use site::Site;
-pub use telemetry::{perfetto_trace_json, prometheus_text, HistogramSnapshot, SiteMetrics};
+pub use telemetry::{
+    cluster_prometheus_text, digest_of, perfetto_trace_json, prometheus_text, ClusterRollup,
+    ClusterTotals, FlightRecorder, HistogramSnapshot, SiteMetrics,
+};
 pub use thread::{AppRegistry, ThreadFn, ThreadSpec};
 pub use trace::{BusEvent, Category, TraceEvent, TraceLog};

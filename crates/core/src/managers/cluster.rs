@@ -53,6 +53,43 @@ struct DeadEntry {
 /// Minimum delay between fencing notices to the same zombie.
 const DEATH_NOTICE_INTERVAL: Duration = Duration::from_millis(200);
 
+/// One live member as seen by this site's cluster manager (ops plane).
+#[derive(Clone, Debug)]
+pub struct MemberView {
+    /// Logical site id.
+    pub site: SiteId,
+    /// Highest incarnation observed for it.
+    pub incarnation: u64,
+    /// Whether an open suspicion exists against it.
+    pub suspected: bool,
+    /// Distinct accusers behind the open suspicion (0 when none).
+    pub accusers: usize,
+    /// Time since this site last heard from it.
+    pub silent_for: Duration,
+    /// Its last gossiped load report.
+    pub load: LoadReport,
+}
+
+/// One death tombstone (ops plane).
+#[derive(Clone, Copy, Debug)]
+pub struct DeadView {
+    /// The dead site.
+    pub site: SiteId,
+    /// Fencing floor: incarnations at or below are zombies.
+    pub floor: u64,
+}
+
+/// Point-in-time membership snapshot served by the ops plane.
+#[derive(Clone, Debug, Default)]
+pub struct MembershipView {
+    /// Live members, sorted by site id.
+    pub members: Vec<MemberView>,
+    /// Death tombstones, sorted by site id.
+    pub dead: Vec<DeadView>,
+    /// Crash succession pairs `(dead, successor)`, sorted.
+    pub succession: Vec<(SiteId, SiteId)>,
+}
+
 struct ClusterState {
     me: Option<SiteDescriptor>,
     sites: HashMap<SiteId, SiteDescriptor>,
@@ -468,6 +505,57 @@ impl ClusterManager {
         v
     }
 
+    /// Ops-plane membership view: one consistent snapshot of the live
+    /// member table, open suspicions and death tombstones, taken under a
+    /// single lock acquisition. Served on `GET /status` and embedded in
+    /// flight-recorder postmortems.
+    pub fn membership_view(&self) -> MembershipView {
+        let st = self.state.lock();
+        let now = Instant::now();
+        let mut members: Vec<MemberView> = st
+            .sites
+            .values()
+            .map(|d| MemberView {
+                site: d.site,
+                incarnation: st
+                    .incarnations
+                    .get(&d.site)
+                    .copied()
+                    .unwrap_or(d.incarnation),
+                suspected: st.suspects.contains_key(&d.site),
+                accusers: st
+                    .suspects
+                    .get(&d.site)
+                    .map(|s| s.accusers.len())
+                    .unwrap_or(0),
+                silent_for: st
+                    .last_heard
+                    .get(&d.site)
+                    .map(|h| now.duration_since(*h))
+                    .unwrap_or(Duration::ZERO),
+                load: st.loads.get(&d.site).copied().unwrap_or_default(),
+            })
+            .collect();
+        members.sort_by_key(|m| m.site);
+        let mut dead: Vec<DeadView> = st
+            .dead
+            .iter()
+            .map(|(s, e)| DeadView {
+                site: *s,
+                floor: e.floor,
+            })
+            .collect();
+        dead.sort_by_key(|d| d.site);
+        let mut succession: Vec<(SiteId, SiteId)> =
+            st.succession.iter().map(|(a, b)| (*a, *b)).collect();
+        succession.sort_by_key(|(a, _)| *a);
+        MembershipView {
+            members,
+            dead,
+            succession,
+        }
+    }
+
     /// Known code distribution sites.
     pub fn code_distribution_sites(&self) -> Vec<SiteId> {
         let mut v: Vec<SiteId> = self
@@ -629,6 +717,13 @@ impl ClusterManager {
                     .collect()
             }
         };
+        // Ops-plane rollup (wire v7): condense the local metrics into a
+        // small cumulative digest, remember our own contribution, and
+        // piggyback the digest on the same heartbeat fan-out. Receivers
+        // store digests latest-wins, so *any* site can serve cluster
+        // totals without a central scrape.
+        let summary = crate::telemetry::digest_of(&site.metrics.snapshot());
+        site.rollup.record(me, summary.clone());
         for t in targets {
             let _ = site.send_payload(
                 t,
@@ -636,6 +731,15 @@ impl ClusterManager {
                 ManagerId::Cluster,
                 site.next_seq(),
                 Payload::Heartbeat { load },
+            );
+            let _ = site.send_payload(
+                t,
+                ManagerId::Cluster,
+                ManagerId::Cluster,
+                site.next_seq(),
+                Payload::MetricsSummary {
+                    summary: summary.clone(),
+                },
             );
         }
         if self.crash_tolerance {
@@ -874,6 +978,9 @@ impl ClusterManager {
             crashed: true,
         });
         site.security.forget(dead);
+        // The dead site's metrics digest stops contributing to the
+        // cluster rollup once the verdict lands.
+        site.rollup.forget(dead);
         // The dead site's homesite directory died with it: re-register
         // our locally owned state homed there with the successor.
         site.memory.reregister_after_crash(site, dead, successor);
@@ -1094,6 +1201,13 @@ impl ClusterManager {
                             },
                         );
                     }
+                }
+            }
+            Payload::MetricsSummary { summary } => {
+                // Piggybacked ops-plane digest (wire v7): latest-wins per
+                // sender. No reply — it rides the heartbeat cadence.
+                if msg.src_site.is_valid() {
+                    site.rollup.record(msg.src_site, summary);
                 }
             }
             other => {

@@ -116,6 +116,10 @@ impl SiteManager {
         let mut metrics = site.metrics.snapshot();
         metrics.backpressure_stalls = site.transport.outbound_stalls();
         metrics.mem_shard_contention = mem.shard_contention.clone();
+        if let Some(t) = &site.trace {
+            metrics.bus_dropped = t.dropped();
+            metrics.bus_tap_dropped = t.tap_dropped();
+        }
         SiteStatus {
             id: site.my_id(),
             queued_frames,

@@ -75,6 +75,15 @@ pub struct SiteInner {
     /// Always-on per-site metrics registry (counters, gauges, latency
     /// histograms); snapshotable via the site manager's status.
     pub metrics: Metrics,
+    /// Cluster-wide metrics rollup: latest digest per peer, fed by the
+    /// `MetricsSummary` payloads piggybacking on heartbeats (wire v7).
+    pub rollup: crate::telemetry::ClusterRollup,
+    /// Crash-triggered flight recorder; `None` (the default) unless
+    /// [`SiteConfig::postmortem_dir`] is set.
+    pub recorder: Option<crate::telemetry::FlightRecorder>,
+    /// Where the ops-plane HTTP listener actually bound (resolves
+    /// `"127.0.0.1:0"`); `None` when no listener runs.
+    ops_bound: parking_lot::Mutex<Option<std::net::SocketAddr>>,
     /// Outstanding request correlation.
     pub pending: PendingMap,
     seq: AtomicU64,
@@ -208,13 +217,67 @@ impl SiteInner {
         }
     }
 
-    /// Record a trace-point: updates the event-derived metrics, then
-    /// hands the event to the trace bus if one is attached.
+    /// Record a trace-point: updates the event-derived metrics, hands
+    /// the event to the trace bus if one is attached, and — when the
+    /// flight recorder is armed — checks it against the black-box
+    /// triggers. All four trigger events (crash verdicts, frame
+    /// quarantines, result divergence, stuck programs) flow through
+    /// this plain `emit`, never the batched hot-path variants, so this
+    /// is the single chokepoint; without a recorder the extra cost is
+    /// one `Option` branch.
     pub fn emit(&self, ev: TraceEvent) {
         self.metrics.observe(&ev);
+        if self.recorder.is_some() {
+            self.maybe_flight_record(&ev);
+        }
         if let Some(t) = &self.trace {
             t.emit(ev);
         }
+    }
+
+    /// Flight-recorder trigger check: classify the event and, if it is
+    /// an incident and a dump slot is free (rate limit + file cap),
+    /// defer the actual dump to a helper thread. The emitting thread —
+    /// which may hold manager locks — never touches the filesystem or
+    /// takes status snapshots itself.
+    fn maybe_flight_record(&self, ev: &TraceEvent) {
+        let Some(rec) = &self.recorder else { return };
+        let Some((trigger, detail)) = crate::telemetry::postmortem::trigger_of(ev) else {
+            return;
+        };
+        if !rec.try_claim() {
+            return;
+        }
+        self.spawn_task(Task::Run(Box::new(move |site: &SiteInner| {
+            if let Some(r) = &site.recorder {
+                if let Some(path) = r.record(site, trigger, &detail) {
+                    site.emit(TraceEvent::PostmortemWritten {
+                        site: site.my_id(),
+                        trigger,
+                        path: std::sync::Arc::new(path.display().to_string()),
+                    });
+                }
+            }
+        })));
+    }
+
+    /// Number of processing-slot threads currently alive.
+    pub fn live_workers(&self) -> usize {
+        self.worker_slots
+            .lock()
+            .iter()
+            .filter(|h| h.as_ref().map(|h| !h.is_finished()).unwrap_or(false))
+            .count()
+    }
+
+    /// The socket address the ops-plane HTTP listener bound, once it
+    /// is up (`None` when `ops_addr` is unset or binding failed).
+    pub fn ops_addr(&self) -> Option<std::net::SocketAddr> {
+        *self.ops_bound.lock()
+    }
+
+    pub(crate) fn set_ops_bound(&self, addr: std::net::SocketAddr) {
+        *self.ops_bound.lock() = Some(addr);
     }
 
     /// [`SiteInner::emit`] with a caller-supplied clock read, for hot
@@ -580,12 +643,18 @@ impl Site {
             corrupt_plan: parking_lot::Mutex::new(None),
             worker_exit: AtomicU32::new(0),
             worker_slots: parking_lot::Mutex::new(Vec::new()),
+            recorder: config
+                .postmortem_dir
+                .clone()
+                .map(crate::telemetry::FlightRecorder::new),
             config,
             id: RwLock::new(SiteId::NONE),
             transport,
             registry,
             trace,
             metrics: Metrics::new(),
+            rollup: crate::telemetry::ClusterRollup::new(),
+            ops_bound: parking_lot::Mutex::new(None),
             pending: PendingMap::new(),
             seq: AtomicU64::new(1),
             running: AtomicBool::new(false),
@@ -770,6 +839,11 @@ impl Site {
             .map(|slot| spawn_worker(self.inner.clone(), slot))
             .collect();
 
+        // Ops plane: the HTTP introspection listener, when configured.
+        // Bound synchronously (inside start/sign-on), so callers can
+        // resolve a `"127.0.0.1:0"` bind right after start.
+        threads.extend(crate::telemetry::http::spawn_ops_listener(&self.inner));
+
         // Maintenance: heartbeats, crash detection, worker supervision,
         // stuck-program watchdog.
         {
@@ -798,12 +872,13 @@ impl Site {
 
     /// Number of worker slot threads currently alive.
     pub fn live_workers(&self) -> usize {
-        self.inner
-            .worker_slots
-            .lock()
-            .iter()
-            .filter(|h| h.as_ref().map(|h| !h.is_finished()).unwrap_or(false))
-            .count()
+        self.inner.live_workers()
+    }
+
+    /// The address the ops-plane HTTP listener bound (`None` when
+    /// `ops_addr` is unset or the bind failed).
+    pub fn ops_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner.ops_addr()
     }
 
     /// The descriptor this site announces about itself.
@@ -830,7 +905,7 @@ impl Drop for Site {
 /// Spawn a named thread; a spawn failure (fd/thread exhaustion) is
 /// reported, not fatal — the caller gets `None` and the site runs
 /// degraded rather than aborting the daemon.
-fn spawn_named(
+pub(crate) fn spawn_named(
     name: String,
     f: impl FnOnce() + Send + 'static,
 ) -> Option<std::thread::JoinHandle<()>> {

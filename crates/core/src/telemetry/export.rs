@@ -12,8 +12,24 @@ use sdvm_types::{GlobalAddress, SiteId};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+/// Escape a label *value* for the Prometheus text format: backslash,
+/// double quote and newline must be backslash-escaped inside the
+/// quoted value; everything else passes through.
+pub fn prom_label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -454,6 +470,18 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
         "Frames waiting in the transport's outbound queues.",
         &c(|m| m.outbound_queue_depth),
     );
+    write_counter(
+        &mut out,
+        "sdvm_bus_dropped_total",
+        "Trace-bus events overwritten unread in the bounded ring.",
+        &c(|m| m.bus_dropped),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_bus_tap_dropped_total",
+        "Trace-bus events dropped at full live-tap subscriber channels.",
+        &c(|m| m.bus_tap_dropped),
+    );
 
     write_histogram(
         &mut out,
@@ -533,7 +561,10 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
     let mut dispatch: Vec<(String, &HistogramSnapshot)> = Vec::new();
     for (site, m) in sites {
         for (mgr, snap) in &m.dispatch_us {
-            dispatch.push((format!("site=\"{}\",manager=\"{mgr}\"", site.0), snap));
+            dispatch.push((
+                format!("site=\"{}\",manager=\"{}\"", site.0, prom_label_escape(mgr)),
+                snap,
+            ));
         }
     }
     write_histogram(
@@ -640,6 +671,8 @@ mod tests {
         m.hedge_delay_us.observe(2_000);
         let mut snap = m.snapshot();
         snap.mem_shard_contention = vec![0, 3];
+        snap.bus_dropped = 2;
+        snap.bus_tap_dropped = 5;
         let text = prometheus_text(&[(SiteId(1), snap)]);
         assert!(text.contains("# TYPE sdvm_help_requests_total counter"));
         assert!(text.contains("sdvm_help_requests_total{site=\"1\"} 1"));
@@ -658,6 +691,8 @@ mod tests {
         assert!(text.contains("sdvm_hedge_wins_total{site=\"1\"} 1"));
         assert!(text.contains("sdvm_hedge_delay_us_count{site=\"1\"} 1"));
         assert!(text.contains("sdvm_mem_shard_contention{site=\"1\",shard=\"1\"} 3"));
+        assert!(text.contains("sdvm_bus_dropped_total{site=\"1\"} 2"));
+        assert!(text.contains("sdvm_bus_tap_dropped_total{site=\"1\"} 5"));
     }
 
     #[test]

@@ -146,6 +146,43 @@ impl HistogramSnapshot {
             format!("{}", (1u64 << i) - 1)
         }
     }
+
+    /// Estimate the `p`-quantile (`p` in `[0, 1]`) in microseconds.
+    ///
+    /// The target rank `p · count` is located in the cumulative bucket
+    /// counts; inside the hit bucket `[2^(i-1), 2^i)` the estimate
+    /// interpolates **log-linearly** — `2^(i-1) · 2^frac` where `frac`
+    /// is the rank's fractional position in the bucket — matching the
+    /// bucket boundaries' own geometric spacing. Bucket 0 (zeros)
+    /// yields 0; the overflow bucket yields its lower bound (there is
+    /// no upper edge to interpolate toward). Returns 0 when empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).max(f64::MIN_POSITIVE);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += c;
+            if cum as f64 >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = (1u64 << (i - 1)) as f64;
+                if i + 1 == self.buckets.len() {
+                    return lo;
+                }
+                let frac = ((rank - prev) / c as f64).clamp(0.0, 1.0);
+                return lo * frac.exp2();
+            }
+        }
+        // Unreachable when count equals the bucket sum; be conservative.
+        0.0
+    }
 }
 
 /// Career timestamps of one frame still in flight (µs since the
@@ -450,6 +487,8 @@ impl Metrics {
             mem_shard_contention: Vec::new(),
             outbound_queue_depth: self.outbound_queue_depth.get(),
             backpressure_stalls: 0,
+            bus_dropped: 0,
+            bus_tap_dropped: 0,
             career_total_us: self.career_total_us.snapshot(),
             career_wait_us: self.career_wait_us.snapshot(),
             career_fetch_us: self.career_fetch_us.snapshot(),
@@ -530,6 +569,14 @@ pub struct SiteMetrics {
     /// Sends that hit a full outbound queue and had to wait (transport-
     /// level; filled in from the transport at snapshot time).
     pub backpressure_stalls: u64,
+    /// Bus events overwritten by ring wraparound (filled in from the
+    /// site's [`crate::trace::TraceLog`] at snapshot time; 0 when no
+    /// bus is attached). Non-zero means the flight recorder's last-N
+    /// window is lossy.
+    pub bus_dropped: u64,
+    /// Bus events a full subscriber tap failed to receive (filled in
+    /// from the trace bus at snapshot time).
+    pub bus_tap_dropped: u64,
     /// Whole career: created → executed (µs).
     pub career_total_us: HistogramSnapshot,
     /// Dataflow wait: created → executable (µs).
@@ -586,6 +633,73 @@ mod tests {
         assert!((s.mean_us() - 10.0 / 3.0).abs() < 1e-9);
         assert_eq!(HistogramSnapshot::le_label(3), "7");
         assert_eq!(HistogramSnapshot::le_label(HISTOGRAM_BUCKETS - 1), "+Inf");
+    }
+
+    #[test]
+    fn quantile_interpolates_log_linearly_in_the_hit_bucket() {
+        // 100 observations per bucket across buckets 1..=10 (values
+        // 2^0..2^9 land exactly on each bucket's lower edge).
+        let h = Histogram::default();
+        for i in 0..10u32 {
+            for _ in 0..100 {
+                h.observe(1u64 << i);
+            }
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        // p50: rank 500 = the exact top of bucket 5 ([16, 32)), so the
+        // fractional position is 1.0 and the estimate is the upper edge.
+        assert!((s.quantile(0.50) - 32.0).abs() < 1e-9);
+        // p99: rank 990 lands 90% into bucket 10 ([512, 1024)):
+        // 512 · 2^0.9.
+        let expect_p99 = 512.0 * (0.9f64).exp2();
+        assert!((s.quantile(0.99) - expect_p99).abs() < 1e-6);
+        // p0 degenerates to the first hit bucket's lower bound; p100 to
+        // the top of the last populated bucket.
+        assert!((s.quantile(0.0) - 1.0).abs() < 1e-9);
+        assert!((s.quantile(1.0) - 1024.0).abs() < 1e-9);
+        // Monotone in p.
+        let mut last = 0.0;
+        for k in 0..=20 {
+            let q = s.quantile(k as f64 / 20.0);
+            assert!(q >= last, "quantile not monotone at {k}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn quantile_single_bucket_midpoint_is_geometric() {
+        // Everything in bucket 7 ([64, 128)): the median interpolates to
+        // the geometric midpoint 64·√2.
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.observe(100);
+        }
+        let s = h.snapshot();
+        let expect = 64.0 * (0.5f64).exp2();
+        assert!((s.quantile(0.5) - expect).abs() < 1e-6);
+        // Estimates never leave the bucket.
+        assert!(s.quantile(0.001) >= 64.0);
+        assert!(s.quantile(0.999) <= 128.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: 0 at every p.
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.5), 0.0);
+        // All zeros: bucket 0 yields 0.
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.observe(0);
+        }
+        assert_eq!(h.snapshot().quantile(0.99), 0.0);
+        // Overflow bucket: clamps to its lower bound.
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        let s = h.snapshot();
+        let lo = (1u64 << (HISTOGRAM_BUCKETS - 2)) as f64;
+        assert_eq!(s.quantile(0.5), lo);
     }
 
     #[test]

@@ -244,6 +244,17 @@ pub enum TraceEvent {
         /// The stuck program.
         program: ProgramId,
     },
+    /// The flight recorder wrote a postmortem black box.
+    PostmortemWritten {
+        /// Site whose recorder fired.
+        site: SiteId,
+        /// The trigger that claimed the dump slot (stable name, e.g.
+        /// `declare_crashed`).
+        trigger: &'static str,
+        /// Path of the written file, `Arc`'d so this cold variant does
+        /// not grow every ring slot.
+        path: Arc<String>,
+    },
     /// A cached read replica was dropped on an owner's invalidation.
     ReplicaInvalidated {
         /// Site that held (and dropped) the replica.
@@ -326,6 +337,7 @@ impl TraceEvent {
             | TraceEvent::FrameQuarantined { site, .. }
             | TraceEvent::WorkerRespawned { site, .. }
             | TraceEvent::ProgramStuck { site, .. }
+            | TraceEvent::PostmortemWritten { site, .. }
             | TraceEvent::ReplicaInvalidated { site, .. }
             | TraceEvent::ReplicaDispatched { site, .. }
             | TraceEvent::ResultDivergence { site, .. }
@@ -357,6 +369,7 @@ impl TraceEvent {
             | TraceEvent::FrameQuarantined { .. }
             | TraceEvent::WorkerRespawned { .. }
             | TraceEvent::ProgramStuck { .. }
+            | TraceEvent::PostmortemWritten { .. }
             | TraceEvent::ReplicaDispatched { .. }
             | TraceEvent::ResultDivergence { .. }
             | TraceEvent::HedgeFired { .. }

@@ -1,0 +1,196 @@
+//! Ops-plane integration tests: the live HTTP introspection endpoints,
+//! the cluster-wide metrics rollup riding heartbeats, and the
+//! crash-triggered flight recorder.
+
+#![allow(clippy::disallowed_methods)] // tests may unwrap
+
+use sdvm_core::{AppBuilder, InProcessCluster, SiteConfig};
+use sdvm_types::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Minimal HTTP GET against an ops listener: returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect ops listener");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: sdvm\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let code: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (code, body)
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+#[test]
+fn ops_endpoints_serve_metrics_health_status_and_404() {
+    let cluster = InProcessCluster::new(2, SiteConfig::default().with_ops_addr("127.0.0.1:0"))
+        .expect("cluster");
+    let addr = cluster.site(0).ops_addr().expect("listener bound");
+
+    let (code, body) = http_get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert!(body.contains("# TYPE sdvm_messages_sent_total counter"));
+    assert!(body.contains("# TYPE sdvm_bus_dropped_total counter"));
+    assert!(body.contains("# TYPE sdvm_cluster_sites gauge"));
+    assert!(
+        body.contains("sdvm_cluster_frame_career_quantile_us{q=\"0.99\"}"),
+        "rollup quantile gauges must render"
+    );
+
+    let (code, body) = http_get(addr, "/healthz");
+    assert_eq!(code, 200, "healthy cluster must report 200: {body}");
+    assert!(body.contains("\"ok\": true"));
+
+    let (code, body) = http_get(addr, "/status");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"membership\""));
+    assert!(body.contains("\"members\""));
+    assert!(body.contains("\"dead_letters\""));
+    assert!(body.contains("\"replication\""));
+    assert!(body.contains("\"mem_shard_contention\""));
+
+    let (code, _) = http_get(addr, "/definitely-not-here");
+    assert_eq!(code, 404);
+
+    // Both sites run their own listener on distinct ports.
+    let other = cluster.site(1).ops_addr().expect("second listener");
+    assert_ne!(addr, other);
+}
+
+/// Digests piggyback on heartbeats, so after a workload plus a few
+/// ticks every site can serve cluster totals that include *other*
+/// sites' executions.
+#[test]
+fn rollup_merges_remote_digests_via_heartbeats() {
+    let cluster = InProcessCluster::new(2, SiteConfig::default().with_ops_addr("127.0.0.1:0"))
+        .expect("cluster");
+    let mut app = AppBuilder::new("rollup-load");
+    let square = app.thread("square", |ctx| {
+        let n = ctx.param(0)?.as_u64()?;
+        let slot = ctx.param(1)?.as_u64()? as u32;
+        let target = ctx.target(0)?;
+        ctx.send(target, slot, Value::from_u64(n * n))
+    });
+    let reduce = app.thread("reduce", |ctx| {
+        let mut total = 0;
+        for i in 0..ctx.param_count() as u32 {
+            total += ctx.param(i)?.as_u64()?;
+        }
+        ctx.send(ctx.target(0)?, 0, Value::from_u64(total))
+    });
+    let n = 24usize;
+    let handle = cluster
+        .site(0)
+        .launch(&app, move |ctx, result| {
+            let reducer = ctx.create_frame(reduce, n, vec![result], Default::default());
+            for i in 0..n {
+                let worker = ctx.create_frame(square, 2, vec![reducer], Default::default());
+                ctx.send(worker, 0, Value::from_u64(i as u64 + 1))?;
+                ctx.send(worker, 1, Value::from_u64(i as u64))?;
+            }
+            Ok(())
+        })
+        .expect("launch");
+    handle
+        .wait(Duration::from_secs(30))
+        .expect("workload result");
+
+    let addr = cluster.site(0).ops_addr().expect("listener");
+    let converged = wait_until(Duration::from_secs(5), || {
+        let (_, body) = http_get(addr, "/metrics");
+        body.contains("sdvm_cluster_sites 2")
+    });
+    assert!(
+        converged,
+        "site 0 must learn site 1's digest via heartbeats"
+    );
+    let (_, body) = http_get(addr, "/metrics");
+    let frames_line = body
+        .lines()
+        .find(|l| l.starts_with("sdvm_cluster_frames_executed_total "))
+        .expect("cluster frames family");
+    let frames: u64 = frames_line
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("numeric total");
+    assert!(
+        frames >= 20,
+        "cluster total must cover the workload: {frames}"
+    );
+}
+
+/// Killing a site flips the survivor's `/healthz` to 503 (first the
+/// suspicion, then the tombstone) and makes its flight recorder write
+/// a `postmortem-*.json` black box naming the crash verdict.
+#[test]
+fn crash_flips_healthz_and_writes_a_postmortem() {
+    let dir = std::env::temp_dir().join(format!("sdvm-ops-pm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = SiteConfig::default()
+        .with_crash_tolerance()
+        .with_ops_addr("127.0.0.1:0")
+        .with_postmortem_dir(&dir);
+    let cluster = InProcessCluster::new(3, config).expect("cluster");
+    let addr = cluster.site(0).ops_addr().expect("listener");
+    assert_eq!(http_get(addr, "/healthz").0, 200);
+
+    cluster.crash(2);
+
+    let unhealthy = wait_until(Duration::from_secs(10), || {
+        http_get(addr, "/healthz").0 == 503
+    });
+    assert!(unhealthy, "survivor must report 503 after the crash");
+
+    let postmortem = wait_until(Duration::from_secs(10), || {
+        std::fs::read_dir(&dir)
+            .map(|entries| {
+                entries.flatten().any(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .starts_with(&format!("postmortem-{}-", cluster.site(0).id().0))
+                })
+            })
+            .unwrap_or(false)
+    });
+    assert!(postmortem, "flight recorder must write a black box");
+
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .find(|e| e.file_name().to_string_lossy().starts_with("postmortem-"))
+        .unwrap();
+    let body = std::fs::read_to_string(entry.path()).unwrap();
+    assert!(body.contains("\"schema\": \"sdvm-postmortem-v1\""));
+    assert!(body.contains("\"trigger\": \"declare_crashed\""));
+    assert!(body.contains("\"membership\""));
+    assert!(body.contains("\"metrics\""));
+    // No half-written temp files left behind.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "atomic rename must leave no temp files"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,9 +27,13 @@ use sdvm_types::{ManagerId, SdvmResult, SiteId};
 /// `ReplicaTask`/`ReplicaDone` payloads carry a replica id + generation
 /// so escrow votes and hedge duplicates are fenced per dispatch round.
 /// A v5 daemon would treat replica traffic as unknown payloads, so
-/// mixed clusters are fenced at the version byte. Older frames are
-/// rejected loudly, not decoded best-effort.
-pub const WIRE_VERSION: u8 = 6;
+/// mixed clusters are fenced at the version byte; v7 = ops plane —
+/// the `MetricsSummary` payload (per-site counter/histogram digest)
+/// piggybacks on heartbeat fan-out so any site can serve cluster-wide
+/// rollups. A v6 daemon would reply `Error` to every digest and spam
+/// the sender, so mixed clusters are fenced at the version byte.
+/// Older frames are rejected loudly, not decoded best-effort.
+pub const WIRE_VERSION: u8 = 7;
 
 /// Causal trace context riding every [`SdMessage`] (wire v3).
 ///

@@ -136,6 +136,77 @@ impl Decode for WireSend {
     }
 }
 
+/// Compact per-site telemetry digest piggybacked on heartbeat traffic
+/// (wire v7): the counters an operator steers by, plus the two
+/// latency histograms needed for cluster-merged quantiles. Bucket
+/// vectors are raw per-bucket counts from the site's log2 histograms
+/// (index = `bucket_of(µs)`), so any receiver can merge digests by
+/// element-wise addition and re-derive p50/p99/p999 without resolution
+/// loss beyond the bucket width.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct WireMetricsSummary {
+    /// Messages sent by the reporting site.
+    pub messages_sent: u64,
+    /// Messages received by the reporting site.
+    pub messages_received: u64,
+    /// Microframes executed.
+    pub frames_executed: u64,
+    /// Microframes retried after a failure.
+    pub frames_retried: u64,
+    /// Microframes quarantined (dead-lettered).
+    pub frames_quarantined: u64,
+    /// Crash declarations this site originated or observed.
+    pub crashes_declared: u64,
+    /// Help requests sent (work-stealing pressure signal).
+    pub help_requests: u64,
+    /// Help requests this site granted.
+    pub help_granted: u64,
+    /// Sum of all frame career latencies, in microseconds.
+    pub career_sum_us: u64,
+    /// Per-bucket counts of the frame career log2 histogram.
+    pub career_buckets: Vec<u64>,
+    /// Sum of all help round-trip latencies, in microseconds.
+    pub help_rtt_sum_us: u64,
+    /// Per-bucket counts of the help RTT log2 histogram.
+    pub help_rtt_buckets: Vec<u64>,
+}
+
+impl Encode for WireMetricsSummary {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.messages_sent);
+        w.put_varint(self.messages_received);
+        w.put_varint(self.frames_executed);
+        w.put_varint(self.frames_retried);
+        w.put_varint(self.frames_quarantined);
+        w.put_varint(self.crashes_declared);
+        w.put_varint(self.help_requests);
+        w.put_varint(self.help_granted);
+        w.put_varint(self.career_sum_us);
+        self.career_buckets.encode(w);
+        w.put_varint(self.help_rtt_sum_us);
+        self.help_rtt_buckets.encode(w);
+    }
+}
+
+impl Decode for WireMetricsSummary {
+    fn decode(r: &mut WireReader<'_>) -> SdvmResult<Self> {
+        Ok(WireMetricsSummary {
+            messages_sent: r.get_varint()?,
+            messages_received: r.get_varint()?,
+            frames_executed: r.get_varint()?,
+            frames_retried: r.get_varint()?,
+            frames_quarantined: r.get_varint()?,
+            crashes_declared: r.get_varint()?,
+            help_requests: r.get_varint()?,
+            help_granted: r.get_varint()?,
+            career_sum_us: r.get_varint()?,
+            career_buckets: Vec::decode(r)?,
+            help_rtt_sum_us: r.get_varint()?,
+            help_rtt_buckets: Vec::decode(r)?,
+        })
+    }
+}
+
 macro_rules! payloads {
     (
         $(
@@ -420,6 +491,15 @@ payloads! {
     /// carries the buffered result sends (the escrow ballot); `ok:false`
     /// reports a failed/panicked replica with `error` as the cause.
     83 ReplicaDone { frame: GlobalAddress, generation: u32, replica: u8, ok: bool, sends: Vec<WireSend>, error: String },
+
+    // ---- cluster-wide metrics rollup (wire v7, ops plane) ----
+
+    /// Periodic telemetry digest piggybacked on heartbeat fan-out: the
+    /// sender's cumulative counters and latency histograms, compact
+    /// enough to ride every heartbeat tick. Receivers keep the latest
+    /// digest per site (digests are cumulative, so latest-wins) and any
+    /// site can merge its table into cluster totals and quantiles.
+    84 MetricsSummary { summary: WireMetricsSummary },
 
     // ---- generic ----
 
@@ -751,6 +831,22 @@ mod tests {
                     value: Value::from_u64(42),
                 }],
                 error: String::new(),
+            },
+            Payload::MetricsSummary {
+                summary: WireMetricsSummary {
+                    messages_sent: 100,
+                    messages_received: 98,
+                    frames_executed: 42,
+                    frames_retried: 1,
+                    frames_quarantined: 0,
+                    crashes_declared: 2,
+                    help_requests: 7,
+                    help_granted: 5,
+                    career_sum_us: 123_456,
+                    career_buckets: vec![0, 3, 9, 30],
+                    help_rtt_sum_us: 9_999,
+                    help_rtt_buckets: vec![1, 2],
+                },
             },
             Payload::Error {
                 message: "nope".into(),

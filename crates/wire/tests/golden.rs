@@ -35,7 +35,7 @@ fn golden_apply_result() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0603000307032a0000\
+        "0703000307032a0000\
 0028020901080807060504030201",
         "ApplyResult wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -62,7 +62,7 @@ fn golden_traced_ping() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "060500010101070003ac02\
+        "070500010101070003ac02\
 5b01",
         "TraceContext wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -147,6 +147,23 @@ fn v5_frames_are_rejected_loudly() {
 }
 
 #[test]
+fn v6_frames_are_rejected_loudly() {
+    // The exact golden ApplyResult bytes from WIRE_VERSION 6 (before the
+    // ops-plane metrics rollup). A v7 daemon must refuse them with a
+    // version error: a v6 peer treats `MetricsSummary` digests as
+    // unknown payloads and replies `Error` to every heartbeat tick,
+    // spamming the sender — mixed clusters fail loudly at the version
+    // byte instead.
+    let v6 = unhex("0603000307032a00000028020901080807060504030201");
+    let err = SdMessage::from_bytes(&v6).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("version"),
+        "v6 frame must fail on the version byte, got: {msg}"
+    );
+}
+
+#[test]
 fn golden_replica_invalidate() {
     // New in WIRE_VERSION 4: owners invalidate cached read replicas on
     // write/migration.
@@ -164,7 +181,7 @@ fn golden_replica_invalidate() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0602000306030b0000\
+        "0702000306030b0000\
 00330209ac02",
         "ReplicaInvalidate wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -194,7 +211,7 @@ fn golden_help_request() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0605000101010700000014020501\
+        "0705000101010700000014020501\
 80080300",
         "HelpRequest wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -215,7 +232,7 @@ fn golden_ping_reply() {
     let bytes = reply.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0602000801086501640000\
+        "0702000801086501640000\
 5cff01",
         "Pong wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -239,7 +256,7 @@ fn golden_suspect_site() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "060100060206090000\
+        "070100060206090000\
 000c0403",
         "SuspectSite wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -366,6 +383,12 @@ fn payload_tags_are_stable() {
                 ok: true,
                 sends: vec![],
                 error: String::new(),
+            },
+        ),
+        (
+            84,
+            Payload::MetricsSummary {
+                summary: sdvm_wire::WireMetricsSummary::default(),
             },
         ),
         (91, Payload::Ping { token: 0 }),

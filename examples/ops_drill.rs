@@ -1,0 +1,97 @@
+//! CI's live ops-plane drill: boot a 4-site cluster with the HTTP
+//! introspection listeners and the flight recorder armed, run a small
+//! workload, publish the bound endpoint addresses, and then follow a
+//! file-based handshake with the harness (CI shell script):
+//!
+//! 1. write `OUT_DIR/ops_addrs.txt` (one `host:port` per line) — the
+//!    harness curls `/healthz` (expects 200) and `/metrics` (expects the
+//!    `sdvm_cluster_*` rollup and quantile gauges) against live sockets;
+//! 2. wait for the harness to `touch OUT_DIR/kill`, then crash site 3 —
+//!    the harness polls a survivor's `/healthz` until it flips to 503
+//!    and `json.load`s the flight recorder's postmortem;
+//! 3. wait for `touch OUT_DIR/done`, then exit 0.
+//!
+//! ```text
+//! cargo run --release --example ops_drill [-- OUT_DIR]   # default ops_out
+//! ```
+
+use sdvm::apps::primes::PrimesProgram;
+use sdvm::core::{InProcessCluster, SiteConfig, TraceLog};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Poll for a handshake file (the harness `touch`es it).
+fn wait_for(path: &Path, timeout: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if path.exists() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    false
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ops_out".to_string());
+    std::fs::create_dir_all(&out_dir)?;
+    let pm_dir = format!("{out_dir}/postmortems");
+    let _ = std::fs::remove_dir_all(&pm_dir);
+    let _ = std::fs::remove_file(format!("{out_dir}/kill"));
+    let _ = std::fs::remove_file(format!("{out_dir}/done"));
+
+    let config = SiteConfig::default()
+        .with_crash_tolerance()
+        .with_ops_addr("127.0.0.1:0")
+        .with_postmortem_dir(&pm_dir);
+    // A trace bus is attached so the flight recorder's postmortems carry
+    // the last-N event tail (including the triggering crash verdict).
+    let cluster = InProcessCluster::with_configs(vec![config; 4], Some(TraceLog::from_env()))?;
+
+    // A real workload first, so /metrics and the heartbeat-fed rollup
+    // carry non-trivial numbers when the harness scrapes them.
+    let prog = PrimesProgram {
+        p: 40,
+        width: 8,
+        spin: 0,
+        sleep_us: 0,
+    };
+    let result = prog
+        .launch(cluster.site(0))?
+        .wait(Duration::from_secs(60))?;
+    println!("workload done: {}-th prime = {}", prog.p, result.as_u64()?);
+
+    // A few heartbeat rounds spread the digests before we publish.
+    std::thread::sleep(Duration::from_millis(500));
+    let addrs: Vec<String> = (0..cluster.len())
+        .map(|i| {
+            cluster
+                .site(i)
+                .ops_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_default()
+        })
+        .collect();
+    std::fs::write(format!("{out_dir}/ops_addrs.txt"), addrs.join("\n") + "\n")?;
+    println!("ops plane up: {}", addrs.join(" "));
+
+    if !wait_for(
+        Path::new(&format!("{out_dir}/kill")),
+        Duration::from_secs(120),
+    ) {
+        return Err("harness never requested the crash (no kill file)".into());
+    }
+    println!("crashing site {}", cluster.site(3).id());
+    cluster.crash(3);
+
+    if !wait_for(
+        Path::new(&format!("{out_dir}/done")),
+        Duration::from_secs(120),
+    ) {
+        return Err("harness never acknowledged the drill (no done file)".into());
+    }
+    println!("drill complete");
+    Ok(())
+}
