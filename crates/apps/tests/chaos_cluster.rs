@@ -409,6 +409,130 @@ fn hedge_straggler_drill(seed: u64) {
     );
 }
 
+/// Rolling-restart cell of the fault matrix (the zero-downtime tentpole
+/// acceptance): every one of the six original sites is restarted, one at
+/// a time — graceful drain, then a fresh site rejoins through a peer
+/// that is still up — while the paper's prime search runs throughout.
+/// The bar: the right answer exactly once, zero quarantines, and zero
+/// crash verdicts (a planned departure must never look like a failure).
+fn rolling_restart_drill(seed: u64) {
+    let trace = TraceLog::new();
+    let cfg = chaos_config();
+    let mut cluster =
+        InProcessCluster::with_configs(vec![cfg.clone(); 6], Some(trace.clone())).unwrap();
+    // Long enough to still be in flight while all six restarts happen.
+    let prog = PrimesProgram {
+        p: 60,
+        width: 16,
+        spin: 0,
+        sleep_us: 8_000,
+    };
+    let handle = prog.launch(cluster.site(0)).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // Seed staggers how long the cluster settles between restarts.
+    let settle = Duration::from_millis(100 + (seed % 3) * 100);
+    for victim in 0..6usize {
+        cluster
+            .site(victim)
+            .drain()
+            .unwrap_or_else(|e| panic!("seed={seed}: drain of site {victim} failed: {e}"));
+        assert_eq!(
+            cluster.site(victim).inner().metrics.drain_completed.get(),
+            1,
+            "seed={seed}: site {victim} must record a completed drain"
+        );
+        // Rejoin through a peer that is still up: the next original site
+        // for early victims, the first replacement once they run out.
+        let contact = cluster.site(victim + 1).addr();
+        let idx = cluster
+            .add_site_via(cfg.clone(), &contact)
+            .unwrap_or_else(|e| {
+                panic!("seed={seed}: rejoin after draining site {victim} failed: {e}")
+            });
+        assert!(cluster.site(idx).id().is_valid());
+        std::thread::sleep(settle);
+    }
+    let result = handle.wait(WAIT).unwrap();
+    assert_eq!(
+        result.as_u64().unwrap(),
+        nth_prime(60),
+        "seed={seed}: the 60th prime must survive six rolling restarts"
+    );
+    assert!(
+        handle.wait(Duration::from_millis(500)).is_err(),
+        "seed={seed}: result must be delivered exactly once"
+    );
+    assert_eq!(
+        trace
+            .filter(|e| matches!(e, TraceEvent::FrameQuarantined { .. }))
+            .len(),
+        0,
+        "seed={seed}: zero quarantines across six restarts"
+    );
+    assert_eq!(
+        trace
+            .filter(|e| matches!(e, TraceEvent::SiteGone { crashed: true, .. }))
+            .len(),
+        0,
+        "seed={seed}: a planned departure must never be declared a crash"
+    );
+}
+
+/// Drain-under-partition cell of the fault matrix: a site drains while
+/// blackholed from one (non-successor) peer. The Draining/SignOff gossip
+/// to that peer is lost — it may honestly suspect the departed site —
+/// but the relocation to the successor goes through, the drain
+/// completes, and the program finishes exactly once with nothing
+/// quarantined.
+fn drain_under_partition_drill(seed: u64) {
+    let trace = TraceLog::new();
+    let cluster =
+        InProcessCluster::with_configs(vec![chaos_config(); 5], Some(trace.clone())).unwrap();
+    let prog = PrimesProgram {
+        p: 40,
+        width: 8,
+        spin: 0,
+        sleep_us: 4_000,
+    };
+    let handle = prog.launch(cluster.site(0)).unwrap();
+    // Seed staggers when the partition opens relative to the drain.
+    let partition_at = Duration::from_millis(200 + (seed % 3) * 100);
+    let scenario = ChaosScenario::new()
+        .at(
+            partition_at,
+            ChaosAction::Partition {
+                a: 1,
+                b: 3,
+                heal_after: Duration::from_millis(1_500),
+            },
+        )
+        .at(
+            partition_at + Duration::from_millis(100),
+            ChaosAction::Drain { site: 3 },
+        );
+    let result = std::thread::scope(|s| {
+        s.spawn(|| scenario.run(&cluster));
+        handle.wait(WAIT).unwrap()
+    });
+    assert_eq!(result.as_u64().unwrap(), nth_prime(40), "seed={seed}");
+    assert!(
+        handle.wait(Duration::from_millis(500)).is_err(),
+        "seed={seed}: result must be delivered exactly once"
+    );
+    assert_eq!(
+        cluster.site(3).inner().metrics.drain_completed.get(),
+        1,
+        "seed={seed}: the drain must complete despite the partition"
+    );
+    assert_eq!(
+        trace
+            .filter(|e| matches!(e, TraceEvent::FrameQuarantined { .. }))
+            .len(),
+        0,
+        "seed={seed}: zero quarantines"
+    );
+}
+
 /// CI fault-matrix hook: one scripted drill parameterized by environment.
 ///
 /// - `SDVM_CHAOS_PLAN`: `reliable` (default), `udp_like`,
@@ -417,8 +541,11 @@ fn hedge_straggler_drill(seed: u64) {
 ///   partition-and-heal), `replica_partition` (a lost replica
 ///   invalidation must be healed by the TTL lease), `sdc_corrupt`
 ///   (silent bit flips are outvoted by k = 3 replication on a lossy
-///   transport), or `hedge_straggler` (a frozen site's work is rescued
-///   by hedge duplicates).
+///   transport), `hedge_straggler` (a frozen site's work is rescued
+///   by hedge duplicates), `rolling_restart` (every site of a loaded
+///   six-site cluster is drained and replaced, one at a time), or
+///   `drain_under_partition` (a site drains while blackholed from a
+///   non-successor peer).
 /// - `SDVM_CHAOS_SEED`: RNG seed for the fault plan (default 1).
 #[test]
 fn fault_matrix_scenario() {
@@ -436,6 +563,12 @@ fn fault_matrix_scenario() {
         }
         "hedge_straggler" => {
             return hedge_straggler_drill(seed);
+        }
+        "rolling_restart" => {
+            return rolling_restart_drill(seed);
+        }
+        "drain_under_partition" => {
+            return drain_under_partition_drill(seed);
         }
         "poison_panic" => {
             return poison_drill(

@@ -44,6 +44,17 @@ pub enum ChaosAction {
         /// Time until the link heals.
         heal_after: Duration,
     },
+    /// Gracefully drain site `site` (planned departure): announce
+    /// `Draining`, quiesce, relocate every owned object and frame to the
+    /// successor, sign off. Blocks the scenario thread until the drain
+    /// completes (steps scheduled behind it fire immediately once their
+    /// time has passed). A failed drain leaves the site running with its
+    /// work re-adopted; assert on the site's `drain_completed` metric to
+    /// pin the outcome.
+    Drain {
+        /// Index of the departing site.
+        site: usize,
+    },
     /// Make one worker slot of site `site` exit its loop (the
     /// maintenance supervisor respawns it) — drills the die-and-respawn
     /// path of the execution engine.
@@ -79,6 +90,7 @@ pub struct ChaosEvent {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Step {
     Kill(usize),
+    Drain(usize),
     Pause(usize),
     Resume(usize),
     Partition(usize, usize),
@@ -121,6 +133,7 @@ impl ChaosScenario {
         for ev in &self.events {
             match ev.action {
                 ChaosAction::Kill { site } => steps.push((ev.at, Step::Kill(site))),
+                ChaosAction::Drain { site } => steps.push((ev.at, Step::Drain(site))),
                 ChaosAction::Pause { site, for_ } => {
                     steps.push((ev.at, Step::Pause(site)));
                     steps.push((ev.at + for_, Step::Resume(site)));
@@ -151,6 +164,11 @@ impl ChaosScenario {
             }
             match step {
                 Step::Kill(site) => cluster.crash(site),
+                Step::Drain(site) => {
+                    if let Err(e) = cluster.site(site).drain() {
+                        eprintln!("chaos: drain of site index {site} failed: {e}");
+                    }
+                }
                 Step::Pause(site) => cluster.pause_site(site),
                 Step::Resume(site) => cluster.resume_site(site),
                 Step::Partition(a, b) => cluster.partition(a, b),

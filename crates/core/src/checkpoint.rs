@@ -243,6 +243,123 @@ impl Site {
         Ok(snapshot)
     }
 
+    /// Take an **incremental, pause-free** checkpoint of `program`.
+    ///
+    /// Unlike [`Site::checkpoint_program`] this never pauses the program
+    /// and never waits for quiescence: every site contributes a
+    /// copy-on-write style cut (dirty shards re-captured under their own
+    /// shard lock, clean shards answered from the previous cut), so the
+    /// execution engine keeps running throughout and no worker is ever
+    /// blocked longer than one shard capture.
+    ///
+    /// The price is a weaker cut: consistency is per-shard, not
+    /// cluster-wide. A restore from an incremental snapshot is
+    /// *at-least-once* — a frame captured mid-flight may re-execute and
+    /// re-deliver its results, which the receiving frames' slot-fill
+    /// checks reject as duplicates — rather than the exactly-from-the-cut
+    /// semantics of the quiesced path. Use the quiesced path for
+    /// disaster-recovery archives; use this one for frequent online
+    /// checkpoints where stopping the world is unacceptable (the drain
+    /// and rolling-restart flows).
+    pub fn checkpoint_program_incremental(
+        &self,
+        program: ProgramId,
+    ) -> SdvmResult<ProgramSnapshot> {
+        let site = self.inner();
+        site.program
+            .code_home(program)
+            .ok_or(SdvmError::UnknownProgram(program))?;
+        let members = site.cluster.known_sites();
+
+        // Single collect round, no pause barrier: each site cuts its
+        // shards immediately and replies.
+        let mut frames = Vec::new();
+        let mut objects = Vec::new();
+        for &m in &members {
+            match site.request(
+                m,
+                ManagerId::Program,
+                ManagerId::Program,
+                Payload::SnapshotCollectIncremental { program },
+                site.config.request_timeout,
+            ) {
+                Ok(reply) => match reply.payload {
+                    Payload::SnapshotPart {
+                        frames: f,
+                        objects: o,
+                        ..
+                    } => {
+                        frames.extend(f);
+                        objects.extend(o);
+                    }
+                    other => {
+                        return Err(SdvmError::Checkpoint(format!(
+                            "unexpected incremental snapshot reply {}",
+                            other.name()
+                        )));
+                    }
+                },
+                Err(e) => {
+                    return Err(SdvmError::Checkpoint(format!(
+                        "incremental collect from {m}: {e}"
+                    )));
+                }
+            }
+        }
+
+        // Objects can legitimately appear twice (one site's fresh cut,
+        // another's cached cut from before a migration): keep the
+        // highest version. Frames dedup by address.
+        frames.sort_by_key(|f| f.id);
+        frames.dedup_by_key(|f| f.id);
+        objects.sort_by(|a, b| a.addr.cmp(&b.addr).then(b.version.cmp(&a.version)));
+        objects.dedup_by_key(|o| o.addr);
+
+        let epoch = self
+            .inner()
+            .program
+            .stored_checkpoint(program)
+            .map(|(e, _)| e + 1)
+            .unwrap_or(1);
+        let (name, threads) = {
+            (
+                site.registry
+                    .program_name(program)
+                    .or_else(|| site.program.name_of(program))
+                    .unwrap_or_default(),
+                site.registry.thread_count(program) as u32,
+            )
+        };
+        let snapshot = ProgramSnapshot {
+            program,
+            epoch,
+            name,
+            threads,
+            frames,
+            objects,
+        };
+
+        let bytes = snapshot.to_bytes();
+        let mut stores = site.cluster.code_distribution_sites();
+        if !stores.contains(&site.my_id()) {
+            stores.push(site.my_id());
+        }
+        for &m in &stores {
+            let _ = site.request(
+                m,
+                ManagerId::Program,
+                ManagerId::Program,
+                Payload::CheckpointStore {
+                    program,
+                    epoch,
+                    snapshot: Bytes::copy_from_slice(&bytes),
+                },
+                site.config.request_timeout,
+            );
+        }
+        Ok(snapshot)
+    }
+
     /// Fetch the latest stored checkpoint for `program` from the
     /// checkpoint sites (or the local store).
     pub fn fetch_checkpoint(&self, program: ProgramId) -> SdvmResult<ProgramSnapshot> {

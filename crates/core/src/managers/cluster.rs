@@ -68,6 +68,8 @@ pub struct MemberView {
     pub silent_for: Duration,
     /// Its last gossiped load report.
     pub load: LoadReport,
+    /// Whether it announced a planned departure (`SiteDraining`).
+    pub draining: bool,
 }
 
 /// One death tombstone (ops plane).
@@ -108,6 +110,17 @@ struct ClusterState {
     suspects: HashMap<SiteId, Suspicion>,
     /// Declared-dead sites and the incarnation floor that fences them.
     dead: HashMap<SiteId, DeadEntry>,
+    /// Members that gossiped a planned departure (`SiteDraining`, wire
+    /// v8): still alive and answering, but excluded from help targeting,
+    /// successor/backup-buddy selection and program announcements. An
+    /// entry clears on the site's `SignOff` or on a fresh descriptor
+    /// (the drain was aborted / the site rejoined).
+    draining: HashSet<SiteId>,
+    /// Current central id server (`CentralServer` strategy): the first
+    /// site from birth, moved to the successor when the server drains
+    /// (the drain hands the counter over in an `IdBlockGrant`, and the
+    /// `SignOff` names the inheritor for everyone else).
+    id_server: SiteId,
     alloc: AllocState,
     rr: usize,
     hb_rr: usize,
@@ -140,6 +153,8 @@ impl ClusterManager {
                 incarnations: HashMap::new(),
                 suspects: HashMap::new(),
                 dead: HashMap::new(),
+                draining: HashSet::new(),
+                id_server: SiteId::FIRST,
                 alloc: AllocState::Client,
                 rr: 0,
                 hb_rr: 0,
@@ -278,14 +293,36 @@ impl ClusterManager {
         }
     }
 
-    /// Orderly departure: relocate everything owned here, hand the
-    /// directory role to a successor, announce, and leave.
+    /// Orderly departure — the drain flow (wire v8). In order: gossip
+    /// the `Draining` state (peers stop granting us help, announcing
+    /// programs at us, and targeting us as successor/backup buddy),
+    /// quiesce the local workers, hand the dead-letter store and
+    /// code-source duty to the successor, relocate every owned object
+    /// and frame plus the homesite directory, announce `SignOff`, and
+    /// flush the outbound queues so nothing is lost when the caller
+    /// stops the site. No tombstone, no detector involvement.
     pub fn sign_off(&self, site: &SiteInner) -> SdvmResult<()> {
         let me = site.my_id();
         let Some(successor) = self.successor_of(me) else {
             return Ok(()); // last site: nothing to relocate to
         };
-        // Quiesce: the draining flag (set by Site::sign_off) stops the
+        let drain_started = Instant::now();
+        site.metrics.drain_started.inc();
+        for p in self.known_sites() {
+            if p != me {
+                let _ = site.send_payload(
+                    p,
+                    ManagerId::Cluster,
+                    ManagerId::Cluster,
+                    site.next_seq(),
+                    Payload::SiteDraining {
+                        site: me,
+                        incarnation: site.my_incarnation(),
+                    },
+                );
+            }
+        }
+        // Quiesce: the draining flag (set by Site::drain) stops the
         // workers from taking new frames; wait for the ones already
         // executing to finish, then let any in-flight help replies and
         // results settle before cutting. Iterate until a drain pass finds
@@ -299,6 +336,83 @@ impl ClusterManager {
             std::thread::sleep(Duration::from_millis(5));
         }
         std::thread::sleep(site.config.help_timeout);
+        // Dead-letter handoff: quarantined frames must stay redrivable
+        // after we are gone. The frames were already consumed
+        // cluster-wide on quarantine, so a plain transfer suffices.
+        let letters = site.deadletter.take_all();
+        if !letters.is_empty() {
+            let wire: Vec<(sdvm_wire::WireFrame, String)> = letters
+                .iter()
+                .map(|d| (d.frame.to_wire(), d.cause.to_string()))
+                .collect();
+            let count = wire.len() as u64;
+            match site.send_payload(
+                successor,
+                ManagerId::Program,
+                ManagerId::Program,
+                site.next_seq(),
+                Payload::DeadLetterSweep { letters: wire },
+            ) {
+                Ok(()) => site.metrics.drain_dead_letters_swept.add(count),
+                Err(_) => {
+                    // Successor unreachable: keep the letters; the
+                    // relocate below will fail the same way and the
+                    // drain aborts with the store intact.
+                    for d in letters {
+                        site.deadletter.adopt(d.frame, d.cause);
+                    }
+                }
+            }
+        }
+        // Code-home duty handoff: for every program whose source we
+        // hold, grant the successor source-serving rights (its
+        // `CodeSource` handler records the program). Requesters that
+        // still ask *us* first fall through to distribution sites.
+        for program in site.code.local_source_programs() {
+            let _ = site.send_payload(
+                successor,
+                ManagerId::Code,
+                ManagerId::Code,
+                site.next_seq(),
+                Payload::CodeSource {
+                    thread: sdvm_types::MicrothreadId::new(program, 0),
+                    source: bytes::Bytes::new(),
+                },
+            );
+        }
+        // Id-server duty handoff: a departing central id server gives
+        // the successor its counter, or joining becomes impossible once
+        // we are gone. Taken before the send so a failed hand-over can
+        // restore the role locally; once sent, the duty is the
+        // successor's even if the drain aborts later.
+        let central_next = {
+            let mut st = self.state.lock();
+            match st.alloc {
+                AllocState::Central { next } => {
+                    st.alloc = AllocState::Client;
+                    Some(next)
+                }
+                _ => None,
+            }
+        };
+        if let Some(next) = central_next {
+            let sent = site.send_payload(
+                successor,
+                ManagerId::Cluster,
+                ManagerId::Cluster,
+                site.next_seq(),
+                Payload::IdBlockGrant {
+                    start: next,
+                    len: u32::MAX - next,
+                },
+            );
+            let mut st = self.state.lock();
+            if sent.is_ok() {
+                st.id_server = successor;
+            } else {
+                st.alloc = AllocState::Central { next };
+            }
+        }
         // Collect everything: queued frames + incomplete frames + objects
         // + our homesite directory.
         let mut frames: Vec<_> = site
@@ -319,6 +433,22 @@ impl ClusterManager {
             }
             for o in &objects {
                 site.memory.adopt_object(site, o.clone());
+            }
+            // Withdraw the gossiped Draining state: we are staying, and
+            // peers must resume granting help / targeting us again.
+            let descriptor = self.my_descriptor(site);
+            for p in self.known_sites() {
+                if p != me {
+                    let _ = site.send_payload(
+                        p,
+                        ManagerId::Cluster,
+                        ManagerId::Cluster,
+                        site.next_seq(),
+                        Payload::SiteAnnounce {
+                            descriptor: descriptor.clone(),
+                        },
+                    );
+                }
             }
             err
         };
@@ -341,6 +471,10 @@ impl ClusterManager {
                 "relocation not acknowledged".into(),
             )));
         }
+        site.metrics
+            .drain_objects_relocated
+            .add(objects.len() as u64);
+        site.metrics.drain_frames_relocated.add(frames.len() as u64);
         // Tell everyone (including the successor) that we are gone and
         // who inherited our directory role.
         let peers = self.known_sites();
@@ -358,6 +492,26 @@ impl ClusterManager {
                 );
             }
         }
+        // Flush: wait for the outbound queues to empty so the SignOff
+        // broadcast and every late result actually left before the
+        // caller tears the transport down.
+        let flush_deadline = Instant::now() + site.config.request_timeout;
+        loop {
+            let depth: usize = site
+                .transport
+                .outbound_depths()
+                .iter()
+                .map(|(_, d)| d)
+                .sum();
+            if depth == 0 || Instant::now() > flush_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        site.metrics.drain_completed.inc();
+        site.metrics
+            .drain_duration_us
+            .observe(drain_started.elapsed().as_micros() as u64);
         Ok(())
     }
 
@@ -390,6 +544,10 @@ impl ClusterManager {
         }
         st.last_heard.insert(d.site, Instant::now());
         st.incarnations.insert(d.site, d.incarnation);
+        // A fresh descriptor withdraws a gossiped drain: either the
+        // drain was aborted, or the site left and rejoined (bumped
+        // incarnation) — both mean it is a full member again.
+        st.draining.remove(&d.site);
         let refuted = st.suspects.remove(&d.site).is_some();
         let is_new = st.sites.insert(d.site, d.clone()).is_none();
         drop(st);
@@ -534,6 +692,7 @@ impl ClusterManager {
                     .map(|h| now.duration_since(*h))
                     .unwrap_or(Duration::ZERO),
                 load: st.loads.get(&d.site).copied().unwrap_or_default(),
+                draining: st.draining.contains(&d.site),
             })
             .collect();
         members.sort_by_key(|m| m.site);
@@ -556,14 +715,14 @@ impl ClusterManager {
         }
     }
 
-    /// Known code distribution sites.
+    /// Known code distribution sites (draining members excluded — a
+    /// leaver must not be handed fresh code or checkpoint stores).
     pub fn code_distribution_sites(&self) -> Vec<SiteId> {
-        let mut v: Vec<SiteId> = self
-            .state
-            .lock()
+        let st = self.state.lock();
+        let mut v: Vec<SiteId> = st
             .sites
             .values()
-            .filter(|d| d.code_distribution)
+            .filter(|d| d.code_distribution && !st.draining.contains(&d.site))
             .map(|d| d.site)
             .collect();
         v.sort_unstable();
@@ -577,12 +736,15 @@ impl ClusterManager {
     }
 
     /// The next alive site after `of` in id order (ring) — used as
-    /// relocation target, directory successor and backup buddy.
+    /// relocation target, directory successor and backup buddy. Members
+    /// that announced a planned departure are skipped: handing a leaver
+    /// fresh objects, directory duty or backup mirrors would only force
+    /// a second relocation moments later.
     pub fn successor_of(&self, of: SiteId) -> Option<SiteId> {
         let st = self.state.lock();
         let mut ids: Vec<SiteId> = st.sites.keys().copied().collect();
         ids.sort_unstable();
-        ids.retain(|&s| s != of);
+        ids.retain(|&s| s != of && !st.draining.contains(&s));
         if ids.is_empty() {
             return None;
         }
@@ -609,7 +771,12 @@ impl ClusterManager {
     pub fn pick_help_target(&self, site: &SiteInner) -> Option<SiteId> {
         let me = site.my_id();
         let mut st = self.state.lock();
-        let mut candidates: Vec<SiteId> = st.sites.keys().copied().filter(|&s| s != me).collect();
+        let mut candidates: Vec<SiteId> = st
+            .sites
+            .keys()
+            .copied()
+            .filter(|&s| s != me && !st.draining.contains(&s))
+            .collect();
         if candidates.is_empty() {
             return None;
         }
@@ -681,10 +848,15 @@ impl ClusterManager {
         // the first `servers` ids. Contingents: any site may have ids.
         let st = self.state.lock();
         match self.strategy {
+            // The tracked server (the first site, or whoever inherited
+            // the counter through drains). If gossip about the handoff
+            // has not reached us, ask the oldest live site — it is
+            // either the server or one hop closer to knowing who is.
             IdAllocStrategy::CentralServer => st
                 .sites
-                .contains_key(&SiteId::FIRST)
-                .then_some(SiteId::FIRST),
+                .contains_key(&st.id_server)
+                .then_some(st.id_server)
+                .or_else(|| st.sites.keys().copied().min()),
             IdAllocStrategy::Modulo { servers } => {
                 (1..=servers).map(SiteId).find(|s| st.sites.contains_key(s))
             }
@@ -1033,14 +1205,39 @@ impl ClusterManager {
                 st.announced_to.remove(&gone);
                 st.suspects.remove(&gone);
                 st.incarnations.remove(&gone);
+                st.draining.remove(&gone);
                 st.succession.insert(gone, successor);
+                if gone == st.id_server {
+                    st.id_server = successor;
+                }
                 drop(st);
                 site.security.forget(gone);
+                // Its metrics digest stops contributing to the cluster
+                // rollup (the crash path already did this; the orderly
+                // path used to leak the entry).
+                site.rollup.forget(gone);
                 site.emit(TraceEvent::SiteGone {
                     site: site.my_id(),
                     gone,
                     crashed: false,
                 });
+            }
+            Payload::SiteDraining {
+                site: leaver,
+                incarnation,
+            } => {
+                // Planned departure (wire v8): mark — no suspicion, no
+                // tombstone, no detector involvement. The gossip doubles
+                // as a liveness proof.
+                if leaver.is_valid() && leaver != site.my_id() {
+                    let mut st = self.state.lock();
+                    st.last_heard.insert(leaver, Instant::now());
+                    if incarnation > 0 {
+                        let known = st.incarnations.entry(leaver).or_insert(0);
+                        *known = (*known).max(incarnation);
+                    }
+                    st.draining.insert(leaver);
+                }
             }
             Payload::Heartbeat { load } => self.note_load(msg.src_site, load),
             Payload::ClusterListRequest {} => {
@@ -1100,6 +1297,14 @@ impl ClusterManager {
                     if let AllocState::Ranges { ranges } = &mut st.alloc {
                         ranges.push((start, start + len - 1));
                     }
+                }
+                if len > 0 && matches!(self.strategy, IdAllocStrategy::CentralServer) {
+                    // A draining central id server hands its counter to
+                    // the successor (us): without this, no site could
+                    // ever join again once the first site departs.
+                    let mut st = self.state.lock();
+                    st.alloc = AllocState::Central { next: start };
+                    st.id_server = site.my_id();
                 }
             }
             Payload::SiteCrashed {

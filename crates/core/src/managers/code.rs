@@ -80,6 +80,13 @@ impl CodeManager {
         self.sources.lock().insert(program);
     }
 
+    /// Programs whose source this site holds. Used by the drain flow:
+    /// the leaver ships a `CodeSource` per held program to its successor
+    /// so source-serving duty survives the departure.
+    pub fn local_source_programs(&self) -> Vec<ProgramId> {
+        self.sources.lock().iter().copied().collect()
+    }
+
     /// Is a binary for (thread, platform) present here?
     pub fn has_binary(&self, thread: MicrothreadId, platform: PlatformId) -> bool {
         self.available.lock().contains(&(thread, platform))

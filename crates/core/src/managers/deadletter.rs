@@ -104,6 +104,22 @@ impl DeadLetterManager {
         true
     }
 
+    /// Drain the whole store for the drain-time handoff to the
+    /// successor: without the transfer the letters would vanish with
+    /// the departing site and `redrive()` would be impossible forever.
+    pub fn take_all(&self) -> Vec<DeadLetter> {
+        std::mem::take(&mut *self.letters.lock())
+    }
+
+    /// Adopt a letter handed over by a draining site (`DeadLetterSweep`).
+    /// The frame was already consumed cluster-wide when it was first
+    /// quarantined, so this only stores it — no directory removal, no
+    /// tombstone, no code-home notification (the failure policy already
+    /// ran on the original quarantine).
+    pub fn adopt(&self, frame: Microframe, cause: SdvmError) {
+        self.letters.lock().push(DeadLetter { frame, cause });
+    }
+
     /// Drop all letters of a terminated program.
     pub fn purge_program(&self, program: ProgramId) {
         self.letters.lock().retain(|d| d.frame.program() != program);

@@ -38,8 +38,8 @@ use crate::telemetry::trace_id_of;
 use crate::trace::TraceEvent;
 use parking_lot::{Mutex, MutexGuard};
 use sdvm_types::{GlobalAddress, ManagerId, ProgramId, SdvmError, SdvmResult, SiteId, Value};
-use sdvm_wire::{Payload, SdMessage, TraceContext, WireMemObject};
-use std::collections::HashMap;
+use sdvm_wire::{Payload, SdMessage, TraceContext, WireFrame, WireMemObject};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -104,6 +104,12 @@ struct Shard {
     /// Where an object that migrated away went (last known owner);
     /// served as the `MemMissing` forwarding hint.
     hints: HashMap<GlobalAddress, SiteId>,
+    /// Programs whose objects/frames in this shard changed since their
+    /// last incremental checkpoint cut (wire v8). Set under the shard
+    /// lock the mutation already holds, so marking is free of extra
+    /// synchronization; cleared per program when a cut re-captures the
+    /// shard.
+    dirty: HashSet<ProgramId>,
 }
 
 struct ShardSlot {
@@ -122,10 +128,38 @@ impl ShardSlot {
     }
 }
 
+/// One shard's contribution to a program's incremental checkpoint cut,
+/// cached between cuts so clean shards are answered without touching
+/// (or locking) the live shard again.
+#[derive(Clone, Default)]
+struct ShardCut {
+    objects: Vec<WireMemObject>,
+    frames: Vec<WireFrame>,
+}
+
+/// Result of one incremental (copy-on-write style) checkpoint cut.
+pub struct IncrementalCut {
+    /// This site's owned objects of the program, per-shard consistent.
+    pub objects: Vec<WireMemObject>,
+    /// This site's incomplete frames of the program, per-shard consistent.
+    pub frames: Vec<WireFrame>,
+    /// Shards that were dirty (or never cut) and had to be re-captured.
+    pub shards_captured: usize,
+    /// Clean shards answered from the previous cut without locking work.
+    pub shards_reused: usize,
+    /// Longest time any single shard lock was held during the cut — the
+    /// worst case a concurrent worker could have been blocked.
+    pub max_block: std::time::Duration,
+}
+
 /// The attraction memory of one site.
 pub struct MemoryManager {
     shards: Vec<ShardSlot>,
     counter: AtomicU64,
+    /// Previous incremental cut per program: one optional entry per
+    /// shard (`None` = that shard was never captured). Only the
+    /// checkpoint path locks this — workers never touch it.
+    cuts: Mutex<HashMap<ProgramId, Vec<Option<ShardCut>>>>,
 }
 
 impl Default for MemoryManager {
@@ -152,6 +186,7 @@ impl MemoryManager {
                 })
                 .collect(),
             counter: AtomicU64::new(1),
+            cuts: Mutex::new(HashMap::new()),
         }
     }
 
@@ -213,6 +248,74 @@ impl MemoryManager {
         (objects, frames)
     }
 
+    /// Incremental, non-blocking checkpoint cut (wire v8): capture this
+    /// site's share of a program's state as per-shard consistent cuts.
+    /// Dirty shards (mutated since the last cut, or never cut) are
+    /// re-captured under their own shard lock — held only for the copy
+    /// of that one shard's entries, never globally — and clean shards
+    /// are answered from the previous cut without blocking anyone. The
+    /// first cut of a program captures every shard (full cut).
+    ///
+    /// Consistency: each shard's contribution is internally consistent
+    /// (cut under its lock), but different shards are cut at slightly
+    /// different instants and the execution engine keeps running — a
+    /// restore from an incremental cut may re-execute frames that were
+    /// in flight at cut time (at-least-once from the cut; duplicate
+    /// results are rejected by the slot-fill check). The stop-the-world
+    /// `SnapshotCollect` path remains for fully quiesced cuts.
+    pub fn snapshot_program_incremental(&self, program: ProgramId) -> IncrementalCut {
+        let mut cuts = self.cuts.lock();
+        let cache = cuts
+            .entry(program)
+            .or_insert_with(|| vec![None; self.shards.len()]);
+        let mut out = IncrementalCut {
+            objects: Vec::new(),
+            frames: Vec::new(),
+            shards_captured: 0,
+            shards_reused: 0,
+            max_block: std::time::Duration::ZERO,
+        };
+        for (i, slot) in self.shards.iter().enumerate() {
+            let held = Instant::now();
+            let mut st = slot.lock();
+            let dirty = st.dirty.remove(&program);
+            if dirty || cache[i].is_none() {
+                let cut = ShardCut {
+                    objects: st
+                        .objects
+                        .iter()
+                        .filter(|(_, o)| o.program == program)
+                        .map(|(addr, o)| WireMemObject {
+                            addr: *addr,
+                            program: o.program,
+                            data: o.data.clone(),
+                            version: o.version,
+                        })
+                        .collect(),
+                    frames: st
+                        .frames
+                        .values()
+                        .filter(|f| f.program() == program)
+                        .map(|f| f.to_wire())
+                        .collect(),
+                };
+                drop(st);
+                out.max_block = out.max_block.max(held.elapsed());
+                cache[i] = Some(cut);
+                out.shards_captured += 1;
+            } else {
+                drop(st);
+                out.max_block = out.max_block.max(held.elapsed());
+                out.shards_reused += 1;
+            }
+        }
+        for cut in cache.iter().flatten() {
+            out.objects.extend(cut.objects.iter().cloned());
+            out.frames.extend(cut.frames.iter().cloned());
+        }
+        out
+    }
+
     /// Allocate a global object with initial contents.
     pub fn alloc(&self, site: &SiteInner, program: ProgramId, data: Value) -> GlobalAddress {
         let addr = self.fresh_address(site);
@@ -226,6 +329,7 @@ impl MemoryManager {
                     version: 1,
                 },
             );
+            st.dirty.insert(program);
             st.directory.insert(addr, site.my_id());
         }
         backup::mirror_object(site, addr, program, data, 1);
@@ -248,6 +352,7 @@ impl MemoryManager {
             let mut st = self.shard(frame.id);
             st.directory.insert(frame.id, site.my_id());
             if !executable {
+                st.dirty.insert(frame.program());
                 st.frames.insert(frame.id, frame.clone());
             }
         }
@@ -271,6 +376,7 @@ impl MemoryManager {
                 st.directory.insert(frame.id, me);
             }
             if !executable {
+                st.dirty.insert(frame.program());
                 st.frames.insert(frame.id, frame.clone());
             }
         }
@@ -294,7 +400,12 @@ impl MemoryManager {
     /// Remove an owned frame (it is about to migrate away via a help
     /// reply). Caller is responsible for the directory update.
     pub fn take_frame(&self, id: GlobalAddress) -> Option<Microframe> {
-        self.shard(id).frames.remove(&id)
+        let mut st = self.shard(id);
+        let taken = st.frames.remove(&id);
+        if let Some(f) = &taken {
+            st.dirty.insert(f.program());
+        }
+        taken
     }
 
     /// Adopt a memory object that migrated here by relocation or crash
@@ -322,6 +433,7 @@ impl MemoryManager {
                         version: obj.version,
                     },
                 );
+                st.dirty.insert(obj.program);
                 obj.version
             };
             st.replicas.remove(&obj.addr);
@@ -446,11 +558,13 @@ impl MemoryManager {
         };
         let fired = frame.apply(slot, value)?;
         let missing = frame.missing();
+        let program = frame.program();
         let fired_frame = if fired {
             st.frames.remove(&target)
         } else {
             None
         };
+        st.dirty.insert(program);
         drop(st);
         site.emit(TraceEvent::ParamApplied {
             site: site.my_id(),
@@ -697,6 +811,7 @@ impl MemoryManager {
                                     version,
                                 },
                             );
+                            st.dirty.insert(program);
                             st.replicas.remove(&addr);
                             st.hints.remove(&addr);
                             if home == me {
@@ -830,6 +945,7 @@ impl MemoryManager {
         obj.version += 1;
         let program = obj.program;
         let version = obj.version;
+        st.dirty.insert(program);
         let copyset = st.copysets.remove(&addr).unwrap_or_default();
         Some((program, version, copyset))
     }
@@ -1022,7 +1138,9 @@ impl MemoryManager {
                 st.directory.remove(&a);
             }
             st.replicas.retain(|_, r| r.program != program);
+            st.dirty.remove(&program);
         }
+        self.cuts.lock().remove(&program);
     }
 
     /// Version of the locally cached replica of `addr`, if any
@@ -1036,13 +1154,26 @@ impl MemoryManager {
         self.shard(addr).objects.get(&addr).map(|o| o.version)
     }
 
-    /// Drop every cached replica of a program's objects. Called on
-    /// program (re-)registration — a checkpoint restore rewinds object
-    /// state, so copies cut from the pre-restore timeline must not
-    /// survive it (a fresh program trivially has no replicas).
+    /// The forwarding hint recorded for `addr`, if any (diagnostics;
+    /// restore-purge assertions in tests).
+    pub fn recorded_hint(&self, addr: GlobalAddress) -> Option<SiteId> {
+        self.shard(addr).hints.get(&addr).copied()
+    }
+
+    /// Drop every cached replica of a program's objects, and every
+    /// forwarding hint. Called on program (re-)registration — a
+    /// checkpoint restore rewinds object state, so copies cut from the
+    /// pre-restore timeline must not survive it (a fresh program
+    /// trivially has no replicas), and pre-restore migration hints
+    /// would steer chasers at owners that no longer hold the restored
+    /// objects. Hints carry no program id, so they are cleared
+    /// wholesale — they are an optimization, losing them only costs a
+    /// directory lookup.
     pub fn purge_replicas(&self, program: ProgramId) {
         for slot in &self.shards {
-            slot.lock().replicas.retain(|_, r| r.program != program);
+            let mut st = slot.lock();
+            st.replicas.retain(|_, r| r.program != program);
+            st.hints.clear();
         }
     }
 
@@ -1145,6 +1276,7 @@ impl MemoryManager {
                             version: o.version,
                         },
                     );
+                    st.dirty.insert(o.program);
                     st.replicas.remove(&o.addr);
                     st.hints.remove(&o.addr);
                     // Ownership moved here; record it if we will act
@@ -1242,6 +1374,7 @@ impl MemoryManager {
                 let mut st = self.shard(addr);
                 match st.objects.remove(&addr) {
                     Some(o) => {
+                        st.dirty.insert(o.program);
                         // The object is leaving: remember where it went
                         // (forwarding hint) and schedule invalidation of
                         // every outstanding replica — the new owner's
@@ -1283,6 +1416,7 @@ impl MemoryManager {
                     // and reply: the migrating object must not vanish
                     // from the cluster — take it back.
                     let mut st = self.shard(addr);
+                    st.dirty.insert(o.program);
                     st.objects.insert(addr, o);
                     st.hints.remove(&addr);
                 }

@@ -53,16 +53,28 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 struct SlotGuard<'a> {
     site: &'a SiteInner,
     program: ProgramId,
+    in_flight: Option<sdvm_types::GlobalAddress>,
     started: std::time::Instant,
 }
 
 impl<'a> SlotGuard<'a> {
-    fn enter(site: &'a SiteInner, program: ProgramId) -> Self {
+    fn enter(site: &'a SiteInner, frame: &crate::frame::Microframe) -> Self {
+        let program = frame.program();
         site.scheduling.set_busy(1);
         site.scheduling.note_running(program, 1);
+        // Keep the pre-execution image visible to non-quiescing
+        // (incremental) snapshots; replica runs stay invisible — they
+        // settle through their coordinator, not through a checkpoint.
+        let in_flight = if frame.replica.is_none() {
+            site.scheduling.note_in_flight(frame.clone());
+            Some(frame.id)
+        } else {
+            None
+        };
         SlotGuard {
             site,
             program,
+            in_flight,
             started: std::time::Instant::now(),
         }
     }
@@ -70,6 +82,9 @@ impl<'a> SlotGuard<'a> {
 
 impl Drop for SlotGuard<'_> {
     fn drop(&mut self) {
+        if let Some(id) = self.in_flight {
+            self.site.scheduling.clear_in_flight(id);
+        }
         self.site.scheduling.set_busy(-1);
         self.site.scheduling.note_running(self.program, -1);
         // Accounting (paper goal 14): charge the program for the slot
@@ -96,7 +111,7 @@ pub fn worker_loop(site: &Arc<SiteInner>) {
             .replica
             .map(|_| Arc::new(parking_lot::Mutex::new(Vec::new())));
         let result = {
-            let guard = SlotGuard::enter(site, frame.program());
+            let guard = SlotGuard::enter(site, &frame);
             // The guard sits OUTSIDE the catch so its Drop runs on the
             // normal path after a caught unwind — counters cannot leak.
             let caught = catch_unwind(AssertUnwindSafe(|| {

@@ -276,6 +276,13 @@ impl ProgramManager {
                 threads,
                 replication,
             } => {
+                // A draining site refuses new program announcements: it
+                // is giving its work away and will be gone before the
+                // program runs, so adopting bookkeeping for it would
+                // only create state that must immediately relocate.
+                if site.is_draining() {
+                    return;
+                }
                 self.register(
                     program,
                     ProgramInfo {
@@ -346,6 +353,54 @@ impl ProgramManager {
                         Payload::SnapshotPart {
                             program,
                             objects,
+                            frames,
+                        },
+                    );
+                })));
+            }
+            Payload::DeadLetterSweep { letters } => {
+                // A draining peer hands over its quarantined frames so
+                // they stay inspectable/re-drivable after it departs.
+                // The typed cause did not survive the wire; it arrives
+                // as the stringified error and is re-wrapped.
+                for (wf, cause) in letters {
+                    site.deadletter.adopt(
+                        crate::frame::Microframe::from_wire(wf),
+                        SdvmError::Application(cause),
+                    );
+                }
+            }
+            Payload::SnapshotCollectIncremental { program } => {
+                // Pause-free variant of `SnapshotCollect`: no program
+                // pause, no quiesce wait, no settle window. The cut is
+                // only per-shard consistent; restore semantics are
+                // at-least-once (re-executed frames re-deliver results,
+                // which the receiving frame's slot-fill check rejects
+                // as duplicates). Blocking (shard locks) → helper
+                // thread, like the quiesced path.
+                site.spawn_task(crate::site::Task::Run(Box::new(move |site| {
+                    let cut = site.memory.snapshot_program_incremental(program);
+                    site.metrics.checkpoint_incremental_cuts.inc();
+                    site.metrics
+                        .checkpoint_incremental_shards_captured
+                        .add(cut.shards_captured as u64);
+                    site.metrics
+                        .checkpoint_incremental_shards_reused
+                        .add(cut.shards_reused as u64);
+                    site.metrics
+                        .checkpoint_incremental_block_us
+                        .observe_duration(cut.max_block);
+                    let queued = site.scheduling.snapshot_program(program);
+                    let mut frames = cut.frames;
+                    frames.extend(queued.into_iter().map(|f| f.to_wire()));
+                    frames.sort_by_key(|f| f.id);
+                    frames.dedup_by_key(|f| f.id);
+                    site.reply_to(
+                        &msg,
+                        ManagerId::Program,
+                        Payload::SnapshotPart {
+                            program,
+                            objects: cut.objects,
                             frames,
                         },
                     );

@@ -36,6 +36,15 @@ struct SchedState {
     delayed: Vec<(Instant, Microframe)>,
     /// Frames of each program currently executing on this site.
     running: std::collections::HashMap<sdvm_types::ProgramId, u32>,
+    /// Pre-execution images of the frames currently running in worker
+    /// slots. A fired frame is already out of the memory manager and out
+    /// of every queue while a worker executes it, so a non-quiescing
+    /// (incremental) snapshot would silently lose it — and with it the
+    /// whole subtree it was about to spawn. Registered by the worker's
+    /// slot guard on entry, cleared on exit (all paths, RAII). Replica
+    /// runs are not registered: they report to a coordinator that a
+    /// restored cluster would not have.
+    in_flight: std::collections::HashMap<sdvm_types::GlobalAddress, Microframe>,
 }
 
 impl SchedState {
@@ -294,6 +303,11 @@ impl SchedulingManager {
 
     /// Clone (do not drain) all queued/parked frames of a program — the
     /// scheduling manager's contribution to a checkpoint snapshot.
+    /// Includes the pre-execution image of every frame currently running
+    /// in a worker slot: a non-quiescing cut must capture those too, or
+    /// restoring it would lose the running frames' subtrees (their
+    /// re-execution re-sends results; duplicates of sends that already
+    /// landed are rejected by the target frame's slot-fill check).
     pub fn snapshot_program(&self, program: sdvm_types::ProgramId) -> Vec<Microframe> {
         let st = self.state.lock();
         st.executable
@@ -301,9 +315,21 @@ impl SchedulingManager {
             .chain(st.ready.iter().map(|(f, _)| f))
             .chain(st.parked.iter())
             .chain(st.delayed.iter().map(|(_, f)| f))
+            .chain(st.in_flight.values())
             .filter(|f| f.program() == program)
             .cloned()
             .collect()
+    }
+
+    /// Register the pre-execution image of a frame entering a worker
+    /// slot (see `SchedState::in_flight`).
+    pub(crate) fn note_in_flight(&self, frame: Microframe) {
+        self.state.lock().in_flight.insert(frame.id, frame);
+    }
+
+    /// Drop the in-flight image of a frame leaving its worker slot.
+    pub(crate) fn clear_in_flight(&self, id: sdvm_types::GlobalAddress) {
+        self.state.lock().in_flight.remove(&id);
     }
 
     /// Wake all idle workers (shutdown).
@@ -318,6 +344,19 @@ impl SchedulingManager {
             (st.executable.len() + st.ready.len()) as u32,
             self.busy.load(Ordering::Relaxed),
         )
+    }
+
+    /// Total frames the scheduler still holds in *any* queue (executable,
+    /// ready, parked, delayed) plus the busy worker slots. This is the
+    /// drain-progress number: a draining site reports it live on
+    /// `/healthz` and it must reach zero before the site departs.
+    pub fn queued_total(&self) -> usize {
+        let st = self.state.lock();
+        st.executable.len()
+            + st.ready.len()
+            + st.parked.len()
+            + st.delayed.len()
+            + self.busy.load(Ordering::Relaxed) as usize
     }
 
     /// Next load-gossip epoch.

@@ -171,6 +171,23 @@ impl SiteInner {
         self.draining.load(Ordering::SeqCst)
     }
 
+    /// Flip the draining flag (the ops plane's `POST /drain` and the
+    /// abort path of a failed drain).
+    pub(crate) fn set_draining(&self, on: bool) {
+        self.draining.store(on, Ordering::SeqCst);
+    }
+
+    /// Stop the site from one of its *own* threads (the ops-plane
+    /// `POST /drain` finishes this way): flags shutdown and wakes
+    /// everything but joins nothing — a site thread cannot join itself.
+    /// The owning [`Site`](crate::site::Site) handle joins the exited
+    /// threads on `stop`/drop as usual.
+    pub(crate) fn soft_stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.scheduling.wake_all();
+        self.transport.shutdown();
+    }
+
     /// This site's current incarnation number.
     pub fn my_incarnation(&self) -> u64 {
         self.incarnation.load(Ordering::SeqCst)
@@ -715,13 +732,31 @@ impl Site {
         self.inner.cluster.sign_on(&self.inner, contact)
     }
 
-    /// Orderly sign-off: relocate all owned frames, objects and the
-    /// homesite directory to another site, announce departure, stop.
-    pub fn sign_off(&self) -> SdvmResult<()> {
+    /// Graceful drain: announce `Draining` cluster-wide (peers stop
+    /// granting this site help, stop targeting it as a backup buddy and
+    /// drop it from code distribution), quiesce local execution, sweep
+    /// dead letters and code-source duty to the successor, relocate all
+    /// owned frames, objects and the homesite directory, flush the
+    /// outbound queues, then announce departure and stop.
+    ///
+    /// On failure the site re-adopts its work and re-announces its
+    /// descriptor (withdrawing the `Draining` state on peers), so a
+    /// failed drain leaves a fully working member.
+    pub fn drain(&self) -> SdvmResult<()> {
         self.inner.draining.store(true, Ordering::SeqCst);
         let res = self.inner.cluster.sign_off(&self.inner);
+        if res.is_err() {
+            // Drain aborted: resume normal duty.
+            self.inner.draining.store(false, Ordering::SeqCst);
+            return res;
+        }
         self.stop();
         res
+    }
+
+    /// Orderly sign-off: [`Site::drain`] under its historical name.
+    pub fn sign_off(&self) -> SdvmResult<()> {
+        self.drain()
     }
 
     /// Abrupt stop, *without* relocation — simulates a crash (tests and

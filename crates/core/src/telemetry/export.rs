@@ -472,6 +472,54 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
     );
     write_counter(
         &mut out,
+        "sdvm_drain_started_total",
+        "Graceful drains started on the site.",
+        &c(|m| m.drain_started),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_drain_completed_total",
+        "Graceful drains that ran to completion.",
+        &c(|m| m.drain_completed),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_drain_objects_relocated_total",
+        "Memory objects relocated to peers during drains.",
+        &c(|m| m.drain_objects_relocated),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_drain_frames_relocated_total",
+        "Waiting microframes relocated to peers during drains.",
+        &c(|m| m.drain_frames_relocated),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_drain_dead_letters_swept_total",
+        "Dead letters swept to the successor during drains.",
+        &c(|m| m.drain_dead_letters_swept),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_checkpoint_incremental_cuts_total",
+        "Incremental (pause-free) checkpoint cuts taken.",
+        &c(|m| m.checkpoint_incremental_cuts),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_checkpoint_incremental_shards_captured_total",
+        "Shards re-captured because dirty (or never cut) since the previous incremental cut.",
+        &c(|m| m.checkpoint_incremental_shards_captured),
+    );
+    write_counter(
+        &mut out,
+        "sdvm_checkpoint_incremental_shards_reused_total",
+        "Shards whose cached incremental cut was reused unchanged.",
+        &c(|m| m.checkpoint_incremental_shards_reused),
+    );
+    write_counter(
+        &mut out,
         "sdvm_bus_dropped_total",
         "Trace-bus events overwritten unread in the bounded ring.",
         &c(|m| m.bus_dropped),
@@ -544,6 +592,18 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
         &h(|m| &m.retry_delay_us),
     );
 
+    write_histogram(
+        &mut out,
+        "sdvm_drain_duration_us",
+        "Wall-clock duration of completed drains (microseconds).",
+        &h(|m| &m.drain_duration_us),
+    );
+    write_histogram(
+        &mut out,
+        "sdvm_checkpoint_incremental_block_us",
+        "Longest single-shard lock hold per incremental cut, the worst-case worker block (microseconds).",
+        &h(|m| &m.checkpoint_incremental_block_us),
+    );
     write_histogram(
         &mut out,
         "sdvm_mem_chase_hops",
@@ -669,6 +729,16 @@ mod tests {
         m.hedges_fired.inc();
         m.hedge_wins.inc();
         m.hedge_delay_us.observe(2_000);
+        m.drain_started.inc();
+        m.drain_completed.inc();
+        m.drain_objects_relocated.add(4);
+        m.drain_frames_relocated.add(2);
+        m.drain_dead_letters_swept.inc();
+        m.drain_duration_us.observe(9_000);
+        m.checkpoint_incremental_cuts.inc();
+        m.checkpoint_incremental_shards_captured.add(3);
+        m.checkpoint_incremental_shards_reused.add(13);
+        m.checkpoint_incremental_block_us.observe(40);
         let mut snap = m.snapshot();
         snap.mem_shard_contention = vec![0, 3];
         snap.bus_dropped = 2;
@@ -693,6 +763,16 @@ mod tests {
         assert!(text.contains("sdvm_mem_shard_contention{site=\"1\",shard=\"1\"} 3"));
         assert!(text.contains("sdvm_bus_dropped_total{site=\"1\"} 2"));
         assert!(text.contains("sdvm_bus_tap_dropped_total{site=\"1\"} 5"));
+        assert!(text.contains("sdvm_drain_started_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_drain_completed_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_drain_objects_relocated_total{site=\"1\"} 4"));
+        assert!(text.contains("sdvm_drain_frames_relocated_total{site=\"1\"} 2"));
+        assert!(text.contains("sdvm_drain_dead_letters_swept_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_drain_duration_us_count{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_checkpoint_incremental_cuts_total{site=\"1\"} 1"));
+        assert!(text.contains("sdvm_checkpoint_incremental_shards_captured_total{site=\"1\"} 3"));
+        assert!(text.contains("sdvm_checkpoint_incremental_shards_reused_total{site=\"1\"} 13"));
+        assert!(text.contains("sdvm_checkpoint_incremental_block_us_count{site=\"1\"} 1"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The ops-plane HTTP listener: live introspection of a running site.
 //!
-//! A site configured with [`ops_addr`] serves three plain-HTTP/1.1
+//! A site configured with [`ops_addr`] serves four plain-HTTP/1.1
 //! endpoints from one background thread:
 //!
 //! - `GET /metrics` — the Prometheus text exposition of this site's
@@ -9,11 +9,16 @@
 //! - `GET /healthz` — `200` when the site is healthy, `503` with a JSON
 //!   reason list when it is not (not running, draining, zero live
 //!   workers, open suspicions, death tombstones, or deep outbound
-//!   backpressure).
+//!   backpressure). While draining, the reason carries live progress:
+//!   objects left, frames left, outbound queue depth.
 //! - `GET /status` — a JSON snapshot: local manager status, the
 //!   membership view (incarnations, suspicions, tombstones,
 //!   succession), dead letters, replication counters and per-shard
 //!   memory contention.
+//! - `POST /drain` — start a graceful drain (the wire-v8 planned
+//!   departure): replies `202` immediately and runs the drain on a
+//!   helper thread; `/healthz` tracks the progress until the site
+//!   departs. A second POST while draining replies `409`.
 //!
 //! The listener is deliberately primitive — `std::net`, blocking reads
 //! with a timeout, `Connection: close` — because it serves curl and
@@ -90,34 +95,40 @@ fn handle_connection(inner: &Arc<SiteInner>, mut stream: TcpStream) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Some(path) = read_request_path(&mut stream) else {
+    let Some((method, path)) = read_request_line(&mut stream) else {
         respond(&mut stream, 400, "text/plain", "bad request\n");
         return;
     };
-    match path.as_str() {
-        "/metrics" => {
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/metrics") => {
             let (code, body) = metrics_body(inner);
             respond(&mut stream, code, "text/plain; version=0.0.4", &body);
         }
-        "/healthz" => {
+        ("GET", "/healthz") => {
             let (code, body) = healthz_body(inner);
             respond(&mut stream, code, "application/json", &body);
         }
-        "/status" => {
+        ("GET", "/status") => {
             let body = status_body(inner);
             respond(&mut stream, 200, "application/json", &body);
         }
-        _ => respond(
+        ("POST", "/drain") => {
+            let (code, body) = drain_trigger(inner);
+            respond(&mut stream, code, "application/json", &body);
+        }
+        ("GET" | "POST", _) => respond(
             &mut stream,
             404,
             "text/plain",
-            "not found; try /metrics /healthz /status\n",
+            "not found; try GET /metrics /healthz /status, POST /drain\n",
         ),
+        _ => respond(&mut stream, 405, "text/plain", "method not allowed\n"),
     }
 }
 
-/// Read the request head and return the path of `GET <path> HTTP/…`.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// Read the request head and return `(method, path)` of
+/// `<METHOD> <path> HTTP/…`.
+fn read_request_line(stream: &mut TcpStream) -> Option<(String, String)> {
     let mut buf = Vec::with_capacity(256);
     let mut chunk = [0u8; 256];
     while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 4096 {
@@ -134,21 +145,21 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     let head = String::from_utf8_lossy(&buf);
     let line = head.lines().next()?;
     let mut parts = line.split_ascii_whitespace();
-    let method = parts.next()?;
+    let method = parts.next()?.to_string();
     let path = parts.next()?;
-    if method != "GET" {
-        return None;
-    }
     // Ignore any query string — `/metrics?x=y` is still `/metrics`.
-    Some(path.split('?').next().unwrap_or(path).to_string())
+    Some((method, path.split('?').next().unwrap_or(path).to_string()))
 }
 
 /// Write one HTTP/1.1 response and close.
 fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
     let reason = match code {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
         503 => "Service Unavailable",
         _ => "OK",
     };
@@ -191,7 +202,20 @@ fn healthz_body(inner: &Arc<SiteInner>) -> (u16, String) {
         reasons.push("not running".into());
     }
     if inner.is_draining() {
-        reasons.push("draining (signing off)".into());
+        // Live drain progress: what still has to leave before the site
+        // can depart. All three numbers fall to zero over a drain.
+        let mem = inner.memory.stats();
+        let queued = inner.scheduling.queued_total();
+        let outbound: usize = inner
+            .transport
+            .outbound_depths()
+            .iter()
+            .map(|(_, depth)| depth)
+            .sum();
+        reasons.push(format!(
+            "draining: {} objects left, {} frames left, {} queued locally, outbound queue depth {}",
+            mem.objects, mem.frames, queued, outbound
+        ));
     }
     let workers = inner.live_workers();
     if workers == 0 {
@@ -229,6 +253,38 @@ fn healthz_body(inner: &Arc<SiteInner>) -> (u16, String) {
     }
     body.push_str("]}\n");
     (if ok { 200 } else { 503 }, body)
+}
+
+/// `POST /drain`: kick off the graceful departure. The drain itself is
+/// blocking (relocation round trips), so it runs on a helper thread and
+/// the response is `202 Accepted` — watch `/healthz` for progress. When
+/// the drain completes the site soft-stops (its threads exit; the
+/// owning handle joins them later); when it fails the site re-adopts
+/// its work and returns to normal duty.
+fn drain_trigger(inner: &Arc<SiteInner>) -> (u16, String) {
+    let me = inner.my_id().0;
+    if inner.is_draining() {
+        return (
+            409,
+            format!("{{\"ok\": false, \"site\": {me}, \"error\": \"already draining\"}}\n"),
+        );
+    }
+    inner.set_draining(true);
+    inner.spawn_task(crate::site::Task::Run(Box::new(|site| {
+        match site.cluster.sign_off(site) {
+            Ok(()) => site.soft_stop(),
+            Err(e) => {
+                // Drain aborted (successor unreachable, relocation
+                // refused): work was re-adopted, resume normal duty.
+                eprintln!("sdvm: site {} drain failed: {e}", site.my_id());
+                site.set_draining(false);
+            }
+        }
+    })));
+    (
+        202,
+        format!("{{\"ok\": true, \"site\": {me}, \"draining\": true}}\n"),
+    )
 }
 
 /// `/status`: the full JSON snapshot.

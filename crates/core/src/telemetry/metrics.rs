@@ -304,6 +304,32 @@ pub struct Metrics {
     /// How long a hedged frame had been pending when a duplicate fired.
     pub hedge_delay_us: Histogram,
 
+    // ---- planned departure & online checkpoint (cold: ops only) ----
+    /// Drains started on this site (incremented when the `SiteDraining`
+    /// gossip goes out, before any relocation work).
+    pub drain_started: Counter,
+    /// Drains that ran to completion (objects relocated, duties handed
+    /// off, outbound queues flushed).
+    pub drain_completed: Counter,
+    /// Memory objects relocated to peers during drains.
+    pub drain_objects_relocated: Counter,
+    /// Waiting (non-executable) frames relocated to peers during drains.
+    pub drain_frames_relocated: Counter,
+    /// Dead letters swept to the successor during drains.
+    pub drain_dead_letters_swept: Counter,
+    /// Wall-clock duration of each completed drain.
+    pub drain_duration_us: Histogram,
+    /// Incremental (pause-free) checkpoint cuts taken on this site.
+    pub checkpoint_incremental_cuts: Counter,
+    /// Shards re-captured because they were dirty (or never cut) since
+    /// the previous incremental cut.
+    pub checkpoint_incremental_shards_captured: Counter,
+    /// Shards whose cached cut was reused unchanged.
+    pub checkpoint_incremental_shards_reused: Counter,
+    /// Longest single-shard lock hold per incremental cut — the worst
+    /// case a worker could be blocked by the copy-on-write capture.
+    pub checkpoint_incremental_block_us: Histogram,
+
     /// In-flight career marks, keyed by frame address.
     careers: Mutex<HashMap<GlobalAddress, CareerMarks>>,
 }
@@ -354,6 +380,16 @@ impl Default for Metrics {
             hedges_fired: Counter::default(),
             hedge_wins: Counter::default(),
             hedge_delay_us: Histogram::default(),
+            drain_started: Counter::default(),
+            drain_completed: Counter::default(),
+            drain_objects_relocated: Counter::default(),
+            drain_frames_relocated: Counter::default(),
+            drain_dead_letters_swept: Counter::default(),
+            drain_duration_us: Histogram::default(),
+            checkpoint_incremental_cuts: Counter::default(),
+            checkpoint_incremental_shards_captured: Counter::default(),
+            checkpoint_incremental_shards_reused: Counter::default(),
+            checkpoint_incremental_block_us: Histogram::default(),
             outbound_queue_depth: Gauge::default(),
             career_total_us: Histogram::default(),
             career_wait_us: Histogram::default(),
@@ -484,6 +520,18 @@ impl Metrics {
             hedges_fired: self.hedges_fired.get(),
             hedge_wins: self.hedge_wins.get(),
             hedge_delay_us: self.hedge_delay_us.snapshot(),
+            drain_started: self.drain_started.get(),
+            drain_completed: self.drain_completed.get(),
+            drain_objects_relocated: self.drain_objects_relocated.get(),
+            drain_frames_relocated: self.drain_frames_relocated.get(),
+            drain_dead_letters_swept: self.drain_dead_letters_swept.get(),
+            drain_duration_us: self.drain_duration_us.snapshot(),
+            checkpoint_incremental_cuts: self.checkpoint_incremental_cuts.get(),
+            checkpoint_incremental_shards_captured: self
+                .checkpoint_incremental_shards_captured
+                .get(),
+            checkpoint_incremental_shards_reused: self.checkpoint_incremental_shards_reused.get(),
+            checkpoint_incremental_block_us: self.checkpoint_incremental_block_us.snapshot(),
             mem_shard_contention: Vec::new(),
             outbound_queue_depth: self.outbound_queue_depth.get(),
             backpressure_stalls: 0,
@@ -560,6 +608,26 @@ pub struct SiteMetrics {
     pub hedge_wins: u64,
     /// Pending time of hedged frames when their duplicate fired (µs).
     pub hedge_delay_us: HistogramSnapshot,
+    /// Drains started on this site.
+    pub drain_started: u64,
+    /// Drains that ran to completion.
+    pub drain_completed: u64,
+    /// Memory objects relocated to peers during drains.
+    pub drain_objects_relocated: u64,
+    /// Waiting frames relocated to peers during drains.
+    pub drain_frames_relocated: u64,
+    /// Dead letters swept to the successor during drains.
+    pub drain_dead_letters_swept: u64,
+    /// Wall-clock duration of each completed drain (µs).
+    pub drain_duration_us: HistogramSnapshot,
+    /// Incremental (pause-free) checkpoint cuts taken.
+    pub checkpoint_incremental_cuts: u64,
+    /// Shards re-captured because dirty (or never cut).
+    pub checkpoint_incremental_shards_captured: u64,
+    /// Shards whose cached cut was reused unchanged.
+    pub checkpoint_incremental_shards_reused: u64,
+    /// Longest single-shard lock hold per incremental cut (µs).
+    pub checkpoint_incremental_block_us: HistogramSnapshot,
     /// Per-shard attraction-memory lock contention counts (filled in
     /// from the memory manager at snapshot time, like
     /// `backpressure_stalls`).

@@ -207,3 +207,203 @@ fn restore_rejects_mismatched_code_table() {
     });
     assert!(cluster.site(0).restore_program(&wrong, &snap).is_err());
 }
+
+/// A restore re-announces the program with `ProgramRegister`; every peer
+/// must drop cached replicas AND forwarding hints cut from the
+/// pre-restore timeline, and a chaser that loses its hint must still
+/// converge through the directory (`MemMissing` fallback).
+#[test]
+fn restore_reannounce_purges_replicas_and_hints() {
+    use sdvm_types::ManagerId;
+    use sdvm_wire::Payload;
+
+    let cluster = InProcessCluster::new(3, SiteConfig::default()).unwrap();
+    let handle = launch_staged(&cluster, 8);
+    let program = handle.program;
+    // Let the launch's own ProgramRegister broadcast settle first.
+    std::thread::sleep(Duration::from_millis(100));
+    let s0 = cluster.site(0).inner();
+    let s1 = cluster.site(1).inner();
+    let s2 = cluster.site(2).inner();
+
+    // Site 2 caches a replica of an object owned by site 0 …
+    let a = s0.memory.alloc(s0, program, Value::from_u64(7));
+    assert_eq!(s2.memory.read(s2, a, false).unwrap().as_u64().unwrap(), 7);
+    assert!(
+        s2.memory.replica_version(a).is_some(),
+        "snapshot read must cache a replica"
+    );
+
+    // … and site 1 keeps a forwarding hint after `c` migrates 1 → 2.
+    let c = s1.memory.alloc(s1, program, Value::from_u64(9));
+    assert_eq!(s2.memory.read(s2, c, true).unwrap().as_u64().unwrap(), 9);
+    assert_eq!(
+        s1.memory.recorded_hint(c),
+        Some(s2.my_id()),
+        "migration must leave a forwarding hint at the old owner"
+    );
+
+    // A chaser probing the old owner is steered by that hint.
+    let reply = s0
+        .request(
+            s1.my_id(),
+            ManagerId::Memory,
+            ManagerId::Memory,
+            Payload::MemRead {
+                addr: c,
+                migrate: false,
+                replica: false,
+            },
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    assert!(
+        matches!(reply.payload, Payload::MemMissing { hint: Some(h), .. } if h == s2.my_id()),
+        "pre-purge probe must be forwarded by hint, got {:?}",
+        reply.payload
+    );
+
+    // The restore path's coherence step: re-announce the program (the
+    // exact message `restore_program` broadcasts). Peers purge replicas
+    // and hints.
+    for peer in [s1.my_id(), s2.my_id()] {
+        s0.send_payload(
+            peer,
+            ManagerId::Program,
+            ManagerId::Program,
+            s0.next_seq(),
+            Payload::ProgramRegister {
+                program,
+                code_home: s0.my_id(),
+                name: "staged".into(),
+                threads: 3,
+                replication: Default::default(),
+            },
+        )
+        .unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while s2.memory.replica_version(a).is_some() || s1.memory.recorded_hint(c).is_some() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "re-announce must purge the replica and the hint on peers"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Post-purge the probe answers "missing, no forwarding hint" …
+    let reply = s0
+        .request(
+            s1.my_id(),
+            ManagerId::Memory,
+            ManagerId::Memory,
+            Payload::MemRead {
+                addr: c,
+                migrate: false,
+                replica: false,
+            },
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    assert!(
+        matches!(reply.payload, Payload::MemMissing { hint: None, .. }),
+        "post-purge probe must carry no hint, got {:?}",
+        reply.payload
+    );
+
+    // … and the full chase still converges via the directory fallback.
+    assert_eq!(s0.memory.read(s0, c, true).unwrap().as_u64().unwrap(), 9);
+
+    // The running program is untouched by the purge (hints and replicas
+    // are optimizations; correctness never depended on them).
+    assert_eq!(handle.wait(WAIT).unwrap().as_u64().unwrap(), expected(8));
+}
+
+/// The pause-free checkpoint: take two incremental cuts of a (quiesced,
+/// so the test is deterministic) program — the second cut must reuse the
+/// per-shard cuts of the first — then restore the snapshot on a fresh
+/// cluster and get the correct result.
+#[test]
+fn incremental_checkpoint_restores_after_cluster_restart() {
+    let width = 48usize;
+    let snapshot: ProgramSnapshot;
+    {
+        let cluster = InProcessCluster::new(3, SiteConfig::default()).unwrap();
+        let handle = launch_staged(&cluster, width);
+        std::thread::sleep(Duration::from_millis(100));
+        // Pause by hand so the two cuts see identical state: the point
+        // under test is shard-cut reuse and restore correctness, not
+        // the (inherently racy) live-cut timing — BENCH_drain covers
+        // that the live cut never blocks workers.
+        let s0 = cluster.site(0).inner();
+        for m in s0.cluster.known_sites() {
+            s0.send_payload(
+                m,
+                sdvm_types::ManagerId::Program,
+                sdvm_types::ManagerId::Program,
+                s0.next_seq(),
+                sdvm_wire::Payload::ProgramPause {
+                    program: handle.program,
+                    paused: true,
+                },
+            )
+            .unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(200));
+
+        let first = cluster
+            .site(0)
+            .checkpoint_program_incremental(handle.program)
+            .unwrap();
+        assert!(!first.frames.is_empty(), "mid-run cut must hold frames");
+        assert!(first.result_addr().is_some(), "result frame captured");
+        snapshot = cluster
+            .site(0)
+            .checkpoint_program_incremental(handle.program)
+            .unwrap();
+        assert!(snapshot.epoch > first.epoch, "epochs must rise");
+        // Nothing mutated between the cuts: the second collection must
+        // have reused cached shard cuts instead of re-capturing.
+        let reused: u64 = (0..3)
+            .map(|i| {
+                cluster
+                    .site(i)
+                    .inner()
+                    .metrics
+                    .checkpoint_incremental_shards_reused
+                    .get()
+            })
+            .sum();
+        assert!(reused > 0, "quiet shards must be reused on the second cut");
+
+        // Resume and run to completion — the cut never disturbed the run.
+        for m in s0.cluster.known_sites() {
+            s0.send_payload(
+                m,
+                sdvm_types::ManagerId::Program,
+                sdvm_types::ManagerId::Program,
+                s0.next_seq(),
+                sdvm_wire::Payload::ProgramPause {
+                    program: handle.program,
+                    paused: false,
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            handle.wait(WAIT).unwrap().as_u64().unwrap(),
+            expected(width)
+        );
+    }
+    // A fresh cluster with the same logical ids restores the cut.
+    let cluster = InProcessCluster::new(3, SiteConfig::default()).unwrap();
+    let handle = cluster
+        .site(0)
+        .restore_program(&staged_app(width), &snapshot)
+        .unwrap();
+    assert_eq!(
+        handle.wait(WAIT).unwrap().as_u64().unwrap(),
+        expected(width),
+        "restored incremental cut must finish correctly"
+    );
+}

@@ -31,9 +31,15 @@ use sdvm_types::{ManagerId, SdvmResult, SiteId};
 /// the `MetricsSummary` payload (per-site counter/histogram digest)
 /// piggybacks on heartbeat fan-out so any site can serve cluster-wide
 /// rollups. A v6 daemon would reply `Error` to every digest and spam
-/// the sender, so mixed clusters are fenced at the version byte.
+/// the sender, so mixed clusters are fenced at the version byte;
+/// v8 = planned departure — the `SiteDraining` membership gossip, the
+/// `DeadLetterSweep` handoff, and the pause-free
+/// `SnapshotCollectIncremental` checkpoint round. A v7 daemon would
+/// treat the draining gossip as an unknown payload and keep granting
+/// help and targeting backup buddies at the leaver, so mixed clusters
+/// are fenced at the version byte.
 /// Older frames are rejected loudly, not decoded best-effort.
-pub const WIRE_VERSION: u8 = 7;
+pub const WIRE_VERSION: u8 = 8;
 
 /// Causal trace context riding every [`SdMessage`] (wire v3).
 ///

@@ -501,6 +501,27 @@ payloads! {
     /// site can merge its table into cluster totals and quantiles.
     84 MetricsSummary { summary: WireMetricsSummary },
 
+    // ---- planned departure & online checkpoint (wire v8) ----
+
+    /// Gossip: `site` (at `incarnation`) entered the `Draining` membership
+    /// state — it is leaving on purpose. Receivers stop granting it help,
+    /// stop announcing programs to it, skip it as a relocation successor
+    /// and as a backup buddy, but do NOT suspect it: draining is not a
+    /// failure, and the detector stays out of it. The state clears when
+    /// the site's `SignOff` arrives (or a fresh descriptor rejoins it).
+    85 SiteDraining { site: SiteId, incarnation: u64 },
+    /// A draining site hands its dead-letter store to its successor so
+    /// quarantined frames stay redrivable after the departure. Each
+    /// letter is the quarantined frame plus its human-readable cause.
+    86 DeadLetterSweep { letters: Vec<(WireFrame, String)> },
+    /// Pause-free checkpoint round (online checkpoint): ask a site for
+    /// its share of a program's state captured as per-shard consistent
+    /// cuts — dirty shards re-captured under their own shard lock, clean
+    /// shards answered from the previous cut — without quiescing the
+    /// execution engine the way `SnapshotCollect` does. Answered with a
+    /// regular `SnapshotPart`.
+    87 SnapshotCollectIncremental { program: ProgramId },
+
     // ---- generic ----
 
     /// Generic error reply carrying the failed request's description.
@@ -847,6 +868,16 @@ mod tests {
                     help_rtt_sum_us: 9_999,
                     help_rtt_buckets: vec![1, 2],
                 },
+            },
+            Payload::SiteDraining {
+                site: SiteId(4),
+                incarnation: 3,
+            },
+            Payload::DeadLetterSweep {
+                letters: vec![(sample_frame(), "handler panicked: boom".into())],
+            },
+            Payload::SnapshotCollectIncremental {
+                program: ProgramId(1),
             },
             Payload::Error {
                 message: "nope".into(),

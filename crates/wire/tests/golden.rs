@@ -35,7 +35,7 @@ fn golden_apply_result() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0703000307032a0000\
+        "0803000307032a0000\
 0028020901080807060504030201",
         "ApplyResult wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -62,7 +62,7 @@ fn golden_traced_ping() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "070500010101070003ac02\
+        "080500010101070003ac02\
 5b01",
         "TraceContext wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -164,6 +164,22 @@ fn v6_frames_are_rejected_loudly() {
 }
 
 #[test]
+fn v7_frames_are_rejected_loudly() {
+    // The exact golden ApplyResult bytes from WIRE_VERSION 7 (before the
+    // planned-departure plane). A v7 peer treats the `SiteDraining`
+    // gossip as an unknown payload: it would keep granting help to the
+    // leaver and keep targeting it as a backup buddy while it drains —
+    // mixed clusters fail loudly at the version byte instead.
+    let v7 = unhex("0703000307032a00000028020901080807060504030201");
+    let err = SdMessage::from_bytes(&v7).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("version"),
+        "v7 frame must fail on the version byte, got: {msg}"
+    );
+}
+
+#[test]
 fn golden_replica_invalidate() {
     // New in WIRE_VERSION 4: owners invalidate cached read replicas on
     // write/migration.
@@ -181,7 +197,7 @@ fn golden_replica_invalidate() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0702000306030b0000\
+        "0802000306030b0000\
 00330209ac02",
         "ReplicaInvalidate wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -211,7 +227,7 @@ fn golden_help_request() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0705000101010700000014020501\
+        "0805000101010700000014020501\
 80080300",
         "HelpRequest wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -232,7 +248,7 @@ fn golden_ping_reply() {
     let bytes = reply.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0702000801086501640000\
+        "0802000801086501640000\
 5cff01",
         "Pong wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -256,7 +272,7 @@ fn golden_suspect_site() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "070100060206090000\
+        "080100060206090000\
 000c0403",
         "SuspectSite wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -389,6 +405,20 @@ fn payload_tags_are_stable() {
             84,
             Payload::MetricsSummary {
                 summary: sdvm_wire::WireMetricsSummary::default(),
+            },
+        ),
+        (
+            85,
+            Payload::SiteDraining {
+                site: SiteId(1),
+                incarnation: 1,
+            },
+        ),
+        (86, Payload::DeadLetterSweep { letters: vec![] }),
+        (
+            87,
+            Payload::SnapshotCollectIncremental {
+                program: ProgramId(1),
             },
         ),
         (91, Payload::Ping { token: 0 }),
