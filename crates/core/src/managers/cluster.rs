@@ -8,6 +8,7 @@
 //! modulo the server count. All three are implemented and compared in
 //! experiment E8.
 
+use crate::coord::VivaldiState;
 use crate::site::{SiteInner, Task};
 use crate::trace::TraceEvent;
 use parking_lot::Mutex;
@@ -15,7 +16,7 @@ use sdvm_types::{
     IdAllocStrategy, LoadReport, ManagerId, PhysicalAddr, SdvmError, SdvmResult, SiteDescriptor,
     SiteId,
 };
-use sdvm_wire::{Payload, SdMessage};
+use sdvm_wire::{Payload, SdMessage, WireCoord};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -124,6 +125,11 @@ struct ClusterState {
     alloc: AllocState,
     rr: usize,
     hb_rr: usize,
+    /// This site's Vivaldi coordinate (wire v9), fed by RTT samples from
+    /// traffic that already flows (help requests, direct probes).
+    vivaldi: VivaldiState,
+    /// Latest gossiped coordinate per peer (heartbeats, probe acks).
+    coords: HashMap<SiteId, WireCoord>,
 }
 
 /// The cluster manager of one site.
@@ -136,6 +142,7 @@ pub struct ClusterManager {
     suspect_timeout: Duration,
     probe_fanout: usize,
     suspicion_quorum: usize,
+    proximity_routing: bool,
 }
 
 impl ClusterManager {
@@ -158,6 +165,8 @@ impl ClusterManager {
                 alloc: AllocState::Client,
                 rr: 0,
                 hb_rr: 0,
+                vivaldi: VivaldiState::default(),
+                coords: HashMap::new(),
             }),
             strategy: config.id_alloc,
             crash_tolerance: config.crash_tolerance,
@@ -166,6 +175,7 @@ impl ClusterManager {
             suspect_timeout: config.suspect_timeout,
             probe_fanout: config.probe_fanout,
             suspicion_quorum: config.suspicion_quorum.max(2),
+            proximity_routing: config.proximity_routing,
         }
     }
 
@@ -651,6 +661,86 @@ impl ClusterManager {
         st.loads.entry(from).or_default().merge(&load);
     }
 
+    // ---- Vivaldi network coordinates (wire v9) ----
+
+    /// This site's current coordinate, for piggybacking on heartbeats
+    /// and probe traffic.
+    pub fn my_coord(&self) -> WireCoord {
+        self.state.lock().vivaldi.coord
+    }
+
+    /// Record a peer's gossiped coordinate (heartbeat, probe payloads).
+    pub fn note_coord(&self, from: SiteId, coord: Option<WireCoord>) {
+        let Some(c) = coord else { return };
+        if !from.is_valid() {
+            return;
+        }
+        self.state.lock().coords.insert(from, c);
+    }
+
+    /// Absorb one measured round trip against `peer` into this site's
+    /// coordinate. Does nothing until the peer has gossiped a
+    /// coordinate of its own — the spring needs both endpoints.
+    pub fn observe_rtt(&self, peer: SiteId, rtt: Duration) {
+        let mut st = self.state.lock();
+        let Some(pc) = st.coords.get(&peer).copied() else {
+            return;
+        };
+        let rtt_ms = rtt.as_secs_f64() * 1e3;
+        st.vivaldi.observe(&pc, rtt_ms);
+    }
+
+    /// Coordinate fit statistics for telemetry and `/status`:
+    /// `(abs_error_ms, samples, converged)`.
+    pub fn coord_stats(&self) -> (f64, u64, bool) {
+        let st = self.state.lock();
+        (
+            st.vivaldi.abs_error_ms,
+            st.vivaldi.samples,
+            st.vivaldi.converged(),
+        )
+    }
+
+    /// Rank `candidates` by predicted RTT from this site, nearest first
+    /// (ties broken by id for determinism). Returns `false` — leaving
+    /// the order untouched — unless this site's coordinate has
+    /// converged and at least one candidate has gossiped a coordinate;
+    /// callers then fall back to their uniform (pre-v9) selection.
+    /// Disabled wholesale by `SiteConfig::proximity_routing = false`
+    /// (the A/B ablation knob).
+    pub fn rank_by_proximity(&self, candidates: &mut [SiteId]) -> bool {
+        if !self.proximity_routing {
+            return false;
+        }
+        let st = self.state.lock();
+        Self::rank_by_proximity_locked(&st, candidates)
+    }
+
+    fn rank_by_proximity_locked(st: &ClusterState, candidates: &mut [SiteId]) -> bool {
+        if !st.vivaldi.converged() {
+            return false;
+        }
+        if !candidates.iter().any(|s| st.coords.contains_key(s)) {
+            return false;
+        }
+        candidates.sort_by(|a, b| {
+            let da = st
+                .coords
+                .get(a)
+                .map(|c| st.vivaldi.predict_ms(c))
+                .unwrap_or(f64::INFINITY);
+            let db = st
+                .coords
+                .get(b)
+                .map(|c| st.vivaldi.predict_ms(c))
+                .unwrap_or(f64::INFINITY);
+            da.partial_cmp(&db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        true
+    }
+
     /// Physical address of a logical site.
     pub fn addr_of(&self, id: SiteId) -> Option<PhysicalAddr> {
         self.state.lock().sites.get(&id).map(|d| d.addr.clone())
@@ -767,7 +857,12 @@ impl ClusterManager {
     }
 
     /// Choose a site to send a help request to: prefer the busiest known
-    /// site (it most probably has spare work), round-robin otherwise.
+    /// site (it most probably has spare work). With no load signal, rank
+    /// the candidates by predicted proximity (wire v9) and round-robin
+    /// over the nearest few — a help round trip to a close peer costs a
+    /// fraction of a far one, and its reply arrives while a distant
+    /// peer's would still be in flight. Until the coordinate converges
+    /// this degrades to the original uniform round-robin.
     pub fn pick_help_target(&self, site: &SiteInner) -> Option<SiteId> {
         let me = site.my_id();
         let mut st = self.state.lock();
@@ -789,7 +884,17 @@ impl ClusterManager {
         Some(match best {
             Some(s) => s,
             None => {
-                let idx = st.rr % candidates.len();
+                let pool = if self.proximity_routing
+                    && Self::rank_by_proximity_locked(&st, &mut candidates)
+                {
+                    // Rotate within the nearest few instead of pinning
+                    // the single nearest peer, so one close neighbor
+                    // doesn't absorb every idle site's requests.
+                    candidates.len().min(3)
+                } else {
+                    candidates.len()
+                };
+                let idx = st.rr % pool;
                 st.rr = st.rr.wrapping_add(1);
                 candidates[idx]
             }
@@ -896,13 +1001,16 @@ impl ClusterManager {
         // totals without a central scrape.
         let summary = crate::telemetry::digest_of(&site.metrics.snapshot());
         site.rollup.record(me, summary.clone());
+        // Piggyback our Vivaldi coordinate (wire v9) on every heartbeat:
+        // receivers learn where we sit without any extra traffic.
+        let coord = Some(self.my_coord());
         for t in targets {
             let _ = site.send_payload(
                 t,
                 ManagerId::Cluster,
                 ManagerId::Cluster,
                 site.next_seq(),
-                Payload::Heartbeat { load },
+                Payload::Heartbeat { load, coord },
             );
             let _ = site.send_payload(
                 t,
@@ -979,7 +1087,7 @@ impl ClusterManager {
     fn start_suspicion(&self, site: &SiteInner, suspect: SiteId, incarnation: u64) {
         let me = site.my_id();
         site.emit(TraceEvent::SiteSuspected { site: me, suspect });
-        let peers: Vec<SiteId> = self
+        let mut peers: Vec<SiteId> = self
             .known_sites()
             .into_iter()
             .filter(|&s| s != me && s != suspect)
@@ -996,20 +1104,29 @@ impl ClusterManager {
                 },
             );
         }
+        // Probe victims nearest-first (wire v9): a close prober's verdict
+        // comes back sooner, shrinking the suspicion window. Uniform
+        // (id-order) fanout until the coordinate converges.
+        self.rank_by_proximity(&mut peers);
+        let my_coord = Some(self.my_coord());
         for &p in peers.iter().take(self.probe_fanout) {
             let _ = site.send_payload(
                 p,
                 ManagerId::Cluster,
                 ManagerId::Cluster,
                 site.next_seq(),
-                Payload::ProbeRequest { target: suspect },
+                Payload::ProbeRequest {
+                    target: suspect,
+                    coord: my_coord,
+                },
             );
         }
         // Direct probe off-thread: a live-but-slow suspect's Pong refutes
         // through the normal dispatch path. help_timeout keeps a truly
         // dead suspect from pinning the helper until the verdict.
         site.spawn_task(Task::Run(Box::new(move |s: &SiteInner| {
-            let _ = s.request(
+            let asked = Instant::now();
+            if s.request(
                 suspect,
                 ManagerId::Site,
                 ManagerId::Cluster,
@@ -1017,7 +1134,13 @@ impl ClusterManager {
                     token: suspect.0 as u64,
                 },
                 s.config.help_timeout,
-            );
+            )
+            .is_ok()
+            {
+                // The probe doubles as a coordinate sample — an answered
+                // ping is a measured round trip to the suspect.
+                s.cluster.observe_rtt(suspect, asked.elapsed());
+            }
         })));
     }
 
@@ -1132,6 +1255,7 @@ impl ClusterManager {
             st.loads.remove(&dead);
             st.last_heard.remove(&dead);
             st.announced_to.remove(&dead);
+            st.coords.remove(&dead);
             let successor = announced.unwrap_or_else(|| {
                 let mut ids: Vec<SiteId> = st.sites.keys().copied().collect();
                 ids.sort_unstable();
@@ -1206,6 +1330,7 @@ impl ClusterManager {
                 st.suspects.remove(&gone);
                 st.incarnations.remove(&gone);
                 st.draining.remove(&gone);
+                st.coords.remove(&gone);
                 st.succession.insert(gone, successor);
                 if gone == st.id_server {
                     st.id_server = successor;
@@ -1239,7 +1364,10 @@ impl ClusterManager {
                     st.draining.insert(leaver);
                 }
             }
-            Payload::Heartbeat { load } => self.note_load(msg.src_site, load),
+            Payload::Heartbeat { load, coord } => {
+                self.note_load(msg.src_site, load);
+                self.note_coord(msg.src_site, coord);
+            }
             Payload::ClusterListRequest {} => {
                 let sites = self.state.lock().sites.values().cloned().collect();
                 site.reply_to(&msg, ManagerId::Cluster, Payload::ClusterList { sites });
@@ -1329,13 +1457,15 @@ impl ClusterManager {
                 // learn() withdraws the suspicion and lifts any tombstone.
                 self.learn(site, descriptor);
             }
-            Payload::ProbeRequest { target } => {
+            Payload::ProbeRequest { target, coord } => {
                 // Probe the suspect on the requester's behalf — blocking,
                 // so off the router thread. A Pong proves liveness at the
                 // suspect's current incarnation; relay that as a fresh
                 // ProbeAck (not a reply: the requester isn't waiting).
+                self.note_coord(msg.src_site, coord);
                 let requester = msg.src_site;
                 site.spawn_task(Task::Run(Box::new(move |s: &SiteInner| {
+                    let asked = Instant::now();
                     let Ok(reply) = s.request(
                         target,
                         ManagerId::Site,
@@ -1348,6 +1478,9 @@ impl ClusterManager {
                         return;
                     };
                     if matches!(reply.payload, Payload::Pong { .. }) {
+                        // The relay ping is a measured round trip to the
+                        // target — feed the prober's own coordinate.
+                        s.cluster.observe_rtt(target, asked.elapsed());
                         let _ = s.send_payload(
                             requester,
                             ManagerId::Cluster,
@@ -1356,6 +1489,7 @@ impl ClusterManager {
                             Payload::ProbeAck {
                                 target,
                                 incarnation: reply.src_incarnation,
+                                coord: Some(s.cluster.my_coord()),
                             },
                         );
                     }
@@ -1364,7 +1498,10 @@ impl ClusterManager {
             Payload::ProbeAck {
                 target,
                 incarnation,
+                coord,
             } => {
+                // The coordinate rides from the *prober* (the sender).
+                self.note_coord(msg.src_site, coord);
                 let mut st = self.state.lock();
                 st.last_heard.insert(target, Instant::now());
                 if incarnation > 0 {

@@ -581,15 +581,28 @@ fn stall_error(entry: &Entry) -> SdvmError {
 /// Deterministically pick up to `n` distinct live sites for a frame's
 /// replicas: the sorted membership rotated by the frame's local id, so
 /// load spreads without coordination and re-runs pick the same sites.
+///
+/// Proximity-aware (wire v9): once this site's Vivaldi coordinate has
+/// converged, the rotation runs over the nearest `2n` members instead
+/// of the whole roster — replica round trips stay short without
+/// collapsing onto a single neighbor (the rotation by frame id still
+/// spreads load inside the pool, and re-runs still pick the same
+/// sites for the same frame). Until convergence this is exactly the
+/// original whole-roster rotation.
 fn choose_sites(
     site: &SiteInner,
     frame: GlobalAddress,
     n: usize,
     exclude: &[SiteId],
 ) -> Vec<SiteId> {
-    let all = site.cluster.known_sites();
+    let mut all = site.cluster.known_sites();
     if all.is_empty() {
         return vec![site.my_id()];
+    }
+    if n < all.len() && site.cluster.rank_by_proximity(&mut all) {
+        let pool = n.saturating_mul(2).clamp(1, all.len());
+        all.truncate(pool);
+        all.sort_unstable(); // rotation needs a stable id order
     }
     let start = (frame.local as usize) % all.len();
     let mut picked = Vec::new();

@@ -478,6 +478,9 @@ impl SchedulingManager {
         site.metrics
             .help_rtt_us
             .observe(asked.elapsed().as_micros() as u64);
+        // The help round trip doubles as a Vivaldi coordinate sample
+        // (wire v9) — no extra probe traffic is ever sent.
+        site.cluster.observe_rtt(target, asked.elapsed());
         if let Payload::HelpReply { frame } = reply.payload {
             let granter = reply.src_site;
             let frame = Microframe::from_wire(frame);

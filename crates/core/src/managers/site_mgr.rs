@@ -113,6 +113,16 @@ impl SiteManager {
         site.metrics
             .outbound_queue_depth
             .set(outbound_queued as u64);
+        site.metrics
+            .net_peers_connected
+            .set(site.transport.peers_connected() as u64);
+        site.metrics
+            .net_driver_threads
+            .set(site.transport.driver_threads() as u64);
+        let (coord_err_ms, _, _) = site.cluster.coord_stats();
+        site.metrics
+            .coord_error_ms
+            .set(coord_err_ms.round().max(0.0) as u64);
         let mut metrics = site.metrics.snapshot();
         metrics.backpressure_stalls = site.transport.outbound_stalls();
         metrics.mem_shard_contention = mem.shard_contention.clone();

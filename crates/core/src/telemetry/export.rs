@@ -470,6 +470,24 @@ pub fn prometheus_text(sites: &[(SiteId, SiteMetrics)]) -> String {
         "Frames waiting in the transport's outbound queues.",
         &c(|m| m.outbound_queue_depth),
     );
+    write_gauge(
+        &mut out,
+        "sdvm_net_peers_connected",
+        "Peers the transport holds a live connection to.",
+        &c(|m| m.net_peers_connected),
+    );
+    write_gauge(
+        &mut out,
+        "sdvm_net_driver_threads",
+        "Transport driver threads (pollers + listener).",
+        &c(|m| m.net_driver_threads),
+    );
+    write_gauge(
+        &mut out,
+        "sdvm_coord_error_ms",
+        "Vivaldi coordinate fit error (EWMA of absolute RTT prediction error, ms).",
+        &c(|m| m.coord_error_ms),
+    );
     write_counter(
         &mut out,
         "sdvm_drain_started_total",

@@ -316,6 +316,19 @@ fn status_body(inner: &Arc<SiteInner>) -> String {
         status.outbound_retries,
         status.delayed_frames,
     );
+    // The transport driver's fixed thread budget and live-socket count,
+    // plus this site's Vivaldi coordinate fit (wire v9 proximity
+    // routing stays on uniform fallback until `converged` flips true).
+    let (coord_err_ms, coord_samples, coord_converged) = inner.cluster.coord_stats();
+    let _ = writeln!(
+        out,
+        "  \"transport\": {{\"peers_connected\": {}, \"driver_threads\": {}}}, \"coord\": {{\"error_ms\": {:.3}, \"samples\": {}, \"converged\": {}}},",
+        inner.transport.peers_connected(),
+        inner.transport.driver_threads(),
+        coord_err_ms,
+        coord_samples,
+        coord_converged,
+    );
     // Membership: live members with incarnation/suspicion/silence,
     // death tombstones with fencing floors, crash succession.
     out.push_str("  \"membership\": {\"members\": [");

@@ -233,6 +233,17 @@ pub struct Metrics {
     /// Frames waiting in the transport's outbound queues (sampled at
     /// status time).
     pub outbound_queue_depth: Gauge,
+    /// Peers the transport currently holds a live connection to
+    /// (sampled at status time).
+    pub net_peers_connected: Gauge,
+    /// Threads the transport driver runs, pollers + listener — constant
+    /// for an event-driven transport no matter how many peers connect
+    /// (sampled at status time).
+    pub net_driver_threads: Gauge,
+    /// Vivaldi coordinate fit error: EWMA of the absolute RTT
+    /// prediction error, rounded to whole milliseconds (sampled at
+    /// status time).
+    pub coord_error_ms: Gauge,
 
     // ---- histograms (µs) ----
     /// Whole career: created → executed.
@@ -391,6 +402,9 @@ impl Default for Metrics {
             checkpoint_incremental_shards_reused: Counter::default(),
             checkpoint_incremental_block_us: Histogram::default(),
             outbound_queue_depth: Gauge::default(),
+            net_peers_connected: Gauge::default(),
+            net_driver_threads: Gauge::default(),
+            coord_error_ms: Gauge::default(),
             career_total_us: Histogram::default(),
             career_wait_us: Histogram::default(),
             career_fetch_us: Histogram::default(),
@@ -534,6 +548,9 @@ impl Metrics {
             checkpoint_incremental_block_us: self.checkpoint_incremental_block_us.snapshot(),
             mem_shard_contention: Vec::new(),
             outbound_queue_depth: self.outbound_queue_depth.get(),
+            net_peers_connected: self.net_peers_connected.get(),
+            net_driver_threads: self.net_driver_threads.get(),
+            coord_error_ms: self.coord_error_ms.get(),
             backpressure_stalls: 0,
             bus_dropped: 0,
             bus_tap_dropped: 0,
@@ -634,6 +651,12 @@ pub struct SiteMetrics {
     pub mem_shard_contention: Vec<u64>,
     /// Frames waiting in outbound queues (sampled).
     pub outbound_queue_depth: u64,
+    /// Peers with a live transport connection (sampled).
+    pub net_peers_connected: u64,
+    /// Transport driver threads, pollers + listener (sampled).
+    pub net_driver_threads: u64,
+    /// Vivaldi coordinate fit error, whole milliseconds (sampled).
+    pub coord_error_ms: u64,
     /// Sends that hit a full outbound queue and had to wait (transport-
     /// level; filled in from the transport at snapshot time).
     pub backpressure_stalls: u64,

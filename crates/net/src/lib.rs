@@ -11,9 +11,12 @@
 //!   inject *datagram faults* (loss, duplication, reordering) to
 //!   reproduce the paper's finding that raw UDP semantics are "not
 //!   viable" for the SDVM (experiment E11).
-//! - [`TcpTransport`] — real TCP with length-prefixed frames, a listener
-//!   thread and per-connection reader threads, exactly the paper's
-//!   structure.
+//! - [`TcpTransport`] — real TCP with length-prefixed frames: one
+//!   listener thread plus a small fixed poller pool multiplexing every
+//!   connection nonblocking, so a peer costs a queue and a registration
+//!   rather than threads. The paper's *interface* (a listener, physical
+//!   addresses, framed packets) with a driver that scales past the
+//!   paper's thread-per-connection sketch.
 //!
 //! Transports move opaque byte vectors; SDMessage encoding/decoding and
 //! encryption live above this layer (message and security managers).
@@ -120,6 +123,20 @@ pub trait Transport: Send + Sync {
     /// had to wait (backpressure stalls). Transports without bounded
     /// queues report zero.
     fn outbound_stalls(&self) -> u64 {
+        0
+    }
+
+    /// Peers this transport currently holds a live connection to.
+    /// Transports without connections report zero.
+    fn peers_connected(&self) -> usize {
+        0
+    }
+
+    /// Threads the transport runs for its driver (pollers + listener).
+    /// For an event-driven transport this is a small constant no matter
+    /// how many peers connect; thread-per-peer designs report a number
+    /// that grows with the roster. In-process transports report zero.
+    fn driver_threads(&self) -> usize {
         0
     }
 

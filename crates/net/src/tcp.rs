@@ -1,61 +1,99 @@
-//! TCP transport: the paper's network manager over real sockets.
+//! TCP transport: the paper's network manager over real sockets,
+//! driven by a small fixed pool of event-loop threads.
 //!
-//! "To receive, it features a listener, which spawns a new thread every
-//! time an incoming connection is established." (§4). Messages are
-//! delimited with the framing from `sdvm-wire`.
+//! The paper's sketch ("a listener, which spawns a new thread every time
+//! an incoming connection is established", §4) caps out at a LAN-sized
+//! roster: two threads per peer (writer + reconnect) plus one per
+//! inbound connection. This implementation keeps the paper's *interface*
+//! — length-prefixed frames, per-peer ordering, a listener — but runs
+//! every socket nonblocking under a **fixed poller pool**: a peer costs
+//! a bounded queue plus a registration with one poller, never a thread.
+//!
+//! # Driver architecture
+//!
+//! - One listener thread accepts connections and registers them (still
+//!   nonblocking) with a poller round-robin.
+//! - `POLLERS` poller threads each own a disjoint set of connections.
+//!   A poller loops over its writers (drain queue → seal → vectored
+//!   write until `WouldBlock`) and readers (resumable [`FrameReader`]
+//!   until `WouldBlock`), then sleeps on its *wake channel* with a
+//!   short idle tick. The crate forbids `unsafe`, so readiness is
+//!   level-triggered scanning plus that wake channel — the FFI-free
+//!   equivalent of a self-pipe: `send`/`send_plain` nudge the owning
+//!   poller the moment work is queued, so the tick only bounds *inbound*
+//!   latency from a cold-idle socket.
+//! - Reconnects live on the poller's timer wheel: a broken writer parks
+//!   in a `Backoff` state with a deadline (capped exponential backoff
+//!   plus jitter); the poller retries when the deadline passes. A
+//!   flapping peer therefore costs zero threads.
+//!
+//! Thread count is `POLLERS + 1` (pool + listener), independent of how
+//! many peers connect.
 //!
 //! # Outbound pipeline
 //!
-//! Each peer gets a bounded queue drained by a dedicated writer thread,
-//! so `send` never blocks on another peer's socket: a stalled or slow
-//! peer backs up only its own queue while traffic to healthy peers keeps
-//! flowing. The writer coalesces every frame waiting in its queue into a
-//! single vectored write (`write_vectored` over the already-framed
-//! [`Bytes`]), turning N small sends into one syscall without copying
-//! frames into a staging buffer.
+//! Unchanged semantics from the thread-per-peer design: each peer gets a
+//! bounded queue, `send` never blocks on another peer's socket, and the
+//! drain coalesces every waiting frame into a single vectored write. The
+//! drain-time [`DrainSealer`] hook (batch-sealed records, wire v5) runs
+//! on the poller at drain time, so nonce order and wire order still
+//! agree and a coalesced run still seals as one AEAD unit.
 //!
 //! The *first* send to a peer connects synchronously on the caller's
-//! thread, so an unreachable peer is reported to the sender immediately
-//! rather than discovered later by a background thread. Reconnects after
-//! a broken write happen on the writer thread.
+//! thread, so an unreachable peer is reported to the sender immediately.
+//! A partially written batch survives `WouldBlock` (byte offset into the
+//! batch); a *broken* connection replays the whole sealed batch after
+//! reconnect, and the receiver's replay window deduplicates.
 //!
 //! # Inbound
 //!
-//! Reader threads drive a resumable [`FrameReader`], so the 200 ms read
-//! timeout used for shutdown responsiveness can fire mid-frame without
-//! losing stream position (a plain `read_exact` would desynchronize and
-//! misparse the next length word from the middle of a frame).
+//! Accepted sockets stay nonblocking and join the poller's readiness
+//! loop. The resumable [`FrameReader`] keeps stream position across
+//! `WouldBlock`, so a peer stalling mid-frame cannot pin a pool thread
+//! (it just stays `Pending` until more bytes arrive).
 
 use crate::{DrainSealer, Transport};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use rand::RngExt;
 use sdvm_types::{PhysicalAddr, SdvmError, SdvmResult};
 use sdvm_wire::{FrameRead, FrameReader};
 use std::collections::HashMap;
 use std::io::{ErrorKind, IoSlice, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Frames a peer's outbound queue can hold before senders feel
 /// backpressure.
 pub const QUEUE_CAP: usize = 1024;
+/// Poller threads a transport runs by default (plus one listener).
+pub const DEFAULT_POLLERS: usize = 4;
 /// How long `send` waits on a full peer queue before erroring.
 const BACKPRESSURE_TIMEOUT: Duration = Duration::from_secs(2);
 /// Most frames coalesced into one vectored write.
 const BATCH_MAX_FRAMES: usize = 256;
 /// Most payload bytes coalesced into one vectored write.
 const BATCH_MAX_BYTES: usize = 1 << 20;
-/// Reconnect attempts after a broken write before the writer gives up
+/// Reconnect attempts after a broken write before the driver gives up
 /// and lets the next `send` surface the failure.
 const RECONNECT_MAX_TRIES: u32 = 5;
 /// First reconnect delay; doubles per attempt up to [`RECONNECT_CAP`].
 const RECONNECT_BASE: Duration = Duration::from_millis(20);
 /// Upper bound on the reconnect delay.
 const RECONNECT_CAP: Duration = Duration::from_millis(1000);
+/// Bound on a reconnect `connect` so one dead peer cannot stall its
+/// poller for the kernel's full SYN-retry budget.
+const RECONNECT_CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+/// Poller sleep between scans when nothing is ready. Outbound work
+/// wakes the poller immediately through its wake channel; the tick only
+/// bounds inbound latency from a cold-idle socket.
+const IDLE_TICK: Duration = Duration::from_millis(1);
+/// Frames one reader may deliver per scan before yielding to the rest
+/// of the poller's connections (fairness under a firehose peer).
+const READ_FRAMES_PER_SCAN: usize = 128;
 
 /// One unit in a peer's outbound queue.
 enum OutItem {
@@ -63,7 +101,7 @@ enum OutItem {
     /// written verbatim.
     Ready(Bytes),
     /// A plaintext record for logical site `dst`, sealed by the
-    /// installed [`DrainSealer`] when the writer drains it. Consecutive
+    /// installed [`DrainSealer`] when the poller drains it. Consecutive
     /// `Plain` items for the same `dst` are sealed together as one
     /// batch record.
     Plain {
@@ -95,22 +133,84 @@ struct DrainStats {
     seal_failures: AtomicU64,
 }
 
-/// Everything a writer thread shares with the transport handle.
+/// Everything the poller pool shares with the transport handle.
 #[derive(Clone)]
-struct WriterCtx {
+struct DriverCtx {
     conns: Arc<RwLock<HashMap<String, PeerHandle>>>,
     closed: Arc<AtomicBool>,
     retries: Arc<Mutex<HashMap<String, u64>>>,
     sealer: Arc<Mutex<Option<Arc<dyn DrainSealer>>>>,
     stats: Arc<DrainStats>,
+    /// Live sockets (outbound connected + inbound accepted), for the
+    /// `sdvm_net_peers_connected` gauge.
+    live: Arc<AtomicUsize>,
 }
 
-/// One peer's outbound pipe: the queue feeding its writer thread. The
-/// generation lets an exiting writer remove *its own* map entry without
-/// clobbering a replacement installed concurrently.
+/// One peer's outbound pipe: the bounded queue feeding its poller-owned
+/// writer, plus which poller owns it (for wakeups). The generation lets
+/// the driver remove *its own* map entry without clobbering a
+/// replacement installed concurrently.
 struct PeerHandle {
     tx: Sender<OutItem>,
     gen: u64,
+    poller: usize,
+}
+
+/// A connection handed to a poller.
+enum Registration {
+    /// Outbound: drain `rx` onto `stream` for `host`.
+    Writer {
+        host: String,
+        gen: u64,
+        stream: TcpStream,
+        rx: Receiver<OutItem>,
+    },
+    /// Inbound: parse frames off `stream` into the shared inbox.
+    Reader { stream: TcpStream },
+}
+
+/// Wake + registration channel pair for one poller thread.
+struct PollerHandle {
+    reg_tx: Sender<Registration>,
+    wake_tx: Sender<()>,
+}
+
+impl PollerHandle {
+    /// Nudge the poller out of its idle sleep (coalescing: a pending
+    /// wake already covers us).
+    fn wake(&self) {
+        let _ = self.wake_tx.try_send(());
+    }
+}
+
+/// Outbound connection state inside a poller.
+enum WriterState {
+    /// Socket is up (nonblocking).
+    Connected(TcpStream),
+    /// Waiting on the timer wheel for the next reconnect attempt.
+    Backoff {
+        until: Instant,
+        tries: u32,
+        delay: Duration,
+    },
+}
+
+/// One poller-owned outbound connection.
+struct WriterConn {
+    host: String,
+    gen: u64,
+    rx: Receiver<OutItem>,
+    state: WriterState,
+    /// Sealed frames not yet fully written (the in-flight batch).
+    pending: Vec<Bytes>,
+    /// Bytes of `pending` already written on the *current* connection.
+    written: usize,
+}
+
+/// One poller-owned inbound connection.
+struct ReaderConn {
+    stream: TcpStream,
+    reader: FrameReader,
 }
 
 /// TCP implementation of [`Transport`].
@@ -120,8 +220,8 @@ pub struct TcpTransport {
     conns: Arc<RwLock<HashMap<String, PeerHandle>>>,
     next_gen: AtomicU64,
     closed: Arc<AtomicBool>,
-    /// Cumulative reconnect attempts per peer (survives writer restarts);
-    /// surfaced by [`Transport::outbound_retries`].
+    /// Cumulative reconnect attempts per peer (survives reconnect
+    /// cycles); surfaced by [`Transport::outbound_retries`].
     retries: Arc<Mutex<HashMap<String, u64>>>,
     /// Cumulative sends that found a peer queue full and had to wait;
     /// surfaced by [`Transport::outbound_stalls`].
@@ -130,35 +230,76 @@ pub struct TcpTransport {
     sealer: Arc<Mutex<Option<Arc<dyn DrainSealer>>>>,
     /// Drain-time sealing counters.
     drain_stats: Arc<DrainStats>,
+    /// The poller pool (wake + registration endpoints).
+    pollers: Vec<PollerHandle>,
+    /// Round-robin cursor for assigning new connections to pollers.
+    next_poller: AtomicUsize,
+    /// Live sockets, for [`Transport::peers_connected`].
+    live: Arc<AtomicUsize>,
 }
 
 impl TcpTransport {
     /// Bind to `bind_addr` (e.g. `"127.0.0.1:0"` for an ephemeral port)
-    /// and start the listener thread.
+    /// and start the driver: [`DEFAULT_POLLERS`] poller threads plus
+    /// one listener.
     pub fn bind(bind_addr: &str) -> SdvmResult<Arc<TcpTransport>> {
+        Self::bind_with_pollers(bind_addr, DEFAULT_POLLERS)
+    }
+
+    /// Bind with an explicit poller-pool size (at least 1). The pool is
+    /// the transport's whole thread budget besides the listener, no
+    /// matter how many peers connect.
+    pub fn bind_with_pollers(bind_addr: &str, pollers: usize) -> SdvmResult<Arc<TcpTransport>> {
+        let pollers = pollers.max(1);
         let listener = TcpListener::bind(bind_addr)?;
         let local = listener.local_addr()?.to_string();
         let (inbox_tx, inbox_rx) = unbounded();
         let closed = Arc::new(AtomicBool::new(false));
+        let ctx = DriverCtx {
+            conns: Arc::new(RwLock::new(HashMap::new())),
+            closed: closed.clone(),
+            retries: Arc::new(Mutex::new(HashMap::new())),
+            sealer: Arc::new(Mutex::new(None)),
+            stats: Arc::new(DrainStats::default()),
+            live: Arc::new(AtomicUsize::new(0)),
+        };
+        let mut handles = Vec::with_capacity(pollers);
+        for i in 0..pollers {
+            let (reg_tx, reg_rx) = unbounded::<Registration>();
+            let (wake_tx, wake_rx) = bounded::<()>(1);
+            let ctx = ctx.clone();
+            let inbox = inbox_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("sdvm-net-poller-{i}"))
+                .spawn(move || Self::poller_loop(reg_rx, wake_rx, inbox, ctx))
+                .expect("spawn poller");
+            handles.push(PollerHandle { reg_tx, wake_tx });
+        }
         let t = Arc::new(TcpTransport {
             local,
             inbox_rx,
-            conns: Arc::new(RwLock::new(HashMap::new())),
+            conns: ctx.conns.clone(),
             next_gen: AtomicU64::new(1),
             closed: closed.clone(),
-            retries: Arc::new(Mutex::new(HashMap::new())),
+            retries: ctx.retries.clone(),
             stalls: AtomicU64::new(0),
-            sealer: Arc::new(Mutex::new(None)),
-            drain_stats: Arc::new(DrainStats::default()),
+            sealer: ctx.sealer.clone(),
+            drain_stats: ctx.stats.clone(),
+            pollers: handles,
+            next_poller: AtomicUsize::new(0),
+            live: ctx.live.clone(),
         });
-        Self::spawn_listener(listener, inbox_tx, closed);
+        Self::spawn_listener(listener, t.clone(), closed);
         Ok(t)
     }
 
-    fn spawn_listener(listener: TcpListener, inbox: Sender<Bytes>, closed: Arc<AtomicBool>) {
+    fn spawn_listener(listener: TcpListener, t: Arc<TcpTransport>, closed: Arc<AtomicBool>) {
         listener
             .set_nonblocking(true)
             .expect("set_nonblocking on fresh listener");
+        // The listener holds a weak handle: the transport must die when
+        // user code drops it, not stay alive through this thread.
+        let t = Arc::downgrade(&t);
         std::thread::Builder::new()
             .name("sdvm-tcp-listener".into())
             .spawn(move || loop {
@@ -167,13 +308,13 @@ impl TcpTransport {
                 }
                 match listener.accept() {
                     Ok((stream, _peer)) => {
-                        stream.set_nonblocking(false).ok();
-                        let inbox = inbox.clone();
-                        let closed = closed.clone();
-                        std::thread::Builder::new()
-                            .name("sdvm-tcp-reader".into())
-                            .spawn(move || Self::read_loop(stream, inbox, closed))
-                            .expect("spawn reader");
+                        // Inbound sockets stay nonblocking and join the
+                        // readiness loop — no thread per connection, and
+                        // a peer stalling mid-frame cannot pin a poller.
+                        stream.set_nonblocking(true).ok();
+                        stream.set_nodelay(true).ok();
+                        let Some(t) = t.upgrade() else { return };
+                        t.register(Registration::Reader { stream });
                     }
                     Err(ref e) if e.kind() == ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -184,26 +325,261 @@ impl TcpTransport {
             .expect("spawn listener");
     }
 
-    fn read_loop(mut stream: TcpStream, inbox: Sender<Bytes>, closed: Arc<AtomicBool>) {
-        // Bound blocking reads so the thread notices shutdown.
-        stream
-            .set_read_timeout(Some(Duration::from_millis(200)))
-            .ok();
-        let mut reader = FrameReader::new();
+    /// Hand a fresh connection to the next poller round-robin.
+    fn register(&self, reg: Registration) -> usize {
+        let idx = self.next_poller.fetch_add(1, Ordering::Relaxed) % self.pollers.len();
+        self.live.fetch_add(1, Ordering::Relaxed);
+        let p = &self.pollers[idx];
+        let _ = p.reg_tx.send(reg);
+        p.wake();
+        idx
+    }
+
+    // ---- the event loop ----
+
+    /// One poller thread: level-triggered scan over its connections,
+    /// sleeping on the wake channel between scans.
+    fn poller_loop(
+        reg_rx: Receiver<Registration>,
+        wake_rx: Receiver<()>,
+        inbox: Sender<Bytes>,
+        ctx: DriverCtx,
+    ) {
+        let mut writers: Vec<WriterConn> = Vec::new();
+        let mut readers: Vec<ReaderConn> = Vec::new();
+        let mut items: Vec<OutItem> = Vec::with_capacity(64);
         loop {
-            if closed.load(Ordering::SeqCst) {
+            if ctx.closed.load(Ordering::SeqCst) {
+                // Connected sockets die with their WriterConn/ReaderConn.
+                ctx.live.fetch_sub(
+                    writers
+                        .iter()
+                        .filter(|w| matches!(w.state, WriterState::Connected(_)))
+                        .count()
+                        + readers.len(),
+                    Ordering::Relaxed,
+                );
                 return;
             }
-            match reader.read_frame(&mut stream) {
-                Ok(FrameRead::Frame(body)) => {
-                    if inbox.send(body).is_err() {
-                        return;
+            // Adopt new connections.
+            while let Ok(reg) = reg_rx.try_recv() {
+                match reg {
+                    Registration::Writer {
+                        host,
+                        gen,
+                        stream,
+                        rx,
+                    } => writers.push(WriterConn {
+                        host,
+                        gen,
+                        rx,
+                        state: WriterState::Connected(stream),
+                        pending: Vec::new(),
+                        written: 0,
+                    }),
+                    Registration::Reader { stream } => readers.push(ReaderConn {
+                        stream,
+                        reader: FrameReader::new(),
+                    }),
+                }
+            }
+            let mut progress = false;
+            // Writers: drain, seal, write until WouldBlock; walk the
+            // timer wheel for parked reconnects.
+            let mut w = 0;
+            while w < writers.len() {
+                match Self::service_writer(&mut writers[w], &mut items, &ctx) {
+                    WriterVerdict::Keep { made_progress } => {
+                        progress |= made_progress;
+                        w += 1;
+                    }
+                    WriterVerdict::Remove { was_connected } => {
+                        let conn = writers.swap_remove(w);
+                        if was_connected {
+                            ctx.live.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        // Remove our own map entry (gen-matched) so the
+                        // next send reinstalls a fresh pipe.
+                        let mut conns = ctx.conns.write();
+                        if conns.get(&conn.host).is_some_and(|h| h.gen == conn.gen) {
+                            conns.remove(&conn.host);
+                        }
                     }
                 }
-                Ok(FrameRead::Eof) => return,
-                Ok(FrameRead::Pending) => continue,
-                Err(_) => return,
             }
+            // Readers: pull frames until WouldBlock (or the fairness cap).
+            let mut r = 0;
+            while r < readers.len() {
+                match Self::service_reader(&mut readers[r], &inbox) {
+                    ReaderVerdict::Keep { made_progress } => {
+                        progress |= made_progress;
+                        r += 1;
+                    }
+                    ReaderVerdict::Remove => {
+                        readers.swap_remove(r);
+                        ctx.live.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if progress {
+                continue; // somebody was ready — scan again immediately
+            }
+            // Idle: sleep until woken (outbound work arrived) or the
+            // tick expires (inbound scan / timer wheel). An empty poller
+            // can sleep long — registration wakes it.
+            let tick = if writers.is_empty() && readers.is_empty() {
+                Duration::from_millis(50)
+            } else {
+                IDLE_TICK
+            };
+            match wake_rx.recv_timeout(tick) {
+                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Drive one outbound connection as far as it will go without
+    /// blocking.
+    fn service_writer(
+        conn: &mut WriterConn,
+        items: &mut Vec<OutItem>,
+        ctx: &DriverCtx,
+    ) -> WriterVerdict {
+        let mut made_progress = false;
+        loop {
+            match &mut conn.state {
+                WriterState::Connected(stream) => {
+                    if conn.pending.is_empty() {
+                        // Refill: coalesce everything waiting, up to the
+                        // batch limits, and seal plaintext runs.
+                        items.clear();
+                        let mut bytes = 0usize;
+                        while items.len() < BATCH_MAX_FRAMES && bytes < BATCH_MAX_BYTES {
+                            match conn.rx.try_recv() {
+                                Ok(i) => {
+                                    bytes += i.len();
+                                    items.push(i);
+                                }
+                                Err(TryRecvError::Empty) => break,
+                                Err(TryRecvError::Disconnected) => {
+                                    if items.is_empty() {
+                                        // Every sender is gone and the
+                                        // queue is drained: retire.
+                                        return WriterVerdict::Remove {
+                                            was_connected: true,
+                                        };
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        if items.is_empty() {
+                            return WriterVerdict::Keep { made_progress };
+                        }
+                        Self::seal_drain(items, ctx, &mut conn.pending);
+                        conn.written = 0;
+                        if conn.pending.is_empty() {
+                            made_progress = true; // sealed away (failures)
+                            continue;
+                        }
+                    }
+                    match Self::write_pending(stream, &conn.pending, &mut conn.written) {
+                        Ok(true) => {
+                            conn.pending.clear();
+                            conn.written = 0;
+                            made_progress = true;
+                            // Loop: maybe more is queued.
+                        }
+                        Ok(false) => {
+                            // Socket full — leave the rest for the next
+                            // readiness scan.
+                            return WriterVerdict::Keep { made_progress };
+                        }
+                        Err(_) => {
+                            // Broken connection: park on the timer wheel
+                            // with jittered backoff; the whole sealed
+                            // batch replays after reconnect (receiver
+                            // replay window deduplicates).
+                            ctx.live.fetch_sub(1, Ordering::Relaxed);
+                            conn.written = 0;
+                            conn.state = WriterState::Backoff {
+                                until: Instant::now() + jittered(RECONNECT_BASE),
+                                tries: 0,
+                                delay: RECONNECT_BASE,
+                            };
+                            return WriterVerdict::Keep {
+                                made_progress: true,
+                            };
+                        }
+                    }
+                }
+                WriterState::Backoff {
+                    until,
+                    tries,
+                    delay,
+                } => {
+                    if Instant::now() < *until {
+                        return WriterVerdict::Keep { made_progress };
+                    }
+                    // Timer fired: one reconnect attempt, counted in the
+                    // per-peer ledger like the old dedicated thread did.
+                    *ctx.retries.lock().entry(conn.host.clone()).or_insert(0) += 1;
+                    match Self::connect_bounded(&conn.host) {
+                        Ok(stream) => {
+                            ctx.live.fetch_add(1, Ordering::Relaxed);
+                            conn.written = 0;
+                            conn.state = WriterState::Connected(stream);
+                            made_progress = true;
+                            // Loop: replay the pending batch right away.
+                        }
+                        Err(_) => {
+                            let t = *tries + 1;
+                            if t >= RECONNECT_MAX_TRIES {
+                                // Budget spent: retire the pipe so the
+                                // next send reinstalls and surfaces the
+                                // connect error to its caller.
+                                return WriterVerdict::Remove {
+                                    was_connected: false,
+                                };
+                            }
+                            let d = (*delay * 2).min(RECONNECT_CAP);
+                            conn.state = WriterState::Backoff {
+                                until: Instant::now() + d + jitter_of(d),
+                                tries: t,
+                                delay: d,
+                            };
+                            return WriterVerdict::Keep {
+                                made_progress: true,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drive one inbound connection: parse frames until the socket runs
+    /// dry (or the fairness cap trips).
+    fn service_reader(conn: &mut ReaderConn, inbox: &Sender<Bytes>) -> ReaderVerdict {
+        let mut made_progress = false;
+        for _ in 0..READ_FRAMES_PER_SCAN {
+            match conn.reader.read_frame(&mut conn.stream) {
+                Ok(FrameRead::Frame(body)) => {
+                    made_progress = true;
+                    if inbox.send(body).is_err() {
+                        return ReaderVerdict::Remove;
+                    }
+                }
+                // `Pending` covers WouldBlock: position is kept, the
+                // next scan resumes mid-frame.
+                Ok(FrameRead::Pending) => return ReaderVerdict::Keep { made_progress },
+                Ok(FrameRead::Eof) => return ReaderVerdict::Remove,
+                Err(_) => return ReaderVerdict::Remove,
+            }
+        }
+        ReaderVerdict::Keep {
+            made_progress: true,
         }
     }
 
@@ -214,129 +590,66 @@ impl TcpTransport {
         Ok(stream)
     }
 
-    /// Connect to `host` synchronously, install a fresh peer handle and
-    /// spawn its writer thread. Caller must hold no lock.
+    /// Reconnect with a bounded connect so a blackholed peer cannot
+    /// stall its poller for the kernel's SYN-retry budget. Returns a
+    /// nonblocking stream ready for the event loop.
+    fn connect_bounded(host: &str) -> SdvmResult<TcpStream> {
+        let stream = match host.parse::<SocketAddr>() {
+            Ok(addr) => TcpStream::connect_timeout(&addr, RECONNECT_CONNECT_TIMEOUT)
+                .map_err(|e| SdvmError::Transport(format!("connect {host}: {e}")))?,
+            Err(_) => {
+                // Hostname: fall back to a plain blocking connect.
+                TcpStream::connect(host)
+                    .map_err(|e| SdvmError::Transport(format!("connect {host}: {e}")))?
+            }
+        };
+        stream.set_nodelay(true).ok();
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| SdvmError::Transport(format!("set_nonblocking {host}: {e}")))?;
+        Ok(stream)
+    }
+
+    /// Connect to `host` synchronously on the caller's thread (so an
+    /// unreachable peer errors at the *first* send), install a fresh
+    /// peer handle and register the connection with a poller.
     fn install_peer(&self, host: &str) -> SdvmResult<(Sender<OutItem>, u64)> {
         let stream = Self::connect(host)?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| SdvmError::Transport(format!("set_nonblocking {host}: {e}")))?;
         let (tx, rx) = bounded::<OutItem>(QUEUE_CAP);
         let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
-        let mut conns = self.conns.write();
-        // Re-check under the write lock: another sender may have raced us
-        // here; use its pipe and drop our extra connection.
-        if let Some(existing) = conns.get(host) {
-            return Ok((existing.tx.clone(), existing.gen));
-        }
-        conns.insert(
-            host.to_string(),
-            PeerHandle {
-                tx: tx.clone(),
-                gen,
-            },
-        );
-        drop(conns);
-        let host = host.to_string();
-        let ctx = WriterCtx {
-            conns: self.conns.clone(),
-            closed: self.closed.clone(),
-            retries: self.retries.clone(),
-            sealer: self.sealer.clone(),
-            stats: self.drain_stats.clone(),
-        };
-        std::thread::Builder::new()
-            .name(format!("sdvm-tcp-writer-{host}"))
-            .spawn(move || Self::writer_loop(host, stream, rx, ctx, gen))
-            .expect("spawn writer");
-        Ok((tx, gen))
-    }
-
-    /// Re-establish a broken connection and replay `batch` onto it, with
-    /// capped exponential backoff plus jitter (so a cluster-wide peer
-    /// restart doesn't produce a synchronized reconnect stampede). Every
-    /// attempt is counted in the per-peer retry ledger. Returns the live
-    /// stream once a replay succeeds, `None` when the budget is spent or
-    /// the transport shuts down.
-    fn reconnect_with_backoff(
-        host: &str,
-        batch: &[Bytes],
-        closed: &AtomicBool,
-        retries: &Mutex<HashMap<String, u64>>,
-    ) -> Option<TcpStream> {
-        let mut delay = RECONNECT_BASE;
-        for _ in 0..RECONNECT_MAX_TRIES {
-            if closed.load(Ordering::SeqCst) {
-                return None;
+        {
+            let mut conns = self.conns.write();
+            // Re-check under the write lock: another sender may have
+            // raced us here; use its pipe and drop our extra connection.
+            if let Some(existing) = conns.get(host) {
+                return Ok((existing.tx.clone(), existing.gen));
             }
-            let jitter = Duration::from_millis(
-                rand::rng().random_range(0..1 + delay.as_millis() as u64 / 2),
+            // Reserve the slot before registering so a racing sender
+            // finds it; patch the poller index right after.
+            conns.insert(
+                host.to_string(),
+                PeerHandle {
+                    tx: tx.clone(),
+                    gen,
+                    poller: 0,
+                },
             );
-            std::thread::sleep(delay + jitter);
-            *retries.lock().entry(host.to_string()).or_insert(0) += 1;
-            if let Ok(mut s) = Self::connect(host) {
-                if Self::write_batch(&mut s, batch).is_ok() {
-                    return Some(s);
-                }
-            }
-            delay = (delay * 2).min(RECONNECT_CAP);
         }
-        None
-    }
-
-    /// Drain one peer's queue onto its socket, sealing plaintext runs at
-    /// drain time and coalescing everything into vectored writes. Exits
-    /// (removing its own map entry) when the transport closes, every
-    /// sender is gone, or the connection stays dead past the reconnect
-    /// budget.
-    fn writer_loop(
-        host: String,
-        mut stream: TcpStream,
-        rx: Receiver<OutItem>,
-        ctx: WriterCtx,
-        gen: u64,
-    ) {
-        let mut items: Vec<OutItem> = Vec::with_capacity(64);
-        let mut batch: Vec<Bytes> = Vec::with_capacity(64);
-        loop {
-            if ctx.closed.load(Ordering::SeqCst) {
-                break;
-            }
-            match rx.recv_timeout(Duration::from_millis(200)) {
-                Ok(item) => {
-                    items.clear();
-                    let mut bytes = item.len();
-                    items.push(item);
-                    while items.len() < BATCH_MAX_FRAMES && bytes < BATCH_MAX_BYTES {
-                        match rx.try_recv() {
-                            Ok(i) => {
-                                bytes += i.len();
-                                items.push(i);
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    Self::seal_drain(&mut items, &ctx, &mut batch);
-                    if batch.is_empty() {
-                        continue;
-                    }
-                    // Reconnect with backoff on failure, replaying the
-                    // in-flight batch on each fresh connection. The batch
-                    // is sealed by now, so a replay re-sends identical
-                    // records and the receiver's replay window deduplicates.
-                    if Self::write_batch(&mut stream, &batch).is_err() {
-                        match Self::reconnect_with_backoff(&host, &batch, &ctx.closed, &ctx.retries)
-                        {
-                            Some(s) => stream = s,
-                            None => break,
-                        }
-                    }
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        let idx = self.register(Registration::Writer {
+            host: host.to_string(),
+            gen,
+            stream,
+            rx,
+        });
+        if let Some(h) = self.conns.write().get_mut(host) {
+            if h.gen == gen {
+                h.poller = idx;
             }
         }
-        let mut conns = ctx.conns.write();
-        if conns.get(&host).is_some_and(|h| h.gen == gen) {
-            conns.remove(&host);
-        }
+        Ok((tx, gen))
     }
 
     /// Turn the drained queue items into wire frames: `Ready` frames
@@ -344,7 +657,7 @@ impl TcpTransport {
     /// records with the same destination become one frame each — sealed
     /// per-frame for a run of one, batch-sealed for longer runs. Queue
     /// order is preserved exactly.
-    fn seal_drain(items: &mut Vec<OutItem>, ctx: &WriterCtx, out: &mut Vec<Bytes>) {
+    fn seal_drain(items: &mut Vec<OutItem>, ctx: &DriverCtx, out: &mut Vec<Bytes>) {
         out.clear();
         let sealer = ctx.sealer.lock().clone();
         let mut run: Vec<Bytes> = Vec::new();
@@ -424,19 +737,41 @@ impl TcpTransport {
         )
     }
 
-    /// Write all frames with as few syscalls as the kernel allows.
-    fn write_batch(stream: &mut TcpStream, frames: &[Bytes]) -> std::io::Result<()> {
-        let mut slices: Vec<IoSlice<'_>> = frames.iter().map(|f| IoSlice::new(f)).collect();
-        let mut bufs = &mut slices[..];
-        while !bufs.is_empty() {
-            match stream.write_vectored(bufs) {
+    /// Write the pending batch from byte offset `written` onward with
+    /// as few syscalls as the kernel allows. Returns `Ok(true)` when
+    /// the batch completed, `Ok(false)` on `WouldBlock` (offset saved
+    /// for the next scan), `Err` on a broken connection.
+    fn write_pending(
+        stream: &mut TcpStream,
+        pending: &[Bytes],
+        written: &mut usize,
+    ) -> std::io::Result<bool> {
+        let total: usize = pending.iter().map(|b| b.len()).sum();
+        while *written < total {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(pending.len());
+            let mut skip = *written;
+            for b in pending {
+                if skip >= b.len() {
+                    skip -= b.len();
+                    continue;
+                }
+                slices.push(IoSlice::new(&b[skip..]));
+                skip = 0;
+            }
+            match stream.write_vectored(&slices) {
                 Ok(0) => return Err(std::io::Error::new(ErrorKind::WriteZero, "wrote 0")),
-                Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+                Ok(n) => *written += n,
                 Err(ref e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(ref e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
                 Err(e) => return Err(e),
             }
         }
-        stream.flush()
+        match stream.flush() {
+            Ok(()) => {}
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => {}
+            Err(e) => return Err(e),
+        }
+        Ok(true)
     }
 
     /// The queue sender for `host` (with its generation), creating the
@@ -448,21 +783,33 @@ impl TcpTransport {
         self.install_peer(host)
     }
 
+    /// Wake the poller that owns `host`'s writer, if any.
+    fn wake_owner(&self, host: &str) {
+        if let Some(h) = self.conns.read().get(host) {
+            if let Some(p) = self.pollers.get(h.poller) {
+                p.wake();
+            }
+        }
+    }
+
     fn enqueue(&self, host: &str, item: OutItem) -> SdvmResult<()> {
         let (tx, gen) = self.pipe_to(host)?;
-        match tx.try_send(item) {
+        let res = match tx.try_send(item) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(item)) => {
                 // This peer is slow; block only this sender, bounded.
+                // Wake the owner first — the drain is what makes room.
                 self.stalls.fetch_add(1, Ordering::Relaxed);
+                self.wake_owner(host);
                 tx.send_timeout(item, BACKPRESSURE_TIMEOUT).map_err(|_| {
                     SdvmError::Transport(format!("outbound queue to {host} full (backpressure)"))
                 })
             }
             Err(TrySendError::Disconnected(item)) => {
-                // The writer died (connection failed past retry). Drop
-                // the dead pipe — only if it is still the one we used —
-                // and rebuild; connect errors surface to the caller.
+                // The driver retired the pipe (connection failed past
+                // the retry budget). Drop the dead entry — only if it is
+                // still the one we used — and rebuild; connect errors
+                // surface to the caller.
                 {
                     let mut conns = self.conns.write();
                     if conns.get(host).is_some_and(|h| h.gen == gen) {
@@ -473,7 +820,9 @@ impl TcpTransport {
                 tx.try_send(item)
                     .map_err(|_| SdvmError::Transport(format!("outbound queue to {host} failed")))
             }
-        }
+        };
+        self.wake_owner(host);
+        res
     }
 
     fn host_of<'a>(&self, to: &'a PhysicalAddr) -> SdvmResult<&'a str> {
@@ -484,6 +833,29 @@ impl TcpTransport {
             ))),
         }
     }
+}
+
+/// What to do with a writer connection after servicing it.
+enum WriterVerdict {
+    Keep { made_progress: bool },
+    Remove { was_connected: bool },
+}
+
+/// What to do with a reader connection after servicing it.
+enum ReaderVerdict {
+    Keep { made_progress: bool },
+    Remove,
+}
+
+/// Backoff delay plus its jitter.
+fn jittered(delay: Duration) -> Duration {
+    delay + jitter_of(delay)
+}
+
+/// Random jitter in `[0, delay/2]` so a cluster-wide peer restart does
+/// not produce a synchronized reconnect stampede.
+fn jitter_of(delay: Duration) -> Duration {
+    Duration::from_millis(rand::rng().random_range(0..1 + delay.as_millis() as u64 / 2))
 }
 
 impl Transport for TcpTransport {
@@ -541,10 +913,23 @@ impl Transport for TcpTransport {
         self.stalls.load(Ordering::Relaxed)
     }
 
+    fn peers_connected(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    fn driver_threads(&self) -> usize {
+        self.pollers.len() + 1 // pool + listener
+    }
+
     fn shutdown(&self) {
         self.closed.store(true, Ordering::SeqCst);
-        // Dropping the handles disconnects every writer's queue.
+        // Dropping the handles disconnects every writer's queue; the
+        // wakes pull the pollers out of their idle sleep so they see
+        // the flag promptly.
         self.conns.write().clear();
+        for p in &self.pollers {
+            p.wake();
+        }
     }
 }
 
@@ -618,7 +1003,7 @@ mod tests {
     #[test]
     fn burst_coalesces_and_all_arrive() {
         // Far more frames than one batch; exercises the vectored-write
-        // coalescing path (queue backs up while the writer works).
+        // coalescing path (queue backs up while the poller works).
         let a = TcpTransport::bind("127.0.0.1:0").unwrap();
         let b = TcpTransport::bind("127.0.0.1:0").unwrap();
         let n = 3000u32;
@@ -641,14 +1026,14 @@ mod tests {
         b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(a.outbound_retries().is_empty(), "no retries while healthy");
         // Kill the peer: its listener stops and its sockets close, so
-        // a's writer sees broken writes and starts the backoff loop
+        // a's writer sees broken writes and parks on the timer wheel
         // (every reconnect now gets connection-refused).
         b.shutdown();
         drop(b);
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         let mut total = 0u64;
         while std::time::Instant::now() < deadline {
-            // Keep offering traffic so the writer notices the break.
+            // Keep offering traffic so the driver notices the break.
             let _ = a.send_body(&b_addr, b"poke");
             total = a.outbound_retries().iter().map(|(_, n)| n).sum();
             if total > 0 {
@@ -657,6 +1042,34 @@ mod tests {
             std::thread::sleep(Duration::from_millis(50));
         }
         assert!(total > 0, "reconnect attempts must be counted");
+    }
+
+    #[test]
+    fn driver_thread_count_is_fixed() {
+        let a = TcpTransport::bind_with_pollers("127.0.0.1:0", 2).unwrap();
+        assert_eq!(a.driver_threads(), 3, "2 pollers + 1 listener");
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        assert_eq!(b.driver_threads(), DEFAULT_POLLERS + 1);
+        // Connecting peers must not change the driver's thread budget.
+        a.send_body(&b.local_addr(), b"x").unwrap();
+        b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(a.driver_threads(), 3);
+    }
+
+    #[test]
+    fn peers_connected_tracks_connections() {
+        let a = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind("127.0.0.1:0").unwrap();
+        assert_eq!(a.peers_connected(), 0);
+        a.send_body(&b.local_addr(), b"x").unwrap();
+        b.incoming().recv_timeout(Duration::from_secs(5)).unwrap();
+        // a holds its outbound socket; b holds the accepted inbound one.
+        assert!(a.peers_connected() >= 1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while b.peers_connected() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(b.peers_connected() >= 1);
     }
 
     /// A fake sealer that "seals" by prefixing a visible marker, so the

@@ -1,0 +1,61 @@
+//! Scale-out property of the event-driven driver: the thread budget is
+//! fixed at bind time (poller pool + listener), so connecting a large
+//! roster of peers must not create a single additional thread — each
+//! peer costs a bounded queue plus a poller registration.
+//!
+//! With the old thread-per-peer driver this test would observe roughly
+//! two new threads per outbound peer (writer + reader on the far side).
+
+#![cfg(target_os = "linux")]
+
+use sdvm_net::{TcpTransport, Transport};
+use std::time::Duration;
+
+/// Threads currently alive in this process (Linux: one task dir each).
+fn process_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("read /proc/self/task")
+        .count()
+}
+
+#[test]
+fn connecting_256_peers_adds_no_threads() {
+    const PEERS: usize = 256;
+    // The hub runs the default-shaped small pool; every peer gets a
+    // minimal single-poller driver so the in-process fixture stays
+    // cheap. All driver threads exist after these binds.
+    let hub = TcpTransport::bind_with_pollers("127.0.0.1:0", 4).unwrap();
+    let peers: Vec<_> = (0..PEERS)
+        .map(|_| TcpTransport::bind_with_pollers("127.0.0.1:0", 1).unwrap())
+        .collect();
+    assert_eq!(hub.driver_threads(), 5, "4 pollers + 1 listener");
+
+    let before = process_threads();
+    // Connect the whole roster: 256 outbound connections from the hub,
+    // 256 accepted inbound connections across the peers.
+    for (i, p) in peers.iter().enumerate() {
+        hub.send_body(&p.local_addr(), &(i as u32).to_le_bytes())
+            .unwrap();
+    }
+    for (i, p) in peers.iter().enumerate() {
+        let got = p.incoming().recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(got, (i as u32).to_le_bytes(), "peer {i}");
+    }
+    let after = process_threads();
+
+    assert!(
+        after <= before + 4,
+        "connecting {PEERS} peers grew the process from {before} to {after} threads; \
+         the driver must register connections with its fixed pool, not spawn"
+    );
+    assert_eq!(
+        hub.driver_threads(),
+        5,
+        "the hub's thread budget is set at bind time"
+    );
+    assert!(
+        hub.peers_connected() >= PEERS,
+        "hub should hold a live socket per peer (got {})",
+        hub.peers_connected()
+    );
+}

@@ -1,0 +1,194 @@
+//! Sim-side Vivaldi network coordinates.
+//!
+//! The runtime learns 3D+height coordinates from RTTs piggybacked on
+//! heartbeat/probe traffic (`sdvm-core`'s `coord` module, wire v9) and
+//! uses them to rank help targets by predicted proximity. The simulator
+//! models that algorithm — same spring-relaxation update rule, same
+//! constants, same convergence gate — in virtual-time seconds, so
+//! 1000-site topologies can exercise proximity routing without sockets.
+//!
+//! Like the rest of this crate, the model *mirrors* the runtime rather
+//! than importing it (the scheduler is reimplemented the same way);
+//! keep the constants in sync with `crates/core/src/coord.rs`.
+
+/// Error-weight gain: how fast the local fit error chases new samples.
+pub const CE: f64 = 0.25;
+/// Displacement gain: how far one sample may pull the coordinate.
+pub const CC: f64 = 0.25;
+/// Share of each displacement that goes into the height component.
+pub const HEIGHT_FRACTION: f64 = 0.1;
+/// Samples before the coordinate may claim convergence.
+pub const MIN_SAMPLES: u64 = 10;
+/// Relative fit error below which the coordinate counts as converged.
+pub const CONVERGED_ERR: f64 = 0.5;
+
+/// A point in the 3D+height latency space (coordinates in seconds —
+/// the simulator's virtual-time unit, where the runtime uses ms).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimCoord {
+    /// Euclidean components.
+    pub x: f64,
+    /// Euclidean components.
+    pub y: f64,
+    /// Euclidean components.
+    pub z: f64,
+    /// Non-Euclidean height (access-link cost); never negative.
+    pub h: f64,
+}
+
+impl SimCoord {
+    /// Predicted RTT between two coordinates: Euclidean distance plus
+    /// both heights.
+    pub fn predict(&self, other: &SimCoord) -> f64 {
+        let (dx, dy, dz) = (self.x - other.x, self.y - other.y, self.z - other.z);
+        (dx * dx + dy * dy + dz * dz).sqrt() + self.h + other.h
+    }
+}
+
+/// One site's coordinate plus its fit statistics.
+#[derive(Clone, Debug)]
+pub struct SimVivaldi {
+    /// Current coordinate estimate.
+    pub coord: SimCoord,
+    /// Relative fit error in `[0, 10]`; starts pessimal at 1.0.
+    pub err: f64,
+    /// RTT samples folded in so far.
+    pub samples: u64,
+}
+
+impl Default for SimVivaldi {
+    fn default() -> Self {
+        SimVivaldi {
+            coord: SimCoord::default(),
+            err: 1.0,
+            samples: 0,
+        }
+    }
+}
+
+impl SimVivaldi {
+    /// Fold one RTT observation (seconds) against a peer's coordinate —
+    /// the Vivaldi spring relaxation. `seed` breaks the tie when both
+    /// coordinates coincide (deterministic, unlike the runtime's
+    /// thread-local RNG-free splitmix — same idea, sim-controlled seed).
+    pub fn observe(&mut self, peer: &SimCoord, peer_err: f64, rtt_s: f64, seed: u64) {
+        if !rtt_s.is_finite() || rtt_s <= 0.0 {
+            return;
+        }
+        let w = self.err / (self.err + peer_err.max(1e-9));
+        let dist = self.coord.predict(peer);
+        let es = (dist - rtt_s).abs() / rtt_s;
+        self.err = (es * CE * w + self.err * (1.0 - CE * w)).clamp(0.0, 10.0);
+        let delta = CC * w * (rtt_s - dist);
+        let (ux, uy, uz) = unit_towards(&self.coord, peer, seed);
+        self.coord.x += delta * ux * (1.0 - HEIGHT_FRACTION);
+        self.coord.y += delta * uy * (1.0 - HEIGHT_FRACTION);
+        self.coord.z += delta * uz * (1.0 - HEIGHT_FRACTION);
+        self.coord.h = (self.coord.h + delta * HEIGHT_FRACTION).max(0.0);
+        self.samples += 1;
+    }
+
+    /// True once the coordinate has seen enough samples and fits well
+    /// enough for proximity predictions to beat uniform selection.
+    pub fn converged(&self) -> bool {
+        self.samples >= MIN_SAMPLES && self.err < CONVERGED_ERR
+    }
+}
+
+/// Unit vector from `peer` towards `me` (the push direction of the
+/// spring); a deterministic pseudo-random direction when coincident.
+fn unit_towards(me: &SimCoord, peer: &SimCoord, seed: u64) -> (f64, f64, f64) {
+    let (dx, dy, dz) = (me.x - peer.x, me.y - peer.y, me.z - peer.z);
+    let norm = (dx * dx + dy * dy + dz * dz).sqrt();
+    if norm > 1e-12 {
+        return (dx / norm, dy / norm, dz / norm);
+    }
+    // splitmix64-style scramble, matching the runtime's approach.
+    let mut s = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = || {
+        s = s.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64 * 2.0 - 1.0
+    };
+    let (rx, ry, rz) = (next(), next(), next());
+    let n = (rx * rx + ry * ry + rz * rz).sqrt().max(1e-9);
+    (rx / n, ry / n, rz / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_points_converge_to_measured_rtt() {
+        let mut a = SimVivaldi::default();
+        let mut b = SimVivaldi::default();
+        let rtt = 0.020;
+        for i in 0..200u64 {
+            let (bc, be) = (b.coord, b.err);
+            a.observe(&bc, be, rtt, i * 2);
+            let (ac, ae) = (a.coord, a.err);
+            b.observe(&ac, ae, rtt, i * 2 + 1);
+        }
+        let predicted = a.coord.predict(&b.coord);
+        assert!(
+            (predicted - rtt).abs() < rtt * 0.25,
+            "predicted {predicted} vs {rtt}"
+        );
+        assert!(a.converged() && b.converged());
+    }
+
+    #[test]
+    fn islands_rank_correctly() {
+        // Two islands: near pairs at 2 ms, cross-island at 60 ms. After
+        // convergence the predicted near distances must all be below the
+        // predicted far distances.
+        let mut sites: Vec<SimVivaldi> = (0..8).map(|_| SimVivaldi::default()).collect();
+        let island = |i: usize| i / 4;
+        let mut tick = 0u64;
+        for _round in 0..120 {
+            for i in 0..8 {
+                for j in 0..8 {
+                    if i == j {
+                        continue;
+                    }
+                    let rtt = if island(i) == island(j) { 0.002 } else { 0.060 };
+                    let (pc, pe) = (sites[j].coord, sites[j].err);
+                    sites[i].observe(&pc, pe, rtt, tick);
+                    tick += 1;
+                }
+            }
+        }
+        let mut near_max: f64 = 0.0;
+        let mut far_min = f64::INFINITY;
+        for i in 0..8 {
+            for j in 0..8 {
+                if i == j {
+                    continue;
+                }
+                let d = sites[i].coord.predict(&sites[j].coord);
+                if island(i) == island(j) {
+                    near_max = near_max.max(d);
+                } else {
+                    far_min = far_min.min(d);
+                }
+            }
+        }
+        assert!(
+            near_max < far_min,
+            "island separation lost: near {near_max} far {far_min}"
+        );
+    }
+
+    #[test]
+    fn bad_samples_ignored() {
+        let mut a = SimVivaldi::default();
+        let before = a.samples;
+        a.observe(&SimCoord::default(), 1.0, -1.0, 0);
+        a.observe(&SimCoord::default(), 1.0, f64::NAN, 0);
+        assert_eq!(a.samples, before);
+        assert!(a.coord.h >= 0.0);
+    }
+}

@@ -1,5 +1,6 @@
 //! The simulation engine.
 
+use crate::coords::SimVivaldi;
 use crate::event::{Event, EventQueue};
 use crate::metrics::SimMetrics;
 use crate::model::SimConfig;
@@ -68,6 +69,17 @@ struct SiteState {
     idle_epoch: u64,
     sleep_started: f64,
     slept: f64,
+    /// Earliest virtual time the site's transport driver (the fixed
+    /// poller pool) is free to handle another message. Only meaningful
+    /// when `SimConfig::driver_service > 0`.
+    driver_free_at: f64,
+    /// This site's Vivaldi coordinate, learned from help round-trips
+    /// (the sim analogue of RTTs piggybacked on probes/heartbeats).
+    vivaldi: SimVivaldi,
+    /// When the in-flight help request left, and to whom — one is
+    /// outstanding at a time (`outstanding_help`).
+    help_sent_at: f64,
+    help_target: usize,
 }
 
 /// One simulation run: a CDAG executed on a modelled SDVM cluster.
@@ -126,6 +138,10 @@ impl Simulation {
                 idle_epoch: 0,
                 sleep_started: 0.0,
                 slept: 0.0,
+                driver_free_at: 0.0,
+                vivaldi: SimVivaldi::default(),
+                help_sent_at: 0.0,
+                help_target: 0,
             })
             .collect();
         let timeline = vec![Vec::new(); cfg.sites.len()];
@@ -200,6 +216,20 @@ impl Simulation {
                 break;
             }
             self.handle(ev);
+        }
+        if std::env::var("SDVM_SIM_DEBUG_COORDS").is_ok() {
+            for (i, s) in self.sites.iter().enumerate() {
+                eprintln!(
+                    "site {i}: samples {} err {:.3} coord ({:.5},{:.5},{:.5}) h {:.5} conv {}",
+                    s.vivaldi.samples,
+                    s.vivaldi.err,
+                    s.vivaldi.coord.x,
+                    s.vivaldi.coord.y,
+                    s.vivaldi.coord.z,
+                    s.vivaldi.coord.h,
+                    s.vivaldi.converged()
+                );
+            }
         }
         self.completed = self.done == total;
         self.metrics.makespan = self.now;
@@ -290,14 +320,64 @@ impl Simulation {
     /// An overloaded site activates every sleeping peer — "if a fast
     /// execution is needed, all sites on a chip get activated" (§2.2).
     fn wake_a_sleeper(&mut self, from: usize) {
-        let latency = self.cfg.net.transfer(CTRL_BYTES);
         let targets: Vec<usize> = (0..self.sites.len())
             .filter(|&i| i != from && self.sites[i].asleep && self.sites[i].accepting)
             .collect();
         for target in targets {
+            let latency = self.msg_delay(from, target, CTRL_BYTES);
             self.queue
                 .push(self.now + latency, Event::Wake { site: target });
         }
+    }
+
+    // ---- the network model: pairwise latency + driver capacity ----
+
+    /// Positional distance between two sites in latency seconds.
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        let pa = self.cfg.sites[a].pos;
+        let pb = self.cfg.sites[b].pos;
+        let (dx, dy, dz) = (pa.0 - pb.0, pa.1 - pb.1, pa.2 - pb.2);
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Delivery delay for one message `from → to`: pairwise transfer
+    /// time plus queueing at the receiver's transport driver. The
+    /// driver is the event-driven poller pool: `net_drivers` effective
+    /// servers, each message occupying it for `driver_service /
+    /// net_drivers` seconds — when the pool is saturated, deliveries
+    /// queue behind each other (the capacity limit a fixed pool has at
+    /// 1000-site scale). `driver_service == 0` disables the model.
+    fn msg_delay(&mut self, from: usize, to: usize, bytes: u64) -> f64 {
+        let base = self.cfg.net.transfer_dist(self.dist(from, to), bytes);
+        if self.cfg.driver_service <= 0.0 {
+            return base;
+        }
+        let service = self.cfg.driver_service / self.cfg.net_drivers.max(1) as f64;
+        let arrival = self.now + base;
+        let start = arrival.max(self.sites[to].driver_free_at);
+        self.sites[to].driver_free_at = start + service;
+        let queued = start - arrival;
+        self.metrics.driver_queueing += queued;
+        base + queued + service
+    }
+
+    /// A help response (grant or can't-help) just arrived: the
+    /// round-trip time is a latency sample for this site's Vivaldi
+    /// coordinate, exactly as the runtime samples probe/help RTTs.
+    fn note_help_rtt(&mut self, site: usize) {
+        if !self.sites[site].outstanding_help {
+            return;
+        }
+        let rtt = self.now - self.sites[site].help_sent_at;
+        let peer = self.sites[site].help_target;
+        if rtt <= 0.0 || peer == site {
+            return;
+        }
+        self.metrics.help_rtt.push(rtt);
+        let (pc, pe) = (self.sites[peer].vivaldi.coord, self.sites[peer].vivaldi.err);
+        // Deterministic tie-break seed: the event counter never repeats.
+        let seed = ((site as u64) << 32) ^ (peer as u64) ^ self.metrics.events;
+        self.sites[site].vivaldi.observe(&pc, pe, rtt, seed);
     }
 
     fn handle(&mut self, ev: Event) {
@@ -357,10 +437,9 @@ impl Simulation {
             let succ = self.successor_of(site);
             self.nodes[node].status = NodeStatus::Migrating;
             self.metrics.migrations += 1;
-            self.queue.push(
-                self.now + self.cfg.net.transfer(FRAME_BYTES),
-                Event::FrameArrive { site: succ, node },
-            );
+            let delay = self.msg_delay(site, succ, FRAME_BYTES);
+            self.queue
+                .push(self.now + delay, Event::FrameArrive { site: succ, node });
             return;
         }
         self.sites[site].queue.push_back(node);
@@ -435,12 +514,14 @@ impl Simulation {
             // First execution of this microthread here: fetch the binary
             // (same platform as the program's home site 0) or compile
             // from source (foreign platform).
+            // Code travels from the home/code site (site 0).
+            let fetch = self.msg_delay(0, site, FRAME_BYTES);
             let delay = if self.cfg.sites[site].platform == self.cfg.sites[0].platform {
                 self.metrics.binary_fetches += 1;
-                self.cfg.binary_fetch + self.cfg.net.transfer(FRAME_BYTES)
+                self.cfg.binary_fetch + fetch
             } else {
                 self.metrics.compiles += 1;
-                self.cfg.compile + self.cfg.net.transfer(FRAME_BYTES)
+                self.cfg.compile + fetch
             };
             self.queue
                 .push(self.now + delay, Event::CodeReady { site, node });
@@ -569,10 +650,9 @@ impl Simulation {
                 self.apply_result(dst);
             } else {
                 self.metrics.remote_results += 1;
-                self.queue.push(
-                    self.now + self.cfg.net.transfer(bytes.max(32)),
-                    Event::ResultArrive { node: dst },
-                );
+                let delay = self.msg_delay(site, loc, bytes.max(32));
+                self.queue
+                    .push(self.now + delay, Event::ResultArrive { node: dst });
             }
         }
         self.fill_slots(site);
@@ -588,10 +668,13 @@ impl Simulation {
         if !s.queue.is_empty() || s.open >= self.cfg.slots {
             return; // got work meanwhile
         }
-        // Choose the busiest (deepest-queued) other site; round-robin
-        // when nobody is known to have spare work.
+        // Choose the busiest (deepest-queued) other site; when nobody is
+        // known to have spare work, rotate — uniformly, or (with
+        // proximity routing on and a converged coordinate) within the
+        // nearest few candidates, mirroring the runtime's
+        // `pick_help_target`.
         let me = site;
-        let candidates: Vec<usize> = (0..self.sites.len())
+        let mut candidates: Vec<usize> = (0..self.sites.len())
             .filter(|&i| i != me && self.sites[i].alive && self.sites[i].accepting)
             .collect();
         if candidates.is_empty() {
@@ -603,16 +686,32 @@ impl Simulation {
             .max_by_key(|&i| self.sites[i].queue.len())
             .expect("non-empty");
         let target = if self.sites[busiest].queue.is_empty() {
+            let pool = if self.cfg.proximity_routing && self.sites[me].vivaldi.converged() {
+                let my_v = self.sites[me].vivaldi.clone();
+                candidates.sort_by(|&a, &b| {
+                    let da = my_v.coord.predict(&self.sites[a].vivaldi.coord);
+                    let db = my_v.coord.predict(&self.sites[b].vivaldi.coord);
+                    da.partial_cmp(&db)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                candidates.len().min(3)
+            } else {
+                candidates.len()
+            };
             let rr = self.sites[me].rr;
             self.sites[me].rr = rr.wrapping_add(1);
-            candidates[rr % candidates.len()]
+            candidates[rr % pool]
         } else {
             busiest
         };
         self.sites[me].outstanding_help = true;
+        self.sites[me].help_sent_at = self.now;
+        self.sites[me].help_target = target;
         self.metrics.help_requests += 1;
+        let delay = self.msg_delay(me, target, CTRL_BYTES);
         self.queue.push(
-            self.now + self.cfg.net.transfer(CTRL_BYTES),
+            self.now + delay,
             Event::HelpArrive {
                 site: target,
                 from: me,
@@ -631,19 +730,18 @@ impl Simulation {
             self.metrics.help_granted += 1;
             self.metrics.migrations += 1;
             self.nodes[node].status = NodeStatus::Migrating;
-            self.queue.push(
-                self.now + self.cfg.net.transfer(FRAME_BYTES),
-                Event::FrameArrive { site: from, node },
-            );
+            let delay = self.msg_delay(site, from, FRAME_BYTES);
+            self.queue
+                .push(self.now + delay, Event::FrameArrive { site: from, node });
         } else {
-            self.queue.push(
-                self.now + self.cfg.net.transfer(CTRL_BYTES),
-                Event::CantHelpArrive { site: from },
-            );
+            let delay = self.msg_delay(site, from, CTRL_BYTES);
+            self.queue
+                .push(self.now + delay, Event::CantHelpArrive { site: from });
         }
     }
 
     fn on_cant_help(&mut self, site: usize) {
+        self.note_help_rtt(site);
         let s = &mut self.sites[site];
         s.outstanding_help = false;
         if !s.alive || !s.accepting {
@@ -668,6 +766,7 @@ impl Simulation {
         }
         self.mark_active(site);
         self.charge_msg(site);
+        self.note_help_rtt(site);
         self.sites[site].outstanding_help = false;
         self.sites[site].backoff = self.cfg.help_backoff;
         if self.nodes[node].status == NodeStatus::Done {
@@ -678,10 +777,9 @@ impl Simulation {
         if !self.sites[site].accepting {
             let succ = self.successor_of(site);
             self.metrics.migrations += 1;
-            self.queue.push(
-                self.now + self.cfg.net.transfer(FRAME_BYTES),
-                Event::FrameArrive { site: succ, node },
-            );
+            let delay = self.msg_delay(site, succ, FRAME_BYTES);
+            self.queue
+                .push(self.now + delay, Event::FrameArrive { site: succ, node });
             return;
         }
         self.nodes[node].location = Some(site);
@@ -722,10 +820,9 @@ impl Simulation {
         for node in queued {
             self.nodes[node].status = NodeStatus::Migrating;
             self.metrics.migrations += 1;
-            self.queue.push(
-                self.now + self.cfg.net.transfer(FRAME_BYTES),
-                Event::FrameArrive { site: succ, node },
-            );
+            let delay = self.msg_delay(site, succ, FRAME_BYTES);
+            self.queue
+                .push(self.now + delay, Event::FrameArrive { site: succ, node });
         }
         // Waiting (incomplete) frames located here also relocate.
         self.relocate_waiting(site, succ, 0.0);
@@ -751,8 +848,9 @@ impl Simulation {
             self.sites[site].open -= 1;
             self.metrics.reexecutions += 1;
             self.nodes[node].status = NodeStatus::Migrating;
+            let transfer = self.msg_delay(site, succ, FRAME_BYTES);
             self.queue.push(
-                self.now + delay + self.cfg.net.transfer(FRAME_BYTES),
+                self.now + delay + transfer,
                 Event::FrameArrive { site: succ, node },
             );
         }
@@ -761,8 +859,9 @@ impl Simulation {
         for node in queued {
             self.nodes[node].status = NodeStatus::Migrating;
             self.metrics.migrations += 1;
+            let transfer = self.msg_delay(site, succ, FRAME_BYTES);
             self.queue.push(
-                self.now + delay + self.cfg.net.transfer(FRAME_BYTES),
+                self.now + delay + transfer,
                 Event::FrameArrive { site: succ, node },
             );
         }
@@ -781,8 +880,9 @@ impl Simulation {
         for node in waiting {
             self.nodes[node].status = NodeStatus::Migrating;
             self.metrics.migrations += 1;
+            let transfer = self.msg_delay(site, succ, FRAME_BYTES);
             self.queue.push(
-                self.now + delay + self.cfg.net.transfer(FRAME_BYTES),
+                self.now + delay + transfer,
                 Event::FrameArrive { site: succ, node },
             );
         }
@@ -921,6 +1021,100 @@ mod tests {
         let m = run(SimConfig::homogeneous(2), g);
         assert_eq!(m.tasks_executed, 0);
         assert_eq!(m.makespan, 0.0);
+    }
+
+    /// Two islands far apart in latency space: `n` sites near the
+    /// origin, `n` sites around `gap` seconds away, each island with a
+    /// little internal spread (degenerate all-equal intra-island RTTs
+    /// make Vivaldi's *relative* fit error unbounded, which no real
+    /// topology does). Site 0 (the work source) is in the first island.
+    fn islands(n: usize, gap: f64) -> Vec<SimSite> {
+        (0..2 * n)
+            .map(|i| {
+                let island = if i < n { 0.0 } else { gap };
+                SimSite::at((island, (i % n) as f64 * 0.0015, 0.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn proximity_routing_lowers_help_rtt_on_clustered_topology() {
+        // Steady trickle of work from site 0 keeps idle sites asking for
+        // help long enough for coordinates to converge.
+        let g = generators::iterative_fork_join(40, 12, 50_000);
+        let mut uniform = SimConfig::homogeneous(0);
+        uniform.sites = islands(6, 0.030);
+        let mut proximity = uniform.clone();
+        proximity.proximity_routing = true;
+        let mu = run(uniform, g.clone());
+        let mp = run(proximity, g);
+        assert!(mu.help_rtt.len() > 100, "uniform run must sample help RTT");
+        assert!(
+            mp.help_rtt.len() > 100,
+            "proximity run must sample help RTT"
+        );
+        assert!(
+            mp.help_rtt_median() < mu.help_rtt_median(),
+            "proximity median {} must beat uniform median {}",
+            mp.help_rtt_median(),
+            mu.help_rtt_median()
+        );
+    }
+
+    #[test]
+    fn driver_capacity_queues_deliveries() {
+        // A wide fan-out through one site saturates its driver when the
+        // per-message service time is large; with the model off there is
+        // no queueing at all.
+        let g = generators::fork_join(100, 64, 50_000, 100);
+        let free = run(SimConfig::homogeneous(8), g.clone());
+        assert_eq!(free.driver_queueing, 0.0, "model off by default");
+        let mut tight = SimConfig::homogeneous(8);
+        tight.driver_service = 2e-3;
+        tight.net_drivers = 1;
+        let m = run(tight, g);
+        assert!(
+            m.driver_queueing > 0.0,
+            "saturated single-driver sites must queue deliveries"
+        );
+        assert!(
+            m.makespan > free.makespan,
+            "driver capacity must cost makespan: {} vs {}",
+            m.makespan,
+            free.makespan
+        );
+    }
+
+    #[test]
+    fn more_drivers_relieve_queueing() {
+        let g = generators::fork_join(100, 64, 50_000, 100);
+        let mut one = SimConfig::homogeneous(8);
+        one.driver_service = 2e-3;
+        one.net_drivers = 1;
+        let mut four = one.clone();
+        four.net_drivers = 4;
+        let m1 = run(one, g.clone());
+        let m4 = run(four, g);
+        assert!(
+            m4.driver_queueing < m1.driver_queueing,
+            "4 pollers ({}) must queue less than 1 ({})",
+            m4.driver_queueing,
+            m1.driver_queueing
+        );
+    }
+
+    #[test]
+    fn deterministic_with_proximity_and_capacity() {
+        let g = generators::layered_random(8, 16, 7);
+        let mut cfg = SimConfig::homogeneous(0);
+        cfg.sites = islands(4, 0.010);
+        cfg.proximity_routing = true;
+        cfg.driver_service = 1e-4;
+        let a = run(cfg.clone(), g.clone());
+        let b = run(cfg, g);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.help_rtt, b.help_rtt);
     }
 
     #[test]

@@ -27,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coords;
 pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod model;
 
+pub use coords::{SimCoord, SimVivaldi};
 pub use engine::Simulation;
 pub use metrics::SimMetrics;
 pub use model::{NetworkModel, PowerModel, SimConfig, SimSite, TaskCostModel};

@@ -36,6 +36,13 @@ pub struct SimMetrics {
     /// Per-site executed CPU segments as (start, end, node), recorded
     /// only when `SimConfig::record_timeline` is set.
     pub timeline: Vec<Vec<(f64, f64, usize)>>,
+    /// Round-trip time of every answered help request (s) — the metric
+    /// proximity routing (wire v9) is meant to push down.
+    pub help_rtt: Vec<f64>,
+    /// Total virtual seconds deliveries spent queued behind saturated
+    /// transport drivers (the poller-capacity model; zero when
+    /// `SimConfig::driver_service` is 0).
+    pub driver_queueing: f64,
 }
 
 impl SimMetrics {
@@ -52,6 +59,16 @@ impl SimMetrics {
     /// Total energy over all power-modelled sites (J).
     pub fn total_energy(&self) -> f64 {
         self.energy.iter().sum()
+    }
+
+    /// Median help round-trip time (s); 0.0 when no help was answered.
+    pub fn help_rtt_median(&self) -> f64 {
+        if self.help_rtt.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.help_rtt.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v[v.len() / 2]
     }
 
     /// Share of result traffic that crossed the network.

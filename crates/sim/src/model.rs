@@ -50,6 +50,12 @@ pub struct SimSite {
     /// Optional power model: the site sleeps when idle and pays a wake
     /// latency when work arrives (the SDVM-on-SoC proposal, §2.2).
     pub power: Option<PowerModel>,
+    /// Position in latency space, in *seconds*: the one-way latency
+    /// between two sites is `net.latency + |pos_a - pos_b|`. All-zero
+    /// positions reproduce the flat uniform network the older
+    /// experiments assume; clustered topologies place islands apart to
+    /// exercise proximity routing (wire v9).
+    pub pos: (f64, f64, f64),
 }
 
 impl Default for SimSite {
@@ -61,6 +67,7 @@ impl Default for SimSite {
             leave_at: None,
             crash_at: None,
             power: None,
+            pos: (0.0, 0.0, 0.0),
         }
     }
 }
@@ -75,6 +82,14 @@ impl SimSite {
     pub fn with_speed(speed: f64) -> Self {
         SimSite {
             speed,
+            ..Self::default()
+        }
+    }
+
+    /// A reference site placed at `pos` in latency space (seconds).
+    pub fn at(pos: (f64, f64, f64)) -> Self {
+        SimSite {
+            pos,
             ..Self::default()
         }
     }
@@ -109,6 +124,13 @@ impl NetworkModel {
     /// Message transfer time for a payload of `bytes`.
     pub fn transfer(&self, bytes: u64) -> f64 {
         self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Pairwise transfer time: base latency plus the positional
+    /// distance between the endpoints plus serialization. With `dist`
+    /// zero this is exactly [`NetworkModel::transfer`].
+    pub fn transfer_dist(&self, dist: f64, bytes: u64) -> f64 {
+        self.latency + dist + bytes as f64 / self.bandwidth
     }
 }
 
@@ -174,6 +196,20 @@ pub struct SimConfig {
     /// Record per-site execution intervals (for timeline/Gantt output).
     /// Off by default: large runs produce many intervals.
     pub record_timeline: bool,
+    /// Rank help targets by Vivaldi-predicted proximity once each
+    /// site's coordinate converges (mirrors the runtime's
+    /// `SiteConfig::proximity_routing`). Off by default so the older
+    /// flat-network experiments keep their uniform selection.
+    pub proximity_routing: bool,
+    /// Modelled transport-driver pollers per site: the fixed thread
+    /// pool of the event-driven socket driver. Message handling at a
+    /// site occupies one effective driver for `driver_service /
+    /// net_drivers` virtual seconds; a saturated driver queues
+    /// deliveries (the poller-capacity limit at 1000-site scale).
+    pub net_drivers: usize,
+    /// Driver occupancy per handled message (s). `0.0` — the default —
+    /// disables the capacity model entirely (infinite driver).
+    pub driver_service: f64,
 }
 
 impl Default for SimConfig {
@@ -191,6 +227,9 @@ impl Default for SimConfig {
             crash_detect: 0.5,
             use_hints: false,
             record_timeline: false,
+            proximity_routing: false,
+            net_drivers: 4,
+            driver_service: 0.0,
         }
     }
 }

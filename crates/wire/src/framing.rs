@@ -319,6 +319,112 @@ mod tests {
         }
     }
 
+    /// A reader that delivers exactly `split` bytes, injects one
+    /// `WouldBlock`, then delivers the rest — one precise readiness
+    /// boundary, placed anywhere in the stream.
+    struct SplitReader {
+        data: Vec<u8>,
+        pos: usize,
+        split: usize,
+        blocked: bool,
+    }
+
+    impl Read for SplitReader {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let limit = if !self.blocked {
+                if self.pos == self.split {
+                    self.blocked = true;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "boundary",
+                    ));
+                }
+                self.split
+            } else {
+                self.data.len()
+            };
+            let n = out.len().min(limit - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_at_every_byte_boundary() {
+        // The driver's readiness loop can hand the reader a WouldBlock
+        // at *any* byte of a sealed batch record — including inside the
+        // 4-byte length prefix. Reassembly must be byte-exact wherever
+        // the boundary lands. The body imitates a drain-time batch
+        // record (tag | dst | count | (len | record)*), the largest
+        // frame shape the transport produces.
+        let mut body = vec![2u8];
+        body.extend_from_slice(&9u32.to_le_bytes());
+        body.extend_from_slice(&3u32.to_le_bytes());
+        for rec in [&b"alpha"[..], &[0xEE; 40][..], &b""[..]] {
+            body.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+            body.extend_from_slice(rec);
+        }
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &body).unwrap();
+
+        for split in 0..=stream.len() {
+            let mut r = SplitReader {
+                data: stream.clone(),
+                pos: 0,
+                split,
+                blocked: false,
+            };
+            let mut fr = FrameReader::new();
+            let mut frames = Vec::new();
+            let mut pendings = 0u32;
+            loop {
+                match fr.read_frame(&mut r).unwrap() {
+                    FrameRead::Frame(f) => frames.push(f),
+                    FrameRead::Pending => pendings += 1,
+                    FrameRead::Eof => break,
+                }
+            }
+            assert_eq!(frames.len(), 1, "split at byte {split}");
+            assert_eq!(frames[0], body[..], "split at byte {split}");
+            assert_eq!(pendings, 1, "split at byte {split} must block once");
+            assert!(!fr.mid_frame(), "split at byte {split} left state behind");
+        }
+    }
+
+    #[test]
+    fn frame_reader_split_length_prefix_keeps_count() {
+        // Stronger check for boundaries *inside* the prefix: after a
+        // resume that began mid-prefix, the parsed length must still be
+        // the original one (no re-read of already-consumed bytes).
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[0xAB; 513]).unwrap();
+        write_frame(&mut stream, b"tail").unwrap();
+        for split in 1..FRAME_PREFIX_LEN {
+            let mut r = SplitReader {
+                data: stream.clone(),
+                pos: 0,
+                split,
+                blocked: false,
+            };
+            let mut fr = FrameReader::new();
+            assert!(
+                matches!(fr.read_frame(&mut r).unwrap(), FrameRead::Pending),
+                "split {split}"
+            );
+            assert!(fr.mid_frame(), "split {split} should be mid-prefix");
+            match fr.read_frame(&mut r).unwrap() {
+                FrameRead::Frame(f) => assert_eq!(f, [0xAB; 513][..], "split {split}"),
+                other => panic!("split {split}: expected frame, got {other:?}"),
+            }
+            match fr.read_frame(&mut r).unwrap() {
+                FrameRead::Frame(f) => assert_eq!(f, b"tail"[..], "split {split}"),
+                other => panic!("split {split}: expected tail frame, got {other:?}"),
+            }
+            assert!(matches!(fr.read_frame(&mut r).unwrap(), FrameRead::Eof));
+        }
+    }
+
     #[test]
     fn frame_reader_mid_frame_eof_is_error() {
         let mut stream = Vec::new();

@@ -37,9 +37,15 @@ use sdvm_types::{ManagerId, SdvmResult, SiteId};
 /// `SnapshotCollectIncremental` checkpoint round. A v7 daemon would
 /// treat the draining gossip as an unknown payload and keep granting
 /// help and targeting backup buddies at the leaver, so mixed clusters
-/// are fenced at the version byte.
+/// are fenced at the version byte; v9 = proximity routing — the
+/// `Heartbeat`, `ProbeRequest` and `ProbeAck` payloads grew an optional
+/// Vivaldi network coordinate (`WireCoord`: 3-D point + height + fit
+/// error) piggybacked on traffic that already flows, so sites learn
+/// pairwise RTT predictions without extra probes. A v8 daemon would
+/// mis-parse the extra option byte in every heartbeat, so mixed
+/// clusters are fenced at the version byte.
 /// Older frames are rejected loudly, not decoded best-effort.
-pub const WIRE_VERSION: u8 = 8;
+pub const WIRE_VERSION: u8 = 9;
 
 /// Causal trace context riding every [`SdMessage`] (wire v3).
 ///

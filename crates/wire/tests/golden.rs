@@ -35,7 +35,7 @@ fn golden_apply_result() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0803000307032a0000\
+        "0903000307032a0000\
 0028020901080807060504030201",
         "ApplyResult wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -62,7 +62,7 @@ fn golden_traced_ping() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "080500010101070003ac02\
+        "090500010101070003ac02\
 5b01",
         "TraceContext wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -180,6 +180,23 @@ fn v7_frames_are_rejected_loudly() {
 }
 
 #[test]
+fn v8_frames_are_rejected_loudly() {
+    // The exact golden ApplyResult bytes from WIRE_VERSION 8 (before
+    // Vivaldi network coordinates). A v8 peer mis-parses the extra
+    // option byte the coordinate adds to every `Heartbeat`,
+    // `ProbeRequest` and `ProbeAck` — the membership plane would decode
+    // garbage loads and incarnations — so mixed clusters fail loudly at
+    // the version byte instead.
+    let v8 = unhex("0803000307032a00000028020901080807060504030201");
+    let err = SdMessage::from_bytes(&v8).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("version"),
+        "v8 frame must fail on the version byte, got: {msg}"
+    );
+}
+
+#[test]
 fn golden_replica_invalidate() {
     // New in WIRE_VERSION 4: owners invalidate cached read replicas on
     // write/migration.
@@ -197,7 +214,7 @@ fn golden_replica_invalidate() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0802000306030b0000\
+        "0902000306030b0000\
 00330209ac02",
         "ReplicaInvalidate wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -227,7 +244,7 @@ fn golden_help_request() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0805000101010700000014020501\
+        "0905000101010700000014020501\
 80080300",
         "HelpRequest wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -248,7 +265,7 @@ fn golden_ping_reply() {
     let bytes = reply.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "0802000801086501640000\
+        "0902000801086501640000\
 5cff01",
         "Pong wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -272,7 +289,7 @@ fn golden_suspect_site() {
     let bytes = msg.to_bytes();
     assert_eq!(
         hex(&bytes),
-        "080100060206090000\
+        "090100060206090000\
 000c0403",
         "SuspectSite wire encoding changed — bump WIRE_VERSION if intentional"
     );
@@ -305,6 +322,7 @@ fn payload_tags_are_stable() {
             Payload::ProbeAck {
                 target: SiteId(1),
                 incarnation: 1,
+                coord: None,
             },
         ),
         (16, Payload::DeathNotice { incarnation: 1 }),
